@@ -1,0 +1,53 @@
+//! Criterion counterpart of the ablation binary: parameter sensitivity of
+//! the DHT arity and the scheduler's MaxDataSchedule cap, measured as work
+//! per operation rather than virtual-time outcomes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bitdew_core::services::scheduler::DataScheduler;
+use bitdew_core::{Data, DataAttributes};
+use bitdew_dht::{build_overlay, DhtConfig, RingPos};
+use bitdew_util::Auid;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn dht_arity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dht_arity_512nodes");
+    for arity in [2u32, 4, 8] {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut overlay =
+            build_overlay(DhtConfig { arity, replication: 2 }, 512, &mut rng);
+        let members = overlay.members();
+        g.bench_function(format!("k{arity}"), |b| {
+            b.iter(|| {
+                let origin = members[rng.gen_range(0..members.len())];
+                overlay.get(origin, RingPos(rng.gen())).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn scheduler_cap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_max_data_schedule");
+    for cap in [4usize, 64] {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut ds = DataScheduler::new(u64::MAX, cap);
+        for i in 0..500u64 {
+            let d = Data::slot(Auid::generate(i + 1, &mut rng), format!("d{i}"), 1);
+            ds.schedule(d, DataAttributes::default().with_replica(3));
+        }
+        let host = Auid::generate(9000, &mut rng);
+        g.bench_function(format!("cap{cap}"), |b| {
+            b.iter(|| ds.sync(black_box(host), &[], 0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = dht_arity, scheduler_cap
+}
+criterion_main!(ablations);

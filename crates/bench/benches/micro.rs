@@ -1,0 +1,128 @@
+//! Criterion microbenchmarks over the substrate components.
+//!
+//! These are the per-component costs underlying Table 2 and Table 3: MD5
+//! hashing (every datum and every received transfer), the attribute parser,
+//! one Algorithm-1 synchronization, a DHT lookup, a WAL append, a max-min
+//! flow recompute, and a DC data-slot registration.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use bitdew_core::services::catalog::{DataCatalog, DbAccess};
+use bitdew_core::services::scheduler::DataScheduler;
+use bitdew_core::{parse_attributes, Data, DataAttributes, ResolveCtx};
+use bitdew_dht::{build_overlay, DhtConfig, RingPos};
+use bitdew_sim::{FlowNet, HostId, Sim, SimDuration};
+use bitdew_storage::testutil::TempDir;
+use bitdew_storage::wal::{LogRecord, WalWriter};
+use bitdew_storage::{ConnectionPool, DewDb, EmbeddedDriver, SyncPolicy};
+use bitdew_util::md5::md5;
+use bitdew_util::Auid;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_md5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md5");
+    for size in [1usize << 10, 1 << 16, 1 << 20] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| b.iter(|| md5(black_box(&data))));
+    }
+    g.finish();
+}
+
+fn bench_attr_parser(c: &mut Criterion) {
+    let src = r#"attribute Sequence = { fault tolerance = true, protocol = "http",
+                 lifetime = 30d, replication = 3 }"#;
+    c.bench_function("attr_parse", |b| {
+        b.iter(|| {
+            let defs = parse_attributes(black_box(src)).unwrap();
+            defs[0].resolve(&ResolveCtx::default()).unwrap()
+        })
+    });
+}
+
+fn bench_scheduler_sync(c: &mut Criterion) {
+    // 1,000 managed data, a reservoir presenting a 200-entry cache.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut ds = DataScheduler::new(u64::MAX, 64);
+    let mut ids = Vec::new();
+    for i in 0..1000u64 {
+        let d = Data::slot(Auid::generate(i + 1, &mut rng), format!("d{i}"), 1);
+        ids.push(d.id);
+        ds.schedule(d, DataAttributes::default().with_replica(2));
+    }
+    let host = Auid::generate(5000, &mut rng);
+    let cache: Vec<_> = ids[..200].to_vec();
+    c.bench_function("scheduler_sync_1000data", |b| {
+        b.iter(|| ds.sync(black_box(host), black_box(&cache), 0))
+    });
+}
+
+fn bench_dht_lookup(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut overlay = build_overlay(DhtConfig::default(), 256, &mut rng);
+    let members = overlay.members();
+    c.bench_function("dht_lookup_256nodes", |b| {
+        b.iter(|| {
+            let origin = members[rng.gen_range(0..members.len())];
+            overlay.get(origin, RingPos(rng.gen())).unwrap()
+        })
+    });
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let dir = TempDir::new("bench-wal");
+    let mut wal = WalWriter::open(dir.path().join("wal.log"), SyncPolicy::Never).unwrap();
+    let rec = LogRecord::Put { table: "t".into(), key: vec![1; 16], value: vec![2; 128] };
+    c.bench_function("wal_append_128B", |b| b.iter(|| wal.append(black_box(&rec)).unwrap()));
+}
+
+fn bench_flow_recompute(c: &mut Criterion) {
+    // 100 concurrent flows through one server: the Fig. 3a inner loop.
+    c.bench_function("flownet_100flows_solve", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let net = FlowNet::new();
+            let server = HostId(0);
+            net.add_host(server, 125.0e6, 125.0e6);
+            for i in 1..=100u32 {
+                let h = HostId(i);
+                net.add_host(h, 125.0e6, 125.0e6);
+                net.start_flow(
+                    &mut sim,
+                    server,
+                    h,
+                    1.0e6,
+                    SimDuration::ZERO,
+                    Box::new(|_, _| {}),
+                );
+            }
+            sim.run()
+        })
+    });
+}
+
+fn bench_catalog_register(c: &mut Criterion) {
+    // The Table 2 unit operation: one data-slot registration.
+    let driver = Arc::new(EmbeddedDriver::new(DewDb::in_memory()));
+    let catalog = DataCatalog::new(DbAccess::Pooled(ConnectionPool::new(driver, 4)));
+    let mut rng = SmallRng::seed_from_u64(6);
+    let mut i = 0u64;
+    c.bench_function("dc_register_slot", |b| {
+        b.iter(|| {
+            i += 1;
+            let d = Data::slot(Auid::generate(i, &mut rng), "slot", 0);
+            catalog.register(black_box(&d)).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_md5, bench_attr_parser, bench_scheduler_sync, bench_dht_lookup,
+              bench_wal_append, bench_flow_recompute, bench_catalog_register
+}
+criterion_main!(micro);

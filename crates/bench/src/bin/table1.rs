@@ -1,0 +1,33 @@
+//! Table 1 — hardware configuration of the Grid testbed.
+//!
+//! Prints the cluster inventory the simulator instantiates (node counts and
+//! CPU mix straight from the paper; the compute factor is our relative-speed
+//! calibration used by Fig. 6's per-cluster execution times).
+
+use bitdew_bench::{print_table, section};
+use bitdew_sim::topology::grid5000_clusters;
+
+fn main() {
+    section("Table 1 — Grid'5000 testbed (as instantiated by bitdew-sim)");
+    let clusters = grid5000_clusters();
+    let rows: Vec<Vec<String>> = clusters
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                c.location.to_string(),
+                c.nodes.to_string(),
+                c.cpu.to_string(),
+                c.frequency.to_string(),
+                format!("{:.1}", c.compute_factor),
+                "1 Gbps".to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["cluster", "location", "#CPUs", "CPU type", "frequency", "compute ×", "access link"],
+        &rows,
+    );
+    let total: usize = clusters.iter().map(|c| c.nodes).sum();
+    println!("\ntotal CPUs: {total} (the paper used 400 of them for Fig. 6)");
+}

@@ -1,0 +1,242 @@
+//! Data attributes — the five metadata that drive the runtime (§3.2).
+//!
+//! "Programmers tag each data with these simple attributes, and simply let
+//! the BitDew runtime environment manage operations of data creation,
+//! deletion, movement, replication, as well as fault tolerance":
+//!
+//! * `replica` — instances that should exist simultaneously (−1 = every
+//!   node);
+//! * `fault tolerance` — reschedule replicas lost to host crashes;
+//! * `lifetime` — absolute expiry or relative to another datum's existence;
+//! * `affinity` — placement dependency ("schedule where datum X is");
+//! * `transfer protocol` — which out-of-band protocol distributes it.
+
+use bitdew_storage::codec::{CodecError, Decode, Encode};
+use bitdew_transport::ProtocolId;
+use bitdew_util::Auid;
+use bytes::{Bytes, BytesMut};
+
+use crate::data::DataId;
+
+/// Replica count for "distribute to every node in the network" (§5 uses
+/// `replica = -1` for the BLAST Application binary).
+pub const REPLICA_ALL: i64 = -1;
+
+/// When a datum becomes obsolete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lifetime {
+    /// Never expires.
+    #[default]
+    Unbounded,
+    /// Absolute expiry instant, nanoseconds on the runtime clock.
+    Absolute(u64),
+    /// Obsolete when the referenced datum disappears ("an elegant way is to
+    /// set for every data a relative lifetime to the Collector", §5).
+    RelativeTo(DataId),
+}
+
+impl Lifetime {
+    /// True when expired at `now` given whether the reference datum (if any)
+    /// still exists.
+    pub fn is_expired(&self, now: u64, reference_alive: impl Fn(DataId) -> bool) -> bool {
+        match self {
+            Lifetime::Unbounded => false,
+            Lifetime::Absolute(t) => now > *t,
+            Lifetime::RelativeTo(d) => !reference_alive(*d),
+        }
+    }
+}
+
+/// The attribute set attached to a datum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataAttributes {
+    /// Desired simultaneous replicas ([`REPLICA_ALL`] = all nodes).
+    pub replica: i64,
+    /// Re-schedule replicas lost to host failure.
+    pub fault_tolerant: bool,
+    /// Expiry rule.
+    pub lifetime: Lifetime,
+    /// Placement dependency: schedule this datum wherever `affinity` is.
+    pub affinity: Option<DataId>,
+    /// Preferred distribution protocol.
+    pub protocol: ProtocolId,
+}
+
+impl Default for DataAttributes {
+    fn default() -> Self {
+        DataAttributes {
+            replica: 1,
+            fault_tolerant: false,
+            lifetime: Lifetime::Unbounded,
+            affinity: None,
+            protocol: ProtocolId::ftp(),
+        }
+    }
+}
+
+impl DataAttributes {
+    /// Builder: replica count.
+    pub fn with_replica(mut self, r: i64) -> Self {
+        self.replica = r;
+        self
+    }
+    /// Builder: fault tolerance.
+    pub fn with_fault_tolerance(mut self, ft: bool) -> Self {
+        self.fault_tolerant = ft;
+        self
+    }
+    /// Builder: lifetime.
+    pub fn with_lifetime(mut self, lt: Lifetime) -> Self {
+        self.lifetime = lt;
+        self
+    }
+    /// Builder: affinity target.
+    pub fn with_affinity(mut self, d: DataId) -> Self {
+        self.affinity = Some(d);
+        self
+    }
+    /// Builder: transfer protocol.
+    pub fn with_protocol(mut self, p: ProtocolId) -> Self {
+        self.protocol = p;
+        self
+    }
+
+    /// True when the datum wants a replica on every node.
+    pub fn replicate_everywhere(&self) -> bool {
+        self.replica == REPLICA_ALL
+    }
+}
+
+/// A named attribute definition, as produced by
+/// [`parse_attributes`](crate::attrparse::parse_attributes) or the
+/// `BitDew::create_attribute` API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute identifier.
+    pub id: Auid,
+    /// Definition name (`update`, `Sequence`, `Collector`, …).
+    pub name: String,
+    /// The attribute values.
+    pub attrs: DataAttributes,
+}
+
+impl Attribute {
+    /// Wrap a [`DataAttributes`] under a name.
+    pub fn named(id: Auid, name: impl Into<String>, attrs: DataAttributes) -> Attribute {
+        Attribute { id, name: name.into(), attrs }
+    }
+}
+
+impl Encode for Lifetime {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Lifetime::Unbounded => 0u8.encode(buf),
+            Lifetime::Absolute(t) => {
+                1u8.encode(buf);
+                t.encode(buf);
+            }
+            Lifetime::RelativeTo(d) => {
+                2u8.encode(buf);
+                d.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Lifetime {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(Lifetime::Unbounded),
+            1 => Ok(Lifetime::Absolute(u64::decode(buf)?)),
+            2 => Ok(Lifetime::RelativeTo(Auid::decode(buf)?)),
+            _ => Err(CodecError::Corrupt("lifetime tag")),
+        }
+    }
+}
+
+impl Encode for DataAttributes {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.replica.encode(buf);
+        self.fault_tolerant.encode(buf);
+        self.lifetime.encode(buf);
+        self.affinity.encode(buf);
+        self.protocol.0.encode(buf);
+    }
+}
+
+impl Decode for DataAttributes {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(DataAttributes {
+            replica: i64::decode(buf)?,
+            fault_tolerant: bool::decode(buf)?,
+            lifetime: Lifetime::decode(buf)?,
+            affinity: Option::<Auid>::decode(buf)?,
+            protocol: ProtocolId(String::decode(buf)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn an_id(n: u64) -> Auid {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(n);
+        Auid::generate(n, &mut rng)
+    }
+
+    #[test]
+    fn defaults_match_paper_minimum() {
+        let a = DataAttributes::default();
+        assert_eq!(a.replica, 1);
+        assert!(!a.fault_tolerant);
+        assert_eq!(a.lifetime, Lifetime::Unbounded);
+        assert!(a.affinity.is_none());
+        assert_eq!(a.protocol, ProtocolId::ftp());
+        assert!(!a.replicate_everywhere());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let dep = an_id(1);
+        let a = DataAttributes::default()
+            .with_replica(REPLICA_ALL)
+            .with_fault_tolerance(true)
+            .with_lifetime(Lifetime::Absolute(1_000))
+            .with_affinity(dep)
+            .with_protocol(ProtocolId::bittorrent());
+        assert!(a.replicate_everywhere());
+        assert!(a.fault_tolerant);
+        assert_eq!(a.affinity, Some(dep));
+        assert_eq!(a.protocol, ProtocolId::bittorrent());
+    }
+
+    #[test]
+    fn lifetime_expiry() {
+        let alive = |_: DataId| true;
+        let dead = |_: DataId| false;
+        assert!(!Lifetime::Unbounded.is_expired(u64::MAX, alive));
+        assert!(!Lifetime::Absolute(100).is_expired(100, alive), "boundary inclusive");
+        assert!(Lifetime::Absolute(100).is_expired(101, alive));
+        let r = Lifetime::RelativeTo(an_id(2));
+        assert!(!r.is_expired(0, alive));
+        assert!(r.is_expired(0, dead));
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        for lt in [
+            Lifetime::Unbounded,
+            Lifetime::Absolute(42),
+            Lifetime::RelativeTo(an_id(3)),
+        ] {
+            let a = DataAttributes::default()
+                .with_replica(5)
+                .with_fault_tolerance(true)
+                .with_lifetime(lt)
+                .with_protocol(ProtocolId::http());
+            let bytes = a.to_bytes();
+            assert_eq!(<DataAttributes as Decode>::from_bytes(&bytes).unwrap(), a);
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! Parser for BitDew's attribute-definition language.
+//!
+//! The paper writes attributes in a small textual syntax, both inline
+//! (Listing 1: `attr update = { replicat = -1, oob = bittorrent,
+//! abstime = 43200 }`) and as application manifests (Listing 3 defines
+//! `Application`, `Genebase`, `Sequence`, `Result`, `Collector`). This
+//! module parses that syntax:
+//!
+//! ```text
+//! attr[ibute] <Name> = { key = value [, key = value]* }
+//! ```
+//!
+//! Key aliases follow the paper's (inconsistent) spellings: `replica` /
+//! `replicat` / `replication`; `oob` / `protocol`; `abstime` / `absolute`;
+//! `lifetime` / `reltime`; `ft` / `fault_tolerance` / `fault tolerance`;
+//! `affinity`. Values may be integers (with optional `s`/`m`/`h`/`d`
+//! duration suffix on lifetimes), booleans, quoted strings, or bare
+//! identifiers. Identifiers in `affinity`/`lifetime` positions are *symbolic
+//! references* to other data or attribute names, and integers may also be
+//! symbolic variables (Listing 3 uses `replication = x`); both are resolved
+//! against a [`ResolveCtx`] in a second phase, because only the application
+//! knows the AUID behind "Collector" or today's value of `x`.
+
+use std::collections::HashMap;
+
+use bitdew_transport::ProtocolId;
+
+use crate::attr::{DataAttributes, Lifetime};
+use crate::data::DataId;
+
+/// Parse or resolution error with position information where available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the source (parse errors only).
+    pub offset: Option<usize>,
+}
+
+impl AttrError {
+    fn at(offset: usize, message: impl Into<String>) -> AttrError {
+        AttrError { message: message.into(), offset: Some(offset) }
+    }
+    fn plain(message: impl Into<String>) -> AttrError {
+        AttrError { message: message.into(), offset: None }
+    }
+}
+
+impl std::fmt::Display for AttrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "attribute error at byte {o}: {}", self.message),
+            None => write!(f, "attribute error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for AttrError {}
+
+/// A parsed (but unresolved) value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawValue {
+    /// Integer literal (with duration suffix already applied → seconds).
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Quoted string or bare identifier.
+    Symbol(String),
+}
+
+/// A parsed attribute definition: name plus raw key/value fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Definition name (`update`, `Sequence`, …).
+    pub name: String,
+    /// Normalized key → raw value, in source order.
+    pub fields: Vec<(String, RawValue)>,
+}
+
+/// Resolution context: maps symbolic names to concrete values.
+#[derive(Debug, Clone, Default)]
+pub struct ResolveCtx {
+    /// Current time (nanoseconds) — base for absolute lifetimes.
+    pub now_nanos: u64,
+    /// Data/attribute name → data id (for `affinity` / relative `lifetime`).
+    pub names: HashMap<String, DataId>,
+    /// Variable name → integer (Listing 3's `replication = x`).
+    pub vars: HashMap<String, i64>,
+}
+
+impl AttrDef {
+    /// Resolve raw fields into a [`DataAttributes`].
+    pub fn resolve(&self, ctx: &ResolveCtx) -> Result<DataAttributes, AttrError> {
+        let mut attrs = DataAttributes::default();
+        for (key, value) in &self.fields {
+            match key.as_str() {
+                "replica" => {
+                    attrs.replica = match value {
+                        RawValue::Int(n) => *n,
+                        RawValue::Symbol(s) => *ctx.vars.get(s).ok_or_else(|| {
+                            AttrError::plain(format!("unbound variable `{s}` for replica"))
+                        })?,
+                        RawValue::Bool(_) => {
+                            return Err(AttrError::plain("replica expects an integer"))
+                        }
+                    };
+                }
+                "fault_tolerance" => {
+                    attrs.fault_tolerant = match value {
+                        RawValue::Bool(b) => *b,
+                        other => {
+                            return Err(AttrError::plain(format!(
+                                "fault tolerance expects a boolean, got {other:?}"
+                            )))
+                        }
+                    };
+                }
+                "protocol" => {
+                    attrs.protocol = match value {
+                        RawValue::Symbol(s) => ProtocolId::from(s.as_str()),
+                        other => {
+                            return Err(AttrError::plain(format!(
+                                "protocol expects a name, got {other:?}"
+                            )))
+                        }
+                    };
+                }
+                "abstime" => {
+                    let secs = match value {
+                        RawValue::Int(n) if *n >= 0 => *n as u64,
+                        _ => {
+                            return Err(AttrError::plain(
+                                "abstime expects a non-negative duration",
+                            ))
+                        }
+                    };
+                    attrs.lifetime =
+                        Lifetime::Absolute(ctx.now_nanos + secs * 1_000_000_000);
+                }
+                "lifetime" => {
+                    attrs.lifetime = match value {
+                        // A number is an absolute duration from now…
+                        RawValue::Int(n) if *n >= 0 => {
+                            Lifetime::Absolute(ctx.now_nanos + *n as u64 * 1_000_000_000)
+                        }
+                        // …a name is a relative lifetime (§5: `lifetime = Collector`).
+                        RawValue::Symbol(s) => {
+                            let id = ctx.names.get(s).ok_or_else(|| {
+                                AttrError::plain(format!(
+                                    "unknown data name `{s}` for relative lifetime"
+                                ))
+                            })?;
+                            Lifetime::RelativeTo(*id)
+                        }
+                        _ => return Err(AttrError::plain("bad lifetime value")),
+                    };
+                }
+                "affinity" => {
+                    let name = match value {
+                        RawValue::Symbol(s) => s,
+                        other => {
+                            return Err(AttrError::plain(format!(
+                                "affinity expects a data name, got {other:?}"
+                            )))
+                        }
+                    };
+                    let id = ctx.names.get(name).ok_or_else(|| {
+                        AttrError::plain(format!("unknown data name `{name}` for affinity"))
+                    })?;
+                    attrs.affinity = Some(*id);
+                }
+                other => {
+                    return Err(AttrError::plain(format!("unknown attribute key `{other}`")))
+                }
+            }
+        }
+        Ok(attrs)
+    }
+}
+
+/// Normalize the paper's key spellings.
+fn normalize_key(key: &str) -> String {
+    match key.to_ascii_lowercase().replace([' ', '-'], "_").as_str() {
+        "replica" | "replicat" | "replication" => "replica".into(),
+        "oob" | "protocol" => "protocol".into(),
+        "abstime" | "absolute" => "abstime".into(),
+        "lifetime" | "reltime" => "lifetime".into(),
+        "ft" | "fault_tolerance" | "faulttolerance" => "fault_tolerance".into(),
+        other => other.to_string(),
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Punct(char),
+    Eof,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'#' || (c == b'/' && self.src.get(self.pos + 1) == Some(&b'/')) {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<(usize, Token), AttrError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok((start, Token::Eof));
+        }
+        let c = self.src[self.pos];
+        match c {
+            b'{' | b'}' | b'=' | b',' | b';' => {
+                self.pos += 1;
+                Ok((start, Token::Punct(c as char)))
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                self.pos += 1;
+                let s0 = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos] != quote {
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(AttrError::at(start, "unterminated string"));
+                }
+                let s = String::from_utf8_lossy(&self.src[s0..self.pos]).to_string();
+                self.pos += 1;
+                Ok((start, Token::Str(s)))
+            }
+            b'-' | b'0'..=b'9' => {
+                let mut end = self.pos + 1;
+                while end < self.src.len() && self.src[end].is_ascii_digit() {
+                    end += 1;
+                }
+                let text = std::str::from_utf8(&self.src[self.pos..end])
+                    .expect("digits are utf8");
+                let mut n: i64 = text
+                    .parse()
+                    .map_err(|_| AttrError::at(start, format!("bad integer `{text}`")))?;
+                self.pos = end;
+                // Optional duration suffix (seconds by default).
+                if self.pos < self.src.len() {
+                    let mult = match self.src[self.pos] {
+                        b's' => Some(1),
+                        b'm' => Some(60),
+                        b'h' => Some(3600),
+                        b'd' => Some(86400),
+                        _ => None,
+                    };
+                    if let Some(m) = mult {
+                        // Only a suffix if not part of an identifier.
+                        let after = self.src.get(self.pos + 1).copied().unwrap_or(b' ');
+                        if !after.is_ascii_alphanumeric() && after != b'_' {
+                            n *= m;
+                            self.pos += 1;
+                        }
+                    }
+                }
+                Ok((start, Token::Int(n)))
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut end = self.pos + 1;
+                while end < self.src.len()
+                    && (self.src[end].is_ascii_alphanumeric() || self.src[end] == b'_')
+                {
+                    end += 1;
+                }
+                let s = String::from_utf8_lossy(&self.src[self.pos..end]).to_string();
+                self.pos = end;
+                Ok((start, Token::Ident(s)))
+            }
+            other => Err(AttrError::at(start, format!("unexpected character `{}`", other as char))),
+        }
+    }
+
+    fn peek(&mut self) -> Result<Token, AttrError> {
+        let save = self.pos;
+        let (_, tok) = self.next()?;
+        self.pos = save;
+        Ok(tok)
+    }
+}
+
+/// Parse one or more attribute definitions from `src`.
+pub fn parse_attributes(src: &str) -> Result<Vec<AttrDef>, AttrError> {
+    let mut lex = Lexer::new(src);
+    let mut defs = Vec::new();
+    loop {
+        let (off, tok) = lex.next()?;
+        match tok {
+            Token::Eof => break,
+            Token::Ident(kw)
+                if kw.eq_ignore_ascii_case("attr") || kw.eq_ignore_ascii_case("attribute") =>
+            {
+                defs.push(parse_def(&mut lex)?);
+            }
+            other => {
+                return Err(AttrError::at(
+                    off,
+                    format!("expected `attr`/`attribute`, found {other:?}"),
+                ))
+            }
+        }
+    }
+    if defs.is_empty() {
+        return Err(AttrError::plain("no attribute definition found"));
+    }
+    Ok(defs)
+}
+
+/// Parse a single definition and resolve it in one call — the
+/// `BitDew::create_attribute` fast path for inline strings like Listing 1's.
+pub fn parse_single(src: &str, ctx: &ResolveCtx) -> Result<(String, DataAttributes), AttrError> {
+    let defs = parse_attributes(src)?;
+    if defs.len() != 1 {
+        return Err(AttrError::plain(format!(
+            "expected exactly one definition, found {}",
+            defs.len()
+        )));
+    }
+    let attrs = defs[0].resolve(ctx)?;
+    Ok((defs[0].name.clone(), attrs))
+}
+
+fn parse_def(lex: &mut Lexer<'_>) -> Result<AttrDef, AttrError> {
+    let (off, tok) = lex.next()?;
+    let name = match tok {
+        Token::Ident(n) => n,
+        other => return Err(AttrError::at(off, format!("expected name, found {other:?}"))),
+    };
+    // Optional `=` before the block (Listing 1 has it; tolerate omission).
+    if lex.peek()? == Token::Punct('=') {
+        lex.next()?;
+    }
+    let (off, tok) = lex.next()?;
+    if tok != Token::Punct('{') {
+        return Err(AttrError::at(off, "expected `{`"));
+    }
+    let mut fields = Vec::new();
+    loop {
+        let (off, tok) = lex.next()?;
+        match tok {
+            Token::Punct('}') => break,
+            Token::Punct(',') | Token::Punct(';') => continue,
+            Token::Ident(mut key) => {
+                // Two-word key: `fault tolerance` (Listing 3).
+                if key.eq_ignore_ascii_case("fault") {
+                    if let Token::Ident(second) = lex.peek()? {
+                        if second.eq_ignore_ascii_case("tolerance") {
+                            lex.next()?;
+                            key = "fault_tolerance".into();
+                        }
+                    }
+                }
+                let (off2, eq) = lex.next()?;
+                if eq != Token::Punct('=') {
+                    return Err(AttrError::at(off2, format!("expected `=` after `{key}`")));
+                }
+                let (off3, val) = lex.next()?;
+                let raw = match val {
+                    Token::Int(n) => RawValue::Int(n),
+                    Token::Str(s) => RawValue::Symbol(s),
+                    Token::Ident(s) if s.eq_ignore_ascii_case("true") => RawValue::Bool(true),
+                    Token::Ident(s) if s.eq_ignore_ascii_case("false") => {
+                        RawValue::Bool(false)
+                    }
+                    Token::Ident(s) => RawValue::Symbol(s),
+                    other => {
+                        return Err(AttrError::at(off3, format!("bad value {other:?}")))
+                    }
+                };
+                fields.push((normalize_key(&key), raw));
+            }
+            Token::Eof => return Err(AttrError::at(off, "unterminated attribute block")),
+            other => {
+                return Err(AttrError::at(off, format!("expected key or `}}`, found {other:?}")))
+            }
+        }
+    }
+    Ok(AttrDef { name, fields })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::REPLICA_ALL;
+    use bitdew_util::Auid;
+
+    fn ctx() -> ResolveCtx {
+        let mut ctx = ResolveCtx { now_nanos: 1_000_000_000, ..Default::default() };
+        ctx.names.insert("Collector".into(), Auid(10));
+        ctx.names.insert("Sequence".into(), Auid(11));
+        ctx.vars.insert("x".into(), 3);
+        ctx
+    }
+
+    #[test]
+    fn listing1_updater_attribute() {
+        // Verbatim from the paper (modulo the OCR-mangled minus sign).
+        let src = "attr update = { replicat = -1, oob = bittorrent, abstime = 43200 }";
+        let (name, attrs) = parse_single(src, &ctx()).unwrap();
+        assert_eq!(name, "update");
+        assert_eq!(attrs.replica, REPLICA_ALL);
+        assert_eq!(attrs.protocol, ProtocolId::bittorrent());
+        assert_eq!(
+            attrs.lifetime,
+            Lifetime::Absolute(1_000_000_000 + 43_200 * 1_000_000_000)
+        );
+    }
+
+    #[test]
+    fn listing3_blast_manifest() {
+        let src = r#"
+            attribute Application = { replication = -1, protocol = "BitTorrent" }
+            attribute Genebase = { protocol = "BitTorrent", lifetime = Collector,
+                                   affinity = Sequence }
+            attribute Sequence = { fault tolerance = true, protocol = "http",
+                                   lifetime = Collector, replication = x }
+            attribute Result = { protocol = "http", affinity = Collector,
+                                 lifetime = Collector }
+            attribute Collector = { }
+        "#;
+        let defs = parse_attributes(src).unwrap();
+        assert_eq!(defs.len(), 5);
+        let c = ctx();
+        let app = defs[0].resolve(&c).unwrap();
+        assert_eq!(app.replica, REPLICA_ALL);
+        assert_eq!(app.protocol, ProtocolId::bittorrent());
+
+        let gene = defs[1].resolve(&c).unwrap();
+        assert_eq!(gene.lifetime, Lifetime::RelativeTo(Auid(10)));
+        assert_eq!(gene.affinity, Some(Auid(11)));
+
+        let seq = defs[2].resolve(&c).unwrap();
+        assert!(seq.fault_tolerant);
+        assert_eq!(seq.replica, 3, "variable x bound to 3");
+        assert_eq!(seq.protocol, ProtocolId::http());
+
+        let result = defs[3].resolve(&c).unwrap();
+        assert_eq!(result.affinity, Some(Auid(10)));
+
+        let collector = defs[4].resolve(&c).unwrap();
+        assert_eq!(collector, DataAttributes::default());
+    }
+
+    #[test]
+    fn duration_suffixes() {
+        let (_, a) = parse_single("attr t = { abstime = 2m }", &ctx()).unwrap();
+        assert_eq!(a.lifetime, Lifetime::Absolute(1_000_000_000 + 120 * 1_000_000_000));
+        let (_, a) = parse_single("attr t = { lifetime = 1h }", &ctx()).unwrap();
+        assert_eq!(a.lifetime, Lifetime::Absolute(1_000_000_000 + 3600 * 1_000_000_000));
+    }
+
+    #[test]
+    fn comments_and_separators() {
+        let src = "# manifest\nattr a = { replica = 2; ft = true, // trailing\n }";
+        let (_, a) = parse_single(src, &ctx()).unwrap();
+        assert_eq!(a.replica, 2);
+        assert!(a.fault_tolerant);
+    }
+
+    #[test]
+    fn error_unknown_key() {
+        let err = parse_single("attr a = { colour = red }", &ctx()).unwrap_err();
+        assert!(err.message.contains("colour"), "{err}");
+    }
+
+    #[test]
+    fn error_unbound_names() {
+        let err = parse_single("attr a = { affinity = Nowhere }", &ctx()).unwrap_err();
+        assert!(err.message.contains("Nowhere"));
+        let err = parse_single("attr a = { replica = y }", &ctx()).unwrap_err();
+        assert!(err.message.contains('y'));
+    }
+
+    #[test]
+    fn error_syntax() {
+        assert!(parse_attributes("").is_err());
+        assert!(parse_attributes("attr a = {").is_err());
+        assert!(parse_attributes("attr a = { replica 3 }").is_err());
+        assert!(parse_attributes("blah a = {}").is_err());
+        assert!(parse_attributes("attr a = { replica = \"unterminated }").is_err());
+    }
+
+    #[test]
+    fn type_errors_on_resolve() {
+        assert!(parse_single("attr a = { ft = 3 }", &ctx()).is_err());
+        assert!(parse_single("attr a = { replica = true }", &ctx()).is_err());
+        assert!(parse_single("attr a = { abstime = -5 }", &ctx()).is_err());
+        assert!(parse_single("attr a = { protocol = 9 }", &ctx()).is_err());
+    }
+
+    #[test]
+    fn multiple_defs_rejected_by_parse_single() {
+        let err = parse_single("attr a = {} attr b = {}", &ctx()).unwrap_err();
+        assert!(err.message.contains("exactly one"));
+    }
+
+    #[test]
+    fn quoted_protocol_names_normalize() {
+        let (_, a) = parse_single("attr a = { protocol = \"FTP\" }", &ctx()).unwrap();
+        assert_eq!(a.protocol, ProtocolId::ftp());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn parser_never_panics(src in ".{0,120}") {
+            let _ = parse_attributes(&src);
+        }
+
+        #[test]
+        fn roundtrip_replica_and_ft(replica in -1i64..100, ft in proptest::bool::ANY) {
+            let src = format!("attr p = {{ replica = {replica}, ft = {ft} }}");
+            let (_, a) = parse_single(&src, &ResolveCtx::default()).unwrap();
+            proptest::prop_assert_eq!(a.replica, replica);
+            proptest::prop_assert_eq!(a.fault_tolerant, ft);
+        }
+    }
+}

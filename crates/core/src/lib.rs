@@ -1,0 +1,50 @@
+//! # bitdew-core
+//!
+//! The BitDew programmable data-management environment (Fedak, He, Cappello
+//! — SC'08), reimplemented in Rust.
+//!
+//! BitDew aggregates the storage of many volatile desktop-grid nodes into a
+//! single data space, Tuple-Space style (§3.1). Programmers tag each datum
+//! with five attributes — `replica`, `fault tolerance`, `lifetime`,
+//! `affinity`, `transfer protocol` — and the runtime's four services keep
+//! reality in line with the attributes:
+//!
+//! * **Data Catalog** ([`services::catalog`]) — persistent metadata and
+//!   locators; replica locations on volatile hosts live in the DHT-backed
+//!   Distributed Data Catalog (`bitdew-dht`).
+//! * **Data Repository** ([`services::repository`]) — storage with remote
+//!   access behind FTP/HTTP/BitTorrent endpoints.
+//! * **Data Transfer** ([`services::transfer`]) — reliable out-of-band
+//!   transfer management: monitoring, resume, integrity.
+//! * **Data Scheduler** ([`services::scheduler`]) — Algorithm 1: reservoir
+//!   hosts heartbeat their cache, the scheduler returns the new cache,
+//!   resolving lifetime, affinity, replication and fault tolerance.
+//!
+//! The programming surface mirrors the paper's three APIs: the *BitDew* API
+//! (create/put/get/search/delete + the attribute language of
+//! [`attrparse`]), *ActiveData* (schedule/pin + life-cycle events of
+//! [`events`]), and *TransferManager* (non-blocking transfers, waits and
+//! barriers) — all exposed as methods of [`runtime::BitdewNode`], which is
+//! the paper's "node attached to the distributed system".
+//!
+//! The state machines are clock-agnostic: [`runtime::ServiceContainer`]
+//! drives them with threads and wall time, while `bitdew-bench` drives the
+//! very same scheduler/attribute code under the discrete-event simulator to
+//! regenerate the paper's figures.
+
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod attrparse;
+pub mod data;
+pub mod events;
+pub mod runtime;
+pub mod services;
+pub mod simdriver;
+
+pub use attr::{Attribute, DataAttributes, Lifetime, REPLICA_ALL};
+pub use attrparse::{parse_attributes, parse_single, AttrDef, AttrError, ResolveCtx};
+pub use data::{Data, DataFlags, DataId, Locator};
+pub use events::{ActiveDataEventHandler, CallbackHandler};
+pub use runtime::{BitdewNode, NodeHandle, RuntimeConfig, ServiceContainer, SyncSummary};
+pub use services::{DataCatalog, DataRepository, DataScheduler, DataTransfer};

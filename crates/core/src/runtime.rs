@@ -1,0 +1,860 @@
+//! The threaded BitDew runtime: service container + volatile nodes.
+//!
+//! This is the deployment the paper's Listing 1 sketches: a service host
+//! runs the four D* services; volatile nodes attach with `ComWorld`-style
+//! setup, obtain the three APIs, and reservoir agents heartbeat the Data
+//! Scheduler, pulling data per Algorithm 1.
+//!
+//! * [`ServiceContainer`] — the stable node: DC + DR + DT + DS over the
+//!   in-process fabric, with the protocol-dispatching transfer builder.
+//! * [`BitdewNode`] — a volatile client/reservoir: local store, cache,
+//!   life-cycle event handlers, and the synchronization loop
+//!   ([`BitdewNode::sync_once`] / [`BitdewNode::start_heartbeat`]).
+//!
+//! Node methods mirror the paper's three APIs: `create_data`/`put`/`get`/
+//! `search`/`delete`/`create_attribute` (BitDew), `schedule`/`pin`/
+//! `add_callback` (ActiveData), `wait_for`/`barrier` (TransferManager).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use bitdew_storage::{ConnectionPool, DewDb, EmbeddedDriver};
+use bitdew_transport::bittorrent::{self, BtPeer, BtTransfer, LeechConfig};
+use bitdew_transport::ftp::{Direction, FtpTransfer};
+use bitdew_transport::http::{HttpMethod, HttpTransfer};
+use bitdew_transport::oob::{OobTransfer, TransferSpec, TransferStatus};
+use bitdew_transport::{
+    Fabric, FileStore, MemStore, ProtocolId, TransportError, TransportResult,
+};
+use bitdew_util::Auid;
+
+use crate::attr::DataAttributes;
+use crate::attrparse::{self, ResolveCtx};
+use crate::data::{Data, DataId, Locator};
+use crate::events::ActiveDataEventHandler;
+use crate::services::catalog::{DataCatalog, DbAccess};
+use crate::services::repository::DataRepository;
+use crate::services::scheduler::{DataScheduler, HostUid, SyncRole};
+use crate::services::transfer::{DataTransfer, TransferBuilder, TransferId, TransferState};
+
+/// Runtime tuning parameters.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Reservoir heartbeat / DS synchronization period.
+    pub heartbeat: Duration,
+    /// Failure-detector timeout = `detector_factor` × heartbeat (§4.4: 3×).
+    pub detector_factor: u32,
+    /// Algorithm 1's `MaxDataSchedule` cap.
+    pub max_data_schedule: usize,
+    /// DT retry budget per transfer.
+    pub max_retries: u32,
+    /// Per-node concurrent download cap (the TransferManager "level of
+    /// transfers concurrency", §3.1).
+    pub max_concurrent_downloads: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            heartbeat: Duration::from_millis(50),
+            detector_factor: 3,
+            max_data_schedule: 64,
+            max_retries: 3,
+            max_concurrent_downloads: 8,
+        }
+    }
+}
+
+/// The stable service host.
+pub struct ServiceContainer {
+    /// The in-process network.
+    pub fabric: Fabric,
+    /// Data Catalog.
+    pub catalog: Arc<DataCatalog>,
+    /// Data Repository.
+    pub repository: Arc<DataRepository>,
+    /// Data Scheduler (Algorithm 1).
+    pub scheduler: Mutex<DataScheduler>,
+    /// Data Transfer.
+    pub transfer: Arc<DataTransfer>,
+    config: RuntimeConfig,
+    epoch: Instant,
+}
+
+impl ServiceContainer {
+    /// Start a container with an in-memory repository store and an embedded
+    /// pooled database (the common case; Table 2's other combinations are
+    /// exercised directly by the bench harness).
+    pub fn start(config: RuntimeConfig) -> Arc<ServiceContainer> {
+        let fabric = Fabric::new();
+        Self::start_on(fabric, MemStore::new(), config)
+    }
+
+    /// Start a container on an existing fabric and repository store.
+    pub fn start_on(
+        fabric: Fabric,
+        repo_store: Arc<dyn FileStore>,
+        config: RuntimeConfig,
+    ) -> Arc<ServiceContainer> {
+        let driver = Arc::new(EmbeddedDriver::new(DewDb::in_memory()));
+        let pool = ConnectionPool::new(driver, 8);
+        let catalog = Arc::new(DataCatalog::new(DbAccess::Pooled(pool)));
+        let repository = Arc::new(DataRepository::start(&fabric, "dr", repo_store));
+        let timeout =
+            config.heartbeat.as_nanos() as u64 * config.detector_factor as u64;
+        let scheduler = Mutex::new(DataScheduler::new(timeout, config.max_data_schedule));
+
+        let builder = Self::make_builder(fabric.clone(), Arc::clone(&repository));
+        let transfer = DataTransfer::new(builder, config.max_retries);
+
+        Arc::new(ServiceContainer {
+            fabric,
+            catalog,
+            repository,
+            scheduler,
+            transfer,
+            config,
+            epoch: Instant::now(),
+        })
+    }
+
+    /// Nanoseconds since the container started (the runtime clock).
+    pub fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Run the heartbeat failure detector once; returns hosts declared dead.
+    pub fn detect_failures(&self) -> Vec<HostUid> {
+        let now = self.now_nanos();
+        self.scheduler.lock().detect_failures(now)
+    }
+
+    /// The protocol-dispatching transfer builder: FTP and HTTP pull from the
+    /// locator's endpoint; BitTorrent joins the repository's swarm with a
+    /// per-transfer leecher peer (which serves pieces as they arrive).
+    fn make_builder(fabric: Fabric, repository: Arc<DataRepository>) -> TransferBuilder {
+        let counter = Arc::new(AtomicU64::new(0));
+        Arc::new(move |data: &Data, locator: &Locator, local: Arc<dyn FileStore>| {
+            let spec = TransferSpec {
+                name: locator.object.clone(),
+                bytes: data.size,
+                checksum: if data.has_checksum() { Some(data.checksum) } else { None },
+                remote: locator.remote.clone(),
+            };
+            if locator.protocol == ProtocolId::ftp() {
+                Ok(Box::new(FtpTransfer::new(
+                    fabric.clone(),
+                    spec,
+                    local,
+                    Direction::Download,
+                )) as Box<dyn OobTransfer + Send>)
+            } else if locator.protocol == ProtocolId::http() {
+                Ok(Box::new(HttpTransfer::new(
+                    fabric.clone(),
+                    spec,
+                    local,
+                    HttpMethod::Get,
+                )) as Box<dyn OobTransfer + Send>)
+            } else if locator.protocol == ProtocolId::bittorrent() {
+                let torrent = repository.torrent_for(data).ok_or_else(|| {
+                    TransportError::Protocol(format!(
+                        "no torrent registered for {}",
+                        data.name
+                    ))
+                })?;
+                let n = counter.fetch_add(1, Ordering::Relaxed);
+                let listener =
+                    format!("bt.leech.{}.{}", data.id.to_canonical(), n);
+                let have = bittorrent::empty_have(&torrent);
+                let peer = BtPeer::start(
+                    &fabric,
+                    &listener,
+                    torrent.clone(),
+                    Arc::clone(&local),
+                    Arc::clone(&have),
+                    8,
+                );
+                let inner = BtTransfer::new(
+                    fabric.clone(),
+                    torrent,
+                    local,
+                    have,
+                    listener,
+                    LeechConfig { seed: n, ..Default::default() },
+                );
+                Ok(Box::new(LeechGuard { _peer: peer, inner })
+                    as Box<dyn OobTransfer + Send>)
+            } else {
+                Err(TransportError::Protocol(format!(
+                    "unsupported protocol {}",
+                    locator.protocol
+                )))
+            }
+        })
+    }
+}
+
+/// Keeps the leecher's serving daemon alive for the duration of a BitTorrent
+/// transfer; delegates the OOB contract to the inner transfer.
+struct LeechGuard {
+    _peer: BtPeer,
+    inner: BtTransfer,
+}
+
+impl OobTransfer for LeechGuard {
+    fn connect(&mut self) -> TransportResult<()> {
+        self.inner.connect()
+    }
+    fn disconnect(&mut self) -> TransportResult<()> {
+        self.inner.disconnect()
+    }
+    fn probe(&mut self) -> TransportResult<TransferStatus> {
+        self.inner.probe()
+    }
+    fn send(&mut self) -> TransportResult<()> {
+        self.inner.send()
+    }
+    fn receive(&mut self) -> TransportResult<()> {
+        self.inner.receive()
+    }
+}
+
+/// Summary of one reservoir synchronization round.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SyncSummary {
+    /// Data whose download just completed (now in cache).
+    pub completed: Vec<DataId>,
+    /// Data whose download started this round.
+    pub started: Vec<DataId>,
+    /// Data deleted from the cache this round.
+    pub deleted: Vec<DataId>,
+}
+
+/// A volatile node (client or reservoir host).
+pub struct BitdewNode {
+    /// This node's identity.
+    pub uid: HostUid,
+    container: Arc<ServiceContainer>,
+    local: Arc<dyn FileStore>,
+    cache: Mutex<HashMap<DataId, (Data, DataAttributes)>>,
+    pending: Mutex<HashMap<DataId, (TransferId, Data, DataAttributes)>>,
+    handlers: Mutex<Vec<Box<dyn ActiveDataEventHandler>>>,
+    role: SyncRole,
+    stop: AtomicBool,
+}
+
+impl BitdewNode {
+    /// Attach a reservoir node (offers storage) with an in-memory store.
+    pub fn new(container: Arc<ServiceContainer>) -> Arc<BitdewNode> {
+        Self::with_store_role(container, MemStore::new(), SyncRole::Reservoir)
+    }
+
+    /// Attach a client node (consumes storage; receives affinity-routed data
+    /// such as results, but is skipped by replica placement).
+    pub fn new_client(container: Arc<ServiceContainer>) -> Arc<BitdewNode> {
+        Self::with_store_role(container, MemStore::new(), SyncRole::Client)
+    }
+
+    /// Attach a reservoir node with the given local store.
+    pub fn with_store(
+        container: Arc<ServiceContainer>,
+        local: Arc<dyn FileStore>,
+    ) -> Arc<BitdewNode> {
+        Self::with_store_role(container, local, SyncRole::Reservoir)
+    }
+
+    /// Attach a node with explicit store and role.
+    pub fn with_store_role(
+        container: Arc<ServiceContainer>,
+        local: Arc<dyn FileStore>,
+        role: SyncRole,
+    ) -> Arc<BitdewNode> {
+        Arc::new(BitdewNode {
+            uid: Auid::random(),
+            container,
+            local,
+            cache: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(Vec::new()),
+            role,
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// The node's local content store.
+    pub fn local_store(&self) -> Arc<dyn FileStore> {
+        Arc::clone(&self.local)
+    }
+
+    /// The container this node is attached to.
+    pub fn container(&self) -> &Arc<ServiceContainer> {
+        &self.container
+    }
+
+    // --- BitDew API -------------------------------------------------------
+
+    /// Create a datum describing `content` and register it in the DC.
+    pub fn create_data(&self, name: &str, content: &[u8]) -> TransportResult<Data> {
+        let data = Data::from_bytes(Auid::random(), name, content);
+        self.container
+            .catalog
+            .register(&data)
+            .map_err(|e| TransportError::Protocol(format!("catalog: {e}")))?;
+        Ok(data)
+    }
+
+    /// Create an empty slot (content put later or produced remotely).
+    pub fn create_slot(&self, name: &str, size: u64) -> TransportResult<Data> {
+        let data = Data::slot(Auid::random(), name, size);
+        self.container
+            .catalog
+            .register(&data)
+            .map_err(|e| TransportError::Protocol(format!("catalog: {e}")))?;
+        Ok(data)
+    }
+
+    /// Copy content into the data space (the repository) and record FTP and
+    /// HTTP locators for it.
+    pub fn put(&self, data: &Data, content: &[u8]) -> TransportResult<()> {
+        self.container.repository.put_bytes(data, content)?;
+        for proto in [ProtocolId::ftp(), ProtocolId::http()] {
+            let loc = self.container.repository.locator_for(data, &proto)?;
+            self.container
+                .catalog
+                .add_locator(&loc)
+                .map_err(|e| TransportError::Protocol(format!("catalog: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Start copying a datum from the data space into this node's local
+    /// store; wait with [`BitdewNode::wait_for`].
+    pub fn get(&self, data: &Data) -> TransportResult<TransferId> {
+        let locator = self.locator_for(data, &ProtocolId::ftp())?;
+        self.container
+            .transfer
+            .submit(data.clone(), locator, Arc::clone(&self.local))
+    }
+
+    /// Search the DC by exact name.
+    pub fn search(&self, name: &str) -> Vec<Data> {
+        self.container.catalog.search(name).unwrap_or_default()
+    }
+
+    /// Delete a datum everywhere: catalog, repository, scheduler. Reservoir
+    /// caches purge it on their next synchronization.
+    pub fn delete(&self, data: &Data) -> TransportResult<()> {
+        self.container
+            .catalog
+            .delete(data.id)
+            .map_err(|e| TransportError::Protocol(format!("catalog: {e}")))?;
+        let _ = self.container.repository.remove(data);
+        self.container.scheduler.lock().delete_data(data.id);
+        Ok(())
+    }
+
+    /// Parse an attribute definition (Listing 1 syntax). Symbolic names
+    /// resolve against the DC's name index.
+    pub fn create_attribute(&self, src: &str) -> Result<DataAttributes, attrparse::AttrError> {
+        let mut ctx = ResolveCtx { now_nanos: self.container.now_nanos(), ..Default::default() };
+        // Bind every name mentioned in the source that the catalog knows.
+        let defs = attrparse::parse_attributes(src)?;
+        for def in &defs {
+            for (_, v) in &def.fields {
+                if let attrparse::RawValue::Symbol(s) = v {
+                    if let Ok(hits) = self.container.catalog.search(s) {
+                        if let Some(first) = hits.first() {
+                            ctx.names.insert(s.clone(), first.id);
+                        }
+                    }
+                }
+            }
+        }
+        let (_, attrs) = attrparse::parse_single(src, &ctx)?;
+        Ok(attrs)
+    }
+
+    // --- ActiveData API ---------------------------------------------------
+
+    /// Put a datum under scheduler management with `attrs`, making sure a
+    /// locator exists for the chosen protocol (starting a seeder for
+    /// BitTorrent).
+    pub fn schedule(&self, data: &Data, attrs: DataAttributes) -> TransportResult<()> {
+        if self.container.repository.has(data) {
+            let loc = self.container.repository.locator_for(data, &attrs.protocol)?;
+            self.container
+                .catalog
+                .add_locator(&loc)
+                .map_err(|e| TransportError::Protocol(format!("catalog: {e}")))?;
+        }
+        self.fire(|h, d, a| h.on_data_create(d, a), data, &attrs);
+        self.container.scheduler.lock().schedule(data.clone(), attrs);
+        Ok(())
+    }
+
+    /// Declare this node an owner of `data` (the datum also enters the local
+    /// cache so affinity dependencies resolve here — the master pins the
+    /// Collector in §5).
+    pub fn pin(&self, data: &Data, attrs: DataAttributes) {
+        self.container.scheduler.lock().pin(data.id, self.uid);
+        self.cache.lock().insert(data.id, (data.clone(), attrs));
+    }
+
+    /// Install a life-cycle event handler.
+    pub fn add_callback(&self, handler: impl ActiveDataEventHandler + 'static) {
+        self.handlers.lock().push(Box::new(handler));
+    }
+
+    // --- TransferManager API ----------------------------------------------
+
+    /// Block until `data` is in the local cache (scheduled path) or the
+    /// given transfer is terminal (direct `get` path).
+    pub fn wait_for(&self, id: TransferId) -> Option<TransferState> {
+        self.container.transfer.wait(id, Duration::from_millis(2))
+    }
+
+    /// Block until every pending scheduled download on this node finished
+    /// (a transfer barrier). Runs synchronization rounds while waiting.
+    pub fn barrier(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.sync_once();
+            if self.pending.lock().is_empty() {
+                return true;
+            }
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Ids currently in the local cache.
+    pub fn cached(&self) -> Vec<DataId> {
+        let mut v: Vec<DataId> = self.cache.lock().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Whether a datum is in the local cache.
+    pub fn has_cached(&self, id: DataId) -> bool {
+        self.cache.lock().contains_key(&id)
+    }
+
+    // --- Reservoir loop ----------------------------------------------------
+
+    /// One synchronization round: reap finished downloads, sync with the DS
+    /// (Algorithm 1), delete obsolete data, start newly assigned downloads.
+    pub fn sync_once(&self) -> SyncSummary {
+        let mut summary = SyncSummary::default();
+
+        // 1. Reap finished transfers.
+        self.container.transfer.tick();
+        {
+            let mut pending = self.pending.lock();
+            let ids: Vec<DataId> = pending.keys().copied().collect();
+            for id in ids {
+                let (tid, _, _) = pending[&id];
+                match self.container.transfer.report(tid).map(|r| r.state) {
+                    Some(TransferState::Complete) => {
+                        let (_, data, attrs) = pending.remove(&id).expect("listed");
+                        self.container.transfer.reap(tid);
+                        self.cache.lock().insert(id, (data.clone(), attrs.clone()));
+                        summary.completed.push(id);
+                        self.fire(|h, d, a| h.on_data_copy(d, a), &data, &attrs);
+                    }
+                    Some(TransferState::Failed) | None => {
+                        // Next sync re-assigns if the data is still wanted.
+                        pending.remove(&id);
+                        self.container.transfer.reap(tid);
+                    }
+                    Some(TransferState::Active) => {}
+                }
+            }
+        }
+
+        // 2. Synchronize with the Data Scheduler.
+        let cache_ids: Vec<DataId> = self.cache.lock().keys().copied().collect();
+        let now = self.container.now_nanos();
+        let reply =
+            self.container.scheduler.lock().sync_as(self.uid, &cache_ids, now, self.role);
+
+        // 3. Purge obsolete data.
+        for id in reply.delete {
+            if let Some((data, attrs)) = self.cache.lock().remove(&id) {
+                let _ = self.local.remove(&data.object_name());
+                summary.deleted.push(id);
+                self.fire(|h, d, a| h.on_data_delete(d, a), &data, &attrs);
+            }
+        }
+
+        // 4. Launch newly assigned downloads (respecting the concurrency cap).
+        let cap = self.container.config.max_concurrent_downloads;
+        for (data, attrs) in reply.download {
+            let mut pending = self.pending.lock();
+            if pending.len() >= cap || pending.contains_key(&data.id) {
+                continue;
+            }
+            if self.cache.lock().contains_key(&data.id) {
+                continue;
+            }
+            // Zero-sized slots (pure markers like the Collector) need no
+            // transfer: cache them directly.
+            if data.size == 0 {
+                drop(pending);
+                self.cache.lock().insert(data.id, (data.clone(), attrs.clone()));
+                summary.completed.push(data.id);
+                self.fire(|h, d, a| h.on_data_copy(d, a), &data, &attrs);
+                continue;
+            }
+            match self.locator_for(&data, &attrs.protocol) {
+                Ok(locator) => {
+                    match self.container.transfer.submit(
+                        data.clone(),
+                        locator,
+                        Arc::clone(&self.local),
+                    ) {
+                        Ok(tid) => {
+                            summary.started.push(data.id);
+                            pending.insert(data.id, (tid, data, attrs));
+                        }
+                        Err(_) => { /* retried on a later sync */ }
+                    }
+                }
+                Err(_) => { /* no locator yet (content not put) — retry later */ }
+            }
+        }
+        summary
+    }
+
+    /// Spawn the heartbeat thread; returns a guard that stops it on drop.
+    pub fn start_heartbeat(self: &Arc<Self>, period: Duration) -> NodeHandle {
+        let node = Arc::clone(self);
+        node.stop.store(false, Ordering::Relaxed);
+        let n2 = Arc::clone(&node);
+        let thread = std::thread::Builder::new()
+            .name(format!("reservoir-{}", self.uid))
+            .spawn(move || {
+                while !n2.stop.load(Ordering::Relaxed) {
+                    n2.sync_once();
+                    std::thread::sleep(period);
+                }
+            })
+            .expect("spawn reservoir");
+        NodeHandle { node, thread: Some(thread) }
+    }
+
+    fn locator_for(&self, data: &Data, protocol: &ProtocolId) -> TransportResult<Locator> {
+        let locs = self
+            .container
+            .catalog
+            .locators(data.id)
+            .map_err(|e| TransportError::Protocol(format!("catalog: {e}")))?;
+        locs.iter()
+            .find(|l| l.protocol == *protocol)
+            .or_else(|| locs.first())
+            .cloned()
+            .ok_or_else(|| TransportError::NoSuchObject(data.name.clone()))
+    }
+
+    fn fire(
+        &self,
+        f: impl Fn(&mut Box<dyn ActiveDataEventHandler>, &Data, &DataAttributes),
+        data: &Data,
+        attrs: &DataAttributes,
+    ) {
+        // Handlers may call back into this node (a worker's onDataCopy
+        // schedules its result, which fires onDataCreate), so the lock must
+        // not be held while they run: take the handler list out, invoke,
+        // then merge back anything installed meanwhile. A nested fire sees
+        // an empty list and is a no-op.
+        let mut taken = {
+            let mut guard = self.handlers.lock();
+            std::mem::take(&mut *guard)
+        };
+        for h in taken.iter_mut() {
+            f(h, data, attrs);
+        }
+        let mut guard = self.handlers.lock();
+        let added = std::mem::take(&mut *guard);
+        *guard = taken;
+        guard.extend(added);
+    }
+}
+
+/// Guard for a running reservoir heartbeat; stops the loop when dropped.
+pub struct NodeHandle {
+    node: Arc<BitdewNode>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// The node being driven.
+    pub fn node(&self) -> &Arc<BitdewNode> {
+        &self.node
+    }
+
+    /// Stop the heartbeat and join the thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.node.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{Lifetime, REPLICA_ALL};
+
+    fn quick_container() -> Arc<ServiceContainer> {
+        ServiceContainer::start(RuntimeConfig::default())
+    }
+
+    fn pump(nodes: &[&Arc<BitdewNode>], rounds: usize) {
+        for _ in 0..rounds {
+            for n in nodes {
+                n.sync_once();
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn create_put_get_roundtrip() {
+        let c = quick_container();
+        let client = BitdewNode::new(Arc::clone(&c));
+        let content: Vec<u8> = (0..120_000u32).map(|i| (i % 251) as u8).collect();
+        let data = client.create_data("payload", &content).unwrap();
+        client.put(&data, &content).unwrap();
+
+        let worker = BitdewNode::new(Arc::clone(&c));
+        let tid = worker.get(&data).unwrap();
+        assert_eq!(worker.wait_for(tid), Some(TransferState::Complete));
+        let got = worker.local_store().read_at(&data.object_name(), 0, content.len()).unwrap();
+        assert_eq!(&got[..], &content[..]);
+    }
+
+    #[test]
+    fn search_finds_registered_data() {
+        let c = quick_container();
+        let client = BitdewNode::new(Arc::clone(&c));
+        let d = client.create_data("needle", b"x").unwrap();
+        let hits = client.search("needle");
+        assert_eq!(hits, vec![d]);
+        assert!(client.search("haystack").is_empty());
+    }
+
+    #[test]
+    fn scheduled_data_reaches_workers() {
+        let c = quick_container();
+        let client = BitdewNode::new(Arc::clone(&c));
+        let content = vec![9u8; 80_000];
+        let data = client.create_data("shared", &content).unwrap();
+        client.put(&data, &content).unwrap();
+        client
+            .schedule(&data, DataAttributes::default().with_replica(REPLICA_ALL))
+            .unwrap();
+
+        let w1 = BitdewNode::new(Arc::clone(&c));
+        let w2 = BitdewNode::new(Arc::clone(&c));
+        pump(&[&w1, &w2], 50);
+        assert!(w1.has_cached(data.id), "w1 got the datum");
+        assert!(w2.has_cached(data.id), "w2 got the datum");
+        assert!(w1.local_store().exists(&data.object_name()));
+    }
+
+    #[test]
+    fn replica_one_goes_to_single_worker() {
+        let c = quick_container();
+        let client = BitdewNode::new(Arc::clone(&c));
+        let data = client.create_data("solo", &vec![1u8; 10_000]).unwrap();
+        client.put(&data, &vec![1u8; 10_000]).unwrap();
+        client.schedule(&data, DataAttributes::default().with_replica(1)).unwrap();
+        let w1 = BitdewNode::new(Arc::clone(&c));
+        let w2 = BitdewNode::new(Arc::clone(&c));
+        pump(&[&w1, &w2], 40);
+        let owners = [w1.has_cached(data.id), w2.has_cached(data.id)];
+        assert_eq!(owners.iter().filter(|&&b| b).count(), 1, "exactly one owner");
+    }
+
+    #[test]
+    fn events_fire_on_copy_and_delete() {
+        use std::sync::atomic::AtomicU32;
+        let c = quick_container();
+        let client = BitdewNode::new(Arc::clone(&c));
+        let data = client.create_data("ev", &vec![5u8; 5_000]).unwrap();
+        client.put(&data, &vec![5u8; 5_000]).unwrap();
+
+        let copies = Arc::new(AtomicU32::new(0));
+        let deletes = Arc::new(AtomicU32::new(0));
+        let worker = BitdewNode::new(Arc::clone(&c));
+        let (c2, d2) = (Arc::clone(&copies), Arc::clone(&deletes));
+        worker.add_callback(
+            crate::events::CallbackHandler::new()
+                .on_copy(move |_, _| {
+                    c2.fetch_add(1, Ordering::Relaxed);
+                })
+                .on_delete(move |_, _| {
+                    d2.fetch_add(1, Ordering::Relaxed);
+                }),
+        );
+        client.schedule(&data, DataAttributes::default().with_replica(1)).unwrap();
+        pump(&[&worker], 40);
+        assert!(worker.has_cached(data.id));
+        assert_eq!(copies.load(Ordering::Relaxed), 1);
+
+        // Delete the datum; the worker purges it on the next syncs.
+        client.delete(&data).unwrap();
+        pump(&[&worker], 10);
+        assert!(!worker.has_cached(data.id));
+        assert_eq!(deletes.load(Ordering::Relaxed), 1);
+        assert!(!worker.local_store().exists(&data.object_name()));
+    }
+
+    #[test]
+    fn affinity_routes_results_to_pinned_collector() {
+        // The §5 result-collection idiom.
+        let c = quick_container();
+        let master = BitdewNode::new(Arc::clone(&c));
+        let collector = master.create_slot("collector", 0).unwrap();
+        master
+            .schedule(&collector, DataAttributes::default().with_replica(0))
+            .unwrap();
+        master.pin(&collector, DataAttributes::default());
+
+        // A worker produces a result with affinity to the collector.
+        let worker = BitdewNode::new(Arc::clone(&c));
+        let result = worker.create_data("result", b"answer=42").unwrap();
+        worker.put(&result, b"answer=42").unwrap();
+        worker
+            .schedule(
+                &result,
+                DataAttributes::default().with_affinity(collector.id),
+            )
+            .unwrap();
+
+        pump(&[&master, &worker], 50);
+        assert!(master.has_cached(result.id), "result reached the master");
+        let got = master
+            .local_store()
+            .read_at(&result.object_name(), 0, 9)
+            .unwrap();
+        assert_eq!(&got[..], b"answer=42");
+    }
+
+    #[test]
+    fn lifetime_expiry_purges_cache() {
+        let c = quick_container();
+        let client = BitdewNode::new(Arc::clone(&c));
+        let data = client.create_data("ttl", &vec![3u8; 2_000]).unwrap();
+        client.put(&data, &vec![3u8; 2_000]).unwrap();
+        let expiry = c.now_nanos() + 200_000_000; // 200 ms
+        client
+            .schedule(
+                &data,
+                DataAttributes::default()
+                    .with_replica(1)
+                    .with_lifetime(Lifetime::Absolute(expiry)),
+            )
+            .unwrap();
+        let worker = BitdewNode::new(Arc::clone(&c));
+        pump(&[&worker], 30);
+        assert!(worker.has_cached(data.id));
+        std::thread::sleep(Duration::from_millis(220));
+        pump(&[&worker], 5);
+        assert!(!worker.has_cached(data.id), "expired datum purged");
+    }
+
+    #[test]
+    fn heartbeat_thread_drives_sync() {
+        let c = quick_container();
+        let client = BitdewNode::new(Arc::clone(&c));
+        let data = client.create_data("hb", &vec![8u8; 30_000]).unwrap();
+        client.put(&data, &vec![8u8; 30_000]).unwrap();
+        client.schedule(&data, DataAttributes::default().with_replica(1)).unwrap();
+
+        let worker = BitdewNode::new(Arc::clone(&c));
+        let handle = worker.start_heartbeat(Duration::from_millis(5));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !worker.has_cached(data.id) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.stop();
+        assert!(worker.has_cached(data.id));
+    }
+
+    #[test]
+    fn bittorrent_scheduled_distribution() {
+        let c = quick_container();
+        let client = BitdewNode::new(Arc::clone(&c));
+        let content: Vec<u8> = (0..600_000u32).map(|i| (i % 251) as u8).collect();
+        let data = client.create_data("big", &content).unwrap();
+        client.put(&data, &content).unwrap();
+        client
+            .schedule(
+                &data,
+                DataAttributes::default()
+                    .with_replica(REPLICA_ALL)
+                    .with_protocol(ProtocolId::bittorrent()),
+            )
+            .unwrap();
+        let workers: Vec<Arc<BitdewNode>> =
+            (0..3).map(|_| BitdewNode::new(Arc::clone(&c))).collect();
+        let refs: Vec<&Arc<BitdewNode>> = workers.iter().collect();
+        pump(&refs, 120);
+        for w in &workers {
+            assert!(w.has_cached(data.id), "worker got the torrent payload");
+            let got = w
+                .local_store()
+                .read_at(&data.object_name(), 0, content.len())
+                .unwrap();
+            assert_eq!(&got[..], &content[..]);
+        }
+    }
+
+    #[test]
+    fn barrier_waits_for_pending_downloads() {
+        let c = quick_container();
+        let client = BitdewNode::new(Arc::clone(&c));
+        let data = client.create_data("bar", &vec![2u8; 150_000]).unwrap();
+        client.put(&data, &vec![2u8; 150_000]).unwrap();
+        client.schedule(&data, DataAttributes::default().with_replica(1)).unwrap();
+        let worker = BitdewNode::new(Arc::clone(&c));
+        assert!(worker.barrier(Duration::from_secs(10)));
+        assert!(worker.has_cached(data.id));
+    }
+
+    #[test]
+    fn attribute_parsing_with_catalog_names() {
+        let c = quick_container();
+        let node = BitdewNode::new(Arc::clone(&c));
+        let anchor = node.create_data("Anchor", b"a").unwrap();
+        let attrs = node
+            .create_attribute("attr x = { replica = 2, affinity = Anchor, oob = http }")
+            .unwrap();
+        assert_eq!(attrs.replica, 2);
+        assert_eq!(attrs.affinity, Some(anchor.id));
+        assert_eq!(attrs.protocol, ProtocolId::http());
+    }
+}

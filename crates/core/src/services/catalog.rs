@@ -1,0 +1,254 @@
+//! The Data Catalog (DC) service.
+//!
+//! "The data's meta-information are stored both locally on the
+//! client/reservoir node and persistently on the Data Catalog service node"
+//! (§3.4.1). The DC indexes [`Data`] objects and their [`Locator`]s in a
+//! database engine (DewDB here; MySQL/HsqlDB in the original) and answers
+//! `searchData` by name. Replica locations on *volatile* hosts are not the
+//! DC's business — they live in the Distributed Data Catalog
+//! ([`bitdew_dht::DistributedCatalog`]) so the centralized path stays short.
+//!
+//! Database access goes through either a connection pool (DBCP analog) or a
+//! fresh connection per operation — exactly the axis Table 2 measures.
+
+use std::sync::Arc;
+
+use bitdew_storage::codec::{Decode, Encode};
+use bitdew_storage::{ConnectionPool, DbDriver, DbOp, DbReply, DbResult};
+
+use crate::data::{Data, DataId, Locator};
+
+const T_DATA: &str = "dc_data";
+const T_LOCATOR: &str = "dc_locator";
+const T_NAME: &str = "dc_name";
+
+/// How the DC reaches its database (Table 2's pooling axis).
+pub enum DbAccess {
+    /// Reuse pooled connections (with DBCP).
+    Pooled(Arc<ConnectionPool>),
+    /// Open a fresh connection per operation (without DBCP).
+    PerOperation(Arc<dyn DbDriver>),
+}
+
+impl DbAccess {
+    fn exec(&self, op: DbOp) -> DbResult<DbReply> {
+        match self {
+            DbAccess::Pooled(pool) => pool.checkout()?.exec(op),
+            DbAccess::PerOperation(driver) => driver.connect()?.exec(op),
+        }
+    }
+}
+
+/// The Data Catalog service.
+pub struct DataCatalog {
+    db: DbAccess,
+    registered: std::sync::atomic::AtomicU64,
+}
+
+impl DataCatalog {
+    /// DC over the given database access path.
+    pub fn new(db: DbAccess) -> DataCatalog {
+        DataCatalog { db, registered: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// Register (or overwrite) a datum. This is the "data slot creation"
+    /// operation Table 2 benchmarks.
+    pub fn register(&self, data: &Data) -> DbResult<()> {
+        self.db.exec(DbOp::Put {
+            table: T_DATA.into(),
+            key: data.id.0.to_le_bytes().to_vec(),
+            value: data.to_bytes().to_vec(),
+        })?;
+        // Name index: `<name>\0<id>` → id, so same-named data coexist.
+        let mut key = data.name.as_bytes().to_vec();
+        key.push(0);
+        key.extend_from_slice(&data.id.0.to_le_bytes());
+        self.db.exec(DbOp::Put {
+            table: T_NAME.into(),
+            key,
+            value: data.id.0.to_le_bytes().to_vec(),
+        })?;
+        self.registered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Fetch a datum by id.
+    pub fn get(&self, id: DataId) -> DbResult<Option<Data>> {
+        match self.db.exec(DbOp::Get {
+            table: T_DATA.into(),
+            key: id.0.to_le_bytes().to_vec(),
+        })? {
+            DbReply::Value(Some(bytes)) => Ok(<Data as Decode>::from_bytes(&bytes).ok()),
+            _ => Ok(None),
+        }
+    }
+
+    /// All data whose name equals `name` (the `searchData` API, §3.3).
+    pub fn search(&self, name: &str) -> DbResult<Vec<Data>> {
+        let mut prefix = name.as_bytes().to_vec();
+        prefix.push(0);
+        let rows = match self.db.exec(DbOp::ScanPrefix { table: T_NAME.into(), prefix })? {
+            DbReply::Rows(rows) => rows,
+            _ => Vec::new(),
+        };
+        let mut out = Vec::new();
+        for (_, idbytes) in rows {
+            if let Ok(arr) = <[u8; 16]>::try_from(idbytes.as_slice()) {
+                let id = bitdew_util::Auid(u128::from_le_bytes(arr));
+                if let Some(d) = self.get(id)? {
+                    out.push(d);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Attach a locator to a datum.
+    pub fn add_locator(&self, loc: &Locator) -> DbResult<()> {
+        // Key: data id + protocol name, so one locator per (data, protocol).
+        let mut key = loc.data.0.to_le_bytes().to_vec();
+        key.extend_from_slice(loc.protocol.0.as_bytes());
+        self.db.exec(DbOp::Put {
+            table: T_LOCATOR.into(),
+            key,
+            value: loc.to_bytes().to_vec(),
+        })?;
+        Ok(())
+    }
+
+    /// All locators for a datum.
+    pub fn locators(&self, id: DataId) -> DbResult<Vec<Locator>> {
+        let rows = match self.db.exec(DbOp::ScanPrefix {
+            table: T_LOCATOR.into(),
+            prefix: id.0.to_le_bytes().to_vec(),
+        })? {
+            DbReply::Rows(rows) => rows,
+            _ => Vec::new(),
+        };
+        Ok(rows
+            .into_iter()
+            .filter_map(|(_, v)| Locator::from_bytes(&v).ok())
+            .collect())
+    }
+
+    /// Remove a datum and its locators ("data deletion implies both local
+    /// and remote deletion", §3.3).
+    pub fn delete(&self, id: DataId) -> DbResult<bool> {
+        let existing = self.get(id)?;
+        let Some(data) = existing else { return Ok(false) };
+        self.db.exec(DbOp::Delete {
+            table: T_DATA.into(),
+            key: id.0.to_le_bytes().to_vec(),
+        })?;
+        let mut nkey = data.name.as_bytes().to_vec();
+        nkey.push(0);
+        nkey.extend_from_slice(&id.0.to_le_bytes());
+        self.db.exec(DbOp::Delete { table: T_NAME.into(), key: nkey })?;
+        let locs = self.locators(id)?;
+        for l in locs {
+            let mut key = id.0.to_le_bytes().to_vec();
+            key.extend_from_slice(l.protocol.0.as_bytes());
+            self.db.exec(DbOp::Delete { table: T_LOCATOR.into(), key })?;
+        }
+        Ok(true)
+    }
+
+    /// Number of successful registrations through this handle.
+    pub fn registrations(&self) -> u64 {
+        self.registered.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitdew_storage::{DewDb, EmbeddedDriver};
+    use bitdew_transport::ProtocolId;
+    use bitdew_util::Auid;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn dc_pooled() -> DataCatalog {
+        let driver = Arc::new(EmbeddedDriver::new(DewDb::in_memory()));
+        DataCatalog::new(DbAccess::Pooled(ConnectionPool::new(driver, 4)))
+    }
+
+    fn dc_unpooled() -> DataCatalog {
+        let driver: Arc<dyn DbDriver> = Arc::new(EmbeddedDriver::new(DewDb::in_memory()));
+        DataCatalog::new(DbAccess::PerOperation(driver))
+    }
+
+    fn datum(rng: &mut SmallRng, name: &str) -> Data {
+        Data::from_bytes(Auid::generate(0, rng), name, name.as_bytes())
+    }
+
+    fn exercise(dc: &DataCatalog) {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let d1 = datum(&mut rng, "genome");
+        let d2 = datum(&mut rng, "genome"); // same name, distinct id
+        let d3 = datum(&mut rng, "sequence");
+        dc.register(&d1).unwrap();
+        dc.register(&d2).unwrap();
+        dc.register(&d3).unwrap();
+        assert_eq!(dc.registrations(), 3);
+
+        assert_eq!(dc.get(d1.id).unwrap(), Some(d1.clone()));
+        assert_eq!(dc.get(Auid(777)).unwrap(), None);
+
+        let hits = dc.search("genome").unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(dc.search("nope").unwrap().is_empty());
+        // Prefix of a name must not match (search is exact-name).
+        assert!(dc.search("gen").unwrap().is_empty());
+
+        let l1 = Locator::new(&d1, ProtocolId::ftp(), "dr-1");
+        let l2 = Locator::new(&d1, ProtocolId::bittorrent(), "tracker-1");
+        dc.add_locator(&l1).unwrap();
+        dc.add_locator(&l2).unwrap();
+        let locs = dc.locators(d1.id).unwrap();
+        assert_eq!(locs.len(), 2);
+
+        assert!(dc.delete(d1.id).unwrap());
+        assert!(!dc.delete(d1.id).unwrap());
+        assert_eq!(dc.get(d1.id).unwrap(), None);
+        assert!(dc.locators(d1.id).unwrap().is_empty());
+        assert_eq!(dc.search("genome").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn pooled_catalog_contract() {
+        exercise(&dc_pooled());
+    }
+
+    #[test]
+    fn per_operation_catalog_contract() {
+        exercise(&dc_unpooled());
+    }
+
+    #[test]
+    fn concurrent_registrations() {
+        let driver = Arc::new(EmbeddedDriver::new(DewDb::in_memory()));
+        let dc = Arc::new(DataCatalog::new(DbAccess::Pooled(ConnectionPool::new(
+            driver, 4,
+        ))));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let dc = Arc::clone(&dc);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t);
+                for i in 0..50 {
+                    let d = Data::from_bytes(
+                        Auid::generate(i, &mut rng),
+                        format!("d{t}-{i}"),
+                        b"x",
+                    );
+                    dc.register(&d).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(dc.registrations(), 200);
+    }
+}

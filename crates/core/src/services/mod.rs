@@ -1,0 +1,15 @@
+//! The D* service layer (§3.4): Data Catalog, Data Repository, Data
+//! Transfer and Data Scheduler. Services are plain state machines —
+//! "usually, programmers will not use directly the various D* services;
+//! instead they will use the API which in turn hides the complexity of
+//! internal protocols" (§3.1).
+
+pub mod catalog;
+pub mod repository;
+pub mod scheduler;
+pub mod transfer;
+
+pub use catalog::{DataCatalog, DbAccess};
+pub use repository::DataRepository;
+pub use scheduler::{DataScheduler, HostUid, ScheduledData, SyncReply, SyncRole};
+pub use transfer::{DataTransfer, TransferBuilder, TransferId, TransferReport, TransferState};

@@ -1,0 +1,654 @@
+//! The Data Scheduler (DS) service — Algorithm 1 of the paper.
+//!
+//! "The role of the DS service is to generate transfer orders according to
+//! the hosts' activity and data attributes" (§3.4.3). Reservoir hosts
+//! periodically synchronize, presenting their cache Δk; the scheduler
+//! returns the new cache Ψk. The host then deletes `Δk \ Ψk`, keeps
+//! `Δk ∩ Ψk`, and downloads `Ψk \ Δk`.
+//!
+//! This is a faithful transcription of Algorithm 1:
+//!
+//! * **Step 1** (cache validation): keep cached data that are still managed
+//!   (`∈ Θ`), whose absolute lifetime has not passed, and whose relative
+//!   lifetime reference still exists; refresh the owner set Ω for kept data.
+//! * **Step 2** (new assignments): first resolve affinity dependencies
+//!   (placement follows data already in the cache — and affinity "is
+//!   stronger than replica", §3.2), then fill missing replicas
+//!   (`replica = −1` means every host), stopping once `|Ψk \ Δk|` reaches
+//!   `MaxDataSchedule`.
+//!
+//!   (The paper's line 21 reads `Dj.replica < |Ω(Dj)|`, which would stop
+//!   replicating as soon as the first owner appears; from the surrounding
+//!   prose — "the runtime environment will schedule new data transfers to
+//!   hosts if the number of owners is less than the number of replica" —
+//!   the intended test is `|Ω(Dj)| < Dj.replica`, which is what we
+//!   implement.)
+//!
+//! Fault tolerance (§3.4.3 last paragraph): owner liveness is tracked by
+//! heartbeat timeouts (3 × the heartbeat period in §4.4). When an owner of
+//! *fault-tolerant* data dies it is removed from Ω, so the next synchronizing
+//! host picks the replica up; owners of non-fault-tolerant data stay listed
+//! ("the replica will be unavailable as long as the host is down").
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use bitdew_util::Auid;
+
+use crate::attr::DataAttributes;
+use crate::data::{Data, DataId};
+
+/// Identity of a reservoir/client host in the BitDew layer.
+pub type HostUid = Auid;
+
+/// How a synchronizing host participates in placement. The architecture
+/// splits volatile nodes into *clients* (ask for storage) and *reservoirs*
+/// (offer their local storage) — §3.1. Replica-driven placement only targets
+/// reservoirs; affinity-driven placement follows data wherever they are
+/// (results still flow to a client that pins the Collector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncRole {
+    /// Offers storage: receives replica- and affinity-driven assignments.
+    Reservoir,
+    /// Consumes storage: receives only affinity-driven assignments.
+    Client,
+}
+
+/// A datum under management, with its attribute set.
+#[derive(Debug, Clone)]
+pub struct ScheduledData {
+    /// The datum.
+    pub data: Data,
+    /// Its driving attributes.
+    pub attrs: DataAttributes,
+}
+
+/// Reply to a reservoir synchronization: the new cache Ψk, split the way the
+/// host consumes it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SyncReply {
+    /// Δk ∩ Ψk — cached data the host keeps.
+    pub keep: Vec<DataId>,
+    /// Δk \ Ψk — obsolete data the host can safely delete.
+    pub delete: Vec<DataId>,
+    /// Ψk \ Δk — new data the host must download.
+    pub download: Vec<(Data, DataAttributes)>,
+}
+
+/// The Data Scheduler state machine. Pure: time comes in through arguments,
+/// so the same code runs under the threaded clock and the simulator.
+pub struct DataScheduler {
+    /// Θ — managed data.
+    theta: BTreeMap<DataId, ScheduledData>,
+    /// Ω — owner sets (hosts believed to hold each datum).
+    owners: HashMap<DataId, BTreeSet<HostUid>>,
+    /// Pinned owners: host-declared ownership exempt from heartbeat eviction
+    /// (`ActiveData::pin`, §3.3).
+    pinned: HashMap<DataId, BTreeSet<HostUid>>,
+    /// Last synchronization instant per host (nanos).
+    last_seen: HashMap<HostUid, u64>,
+    /// Failure detection timeout (nanos) — 3 × heartbeat period in §4.4.
+    timeout: u64,
+    /// Cap on |Ψk \ Δk| per synchronization.
+    max_data_schedule: usize,
+    /// Data explicitly deleted; referenced by relative lifetimes.
+    deleted: HashSet<DataId>,
+}
+
+impl DataScheduler {
+    /// Scheduler with the given failure-detection timeout and per-sync
+    /// download cap.
+    pub fn new(timeout_nanos: u64, max_data_schedule: usize) -> DataScheduler {
+        DataScheduler {
+            theta: BTreeMap::new(),
+            owners: HashMap::new(),
+            pinned: HashMap::new(),
+            last_seen: HashMap::new(),
+            timeout: timeout_nanos,
+            max_data_schedule: max_data_schedule.max(1),
+            deleted: HashSet::new(),
+        }
+    }
+
+    /// `ActiveData::schedule` — put a datum under management.
+    pub fn schedule(&mut self, data: Data, attrs: DataAttributes) {
+        self.deleted.remove(&data.id);
+        self.owners.entry(data.id).or_default();
+        self.theta.insert(data.id, ScheduledData { data, attrs });
+    }
+
+    /// `ActiveData::pin` — declare that `host` owns `data` (e.g. the master
+    /// pinning the Collector, §5). Pinned owners are never evicted by the
+    /// failure detector.
+    pub fn pin(&mut self, data: DataId, host: HostUid) {
+        self.pinned.entry(data).or_default().insert(host);
+        self.owners.entry(data).or_default().insert(host);
+    }
+
+    /// Remove a datum from management. Its relative-lifetime dependents
+    /// become obsolete on their owners' next synchronization.
+    pub fn delete_data(&mut self, id: DataId) {
+        self.theta.remove(&id);
+        self.owners.remove(&id);
+        self.pinned.remove(&id);
+        self.deleted.insert(id);
+    }
+
+    /// Whether a datum is currently managed.
+    pub fn is_managed(&self, id: DataId) -> bool {
+        self.theta.contains_key(&id)
+    }
+
+    /// The managed data count |Θ|.
+    pub fn managed_count(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Current owner set Ω(d).
+    pub fn owners_of(&self, d: DataId) -> Vec<HostUid> {
+        self.owners.get(&d).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Hosts that have synchronized and not been declared dead.
+    pub fn known_hosts(&self) -> Vec<HostUid> {
+        let mut v: Vec<HostUid> = self.last_seen.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Attribute lookup for a managed datum.
+    pub fn attributes_of(&self, d: DataId) -> Option<&DataAttributes> {
+        self.theta.get(&d).map(|s| &s.attrs)
+    }
+
+    /// Algorithm 1: synchronize reservoir `host` presenting cache `delta_k`.
+    pub fn sync(&mut self, host: HostUid, delta_k: &[DataId], now: u64) -> SyncReply {
+        self.sync_as(host, delta_k, now, SyncRole::Reservoir)
+    }
+
+    /// [`DataScheduler::sync`] with an explicit host role.
+    pub fn sync_as(
+        &mut self,
+        host: HostUid,
+        delta_k: &[DataId],
+        now: u64,
+        role: SyncRole,
+    ) -> SyncReply {
+        self.last_seen.insert(host, now);
+        let delta: BTreeSet<DataId> = delta_k.iter().copied().collect();
+
+        // Expiry sweep: data whose lifetime has lapsed leave Θ entirely so
+        // step 2 can never re-schedule them (their cache copies are then
+        // swept out by step 1's membership check at each host's next sync).
+        let expired: Vec<DataId> = self
+            .theta
+            .iter()
+            .filter(|(_, sd)| {
+                let alive = |r: DataId| self.theta.contains_key(&r);
+                sd.attrs.lifetime.is_expired(now, alive)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            self.delete_data(id);
+        }
+
+        // Reconcile Ω with the report: the host no longer holds data missing
+        // from its cache (unless pinned). Step 2 may legitimately re-assign.
+        let pinned_here: HashSet<DataId> = self
+            .pinned
+            .iter()
+            .filter(|(_, hosts)| hosts.contains(&host))
+            .map(|(d, _)| *d)
+            .collect();
+        for (d, owners) in self.owners.iter_mut() {
+            if !delta.contains(d) && !pinned_here.contains(d) {
+                owners.remove(&host);
+            }
+        }
+
+        let mut reply = SyncReply::default();
+        let mut psi: BTreeSet<DataId> = BTreeSet::new();
+
+        // ---- Step 1: remove obsolete data from cache -------------------
+        for &d in &delta {
+            let keep = match self.theta.get(&d) {
+                None => false,
+                Some(sd) => {
+                    let alive = |r: DataId| self.theta.contains_key(&r);
+                    !sd.attrs.lifetime.is_expired(now, alive)
+                }
+            };
+            if keep {
+                psi.insert(d);
+                reply.keep.push(d);
+                // Refresh Ω for kept data (the algorithm does so for
+                // fault-tolerant data; refreshing unconditionally is the
+                // same steady state since non-ft owner sets are only pruned
+                // by the report reconciliation above).
+                self.owners.entry(d).or_default().insert(host);
+            } else {
+                reply.delete.push(d);
+            }
+        }
+
+        // ---- Step 2: add new data to the cache -------------------------
+        // Algorithm 1 runs one affinity pass (against Δk) and one replica
+        // pass. We iterate the two passes to their fixed point so that a
+        // datum assigned by the replica pass pulls its affinity-dependents
+        // in the *same* synchronization instead of the next heartbeat —
+        // identical steady state, one round sooner.
+        let candidates: Vec<DataId> =
+            self.theta.keys().copied().filter(|d| !psi.contains(d)).collect();
+        let mut new_count = 0usize;
+        loop {
+            let before = new_count;
+
+            // Affinity resolution first — affinity is stronger than replica.
+            for &dj in &candidates {
+                if new_count >= self.max_data_schedule {
+                    break;
+                }
+                if psi.contains(&dj) {
+                    continue;
+                }
+                let sd = &self.theta[&dj];
+                let Some(target) = sd.attrs.affinity else { continue };
+                if psi.contains(&target) {
+                    psi.insert(dj);
+                    reply.download.push((sd.data.clone(), sd.attrs.clone()));
+                    self.owners.entry(dj).or_default().insert(host);
+                    new_count += 1;
+                }
+            }
+
+            // Replica scheduling (reservoir hosts only).
+            for &dj in &candidates {
+                if role == SyncRole::Client {
+                    break;
+                }
+                if new_count >= self.max_data_schedule {
+                    break;
+                }
+                if psi.contains(&dj) {
+                    continue;
+                }
+                let sd = &self.theta[&dj];
+                // Affinity-carrying data only place via their dependency.
+                if sd.attrs.affinity.is_some() {
+                    continue;
+                }
+                let owner_count = self.owners.get(&dj).map(|s| s.len()).unwrap_or(0);
+                let wants_all = sd.attrs.replicate_everywhere();
+                if wants_all || (owner_count as i64) < sd.attrs.replica {
+                    psi.insert(dj);
+                    reply.download.push((sd.data.clone(), sd.attrs.clone()));
+                    self.owners.entry(dj).or_default().insert(host);
+                    new_count += 1;
+                }
+            }
+
+            if new_count == before || new_count >= self.max_data_schedule {
+                break;
+            }
+        }
+
+        reply
+    }
+
+    /// Heartbeat failure detection: hosts silent for longer than the timeout
+    /// are declared dead. Owners of fault-tolerant data are evicted from Ω
+    /// (so replicas get rescheduled); non-fault-tolerant owner entries stay.
+    /// Returns the hosts declared dead.
+    pub fn detect_failures(&mut self, now: u64) -> Vec<HostUid> {
+        let dead: Vec<HostUid> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &seen)| now.saturating_sub(seen) > self.timeout)
+            .map(|(&h, _)| h)
+            .collect();
+        for &h in &dead {
+            self.last_seen.remove(&h);
+            for (d, owners) in self.owners.iter_mut() {
+                let ft = self
+                    .theta
+                    .get(d)
+                    .map(|sd| sd.attrs.fault_tolerant)
+                    .unwrap_or(false);
+                let pinned = self
+                    .pinned
+                    .get(d)
+                    .map(|p| p.contains(&h))
+                    .unwrap_or(false);
+                if ft && !pinned {
+                    owners.remove(&h);
+                }
+            }
+        }
+        dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Lifetime;
+    use bitdew_transport::ProtocolId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const SEC: u64 = 1_000_000_000;
+
+    struct Fixture {
+        rng: SmallRng,
+        ds: DataScheduler,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            Fixture {
+                rng: SmallRng::seed_from_u64(99),
+                // 3 s timeout (3 × 1 s heartbeat), schedule cap 16.
+                ds: DataScheduler::new(3 * SEC, 16),
+            }
+        }
+
+        fn id(&mut self) -> Auid {
+            Auid::generate(1, &mut self.rng)
+        }
+
+        fn datum(&mut self, name: &str) -> Data {
+            let id = self.id();
+            Data::from_bytes(id, name, name.as_bytes())
+        }
+
+        fn host(&mut self) -> HostUid {
+            self.id()
+        }
+    }
+
+    fn ids(reply: &SyncReply) -> Vec<DataId> {
+        reply.download.iter().map(|(d, _)| d.id).collect()
+    }
+
+    #[test]
+    fn empty_scheduler_returns_empty_reply() {
+        let mut f = Fixture::new();
+        let h = f.host();
+        let reply = f.ds.sync(h, &[], 0);
+        assert_eq!(reply, SyncReply::default());
+    }
+
+    #[test]
+    fn replica_counts_are_respected() {
+        let mut f = Fixture::new();
+        let d = f.datum("twice");
+        f.ds.schedule(d.clone(), DataAttributes::default().with_replica(2));
+        let (h1, h2, h3) = (f.host(), f.host(), f.host());
+        assert_eq!(ids(&f.ds.sync(h1, &[], 0)), vec![d.id]);
+        assert_eq!(ids(&f.ds.sync(h2, &[], 0)), vec![d.id]);
+        // Third host: two owners already assigned.
+        assert!(ids(&f.ds.sync(h3, &[], 0)).is_empty());
+        assert_eq!(f.ds.owners_of(d.id).len(), 2);
+    }
+
+    #[test]
+    fn replica_all_goes_everywhere() {
+        let mut f = Fixture::new();
+        let d = f.datum("app");
+        f.ds.schedule(d.clone(), DataAttributes::default().with_replica(crate::attr::REPLICA_ALL));
+        for _ in 0..10 {
+            let h = f.host();
+            assert_eq!(ids(&f.ds.sync(h, &[], 0)), vec![d.id]);
+        }
+        assert_eq!(f.ds.owners_of(d.id).len(), 10);
+    }
+
+    #[test]
+    fn cached_data_is_kept_and_not_redownloaded() {
+        let mut f = Fixture::new();
+        let d = f.datum("keep");
+        f.ds.schedule(d.clone(), DataAttributes::default());
+        let h = f.host();
+        let first = f.ds.sync(h, &[], 0);
+        assert_eq!(ids(&first), vec![d.id]);
+        let second = f.ds.sync(h, &[d.id], SEC);
+        assert_eq!(second.keep, vec![d.id]);
+        assert!(second.download.is_empty());
+        assert!(second.delete.is_empty());
+    }
+
+    #[test]
+    fn unmanaged_cache_entries_are_deleted() {
+        let mut f = Fixture::new();
+        let ghost = f.id();
+        let h = f.host();
+        let reply = f.ds.sync(h, &[ghost], 0);
+        assert_eq!(reply.delete, vec![ghost]);
+    }
+
+    #[test]
+    fn absolute_lifetime_expires_data() {
+        let mut f = Fixture::new();
+        let d = f.datum("ttl");
+        f.ds.schedule(
+            d.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::Absolute(10 * SEC)),
+        );
+        let h = f.host();
+        assert_eq!(ids(&f.ds.sync(h, &[], 0)), vec![d.id]);
+        // Before expiry: kept. After: deleted.
+        assert_eq!(f.ds.sync(h, &[d.id], 5 * SEC).keep, vec![d.id]);
+        let after = f.ds.sync(h, &[d.id], 11 * SEC);
+        assert_eq!(after.delete, vec![d.id]);
+        assert!(after.keep.is_empty());
+    }
+
+    #[test]
+    fn relative_lifetime_follows_reference() {
+        // The §5 idiom: everything lives relative to the Collector; deleting
+        // the Collector obsoletes the remaining data.
+        let mut f = Fixture::new();
+        let collector = f.datum("collector");
+        let genebase = f.datum("genebase");
+        f.ds.schedule(collector.clone(), DataAttributes::default());
+        f.ds.schedule(
+            genebase.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::RelativeTo(collector.id)),
+        );
+        let h = f.host();
+        let r = f.ds.sync(h, &[], 0);
+        assert_eq!(r.download.len(), 2);
+        // Collector deleted → genebase expires at next sync.
+        f.ds.delete_data(collector.id);
+        let r2 = f.ds.sync(h, &[collector.id, genebase.id], SEC);
+        assert!(r2.delete.contains(&collector.id));
+        assert!(r2.delete.contains(&genebase.id));
+    }
+
+    #[test]
+    fn affinity_places_data_with_dependency() {
+        let mut f = Fixture::new();
+        let seq = f.datum("sequence");
+        let gene = f.datum("genebase");
+        f.ds.schedule(seq.clone(), DataAttributes::default().with_replica(1));
+        f.ds.schedule(
+            gene.clone(),
+            // replica=1 but affinity overrides: follows sequence everywhere.
+            DataAttributes::default().with_replica(1).with_affinity(seq.id),
+        );
+        let h1 = f.host();
+        let r1 = f.ds.sync(h1, &[], 0);
+        // Host gets the sequence (replica) AND the genebase (affinity).
+        let got = ids(&r1);
+        assert!(got.contains(&seq.id));
+        assert!(got.contains(&gene.id));
+        // A host without the sequence gets neither.
+        let h2 = f.host();
+        assert!(ids(&f.ds.sync(h2, &[], 0)).is_empty());
+    }
+
+    #[test]
+    fn affinity_is_stronger_than_replica() {
+        // §3.2: if B has affinity to A (replicated on rn nodes), B follows to
+        // all rn nodes regardless of B's replica value.
+        let mut f = Fixture::new();
+        let a = f.datum("a");
+        let b = f.datum("b");
+        f.ds.schedule(a.clone(), DataAttributes::default().with_replica(3));
+        f.ds.schedule(b.clone(), DataAttributes::default().with_replica(1).with_affinity(a.id));
+        let hosts: Vec<HostUid> = (0..3).map(|_| f.host()).collect();
+        for &h in &hosts {
+            let got = ids(&f.ds.sync(h, &[], 0));
+            assert!(got.contains(&a.id) && got.contains(&b.id), "b follows a to {h}");
+        }
+        assert_eq!(f.ds.owners_of(b.id).len(), 3);
+    }
+
+    #[test]
+    fn max_data_schedule_caps_downloads() {
+        let mut f = Fixture::new();
+        f.ds = DataScheduler::new(3 * SEC, 4);
+        for i in 0..10 {
+            let d = f.datum(&format!("d{i}"));
+            f.ds.schedule(d, DataAttributes::default());
+        }
+        let h = f.host();
+        let r = f.ds.sync(h, &[], 0);
+        assert_eq!(r.download.len(), 4, "capped at MaxDataSchedule");
+        // Next sync fetches more.
+        let cache: Vec<DataId> = ids(&r);
+        let r2 = f.ds.sync(h, &cache, SEC);
+        assert_eq!(r2.download.len(), 4);
+    }
+
+    #[test]
+    fn fault_tolerant_data_is_rescheduled_after_owner_death() {
+        let mut f = Fixture::new();
+        let d = f.datum("resilient");
+        f.ds.schedule(
+            d.clone(),
+            DataAttributes::default().with_replica(1).with_fault_tolerance(true),
+        );
+        let h1 = f.host();
+        assert_eq!(ids(&f.ds.sync(h1, &[], 0)), vec![d.id]);
+        f.ds.sync(h1, &[d.id], SEC); // h1 confirms ownership
+        // h1 goes silent; detector fires after 3 s.
+        let dead = f.ds.detect_failures(SEC + 4 * SEC);
+        assert_eq!(dead, vec![h1]);
+        assert!(f.ds.owners_of(d.id).is_empty());
+        // A fresh host picks the replica up.
+        let h2 = f.host();
+        assert_eq!(ids(&f.ds.sync(h2, &[], 6 * SEC)), vec![d.id]);
+    }
+
+    #[test]
+    fn non_fault_tolerant_data_is_not_rescheduled() {
+        let mut f = Fixture::new();
+        let d = f.datum("fragile");
+        f.ds.schedule(d.clone(), DataAttributes::default().with_replica(1));
+        let h1 = f.host();
+        f.ds.sync(h1, &[], 0);
+        f.ds.sync(h1, &[d.id], SEC);
+        let dead = f.ds.detect_failures(10 * SEC);
+        assert_eq!(dead, vec![h1]);
+        // Owner list unchanged → no second replica is scheduled.
+        assert_eq!(f.ds.owners_of(d.id), vec![h1]);
+        let h2 = f.host();
+        assert!(ids(&f.ds.sync(h2, &[], 11 * SEC)).is_empty());
+    }
+
+    #[test]
+    fn live_hosts_are_not_declared_dead() {
+        let mut f = Fixture::new();
+        let (h1, h2) = (f.host(), f.host());
+        f.ds.sync(h1, &[], 0);
+        f.ds.sync(h2, &[], 0);
+        f.ds.sync(h1, &[], 3 * SEC); // h1 heartbeats again
+        let dead = f.ds.detect_failures(4 * SEC);
+        assert_eq!(dead, vec![h2]);
+        assert_eq!(f.ds.known_hosts(), vec![h1]);
+    }
+
+    #[test]
+    fn pinned_data_survives_failure_detection() {
+        let mut f = Fixture::new();
+        let collector = f.datum("collector");
+        f.ds.schedule(
+            collector.clone(),
+            DataAttributes::default().with_replica(0).with_fault_tolerance(true),
+        );
+        let master = f.host();
+        f.ds.pin(collector.id, master);
+        assert_eq!(f.ds.owners_of(collector.id), vec![master]);
+        f.ds.sync(master, &[collector.id], 0);
+        f.ds.detect_failures(100 * SEC);
+        // Pinned ownership survives even though the master timed out.
+        assert_eq!(f.ds.owners_of(collector.id), vec![master]);
+    }
+
+    #[test]
+    fn host_dropping_data_releases_ownership() {
+        let mut f = Fixture::new();
+        let d = f.datum("dropped");
+        f.ds.schedule(d.clone(), DataAttributes::default().with_replica(1));
+        let h = f.host();
+        f.ds.sync(h, &[], 0);
+        f.ds.sync(h, &[d.id], SEC);
+        assert_eq!(f.ds.owners_of(d.id), vec![h]);
+        // Host reports an empty cache (it purged the datum): Ω reconciles,
+        // and the same sync immediately re-assigns (replica unmet).
+        let r = f.ds.sync(h, &[], 2 * SEC);
+        assert_eq!(ids(&r), vec![d.id]);
+    }
+
+    #[test]
+    fn delete_data_removes_from_management() {
+        let mut f = Fixture::new();
+        let d = f.datum("gone");
+        f.ds.schedule(d.clone(), DataAttributes::default());
+        assert!(f.ds.is_managed(d.id));
+        f.ds.delete_data(d.id);
+        assert!(!f.ds.is_managed(d.id));
+        assert_eq!(f.ds.managed_count(), 0);
+        let h = f.host();
+        let r = f.ds.sync(h, &[d.id], 0);
+        assert_eq!(r.delete, vec![d.id]);
+    }
+
+    #[test]
+    fn client_hosts_receive_affinity_but_not_replicas() {
+        let mut f = Fixture::new();
+        let anchor = f.datum("anchor");
+        let follower = f.datum("follower");
+        let loose = f.datum("loose");
+        f.ds.schedule(anchor.clone(), DataAttributes::default().with_replica(1));
+        f.ds.schedule(
+            follower.clone(),
+            DataAttributes::default().with_affinity(anchor.id),
+        );
+        f.ds.schedule(loose.clone(), DataAttributes::default().with_replica(5));
+        let client = f.host();
+        // Pin the anchor on the client so the affinity chain applies there.
+        f.ds.pin(anchor.id, client);
+        let r = f.ds.sync_as(client, &[anchor.id], 0, SyncRole::Client);
+        let got = ids(&r);
+        assert!(got.contains(&follower.id), "affinity still flows to clients");
+        assert!(!got.contains(&loose.id), "replica data skips clients");
+    }
+
+    #[test]
+    fn attributes_accessible() {
+        let mut f = Fixture::new();
+        let d = f.datum("q");
+        f.ds.schedule(
+            d.clone(),
+            DataAttributes::default().with_protocol(ProtocolId::bittorrent()),
+        );
+        assert_eq!(
+            f.ds.attributes_of(d.id).unwrap().protocol,
+            ProtocolId::bittorrent()
+        );
+        let missing = f.id();
+        assert!(f.ds.attributes_of(missing).is_none());
+    }
+}

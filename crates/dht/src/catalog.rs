@@ -1,0 +1,183 @@
+//! The Distributed Data Catalog (DDC) facade.
+//!
+//! §3.4.1: "information concerning data replica, that is data owned by
+//! volatile reservoir nodes, are not centrally managed by DC but instead by a
+//! Distributed Data Catalog (DDC) implemented on top of a DHT. For each data
+//! creation or data transfer to a volatile node, a new pair data
+//! identifier/host identifier is inserted in the DHT."
+//!
+//! [`DistributedCatalog`] is that exact interface over [`DhtOverlay`]: typed
+//! publish/lookup/unpublish of `(data AUID, host AUID)` pairs plus the
+//! generic key/value publishing the API section promises ("the DHT can be
+//! used for other generic purpose", §3.3). Each operation reports its hop
+//! count so callers — the simulator in particular — can charge routing
+//! latency (Table 3 turns exactly this into publish rates).
+
+use bitdew_util::Auid;
+use rand::Rng;
+
+use crate::id::{key_for_auid, key_for_bytes, RingPos};
+use crate::network::{DhtConfig, DhtError, DhtOverlay, Routed};
+
+/// Typed facade over the overlay for replica-location records.
+pub struct DistributedCatalog {
+    overlay: DhtOverlay,
+}
+
+impl DistributedCatalog {
+    /// Build a DDC of `nodes` participants.
+    pub fn new<R: Rng>(config: DhtConfig, nodes: usize, rng: &mut R) -> DistributedCatalog {
+        DistributedCatalog { overlay: crate::network::build_overlay(config, nodes, rng) }
+    }
+
+    /// Wrap an existing overlay.
+    pub fn from_overlay(overlay: DhtOverlay) -> DistributedCatalog {
+        DistributedCatalog { overlay }
+    }
+
+    /// Access the underlying overlay (membership, churn, healing).
+    pub fn overlay_mut(&mut self) -> &mut DhtOverlay {
+        &mut self.overlay
+    }
+
+    /// Members that can originate requests.
+    pub fn members(&self) -> Vec<RingPos> {
+        self.overlay.members()
+    }
+
+    /// Record that `host` owns a replica of `data`.
+    pub fn publish(
+        &mut self,
+        origin: RingPos,
+        data: Auid,
+        host: Auid,
+    ) -> Result<Routed<()>, DhtError> {
+        self.overlay.put(origin, key_for_auid(data), host.0.to_le_bytes().to_vec())
+    }
+
+    /// All hosts known to hold a replica of `data`.
+    pub fn lookup(
+        &mut self,
+        origin: RingPos,
+        data: Auid,
+    ) -> Result<Routed<Vec<Auid>>, DhtError> {
+        let routed = self.overlay.get(origin, key_for_auid(data))?;
+        let hosts = routed
+            .value
+            .iter()
+            .filter_map(|v| {
+                let arr: [u8; 16] = v.as_slice().try_into().ok()?;
+                Some(Auid(u128::from_le_bytes(arr)))
+            })
+            .collect();
+        Ok(Routed { value: hosts, route: routed.route })
+    }
+
+    /// Remove the record that `host` holds `data` (host left or cache
+    /// dropped the replica).
+    pub fn unpublish(
+        &mut self,
+        origin: RingPos,
+        data: Auid,
+        host: Auid,
+    ) -> Result<Routed<bool>, DhtError> {
+        self.overlay.remove(origin, key_for_auid(data), &host.0.to_le_bytes())
+    }
+
+    /// Generic publish of an arbitrary key/value pair (§3.3).
+    pub fn publish_raw(
+        &mut self,
+        origin: RingPos,
+        key: &[u8],
+        value: Vec<u8>,
+    ) -> Result<Routed<()>, DhtError> {
+        self.overlay.put(origin, key_for_bytes(key), value)
+    }
+
+    /// Generic lookup of an arbitrary key (§3.3).
+    pub fn lookup_raw(
+        &mut self,
+        origin: RingPos,
+        key: &[u8],
+    ) -> Result<Routed<Vec<Vec<u8>>>, DhtError> {
+        self.overlay.get(origin, key_for_bytes(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ddc(nodes: usize) -> (DistributedCatalog, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let c = DistributedCatalog::new(DhtConfig::default(), nodes, &mut rng);
+        (c, rng)
+    }
+
+    #[test]
+    fn publish_lookup_unpublish() {
+        let (mut c, mut rng) = ddc(40);
+        let origin = c.members()[0];
+        let data = Auid::generate(1, &mut rng);
+        let h1 = Auid::generate(2, &mut rng);
+        let h2 = Auid::generate(3, &mut rng);
+        c.publish(origin, data, h1).unwrap();
+        c.publish(origin, data, h2).unwrap();
+        let hosts = c.lookup(origin, data).unwrap().value;
+        assert_eq!(hosts.len(), 2);
+        assert!(hosts.contains(&h1) && hosts.contains(&h2));
+
+        assert!(c.unpublish(origin, data, h1).unwrap().value);
+        let hosts = c.lookup(origin, data).unwrap().value;
+        assert_eq!(hosts, vec![h2]);
+    }
+
+    #[test]
+    fn lookup_unknown_data_is_empty() {
+        let (mut c, mut rng) = ddc(10);
+        let origin = c.members()[0];
+        let data = Auid::generate(9, &mut rng);
+        assert!(c.lookup(origin, data).unwrap().value.is_empty());
+    }
+
+    #[test]
+    fn generic_key_value_space() {
+        let (mut c, _) = ddc(10);
+        let origin = c.members()[0];
+        c.publish_raw(origin, b"checkpoint:42", b"signature-a".to_vec()).unwrap();
+        c.publish_raw(origin, b"checkpoint:42", b"signature-b".to_vec()).unwrap();
+        let vals = c.lookup_raw(origin, b"checkpoint:42").unwrap().value;
+        assert_eq!(vals.len(), 2);
+        assert!(c.lookup_raw(origin, b"checkpoint:43").unwrap().value.is_empty());
+    }
+
+    #[test]
+    fn hop_accounting_exposed() {
+        let (mut c, mut rng) = ddc(100);
+        let origin = c.members()[0];
+        let data = Auid::generate(5, &mut rng);
+        let routed = c.publish(origin, data, Auid::generate(6, &mut rng)).unwrap();
+        // 100 nodes, arity 4 → expect around log_4(100) ≈ 3.3 hops.
+        assert!(routed.hops() <= 10, "hops = {}", routed.hops());
+        assert!(!routed.route.is_empty());
+    }
+
+    #[test]
+    fn survives_owner_crash() {
+        let (mut c, mut rng) = ddc(30);
+        let origin = c.members()[0];
+        let data = Auid::generate(1, &mut rng);
+        let host = Auid::generate(2, &mut rng);
+        c.publish(origin, data, host).unwrap();
+        let owner = {
+            let key = crate::id::key_for_auid(data);
+            c.overlay_mut().route(origin, key).unwrap().value
+        };
+        let survivor = c.members().into_iter().find(|&m| m != owner).unwrap();
+        c.overlay_mut().crash(owner);
+        let hosts = c.lookup(survivor, data).unwrap().value;
+        assert_eq!(hosts, vec![host], "replica served the lookup after owner crash");
+    }
+}

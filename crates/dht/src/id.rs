@@ -1,0 +1,188 @@
+//! Ring identifier arithmetic.
+//!
+//! The DHT organizes nodes on a circular 64-bit identifier space (the
+//! original BitDew used DKS, whose ring works like Chord's with k-ary
+//! search). All interval logic is clockwise ("between" wraps around zero),
+//! and all distances are clockwise distances.
+
+/// A position on the 2^64 ring (node ids and data keys share the space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RingPos(pub u64);
+
+impl RingPos {
+    /// Clockwise distance from `self` to `other` (0 when equal).
+    pub fn distance_to(&self, other: RingPos) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// Position at clockwise offset `d` from `self`.
+    pub fn offset(&self, d: u64) -> RingPos {
+        RingPos(self.0.wrapping_add(d))
+    }
+
+    /// True when `self` lies in the clockwise-open interval `(from, to]`.
+    /// An empty interval (`from == to`) is treated as the *full* ring, as in
+    /// Chord: a node whose successor is itself owns everything.
+    pub fn in_interval(&self, from: RingPos, to: RingPos) -> bool {
+        if from == to {
+            return true;
+        }
+        from.distance_to(*self) > 0 && from.distance_to(*self) <= from.distance_to(to)
+    }
+}
+
+impl std::fmt::Display for RingPos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Hash arbitrary bytes to a ring position (MD5-fold, matching the paper's
+/// checksum-based indexing remark in §2.2).
+pub fn key_for_bytes(bytes: &[u8]) -> RingPos {
+    RingPos(bitdew_util::md5::md5(bytes).fold64())
+}
+
+/// Ring position for an AUID (data identifiers).
+pub fn key_for_auid(id: bitdew_util::Auid) -> RingPos {
+    // Spread AUIDs (which embed timestamps in the high bits) uniformly by
+    // hashing, not folding, so the ring doesn't cluster by creation time.
+    key_for_bytes(&id.0.to_le_bytes())
+}
+
+/// Finger-target offsets for a k-ary routing table over a 2^64 ring.
+///
+/// DKS(N, k, f) resolves one base-k digit per hop: at level `l` the ring is
+/// divided into k intervals of width `2^64 / k^(l+1)`, and a node keeps
+/// `k - 1` fingers into the non-local intervals. For `k = 2` this degenerates
+/// to Chord's power-of-two fingers. Offsets below `min_offset` (coarser than
+/// any plausible inter-node gap) are dropped to bound table size.
+pub fn finger_offsets(arity: u32, min_offset: u64) -> Vec<u64> {
+    assert!(arity >= 2, "arity must be at least 2");
+    let mut offsets = Vec::new();
+    // Interval width starts at the full ring (2^64, computed in u128 so the
+    // division is exact) and divides by k per level.
+    let mut width: u128 = 1u128 << 64;
+    loop {
+        let sub = width / arity as u128;
+        if sub < min_offset as u128 || sub == 0 {
+            break;
+        }
+        for j in 1..arity as u128 {
+            offsets.push((sub * j) as u64);
+        }
+        width = sub;
+    }
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_wraps() {
+        assert_eq!(RingPos(10).distance_to(RingPos(20)), 10);
+        assert_eq!(RingPos(20).distance_to(RingPos(10)), u64::MAX - 9);
+        assert_eq!(RingPos(5).distance_to(RingPos(5)), 0);
+    }
+
+    #[test]
+    fn interval_membership() {
+        // Plain interval.
+        assert!(RingPos(15).in_interval(RingPos(10), RingPos(20)));
+        assert!(RingPos(20).in_interval(RingPos(10), RingPos(20)), "to is inclusive");
+        assert!(!RingPos(10).in_interval(RingPos(10), RingPos(20)), "from is exclusive");
+        assert!(!RingPos(25).in_interval(RingPos(10), RingPos(20)));
+        // Wrapping interval.
+        assert!(RingPos(2).in_interval(RingPos(u64::MAX - 5), RingPos(10)));
+        assert!(!RingPos(100).in_interval(RingPos(u64::MAX - 5), RingPos(10)));
+        // Degenerate interval = full ring.
+        assert!(RingPos(42).in_interval(RingPos(7), RingPos(7)));
+    }
+
+    #[test]
+    fn chord_fingers_are_powers_of_two() {
+        let offsets = finger_offsets(2, 1);
+        // 2^63, 2^62, ... down to 2^0 → 64 distinct offsets, all powers of 2.
+        assert!(offsets.contains(&(1u64 << 63)));
+        assert!(offsets.contains(&(1u64 << 62)));
+        assert!(offsets.contains(&1));
+        for w in offsets.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(offsets.len(), 64);
+        assert!(offsets.iter().all(|o| o.is_power_of_two()));
+    }
+
+    #[test]
+    fn kary_fingers_have_k_minus_1_per_level() {
+        let offsets = finger_offsets(4, 1u64 << 40);
+        // Each level contributes 3 fingers; widths divide by 4 per level,
+        // except the top level where 2·(2^62) and the level-down overlap is
+        // deduplicated (2^63 appears in both arity-4 level 0 and nowhere
+        // else here, so no dedup actually occurs for k=4).
+        assert!(offsets.len() % 3 == 0);
+        let top = 1u64 << 62;
+        assert!(offsets.contains(&top));
+        assert!(offsets.contains(&(top * 2)));
+        assert!(offsets.contains(&(top.wrapping_mul(3))));
+    }
+
+    #[test]
+    fn min_offset_bounds_table() {
+        let fine = finger_offsets(2, 1);
+        let coarse = finger_offsets(2, 1 << 48);
+        assert!(coarse.len() < fine.len());
+        assert!(coarse.iter().all(|&o| o >= 1 << 48));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_one_rejected() {
+        let _ = finger_offsets(1, 1);
+    }
+
+    #[test]
+    fn keys_spread() {
+        let a = key_for_bytes(b"data-1");
+        let b = key_for_bytes(b"data-2");
+        assert_ne!(a, b);
+        let ka = key_for_auid(bitdew_util::Auid(1));
+        let kb = key_for_auid(bitdew_util::Auid(2));
+        assert_ne!(ka, kb);
+    }
+
+    proptest! {
+        #[test]
+        fn interval_partition(from in any::<u64>(), to in any::<u64>(), x in any::<u64>()) {
+            // Every point is either in (from, to] or in (to, from], except
+            // boundary cases at from==to (full ring by convention).
+            prop_assume!(from != to);
+            let p = RingPos(x);
+            let in_ab = p.in_interval(RingPos(from), RingPos(to));
+            let in_ba = p.in_interval(RingPos(to), RingPos(from));
+            if x != from && x != to {
+                prop_assert!(in_ab ^ in_ba, "exactly one side must contain the point");
+            }
+        }
+
+        #[test]
+        fn distance_is_additive(a in any::<u64>(), d in any::<u64>()) {
+            let p = RingPos(a);
+            prop_assert_eq!(p.distance_to(p.offset(d)), d);
+        }
+
+        #[test]
+        fn offset_wraps_consistently(a in any::<u64>(), d1 in any::<u64>(), d2 in any::<u64>()) {
+            let p = RingPos(a);
+            prop_assert_eq!(
+                p.offset(d1).offset(d2),
+                p.offset(d1.wrapping_add(d2))
+            );
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-node DHT state: routing pointers and the local key/value store.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::id::RingPos;
+
+/// Values stored under a key (multi-valued: the DDC maps one data id to many
+/// owner host ids — §3.4.1 "a new pair data identifier/host identifier is
+/// inserted in the DHT" per replica).
+pub type ValueSet = BTreeSet<Vec<u8>>;
+
+/// One DHT participant.
+#[derive(Debug, Clone)]
+pub struct DhtNode {
+    /// Ring position (node identifier).
+    pub pos: RingPos,
+    /// Immediate predecessor (if known).
+    pub predecessor: Option<RingPos>,
+    /// Successor list, nearest first; length = replication factor `f`.
+    pub successors: Vec<RingPos>,
+    /// Finger table: `(target offset, node)` sorted by offset.
+    pub fingers: Vec<(u64, RingPos)>,
+    /// Local store: only keys this node owns or replicates.
+    pub store: BTreeMap<u64, ValueSet>,
+}
+
+impl DhtNode {
+    /// Fresh node with empty pointers and store.
+    pub fn new(pos: RingPos) -> DhtNode {
+        DhtNode {
+            pos,
+            predecessor: None,
+            successors: Vec::new(),
+            fingers: Vec::new(),
+            store: BTreeMap::new(),
+        }
+    }
+
+    /// First successor if any.
+    pub fn successor(&self) -> Option<RingPos> {
+        self.successors.first().copied()
+    }
+
+    /// Insert a value under `key` locally. Returns true if newly added.
+    pub fn store_value(&mut self, key: RingPos, value: Vec<u8>) -> bool {
+        self.store.entry(key.0).or_default().insert(value)
+    }
+
+    /// Values under `key` held locally.
+    pub fn get_values(&self, key: RingPos) -> Vec<Vec<u8>> {
+        self.store.get(&key.0).map(|s| s.iter().cloned().collect()).unwrap_or_default()
+    }
+
+    /// Remove one value under `key`; prunes the entry when it empties.
+    /// Returns true if the value was present.
+    pub fn remove_value(&mut self, key: RingPos, value: &[u8]) -> bool {
+        if let Some(set) = self.store.get_mut(&key.0) {
+            let removed = set.remove(value);
+            if set.is_empty() {
+                self.store.remove(&key.0);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Remove every key in this node's store that falls in `(from, to]`,
+    /// returning the removed entries (used when handing ownership to a
+    /// joining node).
+    pub fn split_range(&mut self, from: RingPos, to: RingPos) -> Vec<(u64, ValueSet)> {
+        let moving: Vec<u64> = self
+            .store
+            .keys()
+            .copied()
+            .filter(|&k| RingPos(k).in_interval(from, to))
+            .collect();
+        moving
+            .into_iter()
+            .map(|k| (k, self.store.remove(&k).expect("listed key present")))
+            .collect()
+    }
+
+    /// The finger whose node most closely precedes `key` clockwise from this
+    /// node, skipping nodes for which `alive` returns false. Falls back to
+    /// the first alive successor; `None` when everything known is dead.
+    pub fn closest_preceding(
+        &self,
+        key: RingPos,
+        alive: &dyn Fn(RingPos) -> bool,
+    ) -> Option<RingPos> {
+        // Scan fingers from farthest to nearest; a finger qualifies when it
+        // lies strictly between us and the key (so progress is guaranteed).
+        for &(_, node) in self.fingers.iter().rev() {
+            // `in_interval` includes `key` itself; that is fine — a node
+            // sitting exactly on the key is its owner.
+            if node != self.pos && node.in_interval(self.pos, key) && alive(node) {
+                return Some(node);
+            }
+        }
+        self.successors.iter().copied().find(|&s| alive(s) && s != self.pos)
+    }
+
+    /// Number of keys stored locally.
+    pub fn keys_stored(&self) -> usize {
+        self.store.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_get_multivalue() {
+        let mut n = DhtNode::new(RingPos(100));
+        assert!(n.store_value(RingPos(5), b"host-a".to_vec()));
+        assert!(n.store_value(RingPos(5), b"host-b".to_vec()));
+        assert!(!n.store_value(RingPos(5), b"host-a".to_vec()), "duplicate");
+        let vals = n.get_values(RingPos(5));
+        assert_eq!(vals.len(), 2);
+        assert!(n.get_values(RingPos(6)).is_empty());
+    }
+
+    #[test]
+    fn remove_prunes_empty_entries() {
+        let mut n = DhtNode::new(RingPos(100));
+        n.store_value(RingPos(5), b"v".to_vec());
+        assert!(n.remove_value(RingPos(5), b"v"));
+        assert!(!n.remove_value(RingPos(5), b"v"));
+        assert_eq!(n.keys_stored(), 0);
+    }
+
+    #[test]
+    fn split_range_moves_owned_interval() {
+        let mut n = DhtNode::new(RingPos(100));
+        for k in [10u64, 20, 30, 40] {
+            n.store_value(RingPos(k), b"v".to_vec());
+        }
+        // Hand over (15, 35].
+        let moved = n.split_range(RingPos(15), RingPos(35));
+        let keys: Vec<u64> = moved.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![20, 30]);
+        assert_eq!(n.keys_stored(), 2);
+    }
+
+    #[test]
+    fn closest_preceding_skips_dead_nodes() {
+        let mut n = DhtNode::new(RingPos(0));
+        n.fingers = vec![(100, RingPos(100)), (200, RingPos(200)), (300, RingPos(300))];
+        n.successors = vec![RingPos(50)];
+        let target = RingPos(250);
+        // All alive: farthest qualifying finger is 200.
+        let all = |_: RingPos| true;
+        assert_eq!(n.closest_preceding(target, &all), Some(RingPos(200)));
+        // 200 dead → falls back to 100.
+        let dead200 = |p: RingPos| p != RingPos(200);
+        assert_eq!(n.closest_preceding(target, &dead200), Some(RingPos(100)));
+        // Everything dead → successor dead too → None.
+        let none = |_: RingPos| false;
+        assert_eq!(n.closest_preceding(target, &none), None);
+    }
+
+    #[test]
+    fn closest_preceding_never_overshoots() {
+        let mut n = DhtNode::new(RingPos(0));
+        n.fingers = vec![(100, RingPos(100)), (300, RingPos(300))];
+        n.successors = vec![RingPos(100)];
+        // Key at 200: finger 300 is beyond it, must pick 100.
+        let all = |_: RingPos| true;
+        assert_eq!(n.closest_preceding(RingPos(200), &all), Some(RingPos(100)));
+    }
+}

@@ -1,0 +1,294 @@
+//! Data-driven master/worker framework (§5).
+//!
+//! "In contrast [to classical MW], the data-driven approach followed by
+//! BitDew implies that data are first scheduled to hosts. The programmer
+//! do[es] not have to code explicitly the data movement from host to host,
+//! neither to manage fault tolerance. Programming the master or the worker
+//! consists in operating on data and attributes and reacting on data copy."
+//!
+//! [`MwMaster`] owns a pinned *Collector*; task inputs are scheduled with
+//! `fault tolerance = true` and results carry `affinity = Collector`, so the
+//! runtime routes them home automatically. [`MwWorker`] installs an
+//! `onDataCopy` handler that runs the compute function when a task input
+//! lands and publishes the result. Shared payloads (the application binary,
+//! reference databases) ride separate attributes chosen by the caller.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use bitdew_core::{
+    BitdewNode, CallbackHandler, Data, DataAttributes, DataId, Lifetime,
+};
+use bitdew_transport::TransportResult;
+
+/// Name prefix identifying task inputs.
+pub const TASK_PREFIX: &str = "mw.task.";
+/// Name prefix identifying task results.
+pub const RESULT_PREFIX: &str = "mw.result.";
+
+/// The master side: creates tasks, pins the collector, gathers results.
+pub struct MwMaster {
+    node: Arc<BitdewNode>,
+    collector: Data,
+    results: Arc<Mutex<Vec<(String, Vec<u8>)>>>,
+    submitted: Mutex<HashSet<DataId>>,
+}
+
+impl MwMaster {
+    /// Set up the master on `node`: creates and pins the Collector and
+    /// installs the result-gathering handler.
+    pub fn new(node: Arc<BitdewNode>) -> TransportResult<MwMaster> {
+        let collector = node.create_slot("mw.collector", 0)?;
+        node.schedule(&collector, DataAttributes::default().with_replica(0))?;
+        node.pin(&collector, DataAttributes::default());
+
+        let results: Arc<Mutex<Vec<(String, Vec<u8>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&results);
+        let store = node.local_store();
+        node.add_callback(CallbackHandler::new().on_copy(move |data, _attrs| {
+            if data.name.starts_with(RESULT_PREFIX) {
+                let len = data.size as usize;
+                if let Ok(bytes) = store.read_at(&data.object_name(), 0, len) {
+                    sink.lock().push((data.name.clone(), bytes.to_vec()));
+                }
+            }
+        }));
+        Ok(MwMaster { node, collector, results, submitted: Mutex::new(HashSet::new()) })
+    }
+
+    /// The collector datum (results carry affinity to it; give shared data a
+    /// lifetime relative to it for automatic cleanup, §5).
+    pub fn collector(&self) -> &Data {
+        &self.collector
+    }
+
+    /// Publish a shared payload (application binary, reference database)
+    /// with the given attributes.
+    pub fn share(
+        &self,
+        name: &str,
+        content: &[u8],
+        attrs: DataAttributes,
+    ) -> TransportResult<Data> {
+        let data = self.node.create_data(name, content)?;
+        self.node.put(&data, content)?;
+        // Shared data die with the collector unless the caller said otherwise.
+        let attrs = match attrs.lifetime {
+            Lifetime::Unbounded => attrs.with_lifetime(Lifetime::RelativeTo(self.collector.id)),
+            _ => attrs,
+        };
+        self.node.schedule(&data, attrs)?;
+        Ok(data)
+    }
+
+    /// Submit one task: its input is scheduled fault-tolerant with
+    /// `replica = 1`, so a crashed worker's task is re-run elsewhere.
+    pub fn submit(&self, task_name: &str, input: &[u8]) -> TransportResult<Data> {
+        let name = format!("{TASK_PREFIX}{task_name}");
+        let data = self.node.create_data(&name, input)?;
+        self.node.put(&data, input)?;
+        self.node.schedule(
+            &data,
+            DataAttributes::default()
+                .with_replica(1)
+                .with_fault_tolerance(true)
+                .with_lifetime(Lifetime::RelativeTo(self.collector.id)),
+        )?;
+        self.submitted.lock().insert(data.id);
+        Ok(data)
+    }
+
+    /// Results gathered so far, as `(result name, payload)`.
+    pub fn results(&self) -> Vec<(String, Vec<u8>)> {
+        self.results.lock().clone()
+    }
+
+    /// Drive the master until `expected` results arrived or `timeout`
+    /// elapsed. Returns whether the count was reached.
+    pub fn collect(&self, expected: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.node.sync_once();
+            if self.results.lock().len() >= expected {
+                return true;
+            }
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Tear down: deleting the collector obsoletes every datum whose
+    /// lifetime is relative to it — "once the user decides that he has
+    /// finished his work, he can safely delete the Collector" (§5).
+    pub fn finish(&self) -> TransportResult<()> {
+        self.node.delete(&self.collector)
+    }
+}
+
+/// The compute function a worker runs: `(task name, input) → result bytes`.
+pub type ComputeFn = Arc<dyn Fn(&str, &[u8]) -> Vec<u8> + Send + Sync>;
+
+/// The worker side: reacts to task arrivals, computes, publishes results.
+pub struct MwWorker {
+    node: Arc<BitdewNode>,
+    computed: Arc<Mutex<u32>>,
+}
+
+impl MwWorker {
+    /// Attach worker behaviour to `node`. `collector` is the master's
+    /// collector datum id (results get affinity to it).
+    pub fn attach(node: Arc<BitdewNode>, collector: DataId, compute: ComputeFn) -> MwWorker {
+        let computed = Arc::new(Mutex::new(0u32));
+        let counter = Arc::clone(&computed);
+        let n2 = Arc::clone(&node);
+        node.add_callback(CallbackHandler::new().on_copy(move |data, _attrs| {
+            if !data.name.starts_with(TASK_PREFIX) {
+                return;
+            }
+            let task_name = &data.name[TASK_PREFIX.len()..];
+            let input = n2
+                .local_store()
+                .read_at(&data.object_name(), 0, data.size as usize)
+                .map(|b| b.to_vec())
+                .unwrap_or_default();
+            let output = compute(task_name, &input);
+            // Publish the result with affinity to the collector; the
+            // scheduler routes it to wherever the collector is pinned.
+            let rname = format!("{RESULT_PREFIX}{task_name}");
+            if let Ok(result) = n2.create_data(&rname, &output) {
+                let _ = n2.put(&result, &output);
+                let _ = n2.schedule(
+                    &result,
+                    DataAttributes::default()
+                        .with_affinity(collector)
+                        .with_lifetime(Lifetime::RelativeTo(collector)),
+                );
+            }
+            *counter.lock() += 1;
+        }));
+        MwWorker { node, computed }
+    }
+
+    /// Tasks computed by this worker.
+    pub fn computed(&self) -> u32 {
+        *self.computed.lock()
+    }
+
+    /// The underlying node (for heartbeat control).
+    pub fn node(&self) -> &Arc<BitdewNode> {
+        &self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitdew_core::{RuntimeConfig, ServiceContainer};
+
+    fn harness(workers: usize) -> (MwMaster, Vec<MwWorker>, Vec<Arc<BitdewNode>>) {
+        let c = ServiceContainer::start(RuntimeConfig::default());
+        // The master is a *client*: it pins the collector and receives
+        // affinity-routed results, but replica placement skips it.
+        let master_node = BitdewNode::new_client(Arc::clone(&c));
+        let master = MwMaster::new(Arc::clone(&master_node)).unwrap();
+        let compute: ComputeFn =
+            Arc::new(|name, input| format!("{name}:{}", input.len()).into_bytes());
+        let mut ws = Vec::new();
+        let mut nodes = vec![master_node];
+        for _ in 0..workers {
+            let node = BitdewNode::new(Arc::clone(&c));
+            ws.push(MwWorker::attach(
+                Arc::clone(&node),
+                master.collector().id,
+                Arc::clone(&compute),
+            ));
+            nodes.push(node);
+        }
+        (master, ws, nodes)
+    }
+
+    fn pump_until<F: Fn() -> bool>(nodes: &[Arc<BitdewNode>], done: F, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        while !done() && Instant::now() < deadline {
+            for n in nodes {
+                n.sync_once();
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn single_task_roundtrip() {
+        let (master, workers, nodes) = harness(1);
+        master.submit("t1", b"payload").unwrap();
+        pump_until(&nodes, || !master.results().is_empty(), Duration::from_secs(15));
+        let results = master.results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, format!("{RESULT_PREFIX}t1"));
+        assert_eq!(results[0].1, b"t1:7".to_vec());
+        assert_eq!(workers[0].computed(), 1);
+    }
+
+    #[test]
+    fn tasks_spread_over_workers() {
+        let (master, workers, nodes) = harness(3);
+        for i in 0..6 {
+            master.submit(&format!("t{i}"), &vec![0u8; 100 + i]).unwrap();
+        }
+        pump_until(&nodes, || master.results().len() >= 6, Duration::from_secs(30));
+        assert_eq!(master.results().len(), 6);
+        let total: u32 = workers.iter().map(|w| w.computed()).sum();
+        assert_eq!(total, 6);
+        // replica=1 tasks must not be double-executed.
+        let mut names: Vec<String> = master.results().iter().map(|(n, _)| n.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn shared_data_reaches_all_workers() {
+        let (master, _workers, nodes) = harness(2);
+        let shared = master
+            .share(
+                "mw.app",
+                b"binary",
+                DataAttributes::default().with_replica(bitdew_core::REPLICA_ALL),
+            )
+            .unwrap();
+        pump_until(
+            &nodes,
+            || nodes[1..].iter().all(|n| n.has_cached(shared.id)),
+            Duration::from_secs(15),
+        );
+        for n in &nodes[1..] {
+            assert!(n.has_cached(shared.id));
+        }
+    }
+
+    #[test]
+    fn finish_purges_relative_lifetimes() {
+        let (master, _workers, nodes) = harness(1);
+        let shared = master
+            .share("mw.db", b"reference", DataAttributes::default().with_replica(1))
+            .unwrap();
+        pump_until(
+            &nodes,
+            || nodes[1].has_cached(shared.id),
+            Duration::from_secs(15),
+        );
+        assert!(nodes[1].has_cached(shared.id));
+        master.finish().unwrap();
+        pump_until(
+            &nodes,
+            || !nodes[1].has_cached(shared.id),
+            Duration::from_secs(15),
+        );
+        assert!(!nodes[1].has_cached(shared.id), "collector deletion cascades");
+    }
+}

@@ -1,0 +1,277 @@
+//! Host volatility (churn) injection.
+//!
+//! Desktop Grid nodes "can join and leave the network at any time" (§2.1).
+//! Experiments drive churn two ways:
+//!
+//! * a scripted [`ChurnPlan`] — Fig. 4 kills one data owner every 20 seconds
+//!   and starts a fresh node at the same instant;
+//! * random churn with exponential session/offline times, for stress tests.
+//!
+//! Churn is applied through a [`ChurnDriver`] that flips host state in the
+//! [`HostPool`], disables the host's endpoints in the [`FlowNet`] (failing
+//! in-flight transfers), and invokes a user listener so higher layers (the
+//! reservoir agents in `bitdew-core`) can react.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::engine::Sim;
+use crate::host::{HostId, HostPool, HostState};
+use crate::net::FlowNet;
+use crate::time::{SimDuration, SimTime};
+
+/// One scripted churn action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// When the action fires.
+    pub at: SimTime,
+    /// Target host.
+    pub host: HostId,
+    /// Desired state.
+    pub state: HostState,
+}
+
+/// A scripted sequence of churn actions.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnPlan {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// Empty plan.
+    pub fn new() -> ChurnPlan {
+        ChurnPlan { events: Vec::new() }
+    }
+
+    /// Schedule a crash.
+    pub fn kill(&mut self, at: SimTime, host: HostId) -> &mut Self {
+        self.events.push(ChurnEvent { at, host, state: HostState::Down });
+        self
+    }
+
+    /// Schedule an arrival / restart.
+    pub fn start(&mut self, at: SimTime, host: HostId) -> &mut Self {
+        self.events.push(ChurnEvent { at, host, state: HostState::Up });
+        self
+    }
+
+    /// The scripted events, in insertion order.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Generate random churn for `hosts` over `[0, horizon]`: exponential
+    /// up-sessions with mean `mean_session` followed by exponential downtime
+    /// with mean `mean_downtime`.
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        hosts: &[HostId],
+        horizon: SimTime,
+        mean_session: SimDuration,
+        mean_downtime: SimDuration,
+    ) -> ChurnPlan {
+        let mut plan = ChurnPlan::new();
+        let exp = |rng: &mut R, mean: f64| -> f64 {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            -mean * u.ln()
+        };
+        for &h in hosts {
+            let mut t = exp(rng, mean_session.as_secs_f64());
+            loop {
+                let down_at = SimTime::from_secs_f64(t);
+                if down_at >= horizon {
+                    break;
+                }
+                plan.kill(down_at, h);
+                t += exp(rng, mean_downtime.as_secs_f64());
+                let up_at = SimTime::from_secs_f64(t);
+                if up_at >= horizon {
+                    break;
+                }
+                plan.start(up_at, h);
+                t += exp(rng, mean_session.as_secs_f64());
+            }
+        }
+        plan
+    }
+}
+
+/// Listener invoked after each applied churn action.
+pub type ChurnListener = Box<dyn FnMut(&mut Sim, ChurnEvent)>;
+
+/// Applies churn to the pool + network and notifies a listener.
+pub struct ChurnDriver {
+    pool: Rc<RefCell<HostPool>>,
+    net: FlowNet,
+    listener: Rc<RefCell<Option<ChurnListener>>>,
+}
+
+impl ChurnDriver {
+    /// New driver over a shared pool and network.
+    pub fn new(pool: Rc<RefCell<HostPool>>, net: FlowNet) -> ChurnDriver {
+        ChurnDriver { pool, net, listener: Rc::new(RefCell::new(None)) }
+    }
+
+    /// Install the listener (replaces any previous one).
+    pub fn set_listener(&self, l: ChurnListener) {
+        *self.listener.borrow_mut() = Some(l);
+    }
+
+    /// Schedule every event of `plan` into the simulator.
+    pub fn install(&self, sim: &mut Sim, plan: &ChurnPlan) {
+        for ev in plan.events().iter().copied() {
+            let pool = Rc::clone(&self.pool);
+            let net = self.net.clone();
+            let listener = Rc::clone(&self.listener);
+            sim.schedule_at(ev.at, move |sim| {
+                let prev = pool.borrow_mut().set_state(ev.host, ev.state, sim.now());
+                if prev != ev.state {
+                    net.set_host_enabled(sim, ev.host, ev.state == HostState::Up);
+                    // Take the listener out while invoking so it may reenter.
+                    let taken = listener.borrow_mut().take();
+                    if let Some(mut l) = taken {
+                        l(sim, ev);
+                        let mut slot = listener.borrow_mut();
+                        if slot.is_none() {
+                            *slot = Some(l);
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostSpec;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn pool_with(n: usize) -> (Rc<RefCell<HostPool>>, FlowNet, Vec<HostId>) {
+        let mut pool = HostPool::new();
+        let ids: Vec<HostId> =
+            (0..n).map(|i| pool.add(HostSpec::gigabit(format!("n{i}"), "c"))).collect();
+        let net = FlowNet::new();
+        for &id in &ids {
+            let h = pool.get(id).spec.clone();
+            net.add_host(id, h.up_bw, h.down_bw);
+        }
+        (Rc::new(RefCell::new(pool)), net, ids)
+    }
+
+    #[test]
+    fn scripted_plan_applies_in_order() {
+        let (pool, net, ids) = pool_with(2);
+        let mut sim = Sim::new(0);
+        let mut plan = ChurnPlan::new();
+        plan.kill(SimTime::from_secs(20), ids[0]);
+        plan.start(SimTime::from_secs(40), ids[0]);
+        plan.kill(SimTime::from_secs(60), ids[1]);
+
+        let driver = ChurnDriver::new(Rc::clone(&pool), net);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = Rc::clone(&seen);
+        driver.set_listener(Box::new(move |sim, ev| {
+            seen2.borrow_mut().push((sim.now().as_secs_f64(), ev.host, ev.state));
+        }));
+        driver.install(&mut sim, &plan);
+        sim.run();
+        assert_eq!(
+            *seen.borrow(),
+            vec![
+                (20.0, ids[0], HostState::Down),
+                (40.0, ids[0], HostState::Up),
+                (60.0, ids[1], HostState::Down),
+            ]
+        );
+        assert!(pool.borrow().is_up(ids[0]));
+        assert!(!pool.borrow().is_up(ids[1]));
+    }
+
+    #[test]
+    fn redundant_transitions_are_suppressed() {
+        let (pool, net, ids) = pool_with(1);
+        let mut sim = Sim::new(0);
+        let mut plan = ChurnPlan::new();
+        plan.start(SimTime::from_secs(5), ids[0]); // already up
+        plan.kill(SimTime::from_secs(10), ids[0]);
+        plan.kill(SimTime::from_secs(15), ids[0]); // already down
+
+        let driver = ChurnDriver::new(Rc::clone(&pool), net);
+        let count = Rc::new(RefCell::new(0));
+        let c2 = Rc::clone(&count);
+        driver.set_listener(Box::new(move |_, _| *c2.borrow_mut() += 1));
+        driver.install(&mut sim, &plan);
+        sim.run();
+        assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn churn_kills_inflight_flows() {
+        let (pool, net, ids) = pool_with(2);
+        let mut sim = Sim::new(0);
+        let failed = Rc::new(RefCell::new(false));
+        let f2 = Rc::clone(&failed);
+        net.start_flow(
+            &mut sim,
+            ids[0],
+            ids[1],
+            1e12,
+            SimDuration::ZERO,
+            Box::new(move |_, out| {
+                *f2.borrow_mut() = matches!(out, crate::net::FlowOutcome::Failed { .. });
+            }),
+        );
+        let mut plan = ChurnPlan::new();
+        plan.kill(SimTime::from_secs(1), ids[1]);
+        let driver = ChurnDriver::new(Rc::clone(&pool), net);
+        driver.install(&mut sim, &plan);
+        sim.run();
+        assert!(*failed.borrow());
+    }
+
+    #[test]
+    fn random_plan_alternates_states_per_host() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hosts: Vec<HostId> = (0..5).map(HostId).collect();
+        let plan = ChurnPlan::random(
+            &mut rng,
+            &hosts,
+            SimTime::from_secs(10_000),
+            SimDuration::from_secs(500),
+            SimDuration::from_secs(100),
+        );
+        assert!(!plan.events().is_empty());
+        for &h in &hosts {
+            let mut expect_down = true;
+            let mut evs: Vec<&ChurnEvent> =
+                plan.events().iter().filter(|e| e.host == h).collect();
+            evs.sort_by_key(|e| e.at);
+            for e in evs {
+                let want = if expect_down { HostState::Down } else { HostState::Up };
+                assert_eq!(e.state, want, "host {h} alternates");
+                expect_down = !expect_down;
+            }
+        }
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_per_seed() {
+        let hosts: Vec<HostId> = (0..3).map(HostId).collect();
+        let mk = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            ChurnPlan::random(
+                &mut rng,
+                &hosts,
+                SimTime::from_secs(1000),
+                SimDuration::from_secs(100),
+                SimDuration::from_secs(50),
+            )
+        };
+        assert_eq!(mk(1).events(), mk(1).events());
+    }
+}

@@ -1,0 +1,336 @@
+//! The discrete-event simulation kernel.
+//!
+//! [`Sim`] owns a virtual clock, a priority queue of scheduled events, and a
+//! deterministic seeded RNG. Events are boxed `FnOnce(&mut Sim)` closures;
+//! components that need persistent state live behind `Rc<RefCell<...>>`
+//! handles captured by their event closures (the conventional single-threaded
+//! DES pattern in Rust — see e.g. the `desim`/SimGrid designs).
+//!
+//! Determinism contract: two runs with the same seed and the same sequence of
+//! schedule calls produce identical event orders. Ties in time are broken by
+//! schedule order (a monotone sequence number), never by allocation order.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Token identifying a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+/// Event closures receive the simulator so they can read the clock, schedule
+/// further events and draw randomness.
+pub type EventFn = Box<dyn FnOnce(&mut Sim)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    f: EventFn,
+}
+
+// Order by (time, sequence); BinaryHeap is a max-heap so we wrap in Reverse
+// at the call sites.
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulation kernel.
+pub struct Sim {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    executed: u64,
+    /// Deterministic randomness for the whole simulation.
+    pub rng: SmallRng,
+}
+
+impl Sim {
+    /// New simulator with the given RNG seed.
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            executed: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled tombstones).
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` to run at absolute time `at`. Events scheduled in the past
+    /// run "now" (at the current clock value) but never move time backwards.
+    pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: SimTime, f: F) -> EventToken {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, f: Box::new(f) }));
+        EventToken(seq)
+    }
+
+    /// Schedule `f` to run after `delay`.
+    pub fn schedule_in<F: FnOnce(&mut Sim) + 'static>(
+        &mut self,
+        delay: SimDuration,
+        f: F,
+    ) -> EventToken {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that already
+    /// ran (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled.insert(token.0);
+    }
+
+    /// Run until the queue is exhausted. Returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::INFINITY)
+    }
+
+    /// Run events with `at <= deadline`; the clock is left at the last event
+    /// executed (or advanced to `deadline` if it is finite and the queue
+    /// drained earlier than that).
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "time must be monotone");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.f)(self);
+        }
+        if deadline != SimTime::INFINITY && self.now < deadline {
+            self.now = deadline;
+        }
+        self.now
+    }
+
+    /// Execute exactly one event if any is pending; returns whether one ran.
+    pub fn step(&mut self) -> bool {
+        loop {
+            match self.queue.pop() {
+                None => return false,
+                Some(Reverse(ev)) => {
+                    if self.cancelled.remove(&ev.seq) {
+                        continue;
+                    }
+                    self.now = ev.at.max(self.now);
+                    self.executed += 1;
+                    (ev.f)(self);
+                    return true;
+                }
+            }
+        }
+    }
+}
+
+/// Install a recurring event firing every `period`, starting at
+/// `start` (absolute). The closure returns `true` to keep the timer alive and
+/// `false` to stop. Recurring timers drive the heartbeat loops of reservoir
+/// hosts and the DT transfer monitor in the simulated runtime.
+pub fn every<F>(sim: &mut Sim, start: SimTime, period: SimDuration, f: F)
+where
+    F: FnMut(&mut Sim) -> bool + 'static,
+{
+    fn arm<F>(sim: &mut Sim, at: SimTime, period: SimDuration, mut f: F)
+    where
+        F: FnMut(&mut Sim) -> bool + 'static,
+    {
+        sim.schedule_at(at, move |sim| {
+            if f(sim) {
+                let next = sim.now() + period;
+                arm(sim, next, period, f);
+            }
+        });
+    }
+    arm(sim, start, period, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (t, tag) in [(5u64, 'b'), (1, 'a'), (9, 'c')] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_secs(t), move |sim| {
+                log.borrow_mut().push((sim.now().as_secs_f64(), tag));
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![(1.0, 'a'), (5.0, 'b'), (9.0, 'c')]);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut sim = Sim::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..10 {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_secs(1), move |_| log.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_events_run_at_current_time() {
+        let mut sim = Sim::new(0);
+        let seen = Rc::new(RefCell::new(SimTime::ZERO));
+        sim.schedule_at(SimTime::from_secs(10), {
+            let seen = Rc::clone(&seen);
+            move |sim| {
+                // Scheduling "in the past" clamps to now.
+                let seen = Rc::clone(&seen);
+                sim.schedule_at(SimTime::from_secs(3), move |sim| {
+                    *seen.borrow_mut() = sim.now();
+                });
+            }
+        });
+        sim.run();
+        assert_eq!(*seen.borrow(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut sim = Sim::new(0);
+        let hits = Rc::new(RefCell::new(0));
+        let h = Rc::clone(&hits);
+        let tok = sim.schedule_at(SimTime::from_secs(1), move |_| *h.borrow_mut() += 1);
+        let h2 = Rc::clone(&hits);
+        sim.schedule_at(SimTime::from_secs(2), move |_| *h2.borrow_mut() += 10);
+        sim.cancel(tok);
+        sim.run();
+        assert_eq!(*hits.borrow(), 10);
+        // Double-cancel and cancel-after-run are no-ops.
+        sim.cancel(tok);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Sim::new(0);
+        let hits = Rc::new(RefCell::new(0));
+        for t in [1u64, 2, 3, 10] {
+            let h = Rc::clone(&hits);
+            sim.schedule_at(SimTime::from_secs(t), move |_| *h.borrow_mut() += 1);
+        }
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(*hits.borrow(), 3);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert_eq!(sim.events_pending(), 1);
+        sim.run();
+        assert_eq!(*hits.borrow(), 4);
+    }
+
+    #[test]
+    fn step_executes_single_event() {
+        let mut sim = Sim::new(0);
+        let hits = Rc::new(RefCell::new(0));
+        for _ in 0..3 {
+            let h = Rc::clone(&hits);
+            sim.schedule_in(SimDuration::from_secs(1), move |_| *h.borrow_mut() += 1);
+        }
+        assert!(sim.step());
+        assert_eq!(*hits.borrow(), 1);
+        assert!(sim.step());
+        assert!(sim.step());
+        assert!(!sim.step());
+    }
+
+    #[test]
+    fn recurring_timer_fires_until_stopped() {
+        let mut sim = Sim::new(0);
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = Rc::clone(&hits);
+        every(&mut sim, SimTime::from_secs(1), SimDuration::from_secs(1), move |_| {
+            *h.borrow_mut() += 1;
+            *h.borrow() < 5
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), 5);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_draws() {
+        use rand::Rng;
+        let draws = |seed: u64| -> Vec<u64> {
+            let mut sim = Sim::new(seed);
+            let out = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..5 {
+                let out = Rc::clone(&out);
+                sim.schedule_in(SimDuration::from_secs(1), move |sim| {
+                    out.borrow_mut().push(sim.rng.gen::<u64>());
+                });
+            }
+            sim.run();
+            let v = out.borrow().clone();
+            v
+        };
+        assert_eq!(draws(42), draws(42));
+        assert_ne!(draws(42), draws(43));
+    }
+
+    #[test]
+    fn nested_scheduling_from_events() {
+        let mut sim = Sim::new(0);
+        let total = Rc::new(RefCell::new(0u64));
+        fn chain(sim: &mut Sim, total: Rc<RefCell<u64>>, depth: u32) {
+            if depth == 0 {
+                return;
+            }
+            sim.schedule_in(SimDuration::from_millis(100), move |sim| {
+                *total.borrow_mut() += 1;
+                chain(sim, total, depth - 1);
+            });
+        }
+        chain(&mut sim, Rc::clone(&total), 100);
+        sim.run();
+        assert_eq!(*total.borrow(), 100);
+        assert_eq!(sim.now(), SimTime::from_millis(100 * 100));
+    }
+}

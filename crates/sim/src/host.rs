@@ -1,0 +1,227 @@
+//! Simulated hosts.
+//!
+//! A host models one machine of the experimental testbed: its access-link
+//! bandwidth (the flow network's per-endpoint capacities), a relative compute
+//! speed (Table 1's clusters mix 1.6 GHz Xeons with 2.0/2.4 GHz Opterons, and
+//! Fig. 6 shows per-cluster execution-time differences), and an up/down state
+//! driven by churn. BitDew's service nodes are "stable" hosts; reservoir and
+//! client hosts are "volatile" (§3.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Index of a host within a [`HostPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// Convenience accessor for indexing.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// Whether the host is reachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HostState {
+    /// Host is alive and exchanging heartbeats.
+    Up,
+    /// Host has crashed or left; volatile-node fault model (§3.1).
+    Down,
+}
+
+/// Host roles as the paper's architecture divides the world (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HostRole {
+    /// Stable node running D* services; transient-fault model.
+    Service,
+    /// Volatile node offering local storage ("reservoir host").
+    Reservoir,
+    /// Volatile node consuming storage ("client host").
+    Client,
+}
+
+/// Static description of a host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Human-readable name (e.g. `gdx-17`, `DSL03`).
+    pub name: String,
+    /// Cluster / site the host belongs to (used by Fig. 6's breakdown).
+    pub cluster: String,
+    /// Uplink capacity, bytes/second.
+    pub up_bw: f64,
+    /// Downlink capacity, bytes/second.
+    pub down_bw: f64,
+    /// Relative compute speed (1.0 = reference 2.0 GHz Opteron 246).
+    pub compute_factor: f64,
+    /// Role in the BitDew architecture.
+    pub role: HostRole,
+}
+
+impl HostSpec {
+    /// A 1 Gbps cluster node with reference CPU speed.
+    pub fn gigabit(name: impl Into<String>, cluster: impl Into<String>) -> HostSpec {
+        HostSpec {
+            name: name.into(),
+            cluster: cluster.into(),
+            up_bw: 125.0e6,
+            down_bw: 125.0e6,
+            compute_factor: 1.0,
+            role: HostRole::Reservoir,
+        }
+    }
+
+    /// Builder-style role override.
+    pub fn with_role(mut self, role: HostRole) -> HostSpec {
+        self.role = role;
+        self
+    }
+
+    /// Builder-style compute-speed override.
+    pub fn with_compute(mut self, factor: f64) -> HostSpec {
+        self.compute_factor = factor;
+        self
+    }
+
+    /// Builder-style bandwidth override (bytes/second).
+    pub fn with_bandwidth(mut self, up: f64, down: f64) -> HostSpec {
+        self.up_bw = up;
+        self.down_bw = down;
+        self
+    }
+}
+
+/// A host plus its dynamic state.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Static description.
+    pub spec: HostSpec,
+    /// Current reachability.
+    pub state: HostState,
+    /// When the state last changed (for session-length accounting).
+    pub state_since: SimTime,
+}
+
+/// The set of simulated hosts.
+#[derive(Debug, Default)]
+pub struct HostPool {
+    hosts: Vec<Host>,
+}
+
+impl HostPool {
+    /// Empty pool.
+    pub fn new() -> HostPool {
+        HostPool { hosts: Vec::new() }
+    }
+
+    /// Register a host; returns its id. Hosts start `Up`.
+    pub fn add(&mut self, spec: HostSpec) -> HostId {
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(Host { spec, state: HostState::Up, state_since: SimTime::ZERO });
+        id
+    }
+
+    /// Number of hosts (up or down).
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when no host is registered.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Immutable access.
+    pub fn get(&self, id: HostId) -> &Host {
+        &self.hosts[id.index()]
+    }
+
+    /// Host state transition; returns the previous state.
+    pub fn set_state(&mut self, id: HostId, state: HostState, now: SimTime) -> HostState {
+        let h = &mut self.hosts[id.index()];
+        let prev = h.state;
+        if prev != state {
+            h.state = state;
+            h.state_since = now;
+        }
+        prev
+    }
+
+    /// True if the host is currently up.
+    pub fn is_up(&self, id: HostId) -> bool {
+        self.get(id).state == HostState::Up
+    }
+
+    /// Iterate over `(id, host)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (HostId, &Host)> {
+        self.hosts.iter().enumerate().map(|(i, h)| (HostId(i as u32), h))
+    }
+
+    /// Ids of all hosts currently up.
+    pub fn up_hosts(&self) -> Vec<HostId> {
+        self.iter().filter(|(_, h)| h.state == HostState::Up).map(|(id, _)| id).collect()
+    }
+
+    /// Ids of all hosts in a given cluster.
+    pub fn cluster_hosts(&self, cluster: &str) -> Vec<HostId> {
+        self.iter().filter(|(_, h)| h.spec.cluster == cluster).map(|(id, _)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut pool = HostPool::new();
+        let a = pool.add(HostSpec::gigabit("n0", "c0"));
+        let b = pool.add(HostSpec::gigabit("n1", "c1").with_compute(1.2));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.get(a).spec.name, "n0");
+        assert_eq!(pool.get(b).spec.compute_factor, 1.2);
+        assert!(pool.is_up(a));
+    }
+
+    #[test]
+    fn state_transitions_record_time() {
+        let mut pool = HostPool::new();
+        let a = pool.add(HostSpec::gigabit("n0", "c0"));
+        let prev = pool.set_state(a, HostState::Down, SimTime::from_secs(20));
+        assert_eq!(prev, HostState::Up);
+        assert!(!pool.is_up(a));
+        assert_eq!(pool.get(a).state_since, SimTime::from_secs(20));
+        // Setting the same state does not touch the timestamp.
+        pool.set_state(a, HostState::Down, SimTime::from_secs(30));
+        assert_eq!(pool.get(a).state_since, SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn filters() {
+        let mut pool = HostPool::new();
+        let a = pool.add(HostSpec::gigabit("n0", "gdx"));
+        let b = pool.add(HostSpec::gigabit("n1", "gdx"));
+        let c = pool.add(HostSpec::gigabit("n2", "grelon"));
+        pool.set_state(b, HostState::Down, SimTime::ZERO);
+        assert_eq!(pool.up_hosts(), vec![a, c]);
+        assert_eq!(pool.cluster_hosts("gdx"), vec![a, b]);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let s = HostSpec::gigabit("x", "y")
+            .with_role(HostRole::Service)
+            .with_bandwidth(1e6, 2e6);
+        assert_eq!(s.role, HostRole::Service);
+        assert_eq!(s.up_bw, 1e6);
+        assert_eq!(s.down_bw, 2e6);
+    }
+}

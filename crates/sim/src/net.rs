@@ -1,0 +1,742 @@
+//! Flow-level network model with max-min fair bandwidth sharing.
+//!
+//! Instead of simulating packets, a transfer is a *flow* with a byte count;
+//! concurrent flows share the endpoints' access links under max-min fairness,
+//! computed by progressive filling (the same fluid model SimGrid validated
+//! against real Grid'5000 transfers). This is the level of detail the paper's
+//! evaluation needs: Fig. 3a's FTP curves are exactly "N flows share one
+//! server uplink", and the server-side control traffic of Fig. 3b/3c is a
+//! capacity reservation on the same uplink.
+//!
+//! Each host contributes two resources: its uplink and its downlink. A flow
+//! from `a` to `b` consumes one share of `a.up` and one share of `b.down`.
+//! Loopback flows (`a == a`) consume both of `a`'s directions, modelling a
+//! local copy through the NIC-less path at `min(up, down)`.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::engine::{EventToken, Sim};
+use crate::host::HostId;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a flow within a [`FlowNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(u64);
+
+/// Terminal outcome of a flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowOutcome {
+    /// All bytes arrived; reports the effective duration and mean rate.
+    Completed {
+        /// When the last byte arrived.
+        finished_at: SimTime,
+        /// Total bytes moved.
+        bytes: f64,
+        /// Transfer duration including any startup latency.
+        duration: SimDuration,
+        /// Mean achieved rate in bytes/second.
+        avg_rate: f64,
+    },
+    /// The flow was aborted (host crash or explicit cancellation).
+    Failed {
+        /// Why the flow stopped.
+        reason: FlowFailure,
+        /// Bytes moved before the abort.
+        bytes_done: f64,
+    },
+}
+
+/// Reason a flow failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowFailure {
+    /// Source host went down.
+    SourceDown,
+    /// Destination host went down.
+    DestinationDown,
+    /// Cancelled by the caller.
+    Cancelled,
+}
+
+/// Completion callback: invoked once, outside any internal borrow, so it may
+/// freely start new flows.
+pub type FlowCallback = Box<dyn FnOnce(&mut Sim, FlowOutcome)>;
+
+struct Endpoint {
+    up: f64,
+    down: f64,
+    reserved_up: f64,
+    reserved_down: f64,
+    enabled: bool,
+}
+
+struct Flow {
+    src: HostId,
+    dst: HostId,
+    bytes: f64,
+    remaining: f64,
+    rate: f64,
+    started: SimTime,
+    callback: Option<FlowCallback>,
+}
+
+struct Inner {
+    endpoints: HashMap<HostId, Endpoint>,
+    flows: HashMap<u64, Flow>,
+    next_flow: u64,
+    last_update: SimTime,
+    pump_token: Option<EventToken>,
+    /// Completed-bytes accounting for utilization reports.
+    bytes_delivered: f64,
+}
+
+/// Handle to the shared flow network. Clone freely; all clones refer to the
+/// same underlying state.
+#[derive(Clone)]
+pub struct FlowNet {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for FlowNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowNet {
+    /// Empty network.
+    pub fn new() -> FlowNet {
+        FlowNet {
+            inner: Rc::new(RefCell::new(Inner {
+                endpoints: HashMap::new(),
+                flows: HashMap::new(),
+                next_flow: 0,
+                last_update: SimTime::ZERO,
+                pump_token: None,
+                bytes_delivered: 0.0,
+            })),
+        }
+    }
+
+    /// Register a host with its access-link capacities (bytes/second).
+    pub fn add_host(&self, host: HostId, up: f64, down: f64) {
+        self.inner.borrow_mut().endpoints.insert(
+            host,
+            Endpoint { up, down, reserved_up: 0.0, reserved_down: 0.0, enabled: true },
+        );
+    }
+
+    /// Reserve uplink bandwidth on a host (e.g. for protocol control
+    /// traffic); pass 0 to clear. Reservation is clamped to the capacity.
+    pub fn reserve_up(&self, sim: &mut Sim, host: HostId, bytes_per_sec: f64) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let now = sim.now();
+            inner.advance(now);
+            if let Some(ep) = inner.endpoints.get_mut(&host) {
+                ep.reserved_up = bytes_per_sec.clamp(0.0, ep.up);
+            }
+            inner.recompute();
+        }
+        self.reschedule(sim);
+    }
+
+    /// Start a flow of `bytes` from `src` to `dst` after `latency`. The
+    /// callback fires exactly once with the flow's outcome.
+    pub fn start_flow(
+        &self,
+        sim: &mut Sim,
+        src: HostId,
+        dst: HostId,
+        bytes: f64,
+        latency: SimDuration,
+        callback: FlowCallback,
+    ) -> FlowId {
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            let id = inner.next_flow;
+            inner.next_flow += 1;
+            id
+        };
+        if latency > SimDuration::ZERO {
+            let net = self.clone();
+            sim.schedule_in(latency, move |sim| {
+                net.insert_flow(sim, id, src, dst, bytes, callback);
+            });
+        } else {
+            self.insert_flow(sim, id, src, dst, bytes, callback);
+        }
+        FlowId(id)
+    }
+
+    fn insert_flow(
+        &self,
+        sim: &mut Sim,
+        id: u64,
+        src: HostId,
+        dst: HostId,
+        bytes: f64,
+        callback: FlowCallback,
+    ) {
+        let now = sim.now();
+        let mut immediate: Option<(FlowCallback, FlowOutcome)> = None;
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.advance(now);
+            let src_up = inner.endpoints.get(&src).map(|e| e.enabled).unwrap_or(false);
+            let dst_up = inner.endpoints.get(&dst).map(|e| e.enabled).unwrap_or(false);
+            if !src_up || !dst_up {
+                let reason =
+                    if !src_up { FlowFailure::SourceDown } else { FlowFailure::DestinationDown };
+                immediate = Some((callback, FlowOutcome::Failed { reason, bytes_done: 0.0 }));
+            } else if bytes <= 0.0 {
+                immediate = Some((
+                    callback,
+                    FlowOutcome::Completed {
+                        finished_at: now,
+                        bytes: 0.0,
+                        duration: SimDuration::ZERO,
+                        avg_rate: 0.0,
+                    },
+                ));
+            } else {
+                inner.flows.insert(
+                    id,
+                    Flow {
+                        src,
+                        dst,
+                        bytes,
+                        remaining: bytes,
+                        rate: 0.0,
+                        started: now,
+                        callback: Some(callback),
+                    },
+                );
+                inner.recompute();
+            }
+        }
+        if let Some((cb, outcome)) = immediate {
+            cb(sim, outcome);
+        } else {
+            self.reschedule(sim);
+        }
+    }
+
+    /// Abort a flow. No-op if it already finished.
+    pub fn cancel_flow(&self, sim: &mut Sim, flow: FlowId) {
+        let cb = {
+            let mut inner = self.inner.borrow_mut();
+            let now = sim.now();
+            inner.advance(now);
+            let removed = inner.flows.remove(&flow.0);
+            if removed.is_some() {
+                inner.recompute();
+            }
+            removed.map(|mut f| {
+                (f.callback.take().expect("callback present"), f.bytes - f.remaining)
+            })
+        };
+        if let Some((cb, done)) = cb {
+            cb(sim, FlowOutcome::Failed { reason: FlowFailure::Cancelled, bytes_done: done });
+            self.reschedule(sim);
+        }
+    }
+
+    /// Bring a host up or down. Downing a host fails every flow that touches
+    /// it; the affected callbacks run with `SourceDown`/`DestinationDown`.
+    pub fn set_host_enabled(&self, sim: &mut Sim, host: HostId, enabled: bool) {
+        let mut fired: Vec<(FlowCallback, FlowOutcome)> = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            let now = sim.now();
+            inner.advance(now);
+            if let Some(ep) = inner.endpoints.get_mut(&host) {
+                ep.enabled = enabled;
+            }
+            if !enabled {
+                let dead: Vec<u64> = inner
+                    .flows
+                    .iter()
+                    .filter(|(_, f)| f.src == host || f.dst == host)
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in dead {
+                    let mut f = inner.flows.remove(&id).expect("listed");
+                    let reason = if f.src == host {
+                        FlowFailure::SourceDown
+                    } else {
+                        FlowFailure::DestinationDown
+                    };
+                    fired.push((
+                        f.callback.take().expect("callback present"),
+                        FlowOutcome::Failed { reason, bytes_done: f.bytes - f.remaining },
+                    ));
+                }
+            }
+            inner.recompute();
+        }
+        for (cb, outcome) in fired {
+            cb(sim, outcome);
+        }
+        self.reschedule(sim);
+    }
+
+    /// Current rate of a flow in bytes/second (None once finished).
+    pub fn flow_rate(&self, flow: FlowId) -> Option<f64> {
+        self.inner.borrow().flows.get(&flow.0).map(|f| f.rate)
+    }
+
+    /// Number of in-flight flows.
+    pub fn active_flows(&self) -> usize {
+        self.inner.borrow().flows.len()
+    }
+
+    /// Total bytes delivered by completed or partial flows so far.
+    pub fn bytes_delivered(&self) -> f64 {
+        self.inner.borrow().bytes_delivered
+    }
+
+    /// Re-derive the next completion event. Called after any state change.
+    fn reschedule(&self, sim: &mut Sim) {
+        let (token, next) = {
+            let mut inner = self.inner.borrow_mut();
+            let token = inner.pump_token.take();
+            (token, inner.next_completion())
+        };
+        if let Some(tok) = token {
+            sim.cancel(tok);
+        }
+        if let Some(at) = next {
+            let net = self.clone();
+            let tok = sim.schedule_at(at, move |sim| net.pump(sim));
+            self.inner.borrow_mut().pump_token = Some(tok);
+        }
+    }
+
+    /// Advance progress to `now`, deliver finished flows, reschedule.
+    fn pump(&self, sim: &mut Sim) {
+        let mut done: Vec<(FlowCallback, FlowOutcome)> = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.pump_token = None;
+            let now = sim.now();
+            inner.advance(now);
+            let finished: Vec<u64> = inner
+                .flows
+                .iter()
+                .filter(|(_, f)| f.remaining <= 1e-6)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in finished {
+                let mut f = inner.flows.remove(&id).expect("listed");
+                let duration = now - f.started;
+                let secs = duration.as_secs_f64();
+                let avg = if secs > 0.0 { f.bytes / secs } else { f64::INFINITY };
+                done.push((
+                    f.callback.take().expect("callback present"),
+                    FlowOutcome::Completed {
+                        finished_at: now,
+                        bytes: f.bytes,
+                        duration,
+                        avg_rate: avg,
+                    },
+                ));
+            }
+            if !done.is_empty() {
+                inner.recompute();
+            }
+        }
+        for (cb, outcome) in done {
+            cb(sim, outcome);
+        }
+        self.reschedule(sim);
+    }
+}
+
+impl Inner {
+    /// Accrue `rate × dt` progress on every flow.
+    fn advance(&mut self, now: SimTime) {
+        let dt = (now - self.last_update).as_secs_f64();
+        self.last_update = now;
+        if dt <= 0.0 {
+            return;
+        }
+        for f in self.flows.values_mut() {
+            let moved = (f.rate * dt).min(f.remaining);
+            f.remaining -= moved;
+            self.bytes_delivered += moved;
+            // Completion epsilon scales with the flow size: f64 accumulation
+            // error on a multi-gigabyte flow dwarfs an absolute 1e-6.
+            if f.remaining < (f.bytes * 1e-9).max(1e-6) {
+                self.bytes_delivered += f.remaining;
+                f.remaining = 0.0;
+            }
+        }
+    }
+
+    /// Max-min fair allocation via progressive filling.
+    fn recompute(&mut self) {
+        if self.flows.is_empty() {
+            return;
+        }
+        // Resource key: (host, is_uplink).
+        #[derive(PartialEq, Eq, Hash, Clone, Copy)]
+        struct Res(HostId, bool);
+
+        let mut capacity: HashMap<Res, f64> = HashMap::new();
+        let mut members: HashMap<Res, Vec<u64>> = HashMap::new();
+        let mut unfrozen: HashMap<Res, usize> = HashMap::new();
+
+        for (&id, flow) in &self.flows {
+            for res in [Res(flow.src, true), Res(flow.dst, false)] {
+                let ep = &self.endpoints[&res.0];
+                let cap = if !ep.enabled {
+                    0.0
+                } else if res.1 {
+                    (ep.up - ep.reserved_up).max(0.0)
+                } else {
+                    (ep.down - ep.reserved_down).max(0.0)
+                };
+                capacity.entry(res).or_insert(cap);
+                members.entry(res).or_default().push(id);
+                *unfrozen.entry(res).or_insert(0) += 1;
+            }
+        }
+
+        let mut frozen: HashMap<u64, f64> = HashMap::with_capacity(self.flows.len());
+        while frozen.len() < self.flows.len() {
+            // Bottleneck: resource with the smallest fair share.
+            let (&res, _) = match capacity
+                .iter()
+                .filter(|(r, _)| unfrozen.get(r).copied().unwrap_or(0) > 0)
+                .min_by(|(ra, ca), (rb, cb)| {
+                    let sa = **ca / unfrozen[ra] as f64;
+                    let sb = **cb / unfrozen[rb] as f64;
+                    sa.partial_cmp(&sb).expect("capacities are finite")
+                }) {
+                Some(kv) => kv,
+                None => break,
+            };
+            let share = capacity[&res] / unfrozen[&res] as f64;
+            let flow_ids: Vec<u64> = members[&res].clone();
+            for fid in flow_ids {
+                if frozen.contains_key(&fid) {
+                    continue;
+                }
+                frozen.insert(fid, share);
+                let f = &self.flows[&fid];
+                for other in [Res(f.src, true), Res(f.dst, false)] {
+                    if other != res {
+                        if let Some(c) = capacity.get_mut(&other) {
+                            *c = (*c - share).max(0.0);
+                        }
+                        if let Some(u) = unfrozen.get_mut(&other) {
+                            *u = u.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+            capacity.insert(res, 0.0);
+            unfrozen.insert(res, 0);
+        }
+
+        for (id, f) in self.flows.iter_mut() {
+            f.rate = frozen.get(id).copied().unwrap_or(0.0);
+        }
+    }
+
+    /// Earliest completion time across flows with positive rate. Clamped to
+    /// at least 1 ns in the future: a sub-nanosecond residue must still move
+    /// the clock, or the pump would re-fire at the same instant forever.
+    fn next_completion(&self) -> Option<SimTime> {
+        self.flows
+            .values()
+            .filter(|f| f.rate > 0.0)
+            .map(|f| {
+                let d = SimDuration::from_secs_f64(f.remaining / f.rate);
+                self.last_update + SimDuration(d.0.max(1))
+            })
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn collect() -> (Rc<RefCell<Vec<FlowOutcome>>>, impl Fn() -> FlowCallback) {
+        let log: Rc<RefCell<Vec<FlowOutcome>>> = Rc::new(RefCell::new(Vec::new()));
+        let mk = {
+            let log = Rc::clone(&log);
+            move || -> FlowCallback {
+                let log = Rc::clone(&log);
+                Box::new(move |_sim: &mut Sim, out: FlowOutcome| log.borrow_mut().push(out))
+            }
+        };
+        (log, mk)
+    }
+
+    fn finish_time(out: &FlowOutcome) -> f64 {
+        match out {
+            FlowOutcome::Completed { finished_at, .. } => finished_at.as_secs_f64(),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_flow_bottleneck_is_min_of_links() {
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        let a = HostId(0);
+        let b = HostId(1);
+        net.add_host(a, 100.0, 1000.0);
+        net.add_host(b, 1000.0, 50.0); // b's downlink is the bottleneck
+        let (log, mk) = collect();
+        net.start_flow(&mut sim, a, b, 500.0, SimDuration::ZERO, mk());
+        sim.run();
+        assert_eq!(log.borrow().len(), 1);
+        assert!((finish_time(&log.borrow()[0]) - 10.0).abs() < 1e-9); // 500B / 50B/s
+    }
+
+    #[test]
+    fn n_flows_share_server_uplink_fairly() {
+        // The Fig. 3a FTP situation: one server, N clients, server uplink is
+        // the bottleneck; completion time scales with N.
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        let server = HostId(0);
+        net.add_host(server, 100.0, 100.0);
+        let (log, mk) = collect();
+        for i in 1..=4u32 {
+            let c = HostId(i);
+            net.add_host(c, 1000.0, 1000.0);
+            net.start_flow(&mut sim, server, c, 100.0, SimDuration::ZERO, mk());
+        }
+        sim.run();
+        // 4 flows × 100 B over a 100 B/s uplink → all complete at t=4.
+        assert_eq!(log.borrow().len(), 4);
+        for out in log.borrow().iter() {
+            assert!((finish_time(out) - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn freed_bandwidth_is_redistributed() {
+        // Two flows share a 100 B/s uplink; the short one finishes and the
+        // long one accelerates. 50B + 150B: phase 1 both at 50 B/s until t=1
+        // (short done), then long runs at 100 B/s for its remaining 100B.
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        let s = HostId(0);
+        net.add_host(s, 100.0, 100.0);
+        let c1 = HostId(1);
+        let c2 = HostId(2);
+        net.add_host(c1, 1000.0, 1000.0);
+        net.add_host(c2, 1000.0, 1000.0);
+        let (log, mk) = collect();
+        net.start_flow(&mut sim, s, c1, 50.0, SimDuration::ZERO, mk());
+        net.start_flow(&mut sim, s, c2, 150.0, SimDuration::ZERO, mk());
+        sim.run();
+        let times: Vec<f64> = log.borrow().iter().map(finish_time).collect();
+        assert!((times[0] - 1.0).abs() < 1e-9, "short flow at t=1, got {}", times[0]);
+        assert!((times[1] - 2.0).abs() < 1e-9, "long flow at t=2, got {}", times[1]);
+    }
+
+    #[test]
+    fn heterogeneous_clients_get_max_min_shares() {
+        // Server 100 B/s; client A capped at 10 B/s downlink, client B fast.
+        // Max-min: A gets 10, B gets 90.
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        let s = HostId(0);
+        let a = HostId(1);
+        let b = HostId(2);
+        net.add_host(s, 100.0, 100.0);
+        net.add_host(a, 1000.0, 10.0);
+        net.add_host(b, 1000.0, 1000.0);
+        let (_log, mk) = collect();
+        let fa = net.start_flow(&mut sim, s, a, 1000.0, SimDuration::ZERO, mk());
+        let fb = net.start_flow(&mut sim, s, b, 1000.0, SimDuration::ZERO, mk());
+        assert!((net.flow_rate(fa).unwrap() - 10.0).abs() < 1e-9);
+        assert!((net.flow_rate(fb).unwrap() - 90.0).abs() < 1e-9);
+        sim.run();
+    }
+
+    #[test]
+    fn latency_delays_start() {
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        let a = HostId(0);
+        let b = HostId(1);
+        net.add_host(a, 100.0, 100.0);
+        net.add_host(b, 100.0, 100.0);
+        let (log, mk) = collect();
+        net.start_flow(&mut sim, a, b, 100.0, SimDuration::from_secs(5), mk());
+        sim.run();
+        assert!((finish_time(&log.borrow()[0]) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_down_fails_flows() {
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        let a = HostId(0);
+        let b = HostId(1);
+        net.add_host(a, 100.0, 100.0);
+        net.add_host(b, 100.0, 100.0);
+        let (log, mk) = collect();
+        net.start_flow(&mut sim, a, b, 1000.0, SimDuration::ZERO, mk());
+        let net2 = net.clone();
+        sim.schedule_at(SimTime::from_secs(2), move |sim| {
+            net2.set_host_enabled(sim, HostId(1), false);
+        });
+        sim.run();
+        let outcomes = log.borrow().clone();
+        match &outcomes[0] {
+            FlowOutcome::Failed { reason, bytes_done } => {
+                assert_eq!(*reason, FlowFailure::DestinationDown);
+                assert!((bytes_done - 200.0).abs() < 1e-6, "2s at 100 B/s, got {bytes_done}");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn starting_flow_to_down_host_fails_immediately() {
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        let a = HostId(0);
+        let b = HostId(1);
+        net.add_host(a, 100.0, 100.0);
+        net.add_host(b, 100.0, 100.0);
+        net.set_host_enabled(&mut sim, b, false);
+        let (log, mk) = collect();
+        net.start_flow(&mut sim, a, b, 100.0, SimDuration::ZERO, mk());
+        assert!(matches!(
+            log.borrow()[0],
+            FlowOutcome::Failed { reason: FlowFailure::DestinationDown, .. }
+        ));
+    }
+
+    #[test]
+    fn cancel_flow_reports_partial_bytes() {
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        let a = HostId(0);
+        let b = HostId(1);
+        net.add_host(a, 100.0, 100.0);
+        net.add_host(b, 100.0, 100.0);
+        let (log, mk) = collect();
+        let fid = net.start_flow(&mut sim, a, b, 1000.0, SimDuration::ZERO, mk());
+        let net2 = net.clone();
+        sim.schedule_at(SimTime::from_secs(3), move |sim| {
+            net2.cancel_flow(sim, fid);
+        });
+        sim.run();
+        let outcomes = log.borrow().clone();
+        match &outcomes[0] {
+            FlowOutcome::Failed { reason: FlowFailure::Cancelled, bytes_done } => {
+                assert!((bytes_done - 300.0).abs() < 1e-6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reservation_shrinks_capacity() {
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        let a = HostId(0);
+        let b = HostId(1);
+        net.add_host(a, 100.0, 100.0);
+        net.add_host(b, 1000.0, 1000.0);
+        net.reserve_up(&mut sim, a, 40.0);
+        let (log, mk) = collect();
+        net.start_flow(&mut sim, a, b, 120.0, SimDuration::ZERO, mk());
+        sim.run();
+        // 120 B at (100-40)=60 B/s → 2 s.
+        assert!((finish_time(&log.borrow()[0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_instantly() {
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        let a = HostId(0);
+        net.add_host(a, 100.0, 100.0);
+        let (log, mk) = collect();
+        net.start_flow(&mut sim, a, a, 0.0, SimDuration::ZERO, mk());
+        assert_eq!(log.borrow().len(), 1);
+        assert!(matches!(log.borrow()[0], FlowOutcome::Completed { .. }));
+    }
+
+    #[test]
+    fn loopback_flow_uses_both_directions() {
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        let a = HostId(0);
+        net.add_host(a, 100.0, 50.0);
+        let (log, mk) = collect();
+        net.start_flow(&mut sim, a, a, 100.0, SimDuration::ZERO, mk());
+        sim.run();
+        // Bottleneck is the 50 B/s direction.
+        assert!((finish_time(&log.borrow()[0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn callbacks_may_start_new_flows() {
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        let a = HostId(0);
+        let b = HostId(1);
+        net.add_host(a, 100.0, 100.0);
+        net.add_host(b, 100.0, 100.0);
+        let done = Rc::new(RefCell::new(0));
+        let done2 = Rc::clone(&done);
+        let net2 = net.clone();
+        net.start_flow(
+            &mut sim,
+            a,
+            b,
+            100.0,
+            SimDuration::ZERO,
+            Box::new(move |sim, _| {
+                let done3 = Rc::clone(&done2);
+                net2.start_flow(
+                    sim,
+                    HostId(1),
+                    HostId(0),
+                    100.0,
+                    SimDuration::ZERO,
+                    Box::new(move |_, _| *done3.borrow_mut() += 1),
+                );
+            }),
+        );
+        sim.run();
+        assert_eq!(*done.borrow(), 1);
+        assert!((sim.now().as_secs_f64() - 2.0).abs() < 1e-9);
+        assert!((net.bytes_delivered() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn many_flows_conserve_bytes() {
+        let mut sim = Sim::new(7);
+        let net = FlowNet::new();
+        let server = HostId(0);
+        net.add_host(server, 1e6, 1e6);
+        let (log, mk) = collect();
+        let n = 50;
+        for i in 1..=n {
+            let c = HostId(i);
+            net.add_host(c, 1e5, 1e5);
+            net.start_flow(&mut sim, server, c, 1e4 * i as f64, SimDuration::ZERO, mk());
+        }
+        sim.run();
+        assert_eq!(log.borrow().len(), n as usize);
+        let expected: f64 = (1..=n).map(|i| 1e4 * i as f64).sum();
+        assert!((net.bytes_delivered() - expected).abs() / expected < 1e-9);
+    }
+}

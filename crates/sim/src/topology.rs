@@ -1,0 +1,262 @@
+//! Testbed topology builders.
+//!
+//! Recreates the paper's three experimental environments (§4.1):
+//!
+//! * **Grid Explorer (GdX)** — the micro-benchmark cluster, part of
+//!   Grid'5000.
+//! * **Grid'5000 multi-site** — Table 1: gdx (312 × Opteron 246/250, Orsay),
+//!   grelon (120 × Xeon 5110 1.6 GHz, Nancy), grillon (47 × Opteron 246,
+//!   Nancy), sagittaire (65 × Opteron 250 2.4 GHz, Lyon). All nodes have
+//!   gigabit access links.
+//! * **DSL-Lab** — 12 Mini-ITX nodes on consumer ADSL behind home routers.
+//!   Fig. 4 annotates the measured download bandwidths (53–492 KB/s); we give
+//!   the nodes exactly those rates and a conventional ADSL uplink at ~1/4 of
+//!   the downlink.
+
+use crate::host::{HostId, HostPool, HostRole, HostSpec};
+use crate::net::FlowNet;
+
+/// Gigabit Ethernet payload rate, bytes/second.
+pub const GBE: f64 = 125.0e6;
+
+/// A built topology: the pool, the flow network, the service host, and the
+/// worker hosts grouped per cluster.
+pub struct Topology {
+    /// All hosts.
+    pub pool: HostPool,
+    /// Flow-level network with every host registered.
+    pub net: FlowNet,
+    /// The stable node running the D* services (and the FTP server /
+    /// BitTorrent seeder in the transfer experiments — §4.3 co-locates them).
+    pub service: HostId,
+    /// Volatile worker hosts, in cluster order.
+    pub workers: Vec<HostId>,
+}
+
+impl Topology {
+    fn register_all(pool: &HostPool, net: &FlowNet) {
+        for (id, h) in pool.iter() {
+            net.add_host(id, h.spec.up_bw, h.spec.down_bw);
+        }
+    }
+
+    /// Worker hosts belonging to the given cluster.
+    pub fn cluster_workers(&self, cluster: &str) -> Vec<HostId> {
+        self.workers
+            .iter()
+            .copied()
+            .filter(|&id| self.pool.get(id).spec.cluster == cluster)
+            .collect()
+    }
+}
+
+/// Per-cluster description used by the Grid'5000 builder; mirrors Table 1.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Cluster name.
+    pub name: &'static str,
+    /// Site for documentation purposes.
+    pub location: &'static str,
+    /// Number of worker CPUs (Table 1's `#CPUs` column).
+    pub nodes: usize,
+    /// CPU model string for the report.
+    pub cpu: &'static str,
+    /// Clock description for the report.
+    pub frequency: &'static str,
+    /// Relative compute speed vs. the 2.0 GHz Opteron 246 reference.
+    pub compute_factor: f64,
+}
+
+/// Table 1 of the paper.
+pub fn grid5000_clusters() -> Vec<ClusterSpec> {
+    vec![
+        ClusterSpec {
+            name: "gdx",
+            location: "Orsay",
+            nodes: 312,
+            cpu: "AMD Opteron 246/250",
+            frequency: "2.0G/2.4G",
+            compute_factor: 1.1, // population mixes 2.0 and 2.4 GHz parts
+        },
+        ClusterSpec {
+            name: "grelon",
+            location: "Nancy",
+            nodes: 120,
+            cpu: "Intel Xeon 5110",
+            frequency: "1.6G",
+            compute_factor: 0.8,
+        },
+        ClusterSpec {
+            name: "grillon",
+            location: "Nancy",
+            nodes: 47,
+            cpu: "AMD Opteron 246",
+            frequency: "2.0G",
+            compute_factor: 1.0,
+        },
+        ClusterSpec {
+            name: "sagittaire",
+            location: "Lyon",
+            nodes: 65,
+            cpu: "AMD Opteron 250",
+            frequency: "2.4G",
+            compute_factor: 1.2,
+        },
+    ]
+}
+
+/// Build a single-cluster GbE testbed (the GdX micro-benchmark setup) with
+/// `workers` volatile nodes plus one service node.
+pub fn gdx_cluster(workers: usize) -> Topology {
+    let mut pool = HostPool::new();
+    let service = pool.add(
+        HostSpec::gigabit("gdx-service", "gdx").with_role(HostRole::Service),
+    );
+    let mut ids = Vec::with_capacity(workers);
+    for i in 0..workers {
+        ids.push(pool.add(HostSpec::gigabit(format!("gdx-{i}"), "gdx")));
+    }
+    let net = FlowNet::new();
+    Topology::register_all(&pool, &net);
+    Topology { pool, net, service, workers: ids }
+}
+
+/// Build the 4-cluster Grid'5000 testbed of Table 1, truncated to at most
+/// `max_workers` total workers (the paper used 400 of the 544 listed CPUs for
+/// Fig. 6). Workers are taken from the clusters proportionally to size.
+pub fn grid5000(max_workers: usize) -> Topology {
+    let clusters = grid5000_clusters();
+    let total: usize = clusters.iter().map(|c| c.nodes).sum();
+    let take = max_workers.min(total);
+
+    let mut pool = HostPool::new();
+    let service = pool.add(
+        HostSpec::gigabit("gdx-service", "gdx").with_role(HostRole::Service),
+    );
+    let mut workers = Vec::with_capacity(take);
+    // Largest-remainder apportionment so cluster proportions match Table 1.
+    let mut allocated = 0usize;
+    let mut shares: Vec<(usize, f64)> = clusters
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let exact = take as f64 * c.nodes as f64 / total as f64;
+            (i, exact)
+        })
+        .collect();
+    let mut counts: Vec<usize> = shares.iter().map(|(_, e)| e.floor() as usize).collect();
+    allocated += counts.iter().sum::<usize>();
+    shares.sort_by(|a, b| {
+        (b.1 - b.1.floor()).partial_cmp(&(a.1 - a.1.floor())).expect("finite")
+    });
+    let mut i = 0;
+    while allocated < take {
+        counts[shares[i % shares.len()].0] += 1;
+        allocated += 1;
+        i += 1;
+    }
+    for (ci, c) in clusters.iter().enumerate() {
+        for n in 0..counts[ci].min(c.nodes) {
+            workers.push(pool.add(
+                HostSpec::gigabit(format!("{}-{n}", c.name), c.name)
+                    .with_compute(c.compute_factor),
+            ));
+        }
+    }
+    let net = FlowNet::new();
+    Topology::register_all(&pool, &net);
+    Topology { pool, net, service, workers }
+}
+
+/// Measured DSL-Lab download bandwidths from Fig. 4, bytes/second.
+/// Node order DSL01..DSL10.
+pub const DSL_DOWN_KBPS: [f64; 10] =
+    [492.0, 211.0, 254.0, 247.0, 384.0, 53.0, 412.0, 332.0, 304.0, 259.0];
+
+/// Build the DSL-Lab ADSL testbed: `n` broadband nodes (cycling through the
+/// Fig. 4 bandwidth profile when `n > 10`) and one well-connected service
+/// host.
+pub fn dsl_lab(n: usize) -> Topology {
+    let mut pool = HostPool::new();
+    // Service host on a hosted line: 100 Mbps symmetric.
+    let service = pool.add(
+        HostSpec::gigabit("dsl-service", "dsl-lab")
+            .with_role(HostRole::Service)
+            .with_bandwidth(12.5e6, 12.5e6),
+    );
+    let mut workers = Vec::with_capacity(n);
+    for i in 0..n {
+        let down = DSL_DOWN_KBPS[i % DSL_DOWN_KBPS.len()] * 1_000.0;
+        let up = down / 4.0; // asymmetric consumer ADSL
+        workers.push(pool.add(
+            HostSpec::gigabit(format!("DSL{:02}", i + 1), "dsl-lab")
+                .with_bandwidth(up, down)
+                .with_compute(0.3), // Pentium-M 1 GHz Mini-ITX
+        ));
+    }
+    let net = FlowNet::new();
+    Topology::register_all(&pool, &net);
+    Topology { pool, net, service, workers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gdx_builds_requested_size() {
+        let t = gdx_cluster(10);
+        assert_eq!(t.workers.len(), 10);
+        assert_eq!(t.pool.len(), 11);
+        assert_eq!(t.pool.get(t.service).spec.role, HostRole::Service);
+        assert_eq!(t.pool.get(t.workers[0]).spec.up_bw, GBE);
+    }
+
+    #[test]
+    fn grid5000_apportions_proportionally() {
+        let t = grid5000(400);
+        assert_eq!(t.workers.len(), 400);
+        let gdx = t.cluster_workers("gdx").len();
+        let grelon = t.cluster_workers("grelon").len();
+        let grillon = t.cluster_workers("grillon").len();
+        let sagittaire = t.cluster_workers("sagittaire").len();
+        assert_eq!(gdx + grelon + grillon + sagittaire, 400);
+        // gdx has 312/544 ≈ 57% of nodes.
+        assert!((220..=240).contains(&gdx), "gdx share {gdx}");
+        assert!(grillon >= 30 && grillon <= 40, "grillon share {grillon}");
+    }
+
+    #[test]
+    fn grid5000_never_exceeds_cluster_sizes() {
+        let t = grid5000(10_000);
+        assert_eq!(t.workers.len(), 544);
+    }
+
+    #[test]
+    fn dsl_lab_uses_measured_bandwidths() {
+        let t = dsl_lab(10);
+        assert_eq!(t.workers.len(), 10);
+        let d1 = t.pool.get(t.workers[0]).spec.down_bw;
+        assert_eq!(d1, 492_000.0);
+        let d6 = t.pool.get(t.workers[5]).spec.down_bw;
+        assert_eq!(d6, 53_000.0);
+        // Asymmetric uplink.
+        assert_eq!(t.pool.get(t.workers[0]).spec.up_bw, 123_000.0);
+    }
+
+    #[test]
+    fn dsl_lab_cycles_profile_beyond_ten() {
+        let t = dsl_lab(12);
+        assert_eq!(
+            t.pool.get(t.workers[10]).spec.down_bw,
+            t.pool.get(t.workers[0]).spec.down_bw
+        );
+    }
+
+    #[test]
+    fn table1_totals() {
+        let clusters = grid5000_clusters();
+        let total: usize = clusters.iter().map(|c| c.nodes).sum();
+        assert_eq!(total, 312 + 120 + 47 + 65);
+    }
+}

@@ -1,0 +1,422 @@
+//! DewDB — the embedded object store.
+//!
+//! This is the workspace's stand-in for the relational back-ends the paper
+//! plugs underneath its services ("Meta-data information are serialized
+//! using a traditional SQL database", §3.1; MySQL and HsqlDB in §3.5). The
+//! services only ever use key→record access per table plus prefix scans, so
+//! DewDB is a multi-table ordered KV store:
+//!
+//! * in-memory `BTreeMap` per table (ordered, so prefix scans are ranges);
+//! * optional durability: a [WAL](crate::wal) replayed on open plus a
+//!   snapshot-and-truncate checkpoint;
+//! * the torn-tail recovery semantics come from the WAL layer.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc32::crc32;
+use crate::wal::{self, LogRecord, SyncPolicy, WalWriter};
+
+/// Database error.
+#[derive(Debug)]
+pub enum DbError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Snapshot file failed validation.
+    CorruptSnapshot(&'static str),
+}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "i/o error: {e}"),
+            DbError::CorruptSnapshot(w) => write!(f, "corrupt snapshot: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience alias.
+pub type DbResult<T> = Result<T, DbError>;
+
+const SNAPSHOT_MAGIC: &[u8; 8] = b"DEWDB\0v1";
+
+struct Durability {
+    dir: PathBuf,
+    wal: WalWriter,
+    policy: SyncPolicy,
+    ops_since_checkpoint: u64,
+    /// Checkpoint automatically after this many mutations (0 = manual only).
+    auto_checkpoint: u64,
+}
+
+/// The embedded store.
+pub struct DewDb {
+    tables: BTreeMap<String, BTreeMap<Vec<u8>, Vec<u8>>>,
+    durability: Option<Durability>,
+    mutations: u64,
+}
+
+impl DewDb {
+    /// Pure in-memory database (no files). Used by the simulator benches
+    /// where virtual time makes real disk cost meaningless.
+    pub fn in_memory() -> DewDb {
+        DewDb { tables: BTreeMap::new(), durability: None, mutations: 0 }
+    }
+
+    /// Open (or create) a durable database in `dir`, replaying snapshot+WAL.
+    pub fn open(dir: impl AsRef<Path>, policy: SyncPolicy) -> DbResult<DewDb> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut tables = Self::load_snapshot(&dir.join("snapshot.db"))?;
+        let replayed = wal::replay(dir.join("wal.log"))?;
+        for rec in replayed.records {
+            match rec {
+                LogRecord::Put { table, key, value } => {
+                    tables.entry(table).or_default().insert(key, value);
+                }
+                LogRecord::Delete { table, key } => {
+                    if let Some(t) = tables.get_mut(&table) {
+                        t.remove(&key);
+                    }
+                }
+            }
+        }
+        let wal = WalWriter::open(dir.join("wal.log"), policy)?;
+        Ok(DewDb {
+            tables,
+            durability: Some(Durability {
+                dir,
+                wal,
+                policy,
+                ops_since_checkpoint: 0,
+                auto_checkpoint: 0,
+            }),
+            mutations: 0,
+        })
+    }
+
+    /// Enable automatic checkpointing after every `n` mutations (0 disables).
+    pub fn set_auto_checkpoint(&mut self, n: u64) {
+        if let Some(d) = &mut self.durability {
+            d.auto_checkpoint = n;
+        }
+    }
+
+    /// Insert or overwrite. Returns the previous value if any.
+    pub fn put(&mut self, table: &str, key: &[u8], value: &[u8]) -> DbResult<Option<Vec<u8>>> {
+        if let Some(d) = &mut self.durability {
+            d.wal.append(&LogRecord::Put {
+                table: table.to_string(),
+                key: key.to_vec(),
+                value: value.to_vec(),
+            })?;
+        }
+        let prev = self
+            .tables
+            .entry(table.to_string())
+            .or_default()
+            .insert(key.to_vec(), value.to_vec());
+        self.after_mutation()?;
+        Ok(prev)
+    }
+
+    /// Fetch a value.
+    pub fn get(&self, table: &str, key: &[u8]) -> Option<&[u8]> {
+        self.tables.get(table)?.get(key).map(|v| v.as_slice())
+    }
+
+    /// Remove a key. Returns the removed value if any.
+    pub fn delete(&mut self, table: &str, key: &[u8]) -> DbResult<Option<Vec<u8>>> {
+        if let Some(d) = &mut self.durability {
+            d.wal.append(&LogRecord::Delete { table: table.to_string(), key: key.to_vec() })?;
+        }
+        let prev = self.tables.get_mut(table).and_then(|t| t.remove(key));
+        self.after_mutation()?;
+        Ok(prev)
+    }
+
+    /// All `(key, value)` pairs in `table` whose key starts with `prefix`.
+    pub fn scan_prefix(&self, table: &str, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        match self.tables.get(table) {
+            None => Vec::new(),
+            Some(t) => t
+                .range(prefix.to_vec()..)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of rows in `table`.
+    pub fn table_len(&self, table: &str) -> usize {
+        self.tables.get(table).map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Names of all tables that currently hold rows.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Total mutations performed through this handle.
+    pub fn mutations(&self) -> u64 {
+        self.mutations
+    }
+
+    fn after_mutation(&mut self) -> DbResult<()> {
+        self.mutations += 1;
+        let should_checkpoint = match &mut self.durability {
+            Some(d) if d.auto_checkpoint > 0 => {
+                d.ops_since_checkpoint += 1;
+                d.ops_since_checkpoint >= d.auto_checkpoint
+            }
+            _ => false,
+        };
+        if should_checkpoint {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Write a full snapshot and truncate the WAL. No-op for in-memory DBs.
+    pub fn checkpoint(&mut self) -> DbResult<()> {
+        let Some(d) = &mut self.durability else {
+            return Ok(());
+        };
+        let tmp = d.dir.join("snapshot.tmp");
+        let dst = d.dir.join("snapshot.db");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            w.write_all(SNAPSHOT_MAGIC)?;
+            let mut body = Vec::new();
+            body.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+            for (name, rows) in &self.tables {
+                body.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                body.extend_from_slice(name.as_bytes());
+                body.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+                for (k, v) in rows {
+                    body.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                    body.extend_from_slice(k);
+                    body.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                    body.extend_from_slice(v);
+                }
+            }
+            w.write_all(&crc32(&body).to_le_bytes())?;
+            w.write_all(&(body.len() as u64).to_le_bytes())?;
+            w.write_all(&body)?;
+            w.flush()?;
+            if d.policy == SyncPolicy::Fsync {
+                w.get_ref().sync_data()?;
+            }
+        }
+        std::fs::rename(&tmp, &dst)?;
+        d.wal.truncate()?;
+        d.ops_since_checkpoint = 0;
+        Ok(())
+    }
+
+    fn load_snapshot(
+        path: &Path,
+    ) -> DbResult<BTreeMap<String, BTreeMap<Vec<u8>, Vec<u8>>>> {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(BTreeMap::new());
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut r = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(DbError::CorruptSnapshot("magic"));
+        }
+        let mut head = [0u8; 12];
+        r.read_exact(&mut head)?;
+        let crc = u32::from_le_bytes(head[0..4].try_into().expect("4"));
+        let len = u64::from_le_bytes(head[4..12].try_into().expect("8")) as usize;
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        if crc32(&body) != crc {
+            return Err(DbError::CorruptSnapshot("crc"));
+        }
+        // Parse the body.
+        let mut off = 0usize;
+        let take = |off: &mut usize, n: usize| -> Result<&[u8], DbError> {
+            if *off + n > body.len() {
+                return Err(DbError::CorruptSnapshot("length"));
+            }
+            let s = &body[*off..*off + n];
+            *off += n;
+            Ok(s)
+        };
+        let ntables = u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4")) as usize;
+        let mut tables = BTreeMap::new();
+        for _ in 0..ntables {
+            let nlen = u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4")) as usize;
+            let name = String::from_utf8(take(&mut off, nlen)?.to_vec())
+                .map_err(|_| DbError::CorruptSnapshot("table name"))?;
+            let rows = u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("8")) as usize;
+            let mut map = BTreeMap::new();
+            for _ in 0..rows {
+                let klen =
+                    u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4")) as usize;
+                let k = take(&mut off, klen)?.to_vec();
+                let vlen =
+                    u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4")) as usize;
+                let v = take(&mut off, vlen)?.to_vec();
+                map.insert(k, v);
+            }
+            tables.insert(name, map);
+        }
+        Ok(tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+
+    #[test]
+    fn in_memory_crud() {
+        let mut db = DewDb::in_memory();
+        assert_eq!(db.put("t", b"a", b"1").unwrap(), None);
+        assert_eq!(db.put("t", b"a", b"2").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get("t", b"a"), Some(&b"2"[..]));
+        assert_eq!(db.get("t", b"missing"), None);
+        assert_eq!(db.get("other", b"a"), None);
+        assert_eq!(db.delete("t", b"a").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(db.get("t", b"a"), None);
+        assert_eq!(db.mutations(), 3);
+    }
+
+    #[test]
+    fn prefix_scan_is_ordered_and_bounded() {
+        let mut db = DewDb::in_memory();
+        for k in ["ab", "aa", "ac", "b", "a"] {
+            db.put("t", k.as_bytes(), k.as_bytes()).unwrap();
+        }
+        let hits = db.scan_prefix("t", b"a");
+        let keys: Vec<&[u8]> = hits.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![&b"a"[..], b"aa", b"ab", b"ac"]);
+        assert!(db.scan_prefix("t", b"zz").is_empty());
+        assert!(db.scan_prefix("missing", b"").is_empty());
+    }
+
+    #[test]
+    fn durable_reopen_replays_wal() {
+        let dir = TempDir::new("db-reopen");
+        {
+            let mut db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
+            db.put("data", b"k1", b"v1").unwrap();
+            db.put("data", b"k2", b"v2").unwrap();
+            db.delete("data", b"k1").unwrap();
+        }
+        let db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
+        assert_eq!(db.get("data", b"k1"), None);
+        assert_eq!(db.get("data", b"k2"), Some(&b"v2"[..]));
+        assert_eq!(db.table_len("data"), 1);
+    }
+
+    #[test]
+    fn checkpoint_then_reopen() {
+        let dir = TempDir::new("db-ckpt");
+        {
+            let mut db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
+            for i in 0..100u32 {
+                db.put("t", &i.to_le_bytes(), &(i * 2).to_le_bytes()).unwrap();
+            }
+            db.checkpoint().unwrap();
+            // Post-checkpoint mutations land in the (fresh) WAL.
+            db.put("t", b"extra", b"x").unwrap();
+        }
+        let db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
+        assert_eq!(db.table_len("t"), 101);
+        assert_eq!(db.get("t", b"extra"), Some(&b"x"[..]));
+        assert_eq!(db.get("t", &7u32.to_le_bytes()), Some(&14u32.to_le_bytes()[..]));
+    }
+
+    #[test]
+    fn auto_checkpoint_truncates_wal() {
+        let dir = TempDir::new("db-auto");
+        {
+            let mut db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
+            db.set_auto_checkpoint(10);
+            for i in 0..25u32 {
+                db.put("t", &i.to_le_bytes(), b"v").unwrap();
+            }
+        }
+        // After 25 ops with checkpoint-every-10, the WAL holds ≤ 5 records.
+        let replayed = wal::replay(dir.path().join("wal.log")).unwrap();
+        assert!(replayed.records.len() <= 5, "wal has {}", replayed.records.len());
+        let db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
+        assert_eq!(db.table_len("t"), 25);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_detected() {
+        let dir = TempDir::new("db-corrupt");
+        {
+            let mut db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
+            db.put("t", b"a", b"1").unwrap();
+            db.checkpoint().unwrap();
+        }
+        let snap = dir.path().join("snapshot.db");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&snap, &bytes).unwrap();
+        match DewDb::open(dir.path(), SyncPolicy::EveryAppend) {
+            Err(DbError::CorruptSnapshot(_)) => {}
+            Err(other) => panic!("expected corrupt snapshot, got {other:?}"),
+            Ok(_) => panic!("expected corrupt snapshot, got a database"),
+        }
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_prefix() {
+        let dir = TempDir::new("db-torn");
+        {
+            let mut db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
+            for i in 0..10u32 {
+                db.put("t", &i.to_le_bytes(), b"v").unwrap();
+            }
+        }
+        let wal_path = dir.path().join("wal.log");
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 3]).unwrap();
+        let db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
+        assert_eq!(db.table_len("t"), 9);
+    }
+
+    #[test]
+    fn tables_are_isolated() {
+        let mut db = DewDb::in_memory();
+        db.put("a", b"k", b"in-a").unwrap();
+        db.put("b", b"k", b"in-b").unwrap();
+        assert_eq!(db.get("a", b"k"), Some(&b"in-a"[..]));
+        assert_eq!(db.get("b", b"k"), Some(&b"in-b"[..]));
+        assert_eq!(db.table_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn empty_db_checkpoint_roundtrip() {
+        let dir = TempDir::new("db-empty");
+        {
+            let mut db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
+            db.checkpoint().unwrap();
+        }
+        let db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
+        assert_eq!(db.table_names().len(), 0);
+    }
+}

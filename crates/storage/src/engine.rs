@@ -1,0 +1,330 @@
+//! Database engines: the MySQL / HsqlDB analogs.
+//!
+//! Table 2 of the paper contrasts two back-ends underneath the Data Catalog:
+//!
+//! * **HsqlDB** — "an embedded SQL database engine written entirely in Java":
+//!   queries are in-process calls. Reproduced by [`EmbeddedDriver`], which
+//!   executes directly against a shared [`DewDb`].
+//! * **MySQL** — a *networked* server: every JDBC interaction crosses a
+//!   socket, and without connection pooling every operation also pays a
+//!   connection handshake. The paper measured a 61% advantage for the
+//!   embedded engine and called un-pooled MySQL "clearly a bottleneck".
+//!   Reproduced by [`NetworkedDriver`], which runs the store on a dedicated
+//!   server thread; every `exec` is a real request/reply round trip over a
+//!   channel and every `connect` pays a 3-round-trip handshake, mirroring the
+//!   TCP+auth setup of the MySQL protocol.
+//!
+//! Both implement [`DbDriver`], so the services and the
+//! [`ConnectionPool`](crate::pool::ConnectionPool) (the DBCP analog) treat
+//! them uniformly.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::Mutex;
+
+use crate::db::{DbError, DbResult, DewDb};
+
+/// A database operation (the subset of SQL the services use).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbOp {
+    /// Insert or overwrite a row.
+    Put {
+        /// Table name.
+        table: String,
+        /// Row key.
+        key: Vec<u8>,
+        /// Row value.
+        value: Vec<u8>,
+    },
+    /// Read a row.
+    Get {
+        /// Table name.
+        table: String,
+        /// Row key.
+        key: Vec<u8>,
+    },
+    /// Delete a row.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Row key.
+        key: Vec<u8>,
+    },
+    /// Range scan by key prefix.
+    ScanPrefix {
+        /// Table name.
+        table: String,
+        /// Key prefix.
+        prefix: Vec<u8>,
+    },
+}
+
+/// Reply to a [`DbOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbReply {
+    /// Result of `Put`/`Delete`: the previous value, if any.
+    Previous(Option<Vec<u8>>),
+    /// Result of `Get`.
+    Value(Option<Vec<u8>>),
+    /// Result of `ScanPrefix`.
+    Rows(Vec<(Vec<u8>, Vec<u8>)>),
+}
+
+fn apply(db: &mut DewDb, op: DbOp) -> DbResult<DbReply> {
+    match op {
+        DbOp::Put { table, key, value } => {
+            Ok(DbReply::Previous(db.put(&table, &key, &value)?))
+        }
+        DbOp::Get { table, key } => Ok(DbReply::Value(db.get(&table, &key).map(|v| v.to_vec()))),
+        DbOp::Delete { table, key } => Ok(DbReply::Previous(db.delete(&table, &key)?)),
+        DbOp::ScanPrefix { table, prefix } => Ok(DbReply::Rows(db.scan_prefix(&table, &prefix))),
+    }
+}
+
+/// A live database session.
+pub trait DbConnection: Send {
+    /// Execute one operation.
+    fn exec(&mut self, op: DbOp) -> DbResult<DbReply>;
+}
+
+/// A database engine that can open sessions.
+pub trait DbDriver: Send + Sync {
+    /// Open a new session (for MySQL-style engines this pays a handshake).
+    fn connect(&self) -> DbResult<Box<dyn DbConnection>>;
+    /// Engine label for reports ("embedded" / "networked").
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Embedded engine (HsqlDB analog)
+// ---------------------------------------------------------------------------
+
+/// In-process engine: sessions share one [`DewDb`] behind a mutex.
+pub struct EmbeddedDriver {
+    db: Arc<Mutex<DewDb>>,
+}
+
+impl EmbeddedDriver {
+    /// Wrap a database.
+    pub fn new(db: DewDb) -> EmbeddedDriver {
+        EmbeddedDriver { db: Arc::new(Mutex::new(db)) }
+    }
+
+    /// Shared handle to the underlying store (e.g. for checkpointing).
+    pub fn db(&self) -> Arc<Mutex<DewDb>> {
+        Arc::clone(&self.db)
+    }
+}
+
+struct EmbeddedConnection {
+    db: Arc<Mutex<DewDb>>,
+    /// Session scratch kept so connection setup has realistic weight: an
+    /// un-pooled embedded engine still builds per-session state (HsqlDB
+    /// allocates a JDBC session and validates the schema).
+    _session: Vec<u8>,
+}
+
+impl DbDriver for EmbeddedDriver {
+    fn connect(&self) -> DbResult<Box<dyn DbConnection>> {
+        // Simulated session construction: allocate and fingerprint a session
+        // buffer. Cheap, but not free — matching HsqlDB's modest no-pool
+        // penalty in Table 2 — and much cheaper than the networked engine's
+        // 3-round-trip handshake.
+        let mut session = vec![0u8; 512];
+        let digest = bitdew_util::md5::md5(&session);
+        session[..16].copy_from_slice(digest.as_bytes());
+        Ok(Box::new(EmbeddedConnection { db: Arc::clone(&self.db), _session: session }))
+    }
+
+    fn name(&self) -> &'static str {
+        "embedded"
+    }
+}
+
+impl DbConnection for EmbeddedConnection {
+    fn exec(&mut self, op: DbOp) -> DbResult<DbReply> {
+        apply(&mut self.db.lock(), op)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Networked engine (MySQL analog)
+// ---------------------------------------------------------------------------
+
+enum ServerMsg {
+    Handshake(Sender<()>),
+    Exec(DbOp, Sender<DbResult<DbReply>>),
+    Shutdown,
+}
+
+/// Engine running the store on a dedicated server thread; clients talk to it
+/// over channels, paying one round trip per operation and a 3-round-trip
+/// handshake per connection.
+pub struct NetworkedDriver {
+    tx: Sender<ServerMsg>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NetworkedDriver {
+    /// Start the server thread owning `db`.
+    pub fn new(mut db: DewDb) -> NetworkedDriver {
+        let (tx, rx) = unbounded::<ServerMsg>();
+        let handle = std::thread::Builder::new()
+            .name("dewdb-server".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ServerMsg::Handshake(reply) => {
+                            let _ = reply.send(());
+                        }
+                        ServerMsg::Exec(op, reply) => {
+                            let _ = reply.send(apply(&mut db, op));
+                        }
+                        ServerMsg::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn dewdb server");
+        NetworkedDriver { tx, handle: Some(handle) }
+    }
+}
+
+impl Drop for NetworkedDriver {
+    fn drop(&mut self) {
+        // Tell the server to stop even if stray connection clones still hold
+        // senders, then reap the thread.
+        let _ = self.tx.send(ServerMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct NetworkedConnection {
+    tx: Sender<ServerMsg>,
+}
+
+fn disconnected() -> DbError {
+    DbError::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "db server gone"))
+}
+
+impl DbDriver for NetworkedDriver {
+    fn connect(&self) -> DbResult<Box<dyn DbConnection>> {
+        // TCP connect + auth + schema select: three round trips.
+        for _ in 0..3 {
+            let (rtx, rrx) = bounded(1);
+            self.tx.send(ServerMsg::Handshake(rtx)).map_err(|_| disconnected())?;
+            rrx.recv().map_err(|_| disconnected())?;
+        }
+        Ok(Box::new(NetworkedConnection { tx: self.tx.clone() }))
+    }
+
+    fn name(&self) -> &'static str {
+        "networked"
+    }
+}
+
+impl DbConnection for NetworkedConnection {
+    fn exec(&mut self, op: DbOp) -> DbResult<DbReply> {
+        let (rtx, rrx) = bounded(1);
+        self.tx.send(ServerMsg::Exec(op, rtx)).map_err(|_| disconnected())?;
+        rrx.recv().map_err(|_| disconnected())?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crud(driver: &dyn DbDriver) {
+        let mut conn = driver.connect().unwrap();
+        let put = |c: &mut Box<dyn DbConnection>, k: &[u8], v: &[u8]| {
+            c.exec(DbOp::Put { table: "t".into(), key: k.to_vec(), value: v.to_vec() }).unwrap()
+        };
+        assert_eq!(put(&mut conn, b"a", b"1"), DbReply::Previous(None));
+        assert_eq!(put(&mut conn, b"a", b"2"), DbReply::Previous(Some(b"1".to_vec())));
+        assert_eq!(
+            conn.exec(DbOp::Get { table: "t".into(), key: b"a".to_vec() }).unwrap(),
+            DbReply::Value(Some(b"2".to_vec()))
+        );
+        assert_eq!(
+            conn.exec(DbOp::ScanPrefix { table: "t".into(), prefix: b"a".to_vec() }).unwrap(),
+            DbReply::Rows(vec![(b"a".to_vec(), b"2".to_vec())])
+        );
+        assert_eq!(
+            conn.exec(DbOp::Delete { table: "t".into(), key: b"a".to_vec() }).unwrap(),
+            DbReply::Previous(Some(b"2".to_vec()))
+        );
+        assert_eq!(
+            conn.exec(DbOp::Get { table: "t".into(), key: b"a".to_vec() }).unwrap(),
+            DbReply::Value(None)
+        );
+    }
+
+    #[test]
+    fn embedded_crud() {
+        let driver = EmbeddedDriver::new(DewDb::in_memory());
+        assert_eq!(driver.name(), "embedded");
+        crud(&driver);
+    }
+
+    #[test]
+    fn networked_crud() {
+        let driver = NetworkedDriver::new(DewDb::in_memory());
+        assert_eq!(driver.name(), "networked");
+        crud(&driver);
+    }
+
+    #[test]
+    fn connections_share_state() {
+        let driver = EmbeddedDriver::new(DewDb::in_memory());
+        let mut c1 = driver.connect().unwrap();
+        let mut c2 = driver.connect().unwrap();
+        c1.exec(DbOp::Put { table: "t".into(), key: b"k".to_vec(), value: b"v".to_vec() })
+            .unwrap();
+        assert_eq!(
+            c2.exec(DbOp::Get { table: "t".into(), key: b"k".to_vec() }).unwrap(),
+            DbReply::Value(Some(b"v".to_vec()))
+        );
+    }
+
+    #[test]
+    fn networked_connections_from_multiple_threads() {
+        let driver = Arc::new(NetworkedDriver::new(DewDb::in_memory()));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let d = Arc::clone(&driver);
+            handles.push(std::thread::spawn(move || {
+                let mut conn = d.connect().unwrap();
+                for i in 0..50u32 {
+                    let key = (t * 1000 + i).to_le_bytes().to_vec();
+                    conn.exec(DbOp::Put { table: "t".into(), key, value: b"v".to_vec() })
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut conn = driver.connect().unwrap();
+        match conn.exec(DbOp::ScanPrefix { table: "t".into(), prefix: vec![] }).unwrap() {
+            DbReply::Rows(rows) => assert_eq!(rows.len(), 200),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn networked_server_stops_on_drop() {
+        let driver = NetworkedDriver::new(DewDb::in_memory());
+        let conn_tx = driver.tx.clone();
+        drop(driver);
+        // After drop the server is gone; a fresh request errors out.
+        let (rtx, rrx) = bounded(1);
+        let send = conn_tx.send(ServerMsg::Handshake(rtx));
+        // Either the send fails (receiver dropped) or nobody replies.
+        if send.is_ok() {
+            assert!(rrx.recv_timeout(std::time::Duration::from_millis(200)).is_err());
+        }
+    }
+}

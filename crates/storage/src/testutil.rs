@@ -1,0 +1,62 @@
+//! Test support: a self-cleaning temporary directory.
+//!
+//! Public (not `#[cfg(test)]`) because integration tests and downstream
+//! crates' tests reuse it; production code never constructs one.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed on drop.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `"$TMPDIR/bitdew-<tag>-<pid>-<n>"`.
+    pub fn new(tag: &str) -> TempDir {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "bitdew-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans() {
+        let path;
+        {
+            let d = TempDir::new("probe");
+            path = d.path().to_path_buf();
+            assert!(path.exists());
+            std::fs::write(path.join("f"), b"x").unwrap();
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn unique_names() {
+        let a = TempDir::new("u");
+        let b = TempDir::new("u");
+        assert_ne!(a.path(), b.path());
+    }
+}

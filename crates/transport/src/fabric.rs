@@ -1,0 +1,283 @@
+//! In-process socket fabric.
+//!
+//! The threaded runtime needs client/server and peer-to-peer byte streams
+//! without assuming a routable network (the reproduction must run on one
+//! machine). [`Fabric`] is a tiny connection-oriented transport: named
+//! listeners accept [`Duplex`] connections, each a pair of framed channels.
+//! Protocols (FTP-like, HTTP-like, BitTorrent-like) run unmodified on top,
+//! exactly as they would over TCP sockets — the fabric is the only part that
+//! knows the "network" is a process.
+//!
+//! An optional per-fabric latency models a WAN hop for tests that care about
+//! setup cost ordering (Table 2's "RMI remote" tier).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+/// A framed bidirectional connection.
+pub struct Duplex {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    latency: Duration,
+}
+
+/// Fabric errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// No listener is registered under the requested name.
+    NoSuchListener,
+    /// The peer closed the connection.
+    Disconnected,
+    /// No frame arrived before the deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::NoSuchListener => write!(f, "no such listener"),
+            FabricError::Disconnected => write!(f, "peer disconnected"),
+            FabricError::Timeout => write!(f, "receive timeout"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl Duplex {
+    /// Send one frame.
+    pub fn send(&self, frame: Bytes) -> Result<(), FabricError> {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        self.tx.send(frame).map_err(|_| FabricError::Disconnected)
+    }
+
+    /// Receive one frame, blocking.
+    pub fn recv(&self) -> Result<Bytes, FabricError> {
+        self.rx.recv().map_err(|_| FabricError::Disconnected)
+    }
+
+    /// Receive one frame with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, FabricError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => FabricError::Timeout,
+            RecvTimeoutError::Disconnected => FabricError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive; `Ok(None)` when no frame is queued.
+    pub fn try_recv(&self) -> Result<Option<Bytes>, FabricError> {
+        match self.rx.try_recv() {
+            Ok(f) => Ok(Some(f)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(FabricError::Disconnected)
+            }
+        }
+    }
+}
+
+/// Accept side of a named listener.
+pub struct Listener {
+    incoming: Receiver<Duplex>,
+}
+
+impl Listener {
+    /// Accept the next connection, blocking.
+    pub fn accept(&self) -> Result<Duplex, FabricError> {
+        self.incoming.recv().map_err(|_| FabricError::Disconnected)
+    }
+
+    /// Accept with a deadline.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Duplex, FabricError> {
+        self.incoming.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => FabricError::Timeout,
+            RecvTimeoutError::Disconnected => FabricError::Disconnected,
+        })
+    }
+}
+
+struct FabricInner {
+    listeners: HashMap<String, Sender<Duplex>>,
+}
+
+/// The shared connection registry. Clone handles freely.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<Mutex<FabricInner>>,
+    latency: Duration,
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fabric {
+    /// Fabric with zero added latency (a LAN / same-host path).
+    pub fn new() -> Fabric {
+        Fabric {
+            inner: Arc::new(Mutex::new(FabricInner { listeners: HashMap::new() })),
+            latency: Duration::ZERO,
+        }
+    }
+
+    /// Fabric whose sends each pay `latency` (a WAN path).
+    pub fn with_latency(latency: Duration) -> Fabric {
+        Fabric {
+            inner: Arc::new(Mutex::new(FabricInner { listeners: HashMap::new() })),
+            latency,
+        }
+    }
+
+    /// Register a named listener. Re-registering a name replaces the old
+    /// listener (its accept queue closes).
+    pub fn listen(&self, name: &str) -> Listener {
+        let (tx, rx) = unbounded();
+        self.inner.lock().listeners.insert(name.to_string(), tx);
+        Listener { incoming: rx }
+    }
+
+    /// Remove a listener; subsequent connects fail.
+    pub fn unlisten(&self, name: &str) {
+        self.inner.lock().listeners.remove(name);
+    }
+
+    /// Open a connection to a named listener.
+    pub fn connect(&self, name: &str) -> Result<Duplex, FabricError> {
+        let accept_tx = {
+            let inner = self.inner.lock();
+            inner.listeners.get(name).cloned().ok_or(FabricError::NoSuchListener)?
+        };
+        let (a_tx, b_rx) = unbounded();
+        let (b_tx, a_rx) = unbounded();
+        let server_side = Duplex { tx: b_tx, rx: b_rx, latency: self.latency };
+        let client_side = Duplex { tx: a_tx, rx: a_rx, latency: self.latency };
+        accept_tx.send(server_side).map_err(|_| FabricError::NoSuchListener)?;
+        Ok(client_side)
+    }
+
+    /// Names currently accepting connections.
+    pub fn listener_names(&self) -> Vec<String> {
+        self.inner.lock().listeners.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_and_echo() {
+        let fabric = Fabric::new();
+        let listener = fabric.listen("svc");
+        let server = std::thread::spawn(move || {
+            let conn = listener.accept().unwrap();
+            let msg = conn.recv().unwrap();
+            conn.send(Bytes::from([b"echo: ".as_slice(), &msg].concat())).unwrap();
+        });
+        let conn = fabric.connect("svc").unwrap();
+        conn.send(Bytes::from_static(b"hi")).unwrap();
+        assert_eq!(conn.recv().unwrap(), Bytes::from_static(b"echo: hi"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connect_unknown_listener_fails() {
+        let fabric = Fabric::new();
+        assert!(matches!(fabric.connect("nope"), Err(FabricError::NoSuchListener)));
+    }
+
+    #[test]
+    fn unlisten_stops_new_connections() {
+        let fabric = Fabric::new();
+        let _l = fabric.listen("svc");
+        assert!(fabric.connect("svc").is_ok());
+        fabric.unlisten("svc");
+        assert!(matches!(fabric.connect("svc"), Err(FabricError::NoSuchListener)));
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let fabric = Fabric::new();
+        let listener = fabric.listen("svc");
+        let conn = fabric.connect("svc").unwrap();
+        let server_conn = listener.accept().unwrap();
+        drop(server_conn);
+        assert!(matches!(conn.recv(), Err(FabricError::Disconnected)));
+    }
+
+    #[test]
+    fn timeout_and_try_recv() {
+        let fabric = Fabric::new();
+        let listener = fabric.listen("svc");
+        let conn = fabric.connect("svc").unwrap();
+        let server_conn = listener.accept().unwrap();
+        assert!(matches!(
+            conn.recv_timeout(Duration::from_millis(20)),
+            Err(FabricError::Timeout)
+        ));
+        assert_eq!(conn.try_recv().unwrap(), None);
+        server_conn.send(Bytes::from_static(b"x")).unwrap();
+        // try_recv sees it (allow a scheduling moment).
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(conn.try_recv().unwrap(), Some(Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn many_concurrent_connections() {
+        let fabric = Fabric::new();
+        let listener = fabric.listen("svc");
+        let server = std::thread::spawn(move || {
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let conn = listener.accept().unwrap();
+                handles.push(std::thread::spawn(move || {
+                    while let Ok(frame) = conn.recv() {
+                        if conn.send(frame).is_err() {
+                            break;
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let mut clients = Vec::new();
+        for i in 0..8u32 {
+            let fabric = fabric.clone();
+            clients.push(std::thread::spawn(move || {
+                let conn = fabric.connect("svc").unwrap();
+                for j in 0..50u32 {
+                    let payload = Bytes::from((i * 1000 + j).to_le_bytes().to_vec());
+                    conn.send(payload.clone()).unwrap();
+                    assert_eq!(conn.recv().unwrap(), payload);
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn latency_is_applied_on_send() {
+        let fabric = Fabric::with_latency(Duration::from_millis(15));
+        let listener = fabric.listen("svc");
+        let conn = fabric.connect("svc").unwrap();
+        let server_conn = listener.accept().unwrap();
+        let t0 = std::time::Instant::now();
+        conn.send(Bytes::from_static(b"ping")).unwrap();
+        server_conn.recv().unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(14));
+    }
+}

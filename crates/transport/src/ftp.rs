@@ -1,0 +1,569 @@
+//! FTP-like client/server file transfer over the fabric.
+//!
+//! The original prototype used the apache commons-net FTP client against a
+//! ProFTPD server (§3.5). This module rebuilds the same shape: a server
+//! daemon serving a [`FileStore`] and a client implementing the
+//! [`OobTransfer`] seven-method contract with download (`RETR`), upload
+//! (`STOR`) and size (`SIZE`) verbs, chunked streaming, **offset resume**
+//! and receiver-side MD5 verification.
+//!
+//! The server supports deterministic fault injection (drop the connection
+//! after N payload bytes) so the Data Transfer service's retry/resume logic
+//! is testable — "interrupted transfers should be automatically resumed"
+//! (§2.3) is exercised end to end.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::fabric::{Duplex, Fabric, FabricError};
+use crate::oob::{
+    DaemonConnector, NonBlockingOobTransfer, OobTransfer, TransferSpec, TransferStatus,
+    TransferVerdict, TransportError, TransportResult,
+};
+use crate::store::FileStore;
+
+/// Payload chunk size (64 KiB, a typical FTP data-socket buffer).
+pub const CHUNK: usize = 64 * 1024;
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Handle to a running FTP-like server daemon.
+pub struct FtpServer {
+    shutdown: Arc<AtomicBool>,
+    fabric: Fabric,
+    listener_name: String,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Fault injection: drop each connection after this many payload bytes
+    /// (consumed once per connection).
+    drop_after: Arc<AtomicU64>,
+}
+
+impl FtpServer {
+    /// Start serving `store` on fabric listener `name`.
+    pub fn start(fabric: &Fabric, name: &str, store: Arc<dyn FileStore>) -> FtpServer {
+        let listener = fabric.listen(name);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let drop_after = Arc::new(AtomicU64::new(u64::MAX));
+        let shutdown2 = Arc::clone(&shutdown);
+        let drop2 = Arc::clone(&drop_after);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("ftpd-{name}"))
+            .spawn(move || {
+                while !shutdown2.load(Ordering::Relaxed) {
+                    match listener.accept_timeout(std::time::Duration::from_millis(50)) {
+                        Ok(conn) => {
+                            let store = Arc::clone(&store);
+                            let limit = drop2.swap(u64::MAX, Ordering::Relaxed);
+                            std::thread::spawn(move || {
+                                let _ = Self::serve_conn(conn, store, limit);
+                            });
+                        }
+                        Err(FabricError::Timeout) => continue,
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn ftp server");
+        FtpServer {
+            shutdown,
+            fabric: fabric.clone(),
+            listener_name: name.to_string(),
+            accept_thread: Some(accept_thread),
+            drop_after,
+        }
+    }
+
+    /// Make the *next* accepted connection drop after `bytes` payload bytes.
+    pub fn inject_drop_after(&self, bytes: u64) {
+        self.drop_after.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Stop accepting and shut down.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.fabric.unlisten(&self.listener_name);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn serve_conn(
+        conn: Duplex,
+        store: Arc<dyn FileStore>,
+        drop_after: u64,
+    ) -> Result<(), FabricError> {
+        let mut sent_payload = 0u64;
+        loop {
+            let cmd = match conn.recv() {
+                Ok(c) => c,
+                Err(_) => return Ok(()), // client gone
+            };
+            let line = String::from_utf8_lossy(&cmd).to_string();
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("RETR") => {
+                    let (Some(name), Some(off)) = (parts.next(), parts.next()) else {
+                        conn.send(Bytes::from_static(b"ERR malformed"))?;
+                        continue;
+                    };
+                    let offset: u64 = off.parse().unwrap_or(0);
+                    let size = match store.size(name) {
+                        Ok(s) => s,
+                        Err(_) => {
+                            conn.send(Bytes::from(format!("ERR no such file {name}")))?;
+                            continue;
+                        }
+                    };
+                    conn.send(Bytes::from(format!("SIZE {size}")))?;
+                    let mut pos = offset.min(size);
+                    while pos < size {
+                        let chunk = store
+                            .read_at(name, pos, CHUNK)
+                            .map_err(|_| FabricError::Disconnected)?;
+                        if chunk.is_empty() {
+                            break;
+                        }
+                        pos += chunk.len() as u64;
+                        sent_payload += chunk.len() as u64;
+                        conn.send(chunk)?;
+                        if sent_payload >= drop_after {
+                            return Ok(()); // injected fault: vanish mid-stream
+                        }
+                    }
+                    let digest = store.checksum(name).map_err(|_| FabricError::Disconnected)?;
+                    conn.send(Bytes::from(format!("END {}", digest.to_hex())))?;
+                }
+                Some("STOR") => {
+                    let (Some(name), Some(off), Some(len)) =
+                        (parts.next(), parts.next(), parts.next())
+                    else {
+                        conn.send(Bytes::from_static(b"ERR malformed"))?;
+                        continue;
+                    };
+                    let mut offset: u64 = off.parse().unwrap_or(0);
+                    let total: u64 = len.parse().unwrap_or(0);
+                    conn.send(Bytes::from_static(b"OK"))?;
+                    let mut received = 0u64;
+                    let name = name.to_string();
+                    while received < total {
+                        let chunk = conn.recv()?;
+                        store
+                            .write_at(&name, offset, &chunk)
+                            .map_err(|_| FabricError::Disconnected)?;
+                        offset += chunk.len() as u64;
+                        received += chunk.len() as u64;
+                    }
+                    let digest =
+                        store.checksum(&name).map_err(|_| FabricError::Disconnected)?;
+                    conn.send(Bytes::from(format!("DONE {}", digest.to_hex())))?;
+                }
+                Some("SIZE") => {
+                    let Some(name) = parts.next() else {
+                        conn.send(Bytes::from_static(b"ERR malformed"))?;
+                        continue;
+                    };
+                    match store.size(name) {
+                        Ok(s) => conn.send(Bytes::from(format!("SIZE {s}")))?,
+                        Err(_) => conn.send(Bytes::from(format!("ERR no such file {name}")))?,
+                    }
+                }
+                _ => conn.send(Bytes::from_static(b"ERR unknown command"))?,
+            }
+        }
+    }
+}
+
+impl Drop for FtpServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client transfer
+// ---------------------------------------------------------------------------
+
+/// Direction of an FTP transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Pull `spec.name` from the server into the local store.
+    Download,
+    /// Push `spec.name` from the local store to the server.
+    Upload,
+}
+
+struct Shared {
+    bytes_done: AtomicU64,
+    verdict: parking_lot::Mutex<Option<TransferVerdict>>,
+}
+
+/// An FTP-like transfer implementing the OOB contract. `receive`/`send`
+/// spawn a worker; callers poll [`OobTransfer::probe`] (non-blocking style).
+pub struct FtpTransfer {
+    fabric: Fabric,
+    spec: TransferSpec,
+    local: Arc<dyn FileStore>,
+    direction: Direction,
+    shared: Arc<Shared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    connected: bool,
+}
+
+impl FtpTransfer {
+    /// Prepare a transfer (no I/O yet).
+    pub fn new(
+        fabric: Fabric,
+        spec: TransferSpec,
+        local: Arc<dyn FileStore>,
+        direction: Direction,
+    ) -> FtpTransfer {
+        FtpTransfer {
+            fabric,
+            spec,
+            local,
+            direction,
+            shared: Arc::new(Shared {
+                bytes_done: AtomicU64::new(0),
+                verdict: parking_lot::Mutex::new(None),
+            }),
+            worker: None,
+            connected: false,
+        }
+    }
+
+    fn spawn_worker(&mut self) {
+        let fabric = self.fabric.clone();
+        let spec = self.spec.clone();
+        let local = Arc::clone(&self.local);
+        let shared = Arc::clone(&self.shared);
+        let direction = self.direction;
+        self.worker = Some(std::thread::spawn(move || {
+            let result = match direction {
+                Direction::Download => download(&fabric, &spec, local.as_ref(), &shared),
+                Direction::Upload => upload(&fabric, &spec, local.as_ref(), &shared),
+            };
+            let mut verdict = shared.verdict.lock();
+            *verdict = Some(match result {
+                Ok(v) => v,
+                Err(_) => TransferVerdict::Interrupted,
+            });
+        }));
+    }
+}
+
+fn download(
+    fabric: &Fabric,
+    spec: &TransferSpec,
+    local: &dyn FileStore,
+    shared: &Shared,
+) -> TransportResult<TransferVerdict> {
+    let conn = fabric
+        .connect(&spec.remote)
+        .map_err(|e| TransportError::ConnectFailed(e.to_string()))?;
+    // Resume from whatever partial content we already verified on disk.
+    let offset = local.size(&spec.name).unwrap_or(0).min(spec.bytes);
+    shared.bytes_done.store(offset, Ordering::Relaxed);
+    conn.send(Bytes::from(format!("RETR {} {}", spec.name, offset)))
+        .map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let head = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let head = String::from_utf8_lossy(&head).to_string();
+    let total = match head.strip_prefix("SIZE ") {
+        Some(s) => s.trim().parse::<u64>().map_err(|_| {
+            TransportError::Protocol(format!("bad SIZE reply: {head}"))
+        })?,
+        None => return Err(TransportError::NoSuchObject(spec.name.clone())),
+    };
+    let mut pos = offset;
+    let server_digest;
+    loop {
+        let frame = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+        // Terminal frame is "END <md5hex>"; data frames are raw bytes. A raw
+        // chunk that happens to start with "END " is impossible here because
+        // the server only sends END as the final line after `total` bytes.
+        if pos >= total {
+            let line = String::from_utf8_lossy(&frame).to_string();
+            match line.strip_prefix("END ") {
+                Some(hex) => {
+                    server_digest = bitdew_util::md5::Md5Digest::from_hex(hex.trim());
+                    break;
+                }
+                None => return Err(TransportError::Protocol("expected END".into())),
+            }
+        }
+        local.write_at(&spec.name, pos, &frame)?;
+        pos += frame.len() as u64;
+        shared.bytes_done.store(pos, Ordering::Relaxed);
+    }
+    // Receiver-driven verification (§3.4.2): size + MD5.
+    if pos != total {
+        return Ok(TransferVerdict::Interrupted);
+    }
+    let local_digest = local.checksum(&spec.name)?;
+    let expect = spec.checksum.or(server_digest);
+    match expect {
+        Some(d) if d != local_digest => Ok(TransferVerdict::CorruptPayload),
+        _ => Ok(TransferVerdict::Complete),
+    }
+}
+
+fn upload(
+    fabric: &Fabric,
+    spec: &TransferSpec,
+    local: &dyn FileStore,
+    shared: &Shared,
+) -> TransportResult<TransferVerdict> {
+    let conn = fabric
+        .connect(&spec.remote)
+        .map_err(|e| TransportError::ConnectFailed(e.to_string()))?;
+    let size = local.size(&spec.name)?;
+    conn.send(Bytes::from(format!("STOR {} 0 {}", spec.name, size)))
+        .map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let ok = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    if &ok[..] != b"OK" {
+        return Err(TransportError::Protocol("expected OK".into()));
+    }
+    let mut pos = 0u64;
+    while pos < size {
+        let chunk = local.read_at(&spec.name, pos, CHUNK)?;
+        if chunk.is_empty() {
+            break;
+        }
+        pos += chunk.len() as u64;
+        conn.send(chunk).map_err(|e| TransportError::Interrupted(e.to_string()))?;
+        shared.bytes_done.store(pos, Ordering::Relaxed);
+    }
+    let done = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let line = String::from_utf8_lossy(&done).to_string();
+    let remote_digest = line
+        .strip_prefix("DONE ")
+        .and_then(|h| bitdew_util::md5::Md5Digest::from_hex(h.trim()));
+    let local_digest = local.checksum(&spec.name)?;
+    match remote_digest {
+        Some(d) if d == local_digest => Ok(TransferVerdict::Complete),
+        Some(_) => Ok(TransferVerdict::CorruptPayload),
+        None => Err(TransportError::Protocol("expected DONE".into())),
+    }
+}
+
+impl OobTransfer for FtpTransfer {
+    fn connect(&mut self) -> TransportResult<()> {
+        // Validate the endpoint exists now so errors surface early. Checks
+        // the listener table rather than opening a throwaway connection, so
+        // server-side accounting (and fault injection in tests) only sees
+        // the real transfer connection.
+        if !self.fabric.listener_names().iter().any(|n| n == &self.spec.remote) {
+            return Err(TransportError::ConnectFailed(format!(
+                "no listener {}",
+                self.spec.remote
+            )));
+        }
+        self.connected = true;
+        Ok(())
+    }
+
+    fn disconnect(&mut self) -> TransportResult<()> {
+        self.connected = false;
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    fn probe(&mut self) -> TransportResult<TransferStatus> {
+        Ok(TransferStatus {
+            bytes_done: self.shared.bytes_done.load(Ordering::Relaxed),
+            bytes_total: self.spec.bytes,
+            outcome: *self.shared.verdict.lock(),
+        })
+    }
+
+    fn send(&mut self) -> TransportResult<()> {
+        debug_assert_eq!(self.direction, Direction::Upload);
+        self.spawn_worker();
+        Ok(())
+    }
+
+    fn receive(&mut self) -> TransportResult<()> {
+        debug_assert_eq!(self.direction, Direction::Download);
+        self.spawn_worker();
+        Ok(())
+    }
+}
+
+impl NonBlockingOobTransfer for FtpTransfer {}
+
+impl DaemonConnector for FtpServer {
+    fn daemon_start(&mut self) -> TransportResult<()> {
+        Ok(()) // started in FtpServer::start
+    }
+    fn daemon_stop(&mut self) -> TransportResult<()> {
+        self.stop_inner();
+        Ok(())
+    }
+    fn daemon_running(&self) -> bool {
+        !self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use std::time::Duration;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    fn setup(server_content: &[(&str, &[u8])]) -> (Fabric, FtpServer, Arc<MemStore>) {
+        let fabric = Fabric::new();
+        let server_store = MemStore::new();
+        for (name, content) in server_content {
+            server_store.put(name, content);
+        }
+        let server = FtpServer::start(&fabric, "ftp", server_store);
+        let local = MemStore::new();
+        (fabric, server, local)
+    }
+
+    fn spec(name: &str, bytes: u64) -> TransferSpec {
+        TransferSpec { name: name.into(), bytes, checksum: None, remote: "ftp".into() }
+    }
+
+    #[test]
+    fn download_roundtrip_with_integrity() {
+        let data = payload(300_000); // several chunks
+        let (fabric, _server, local) = setup(&[("big", &data)]);
+        let mut spec = spec("big", data.len() as u64);
+        spec.checksum = Some(bitdew_util::md5::md5(&data));
+        let mut t =
+            FtpTransfer::new(fabric, spec, local.clone(), Direction::Download);
+        t.connect().unwrap();
+        t.receive().unwrap();
+        let status = t.wait(Duration::from_millis(2)).unwrap();
+        assert_eq!(status.outcome, Some(TransferVerdict::Complete));
+        assert_eq!(status.bytes_done, data.len() as u64);
+        assert_eq!(&local.read_at("big", 0, data.len()).unwrap()[..], &data[..]);
+        t.disconnect().unwrap();
+    }
+
+    #[test]
+    fn upload_roundtrip() {
+        let data = payload(150_000);
+        let (fabric, server, local) = setup(&[]);
+        local.put("up", &data);
+        let mut t = FtpTransfer::new(
+            fabric.clone(),
+            spec("up", data.len() as u64),
+            local,
+            Direction::Upload,
+        );
+        t.connect().unwrap();
+        t.send().unwrap();
+        let status = t.wait(Duration::from_millis(2)).unwrap();
+        assert_eq!(status.outcome, Some(TransferVerdict::Complete));
+        drop(server);
+        // Verify server side received it by re-downloading.
+        // (server_store is moved into server; simplest check: new download
+        // server over a fresh fabric is unnecessary — the DONE digest already
+        // verified content equality.)
+    }
+
+    #[test]
+    fn missing_file_fails_cleanly() {
+        let (fabric, _server, local) = setup(&[]);
+        let mut t = FtpTransfer::new(fabric, spec("ghost", 10), local, Direction::Download);
+        t.connect().unwrap();
+        t.receive().unwrap();
+        let status = t.wait(Duration::from_millis(2)).unwrap();
+        assert_eq!(status.outcome, Some(TransferVerdict::Interrupted));
+    }
+
+    #[test]
+    fn connect_to_missing_server_fails() {
+        let fabric = Fabric::new();
+        let local = MemStore::new();
+        let mut t = FtpTransfer::new(fabric, spec("x", 1), local, Direction::Download);
+        assert!(matches!(t.connect(), Err(TransportError::ConnectFailed(_))));
+    }
+
+    #[test]
+    fn interrupted_download_resumes_from_offset() {
+        let data = payload(400_000);
+        let (fabric, server, local) = setup(&[("f", &data)]);
+        // First attempt: server drops after ~128 KiB.
+        server.inject_drop_after(128 * 1024);
+        let mut spec1 = spec("f", data.len() as u64);
+        spec1.checksum = Some(bitdew_util::md5::md5(&data));
+        let mut t =
+            FtpTransfer::new(fabric.clone(), spec1.clone(), local.clone(), Direction::Download);
+        t.connect().unwrap();
+        t.receive().unwrap();
+        let status = t.wait(Duration::from_millis(2)).unwrap();
+        assert_eq!(status.outcome, Some(TransferVerdict::Interrupted));
+        let partial = status.bytes_done;
+        assert!(partial > 0 && partial < data.len() as u64, "partial = {partial}");
+
+        // Second attempt resumes and completes; bytes_done starts at partial.
+        let mut t2 = FtpTransfer::new(fabric, spec1, local.clone(), Direction::Download);
+        t2.connect().unwrap();
+        t2.receive().unwrap();
+        let status2 = t2.wait(Duration::from_millis(2)).unwrap();
+        assert_eq!(status2.outcome, Some(TransferVerdict::Complete));
+        assert_eq!(&local.read_at("f", 0, data.len()).unwrap()[..], &data[..]);
+    }
+
+    #[test]
+    fn checksum_mismatch_detected() {
+        let data = payload(10_000);
+        let (fabric, _server, local) = setup(&[("f", &data)]);
+        let mut s = spec("f", data.len() as u64);
+        s.checksum = Some(bitdew_util::md5::md5(b"something else"));
+        let mut t = FtpTransfer::new(fabric, s, local, Direction::Download);
+        t.connect().unwrap();
+        t.receive().unwrap();
+        let status = t.wait(Duration::from_millis(2)).unwrap();
+        assert_eq!(status.outcome, Some(TransferVerdict::CorruptPayload));
+    }
+
+    #[test]
+    fn concurrent_downloads_from_one_server() {
+        let data = payload(200_000);
+        let (fabric, _server, _) = setup(&[("f", &data)]);
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let fabric = fabric.clone();
+            let data_len = data.len() as u64;
+            let expect = bitdew_util::md5::md5(&data);
+            handles.push(std::thread::spawn(move || {
+                let local = MemStore::new();
+                let mut s = spec("f", data_len);
+                s.checksum = Some(expect);
+                let mut t = FtpTransfer::new(fabric, s, local, Direction::Download);
+                t.connect().unwrap();
+                t.receive().unwrap();
+                t.wait(Duration::from_millis(2)).unwrap().outcome
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Some(TransferVerdict::Complete));
+        }
+    }
+
+    #[test]
+    fn daemon_connector_lifecycle() {
+        let fabric = Fabric::new();
+        let mut server = FtpServer::start(&fabric, "ftp", MemStore::new());
+        assert!(server.daemon_running());
+        server.daemon_stop().unwrap();
+        assert!(!server.daemon_running());
+    }
+}

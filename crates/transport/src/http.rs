@@ -1,0 +1,426 @@
+//! HTTP-like transfer protocol over the fabric.
+//!
+//! BitDew's runtime supports HTTP alongside FTP and BitTorrent (§3.4.2), and
+//! the BLAST application distributes `Sequence` and `Result` files over HTTP
+//! (§5, Listing 3). This module speaks a request/response dialect with
+//! `GET` + `Range` resume and `PUT` upload — one request per connection, the
+//! stateless style that distinguishes it from the FTP module's command
+//! session. Both end up exercising the same [`OobTransfer`] contract, which
+//! is the point of the Fig. 2 framework: the Data Transfer service cannot
+//! tell them apart.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::fabric::{Duplex, Fabric, FabricError};
+use crate::oob::{
+    NonBlockingOobTransfer, OobTransfer, TransferSpec, TransferStatus, TransferVerdict,
+    TransportError, TransportResult,
+};
+use crate::store::FileStore;
+
+/// Payload chunk size.
+pub const CHUNK: usize = 64 * 1024;
+
+/// Handle to a running HTTP-like server.
+pub struct HttpServer {
+    shutdown: Arc<AtomicBool>,
+    fabric: Fabric,
+    listener_name: String,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Start serving `store` on fabric listener `name`.
+    pub fn start(fabric: &Fabric, name: &str, store: Arc<dyn FileStore>) -> HttpServer {
+        let listener = fabric.listen(name);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("httpd-{name}"))
+            .spawn(move || {
+                while !shutdown2.load(Ordering::Relaxed) {
+                    match listener.accept_timeout(std::time::Duration::from_millis(50)) {
+                        Ok(conn) => {
+                            let store = Arc::clone(&store);
+                            std::thread::spawn(move || {
+                                let _ = Self::serve_one(conn, store);
+                            });
+                        }
+                        Err(FabricError::Timeout) => continue,
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn http server");
+        HttpServer {
+            shutdown,
+            fabric: fabric.clone(),
+            listener_name: name.to_string(),
+            accept_thread: Some(accept_thread),
+        }
+    }
+
+    /// Stop the server.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.fabric.unlisten(&self.listener_name);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// One request per connection.
+    fn serve_one(conn: Duplex, store: Arc<dyn FileStore>) -> Result<(), FabricError> {
+        let req = conn.recv()?;
+        let text = String::from_utf8_lossy(&req).to_string();
+        let mut lines = text.lines();
+        let request_line = lines.next().unwrap_or_default();
+        let mut range_from = 0u64;
+        let mut content_length = 0u64;
+        for line in lines {
+            if let Some(v) = line.strip_prefix("Range: bytes=") {
+                range_from = v.trim_end_matches('-').parse().unwrap_or(0);
+            }
+            if let Some(v) = line.strip_prefix("Content-Length: ") {
+                content_length = v.parse().unwrap_or(0);
+            }
+        }
+        let mut parts = request_line.split_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some("GET"), Some(path)) => {
+                let name = path.trim_start_matches('/');
+                let Ok(size) = store.size(name) else {
+                    conn.send(Bytes::from_static(b"404 Not Found"))?;
+                    return Ok(());
+                };
+                let digest = store.checksum(name).map_err(|_| FabricError::Disconnected)?;
+                conn.send(Bytes::from(format!(
+                    "200 OK\nContent-Length: {size}\nETag: {}",
+                    digest.to_hex()
+                )))?;
+                let mut pos = range_from.min(size);
+                while pos < size {
+                    let chunk = store
+                        .read_at(name, pos, CHUNK)
+                        .map_err(|_| FabricError::Disconnected)?;
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    pos += chunk.len() as u64;
+                    conn.send(chunk)?;
+                }
+            }
+            (Some("PUT"), Some(path)) => {
+                let name = path.trim_start_matches('/').to_string();
+                conn.send(Bytes::from_static(b"100 Continue"))?;
+                let mut received = 0u64;
+                while received < content_length {
+                    let chunk = conn.recv()?;
+                    store
+                        .write_at(&name, received, &chunk)
+                        .map_err(|_| FabricError::Disconnected)?;
+                    received += chunk.len() as u64;
+                }
+                let digest = store.checksum(&name).map_err(|_| FabricError::Disconnected)?;
+                conn.send(Bytes::from(format!("201 Created\nETag: {}", digest.to_hex())))?;
+            }
+            _ => conn.send(Bytes::from_static(b"400 Bad Request"))?,
+        }
+        Ok(())
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpMethod {
+    /// Download via GET (with Range resume).
+    Get,
+    /// Upload via PUT.
+    Put,
+}
+
+struct Shared {
+    bytes_done: AtomicU64,
+    verdict: parking_lot::Mutex<Option<TransferVerdict>>,
+}
+
+/// An HTTP transfer implementing the OOB contract (non-blocking).
+pub struct HttpTransfer {
+    fabric: Fabric,
+    spec: TransferSpec,
+    local: Arc<dyn FileStore>,
+    method: HttpMethod,
+    shared: Arc<Shared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpTransfer {
+    /// Prepare a transfer.
+    pub fn new(
+        fabric: Fabric,
+        spec: TransferSpec,
+        local: Arc<dyn FileStore>,
+        method: HttpMethod,
+    ) -> HttpTransfer {
+        HttpTransfer {
+            fabric,
+            spec,
+            local,
+            method,
+            shared: Arc::new(Shared {
+                bytes_done: AtomicU64::new(0),
+                verdict: parking_lot::Mutex::new(None),
+            }),
+            worker: None,
+        }
+    }
+
+    fn spawn(&mut self) {
+        let fabric = self.fabric.clone();
+        let spec = self.spec.clone();
+        let local = Arc::clone(&self.local);
+        let shared = Arc::clone(&self.shared);
+        let method = self.method;
+        self.worker = Some(std::thread::spawn(move || {
+            let result = match method {
+                HttpMethod::Get => get(&fabric, &spec, local.as_ref(), &shared),
+                HttpMethod::Put => put(&fabric, &spec, local.as_ref(), &shared),
+            };
+            *shared.verdict.lock() = Some(result.unwrap_or(TransferVerdict::Interrupted));
+        }));
+    }
+}
+
+fn get(
+    fabric: &Fabric,
+    spec: &TransferSpec,
+    local: &dyn FileStore,
+    shared: &Shared,
+) -> TransportResult<TransferVerdict> {
+    let conn = fabric
+        .connect(&spec.remote)
+        .map_err(|e| TransportError::ConnectFailed(e.to_string()))?;
+    let offset = local.size(&spec.name).unwrap_or(0).min(spec.bytes);
+    shared.bytes_done.store(offset, Ordering::Relaxed);
+    conn.send(Bytes::from(format!("GET /{}\nRange: bytes={}-", spec.name, offset)))
+        .map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let head = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let head = String::from_utf8_lossy(&head).to_string();
+    if !head.starts_with("200") {
+        return Err(TransportError::NoSuchObject(spec.name.clone()));
+    }
+    let mut total = spec.bytes;
+    let mut etag = None;
+    for line in head.lines().skip(1) {
+        if let Some(v) = line.strip_prefix("Content-Length: ") {
+            total = v.parse().unwrap_or(total);
+        }
+        if let Some(v) = line.strip_prefix("ETag: ") {
+            etag = bitdew_util::md5::Md5Digest::from_hex(v.trim());
+        }
+    }
+    let mut pos = offset;
+    while pos < total {
+        let chunk = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+        local.write_at(&spec.name, pos, &chunk)?;
+        pos += chunk.len() as u64;
+        shared.bytes_done.store(pos, Ordering::Relaxed);
+    }
+    let digest = local.checksum(&spec.name)?;
+    let expect = spec.checksum.or(etag);
+    Ok(match expect {
+        Some(d) if d != digest => TransferVerdict::CorruptPayload,
+        _ => TransferVerdict::Complete,
+    })
+}
+
+fn put(
+    fabric: &Fabric,
+    spec: &TransferSpec,
+    local: &dyn FileStore,
+    shared: &Shared,
+) -> TransportResult<TransferVerdict> {
+    let conn = fabric
+        .connect(&spec.remote)
+        .map_err(|e| TransportError::ConnectFailed(e.to_string()))?;
+    let size = local.size(&spec.name)?;
+    conn.send(Bytes::from(format!("PUT /{}\nContent-Length: {size}", spec.name)))
+        .map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let cont = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    if !cont.starts_with(b"100") {
+        return Err(TransportError::Protocol("expected 100 Continue".into()));
+    }
+    let mut pos = 0u64;
+    while pos < size {
+        let chunk = local.read_at(&spec.name, pos, CHUNK)?;
+        if chunk.is_empty() {
+            break;
+        }
+        pos += chunk.len() as u64;
+        conn.send(chunk).map_err(|e| TransportError::Interrupted(e.to_string()))?;
+        shared.bytes_done.store(pos, Ordering::Relaxed);
+    }
+    let created = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let text = String::from_utf8_lossy(&created).to_string();
+    if !text.starts_with("201") {
+        return Err(TransportError::Protocol("expected 201 Created".into()));
+    }
+    let remote = text
+        .lines()
+        .find_map(|l| l.strip_prefix("ETag: "))
+        .and_then(|h| bitdew_util::md5::Md5Digest::from_hex(h.trim()));
+    let local_digest = local.checksum(&spec.name)?;
+    Ok(match remote {
+        Some(d) if d != local_digest => TransferVerdict::CorruptPayload,
+        _ => TransferVerdict::Complete,
+    })
+}
+
+impl OobTransfer for HttpTransfer {
+    fn connect(&mut self) -> TransportResult<()> {
+        if !self.fabric.listener_names().iter().any(|n| n == &self.spec.remote) {
+            return Err(TransportError::ConnectFailed(format!(
+                "no listener {}",
+                self.spec.remote
+            )));
+        }
+        Ok(())
+    }
+
+    fn disconnect(&mut self) -> TransportResult<()> {
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    fn probe(&mut self) -> TransportResult<TransferStatus> {
+        Ok(TransferStatus {
+            bytes_done: self.shared.bytes_done.load(Ordering::Relaxed),
+            bytes_total: self.spec.bytes,
+            outcome: *self.shared.verdict.lock(),
+        })
+    }
+
+    fn send(&mut self) -> TransportResult<()> {
+        debug_assert_eq!(self.method, HttpMethod::Put);
+        self.spawn();
+        Ok(())
+    }
+
+    fn receive(&mut self) -> TransportResult<()> {
+        debug_assert_eq!(self.method, HttpMethod::Get);
+        self.spawn();
+        Ok(())
+    }
+}
+
+impl NonBlockingOobTransfer for HttpTransfer {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use std::time::Duration;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 17 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn get_roundtrip() {
+        let fabric = Fabric::new();
+        let server_store = MemStore::new();
+        let data = payload(200_000);
+        server_store.put("obj", &data);
+        let _server = HttpServer::start(&fabric, "http", server_store);
+        let local = MemStore::new();
+        let spec = TransferSpec {
+            name: "obj".into(),
+            bytes: data.len() as u64,
+            checksum: Some(bitdew_util::md5::md5(&data)),
+            remote: "http".into(),
+        };
+        let mut t = HttpTransfer::new(fabric, spec, local.clone(), HttpMethod::Get);
+        t.connect().unwrap();
+        t.receive().unwrap();
+        let status = t.wait(Duration::from_millis(2)).unwrap();
+        assert_eq!(status.outcome, Some(TransferVerdict::Complete));
+        assert_eq!(&local.read_at("obj", 0, data.len()).unwrap()[..], &data[..]);
+    }
+
+    #[test]
+    fn put_roundtrip() {
+        let fabric = Fabric::new();
+        let server_store = MemStore::new();
+        let _server = HttpServer::start(&fabric, "http", Arc::clone(&server_store) as _);
+        let data = payload(90_000);
+        let local = MemStore::new();
+        local.put("up", &data);
+        let spec = TransferSpec {
+            name: "up".into(),
+            bytes: data.len() as u64,
+            checksum: None,
+            remote: "http".into(),
+        };
+        let mut t = HttpTransfer::new(fabric, spec, local, HttpMethod::Put);
+        t.connect().unwrap();
+        t.send().unwrap();
+        let status = t.wait(Duration::from_millis(2)).unwrap();
+        assert_eq!(status.outcome, Some(TransferVerdict::Complete));
+        assert_eq!(&server_store.read_at("up", 0, data.len()).unwrap()[..], &data[..]);
+    }
+
+    #[test]
+    fn get_404() {
+        let fabric = Fabric::new();
+        let _server = HttpServer::start(&fabric, "http", MemStore::new());
+        let local = MemStore::new();
+        let spec = TransferSpec {
+            name: "ghost".into(),
+            bytes: 1,
+            checksum: None,
+            remote: "http".into(),
+        };
+        let mut t = HttpTransfer::new(fabric, spec, local, HttpMethod::Get);
+        t.receive().unwrap();
+        let status = t.wait(Duration::from_millis(2)).unwrap();
+        assert_eq!(status.outcome, Some(TransferVerdict::Interrupted));
+    }
+
+    #[test]
+    fn range_resume_downloads_only_tail() {
+        let fabric = Fabric::new();
+        let server_store = MemStore::new();
+        let data = payload(100_000);
+        server_store.put("obj", &data);
+        let _server = HttpServer::start(&fabric, "http", server_store);
+        // Pre-seed the local store with a verified prefix.
+        let local = MemStore::new();
+        local.put("obj", &data[..40_000]);
+        let spec = TransferSpec {
+            name: "obj".into(),
+            bytes: data.len() as u64,
+            checksum: Some(bitdew_util::md5::md5(&data)),
+            remote: "http".into(),
+        };
+        let mut t = HttpTransfer::new(fabric, spec, local.clone(), HttpMethod::Get);
+        t.receive().unwrap();
+        let status = t.wait(Duration::from_millis(2)).unwrap();
+        assert_eq!(status.outcome, Some(TransferVerdict::Complete));
+        assert_eq!(&local.read_at("obj", 0, data.len()).unwrap()[..], &data[..]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Protocol registry: the pluggable-protocol surface of the framework.
+//!
+//! §3.1: "all of these components can be replaced and plugged-in by the
+//! users, allowing them to select the most suitable subsystem according to
+//! their own criteria like performance, reliability and scalability" — and
+//! the `transfer protocol` data attribute (§3.2) names which one to use per
+//! datum. [`ProtocolId`] is that name; [`ProtocolRegistry`] maps it to a
+//! factory producing [`OobTransfer`] instances.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::oob::{OobTransfer, TransferSpec, TransportError, TransportResult};
+use crate::store::FileStore;
+
+/// Name of a transfer protocol, as written in data attributes
+/// (`oob=bittorrent`, `protocol="ftp"`, …).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProtocolId(pub String);
+
+impl ProtocolId {
+    /// The FTP-like client/server protocol.
+    pub fn ftp() -> ProtocolId {
+        ProtocolId("ftp".into())
+    }
+    /// The HTTP-like protocol.
+    pub fn http() -> ProtocolId {
+        ProtocolId("http".into())
+    }
+    /// The BitTorrent-like collaborative protocol.
+    pub fn bittorrent() -> ProtocolId {
+        ProtocolId("bittorrent".into())
+    }
+}
+
+impl std::fmt::Display for ProtocolId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ProtocolId {
+    fn from(s: &str) -> Self {
+        ProtocolId(s.to_ascii_lowercase())
+    }
+}
+
+/// Factory creating a transfer for a spec, reading/writing `local`.
+pub type TransferFactory =
+    Arc<dyn Fn(&TransferSpec, Arc<dyn FileStore>) -> TransportResult<Box<dyn OobTransfer>> + Send + Sync>;
+
+/// Thread-safe protocol plugin registry.
+#[derive(Clone, Default)]
+pub struct ProtocolRegistry {
+    factories: Arc<RwLock<HashMap<ProtocolId, TransferFactory>>>,
+}
+
+impl ProtocolRegistry {
+    /// Empty registry.
+    pub fn new() -> ProtocolRegistry {
+        ProtocolRegistry::default()
+    }
+
+    /// Register (or replace) a protocol factory.
+    pub fn register(&self, id: ProtocolId, factory: TransferFactory) {
+        self.factories.write().insert(id, factory);
+    }
+
+    /// Instantiate a transfer using the named protocol.
+    pub fn create(
+        &self,
+        id: &ProtocolId,
+        spec: &TransferSpec,
+        local: Arc<dyn FileStore>,
+    ) -> TransportResult<Box<dyn OobTransfer>> {
+        let factory = self
+            .factories
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| TransportError::Protocol(format!("unknown protocol {id}")))?;
+        factory(spec, local)
+    }
+
+    /// Registered protocol names.
+    pub fn protocols(&self) -> Vec<ProtocolId> {
+        let mut v: Vec<ProtocolId> = self.factories.read().keys().cloned().collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Whether a protocol is registered.
+    pub fn supports(&self, id: &ProtocolId) -> bool {
+        self.factories.read().contains_key(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oob::{TransferStatus, TransferVerdict};
+    use crate::store::MemStore;
+
+    struct Null;
+    impl OobTransfer for Null {
+        fn connect(&mut self) -> TransportResult<()> {
+            Ok(())
+        }
+        fn disconnect(&mut self) -> TransportResult<()> {
+            Ok(())
+        }
+        fn probe(&mut self) -> TransportResult<TransferStatus> {
+            Ok(TransferStatus {
+                bytes_done: 0,
+                bytes_total: 0,
+                outcome: Some(TransferVerdict::Complete),
+            })
+        }
+        fn send(&mut self) -> TransportResult<()> {
+            Ok(())
+        }
+        fn receive(&mut self) -> TransportResult<()> {
+            Ok(())
+        }
+    }
+
+    fn null_factory() -> TransferFactory {
+        Arc::new(|_, _| Ok(Box::new(Null)))
+    }
+
+    #[test]
+    fn register_and_create() {
+        let reg = ProtocolRegistry::new();
+        reg.register(ProtocolId::ftp(), null_factory());
+        assert!(reg.supports(&ProtocolId::ftp()));
+        assert!(!reg.supports(&ProtocolId::bittorrent()));
+        let spec = TransferSpec {
+            name: "x".into(),
+            bytes: 0,
+            checksum: None,
+            remote: "r".into(),
+        };
+        let mut t = reg.create(&ProtocolId::ftp(), &spec, MemStore::new()).unwrap();
+        assert!(t.probe().unwrap().outcome.is_some());
+    }
+
+    #[test]
+    fn unknown_protocol_errors() {
+        let reg = ProtocolRegistry::new();
+        let spec = TransferSpec {
+            name: "x".into(),
+            bytes: 0,
+            checksum: None,
+            remote: "r".into(),
+        };
+        assert!(matches!(
+            reg.create(&ProtocolId::from("edonkey"), &spec, MemStore::new()),
+            Err(TransportError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn ids_normalize_case() {
+        assert_eq!(ProtocolId::from("BitTorrent"), ProtocolId::bittorrent());
+    }
+
+    #[test]
+    fn listing_is_sorted() {
+        let reg = ProtocolRegistry::new();
+        reg.register(ProtocolId::http(), null_factory());
+        reg.register(ProtocolId::bittorrent(), null_factory());
+        reg.register(ProtocolId::ftp(), null_factory());
+        let names: Vec<String> = reg.protocols().iter().map(|p| p.0.clone()).collect();
+        assert_eq!(names, vec!["bittorrent", "ftp", "http"]);
+    }
+
+    #[test]
+    fn replace_factory() {
+        let reg = ProtocolRegistry::new();
+        reg.register(ProtocolId::ftp(), null_factory());
+        reg.register(ProtocolId::ftp(), null_factory());
+        assert_eq!(reg.protocols().len(), 1);
+    }
+}

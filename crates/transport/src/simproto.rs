@@ -1,0 +1,415 @@
+//! Flow-level protocol models for the simulated experiments.
+//!
+//! The paper's transfer evaluation (Fig. 3a/3b/3c, and the Fig. 5/6
+//! application runs) used 10–400 Grid'5000 nodes moving 10 MB–2.68 GB files.
+//! The threaded protocols in this crate are real but cannot be run at that
+//! scale on one machine, so the benches use these models instead:
+//!
+//! * [`run_ftp_star`] — FTP's behaviour is exactly "N concurrent flows share
+//!   one server uplink"; the [`FlowNet`] max-min model *is* the protocol.
+//! * [`run_bitdew_ftp_star`] — the same, plus BitDew's measured costs:
+//!   a per-transfer control-plane setup (DC locate + DR describe + DT
+//!   register, §4.3) and server bandwidth consumed by the DT monitor /
+//!   DS synchronization message stream ("the overhead is mainly due to the
+//!   bandwidth consumed by the BitDew protocol").
+//! * [`bt_fluid_completion`] — a fluid BitTorrent swarm model (à la
+//!   Qiu–Srikant): the seed must upload the first copy at its uplink rate
+//!   (the *distinct-bytes frontier*), leechers re-serve what they hold with
+//!   an efficiency factor, and everyone is capped by their downlink and a
+//!   max-min share of swarm upload. Reproduces the two properties the
+//!   evaluation relies on: near-flat scaling with N, and a fixed ramp-up
+//!   that makes BitTorrent *lose* to FTP on small files / few nodes.
+//!   The piece-level swarm in [`crate::bittorrent`] validates this model's
+//!   shape at small scale (see `tests/` in the workspace root).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bitdew_sim::{FlowNet, FlowOutcome, HostId, Sim, SimDuration, SimTime};
+
+/// Outcome of a star distribution: per-client completion instants.
+#[derive(Debug, Default)]
+pub struct StarOutcome {
+    /// `(client, finished_at)` in completion order.
+    pub completions: Vec<(HostId, SimTime)>,
+    /// Clients whose transfer failed (host churn).
+    pub failures: Vec<HostId>,
+}
+
+impl StarOutcome {
+    /// Time the last client finished (ZERO when nothing completed).
+    pub fn makespan(&self) -> SimTime {
+        self.completions.iter().map(|&(_, t)| t).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// True when every client in a set of `n` finished.
+    pub fn all_done(&self, n: usize) -> bool {
+        self.completions.len() == n
+    }
+}
+
+/// Start a plain FTP star: every client pulls `bytes` from `server`
+/// concurrently, with a fixed per-connection setup `latency`. Returns a
+/// shared outcome cell filled in as the simulation runs.
+pub fn run_ftp_star(
+    sim: &mut Sim,
+    net: &FlowNet,
+    server: HostId,
+    clients: &[HostId],
+    bytes: f64,
+    latency: SimDuration,
+) -> Rc<RefCell<StarOutcome>> {
+    let outcome = Rc::new(RefCell::new(StarOutcome::default()));
+    for &client in clients {
+        let out = Rc::clone(&outcome);
+        net.start_flow(
+            sim,
+            server,
+            client,
+            bytes,
+            latency,
+            Box::new(move |_sim, result| match result {
+                FlowOutcome::Completed { finished_at, .. } => {
+                    out.borrow_mut().completions.push((client, finished_at));
+                }
+                FlowOutcome::Failed { .. } => out.borrow_mut().failures.push(client),
+            }),
+        );
+    }
+    outcome
+}
+
+/// BitDew control-plane cost parameters for the FTP overhead experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct BitdewControlCost {
+    /// Fixed latency before each transfer starts: DC locate + DR protocol
+    /// description + DT registration (three service round trips).
+    pub setup: SimDuration,
+    /// Server-uplink bytes/second consumed per *active* transfer by the DT
+    /// transfer monitor (500 ms period in §4.3) and DS synchronization (1 s).
+    pub control_bytes_per_client: f64,
+}
+
+impl Default for BitdewControlCost {
+    fn default() -> Self {
+        BitdewControlCost {
+            // Three RPCs at LAN latency plus service-side processing.
+            setup: SimDuration::from_millis(150),
+            // 2 monitor round trips/s × ~6 KB + 1 scheduler sync/s × ~4 KB.
+            control_bytes_per_client: 16_000.0,
+        }
+    }
+}
+
+/// FTP star *driven by BitDew*: adds the control-plane setup latency and
+/// keeps a server-uplink reservation proportional to the number of active
+/// transfers (recomputed as transfers finish).
+pub fn run_bitdew_ftp_star(
+    sim: &mut Sim,
+    net: &FlowNet,
+    server: HostId,
+    clients: &[HostId],
+    bytes: f64,
+    latency: SimDuration,
+    cost: BitdewControlCost,
+) -> Rc<RefCell<StarOutcome>> {
+    let outcome = Rc::new(RefCell::new(StarOutcome::default()));
+    let active = Rc::new(RefCell::new(clients.len()));
+    net.reserve_up(sim, server, *active.borrow() as f64 * cost.control_bytes_per_client);
+    for &client in clients {
+        let out = Rc::clone(&outcome);
+        let active = Rc::clone(&active);
+        let net2 = net.clone();
+        net.start_flow(
+            sim,
+            server,
+            client,
+            bytes,
+            latency + cost.setup,
+            Box::new(move |sim, result| {
+                {
+                    let mut out = out.borrow_mut();
+                    match result {
+                        FlowOutcome::Completed { finished_at, .. } => {
+                            out.completions.push((client, finished_at));
+                        }
+                        FlowOutcome::Failed { .. } => out.failures.push(client),
+                    }
+                }
+                let remaining = {
+                    let mut a = active.borrow_mut();
+                    *a -= 1;
+                    *a
+                };
+                net2.reserve_up(
+                    sim,
+                    server,
+                    remaining as f64 * cost.control_bytes_per_client,
+                );
+            }),
+        );
+    }
+    outcome
+}
+
+/// Fluid BitTorrent swarm parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BtFluidParams {
+    /// Tracker contact + handshakes + first-piece latency before any payload
+    /// flows (the fixed cost that makes BT lose on small transfers).
+    pub startup_secs: f64,
+    /// Fraction of extra bytes moved by the piece protocol (hashes,
+    /// HAVE/REQUEST chatter, duplicate suppression imperfection).
+    pub protocol_overhead: f64,
+    /// Utilization of leecher uplinks (piece diversity is never perfect).
+    pub efficiency: f64,
+    /// Integration step in seconds.
+    pub dt: f64,
+}
+
+impl Default for BtFluidParams {
+    fn default() -> Self {
+        BtFluidParams {
+            startup_secs: 12.0,
+            protocol_overhead: 0.05,
+            efficiency: 0.55,
+            dt: 0.25,
+        }
+    }
+}
+
+/// Per-peer link capacities in bytes/second.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerLink {
+    /// Downlink capacity.
+    pub down: f64,
+    /// Uplink capacity.
+    pub up: f64,
+}
+
+/// Integrate the fluid swarm model: one seed with uplink `seed_up`
+/// distributing `file_bytes` to `peers`. Returns each peer's completion time
+/// in seconds (same order as `peers`).
+pub fn bt_fluid_completion(
+    file_bytes: f64,
+    seed_up: f64,
+    peers: &[PeerLink],
+    params: &BtFluidParams,
+) -> Vec<f64> {
+    let n = peers.len();
+    if n == 0 || file_bytes <= 0.0 {
+        return vec![params.startup_secs; n];
+    }
+    let goal = file_bytes * (1.0 + params.protocol_overhead);
+    let mut have = vec![0.0f64; n];
+    let mut done = vec![f64::NAN; n];
+    let mut distinct = 0.0f64; // bytes of the file present outside the seed
+    let mut t = params.startup_secs;
+    let dt = params.dt.max(1e-3);
+    let max_t = params.startup_secs + 1e7;
+    let mut remaining = n;
+
+    while remaining > 0 && t < max_t {
+        // Swarm upload capacity: the seed plus every peer that holds data
+        // (finished peers keep seeding, as in a real swarm that has not been
+        // torn down yet).
+        let leech_up: f64 = have
+            .iter()
+            .map(|&h| if h > 0.0 { params.efficiency } else { 0.0 })
+            .zip(peers.iter())
+            .map(|(eff, p)| eff * p.up)
+            .sum();
+        let supply = seed_up + leech_up;
+
+        // Max-min allocation of `supply` across needy peers capped by their
+        // downlinks: sort by cap, fill progressively.
+        let mut needy: Vec<usize> =
+            (0..n).filter(|&i| done[i].is_nan()).collect();
+        needy.sort_by(|&a, &b| {
+            peers[a].down.partial_cmp(&peers[b].down).expect("finite bw")
+        });
+        let mut rates = vec![0.0f64; n];
+        let mut left = supply;
+        let mut unfilled = needy.len();
+        for &i in &needy {
+            let fair = left / unfilled as f64;
+            let r = fair.min(peers[i].down);
+            rates[i] = r;
+            left -= r;
+            unfilled -= 1;
+        }
+
+        // The distinct-bytes frontier: the seed injects novelty at seed_up;
+        // nobody can hold more of the file than has left the seed.
+        distinct = (distinct + seed_up * dt).min(goal);
+
+        for i in 0..n {
+            if done[i].is_nan() {
+                have[i] = (have[i] + rates[i] * dt).min(distinct);
+                if have[i] >= goal - 1e-6 {
+                    done[i] = t + dt;
+                    remaining -= 1;
+                }
+            }
+        }
+        t += dt;
+    }
+    // Anything unfinished gets the cap (shouldn't happen with sane inputs).
+    done.iter().map(|&d| if d.is_nan() { max_t } else { d }).collect()
+}
+
+/// Completion time of the whole swarm (max over peers).
+pub fn bt_fluid_makespan(
+    file_bytes: f64,
+    seed_up: f64,
+    peers: &[PeerLink],
+    params: &BtFluidParams,
+) -> f64 {
+    bt_fluid_completion(file_bytes, seed_up, peers, params)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitdew_sim::topology;
+
+    const GBE: f64 = 125.0e6;
+
+    fn gbe_peers(n: usize) -> Vec<PeerLink> {
+        vec![PeerLink { down: GBE, up: GBE }; n]
+    }
+
+    #[test]
+    fn ftp_star_divides_server_uplink() {
+        let topo = topology::gdx_cluster(10);
+        let mut sim = Sim::new(1);
+        let out = run_ftp_star(
+            &mut sim,
+            &topo.net,
+            topo.service,
+            &topo.workers,
+            100.0e6,
+            SimDuration::ZERO,
+        );
+        sim.run();
+        let out = out.borrow();
+        assert!(out.all_done(10));
+        // 10 clients × 100 MB over a 125 MB/s uplink → 8 s.
+        assert!((out.makespan().as_secs_f64() - 8.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ftp_star_scales_linearly_with_clients() {
+        let mut makespans = Vec::new();
+        for n in [10usize, 20, 40] {
+            let topo = topology::gdx_cluster(n);
+            let mut sim = Sim::new(1);
+            let out = run_ftp_star(
+                &mut sim,
+                &topo.net,
+                topo.service,
+                &topo.workers,
+                50.0e6,
+                SimDuration::ZERO,
+            );
+            sim.run();
+            makespans.push(out.borrow().makespan().as_secs_f64());
+        }
+        assert!((makespans[1] / makespans[0] - 2.0).abs() < 0.05);
+        assert!((makespans[2] / makespans[0] - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn bitdew_overhead_positive_and_grows_with_n() {
+        let cost = BitdewControlCost::default();
+        let mut overheads = Vec::new();
+        for n in [10usize, 100] {
+            let bytes = 100.0e6;
+            let plain = {
+                let topo = topology::gdx_cluster(n);
+                let mut sim = Sim::new(1);
+                let out = run_ftp_star(
+                    &mut sim,
+                    &topo.net,
+                    topo.service,
+                    &topo.workers,
+                    bytes,
+                    SimDuration::ZERO,
+                );
+                sim.run();
+                let m = out.borrow().makespan().as_secs_f64();
+                m
+            };
+            let bitdew = {
+                let topo = topology::gdx_cluster(n);
+                let mut sim = Sim::new(1);
+                let out = run_bitdew_ftp_star(
+                    &mut sim,
+                    &topo.net,
+                    topo.service,
+                    &topo.workers,
+                    bytes,
+                    SimDuration::ZERO,
+                    cost,
+                );
+                sim.run();
+                let m = out.borrow().makespan().as_secs_f64();
+                m
+            };
+            assert!(bitdew > plain, "bitdew {bitdew} vs plain {plain}");
+            overheads.push(bitdew - plain);
+        }
+        assert!(
+            overheads[1] > overheads[0],
+            "overhead grows with N: {overheads:?}"
+        );
+    }
+
+    #[test]
+    fn bt_fluid_nearly_flat_in_n() {
+        let params = BtFluidParams::default();
+        let t10 = bt_fluid_makespan(500.0e6, GBE, &gbe_peers(10), &params);
+        let t250 = bt_fluid_makespan(500.0e6, GBE, &gbe_peers(250), &params);
+        // 25× more nodes must cost far less than 25× the time ("nearly flat").
+        assert!(
+            t250 < t10 * 2.5,
+            "BT should be nearly flat: t10={t10:.1}s t250={t250:.1}s"
+        );
+    }
+
+    #[test]
+    fn bt_loses_to_ftp_on_small_files_few_nodes() {
+        // Fig. 3a: at 10 MB / 10 nodes FTP wins; at 100 MB / 100 nodes BT wins.
+        let params = BtFluidParams::default();
+        let ftp = |bytes: f64, n: usize| n as f64 * bytes / GBE;
+        let small_bt = bt_fluid_makespan(10.0e6, GBE, &gbe_peers(10), &params);
+        assert!(small_bt > ftp(10.0e6, 10), "BT must lose at 10MB/10 nodes");
+        let big_bt = bt_fluid_makespan(100.0e6, GBE, &gbe_peers(100), &params);
+        assert!(big_bt < ftp(100.0e6, 100), "BT must win at 100MB/100 nodes");
+    }
+
+    #[test]
+    fn bt_respects_distinct_frontier() {
+        // A swarm cannot finish faster than the seed can upload one copy.
+        let params = BtFluidParams { startup_secs: 0.0, ..Default::default() };
+        let t = bt_fluid_makespan(100.0e6, 10.0e6, &gbe_peers(50), &params);
+        assert!(t >= 100.0e6 * 1.05 / 10.0e6 - 1.0, "t = {t}");
+    }
+
+    #[test]
+    fn bt_heterogeneous_slowest_peer_finishes_last() {
+        let params = BtFluidParams::default();
+        let mut peers = gbe_peers(5);
+        peers.push(PeerLink { down: 1.0e6, up: 0.25e6 }); // an ADSL straggler
+        let times = bt_fluid_completion(50.0e6, GBE, &peers, &params);
+        let straggler = times[5];
+        assert!(times[..5].iter().all(|&t| t < straggler));
+    }
+
+    #[test]
+    fn empty_peer_set() {
+        assert!(bt_fluid_completion(1.0, 1.0, &[], &BtFluidParams::default()).is_empty());
+    }
+}

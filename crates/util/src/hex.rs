@@ -1,0 +1,76 @@
+//! Minimal hexadecimal codec used for digests and identifiers.
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encode bytes as lowercase hexadecimal.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decode a hexadecimal string (either case). Returns `None` on odd length or
+/// non-hex characters.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = nibble(pair[0])?;
+        let lo = nibble(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
+}
+
+fn nibble(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_known() {
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decode_known() {
+        assert_eq!(decode("00ff10"), Some(vec![0x00, 0xff, 0x10]));
+        assert_eq!(decode("00FF10"), Some(vec![0x00, 0xff, 0x10]));
+        assert_eq!(decode(""), Some(vec![]));
+        assert_eq!(decode("0"), None);
+        assert_eq!(decode("0g"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert_eq!(decode(&encode(&bytes)), Some(bytes));
+        }
+
+        #[test]
+        fn decode_rejects_or_roundtrips(s in "[0-9a-fA-F]{0,64}") {
+            if s.len() % 2 == 0 {
+                let decoded = decode(&s).expect("even-length hex must decode");
+                prop_assert_eq!(encode(&decoded), s.to_lowercase());
+            } else {
+                prop_assert_eq!(decode(&s), None);
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! MD5 message digest, implemented from scratch per RFC 1321.
+//!
+//! BitDew computes an MD5 signature for every datum (`Data.checksum`, §3.3)
+//! and the Data Transfer service re-verifies it on the receiver side to decide
+//! whether an out-of-band transfer completed correctly (§3.4.2). MD5 is of
+//! course not collision-resistant by modern standards; the paper uses it as a
+//! content fingerprint, not as a cryptographic commitment, and we keep the
+//! same algorithm so checksums are bit-compatible with the original system.
+//!
+//! The implementation is a straightforward streaming Merkle–Damgård core:
+//! callers may either feed data incrementally through [`Md5::update`] or use
+//! the one-shot [`md5`] helper.
+
+use std::fmt;
+
+/// Per-round shift amounts, table 4 of RFC 1321.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Sine-derived constants: `K[i] = floor(2^32 * abs(sin(i + 1)))`.
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+const INIT_STATE: [u32; 4] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476];
+
+/// A finished 128-bit MD5 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Md5Digest(pub [u8; 16]);
+
+impl Md5Digest {
+    /// Digest as raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+
+    /// Lowercase hexadecimal rendering (32 chars), the conventional form.
+    pub fn to_hex(&self) -> String {
+        crate::hex::encode(&self.0)
+    }
+
+    /// Parse a digest from its 32-character hexadecimal rendering.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let bytes = crate::hex::decode(s)?;
+        let arr: [u8; 16] = bytes.try_into().ok()?;
+        Some(Md5Digest(arr))
+    }
+
+    /// Fold the 128-bit digest to 64 bits (xor of halves). Used by the DHT to
+    /// key data by content signature, mirroring the paper's remark (§2.2) that
+    /// "indexing data with their checksum as is commonly done by DHT and P2P
+    /// software permits basic sabotage tolerance".
+    pub fn fold64(&self) -> u64 {
+        let hi = u64::from_le_bytes(self.0[0..8].try_into().unwrap());
+        let lo = u64::from_le_bytes(self.0[8..16].try_into().unwrap());
+        hi ^ lo
+    }
+}
+
+impl fmt::Debug for Md5Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Md5Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Md5Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Streaming MD5 hasher.
+#[derive(Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Total message length in bytes (mod 2^64, as RFC 1321 prescribes bits mod 2^64).
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Create a fresh hasher.
+    pub fn new() -> Self {
+        Md5 { state: INIT_STATE, len: 0, buf: [0u8; 64], buf_len: 0 }
+    }
+
+    /// Absorb `data` into the hash state.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        // Fill a partially full block first.
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        // Whole blocks straight from the input.
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().unwrap());
+            data = rest;
+        }
+        // Stash the tail.
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finish padding and produce the digest, consuming the hasher.
+    pub fn finalize(mut self) -> Md5Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        // Append 0x80 then zeros until 56 mod 64, then the 64-bit bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0x00]);
+        }
+        // Manual block write for the length: update() would also bump self.len,
+        // which no longer matters because bit_len was latched above.
+        self.update(&bit_len.to_le_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        Md5Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let rot = a
+                .wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g])
+                .rotate_left(S[i]);
+            b = b.wrapping_add(rot);
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn md5(data: &[u8]) -> Md5Digest {
+    let mut h = Md5::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Digest a reader in 64 KiB chunks; convenience for hashing files.
+pub fn md5_reader<R: std::io::Read>(mut reader: R) -> std::io::Result<Md5Digest> {
+    let mut h = Md5::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = reader.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        h.update(&buf[..n]);
+    }
+    Ok(h.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases: &[(&str, &str)] = &[
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, expect) in cases {
+            assert_eq!(md5(input.as_bytes()).to_hex(), *expect, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_at_all_split_points() {
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 7 % 251) as u8).collect();
+        let whole = md5(&data);
+        for split in 0..data.len() {
+            let mut h = Md5::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Lengths straddling the 56-byte padding threshold and 64-byte blocks.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 121, 127, 128, 129] {
+            let data = vec![0xabu8; len];
+            let mut h = Md5::new();
+            for byte in &data {
+                h.update(std::slice::from_ref(byte));
+            }
+            assert_eq!(h.finalize(), md5(&data), "len {len}");
+        }
+    }
+
+    #[test]
+    fn reader_digest_matches() {
+        let data = vec![42u8; 1 << 18];
+        let via_reader = md5_reader(&data[..]).unwrap();
+        assert_eq!(via_reader, md5(&data));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = md5(b"roundtrip");
+        assert_eq!(Md5Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Md5Digest::from_hex("zz"), None);
+        assert_eq!(Md5Digest::from_hex("abcd"), None); // wrong length
+    }
+
+    #[test]
+    fn fold64_differs_for_different_content() {
+        assert_ne!(md5(b"a").fold64(), md5(b"b").fold64());
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let d = md5(b"abc");
+        assert_eq!(format!("{d}"), "900150983cd24fb0d6963f7d28e17f72");
+        assert!(format!("{d:?}").contains("900150983cd24fb0d6963f7d28e17f72"));
+    }
+}

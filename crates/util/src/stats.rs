@@ -1,0 +1,303 @@
+//! Streaming statistics accumulators.
+//!
+//! Table 3 of the paper reports *Min / Max / Sd / Mean* for the publish rate
+//! into the centralized and distributed data catalogs; the transfer
+//! experiments (Fig. 3, Fig. 5) average over 30 runs. [`RunningStats`]
+//! provides those aggregates in one pass using Welford's numerically stable
+//! recurrence, so harness code never stores full sample vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// One-pass min/max/mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Absorb one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Absorb many samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample (n-1) variance (0 if fewer than 2 samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest sample (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (-inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Simple fixed-bucket histogram for latency distributions in the harness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi)` with `n` equal-width buckets.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo` or `n == 0`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(hi > lo && n > 0, "invalid histogram bounds");
+        Histogram { lo, hi, buckets: vec![0; n], underflow: 0, overflow: 0 }
+    }
+
+    /// Absorb one sample.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.buckets.len() as f64) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Bucket counts (excluding under/overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of samples absorbed.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Approximate quantile (`q` in [0,1]) from bucket midpoints.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.lo;
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.lo + (i as f64 + 0.5) * width;
+            }
+        }
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let mut s = RunningStats::new();
+        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        whole.extend(data.iter().copied());
+        for split in [0usize, 1, 50, 99, 100] {
+            let mut a = RunningStats::new();
+            a.extend(data[..split].iter().copied());
+            let mut b = RunningStats::new();
+            b.extend(data[split..].iter().copied());
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean() - whole.mean()).abs() < 1e-9, "split {split}");
+            assert!((a.variance() - whole.variance()).abs() < 1e-9, "split {split}");
+        }
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.7, 9.99, -1.0, 10.0, 25.0] {
+            h.push(x);
+        }
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 2);
+        assert_eq!(h.buckets()[9], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_quantile_monotone() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..1000 {
+            h.push((i % 100) as f64);
+        }
+        assert!(h.quantile(0.1) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(0.9));
+        assert!((h.quantile(0.5) - 50.0).abs() < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram bounds")]
+    fn histogram_rejects_bad_bounds() {
+        let _ = Histogram::new(5.0, 5.0, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn stats_match_naive(data in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let mut s = RunningStats::new();
+            s.extend(data.iter().copied());
+            let n = data.len() as f64;
+            let mean: f64 = data.iter().sum::<f64>() / n;
+            let var: f64 = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+            prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+            prop_assert_eq!(s.min(), data.iter().copied().fold(f64::INFINITY, f64::min));
+            prop_assert_eq!(s.max(), data.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        }
+
+        #[test]
+        fn merge_any_split(data in proptest::collection::vec(-100f64..100.0, 2..100),
+                           split_frac in 0.0f64..1.0) {
+            let split = ((data.len() as f64) * split_frac) as usize;
+            let mut whole = RunningStats::new();
+            whole.extend(data.iter().copied());
+            let mut a = RunningStats::new();
+            a.extend(data[..split].iter().copied());
+            let mut b = RunningStats::new();
+            b.extend(data[split..].iter().copied());
+            a.merge(&b);
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-8);
+            prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
+        }
+    }
+}

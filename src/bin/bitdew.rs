@@ -1,0 +1,188 @@
+//! `bitdew` — the command-line tool of the paper's application layer
+//! (Fig. 1 lists "Command-line Tool" among the applications built on the
+//! APIs).
+//!
+//! ```text
+//! bitdew attr '<definition…>'          parse + resolve attribute definitions
+//! bitdew md5 <file>                    MD5 of a file (data-creation helper)
+//! bitdew transfer --nodes N --mb M --protocol ftp|bt
+//!                                      predicted distribution makespan
+//! bitdew blast --workers N --protocol ftp|bt
+//!                                      predicted §5 MW BLAST total time
+//! bitdew demo                          run a live create→replicate round
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use bitdew::core::{
+    parse_attributes, BitdewNode, DataAttributes, ResolveCtx, RuntimeConfig, ServiceContainer,
+};
+use bitdew::mw::{fig5_point, BigFileProtocol, BlastParams};
+use bitdew::sim::{topology, Sim, SimDuration};
+use bitdew::transport::simproto::{bt_fluid_makespan, run_ftp_star, BtFluidParams, PeerLink};
+use bitdew::util::fmt;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bitdew <command>\n\
+         \n\
+         commands:\n\
+           attr <definition>                          parse attribute definitions\n\
+           md5 <file>                                 checksum a file\n\
+           transfer --nodes N --mb M --protocol P     predict distribution time (P: ftp|bt)\n\
+           blast --workers N --protocol P             predict MW BLAST total time\n\
+           demo                                       run a live replication round"
+    );
+    ExitCode::from(2)
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_attr(args: &[String]) -> ExitCode {
+    let Some(src) = args.first() else {
+        eprintln!("attr: missing definition (quote the whole string)");
+        return ExitCode::from(2);
+    };
+    // Accept either an inline definition or a file path.
+    let text = match std::fs::read_to_string(src) {
+        Ok(t) => t,
+        Err(_) => src.clone(),
+    };
+    match parse_attributes(&text) {
+        Ok(defs) => {
+            for def in &defs {
+                println!("attribute {}:", def.name);
+                match def.resolve(&ResolveCtx::default()) {
+                    Ok(a) => {
+                        println!("  replica          = {}", a.replica);
+                        println!("  fault tolerance  = {}", a.fault_tolerant);
+                        println!("  lifetime         = {:?}", a.lifetime);
+                        println!("  affinity         = {:?}", a.affinity);
+                        println!("  protocol         = {}", a.protocol);
+                    }
+                    Err(e) => println!("  (needs name/variable bindings: {e})"),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("attr: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_md5(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("md5: missing file");
+        return ExitCode::from(2);
+    };
+    match std::fs::File::open(path).and_then(bitdew::util::md5::md5_reader) {
+        Ok(digest) => {
+            println!("{digest}  {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("md5: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_transfer(args: &[String]) -> ExitCode {
+    let nodes: usize = flag(args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(50);
+    let mb: f64 = flag(args, "--mb").and_then(|v| v.parse().ok()).unwrap_or(100.0);
+    let proto = flag(args, "--protocol").unwrap_or_else(|| "ftp".into());
+    let bytes = mb * 1e6;
+    let secs = match proto.as_str() {
+        "ftp" => {
+            let topo = topology::gdx_cluster(nodes);
+            let mut sim = Sim::new(1);
+            let out = run_ftp_star(
+                &mut sim,
+                &topo.net,
+                topo.service,
+                &topo.workers,
+                bytes,
+                SimDuration::ZERO,
+            );
+            sim.run();
+            let m = out.borrow().makespan().as_secs_f64();
+            m
+        }
+        "bt" | "bittorrent" => {
+            let peers = vec![PeerLink { down: 125.0e6, up: 125.0e6 }; nodes];
+            bt_fluid_makespan(bytes, 125.0e6, &peers, &BtFluidParams::default())
+        }
+        other => {
+            eprintln!("transfer: unknown protocol {other} (ftp|bt)");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "distributing {} to {nodes} GbE nodes over {proto}: {}",
+        fmt::bytes(bytes as u64),
+        fmt::seconds(secs)
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_blast(args: &[String]) -> ExitCode {
+    let workers: usize = flag(args, "--workers").and_then(|v| v.parse().ok()).unwrap_or(100);
+    let proto = match flag(args, "--protocol").as_deref() {
+        Some("bt") | Some("bittorrent") => BigFileProtocol::BitTorrent,
+        _ => BigFileProtocol::Ftp,
+    };
+    let secs = fig5_point(workers, proto, &BlastParams::default());
+    println!(
+        "MW BLAST (2.68 GB genebase) on {workers} workers over {}: {}",
+        proto.label(),
+        fmt::seconds(secs)
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_demo() -> ExitCode {
+    let container = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&container));
+    let content = b"bitdew-cli demo payload".to_vec();
+    let data = client.create_data("cli-demo", &content).expect("create");
+    client.put(&data, &content).expect("put");
+    client
+        .schedule(&data, DataAttributes::default().with_replica(2))
+        .expect("schedule");
+    let w1 = BitdewNode::new(Arc::clone(&container));
+    let w2 = BitdewNode::new(Arc::clone(&container));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !(w1.has_cached(data.id) && w2.has_cached(data.id)) {
+        if std::time::Instant::now() > deadline {
+            eprintln!("demo: replication timed out");
+            return ExitCode::FAILURE;
+        }
+        w1.sync_once();
+        w2.sync_once();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    println!(
+        "created {} ({}; md5 {}) and replicated it to 2 reservoir nodes",
+        data.name,
+        fmt::bytes(data.size),
+        data.checksum
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("attr") => cmd_attr(&args[1..]),
+        Some("md5") => cmd_md5(&args[1..]),
+        Some("transfer") => cmd_transfer(&args[1..]),
+        Some("blast") => cmd_blast(&args[1..]),
+        Some("demo") => cmd_demo(),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,21 @@
+//! # bitdew — facade crate
+//!
+//! Re-exports every crate of the BitDew-rs workspace under one roof, the
+//! way the original Java distribution shipped one jar. Start with
+//! [`core`] ([`bitdew_core`]) for the programming interfaces; see the
+//! `examples/` directory for runnable walk-throughs:
+//!
+//! * `quickstart` — create, tag, replicate a datum;
+//! * `file_updater` — the paper's Listing 1/2 network-update program;
+//! * `blast_mw` — the §5 master/worker application on the threaded runtime;
+//! * `fault_tolerance` — the Fig. 4 churn scenario under the simulator.
+
+#![warn(missing_docs)]
+
+pub use bitdew_core as core;
+pub use bitdew_dht as dht;
+pub use bitdew_mw as mw;
+pub use bitdew_sim as sim;
+pub use bitdew_storage as storage;
+pub use bitdew_transport as transport;
+pub use bitdew_util as util;
