@@ -15,8 +15,14 @@ fn dht_arity(c: &mut Criterion) {
     let mut g = c.benchmark_group("dht_arity_512nodes");
     for arity in [2u32, 4, 8] {
         let mut rng = SmallRng::seed_from_u64(11);
-        let mut overlay =
-            build_overlay(DhtConfig { arity, replication: 2 }, 512, &mut rng);
+        let mut overlay = build_overlay(
+            DhtConfig {
+                arity,
+                replication: 2,
+            },
+            512,
+            &mut rng,
+        );
         let members = overlay.members();
         g.bench_function(format!("k{arity}"), |b| {
             b.iter(|| {

@@ -75,8 +75,14 @@ fn bench_dht_lookup(c: &mut Criterion) {
 fn bench_wal_append(c: &mut Criterion) {
     let dir = TempDir::new("bench-wal");
     let mut wal = WalWriter::open(dir.path().join("wal.log"), SyncPolicy::Never).unwrap();
-    let rec = LogRecord::Put { table: "t".into(), key: vec![1; 16], value: vec![2; 128] };
-    c.bench_function("wal_append_128B", |b| b.iter(|| wal.append(black_box(&rec)).unwrap()));
+    let rec = LogRecord::Put {
+        table: "t".into(),
+        key: vec![1; 16],
+        value: vec![2; 128],
+    };
+    c.bench_function("wal_append_128B", |b| {
+        b.iter(|| wal.append(black_box(&rec)).unwrap())
+    });
 }
 
 fn bench_flow_recompute(c: &mut Criterion) {

@@ -51,7 +51,14 @@ fn ablate_dht_arity() {
     let mut rows = Vec::new();
     for arity in [2u32, 4, 8, 16] {
         let mut rng = SmallRng::seed_from_u64(9);
-        let mut overlay = build_overlay(DhtConfig { arity, replication: 2 }, 512, &mut rng);
+        let mut overlay = build_overlay(
+            DhtConfig {
+                arity,
+                replication: 2,
+            },
+            512,
+            &mut rng,
+        );
         let members = overlay.members();
         let mut hops = 0usize;
         let samples = 400;
@@ -93,18 +100,24 @@ fn ablate_pool_size() {
             }
         });
         let secs = start.elapsed().as_secs_f64();
-        rows.push(vec![
-            size.to_string(),
-            format!("{:.0} kop/s", 16.0 / secs),
-        ]);
+        rows.push(vec![size.to_string(), format!("{:.0} kop/s", 16.0 / secs)]);
     }
     print_table(&["pool size", "throughput"], &rows);
 }
 
 fn ablate_bt_seed_uplink() {
     section("Ablation 4 — BitTorrent seed uplink vs. swarm makespan (100 MB, 100 peers)");
-    let peers = vec![PeerLink { down: 125.0e6, up: 125.0e6 }; 100];
-    let params = BtFluidParams { startup_secs: 0.0, ..Default::default() };
+    let peers = vec![
+        PeerLink {
+            down: 125.0e6,
+            up: 125.0e6
+        };
+        100
+    ];
+    let params = BtFluidParams {
+        startup_secs: 0.0,
+        ..Default::default()
+    };
     let mut rows = Vec::new();
     for seed_mbps in [1.0f64, 10.0, 100.0, 1000.0] {
         let t = bt_fluid_makespan(100.0e6, seed_mbps * 125_000.0, &peers, &params);

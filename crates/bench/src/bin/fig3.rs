@@ -49,7 +49,13 @@ fn ftp_makespan(nodes: usize, bytes: f64, bitdew: bool) -> f64 {
 }
 
 fn bt_makespan(nodes: usize, bytes: f64) -> f64 {
-    let peers = vec![PeerLink { down: 125.0e6, up: 125.0e6 }; nodes];
+    let peers = vec![
+        PeerLink {
+            down: 125.0e6,
+            up: 125.0e6
+        };
+        nodes
+    ];
     bt_fluid_makespan(bytes, 125.0e6, &peers, &BtFluidParams::default())
 }
 
@@ -59,7 +65,10 @@ fn main() {
     for &size_mb in &FIG3_SIZES_MB {
         let bytes = (size_mb * MB) as f64;
         for (label, f) in [
-            ("ftp", Box::new(|n: usize| ftp_makespan(n, bytes, false)) as Box<dyn Fn(usize) -> f64>),
+            (
+                "ftp",
+                Box::new(|n: usize| ftp_makespan(n, bytes, false)) as Box<dyn Fn(usize) -> f64>,
+            ),
             ("bt", Box::new(move |n: usize| bt_makespan(n, bytes))),
         ] {
             let mut cells = vec![format!("{size_mb} MB / {label}")];
@@ -69,10 +78,9 @@ fn main() {
             rows.push(cells);
         }
     }
-    let headers: Vec<String> =
-        std::iter::once("size/proto".to_string())
-            .chain(FIG3_NODES.iter().map(|n| format!("{n} nodes")))
-            .collect();
+    let headers: Vec<String> = std::iter::once("size/proto".to_string())
+        .chain(FIG3_NODES.iter().map(|n| format!("{n} nodes")))
+        .collect();
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     print_table(&headers_ref, &rows);
     println!("\nshape checks: FTP rows grow ~linearly with nodes; BT rows are nearly flat;");

@@ -41,14 +41,19 @@ fn main() {
 
     let mut rng = rand::rngs::SmallRng::clone(&sim.rng);
     let data = Data::slot(
-        Auid::generate(1, &mut <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(4),),
+        Auid::generate(
+            1,
+            &mut <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(4),
+        ),
         "replica-5",
         DATA_BYTES,
     );
     let _ = &mut rng;
     bd.schedule_data(
         data.clone(),
-        DataAttributes::default().with_replica(5).with_fault_tolerance(true),
+        DataAttributes::default()
+            .with_replica(5)
+            .with_fault_tolerance(true),
     );
 
     // Initial owners: DSL01–DSL05 start at t = 0.
@@ -91,7 +96,11 @@ fn main() {
     let records = trace.records();
     let name_of = |h: HostId| pool.borrow().get(h).spec.name.clone();
     for (idx, &host) in topo.workers.iter().enumerate() {
-        let arrive = if idx < 5 { 0.0 } else { ((idx - 5 + 1) as u64 * KILL_PERIOD_S) as f64 };
+        let arrive = if idx < 5 {
+            0.0
+        } else {
+            ((idx - 5 + 1) as u64 * KILL_PERIOD_S) as f64
+        };
         let mut sched = None;
         let mut dl_start = None;
         let mut dl_end = None;
@@ -116,12 +125,17 @@ fn main() {
             _ => None,
         });
         let (Some(s), Some(ds), Some(de)) = (sched, dl_start, dl_end) else {
-            println!("{:<6} | {arrive:>6.1} | (no transfer recorded)", name_of(host));
+            println!(
+                "{:<6} | {arrive:>6.1} | (no transfer recorded)",
+                name_of(host)
+            );
             continue;
         };
         let waiting = s - arrive;
         let download = de - ds;
-        let crash_note = crash.map(|c| format!("  † crash at {c:.0}s")).unwrap_or_default();
+        let crash_note = crash
+            .map(|c| format!("  † crash at {c:.0}s"))
+            .unwrap_or_default();
         println!(
             "{:<6} | {arrive:>6.1} | {s:>6.1} | {ds:>8.1}..{de:>8.1} | {waiting:>6.1}s | {download:>7.1}s | {}{crash_note}",
             name_of(host),

@@ -19,9 +19,15 @@ fn main() {
         let report = run_blast(&topo, proto, &params);
         assert_eq!(report.placed_sequences, 400, "scheduler placed every task");
         for &cl in &clusters {
-            let Some(mean) = report.cluster_mean(cl) else { continue };
+            let Some(mean) = report.cluster_mean(cl) else {
+                continue;
+            };
             rows.push(vec![
-                if cl == "*" { "mean".to_string() } else { cl.to_string() },
+                if cl == "*" {
+                    "mean".to_string()
+                } else {
+                    cl.to_string()
+                },
                 proto.label().to_string(),
                 format!("{:.0}", mean.transfer_secs),
                 format!("{:.0}", mean.unzip_secs),
@@ -31,15 +37,22 @@ fn main() {
         }
     }
     print_table(
-        &["cluster", "proto", "transfer", "unzip", "execution", "total"],
+        &[
+            "cluster",
+            "proto",
+            "transfer",
+            "unzip",
+            "execution",
+            "total",
+        ],
         &rows,
     );
 
     // The headline claim.
     let ftp = run_blast(&topo, BigFileProtocol::Ftp, &params);
     let bt = run_blast(&topo, BigFileProtocol::BitTorrent, &params);
-    let gain = ftp.cluster_mean("*").unwrap().transfer_secs
-        / bt.cluster_mean("*").unwrap().transfer_secs;
+    let gain =
+        ftp.cluster_mean("*").unwrap().transfer_secs / bt.cluster_mean("*").unwrap().transfer_secs;
     println!("\ntransfer-time gain from BitTorrent: {gain:.1}× (paper: \"almost a factor 10\")");
     println!("unzip and execution are protocol-independent; grelon (1.6 GHz Xeon) shows the");
     println!("longest compute phases, sagittaire (2.4 GHz Opteron) the shortest — as in the");

@@ -25,7 +25,15 @@ fn main() {
         })
         .collect();
     print_table(
-        &["cluster", "location", "#CPUs", "CPU type", "frequency", "compute ×", "access link"],
+        &[
+            "cluster",
+            "location",
+            "#CPUs",
+            "CPU type",
+            "frequency",
+            "compute ×",
+            "access link",
+        ],
         &rows,
     );
     let total: usize = clusters.iter().map(|c| c.nodes).sum();

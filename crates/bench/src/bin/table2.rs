@@ -120,9 +120,7 @@ fn main() {
     let mut rows = Vec::new();
     for (tier, label) in tiers {
         let mut cells = vec![label.to_string()];
-        for (networked, pooled) in
-            [(true, false), (false, false), (true, true), (false, true)]
-        {
+        for (networked, pooled) in [(true, false), (false, false), (true, true), (false, true)] {
             let rate = measure(tier, networked, pooled);
             cells.push(format!("{:.1}", rate / 1000.0));
         }

@@ -30,11 +30,16 @@ const DC_OP_SECS: f64 = 0.000_28;
 
 fn main() {
     section("Table 3 — publish time for 500 (dataID, hostID) pairs per node, 50 nodes");
-    println!("(paper, seconds: DDC 100.71 / 121.56 / 3.18 / 108.75; DC 2.20 / 22.9 / 5.05 / 7.02)\n");
+    println!(
+        "(paper, seconds: DDC 100.71 / 121.56 / 3.18 / 108.75; DC 2.20 / 22.9 / 5.05 / 7.02)\n"
+    );
 
     let mut rng = SmallRng::seed_from_u64(50);
     let mut ddc = DistributedCatalog::new(
-        DhtConfig { arity: 4, replication: 4 },
+        DhtConfig {
+            arity: 4,
+            replication: 4,
+        },
         NODES,
         &mut rng,
     );
@@ -84,7 +89,10 @@ fn main() {
     };
     print_table(
         &["", "Min", "Max", "Sd", "Mean"],
-        &[fmt_row("publish/DDC", &ddc_stats), fmt_row("publish/DC", &dc_stats)],
+        &[
+            fmt_row("publish/DDC", &ddc_stats),
+            fmt_row("publish/DC", &dc_stats),
+        ],
     );
     println!(
         "\nmeasured overlay routing: mean {:.2} hops (min {:.0}, max {:.0}) on {} nodes, arity 4, f = 4",

@@ -1,0 +1,394 @@
+//! The three BitDew programming interfaces as first-class traits, with a
+//! unified error model.
+//!
+//! The paper (§3.3) defines three APIs an application programs against:
+//!
+//! * [`BitDewApi`] — the data space: `create`/`put`/`get`/`search`/`delete`
+//!   plus the attribute language (`create_attribute`);
+//! * [`ActiveData`] — attribute-driven scheduling: `schedule`/`pin` and the
+//!   data life-cycle events;
+//! * [`TransferManager`] — non-blocking transfer control: waits, polls and
+//!   barriers.
+//!
+//! The traits are **object-safe** and implemented by both deployments:
+//! the threaded [`BitdewNode`](crate::runtime::BitdewNode) (wall-clock time,
+//! real protocol transfers) and the virtual-time
+//! [`SimNode`](crate::simdriver::SimNode) (discrete-event simulator,
+//! flow-level transfers). Application code written against
+//! `N: BitDewApi + ActiveData + TransferManager` — the master/worker
+//! framework, the examples, scenario drivers — runs unchanged on either.
+//!
+//! Every operation returns [`Result`], whose error type [`BitdewError`]
+//! unifies what used to be a mix of `TransportResult`, storage `DbError` and
+//! bare `AttrError` leaking through the node surface. `From` impls exist for
+//! each underlying error so service code propagates with `?`.
+//!
+//! Batched entry points (`put_many`, `schedule_many`, `wait_all`) amortize
+//! catalog round-trips and scheduler lock acquisitions for throughput-bound
+//! masters; [`TransferManager::try_wait`] lets pipelined callers poll
+//! without blocking.
+
+use std::time::Duration;
+
+use bitdew_storage::DbError;
+use bitdew_transport::{StoreError, TransportError};
+
+use crate::attr::DataAttributes;
+use crate::attrparse::AttrError;
+use crate::data::{Data, DataId};
+use crate::services::scheduler::HostUid;
+use crate::services::transfer::{TransferId, TransferState};
+
+/// Unified error type for every BitDew API operation.
+#[derive(Debug)]
+pub enum BitdewError {
+    /// An out-of-band transfer or fabric operation failed.
+    Transport(TransportError),
+    /// The catalog's database engine failed.
+    Storage(DbError),
+    /// A local or repository content store failed.
+    Store(StoreError),
+    /// An attribute definition failed to parse or resolve.
+    AttrParse(AttrError),
+    /// A datum, locator or transfer the operation needs is not known.
+    CatalogMiss {
+        /// What was looked up and missed.
+        what: String,
+    },
+    /// The Data Scheduler rejected or could not honor an operation.
+    Scheduler {
+        /// What went wrong.
+        what: String,
+    },
+    /// A wait or barrier exceeded its deadline.
+    Timeout {
+        /// What was being waited for.
+        what: String,
+        /// How long the caller waited.
+        waited: Duration,
+    },
+}
+
+impl std::fmt::Display for BitdewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitdewError::Transport(e) => write!(f, "transport: {e}"),
+            BitdewError::Storage(e) => write!(f, "storage: {e}"),
+            BitdewError::Store(e) => write!(f, "store: {e}"),
+            BitdewError::AttrParse(e) => write!(f, "{e}"),
+            BitdewError::CatalogMiss { what } => write!(f, "not in catalog: {what}"),
+            BitdewError::Scheduler { what } => write!(f, "scheduler: {what}"),
+            BitdewError::Timeout { what, waited } => {
+                write!(f, "timed out after {waited:?} waiting for {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitdewError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BitdewError::Transport(e) => Some(e),
+            BitdewError::Storage(e) => Some(e),
+            BitdewError::Store(e) => Some(e),
+            BitdewError::AttrParse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for BitdewError {
+    fn from(e: TransportError) -> BitdewError {
+        BitdewError::Transport(e)
+    }
+}
+
+impl From<DbError> for BitdewError {
+    fn from(e: DbError) -> BitdewError {
+        BitdewError::Storage(e)
+    }
+}
+
+impl From<StoreError> for BitdewError {
+    fn from(e: StoreError) -> BitdewError {
+        BitdewError::Store(e)
+    }
+}
+
+impl From<AttrError> for BitdewError {
+    fn from(e: AttrError) -> BitdewError {
+        BitdewError::AttrParse(e)
+    }
+}
+
+/// Crate-wide result type: every public BitDew operation returns this.
+pub type Result<T> = std::result::Result<T, BitdewError>;
+
+/// A data life-cycle event observed on a node, as delivered by
+/// [`ActiveData::poll_events`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataEvent {
+    /// Which life-cycle transition happened.
+    pub kind: DataEventKind,
+    /// The datum concerned.
+    pub data: Data,
+    /// The attributes it was scheduled with.
+    pub attrs: DataAttributes,
+}
+
+/// The three life-cycle transitions of §3.3's ActiveData events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataEventKind {
+    /// The datum was scheduled into the data space (`onDataCreate`).
+    Create,
+    /// The datum finished copying into this node's cache (`onDataCopy`).
+    Copy,
+    /// The datum became obsolete and left this node's cache
+    /// (`onDataDelete`).
+    Delete,
+}
+
+/// The *BitDew* API (§3.3): explicit data-space management.
+///
+/// Object-safe; implemented by the threaded runtime and the simulator
+/// adapter.
+pub trait BitDewApi {
+    /// Create a datum describing `content` and register it in the catalog.
+    /// The content itself is not moved until [`BitDewApi::put`].
+    fn create_data(&self, name: &str, content: &[u8]) -> Result<Data>;
+
+    /// Create an empty slot of declared `size` (content produced later or
+    /// remotely; a zero-size slot is a pure marker like §5's Collector).
+    fn create_slot(&self, name: &str, size: u64) -> Result<Data>;
+
+    /// Copy content into the data space and record locators for it.
+    fn put(&self, data: &Data, content: &[u8]) -> Result<()>;
+
+    /// Batched [`BitDewApi::put`]: one catalog round-trip for the whole
+    /// batch instead of one per locator.
+    fn put_many(&self, items: &[(Data, &[u8])]) -> Result<()>;
+
+    /// Start copying a datum from the data space into this node's local
+    /// store. Non-blocking: returns a transfer id for
+    /// [`TransferManager::wait_for`].
+    fn get(&self, data: &Data) -> Result<TransferId>;
+
+    /// All catalog entries whose name equals `name` (`searchData`).
+    fn search(&self, name: &str) -> Result<Vec<Data>>;
+
+    /// Delete a datum everywhere: catalog, repository, scheduler. Reservoir
+    /// caches purge it on their next synchronization.
+    fn delete(&self, data: &Data) -> Result<()>;
+
+    /// Parse an attribute definition (Listing 1 syntax), resolving symbolic
+    /// names against the data space.
+    fn create_attribute(&self, src: &str) -> Result<DataAttributes>;
+
+    /// Read the content of a datum this node holds locally (after a
+    /// completed `get` or a scheduled copy).
+    fn read_local(&self, data: &Data) -> Result<Vec<u8>>;
+}
+
+/// The *ActiveData* API (§3.3): attribute-driven scheduling and life-cycle
+/// events.
+pub trait ActiveData {
+    /// Put a datum under Data Scheduler management with `attrs`.
+    fn schedule(&self, data: &Data, attrs: DataAttributes) -> Result<()>;
+
+    /// Batched [`ActiveData::schedule`]: one scheduler lock acquisition and
+    /// one catalog round-trip for the whole batch.
+    fn schedule_many(&self, items: &[(Data, DataAttributes)]) -> Result<()>;
+
+    /// Declare this node an owner of `data`, exempt from heartbeat
+    /// eviction, and place the datum in the local cache so affinity
+    /// dependencies resolve here (the master pins the Collector in §5).
+    fn pin(&self, data: &Data, attrs: DataAttributes) -> Result<()>;
+
+    /// Drain the life-cycle events observed since the last poll, oldest
+    /// first. Polling is the deployment-agnostic face of the paper's
+    /// callback handlers: it works identically under threads and under the
+    /// discrete-event simulator.
+    fn poll_events(&self) -> Vec<DataEvent>;
+
+    /// This node's identity in the scheduler's host space.
+    fn host_uid(&self) -> HostUid;
+}
+
+/// The *TransferManager* API (§3.3): non-blocking transfer control.
+pub trait TransferManager {
+    /// Block until the transfer is terminal. `Ok(state)` is `Complete` or
+    /// `Failed`; unknown ids are a [`BitdewError::CatalogMiss`].
+    fn wait_for(&self, id: TransferId) -> Result<TransferState>;
+
+    /// Non-blocking probe: `Ok(None)` while the transfer is still active,
+    /// `Ok(Some(state))` once terminal.
+    fn try_wait(&self, id: TransferId) -> Result<Option<TransferState>>;
+
+    /// Wait for every listed transfer; returns the terminal states in the
+    /// same order. Drives all of them concurrently (total wait is the
+    /// slowest transfer, not the sum).
+    fn wait_all(&self, ids: &[TransferId]) -> Result<Vec<TransferState>>;
+
+    /// Block until every pending scheduled download on this node finished,
+    /// running synchronization rounds while waiting. Errors with
+    /// [`BitdewError::Timeout`] if `timeout` elapses first (virtual time
+    /// under the simulator).
+    fn barrier(&self, timeout: Duration) -> Result<()>;
+
+    /// Make one round of progress: synchronize with the Data Scheduler and
+    /// advance transfers (one heartbeat of wall-clock or virtual time).
+    fn pump(&self) -> Result<()>;
+
+    /// Ids currently in the local cache, sorted.
+    fn cached(&self) -> Vec<DataId>;
+
+    /// Whether a datum is in the local cache.
+    fn has_cached(&self, id: DataId) -> bool;
+}
+
+/// Delegate the three API traits through a smart-pointer or reference type.
+macro_rules! delegate_api {
+    ($wrapper:ty) => {
+        impl<N: BitDewApi + ?Sized> BitDewApi for $wrapper {
+            fn create_data(&self, name: &str, content: &[u8]) -> Result<Data> {
+                (**self).create_data(name, content)
+            }
+            fn create_slot(&self, name: &str, size: u64) -> Result<Data> {
+                (**self).create_slot(name, size)
+            }
+            fn put(&self, data: &Data, content: &[u8]) -> Result<()> {
+                (**self).put(data, content)
+            }
+            fn put_many(&self, items: &[(Data, &[u8])]) -> Result<()> {
+                (**self).put_many(items)
+            }
+            fn get(&self, data: &Data) -> Result<TransferId> {
+                (**self).get(data)
+            }
+            fn search(&self, name: &str) -> Result<Vec<Data>> {
+                (**self).search(name)
+            }
+            fn delete(&self, data: &Data) -> Result<()> {
+                (**self).delete(data)
+            }
+            fn create_attribute(&self, src: &str) -> Result<DataAttributes> {
+                (**self).create_attribute(src)
+            }
+            fn read_local(&self, data: &Data) -> Result<Vec<u8>> {
+                (**self).read_local(data)
+            }
+        }
+
+        impl<N: ActiveData + ?Sized> ActiveData for $wrapper {
+            fn schedule(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
+                (**self).schedule(data, attrs)
+            }
+            fn schedule_many(&self, items: &[(Data, DataAttributes)]) -> Result<()> {
+                (**self).schedule_many(items)
+            }
+            fn pin(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
+                (**self).pin(data, attrs)
+            }
+            fn poll_events(&self) -> Vec<DataEvent> {
+                (**self).poll_events()
+            }
+            fn host_uid(&self) -> HostUid {
+                (**self).host_uid()
+            }
+        }
+
+        impl<N: TransferManager + ?Sized> TransferManager for $wrapper {
+            fn wait_for(&self, id: TransferId) -> Result<TransferState> {
+                (**self).wait_for(id)
+            }
+            fn try_wait(&self, id: TransferId) -> Result<Option<TransferState>> {
+                (**self).try_wait(id)
+            }
+            fn wait_all(&self, ids: &[TransferId]) -> Result<Vec<TransferState>> {
+                (**self).wait_all(ids)
+            }
+            fn barrier(&self, timeout: Duration) -> Result<()> {
+                (**self).barrier(timeout)
+            }
+            fn pump(&self) -> Result<()> {
+                (**self).pump()
+            }
+            fn cached(&self) -> Vec<DataId> {
+                (**self).cached()
+            }
+            fn has_cached(&self, id: DataId) -> bool {
+                (**self).has_cached(id)
+            }
+        }
+    };
+}
+
+delegate_api!(&N);
+delegate_api!(std::sync::Arc<N>);
+delegate_api!(std::rc::Rc<N>);
+delegate_api!(Box<N>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The traits must stay object-safe: the whole point of the redesign is
+    // that deployments are interchangeable behind a common surface.
+    #[test]
+    fn traits_are_object_safe() {
+        fn _takes_bitdew(_: &dyn BitDewApi) {}
+        fn _takes_active(_: &dyn ActiveData) {}
+        fn _takes_transfer(_: &dyn TransferManager) {}
+        fn _boxed(_: Box<dyn BitDewApi>, _: Box<dyn ActiveData>, _: Box<dyn TransferManager>) {}
+    }
+
+    #[test]
+    fn from_conversions_preserve_sources() {
+        let e: BitdewError = TransportError::ChecksumMismatch.into();
+        assert!(matches!(
+            e,
+            BitdewError::Transport(TransportError::ChecksumMismatch)
+        ));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: BitdewError = DbError::CorruptSnapshot("magic").into();
+        assert!(matches!(
+            e,
+            BitdewError::Storage(DbError::CorruptSnapshot("magic"))
+        ));
+
+        let e: BitdewError = AttrError {
+            message: "bad".into(),
+            offset: Some(3),
+        }
+        .into();
+        match &e {
+            BitdewError::AttrParse(inner) => {
+                assert_eq!(inner.offset, Some(3));
+                assert!(e.to_string().contains("bad"));
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+
+        let e: BitdewError = StoreError::NotFound("x".into()).into();
+        assert!(matches!(e, BitdewError::Store(_)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = BitdewError::Timeout {
+            what: "barrier".into(),
+            waited: Duration::from_secs(3),
+        };
+        let s = e.to_string();
+        assert!(s.contains("barrier") && s.contains("3s"), "{s}");
+        let e = BitdewError::CatalogMiss {
+            what: "locator for d1".into(),
+        };
+        assert!(e.to_string().contains("locator for d1"));
+        let e = BitdewError::Scheduler {
+            what: "replica -7 out of range".into(),
+        };
+        assert!(e.to_string().contains("replica -7"));
+    }
+}

@@ -123,7 +123,11 @@ pub struct Attribute {
 impl Attribute {
     /// Wrap a [`DataAttributes`] under a name.
     pub fn named(id: Auid, name: impl Into<String>, attrs: DataAttributes) -> Attribute {
-        Attribute { id, name: name.into(), attrs }
+        Attribute {
+            id,
+            name: name.into(),
+            attrs,
+        }
     }
 }
 
@@ -216,7 +220,10 @@ mod tests {
         let alive = |_: DataId| true;
         let dead = |_: DataId| false;
         assert!(!Lifetime::Unbounded.is_expired(u64::MAX, alive));
-        assert!(!Lifetime::Absolute(100).is_expired(100, alive), "boundary inclusive");
+        assert!(
+            !Lifetime::Absolute(100).is_expired(100, alive),
+            "boundary inclusive"
+        );
         assert!(Lifetime::Absolute(100).is_expired(101, alive));
         let r = Lifetime::RelativeTo(an_id(2));
         assert!(!r.is_expired(0, alive));

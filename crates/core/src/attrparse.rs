@@ -25,6 +25,7 @@ use std::collections::HashMap;
 
 use bitdew_transport::ProtocolId;
 
+use crate::api::Result;
 use crate::attr::{DataAttributes, Lifetime};
 use crate::data::DataId;
 
@@ -39,10 +40,16 @@ pub struct AttrError {
 
 impl AttrError {
     fn at(offset: usize, message: impl Into<String>) -> AttrError {
-        AttrError { message: message.into(), offset: Some(offset) }
+        AttrError {
+            message: message.into(),
+            offset: Some(offset),
+        }
     }
     fn plain(message: impl Into<String>) -> AttrError {
-        AttrError { message: message.into(), offset: None }
+        AttrError {
+            message: message.into(),
+            offset: None,
+        }
     }
 }
 
@@ -90,7 +97,11 @@ pub struct ResolveCtx {
 
 impl AttrDef {
     /// Resolve raw fields into a [`DataAttributes`].
-    pub fn resolve(&self, ctx: &ResolveCtx) -> Result<DataAttributes, AttrError> {
+    pub fn resolve(&self, ctx: &ResolveCtx) -> Result<DataAttributes> {
+        self.resolve_inner(ctx).map_err(Into::into)
+    }
+
+    fn resolve_inner(&self, ctx: &ResolveCtx) -> std::result::Result<DataAttributes, AttrError> {
         let mut attrs = DataAttributes::default();
         for (key, value) in &self.fields {
             match key.as_str() {
@@ -129,13 +140,10 @@ impl AttrDef {
                     let secs = match value {
                         RawValue::Int(n) if *n >= 0 => *n as u64,
                         _ => {
-                            return Err(AttrError::plain(
-                                "abstime expects a non-negative duration",
-                            ))
+                            return Err(AttrError::plain("abstime expects a non-negative duration"))
                         }
                     };
-                    attrs.lifetime =
-                        Lifetime::Absolute(ctx.now_nanos + secs * 1_000_000_000);
+                    attrs.lifetime = Lifetime::Absolute(ctx.now_nanos + secs * 1_000_000_000);
                 }
                 "lifetime" => {
                     attrs.lifetime = match value {
@@ -169,9 +177,7 @@ impl AttrDef {
                     })?;
                     attrs.affinity = Some(*id);
                 }
-                other => {
-                    return Err(AttrError::plain(format!("unknown attribute key `{other}`")))
-                }
+                other => return Err(AttrError::plain(format!("unknown attribute key `{other}`"))),
             }
         }
         Ok(attrs)
@@ -206,7 +212,10 @@ enum Token {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src: src.as_bytes(), pos: 0 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -224,7 +233,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn next(&mut self) -> Result<(usize, Token), AttrError> {
+    fn next(&mut self) -> std::result::Result<(usize, Token), AttrError> {
         self.skip_ws();
         let start = self.pos;
         if self.pos >= self.src.len() {
@@ -255,8 +264,7 @@ impl<'a> Lexer<'a> {
                 while end < self.src.len() && self.src[end].is_ascii_digit() {
                     end += 1;
                 }
-                let text = std::str::from_utf8(&self.src[self.pos..end])
-                    .expect("digits are utf8");
+                let text = std::str::from_utf8(&self.src[self.pos..end]).expect("digits are utf8");
                 let mut n: i64 = text
                     .parse()
                     .map_err(|_| AttrError::at(start, format!("bad integer `{text}`")))?;
@@ -292,11 +300,14 @@ impl<'a> Lexer<'a> {
                 self.pos = end;
                 Ok((start, Token::Ident(s)))
             }
-            other => Err(AttrError::at(start, format!("unexpected character `{}`", other as char))),
+            other => Err(AttrError::at(
+                start,
+                format!("unexpected character `{}`", other as char),
+            )),
         }
     }
 
-    fn peek(&mut self) -> Result<Token, AttrError> {
+    fn peek(&mut self) -> std::result::Result<Token, AttrError> {
         let save = self.pos;
         let (_, tok) = self.next()?;
         self.pos = save;
@@ -305,7 +316,11 @@ impl<'a> Lexer<'a> {
 }
 
 /// Parse one or more attribute definitions from `src`.
-pub fn parse_attributes(src: &str) -> Result<Vec<AttrDef>, AttrError> {
+pub fn parse_attributes(src: &str) -> Result<Vec<AttrDef>> {
+    parse_attributes_inner(src).map_err(Into::into)
+}
+
+fn parse_attributes_inner(src: &str) -> std::result::Result<Vec<AttrDef>, AttrError> {
     let mut lex = Lexer::new(src);
     let mut defs = Vec::new();
     loop {
@@ -331,25 +346,57 @@ pub fn parse_attributes(src: &str) -> Result<Vec<AttrDef>, AttrError> {
     Ok(defs)
 }
 
-/// Parse a single definition and resolve it in one call — the
-/// `BitDew::create_attribute` fast path for inline strings like Listing 1's.
-pub fn parse_single(src: &str, ctx: &ResolveCtx) -> Result<(String, DataAttributes), AttrError> {
+/// Parse a single definition, binding every symbolic name the data space
+/// knows through `resolve` — the shared implementation of the
+/// `BitDewApi::create_attribute` entry point, so the threaded runtime and
+/// the simulator adapter resolve symbols identically.
+pub fn parse_single_resolving(
+    src: &str,
+    now_nanos: u64,
+    resolve: &dyn Fn(&str) -> Option<DataId>,
+) -> Result<DataAttributes> {
+    let mut ctx = ResolveCtx {
+        now_nanos,
+        ..Default::default()
+    };
     let defs = parse_attributes(src)?;
+    for def in &defs {
+        for (_, v) in &def.fields {
+            if let RawValue::Symbol(s) = v {
+                if let Some(id) = resolve(s) {
+                    ctx.names.insert(s.clone(), id);
+                }
+            }
+        }
+    }
+    let (_, attrs) = parse_single(src, &ctx)?;
+    Ok(attrs)
+}
+
+/// Parse a single definition and resolve it against an explicit context.
+pub fn parse_single(src: &str, ctx: &ResolveCtx) -> Result<(String, DataAttributes)> {
+    let defs = parse_attributes_inner(src)?;
     if defs.len() != 1 {
         return Err(AttrError::plain(format!(
             "expected exactly one definition, found {}",
             defs.len()
-        )));
+        ))
+        .into());
     }
     let attrs = defs[0].resolve(ctx)?;
     Ok((defs[0].name.clone(), attrs))
 }
 
-fn parse_def(lex: &mut Lexer<'_>) -> Result<AttrDef, AttrError> {
+fn parse_def(lex: &mut Lexer<'_>) -> std::result::Result<AttrDef, AttrError> {
     let (off, tok) = lex.next()?;
     let name = match tok {
         Token::Ident(n) => n,
-        other => return Err(AttrError::at(off, format!("expected name, found {other:?}"))),
+        other => {
+            return Err(AttrError::at(
+                off,
+                format!("expected name, found {other:?}"),
+            ))
+        }
     };
     // Optional `=` before the block (Listing 1 has it; tolerate omission).
     if lex.peek()? == Token::Punct('=') {
@@ -384,19 +431,18 @@ fn parse_def(lex: &mut Lexer<'_>) -> Result<AttrDef, AttrError> {
                     Token::Int(n) => RawValue::Int(n),
                     Token::Str(s) => RawValue::Symbol(s),
                     Token::Ident(s) if s.eq_ignore_ascii_case("true") => RawValue::Bool(true),
-                    Token::Ident(s) if s.eq_ignore_ascii_case("false") => {
-                        RawValue::Bool(false)
-                    }
+                    Token::Ident(s) if s.eq_ignore_ascii_case("false") => RawValue::Bool(false),
                     Token::Ident(s) => RawValue::Symbol(s),
-                    other => {
-                        return Err(AttrError::at(off3, format!("bad value {other:?}")))
-                    }
+                    other => return Err(AttrError::at(off3, format!("bad value {other:?}"))),
                 };
                 fields.push((normalize_key(&key), raw));
             }
             Token::Eof => return Err(AttrError::at(off, "unterminated attribute block")),
             other => {
-                return Err(AttrError::at(off, format!("expected key or `}}`, found {other:?}")))
+                return Err(AttrError::at(
+                    off,
+                    format!("expected key or `}}`, found {other:?}"),
+                ))
             }
         }
     }
@@ -410,7 +456,10 @@ mod tests {
     use bitdew_util::Auid;
 
     fn ctx() -> ResolveCtx {
-        let mut ctx = ResolveCtx { now_nanos: 1_000_000_000, ..Default::default() };
+        let mut ctx = ResolveCtx {
+            now_nanos: 1_000_000_000,
+            ..Default::default()
+        };
         ctx.names.insert("Collector".into(), Auid(10));
         ctx.names.insert("Sequence".into(), Auid(11));
         ctx.vars.insert("x".into(), 3);
@@ -469,9 +518,15 @@ mod tests {
     #[test]
     fn duration_suffixes() {
         let (_, a) = parse_single("attr t = { abstime = 2m }", &ctx()).unwrap();
-        assert_eq!(a.lifetime, Lifetime::Absolute(1_000_000_000 + 120 * 1_000_000_000));
+        assert_eq!(
+            a.lifetime,
+            Lifetime::Absolute(1_000_000_000 + 120 * 1_000_000_000)
+        );
         let (_, a) = parse_single("attr t = { lifetime = 1h }", &ctx()).unwrap();
-        assert_eq!(a.lifetime, Lifetime::Absolute(1_000_000_000 + 3600 * 1_000_000_000));
+        assert_eq!(
+            a.lifetime,
+            Lifetime::Absolute(1_000_000_000 + 3600 * 1_000_000_000)
+        );
     }
 
     #[test]
@@ -482,17 +537,25 @@ mod tests {
         assert!(a.fault_tolerant);
     }
 
+    /// Unwrap the `AttrParse` payload of a unified error.
+    fn attr_err(err: crate::api::BitdewError) -> AttrError {
+        match err {
+            crate::api::BitdewError::AttrParse(e) => e,
+            other => panic!("expected AttrParse, got {other:?}"),
+        }
+    }
+
     #[test]
     fn error_unknown_key() {
-        let err = parse_single("attr a = { colour = red }", &ctx()).unwrap_err();
+        let err = attr_err(parse_single("attr a = { colour = red }", &ctx()).unwrap_err());
         assert!(err.message.contains("colour"), "{err}");
     }
 
     #[test]
     fn error_unbound_names() {
-        let err = parse_single("attr a = { affinity = Nowhere }", &ctx()).unwrap_err();
+        let err = attr_err(parse_single("attr a = { affinity = Nowhere }", &ctx()).unwrap_err());
         assert!(err.message.contains("Nowhere"));
-        let err = parse_single("attr a = { replica = y }", &ctx()).unwrap_err();
+        let err = attr_err(parse_single("attr a = { replica = y }", &ctx()).unwrap_err());
         assert!(err.message.contains('y'));
     }
 
@@ -515,7 +578,7 @@ mod tests {
 
     #[test]
     fn multiple_defs_rejected_by_parse_single() {
-        let err = parse_single("attr a = {} attr b = {}", &ctx()).unwrap_err();
+        let err = attr_err(parse_single("attr a = {} attr b = {}", &ctx()).unwrap_err());
         assert!(err.message.contains("exactly one"));
     }
 

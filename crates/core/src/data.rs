@@ -212,8 +212,7 @@ mod tests {
 
     #[test]
     fn data_codec_roundtrip() {
-        let d = Data::from_bytes(an_id(6), "chunk", b"payload")
-            .with_flags(DataFlags::COMPRESSED);
+        let d = Data::from_bytes(an_id(6), "chunk", b"payload").with_flags(DataFlags::COMPRESSED);
         let bytes = d.to_bytes();
         assert_eq!(Data::from_bytes_slice(&bytes), d);
     }

@@ -21,11 +21,14 @@ pub trait ActiveDataEventHandler: Send {
     fn on_data_delete(&mut self, _data: &Data, _attrs: &DataAttributes) {}
 }
 
+/// A boxed life-cycle callback.
+type Callback = Box<dyn FnMut(&Data, &DataAttributes) + Send>;
+
 /// Closure-based handler, for callers who don't want a named type.
 pub struct CallbackHandler {
-    on_create: Option<Box<dyn FnMut(&Data, &DataAttributes) + Send>>,
-    on_copy: Option<Box<dyn FnMut(&Data, &DataAttributes) + Send>>,
-    on_delete: Option<Box<dyn FnMut(&Data, &DataAttributes) + Send>>,
+    on_create: Option<Callback>,
+    on_copy: Option<Callback>,
+    on_delete: Option<Callback>,
 }
 
 impl Default for CallbackHandler {
@@ -37,7 +40,11 @@ impl Default for CallbackHandler {
 impl CallbackHandler {
     /// Handler with no callbacks installed.
     pub fn new() -> CallbackHandler {
-        CallbackHandler { on_create: None, on_copy: None, on_delete: None }
+        CallbackHandler {
+            on_create: None,
+            on_copy: None,
+            on_delete: None,
+        }
     }
 
     /// React to creation events.

@@ -7,7 +7,50 @@
 //! single data space, Tuple-Space style (§3.1). Programmers tag each datum
 //! with five attributes — `replica`, `fault tolerance`, `lifetime`,
 //! `affinity`, `transfer protocol` — and the runtime's four services keep
-//! reality in line with the attributes:
+//! reality in line with the attributes.
+//!
+//! ## The three programming APIs
+//!
+//! The paper's programming surface is three interfaces, which this crate
+//! exposes as the first-class, object-safe traits of [`api`]:
+//!
+//! * [`BitDewApi`] — explicit data-space management:
+//!   `create_data`/`create_slot`, `put`/`put_many`, non-blocking `get`,
+//!   `search`, `delete`, and `create_attribute` (the attribute language of
+//!   [`attrparse`]).
+//! * [`ActiveData`] — attribute-driven scheduling: `schedule`/
+//!   `schedule_many`, `pin`, and the data life-cycle events (polled with
+//!   `poll_events`, or via [`events`] callback handlers on the threaded
+//!   node).
+//! * [`TransferManager`] — transfer control: `wait_for`, non-blocking
+//!   `try_wait`, batched `wait_all`, `barrier`, and `pump`.
+//!
+//! Two deployments implement all three:
+//!
+//! * [`runtime::BitdewNode`] — the threaded runtime: wall-clock heartbeats,
+//!   real FTP/HTTP/BitTorrent transfers over the in-process fabric.
+//! * [`simdriver::SimNode`] — the discrete-event adapter: virtual-time
+//!   heartbeats and max-min-fair flow transfers under `bitdew-sim`.
+//!
+//! Application code generic over
+//! `N: BitDewApi + ActiveData + TransferManager` (the `bitdew-mw`
+//! master/worker framework, the examples, the bench scenario drivers) runs
+//! unchanged on either deployment.
+//!
+//! ## The error model
+//!
+//! Every public operation returns [`Result`], failing with [`BitdewError`]:
+//! one enum covering transport failures, storage-engine failures, content
+//! store failures, attribute parse/resolve errors, catalog misses,
+//! scheduler refusals, timeouts, and exhausted transfer retries. `From`
+//! conversions exist for each wrapped error type
+//! (`TransportError`/`DbError`/`StoreError`/`AttrError`), so service
+//! plumbing propagates with `?` and callers match one type.
+//!
+//! ## The D* services
+//!
+//! Behind the APIs sit the four services of §3.4, plain state machines in
+//! [`services`]:
 //!
 //! * **Data Catalog** ([`services::catalog`]) — persistent metadata and
 //!   locators; replica locations on volatile hosts live in the DHT-backed
@@ -19,21 +62,10 @@
 //! * **Data Scheduler** ([`services::scheduler`]) — Algorithm 1: reservoir
 //!   hosts heartbeat their cache, the scheduler returns the new cache,
 //!   resolving lifetime, affinity, replication and fault tolerance.
-//!
-//! The programming surface mirrors the paper's three APIs: the *BitDew* API
-//! (create/put/get/search/delete + the attribute language of
-//! [`attrparse`]), *ActiveData* (schedule/pin + life-cycle events of
-//! [`events`]), and *TransferManager* (non-blocking transfers, waits and
-//! barriers) — all exposed as methods of [`runtime::BitdewNode`], which is
-//! the paper's "node attached to the distributed system".
-//!
-//! The state machines are clock-agnostic: [`runtime::ServiceContainer`]
-//! drives them with threads and wall time, while `bitdew-bench` drives the
-//! very same scheduler/attribute code under the discrete-event simulator to
-//! regenerate the paper's figures.
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod attr;
 pub mod attrparse;
 pub mod data;
@@ -42,6 +74,9 @@ pub mod runtime;
 pub mod services;
 pub mod simdriver;
 
+pub use api::{
+    ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, Result, TransferManager,
+};
 pub use attr::{Attribute, DataAttributes, Lifetime, REPLICA_ALL};
 pub use attrparse::{parse_attributes, parse_single, AttrDef, AttrError, ResolveCtx};
 pub use data::{Data, DataFlags, DataId, Locator};

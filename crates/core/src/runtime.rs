@@ -11,11 +11,15 @@
 //!   life-cycle event handlers, and the synchronization loop
 //!   ([`BitdewNode::sync_once`] / [`BitdewNode::start_heartbeat`]).
 //!
-//! Node methods mirror the paper's three APIs: `create_data`/`put`/`get`/
-//! `search`/`delete`/`create_attribute` (BitDew), `schedule`/`pin`/
-//! `add_callback` (ActiveData), `wait_for`/`barrier` (TransferManager).
+//! [`BitdewNode`] implements the three API traits of [`crate::api`] —
+//! [`BitDewApi`] (`create_data`/`put`/`get`/`search`/`delete`/
+//! `create_attribute`), [`ActiveData`] (`schedule`/`pin`/events) and
+//! [`TransferManager`] (`wait_for`/`try_wait`/`wait_all`/`barrier`) — so
+//! application code generic over those traits runs on this threaded
+//! deployment or on the simulator adapter unchanged. Every operation
+//! returns [`crate::Result`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,13 +31,14 @@ use bitdew_transport::bittorrent::{self, BtPeer, BtTransfer, LeechConfig};
 use bitdew_transport::ftp::{Direction, FtpTransfer};
 use bitdew_transport::http::{HttpMethod, HttpTransfer};
 use bitdew_transport::oob::{OobTransfer, TransferSpec, TransferStatus};
-use bitdew_transport::{
-    Fabric, FileStore, MemStore, ProtocolId, TransportError, TransportResult,
-};
+use bitdew_transport::{Fabric, FileStore, MemStore, ProtocolId, TransportError, TransportResult};
 use bitdew_util::Auid;
 
+use crate::api::{
+    ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, Result, TransferManager,
+};
 use crate::attr::DataAttributes;
-use crate::attrparse::{self, ResolveCtx};
+use crate::attrparse;
 use crate::data::{Data, DataId, Locator};
 use crate::events::ActiveDataEventHandler;
 use crate::services::catalog::{DataCatalog, DbAccess};
@@ -104,8 +109,7 @@ impl ServiceContainer {
         let pool = ConnectionPool::new(driver, 8);
         let catalog = Arc::new(DataCatalog::new(DbAccess::Pooled(pool)));
         let repository = Arc::new(DataRepository::start(&fabric, "dr", repo_store));
-        let timeout =
-            config.heartbeat.as_nanos() as u64 * config.detector_factor as u64;
+        let timeout = config.heartbeat.as_nanos() as u64 * config.detector_factor as u64;
         let scheduler = Mutex::new(DataScheduler::new(timeout, config.max_data_schedule));
 
         let builder = Self::make_builder(fabric.clone(), Arc::clone(&repository));
@@ -143,63 +147,67 @@ impl ServiceContainer {
     /// per-transfer leecher peer (which serves pieces as they arrive).
     fn make_builder(fabric: Fabric, repository: Arc<DataRepository>) -> TransferBuilder {
         let counter = Arc::new(AtomicU64::new(0));
-        Arc::new(move |data: &Data, locator: &Locator, local: Arc<dyn FileStore>| {
-            let spec = TransferSpec {
-                name: locator.object.clone(),
-                bytes: data.size,
-                checksum: if data.has_checksum() { Some(data.checksum) } else { None },
-                remote: locator.remote.clone(),
-            };
-            if locator.protocol == ProtocolId::ftp() {
-                Ok(Box::new(FtpTransfer::new(
-                    fabric.clone(),
-                    spec,
-                    local,
-                    Direction::Download,
-                )) as Box<dyn OobTransfer + Send>)
-            } else if locator.protocol == ProtocolId::http() {
-                Ok(Box::new(HttpTransfer::new(
-                    fabric.clone(),
-                    spec,
-                    local,
-                    HttpMethod::Get,
-                )) as Box<dyn OobTransfer + Send>)
-            } else if locator.protocol == ProtocolId::bittorrent() {
-                let torrent = repository.torrent_for(data).ok_or_else(|| {
-                    TransportError::Protocol(format!(
-                        "no torrent registered for {}",
-                        data.name
-                    ))
-                })?;
-                let n = counter.fetch_add(1, Ordering::Relaxed);
-                let listener =
-                    format!("bt.leech.{}.{}", data.id.to_canonical(), n);
-                let have = bittorrent::empty_have(&torrent);
-                let peer = BtPeer::start(
-                    &fabric,
-                    &listener,
-                    torrent.clone(),
-                    Arc::clone(&local),
-                    Arc::clone(&have),
-                    8,
-                );
-                let inner = BtTransfer::new(
-                    fabric.clone(),
-                    torrent,
-                    local,
-                    have,
-                    listener,
-                    LeechConfig { seed: n, ..Default::default() },
-                );
-                Ok(Box::new(LeechGuard { _peer: peer, inner })
-                    as Box<dyn OobTransfer + Send>)
-            } else {
-                Err(TransportError::Protocol(format!(
-                    "unsupported protocol {}",
-                    locator.protocol
-                )))
-            }
-        })
+        Arc::new(
+            move |data: &Data, locator: &Locator, local: Arc<dyn FileStore>| {
+                let spec = TransferSpec {
+                    name: locator.object.clone(),
+                    bytes: data.size,
+                    checksum: if data.has_checksum() {
+                        Some(data.checksum)
+                    } else {
+                        None
+                    },
+                    remote: locator.remote.clone(),
+                };
+                if locator.protocol == ProtocolId::ftp() {
+                    Ok(Box::new(FtpTransfer::new(
+                        fabric.clone(),
+                        spec,
+                        local,
+                        Direction::Download,
+                    )) as Box<dyn OobTransfer + Send>)
+                } else if locator.protocol == ProtocolId::http() {
+                    Ok(Box::new(HttpTransfer::new(
+                        fabric.clone(),
+                        spec,
+                        local,
+                        HttpMethod::Get,
+                    )) as Box<dyn OobTransfer + Send>)
+                } else if locator.protocol == ProtocolId::bittorrent() {
+                    let torrent = repository.torrent_for(data).ok_or_else(|| {
+                        TransportError::Protocol(format!("no torrent registered for {}", data.name))
+                    })?;
+                    let n = counter.fetch_add(1, Ordering::Relaxed);
+                    let listener = format!("bt.leech.{}.{}", data.id.to_canonical(), n);
+                    let have = bittorrent::empty_have(&torrent);
+                    let peer = BtPeer::start(
+                        &fabric,
+                        &listener,
+                        torrent.clone(),
+                        Arc::clone(&local),
+                        Arc::clone(&have),
+                        8,
+                    );
+                    let inner = BtTransfer::new(
+                        fabric.clone(),
+                        torrent,
+                        local,
+                        have,
+                        listener,
+                        LeechConfig {
+                            seed: n,
+                            ..Default::default()
+                        },
+                    );
+                    Ok(Box::new(LeechGuard { _peer: peer, inner }) as Box<dyn OobTransfer + Send>)
+                } else {
+                    Err(TransportError::Protocol(format!(
+                        "unsupported protocol {}",
+                        locator.protocol
+                    )))
+                }
+            },
+        )
     }
 }
 
@@ -239,6 +247,14 @@ pub struct SyncSummary {
     pub deleted: Vec<DataId>,
 }
 
+/// Cap on the buffered life-cycle event queue while NO consumer has ever
+/// polled — a callback-only node must not leak memory recording events
+/// nobody reads. Once `poll_events` has been called, the queue grows
+/// without bound instead: for a polling consumer (the generic MW layer),
+/// every Copy event is load-bearing and dropping one would stall the
+/// workload permanently.
+const EVENT_QUEUE_CAP: usize = 4096;
+
 /// A volatile node (client or reservoir host).
 pub struct BitdewNode {
     /// This node's identity.
@@ -248,6 +264,9 @@ pub struct BitdewNode {
     cache: Mutex<HashMap<DataId, (Data, DataAttributes)>>,
     pending: Mutex<HashMap<DataId, (TransferId, Data, DataAttributes)>>,
     handlers: Mutex<Vec<Box<dyn ActiveDataEventHandler>>>,
+    events: Mutex<VecDeque<DataEvent>>,
+    /// Whether `poll_events` has ever been called (see [`EVENT_QUEUE_CAP`]).
+    polled: AtomicBool,
     role: SyncRole,
     stop: AtomicBool,
 }
@@ -285,6 +304,8 @@ impl BitdewNode {
             cache: Mutex::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
             handlers: Mutex::new(Vec::new()),
+            events: Mutex::new(VecDeque::new()),
+            polled: AtomicBool::new(false),
             role,
             stop: AtomicBool::new(false),
         })
@@ -303,42 +324,42 @@ impl BitdewNode {
     // --- BitDew API -------------------------------------------------------
 
     /// Create a datum describing `content` and register it in the DC.
-    pub fn create_data(&self, name: &str, content: &[u8]) -> TransportResult<Data> {
+    pub fn create_data(&self, name: &str, content: &[u8]) -> Result<Data> {
         let data = Data::from_bytes(Auid::random(), name, content);
-        self.container
-            .catalog
-            .register(&data)
-            .map_err(|e| TransportError::Protocol(format!("catalog: {e}")))?;
+        self.container.catalog.register(&data)?;
         Ok(data)
     }
 
     /// Create an empty slot (content put later or produced remotely).
-    pub fn create_slot(&self, name: &str, size: u64) -> TransportResult<Data> {
+    pub fn create_slot(&self, name: &str, size: u64) -> Result<Data> {
         let data = Data::slot(Auid::random(), name, size);
-        self.container
-            .catalog
-            .register(&data)
-            .map_err(|e| TransportError::Protocol(format!("catalog: {e}")))?;
+        self.container.catalog.register(&data)?;
         Ok(data)
     }
 
     /// Copy content into the data space (the repository) and record FTP and
     /// HTTP locators for it.
-    pub fn put(&self, data: &Data, content: &[u8]) -> TransportResult<()> {
-        self.container.repository.put_bytes(data, content)?;
-        for proto in [ProtocolId::ftp(), ProtocolId::http()] {
-            let loc = self.container.repository.locator_for(data, &proto)?;
-            self.container
-                .catalog
-                .add_locator(&loc)
-                .map_err(|e| TransportError::Protocol(format!("catalog: {e}")))?;
+    pub fn put(&self, data: &Data, content: &[u8]) -> Result<()> {
+        self.put_many(&[(data.clone(), content)])
+    }
+
+    /// Batched [`BitdewNode::put`]: stores every payload, then records all
+    /// locators through one catalog round-trip instead of one per locator.
+    pub fn put_many(&self, items: &[(Data, &[u8])]) -> Result<()> {
+        let mut locators = Vec::with_capacity(items.len() * 2);
+        for (data, content) in items {
+            self.container.repository.put_bytes(data, content)?;
+            for proto in [ProtocolId::ftp(), ProtocolId::http()] {
+                locators.push(self.container.repository.locator_for(data, &proto)?);
+            }
         }
+        self.container.catalog.add_locators(&locators)?;
         Ok(())
     }
 
     /// Start copying a datum from the data space into this node's local
     /// store; wait with [`BitdewNode::wait_for`].
-    pub fn get(&self, data: &Data) -> TransportResult<TransferId> {
+    pub fn get(&self, data: &Data) -> Result<TransferId> {
         let locator = self.locator_for(data, &ProtocolId::ftp())?;
         self.container
             .transfer
@@ -346,17 +367,14 @@ impl BitdewNode {
     }
 
     /// Search the DC by exact name.
-    pub fn search(&self, name: &str) -> Vec<Data> {
-        self.container.catalog.search(name).unwrap_or_default()
+    pub fn search(&self, name: &str) -> Result<Vec<Data>> {
+        self.container.catalog.search(name)
     }
 
     /// Delete a datum everywhere: catalog, repository, scheduler. Reservoir
     /// caches purge it on their next synchronization.
-    pub fn delete(&self, data: &Data) -> TransportResult<()> {
-        self.container
-            .catalog
-            .delete(data.id)
-            .map_err(|e| TransportError::Protocol(format!("catalog: {e}")))?;
+    pub fn delete(&self, data: &Data) -> Result<()> {
+        self.container.catalog.delete(data.id)?;
         let _ = self.container.repository.remove(data);
         self.container.scheduler.lock().delete_data(data.id);
         Ok(())
@@ -364,23 +382,23 @@ impl BitdewNode {
 
     /// Parse an attribute definition (Listing 1 syntax). Symbolic names
     /// resolve against the DC's name index.
-    pub fn create_attribute(&self, src: &str) -> Result<DataAttributes, attrparse::AttrError> {
-        let mut ctx = ResolveCtx { now_nanos: self.container.now_nanos(), ..Default::default() };
-        // Bind every name mentioned in the source that the catalog knows.
-        let defs = attrparse::parse_attributes(src)?;
-        for def in &defs {
-            for (_, v) in &def.fields {
-                if let attrparse::RawValue::Symbol(s) = v {
-                    if let Ok(hits) = self.container.catalog.search(s) {
-                        if let Some(first) = hits.first() {
-                            ctx.names.insert(s.clone(), first.id);
-                        }
-                    }
-                }
-            }
-        }
-        let (_, attrs) = attrparse::parse_single(src, &ctx)?;
-        Ok(attrs)
+    pub fn create_attribute(&self, src: &str) -> Result<DataAttributes> {
+        attrparse::parse_single_resolving(src, self.container.now_nanos(), &|name| {
+            self.container
+                .catalog
+                .search(name)
+                .ok()
+                .and_then(|hits| hits.first().map(|d| d.id))
+        })
+    }
+
+    /// Read the locally cached content of `data` (after a completed `get`
+    /// or a scheduled copy).
+    pub fn read_local(&self, data: &Data) -> Result<Vec<u8>> {
+        let bytes = self
+            .local
+            .read_at(&data.object_name(), 0, data.size as usize)?;
+        Ok(bytes.to_vec())
     }
 
     // --- ActiveData API ---------------------------------------------------
@@ -388,25 +406,45 @@ impl BitdewNode {
     /// Put a datum under scheduler management with `attrs`, making sure a
     /// locator exists for the chosen protocol (starting a seeder for
     /// BitTorrent).
-    pub fn schedule(&self, data: &Data, attrs: DataAttributes) -> TransportResult<()> {
-        if self.container.repository.has(data) {
-            let loc = self.container.repository.locator_for(data, &attrs.protocol)?;
-            self.container
-                .catalog
-                .add_locator(&loc)
-                .map_err(|e| TransportError::Protocol(format!("catalog: {e}")))?;
+    pub fn schedule(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
+        self.schedule_many(&[(data.clone(), attrs)])
+    }
+
+    /// Batched [`BitdewNode::schedule`]: registers all locators in one
+    /// catalog round-trip and takes the scheduler lock once for the whole
+    /// batch.
+    pub fn schedule_many(&self, items: &[(Data, DataAttributes)]) -> Result<()> {
+        for (data, attrs) in items {
+            validate_attrs(data, attrs)?;
         }
-        self.fire(|h, d, a| h.on_data_create(d, a), data, &attrs);
-        self.container.scheduler.lock().schedule(data.clone(), attrs);
+        let mut locators = Vec::new();
+        for (data, attrs) in items {
+            if self.container.repository.has(data) {
+                locators.push(
+                    self.container
+                        .repository
+                        .locator_for(data, &attrs.protocol)?,
+                );
+            }
+        }
+        self.container.catalog.add_locators(&locators)?;
+        for (data, attrs) in items {
+            self.fire(DataEventKind::Create, data, attrs);
+        }
+        let mut scheduler = self.container.scheduler.lock();
+        for (data, attrs) in items {
+            scheduler.schedule(data.clone(), attrs.clone());
+        }
         Ok(())
     }
 
     /// Declare this node an owner of `data` (the datum also enters the local
     /// cache so affinity dependencies resolve here — the master pins the
     /// Collector in §5).
-    pub fn pin(&self, data: &Data, attrs: DataAttributes) {
+    pub fn pin(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
         self.container.scheduler.lock().pin(data.id, self.uid);
         self.cache.lock().insert(data.id, (data.clone(), attrs));
+        Ok(())
     }
 
     /// Install a life-cycle event handler.
@@ -414,25 +452,74 @@ impl BitdewNode {
         self.handlers.lock().push(Box::new(handler));
     }
 
+    /// Drain buffered life-cycle events (oldest first).
+    pub fn poll_events(&self) -> Vec<DataEvent> {
+        self.polled.store(true, Ordering::Relaxed);
+        self.events.lock().drain(..).collect()
+    }
+
     // --- TransferManager API ----------------------------------------------
 
-    /// Block until `data` is in the local cache (scheduled path) or the
-    /// given transfer is terminal (direct `get` path).
-    pub fn wait_for(&self, id: TransferId) -> Option<TransferState> {
-        self.container.transfer.wait(id, Duration::from_millis(2))
+    /// Block until the transfer is terminal; unknown ids error.
+    pub fn wait_for(&self, id: TransferId) -> Result<TransferState> {
+        match self.container.transfer.wait(id, Duration::from_millis(2)) {
+            Some(state) => Ok(state),
+            None => Err(BitdewError::CatalogMiss {
+                what: format!("transfer {id:?}"),
+            }),
+        }
+    }
+
+    /// Non-blocking probe of a transfer's state (`None` while active).
+    pub fn try_wait(&self, id: TransferId) -> Result<Option<TransferState>> {
+        self.container.transfer.tick();
+        self.probe(id)
+    }
+
+    /// [`BitdewNode::try_wait`] without the monitor tick — for callers that
+    /// already ticked this round.
+    fn probe(&self, id: TransferId) -> Result<Option<TransferState>> {
+        match self.container.transfer.report(id) {
+            Some(r) if r.state == TransferState::Active => Ok(None),
+            Some(r) => Ok(Some(r.state)),
+            None => Err(BitdewError::CatalogMiss {
+                what: format!("transfer {id:?}"),
+            }),
+        }
+    }
+
+    /// Wait for every listed transfer; total wait is the slowest one.
+    pub fn wait_all(&self, ids: &[TransferId]) -> Result<Vec<TransferState>> {
+        let mut states = vec![None; ids.len()];
+        loop {
+            // One monitor tick per poll round, shared by every probe.
+            self.container.transfer.tick();
+            for (slot, &id) in states.iter_mut().zip(ids) {
+                if slot.is_none() {
+                    *slot = self.probe(id)?;
+                }
+            }
+            if states.iter().all(Option::is_some) {
+                return Ok(states.into_iter().flatten().collect());
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     /// Block until every pending scheduled download on this node finished
     /// (a transfer barrier). Runs synchronization rounds while waiting.
-    pub fn barrier(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
+    pub fn barrier(&self, timeout: Duration) -> Result<()> {
+        let start = Instant::now();
         loop {
             self.sync_once();
             if self.pending.lock().is_empty() {
-                return true;
+                return Ok(());
             }
-            if Instant::now() > deadline {
-                return false;
+            if start.elapsed() > timeout {
+                return Err(BitdewError::Timeout {
+                    what: format!("{} pending downloads", self.pending.lock().len()),
+                    waited: start.elapsed(),
+                });
             }
             std::thread::sleep(Duration::from_millis(2));
         }
@@ -461,16 +548,22 @@ impl BitdewNode {
         self.container.transfer.tick();
         {
             let mut pending = self.pending.lock();
-            let ids: Vec<DataId> = pending.keys().copied().collect();
-            for id in ids {
-                let (tid, _, _) = pending[&id];
+            let ids: Vec<(DataId, TransferId)> = pending
+                .iter()
+                .map(|(&id, &(tid, _, _))| (id, tid))
+                .collect();
+            for (id, tid) in ids {
                 match self.container.transfer.report(tid).map(|r| r.state) {
                     Some(TransferState::Complete) => {
-                        let (_, data, attrs) = pending.remove(&id).expect("listed");
+                        // The entry is present: `ids` was snapshotted under
+                        // this same lock and nothing else removes entries.
+                        let Some((_, data, attrs)) = pending.remove(&id) else {
+                            continue;
+                        };
                         self.container.transfer.reap(tid);
                         self.cache.lock().insert(id, (data.clone(), attrs.clone()));
                         summary.completed.push(id);
-                        self.fire(|h, d, a| h.on_data_copy(d, a), &data, &attrs);
+                        self.fire(DataEventKind::Copy, &data, &attrs);
                     }
                     Some(TransferState::Failed) | None => {
                         // Next sync re-assigns if the data is still wanted.
@@ -485,15 +578,18 @@ impl BitdewNode {
         // 2. Synchronize with the Data Scheduler.
         let cache_ids: Vec<DataId> = self.cache.lock().keys().copied().collect();
         let now = self.container.now_nanos();
-        let reply =
-            self.container.scheduler.lock().sync_as(self.uid, &cache_ids, now, self.role);
+        let reply = self
+            .container
+            .scheduler
+            .lock()
+            .sync_as(self.uid, &cache_ids, now, self.role);
 
         // 3. Purge obsolete data.
         for id in reply.delete {
             if let Some((data, attrs)) = self.cache.lock().remove(&id) {
                 let _ = self.local.remove(&data.object_name());
                 summary.deleted.push(id);
-                self.fire(|h, d, a| h.on_data_delete(d, a), &data, &attrs);
+                self.fire(DataEventKind::Delete, &data, &attrs);
             }
         }
 
@@ -511,9 +607,11 @@ impl BitdewNode {
             // transfer: cache them directly.
             if data.size == 0 {
                 drop(pending);
-                self.cache.lock().insert(data.id, (data.clone(), attrs.clone()));
+                self.cache
+                    .lock()
+                    .insert(data.id, (data.clone(), attrs.clone()));
                 summary.completed.push(data.id);
-                self.fire(|h, d, a| h.on_data_copy(d, a), &data, &attrs);
+                self.fire(DataEventKind::Copy, &data, &attrs);
                 continue;
             }
             match self.locator_for(&data, &attrs.protocol) {
@@ -537,6 +635,12 @@ impl BitdewNode {
     }
 
     /// Spawn the heartbeat thread; returns a guard that stops it on drop.
+    ///
+    /// # Panics
+    /// If the OS refuses to spawn a thread (resource exhaustion). A
+    /// heartbeat host that cannot run its reservoir loop has no meaningful
+    /// degraded mode, so this is a documented invariant rather than a
+    /// recoverable error.
     pub fn start_heartbeat(self: &Arc<Self>, period: Duration) -> NodeHandle {
         let node = Arc::clone(self);
         node.stop.store(false, Ordering::Relaxed);
@@ -549,29 +653,38 @@ impl BitdewNode {
                     std::thread::sleep(period);
                 }
             })
-            .expect("spawn reservoir");
-        NodeHandle { node, thread: Some(thread) }
+            .expect("OS refused to spawn the reservoir heartbeat thread");
+        NodeHandle {
+            node,
+            thread: Some(thread),
+        }
     }
 
-    fn locator_for(&self, data: &Data, protocol: &ProtocolId) -> TransportResult<Locator> {
-        let locs = self
-            .container
-            .catalog
-            .locators(data.id)
-            .map_err(|e| TransportError::Protocol(format!("catalog: {e}")))?;
+    fn locator_for(&self, data: &Data, protocol: &ProtocolId) -> Result<Locator> {
+        let locs = self.container.catalog.locators(data.id)?;
         locs.iter()
             .find(|l| l.protocol == *protocol)
             .or_else(|| locs.first())
             .cloned()
-            .ok_or_else(|| TransportError::NoSuchObject(data.name.clone()))
+            .ok_or_else(|| BitdewError::CatalogMiss {
+                what: format!("locator for `{}`", data.name),
+            })
     }
 
-    fn fire(
-        &self,
-        f: impl Fn(&mut Box<dyn ActiveDataEventHandler>, &Data, &DataAttributes),
-        data: &Data,
-        attrs: &DataAttributes,
-    ) {
+    fn fire(&self, kind: DataEventKind, data: &Data, attrs: &DataAttributes) {
+        // Record for pollers first. Bounded (drop-oldest) only until the
+        // first poll proves a consumer exists — see EVENT_QUEUE_CAP.
+        {
+            let mut events = self.events.lock();
+            if !self.polled.load(Ordering::Relaxed) && events.len() >= EVENT_QUEUE_CAP {
+                events.pop_front();
+            }
+            events.push_back(DataEvent {
+                kind,
+                data: data.clone(),
+                attrs: attrs.clone(),
+            });
+        }
         // Handlers may call back into this node (a worker's onDataCopy
         // schedules its result, which fires onDataCreate), so the lock must
         // not be held while they run: take the handler list out, invoke,
@@ -582,12 +695,115 @@ impl BitdewNode {
             std::mem::take(&mut *guard)
         };
         for h in taken.iter_mut() {
-            f(h, data, attrs);
+            match kind {
+                DataEventKind::Create => h.on_data_create(data, attrs),
+                DataEventKind::Copy => h.on_data_copy(data, attrs),
+                DataEventKind::Delete => h.on_data_delete(data, attrs),
+            }
         }
         let mut guard = self.handlers.lock();
         let added = std::mem::take(&mut *guard);
         *guard = taken;
         guard.extend(added);
+    }
+}
+
+// The trait impls delegate to the inherent methods above, so `Arc<BitdewNode>`
+// (via the blanket smart-pointer impls in `api`) satisfies
+// `BitDewApi + ActiveData + TransferManager` and generic application code
+// runs on the threaded deployment.
+
+/// Validate an attribute set before it reaches the Data Scheduler — shared
+/// by the threaded node and the simulator adapter so both backends reject
+/// the same inputs.
+pub(crate) fn validate_attrs(data: &Data, attrs: &DataAttributes) -> Result<()> {
+    if attrs.replica < crate::attr::REPLICA_ALL {
+        return Err(BitdewError::Scheduler {
+            what: format!(
+                "replica {} out of range for `{}` (use -1 for all nodes, 0 for pinned-only, \
+                 or a positive count)",
+                attrs.replica, data.name
+            ),
+        });
+    }
+    if attrs.affinity == Some(data.id) {
+        return Err(BitdewError::Scheduler {
+            what: format!("`{}` cannot have affinity to itself", data.name),
+        });
+    }
+    Ok(())
+}
+
+impl BitDewApi for BitdewNode {
+    fn create_data(&self, name: &str, content: &[u8]) -> Result<Data> {
+        BitdewNode::create_data(self, name, content)
+    }
+    fn create_slot(&self, name: &str, size: u64) -> Result<Data> {
+        BitdewNode::create_slot(self, name, size)
+    }
+    fn put(&self, data: &Data, content: &[u8]) -> Result<()> {
+        BitdewNode::put(self, data, content)
+    }
+    fn put_many(&self, items: &[(Data, &[u8])]) -> Result<()> {
+        BitdewNode::put_many(self, items)
+    }
+    fn get(&self, data: &Data) -> Result<TransferId> {
+        BitdewNode::get(self, data)
+    }
+    fn search(&self, name: &str) -> Result<Vec<Data>> {
+        BitdewNode::search(self, name)
+    }
+    fn delete(&self, data: &Data) -> Result<()> {
+        BitdewNode::delete(self, data)
+    }
+    fn create_attribute(&self, src: &str) -> Result<DataAttributes> {
+        BitdewNode::create_attribute(self, src)
+    }
+    fn read_local(&self, data: &Data) -> Result<Vec<u8>> {
+        BitdewNode::read_local(self, data)
+    }
+}
+
+impl ActiveData for BitdewNode {
+    fn schedule(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
+        BitdewNode::schedule(self, data, attrs)
+    }
+    fn schedule_many(&self, items: &[(Data, DataAttributes)]) -> Result<()> {
+        BitdewNode::schedule_many(self, items)
+    }
+    fn pin(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
+        BitdewNode::pin(self, data, attrs)
+    }
+    fn poll_events(&self) -> Vec<DataEvent> {
+        BitdewNode::poll_events(self)
+    }
+    fn host_uid(&self) -> HostUid {
+        self.uid
+    }
+}
+
+impl TransferManager for BitdewNode {
+    fn wait_for(&self, id: TransferId) -> Result<TransferState> {
+        BitdewNode::wait_for(self, id)
+    }
+    fn try_wait(&self, id: TransferId) -> Result<Option<TransferState>> {
+        BitdewNode::try_wait(self, id)
+    }
+    fn wait_all(&self, ids: &[TransferId]) -> Result<Vec<TransferState>> {
+        BitdewNode::wait_all(self, ids)
+    }
+    fn barrier(&self, timeout: Duration) -> Result<()> {
+        BitdewNode::barrier(self, timeout)
+    }
+    fn pump(&self) -> Result<()> {
+        self.sync_once();
+        Ok(())
+    }
+    fn cached(&self) -> Vec<DataId> {
+        BitdewNode::cached(self)
+    }
+    fn has_cached(&self, id: DataId) -> bool {
+        BitdewNode::has_cached(self, id)
     }
 }
 
@@ -650,8 +866,11 @@ mod tests {
 
         let worker = BitdewNode::new(Arc::clone(&c));
         let tid = worker.get(&data).unwrap();
-        assert_eq!(worker.wait_for(tid), Some(TransferState::Complete));
-        let got = worker.local_store().read_at(&data.object_name(), 0, content.len()).unwrap();
+        assert_eq!(worker.wait_for(tid).unwrap(), TransferState::Complete);
+        let got = worker
+            .local_store()
+            .read_at(&data.object_name(), 0, content.len())
+            .unwrap();
         assert_eq!(&got[..], &content[..]);
     }
 
@@ -660,9 +879,9 @@ mod tests {
         let c = quick_container();
         let client = BitdewNode::new(Arc::clone(&c));
         let d = client.create_data("needle", b"x").unwrap();
-        let hits = client.search("needle");
+        let hits = client.search("needle").unwrap();
         assert_eq!(hits, vec![d]);
-        assert!(client.search("haystack").is_empty());
+        assert!(client.search("haystack").unwrap().is_empty());
     }
 
     #[test]
@@ -690,12 +909,18 @@ mod tests {
         let client = BitdewNode::new(Arc::clone(&c));
         let data = client.create_data("solo", &vec![1u8; 10_000]).unwrap();
         client.put(&data, &vec![1u8; 10_000]).unwrap();
-        client.schedule(&data, DataAttributes::default().with_replica(1)).unwrap();
+        client
+            .schedule(&data, DataAttributes::default().with_replica(1))
+            .unwrap();
         let w1 = BitdewNode::new(Arc::clone(&c));
         let w2 = BitdewNode::new(Arc::clone(&c));
         pump(&[&w1, &w2], 40);
         let owners = [w1.has_cached(data.id), w2.has_cached(data.id)];
-        assert_eq!(owners.iter().filter(|&&b| b).count(), 1, "exactly one owner");
+        assert_eq!(
+            owners.iter().filter(|&&b| b).count(),
+            1,
+            "exactly one owner"
+        );
     }
 
     #[test]
@@ -719,7 +944,9 @@ mod tests {
                     d2.fetch_add(1, Ordering::Relaxed);
                 }),
         );
-        client.schedule(&data, DataAttributes::default().with_replica(1)).unwrap();
+        client
+            .schedule(&data, DataAttributes::default().with_replica(1))
+            .unwrap();
         pump(&[&worker], 40);
         assert!(worker.has_cached(data.id));
         assert_eq!(copies.load(Ordering::Relaxed), 1);
@@ -741,7 +968,7 @@ mod tests {
         master
             .schedule(&collector, DataAttributes::default().with_replica(0))
             .unwrap();
-        master.pin(&collector, DataAttributes::default());
+        master.pin(&collector, DataAttributes::default()).unwrap();
 
         // A worker produces a result with affinity to the collector.
         let worker = BitdewNode::new(Arc::clone(&c));
@@ -792,7 +1019,9 @@ mod tests {
         let client = BitdewNode::new(Arc::clone(&c));
         let data = client.create_data("hb", &vec![8u8; 30_000]).unwrap();
         client.put(&data, &vec![8u8; 30_000]).unwrap();
-        client.schedule(&data, DataAttributes::default().with_replica(1)).unwrap();
+        client
+            .schedule(&data, DataAttributes::default().with_replica(1))
+            .unwrap();
 
         let worker = BitdewNode::new(Arc::clone(&c));
         let handle = worker.start_heartbeat(Duration::from_millis(5));
@@ -839,9 +1068,11 @@ mod tests {
         let client = BitdewNode::new(Arc::clone(&c));
         let data = client.create_data("bar", &vec![2u8; 150_000]).unwrap();
         client.put(&data, &vec![2u8; 150_000]).unwrap();
-        client.schedule(&data, DataAttributes::default().with_replica(1)).unwrap();
+        client
+            .schedule(&data, DataAttributes::default().with_replica(1))
+            .unwrap();
         let worker = BitdewNode::new(Arc::clone(&c));
-        assert!(worker.barrier(Duration::from_secs(10)));
+        worker.barrier(Duration::from_secs(10)).unwrap();
         assert!(worker.has_cached(data.id));
     }
 

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use bitdew_storage::codec::{Decode, Encode};
 use bitdew_storage::{ConnectionPool, DbDriver, DbOp, DbReply, DbResult};
 
+use crate::api::Result;
 use crate::data::{Data, DataId, Locator};
 
 const T_DATA: &str = "dc_data";
@@ -37,6 +38,28 @@ impl DbAccess {
             DbAccess::PerOperation(driver) => driver.connect()?.exec(op),
         }
     }
+
+    /// Run a batch of operations over a single checked-out connection —
+    /// the amortization behind the batched API entry points (`put_many`,
+    /// `schedule_many`): one pool checkout (or one fresh connection)
+    /// instead of one per operation.
+    fn exec_many(&self, ops: Vec<DbOp>) -> DbResult<()> {
+        match self {
+            DbAccess::Pooled(pool) => {
+                let mut conn = pool.checkout()?;
+                for op in ops {
+                    conn.exec(op)?;
+                }
+            }
+            DbAccess::PerOperation(driver) => {
+                let mut conn = driver.connect()?;
+                for op in ops {
+                    conn.exec(op)?;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The Data Catalog service.
@@ -48,12 +71,15 @@ pub struct DataCatalog {
 impl DataCatalog {
     /// DC over the given database access path.
     pub fn new(db: DbAccess) -> DataCatalog {
-        DataCatalog { db, registered: std::sync::atomic::AtomicU64::new(0) }
+        DataCatalog {
+            db,
+            registered: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// Register (or overwrite) a datum. This is the "data slot creation"
     /// operation Table 2 benchmarks.
-    pub fn register(&self, data: &Data) -> DbResult<()> {
+    pub fn register(&self, data: &Data) -> Result<()> {
         self.db.exec(DbOp::Put {
             table: T_DATA.into(),
             key: data.id.0.to_le_bytes().to_vec(),
@@ -68,12 +94,13 @@ impl DataCatalog {
             key,
             value: data.id.0.to_le_bytes().to_vec(),
         })?;
-        self.registered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.registered
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
 
     /// Fetch a datum by id.
-    pub fn get(&self, id: DataId) -> DbResult<Option<Data>> {
+    pub fn get(&self, id: DataId) -> Result<Option<Data>> {
         match self.db.exec(DbOp::Get {
             table: T_DATA.into(),
             key: id.0.to_le_bytes().to_vec(),
@@ -84,10 +111,13 @@ impl DataCatalog {
     }
 
     /// All data whose name equals `name` (the `searchData` API, §3.3).
-    pub fn search(&self, name: &str) -> DbResult<Vec<Data>> {
+    pub fn search(&self, name: &str) -> Result<Vec<Data>> {
         let mut prefix = name.as_bytes().to_vec();
         prefix.push(0);
-        let rows = match self.db.exec(DbOp::ScanPrefix { table: T_NAME.into(), prefix })? {
+        let rows = match self.db.exec(DbOp::ScanPrefix {
+            table: T_NAME.into(),
+            prefix,
+        })? {
             DbReply::Rows(rows) => rows,
             _ => Vec::new(),
         };
@@ -104,20 +134,35 @@ impl DataCatalog {
     }
 
     /// Attach a locator to a datum.
-    pub fn add_locator(&self, loc: &Locator) -> DbResult<()> {
-        // Key: data id + protocol name, so one locator per (data, protocol).
-        let mut key = loc.data.0.to_le_bytes().to_vec();
-        key.extend_from_slice(loc.protocol.0.as_bytes());
-        self.db.exec(DbOp::Put {
-            table: T_LOCATOR.into(),
-            key,
-            value: loc.to_bytes().to_vec(),
-        })?;
+    pub fn add_locator(&self, loc: &Locator) -> Result<()> {
+        self.add_locators(std::slice::from_ref(loc))
+    }
+
+    /// Attach a batch of locators over one database connection.
+    pub fn add_locators(&self, locs: &[Locator]) -> Result<()> {
+        if locs.is_empty() {
+            return Ok(());
+        }
+        let ops = locs
+            .iter()
+            .map(|loc| {
+                // Key: data id + protocol name, so one locator per
+                // (data, protocol).
+                let mut key = loc.data.0.to_le_bytes().to_vec();
+                key.extend_from_slice(loc.protocol.0.as_bytes());
+                DbOp::Put {
+                    table: T_LOCATOR.into(),
+                    key,
+                    value: loc.to_bytes().to_vec(),
+                }
+            })
+            .collect();
+        self.db.exec_many(ops)?;
         Ok(())
     }
 
     /// All locators for a datum.
-    pub fn locators(&self, id: DataId) -> DbResult<Vec<Locator>> {
+    pub fn locators(&self, id: DataId) -> Result<Vec<Locator>> {
         let rows = match self.db.exec(DbOp::ScanPrefix {
             table: T_LOCATOR.into(),
             prefix: id.0.to_le_bytes().to_vec(),
@@ -133,9 +178,11 @@ impl DataCatalog {
 
     /// Remove a datum and its locators ("data deletion implies both local
     /// and remote deletion", §3.3).
-    pub fn delete(&self, id: DataId) -> DbResult<bool> {
+    pub fn delete(&self, id: DataId) -> Result<bool> {
         let existing = self.get(id)?;
-        let Some(data) = existing else { return Ok(false) };
+        let Some(data) = existing else {
+            return Ok(false);
+        };
         self.db.exec(DbOp::Delete {
             table: T_DATA.into(),
             key: id.0.to_le_bytes().to_vec(),
@@ -143,12 +190,18 @@ impl DataCatalog {
         let mut nkey = data.name.as_bytes().to_vec();
         nkey.push(0);
         nkey.extend_from_slice(&id.0.to_le_bytes());
-        self.db.exec(DbOp::Delete { table: T_NAME.into(), key: nkey })?;
+        self.db.exec(DbOp::Delete {
+            table: T_NAME.into(),
+            key: nkey,
+        })?;
         let locs = self.locators(id)?;
         for l in locs {
             let mut key = id.0.to_le_bytes().to_vec();
             key.extend_from_slice(l.protocol.0.as_bytes());
-            self.db.exec(DbOp::Delete { table: T_LOCATOR.into(), key })?;
+            self.db.exec(DbOp::Delete {
+                table: T_LOCATOR.into(),
+                key,
+            })?;
         }
         Ok(true)
     }
@@ -237,11 +290,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(t);
                 for i in 0..50 {
-                    let d = Data::from_bytes(
-                        Auid::generate(i, &mut rng),
-                        format!("d{t}-{i}"),
-                        b"x",
-                    );
+                    let d =
+                        Data::from_bytes(Auid::generate(i, &mut rng), format!("d{t}-{i}"), b"x");
                     dc.register(&d).unwrap();
                 }
             }));

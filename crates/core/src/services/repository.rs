@@ -18,8 +18,9 @@ use parking_lot::Mutex;
 use bitdew_transport::bittorrent::{self, BtPeer, Torrent, Tracker};
 use bitdew_transport::ftp::FtpServer;
 use bitdew_transport::http::HttpServer;
-use bitdew_transport::{Fabric, FileStore, ProtocolId, TransportError, TransportResult};
+use bitdew_transport::{Fabric, FileStore, ProtocolId, TransportError};
 
+use crate::api::Result;
 use crate::data::{Data, DataId, Locator};
 
 /// The Data Repository service host.
@@ -70,16 +71,16 @@ impl DataRepository {
 
     /// Copy `content` into the slot for `data`, verifying the declared
     /// checksum when the datum has one.
-    pub fn put_bytes(&self, data: &Data, content: &[u8]) -> TransportResult<()> {
+    pub fn put_bytes(&self, data: &Data, content: &[u8]) -> Result<()> {
         if data.has_checksum() && bitdew_util::md5::md5(content) != data.checksum {
-            return Err(TransportError::ChecksumMismatch);
+            return Err(TransportError::ChecksumMismatch.into());
         }
         self.store.write_at(&data.object_name(), 0, content)?;
         Ok(())
     }
 
     /// Read a datum's full content out of the repository.
-    pub fn get_bytes(&self, data: &Data) -> TransportResult<Vec<u8>> {
+    pub fn get_bytes(&self, data: &Data) -> Result<Vec<u8>> {
         let name = data.object_name();
         let size = self.store.size(&name)?;
         let mut out = Vec::with_capacity(size as usize);
@@ -101,7 +102,7 @@ impl DataRepository {
     }
 
     /// Drop a datum's content.
-    pub fn remove(&self, data: &Data) -> TransportResult<()> {
+    pub fn remove(&self, data: &Data) -> Result<()> {
         self.seeders.lock().remove(&data.id);
         self.store.remove(&data.object_name())?;
         Ok(())
@@ -111,9 +112,11 @@ impl DataRepository {
     /// For BitTorrent this also ensures a tracker registration and a seeder
     /// daemon for the datum ("the FTP server and the BitTorrent seeder run
     /// on the same node", §4.3).
-    pub fn locator_for(&self, data: &Data, protocol: &ProtocolId) -> TransportResult<Locator> {
+    pub fn locator_for(&self, data: &Data, protocol: &ProtocolId) -> Result<Locator> {
         if !self.has(data) {
-            return Err(TransportError::NoSuchObject(data.object_name()));
+            return Err(crate::api::BitdewError::CatalogMiss {
+                what: format!("repository content for `{}`", data.object_name()),
+            });
         }
         let remote = if *protocol == ProtocolId::ftp() {
             self.ftp_endpoint.clone()
@@ -123,9 +126,9 @@ impl DataRepository {
             self.ensure_seeding(data)?;
             self.tracker_endpoint.clone()
         } else {
-            return Err(TransportError::Protocol(format!(
-                "repository does not serve {protocol}"
-            )));
+            return Err(
+                TransportError::Protocol(format!("repository does not serve {protocol}")).into(),
+            );
         };
         Ok(Locator::new(data, protocol.clone(), remote))
     }
@@ -135,7 +138,7 @@ impl DataRepository {
         self.seeders.lock().get(&data.id).map(|(t, _)| t.clone())
     }
 
-    fn ensure_seeding(&self, data: &Data) -> TransportResult<()> {
+    fn ensure_seeding(&self, data: &Data) -> Result<()> {
         let mut seeders = self.seeders.lock();
         if seeders.contains_key(&data.id) {
             return Ok(());
@@ -202,7 +205,12 @@ mod tests {
         let (_f, dr) = repo();
         let d = datum("blob", b"expected content");
         let err = dr.put_bytes(&d, b"tampered content");
-        assert!(matches!(err, Err(TransportError::ChecksumMismatch)));
+        assert!(matches!(
+            err,
+            Err(crate::api::BitdewError::Transport(
+                TransportError::ChecksumMismatch
+            ))
+        ));
     }
 
     #[test]
@@ -237,7 +245,7 @@ mod tests {
         let d = datum("ghost", b"never stored");
         assert!(matches!(
             dr.locator_for(&d, &ProtocolId::ftp()),
-            Err(TransportError::NoSuchObject(_))
+            Err(crate::api::BitdewError::CatalogMiss { .. })
         ));
     }
 
@@ -267,6 +275,9 @@ mod tests {
             st.outcome,
             Some(bitdew_transport::TransferVerdict::Complete)
         );
-        assert_eq!(&local.read_at(&loc.object, 0, content.len()).unwrap()[..], &content[..]);
+        assert_eq!(
+            &local.read_at(&loc.object, 0, content.len()).unwrap()[..],
+            &content[..]
+        );
     }
 }

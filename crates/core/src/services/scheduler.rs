@@ -145,7 +145,10 @@ impl DataScheduler {
 
     /// Current owner set Ω(d).
     pub fn owners_of(&self, d: DataId) -> Vec<HostUid> {
-        self.owners.get(&d).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.owners
+            .get(&d)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Hosts that have synchronized and not been declared dead.
@@ -237,8 +240,12 @@ impl DataScheduler {
         // datum assigned by the replica pass pulls its affinity-dependents
         // in the *same* synchronization instead of the next heartbeat —
         // identical steady state, one round sooner.
-        let candidates: Vec<DataId> =
-            self.theta.keys().copied().filter(|d| !psi.contains(d)).collect();
+        let candidates: Vec<DataId> = self
+            .theta
+            .keys()
+            .copied()
+            .filter(|d| !psi.contains(d))
+            .collect();
         let mut new_count = 0usize;
         loop {
             let before = new_count;
@@ -252,7 +259,9 @@ impl DataScheduler {
                     continue;
                 }
                 let sd = &self.theta[&dj];
-                let Some(target) = sd.attrs.affinity else { continue };
+                let Some(target) = sd.attrs.affinity else {
+                    continue;
+                };
                 if psi.contains(&target) {
                     psi.insert(dj);
                     reply.download.push((sd.data.clone(), sd.attrs.clone()));
@@ -314,11 +323,7 @@ impl DataScheduler {
                     .get(d)
                     .map(|sd| sd.attrs.fault_tolerant)
                     .unwrap_or(false);
-                let pinned = self
-                    .pinned
-                    .get(d)
-                    .map(|p| p.contains(&h))
-                    .unwrap_or(false);
+                let pinned = self.pinned.get(d).map(|p| p.contains(&h)).unwrap_or(false);
                 if ft && !pinned {
                     owners.remove(&h);
                 }
@@ -395,7 +400,10 @@ mod tests {
     fn replica_all_goes_everywhere() {
         let mut f = Fixture::new();
         let d = f.datum("app");
-        f.ds.schedule(d.clone(), DataAttributes::default().with_replica(crate::attr::REPLICA_ALL));
+        f.ds.schedule(
+            d.clone(),
+            DataAttributes::default().with_replica(crate::attr::REPLICA_ALL),
+        );
         for _ in 0..10 {
             let h = f.host();
             assert_eq!(ids(&f.ds.sync(h, &[], 0)), vec![d.id]);
@@ -474,7 +482,9 @@ mod tests {
         f.ds.schedule(
             gene.clone(),
             // replica=1 but affinity overrides: follows sequence everywhere.
-            DataAttributes::default().with_replica(1).with_affinity(seq.id),
+            DataAttributes::default()
+                .with_replica(1)
+                .with_affinity(seq.id),
         );
         let h1 = f.host();
         let r1 = f.ds.sync(h1, &[], 0);
@@ -495,11 +505,19 @@ mod tests {
         let a = f.datum("a");
         let b = f.datum("b");
         f.ds.schedule(a.clone(), DataAttributes::default().with_replica(3));
-        f.ds.schedule(b.clone(), DataAttributes::default().with_replica(1).with_affinity(a.id));
+        f.ds.schedule(
+            b.clone(),
+            DataAttributes::default()
+                .with_replica(1)
+                .with_affinity(a.id),
+        );
         let hosts: Vec<HostUid> = (0..3).map(|_| f.host()).collect();
         for &h in &hosts {
             let got = ids(&f.ds.sync(h, &[], 0));
-            assert!(got.contains(&a.id) && got.contains(&b.id), "b follows a to {h}");
+            assert!(
+                got.contains(&a.id) && got.contains(&b.id),
+                "b follows a to {h}"
+            );
         }
         assert_eq!(f.ds.owners_of(b.id).len(), 3);
     }
@@ -527,12 +545,14 @@ mod tests {
         let d = f.datum("resilient");
         f.ds.schedule(
             d.clone(),
-            DataAttributes::default().with_replica(1).with_fault_tolerance(true),
+            DataAttributes::default()
+                .with_replica(1)
+                .with_fault_tolerance(true),
         );
         let h1 = f.host();
         assert_eq!(ids(&f.ds.sync(h1, &[], 0)), vec![d.id]);
         f.ds.sync(h1, &[d.id], SEC); // h1 confirms ownership
-        // h1 goes silent; detector fires after 3 s.
+                                     // h1 goes silent; detector fires after 3 s.
         let dead = f.ds.detect_failures(SEC + 4 * SEC);
         assert_eq!(dead, vec![h1]);
         assert!(f.ds.owners_of(d.id).is_empty());
@@ -575,7 +595,9 @@ mod tests {
         let collector = f.datum("collector");
         f.ds.schedule(
             collector.clone(),
-            DataAttributes::default().with_replica(0).with_fault_tolerance(true),
+            DataAttributes::default()
+                .with_replica(0)
+                .with_fault_tolerance(true),
         );
         let master = f.host();
         f.ds.pin(collector.id, master);
@@ -632,7 +654,10 @@ mod tests {
         f.ds.pin(anchor.id, client);
         let r = f.ds.sync_as(client, &[anchor.id], 0, SyncRole::Client);
         let got = ids(&r);
-        assert!(got.contains(&follower.id), "affinity still flows to clients");
+        assert!(
+            got.contains(&follower.id),
+            "affinity still flows to clients"
+        );
         assert!(!got.contains(&loose.id), "replica data skips clients");
     }
 

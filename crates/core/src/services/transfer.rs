@@ -24,6 +24,7 @@ use parking_lot::Mutex;
 use bitdew_transport::oob::{OobTransfer, TransferStatus, TransferVerdict};
 use bitdew_transport::{FileStore, TransportResult};
 
+use crate::api::Result;
 use crate::data::{Data, Locator};
 
 /// Identifier of a transfer managed by DT.
@@ -105,7 +106,7 @@ impl DataTransfer {
         data: Data,
         locator: Locator,
         local: Arc<dyn FileStore>,
-    ) -> TransportResult<TransferId> {
+    ) -> Result<TransferId> {
         let mut transfer = (self.builder)(&data, &locator, Arc::clone(&local))?;
         transfer.connect()?;
         transfer.receive()?;
@@ -154,8 +155,7 @@ impl DataTransfer {
                     self.completed.fetch_add(1, Ordering::Relaxed);
                     terminal.push((id, TransferState::Complete));
                 }
-                Some(TransferVerdict::Interrupted)
-                | Some(TransferVerdict::CorruptPayload) => {
+                Some(TransferVerdict::Interrupted) | Some(TransferVerdict::CorruptPayload) => {
                     let _ = entry.transfer.disconnect();
                     if entry.attempts > self.max_retries {
                         entry.state = TransferState::Failed;
@@ -167,8 +167,7 @@ impl DataTransfer {
                     // too (the store offset logic re-fetches the tail).
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     entry.attempts += 1;
-                    match (self.builder)(&entry.data, &entry.locator, Arc::clone(&entry.local))
-                    {
+                    match (self.builder)(&entry.data, &entry.locator, Arc::clone(&entry.local)) {
                         Ok(mut t) => {
                             let restarted = t.connect().and_then(|_| t.receive());
                             match restarted {
@@ -262,7 +261,11 @@ mod tests {
             let spec = TransferSpec {
                 name: locator.object.clone(),
                 bytes: data.size,
-                checksum: if data.has_checksum() { Some(data.checksum) } else { None },
+                checksum: if data.has_checksum() {
+                    Some(data.checksum)
+                } else {
+                    None
+                },
                 remote: locator.remote.clone(),
             };
             Ok(Box::new(FtpTransfer::new(
@@ -290,7 +293,9 @@ mod tests {
         let content: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
         let (fabric, _server, data, locator, local) = setup(&content);
         let dt = DataTransfer::new(ftp_builder(fabric), 2);
-        let id = dt.submit(data.clone(), locator, Arc::clone(&local) as _).unwrap();
+        let id = dt
+            .submit(data.clone(), locator, Arc::clone(&local) as _)
+            .unwrap();
         assert_eq!(dt.active_count(), 1);
         let state = dt.wait(id, Duration::from_millis(2)).unwrap();
         assert_eq!(state, TransferState::Complete);
@@ -299,7 +304,12 @@ mod tests {
         let report = dt.report(id).unwrap();
         assert_eq!(report.attempts, 1);
         assert_eq!(report.status.bytes_done, content.len() as u64);
-        assert_eq!(&local.read_at(&data.object_name(), 0, content.len()).unwrap()[..], &content[..]);
+        assert_eq!(
+            &local
+                .read_at(&data.object_name(), 0, content.len())
+                .unwrap()[..],
+            &content[..]
+        );
         assert_eq!(dt.reap(id), Some(TransferState::Complete));
         assert!(dt.report(id).is_none());
     }
@@ -311,12 +321,19 @@ mod tests {
         // First connection dies after 128 KiB.
         server.inject_drop_after(128 * 1024);
         let dt = DataTransfer::new(ftp_builder(fabric), 3);
-        let id = dt.submit(data.clone(), locator, Arc::clone(&local) as _).unwrap();
+        let id = dt
+            .submit(data.clone(), locator, Arc::clone(&local) as _)
+            .unwrap();
         let state = dt.wait(id, Duration::from_millis(2)).unwrap();
         assert_eq!(state, TransferState::Complete);
         assert!(dt.retry_count() >= 1, "a resume happened");
         assert!(dt.report(id).unwrap().attempts >= 2);
-        assert_eq!(&local.read_at(&data.object_name(), 0, content.len()).unwrap()[..], &content[..]);
+        assert_eq!(
+            &local
+                .read_at(&data.object_name(), 0, content.len())
+                .unwrap()[..],
+            &content[..]
+        );
     }
 
     #[test]
@@ -381,11 +398,17 @@ mod tests {
             stores.push(local);
         }
         for id in &ids {
-            assert_eq!(dt.wait(*id, Duration::from_millis(2)), Some(TransferState::Complete));
+            assert_eq!(
+                dt.wait(*id, Duration::from_millis(2)),
+                Some(TransferState::Complete)
+            );
         }
         assert_eq!(dt.completed_count(), 5);
         for s in &stores {
-            assert_eq!(&s.read_at(&data.object_name(), 0, content.len()).unwrap()[..], &content[..]);
+            assert_eq!(
+                &s.read_at(&data.object_name(), 0, content.len()).unwrap()[..],
+                &content[..]
+            );
         }
     }
 }

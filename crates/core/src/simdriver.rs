@@ -8,36 +8,62 @@
 //! directly Fig. 4 (the DSL-Lab fault-tolerance scenario), whose waiting
 //! times are produced by the genuine failure-detector/heartbeat machinery
 //! below, not by a closed-form model.
+//!
+//! [`SimBitdew`] is the scenario-scripting face (hosts, churn, traces).
+//! [`SimNode`] wraps one simulated host behind the three API traits of
+//! [`crate::api`] — [`BitDewApi`], [`ActiveData`], [`TransferManager`] — so
+//! application code generic over those traits runs under virtual time
+//! exactly as it runs on the threaded [`BitdewNode`](crate::BitdewNode):
+//! waits and barriers advance the discrete-event clock instead of sleeping.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
+use std::time::Duration;
 
 use bitdew_sim::{
     every, FlowNet, FlowOutcome, HostId, Sim, SimDuration, SimTime, Trace, TraceEvent,
 };
 use bitdew_util::Auid;
 
+use crate::api::{
+    ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, Result, TransferManager,
+};
 use crate::attr::DataAttributes;
+use crate::attrparse;
 use crate::data::{Data, DataId};
-use crate::services::scheduler::{DataScheduler, HostUid};
+use crate::services::scheduler::{DataScheduler, HostUid, SyncRole};
+use crate::services::transfer::{TransferId, TransferState};
 
 /// Called when a node finishes downloading a datum.
 pub type CopyHook = Box<dyn FnMut(&mut Sim, HostUid, &Data)>;
 
-struct SimNode {
+struct NodeState {
     host: HostId,
     alive: bool,
+    role: SyncRole,
     cache: HashSet<DataId>,
     pending: HashSet<DataId>,
 }
 
+/// A datum registered in the simulated data space: metadata plus (when the
+/// application `put` real bytes) its content.
+struct SpaceEntry {
+    data: Data,
+    content: Option<Vec<u8>>,
+}
+
 struct DriverState {
     scheduler: DataScheduler,
-    nodes: HashMap<HostUid, SimNode>,
+    nodes: HashMap<HostUid, NodeState>,
     by_host: HashMap<HostId, HostUid>,
     copy_hook: Option<CopyHook>,
     data_names: HashMap<DataId, String>,
+    /// The simulated data space (what the DC + DR hold in the threaded
+    /// runtime): registered data and their `put` content.
+    space: HashMap<DataId, SpaceEntry>,
+    /// Monotonic ids for direct (`get`) transfers.
+    next_transfer: u64,
 }
 
 /// The virtual-time BitDew control plane.
@@ -69,6 +95,8 @@ impl SimBitdew {
                 by_host: HashMap::new(),
                 copy_hook: None,
                 data_names: HashMap::new(),
+                space: HashMap::new(),
+                next_transfer: 1,
             })),
             net,
             service_host,
@@ -93,7 +121,91 @@ impl SimBitdew {
     pub fn schedule_data(&self, data: Data, attrs: DataAttributes) {
         let mut st = self.state.borrow_mut();
         st.data_names.insert(data.id, data.name.clone());
+        st.space.entry(data.id).or_insert_with(|| SpaceEntry {
+            data: data.clone(),
+            content: None,
+        });
         st.scheduler.schedule(data, attrs);
+    }
+
+    /// Register a datum in the simulated data space without scheduling it
+    /// (the BitDew `createData` call).
+    pub fn register_data(&self, data: &Data) {
+        let mut st = self.state.borrow_mut();
+        st.data_names.insert(data.id, data.name.clone());
+        st.space.insert(
+            data.id,
+            SpaceEntry {
+                data: data.clone(),
+                content: None,
+            },
+        );
+    }
+
+    /// Store content for a registered datum (the BitDew `put` call).
+    pub fn put_content(&self, id: DataId, content: Vec<u8>) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        match st.space.get_mut(&id) {
+            Some(entry) => {
+                entry.content = Some(content);
+                Ok(())
+            }
+            None => Err(BitdewError::CatalogMiss {
+                what: format!("data {id}"),
+            }),
+        }
+    }
+
+    /// Registered data whose name equals `name` (the `searchData` call).
+    pub fn search_space(&self, name: &str) -> Vec<Data> {
+        let st = self.state.borrow();
+        let mut hits: Vec<Data> = st
+            .space
+            .values()
+            .filter(|e| e.data.name == name)
+            .map(|e| e.data.clone())
+            .collect();
+        hits.sort_by_key(|d| d.id);
+        hits
+    }
+
+    /// Remove a datum from the space and the scheduler (the `delete` call).
+    pub fn delete_data(&self, id: DataId) {
+        let mut st = self.state.borrow_mut();
+        st.space.remove(&id);
+        st.scheduler.delete_data(id);
+    }
+
+    /// Metadata and scheduling attributes of a datum, when known.
+    fn lookup(&self, id: DataId) -> Option<(Data, DataAttributes)> {
+        let st = self.state.borrow();
+        if let Some(attrs) = st.scheduler.attributes_of(id) {
+            if let Some(entry) = st.space.get(&id) {
+                return Some((entry.data.clone(), attrs.clone()));
+            }
+        }
+        st.space
+            .get(&id)
+            .map(|e| (e.data.clone(), DataAttributes::default()))
+    }
+
+    /// Content previously `put` for a datum, if any.
+    fn content_of(&self, id: DataId) -> Option<Vec<u8>> {
+        self.state
+            .borrow()
+            .space
+            .get(&id)
+            .and_then(|e| e.content.clone())
+    }
+
+    /// Pending scheduled downloads of a node.
+    fn pending_of(&self, uid: HostUid) -> usize {
+        self.state
+            .borrow()
+            .nodes
+            .get(&uid)
+            .map(|n| n.pending.len())
+            .unwrap_or(0)
     }
 
     /// Pin a datum to a node (the ActiveData `pin` call).
@@ -123,23 +235,40 @@ impl SimBitdew {
     /// Attach a reservoir node on simulator host `host`, heartbeating from
     /// `start_at`. Returns its BitDew identity.
     pub fn add_node(&self, sim: &mut Sim, host: HostId, start_at: SimTime) -> HostUid {
+        self.add_node_with_role(sim, host, start_at, SyncRole::Reservoir)
+    }
+
+    /// [`SimBitdew::add_node`] with an explicit role: clients receive only
+    /// affinity-driven placements, mirroring the threaded runtime's
+    /// client/reservoir split.
+    pub fn add_node_with_role(
+        &self,
+        sim: &mut Sim,
+        host: HostId,
+        start_at: SimTime,
+        role: SyncRole,
+    ) -> HostUid {
         let uid = Auid::generate(sim.now().as_nanos().max(1), &mut sim.rng);
         {
             let mut st = self.state.borrow_mut();
             st.nodes.insert(
                 uid,
-                SimNode {
+                NodeState {
                     host,
                     alive: true,
+                    role,
                     cache: HashSet::new(),
                     pending: HashSet::new(),
                 },
             );
             st.by_host.insert(host, uid);
         }
-        self.trace.push(start_at.max(sim.now()), TraceEvent::HostUp { host });
+        self.trace
+            .push(start_at.max(sim.now()), TraceEvent::HostUp { host });
         let driver = self.clone();
-        every(sim, start_at, self.heartbeat, move |sim| driver.heartbeat_step(sim, uid));
+        every(sim, start_at, self.heartbeat, move |sim| {
+            driver.heartbeat_step(sim, uid)
+        });
         uid
     }
 
@@ -174,14 +303,19 @@ impl SimBitdew {
         let now = sim.now().as_nanos();
         let (host, downloads) = {
             let mut st = self.state.borrow_mut();
-            let Some(node) = st.nodes.get(&uid) else { return false };
+            let Some(node) = st.nodes.get(&uid) else {
+                return false;
+            };
             if !node.alive {
                 return false;
             }
             let host = node.host;
+            let role = node.role;
             let cache: Vec<DataId> = node.cache.iter().copied().collect();
-            let reply = st.scheduler.sync(uid, &cache, now);
-            let node = st.nodes.get_mut(&uid).expect("node exists");
+            let reply = st.scheduler.sync_as(uid, &cache, now, role);
+            let Some(node) = st.nodes.get_mut(&uid) else {
+                return false;
+            };
             for d in &reply.delete {
                 node.cache.remove(d);
             }
@@ -197,7 +331,10 @@ impl SimBitdew {
             let name = data.name.clone();
             self.trace.push(
                 sim.now(),
-                TraceEvent::DataScheduled { host, data: name.clone() },
+                TraceEvent::DataScheduled {
+                    host,
+                    data: name.clone(),
+                },
             );
             self.trace.push(
                 sim.now(),
@@ -234,20 +371,31 @@ impl SimBitdew {
     ) {
         let hook = {
             let mut st = self.state.borrow_mut();
-            let Some(node) = st.nodes.get_mut(&uid) else { return };
+            let Some(node) = st.nodes.get_mut(&uid) else {
+                return;
+            };
             node.pending.remove(&data.id);
             match outcome {
                 FlowOutcome::Completed { avg_rate, .. } => {
                     node.cache.insert(data.id);
                     self.trace.push(
                         sim.now(),
-                        TraceEvent::TransferCompleted { to: host, data: name, avg_rate },
+                        TraceEvent::TransferCompleted {
+                            to: host,
+                            data: name,
+                            avg_rate,
+                        },
                     );
                     st.copy_hook.take()
                 }
                 FlowOutcome::Failed { .. } => {
-                    self.trace
-                        .push(sim.now(), TraceEvent::TransferFailed { to: host, data: name });
+                    self.trace.push(
+                        sim.now(),
+                        TraceEvent::TransferFailed {
+                            to: host,
+                            data: name,
+                        },
+                    );
                     None
                 }
             }
@@ -259,6 +407,379 @@ impl SimBitdew {
                 st.copy_hook = Some(h);
             }
         }
+    }
+}
+
+/// One simulated host behind the three API traits.
+///
+/// Holds the simulation clock (`Rc<RefCell<Sim>>`) so blocking operations —
+/// `wait_for`, `wait_all`, `barrier` — advance *virtual* time, and `pump`
+/// runs one heartbeat of it. Everything else mirrors the threaded
+/// [`BitdewNode`](crate::BitdewNode) against the simulated data space, so a
+/// scenario written as `fn scenario<N: BitDewApi + ActiveData +
+/// TransferManager>(...)` runs unchanged on either.
+pub struct SimNode {
+    sim: Rc<RefCell<Sim>>,
+    driver: SimBitdew,
+    uid: HostUid,
+    host: HostId,
+    /// Data seen in this node's cache at the last refresh, with the
+    /// attributes they were scheduled under (for Delete events).
+    seen: RefCell<HashMap<DataId, (Data, DataAttributes)>>,
+    events: RefCell<VecDeque<DataEvent>>,
+    /// Direct (`get`) transfers: outcome slot plus the datum they carry.
+    transfers: RefCell<HashMap<TransferId, (DataId, TransferSlot)>>,
+    /// Data whose direct transfer completed (O(1) `read_local` checks).
+    arrived: Rc<RefCell<HashSet<DataId>>>,
+    /// Direct transfers not yet terminal (O(1) `barrier` checks).
+    unresolved: Rc<std::cell::Cell<usize>>,
+}
+
+/// Shared cell a flow-completion callback resolves a transfer state into.
+type TransferSlot = Rc<RefCell<Option<TransferState>>>;
+
+impl SimNode {
+    /// Attach a node on simulator `host`, heartbeating from `start_at`.
+    pub fn attach(
+        sim: &Rc<RefCell<Sim>>,
+        driver: &SimBitdew,
+        host: HostId,
+        start_at: SimTime,
+    ) -> SimNode {
+        Self::attach_with_role(sim, driver, host, start_at, SyncRole::Reservoir)
+    }
+
+    /// Attach a *client* node: pins and receives affinity-routed data but is
+    /// skipped by replica placement (a §5 master).
+    pub fn attach_client(
+        sim: &Rc<RefCell<Sim>>,
+        driver: &SimBitdew,
+        host: HostId,
+        start_at: SimTime,
+    ) -> SimNode {
+        Self::attach_with_role(sim, driver, host, start_at, SyncRole::Client)
+    }
+
+    /// Attach a node with an explicit scheduler role.
+    pub fn attach_with_role(
+        sim: &Rc<RefCell<Sim>>,
+        driver: &SimBitdew,
+        host: HostId,
+        start_at: SimTime,
+        role: SyncRole,
+    ) -> SimNode {
+        let uid = driver.add_node_with_role(&mut sim.borrow_mut(), host, start_at, role);
+        SimNode {
+            sim: Rc::clone(sim),
+            driver: driver.clone(),
+            uid,
+            host,
+            seen: RefCell::new(HashMap::new()),
+            events: RefCell::new(VecDeque::new()),
+            transfers: RefCell::new(HashMap::new()),
+            arrived: Rc::new(RefCell::new(HashSet::new())),
+            unresolved: Rc::new(std::cell::Cell::new(0)),
+        }
+    }
+
+    /// The underlying scenario driver.
+    pub fn driver(&self) -> &SimBitdew {
+        &self.driver
+    }
+
+    /// The simulator host this node lives on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Advance virtual time by one heartbeat period.
+    fn advance_one(&self) {
+        let mut sim = self.sim.borrow_mut();
+        let deadline = sim.now().saturating_add(self.driver.heartbeat);
+        sim.run_until(deadline);
+        drop(sim);
+        self.refresh();
+    }
+
+    /// Diff the scheduler-driven cache against the last refresh, emitting
+    /// Copy/Delete life-cycle events (the polling face of ActiveData).
+    fn refresh(&self) {
+        let current: HashSet<DataId> = self.driver.cache_of(self.uid).into_iter().collect();
+        let mut seen = self.seen.borrow_mut();
+        let mut events = self.events.borrow_mut();
+        let mut arrivals: Vec<DataId> = current
+            .iter()
+            .copied()
+            .filter(|id| !seen.contains_key(id))
+            .collect();
+        arrivals.sort();
+        for id in arrivals {
+            if let Some((data, attrs)) = self.driver.lookup(id) {
+                events.push_back(DataEvent {
+                    kind: DataEventKind::Copy,
+                    data: data.clone(),
+                    attrs: attrs.clone(),
+                });
+                seen.insert(id, (data, attrs));
+            }
+        }
+        let gone: Vec<DataId> = seen
+            .keys()
+            .copied()
+            .filter(|id| !current.contains(id))
+            .collect();
+        for id in gone {
+            // seen only holds keys we inserted; `gone` was computed from it.
+            let Some((data, attrs)) = seen.remove(&id) else {
+                continue;
+            };
+            events.push_back(DataEvent {
+                kind: DataEventKind::Delete,
+                data,
+                attrs,
+            });
+        }
+    }
+
+    fn virtual_deadline(&self, timeout: Duration) -> SimTime {
+        self.sim
+            .borrow()
+            .now()
+            .saturating_add(SimDuration::from_secs_f64(timeout.as_secs_f64()))
+    }
+}
+
+impl BitDewApi for SimNode {
+    fn create_data(&self, name: &str, content: &[u8]) -> Result<Data> {
+        let id = {
+            let mut sim = self.sim.borrow_mut();
+            let entropy = sim.now().as_nanos().max(1);
+            Auid::generate(entropy, &mut sim.rng)
+        };
+        let data = Data::from_bytes(id, name, content);
+        self.driver.register_data(&data);
+        Ok(data)
+    }
+
+    fn create_slot(&self, name: &str, size: u64) -> Result<Data> {
+        let id = {
+            let mut sim = self.sim.borrow_mut();
+            let entropy = sim.now().as_nanos().max(1);
+            Auid::generate(entropy, &mut sim.rng)
+        };
+        let data = Data::slot(id, name, size);
+        self.driver.register_data(&data);
+        Ok(data)
+    }
+
+    fn put(&self, data: &Data, content: &[u8]) -> Result<()> {
+        if data.has_checksum() && bitdew_util::md5::md5(content) != data.checksum {
+            return Err(bitdew_transport::TransportError::ChecksumMismatch.into());
+        }
+        self.driver.put_content(data.id, content.to_vec())
+    }
+
+    fn put_many(&self, items: &[(Data, &[u8])]) -> Result<()> {
+        for (data, content) in items {
+            self.put(data, content)?;
+        }
+        Ok(())
+    }
+
+    fn get(&self, data: &Data) -> Result<TransferId> {
+        // Parity with the threaded runtime: a datum that was registered but
+        // never `put` has no locator, so fetching it is a catalog miss.
+        // (Metadata-only modeling still works: `put` an empty payload — a
+        // slot has no checksum to violate — and the flow moves `data.size`
+        // modeled bytes regardless.)
+        let has_content = self
+            .driver
+            .state
+            .borrow()
+            .space
+            .get(&data.id)
+            .is_some_and(|e| e.content.is_some());
+        if !has_content {
+            return Err(BitdewError::CatalogMiss {
+                what: format!("locator for `{}`", data.name),
+            });
+        }
+        let tid = {
+            let mut st = self.driver.state.borrow_mut();
+            st.next_transfer += 1;
+            TransferId(st.next_transfer - 1)
+        };
+        let slot: TransferSlot = Rc::new(RefCell::new(None));
+        let slot2 = Rc::clone(&slot);
+        let arrived = Rc::clone(&self.arrived);
+        let unresolved = Rc::clone(&self.unresolved);
+        let data_id = data.id;
+        self.unresolved.set(self.unresolved.get() + 1);
+        let mut sim = self.sim.borrow_mut();
+        self.driver.net.start_flow(
+            &mut sim,
+            self.driver.service_host,
+            self.host,
+            data.size as f64,
+            self.driver.setup_latency,
+            Box::new(move |_sim, outcome| {
+                let state = match outcome {
+                    FlowOutcome::Completed { .. } => TransferState::Complete,
+                    FlowOutcome::Failed { .. } => TransferState::Failed,
+                };
+                if state == TransferState::Complete {
+                    arrived.borrow_mut().insert(data_id);
+                }
+                unresolved.set(unresolved.get().saturating_sub(1));
+                *slot2.borrow_mut() = Some(state);
+            }),
+        );
+        drop(sim);
+        self.transfers.borrow_mut().insert(tid, (data.id, slot));
+        Ok(tid)
+    }
+
+    fn search(&self, name: &str) -> Result<Vec<Data>> {
+        Ok(self.driver.search_space(name))
+    }
+
+    fn delete(&self, data: &Data) -> Result<()> {
+        self.driver.delete_data(data.id);
+        Ok(())
+    }
+
+    fn create_attribute(&self, src: &str) -> Result<DataAttributes> {
+        attrparse::parse_single_resolving(src, self.sim.borrow().now().as_nanos(), &|name| {
+            self.driver.search_space(name).first().map(|d| d.id)
+        })
+    }
+
+    fn read_local(&self, data: &Data) -> Result<Vec<u8>> {
+        let arrived = self.has_cached(data.id) || self.arrived.borrow().contains(&data.id);
+        if !arrived {
+            return Err(BitdewError::CatalogMiss {
+                what: format!("local copy of `{}`", data.name),
+            });
+        }
+        // Real bytes when the application `put` them; otherwise the
+        // simulation only moved modeled bytes, so synthesize the size.
+        Ok(self
+            .driver
+            .content_of(data.id)
+            .unwrap_or_else(|| vec![0u8; data.size as usize]))
+    }
+}
+
+impl ActiveData for SimNode {
+    fn schedule(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
+        crate::runtime::validate_attrs(data, &attrs)?;
+        self.events.borrow_mut().push_back(DataEvent {
+            kind: DataEventKind::Create,
+            data: data.clone(),
+            attrs: attrs.clone(),
+        });
+        self.driver.schedule_data(data.clone(), attrs);
+        Ok(())
+    }
+
+    fn schedule_many(&self, items: &[(Data, DataAttributes)]) -> Result<()> {
+        for (data, attrs) in items {
+            self.schedule(data, attrs.clone())?;
+        }
+        Ok(())
+    }
+
+    fn pin(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
+        self.driver.pin(data.id, self.uid);
+        self.seen
+            .borrow_mut()
+            .insert(data.id, (data.clone(), attrs));
+        Ok(())
+    }
+
+    fn poll_events(&self) -> Vec<DataEvent> {
+        self.refresh();
+        self.events.borrow_mut().drain(..).collect()
+    }
+
+    fn host_uid(&self) -> HostUid {
+        self.uid
+    }
+}
+
+impl TransferManager for SimNode {
+    fn wait_for(&self, id: TransferId) -> Result<TransferState> {
+        let started = self.sim.borrow().now();
+        loop {
+            match self.try_wait(id)? {
+                Some(state) => return Ok(state),
+                None => {
+                    let drained = {
+                        let mut sim = self.sim.borrow_mut();
+                        let deadline = sim.now().saturating_add(self.driver.heartbeat);
+                        sim.run_until(deadline);
+                        sim.events_pending() == 0
+                    };
+                    self.refresh();
+                    if drained && self.try_wait(id)?.is_none() {
+                        let waited = self.sim.borrow().now().since(started);
+                        return Err(BitdewError::Timeout {
+                            what: format!("transfer {id:?} (simulation drained)"),
+                            waited: Duration::from_nanos(waited.as_nanos()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_wait(&self, id: TransferId) -> Result<Option<TransferState>> {
+        match self.transfers.borrow().get(&id) {
+            Some((_, slot)) => Ok(*slot.borrow()),
+            None => Err(BitdewError::CatalogMiss {
+                what: format!("transfer {id:?}"),
+            }),
+        }
+    }
+
+    fn wait_all(&self, ids: &[TransferId]) -> Result<Vec<TransferState>> {
+        // Sequential waits share one virtual clock, so the total is still
+        // the slowest transfer; wait_for supplies the drained-simulation
+        // guard a raw advance loop would lack.
+        ids.iter().map(|&id| self.wait_for(id)).collect()
+    }
+
+    fn barrier(&self, timeout: Duration) -> Result<()> {
+        let started = self.sim.borrow().now();
+        let deadline = self.virtual_deadline(timeout);
+        loop {
+            self.advance_one();
+            if self.driver.pending_of(self.uid) == 0 && self.unresolved.get() == 0 {
+                return Ok(());
+            }
+            if self.sim.borrow().now() >= deadline {
+                let waited = self.sim.borrow().now().since(started);
+                return Err(BitdewError::Timeout {
+                    what: format!("{} pending downloads", self.driver.pending_of(self.uid)),
+                    waited: Duration::from_nanos(waited.as_nanos()),
+                });
+            }
+        }
+    }
+
+    fn pump(&self) -> Result<()> {
+        self.advance_one();
+        Ok(())
+    }
+
+    fn cached(&self) -> Vec<DataId> {
+        let mut v = self.driver.cache_of(self.uid);
+        v.sort();
+        v
+    }
+
+    fn has_cached(&self, id: DataId) -> bool {
+        self.driver.cache_of(self.uid).contains(&id)
     }
 }
 
@@ -317,7 +838,9 @@ mod tests {
         let data = datum("precious", 1_000_000);
         bd.schedule_data(
             data.clone(),
-            DataAttributes::default().with_replica(1).with_fault_tolerance(true),
+            DataAttributes::default()
+                .with_replica(1)
+                .with_fault_tolerance(true),
         );
         bd.start_failure_detector(&mut sim, SimTime::ZERO);
         let n1 = bd.add_node(&mut sim, topo.workers[0], SimTime::ZERO);
@@ -343,7 +866,10 @@ mod tests {
             .map(|r| r.at.as_secs_f64())
             .next()
             .expect("second node was scheduled the datum");
-        assert!(resched >= 13.0, "waited for the failure detector, got {resched}");
+        assert!(
+            resched >= 13.0,
+            "waited for the failure detector, got {resched}"
+        );
     }
 
     #[test]
@@ -388,5 +914,87 @@ mod tests {
         // The recurring heartbeat returned false; the queue drained, so the
         // sim terminated (rather than ticking forever).
         assert!(sim.now() < SimTime::from_secs(60));
+    }
+
+    fn harness(workers: usize, seed: u64) -> (Rc<RefCell<Sim>>, SimBitdew, Vec<SimNode>) {
+        let topo = topology::gdx_cluster(workers);
+        let sim = Rc::new(RefCell::new(Sim::new(seed)));
+        let bd = SimBitdew::new(
+            topo.net.clone(),
+            topo.service,
+            SimDuration::from_secs(1),
+            Trace::new(),
+        );
+        let nodes = topo
+            .workers
+            .iter()
+            .map(|&w| SimNode::attach(&sim, &bd, w, SimTime::ZERO))
+            .collect();
+        (sim, bd, nodes)
+    }
+
+    #[test]
+    fn sim_node_schedule_barrier_and_events() {
+        let (_sim, _bd, nodes) = harness(2, 21);
+        let client = &nodes[0];
+        let content = vec![5u8; 1_000_000];
+        let data = client.create_data("spread", &content).unwrap();
+        client.put(&data, &content).unwrap();
+        client
+            .schedule(&data, DataAttributes::default().with_replica(2))
+            .unwrap();
+        // The scheduling node sees a Create event immediately.
+        let kinds: Vec<DataEventKind> = client.poll_events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![DataEventKind::Create]);
+
+        // Barrier advances virtual time until both replicas landed.
+        nodes[0].barrier(Duration::from_secs(60)).unwrap();
+        nodes[1].barrier(Duration::from_secs(60)).unwrap();
+        assert!(nodes.iter().all(|n| n.has_cached(data.id)));
+        // Arrival surfaced as a Copy event with the real content readable.
+        let evs = nodes[1].poll_events();
+        assert!(evs
+            .iter()
+            .any(|e| e.kind == DataEventKind::Copy && e.data.id == data.id));
+        assert_eq!(nodes[1].read_local(&data).unwrap(), content);
+
+        // Deletion propagates and surfaces as a Delete event.
+        client.delete(&data).unwrap();
+        for _ in 0..5 {
+            nodes[1].pump().unwrap();
+        }
+        assert!(!nodes[1].has_cached(data.id));
+        assert!(nodes[1]
+            .poll_events()
+            .iter()
+            .any(|e| e.kind == DataEventKind::Delete && e.data.id == data.id));
+    }
+
+    #[test]
+    fn sim_node_direct_get_and_wait_all() {
+        let (_sim, _bd, nodes) = harness(1, 22);
+        let node = &nodes[0];
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            let content = vec![i as u8; 2_000_000];
+            let d = node.create_data(&format!("blob-{i}"), &content).unwrap();
+            node.put(&d, &content).unwrap();
+            ids.push(node.get(&d).unwrap());
+        }
+        let states = node.wait_all(&ids).unwrap();
+        assert!(states.iter().all(|s| *s == TransferState::Complete));
+    }
+
+    #[test]
+    fn sim_node_attribute_language_resolves_space_names() {
+        let (_sim, _bd, nodes) = harness(1, 23);
+        let node = &nodes[0];
+        let anchor = node.create_data("Anchor", b"a").unwrap();
+        let attrs = node
+            .create_attribute("attr x = { replica = 2, affinity = Anchor, oob = http }")
+            .unwrap();
+        assert_eq!(attrs.replica, 2);
+        assert_eq!(attrs.affinity, Some(anchor.id));
+        assert_eq!(node.search("Anchor").unwrap(), vec![anchor]);
     }
 }

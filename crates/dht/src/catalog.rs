@@ -27,7 +27,9 @@ pub struct DistributedCatalog {
 impl DistributedCatalog {
     /// Build a DDC of `nodes` participants.
     pub fn new<R: Rng>(config: DhtConfig, nodes: usize, rng: &mut R) -> DistributedCatalog {
-        DistributedCatalog { overlay: crate::network::build_overlay(config, nodes, rng) }
+        DistributedCatalog {
+            overlay: crate::network::build_overlay(config, nodes, rng),
+        }
     }
 
     /// Wrap an existing overlay.
@@ -52,15 +54,12 @@ impl DistributedCatalog {
         data: Auid,
         host: Auid,
     ) -> Result<Routed<()>, DhtError> {
-        self.overlay.put(origin, key_for_auid(data), host.0.to_le_bytes().to_vec())
+        self.overlay
+            .put(origin, key_for_auid(data), host.0.to_le_bytes().to_vec())
     }
 
     /// All hosts known to hold a replica of `data`.
-    pub fn lookup(
-        &mut self,
-        origin: RingPos,
-        data: Auid,
-    ) -> Result<Routed<Vec<Auid>>, DhtError> {
+    pub fn lookup(&mut self, origin: RingPos, data: Auid) -> Result<Routed<Vec<Auid>>, DhtError> {
         let routed = self.overlay.get(origin, key_for_auid(data))?;
         let hosts = routed
             .value
@@ -70,7 +69,10 @@ impl DistributedCatalog {
                 Some(Auid(u128::from_le_bytes(arr)))
             })
             .collect();
-        Ok(Routed { value: hosts, route: routed.route })
+        Ok(Routed {
+            value: hosts,
+            route: routed.route,
+        })
     }
 
     /// Remove the record that `host` holds `data` (host left or cache
@@ -81,7 +83,8 @@ impl DistributedCatalog {
         data: Auid,
         host: Auid,
     ) -> Result<Routed<bool>, DhtError> {
-        self.overlay.remove(origin, key_for_auid(data), &host.0.to_le_bytes())
+        self.overlay
+            .remove(origin, key_for_auid(data), &host.0.to_le_bytes())
     }
 
     /// Generic publish of an arbitrary key/value pair (§3.3).
@@ -146,11 +149,17 @@ mod tests {
     fn generic_key_value_space() {
         let (mut c, _) = ddc(10);
         let origin = c.members()[0];
-        c.publish_raw(origin, b"checkpoint:42", b"signature-a".to_vec()).unwrap();
-        c.publish_raw(origin, b"checkpoint:42", b"signature-b".to_vec()).unwrap();
+        c.publish_raw(origin, b"checkpoint:42", b"signature-a".to_vec())
+            .unwrap();
+        c.publish_raw(origin, b"checkpoint:42", b"signature-b".to_vec())
+            .unwrap();
         let vals = c.lookup_raw(origin, b"checkpoint:42").unwrap().value;
         assert_eq!(vals.len(), 2);
-        assert!(c.lookup_raw(origin, b"checkpoint:43").unwrap().value.is_empty());
+        assert!(c
+            .lookup_raw(origin, b"checkpoint:43")
+            .unwrap()
+            .value
+            .is_empty());
     }
 
     #[test]
@@ -158,7 +167,9 @@ mod tests {
         let (mut c, mut rng) = ddc(100);
         let origin = c.members()[0];
         let data = Auid::generate(5, &mut rng);
-        let routed = c.publish(origin, data, Auid::generate(6, &mut rng)).unwrap();
+        let routed = c
+            .publish(origin, data, Auid::generate(6, &mut rng))
+            .unwrap();
         // 100 nodes, arity 4 → expect around log_4(100) ≈ 3.3 hops.
         assert!(routed.hops() <= 10, "hops = {}", routed.hops());
         assert!(!routed.route.is_empty());
@@ -178,6 +189,10 @@ mod tests {
         let survivor = c.members().into_iter().find(|&m| m != owner).unwrap();
         c.overlay_mut().crash(owner);
         let hosts = c.lookup(survivor, data).unwrap().value;
-        assert_eq!(hosts, vec![host], "replica served the lookup after owner crash");
+        assert_eq!(
+            hosts,
+            vec![host],
+            "replica served the lookup after owner crash"
+        );
     }
 }

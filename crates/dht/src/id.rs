@@ -94,8 +94,14 @@ mod tests {
     fn interval_membership() {
         // Plain interval.
         assert!(RingPos(15).in_interval(RingPos(10), RingPos(20)));
-        assert!(RingPos(20).in_interval(RingPos(10), RingPos(20)), "to is inclusive");
-        assert!(!RingPos(10).in_interval(RingPos(10), RingPos(20)), "from is exclusive");
+        assert!(
+            RingPos(20).in_interval(RingPos(10), RingPos(20)),
+            "to is inclusive"
+        );
+        assert!(
+            !RingPos(10).in_interval(RingPos(10), RingPos(20)),
+            "from is exclusive"
+        );
         assert!(!RingPos(25).in_interval(RingPos(10), RingPos(20)));
         // Wrapping interval.
         assert!(RingPos(2).in_interval(RingPos(u64::MAX - 5), RingPos(10)));
@@ -125,7 +131,7 @@ mod tests {
         // except the top level where 2·(2^62) and the level-down overlap is
         // deduplicated (2^63 appears in both arity-4 level 0 and nowhere
         // else here, so no dedup actually occurs for k=4).
-        assert!(offsets.len() % 3 == 0);
+        assert!(offsets.len().is_multiple_of(3));
         let top = 1u64 << 62;
         assert!(offsets.contains(&top));
         assert!(offsets.contains(&(top * 2)));

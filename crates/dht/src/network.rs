@@ -38,7 +38,10 @@ impl Default for DhtConfig {
     fn default() -> Self {
         // The DKS paper's common configuration; f=4 matches BitDew's need to
         // survive several simultaneous volatile-node failures.
-        DhtConfig { arity: 4, replication: 4 }
+        DhtConfig {
+            arity: 4,
+            replication: 4,
+        }
     }
 }
 
@@ -149,7 +152,10 @@ impl DhtOverlay {
     /// Create a node at a specific position and wire it into the ring,
     /// transferring the key range it now owns.
     pub fn join_at(&mut self, pos: RingPos) {
-        assert!(!self.nodes.contains_key(&pos.0), "position already occupied");
+        assert!(
+            !self.nodes.contains_key(&pos.0),
+            "position already occupied"
+        );
         let mut node = DhtNode::new(pos);
         // Take over (predecessor(pos), pos] from the current owner.
         if let Some(owner) = self.successor_of(pos) {
@@ -304,8 +310,7 @@ impl DhtOverlay {
         for _ in 0..max_hops {
             let node = self.nodes.get(&current.0).expect("current is live");
             // Owner check: key ∈ (current, first-live-successor].
-            let live_succ =
-                node.successors.iter().copied().find(|&s| self.is_alive(s));
+            let live_succ = node.successors.iter().copied().find(|&s| self.is_alive(s));
             if let Some(succ) = live_succ {
                 if key.in_interval(current, succ) {
                     if succ != current {
@@ -314,7 +319,10 @@ impl DhtOverlay {
                     return Ok(Routed { value: succ, route });
                 }
             } else if self.nodes.len() == 1 {
-                return Ok(Routed { value: current, route });
+                return Ok(Routed {
+                    value: current,
+                    route,
+                });
             }
             let alive = |p: RingPos| self.is_alive(p);
             match node.closest_preceding(key, &alive) {
@@ -329,7 +337,10 @@ impl DhtOverlay {
                     if owner != current {
                         route.push(owner);
                     }
-                    return Ok(Routed { value: owner, route });
+                    return Ok(Routed {
+                        value: owner,
+                        route,
+                    });
                 }
             }
         }
@@ -358,19 +369,21 @@ impl DhtOverlay {
         }
         // Account messages: route hops + (f-1) replica writes.
         self.messages += routed.hops() as u64 + (succ_len as u64 - 1);
-        Ok(Routed { value: (), route: routed.route })
+        Ok(Routed {
+            value: (),
+            route: routed.route,
+        })
     }
 
     /// Look up all values under `key` from `origin`.
-    pub fn get(
-        &mut self,
-        origin: RingPos,
-        key: RingPos,
-    ) -> Result<Routed<Vec<Vec<u8>>>, DhtError> {
+    pub fn get(&mut self, origin: RingPos, key: RingPos) -> Result<Routed<Vec<Vec<u8>>>, DhtError> {
         let routed = self.route(origin, key)?;
         let vals = self.nodes[&routed.value.0].get_values(key);
         self.messages += routed.hops() as u64;
-        Ok(Routed { value: vals, route: routed.route })
+        Ok(Routed {
+            value: vals,
+            route: routed.route,
+        })
     }
 
     /// Remove one value under `key` from all replicas.
@@ -388,10 +401,17 @@ impl DhtOverlay {
         let mut removed = false;
         for j in 0..succ_len {
             let holder = members[(start + j) % members.len()];
-            removed |= self.nodes.get_mut(&holder).expect("member").remove_value(key, value);
+            removed |= self
+                .nodes
+                .get_mut(&holder)
+                .expect("member")
+                .remove_value(key, value);
         }
         self.messages += routed.hops() as u64 + (succ_len as u64 - 1);
-        Ok(Routed { value: removed, route: routed.route })
+        Ok(Routed {
+            value: removed,
+            route: routed.route,
+        })
     }
 
     /// Total keys stored across live nodes (each replica counted once).
@@ -405,7 +425,10 @@ impl DhtOverlay {
 
     /// Per-node stored-key counts, for load-balance assertions.
     pub fn load_profile(&self) -> Vec<(RingPos, usize)> {
-        self.nodes.iter().map(|(&k, n)| (RingPos(k), n.keys_stored())).collect()
+        self.nodes
+            .iter()
+            .map(|(&k, n)| (RingPos(k), n.keys_stored()))
+            .collect()
     }
 }
 
@@ -484,8 +507,14 @@ mod tests {
         let mut total = Vec::new();
         for arity in [2u32, 8] {
             let mut rng = SmallRng::seed_from_u64(7);
-            let mut o =
-                build_overlay(DhtConfig { arity, replication: 2 }, 512, &mut rng);
+            let mut o = build_overlay(
+                DhtConfig {
+                    arity,
+                    replication: 2,
+                },
+                512,
+                &mut rng,
+            );
             let members = o.members();
             let mut hops = 0usize;
             for _ in 0..300 {
@@ -588,7 +617,10 @@ mod tests {
 
     #[test]
     fn single_node_owns_everything() {
-        let mut o = DhtOverlay::new(DhtConfig { arity: 2, replication: 3 });
+        let mut o = DhtOverlay::new(DhtConfig {
+            arity: 2,
+            replication: 3,
+        });
         o.join_at(RingPos(1000));
         let r = o.put(RingPos(1000), RingPos(5), b"v".to_vec()).unwrap();
         assert_eq!(r.hops(), 0);

@@ -48,7 +48,10 @@ impl DhtNode {
 
     /// Values under `key` held locally.
     pub fn get_values(&self, key: RingPos) -> Vec<Vec<u8>> {
-        self.store.get(&key.0).map(|s| s.iter().cloned().collect()).unwrap_or_default()
+        self.store
+            .get(&key.0)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// Remove one value under `key`; prunes the entry when it empties.
@@ -98,7 +101,10 @@ impl DhtNode {
                 return Some(node);
             }
         }
-        self.successors.iter().copied().find(|&s| alive(s) && s != self.pos)
+        self.successors
+            .iter()
+            .copied()
+            .find(|&s| alive(s) && s != self.pos)
     }
 
     /// Number of keys stored locally.
@@ -147,7 +153,11 @@ mod tests {
     #[test]
     fn closest_preceding_skips_dead_nodes() {
         let mut n = DhtNode::new(RingPos(0));
-        n.fingers = vec![(100, RingPos(100)), (200, RingPos(200)), (300, RingPos(300))];
+        n.fingers = vec![
+            (100, RingPos(100)),
+            (200, RingPos(200)),
+            (300, RingPos(300)),
+        ];
         n.successors = vec![RingPos(50)];
         let target = RingPos(250);
         // All alive: farthest qualifying finger is 200.

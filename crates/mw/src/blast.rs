@@ -21,11 +21,9 @@
 //! [`BlastParams::bt_peer_cap`] (BTPD-era client throughput), while FTP runs
 //! at line rate and bottlenecks on the single server uplink.
 
-use bitdew_sim::{Sim, SimDuration};
 use bitdew_sim::topology::{self, Topology};
-use bitdew_transport::simproto::{
-    bt_fluid_completion, run_ftp_star, BtFluidParams, PeerLink,
-};
+use bitdew_sim::{Sim, SimDuration};
+use bitdew_transport::simproto::{bt_fluid_completion, run_ftp_star, BtFluidParams, PeerLink};
 use bitdew_transport::ProtocolId;
 use bitdew_util::Auid;
 use rand::rngs::SmallRng;
@@ -86,7 +84,10 @@ impl Default for BlastParams {
             // effectively than the Internet-default 0.55 of the generic
             // model; 0.75 lands the Fig. 6 transfer gain near the paper's
             // "almost a factor 10".
-            bt_params: BtFluidParams { efficiency: 0.75, ..BtFluidParams::default() },
+            bt_params: BtFluidParams {
+                efficiency: 0.75,
+                ..BtFluidParams::default()
+            },
         }
     }
 }
@@ -123,7 +124,10 @@ pub struct BlastReport {
 impl BlastReport {
     /// Makespan: the last worker's completion.
     pub fn total_secs(&self) -> f64 {
-        self.per_worker.iter().map(|p| p.total()).fold(0.0, f64::max)
+        self.per_worker
+            .iter()
+            .map(|p| p.total())
+            .fold(0.0, f64::max)
     }
 
     /// Mean breakdown over a cluster's workers (`None` if the cluster has
@@ -209,9 +213,11 @@ pub fn run_blast(topo: &Topology, proto: BigFileProtocol, params: &BlastParams) 
     for _ in &topo.workers {
         let uid = Auid::generate(1, &mut rng);
         let reply = ds.sync(uid, &[], 0);
-        let names: Vec<String> =
-            reply.download.iter().map(|(d, _)| d.name.clone()).collect();
-        placed += names.iter().filter(|nm| nm.starts_with("sequence-")).count();
+        let names: Vec<String> = reply.download.iter().map(|(d, _)| d.name.clone()).collect();
+        placed += names
+            .iter()
+            .filter(|nm| nm.starts_with("sequence-"))
+            .count();
         assignments.push(names);
     }
 
@@ -255,9 +261,8 @@ pub fn run_blast(topo: &Topology, proto: BigFileProtocol, params: &BlastParams) 
             bt_fluid_completion(shared_bytes, seed_up, &peers, &params.bt_params)
         }
     };
-    let seq_transfer = params.sequence_bytes
-        / topo.pool.get(topo.service).spec.up_bw.min(1e9)
-        + 0.15; // HTTP fetch + control setup
+    let seq_transfer =
+        params.sequence_bytes / topo.pool.get(topo.service).spec.up_bw.min(1e9) + 0.15; // HTTP fetch + control setup
 
     // --- Unzip + execution -------------------------------------------------
     let per_worker: Vec<PhaseBreakdown> = topo
@@ -279,7 +284,11 @@ pub fn run_blast(topo: &Topology, proto: BigFileProtocol, params: &BlastParams) 
         .map(|&w| topo.pool.get(w).spec.cluster.clone())
         .collect();
 
-    BlastReport { per_worker, clusters, placed_sequences: placed }
+    BlastReport {
+        per_worker,
+        clusters,
+        placed_sequences: placed,
+    }
 }
 
 /// Convenience: the Fig. 5 sweep point — total time for `workers` workers.
@@ -307,7 +316,10 @@ mod tests {
         let ftp250 = fig5_point(250, BigFileProtocol::Ftp, &params);
         let bt10 = fig5_point(10, BigFileProtocol::BitTorrent, &params);
         let bt250 = fig5_point(250, BigFileProtocol::BitTorrent, &params);
-        assert!(ftp250 > ftp10 * 5.0, "FTP scales with N: {ftp10:.0} → {ftp250:.0}");
+        assert!(
+            ftp250 > ftp10 * 5.0,
+            "FTP scales with N: {ftp10:.0} → {ftp250:.0}"
+        );
         assert!(bt250 < bt10 * 2.0, "BT nearly flat: {bt10:.0} → {bt250:.0}");
     }
 
@@ -352,7 +364,10 @@ mod tests {
         let ftp_t = ftp.cluster_mean("*").unwrap().transfer_secs;
         let bt_t = bt.cluster_mean("*").unwrap().transfer_secs;
         let gain = ftp_t / bt_t;
-        assert!(gain > 5.0, "transfer gain {gain:.1}× (ftp {ftp_t:.0}s, bt {bt_t:.0}s)");
+        assert!(
+            gain > 5.0,
+            "transfer gain {gain:.1}× (ftp {ftp_t:.0}s, bt {bt_t:.0}s)"
+        );
         // Unzip/exec identical across protocols.
         let fu = ftp.cluster_mean("*").unwrap().unzip_secs;
         let bu = bt.cluster_mean("*").unwrap().unzip_secs;

@@ -1,4 +1,4 @@
-//! Data-driven master/worker framework (§5).
+//! Data-driven master/worker framework (§5), generic over the deployment.
 //!
 //! "In contrast [to classical MW], the data-driven approach followed by
 //! BitDew implies that data are first scheduled to hosts. The programmer
@@ -8,21 +8,24 @@
 //!
 //! [`MwMaster`] owns a pinned *Collector*; task inputs are scheduled with
 //! `fault tolerance = true` and results carry `affinity = Collector`, so the
-//! runtime routes them home automatically. [`MwWorker`] installs an
-//! `onDataCopy` handler that runs the compute function when a task input
-//! lands and publishes the result. Shared payloads (the application binary,
-//! reference databases) ride separate attributes chosen by the caller.
+//! runtime routes them home automatically. [`MwWorker`] reacts to task
+//! arrivals by running the compute function and publishing the result.
+//!
+//! Both halves are generic over `N: BitDewApi + ActiveData +
+//! TransferManager` — the three programming interfaces of
+//! [`bitdew_core::api`] — so the very same master/worker code runs on the
+//! threaded runtime ([`bitdew_core::BitdewNode`]) and under the
+//! discrete-event simulator ([`bitdew_core::simdriver::SimNode`]). Progress
+//! is driven by [`MwMaster::pump`]/[`MwWorker::pump`], which synchronize the
+//! node and react to its polled life-cycle events; under threads a pump is a
+//! reservoir heartbeat, under the simulator it advances virtual time.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-
-use bitdew_core::{
-    BitdewNode, CallbackHandler, Data, DataAttributes, DataId, Lifetime,
-};
-use bitdew_transport::TransportResult;
+use bitdew_core::api::{ActiveData, BitDewApi, DataEventKind, Result, TransferManager};
+use bitdew_core::{Data, DataAttributes, DataId, Lifetime};
 
 /// Name prefix identifying task inputs.
 pub const TASK_PREFIX: &str = "mw.task.";
@@ -30,33 +33,30 @@ pub const TASK_PREFIX: &str = "mw.task.";
 pub const RESULT_PREFIX: &str = "mw.result.";
 
 /// The master side: creates tasks, pins the collector, gathers results.
-pub struct MwMaster {
-    node: Arc<BitdewNode>,
+pub struct MwMaster<N> {
+    node: N,
     collector: Data,
-    results: Arc<Mutex<Vec<(String, Vec<u8>)>>>,
-    submitted: Mutex<HashSet<DataId>>,
+    results: Vec<(String, Vec<u8>)>,
+    submitted: HashSet<DataId>,
 }
 
-impl MwMaster {
-    /// Set up the master on `node`: creates and pins the Collector and
-    /// installs the result-gathering handler.
-    pub fn new(node: Arc<BitdewNode>) -> TransportResult<MwMaster> {
+impl<N: BitDewApi + ActiveData + TransferManager> MwMaster<N> {
+    /// Set up the master on `node`: creates and pins the Collector.
+    pub fn new(node: N) -> Result<MwMaster<N>> {
         let collector = node.create_slot("mw.collector", 0)?;
         node.schedule(&collector, DataAttributes::default().with_replica(0))?;
-        node.pin(&collector, DataAttributes::default());
+        node.pin(&collector, DataAttributes::default())?;
+        Ok(MwMaster {
+            node,
+            collector,
+            results: Vec::new(),
+            submitted: HashSet::new(),
+        })
+    }
 
-        let results: Arc<Mutex<Vec<(String, Vec<u8>)>>> = Arc::new(Mutex::new(Vec::new()));
-        let sink = Arc::clone(&results);
-        let store = node.local_store();
-        node.add_callback(CallbackHandler::new().on_copy(move |data, _attrs| {
-            if data.name.starts_with(RESULT_PREFIX) {
-                let len = data.size as usize;
-                if let Ok(bytes) = store.read_at(&data.object_name(), 0, len) {
-                    sink.lock().push((data.name.clone(), bytes.to_vec()));
-                }
-            }
-        }));
-        Ok(MwMaster { node, collector, results, submitted: Mutex::new(HashSet::new()) })
+    /// The node this master runs on.
+    pub fn node(&self) -> &N {
+        &self.node
     }
 
     /// The collector datum (results carry affinity to it; give shared data a
@@ -67,12 +67,7 @@ impl MwMaster {
 
     /// Publish a shared payload (application binary, reference database)
     /// with the given attributes.
-    pub fn share(
-        &self,
-        name: &str,
-        content: &[u8],
-        attrs: DataAttributes,
-    ) -> TransportResult<Data> {
+    pub fn share(&self, name: &str, content: &[u8], attrs: DataAttributes) -> Result<Data> {
         let data = self.node.create_data(name, content)?;
         self.node.put(&data, content)?;
         // Shared data die with the collector unless the caller said otherwise.
@@ -86,46 +81,78 @@ impl MwMaster {
 
     /// Submit one task: its input is scheduled fault-tolerant with
     /// `replica = 1`, so a crashed worker's task is re-run elsewhere.
-    pub fn submit(&self, task_name: &str, input: &[u8]) -> TransportResult<Data> {
-        let name = format!("{TASK_PREFIX}{task_name}");
-        let data = self.node.create_data(&name, input)?;
-        self.node.put(&data, input)?;
-        self.node.schedule(
-            &data,
-            DataAttributes::default()
-                .with_replica(1)
-                .with_fault_tolerance(true)
-                .with_lifetime(Lifetime::RelativeTo(self.collector.id)),
-        )?;
-        self.submitted.lock().insert(data.id);
-        Ok(data)
+    pub fn submit(&mut self, task_name: &str, input: &[u8]) -> Result<Data> {
+        let batch = self.submit_batch(&[(task_name, input)])?;
+        Ok(batch
+            .into_iter()
+            .next()
+            .expect("one task in, one datum out"))
+    }
+
+    /// Submit a batch of tasks through the batched API entry points: one
+    /// catalog round-trip for all the payloads, one scheduler lock for all
+    /// the schedules.
+    pub fn submit_batch(&mut self, tasks: &[(&str, &[u8])]) -> Result<Vec<Data>> {
+        let mut created = Vec::with_capacity(tasks.len());
+        for (task_name, input) in tasks {
+            let name = format!("{TASK_PREFIX}{task_name}");
+            created.push((self.node.create_data(&name, input)?, *input));
+        }
+        self.node.put_many(&created)?;
+        let attrs = DataAttributes::default()
+            .with_replica(1)
+            .with_fault_tolerance(true)
+            .with_lifetime(Lifetime::RelativeTo(self.collector.id));
+        let schedules: Vec<(Data, DataAttributes)> = created
+            .iter()
+            .map(|(d, _)| (d.clone(), attrs.clone()))
+            .collect();
+        self.node.schedule_many(&schedules)?;
+        let out: Vec<Data> = created.into_iter().map(|(d, _)| d).collect();
+        self.submitted.extend(out.iter().map(|d| d.id));
+        Ok(out)
+    }
+
+    /// One round of progress: synchronize the node and gather any newly
+    /// arrived results.
+    pub fn pump(&mut self) -> Result<()> {
+        self.node.pump()?;
+        for event in self.node.poll_events() {
+            if event.kind == DataEventKind::Copy && event.data.name.starts_with(RESULT_PREFIX) {
+                if let Ok(bytes) = self.node.read_local(&event.data) {
+                    self.results.push((event.data.name.clone(), bytes));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Results gathered so far, as `(result name, payload)`.
-    pub fn results(&self) -> Vec<(String, Vec<u8>)> {
-        self.results.lock().clone()
+    pub fn results(&self) -> &[(String, Vec<u8>)] {
+        &self.results
     }
 
     /// Drive the master until `expected` results arrived or `timeout`
-    /// elapsed. Returns whether the count was reached.
-    pub fn collect(&self, expected: usize, timeout: Duration) -> bool {
+    /// elapsed (wall clock; under the simulator virtual time runs much
+    /// faster than the wall). Returns whether the count was reached.
+    pub fn collect(&mut self, expected: usize, timeout: Duration) -> Result<bool> {
         let deadline = Instant::now() + timeout;
         loop {
-            self.node.sync_once();
-            if self.results.lock().len() >= expected {
-                return true;
+            self.pump()?;
+            if self.results.len() >= expected {
+                return Ok(true);
             }
             if Instant::now() > deadline {
-                return false;
+                return Ok(false);
             }
-            std::thread::sleep(Duration::from_millis(2));
+            std::thread::sleep(Duration::from_millis(1));
         }
     }
 
     /// Tear down: deleting the collector obsoletes every datum whose
     /// lifetime is relative to it — "once the user decides that he has
     /// finished his work, he can safely delete the Collector" (§5).
-    pub fn finish(&self) -> TransportResult<()> {
+    pub fn finish(&self) -> Result<()> {
         self.node.delete(&self.collector)
     }
 }
@@ -134,99 +161,157 @@ impl MwMaster {
 pub type ComputeFn = Arc<dyn Fn(&str, &[u8]) -> Vec<u8> + Send + Sync>;
 
 /// The worker side: reacts to task arrivals, computes, publishes results.
-pub struct MwWorker {
-    node: Arc<BitdewNode>,
-    computed: Arc<Mutex<u32>>,
+pub struct MwWorker<N> {
+    node: N,
+    collector: DataId,
+    compute: ComputeFn,
+    computed: u32,
 }
 
-impl MwWorker {
+impl<N: BitDewApi + ActiveData + TransferManager> MwWorker<N> {
     /// Attach worker behaviour to `node`. `collector` is the master's
     /// collector datum id (results get affinity to it).
-    pub fn attach(node: Arc<BitdewNode>, collector: DataId, compute: ComputeFn) -> MwWorker {
-        let computed = Arc::new(Mutex::new(0u32));
-        let counter = Arc::clone(&computed);
-        let n2 = Arc::clone(&node);
-        node.add_callback(CallbackHandler::new().on_copy(move |data, _attrs| {
-            if !data.name.starts_with(TASK_PREFIX) {
-                return;
+    pub fn attach(node: N, collector: DataId, compute: ComputeFn) -> MwWorker<N> {
+        MwWorker {
+            node,
+            collector,
+            compute,
+            computed: 0,
+        }
+    }
+
+    /// One round of progress: synchronize the node, run the compute function
+    /// on every newly arrived task, publish the results.
+    ///
+    /// A failed publish affects only its own task — the remaining drained
+    /// events are still processed (tasks are `fault tolerance = true`, so a
+    /// task whose result never materializes is eventually re-scheduled
+    /// elsewhere; losing its siblings to one error would not be). The first
+    /// error is returned after the batch.
+    pub fn pump(&mut self) -> Result<()> {
+        self.node.pump()?;
+        let mut first_err = None;
+        for event in self.node.poll_events() {
+            if event.kind != DataEventKind::Copy || !event.data.name.starts_with(TASK_PREFIX) {
+                continue;
             }
-            let task_name = &data.name[TASK_PREFIX.len()..];
-            let input = n2
-                .local_store()
-                .read_at(&data.object_name(), 0, data.size as usize)
-                .map(|b| b.to_vec())
-                .unwrap_or_default();
-            let output = compute(task_name, &input);
-            // Publish the result with affinity to the collector; the
-            // scheduler routes it to wherever the collector is pinned.
-            let rname = format!("{RESULT_PREFIX}{task_name}");
-            if let Ok(result) = n2.create_data(&rname, &output) {
-                let _ = n2.put(&result, &output);
-                let _ = n2.schedule(
-                    &result,
-                    DataAttributes::default()
-                        .with_affinity(collector)
-                        .with_lifetime(Lifetime::RelativeTo(collector)),
-                );
+            let task_name = event.data.name[TASK_PREFIX.len()..].to_string();
+            // An unreadable input is this task's failure, not grounds to
+            // compute on garbage: skip it (no result is published, so
+            // fault-tolerant re-scheduling stays possible) and report.
+            let input = match self.node.read_local(&event.data) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                    continue;
+                }
+            };
+            let output = (self.compute)(&task_name, &input);
+            if let Err(e) = self.publish(&task_name, &output) {
+                first_err.get_or_insert(e);
+                continue;
             }
-            *counter.lock() += 1;
-        }));
-        MwWorker { node, computed }
+            self.computed += 1;
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Publish one result with affinity to the collector; the scheduler
+    /// routes it to wherever the collector is pinned.
+    fn publish(&self, task_name: &str, output: &[u8]) -> Result<()> {
+        let rname = format!("{RESULT_PREFIX}{task_name}");
+        let result = self.node.create_data(&rname, output)?;
+        self.node.put(&result, output)?;
+        self.node.schedule(
+            &result,
+            DataAttributes::default()
+                .with_affinity(self.collector)
+                .with_lifetime(Lifetime::RelativeTo(self.collector)),
+        )
     }
 
     /// Tasks computed by this worker.
     pub fn computed(&self) -> u32 {
-        *self.computed.lock()
+        self.computed
     }
 
-    /// The underlying node (for heartbeat control).
-    pub fn node(&self) -> &Arc<BitdewNode> {
+    /// The underlying node.
+    pub fn node(&self) -> &N {
         &self.node
+    }
+}
+
+/// Pump a master and its workers until `done` holds or `timeout` elapses;
+/// returns whether `done` was reached. The generic MW driving loop shared by
+/// examples and tests.
+pub fn pump_until<N, F>(
+    master: &mut MwMaster<N>,
+    workers: &mut [MwWorker<N>],
+    mut done: F,
+    timeout: Duration,
+) -> Result<bool>
+where
+    N: BitDewApi + ActiveData + TransferManager,
+    F: FnMut(&MwMaster<N>, &[MwWorker<N>]) -> bool,
+{
+    let deadline = Instant::now() + timeout;
+    loop {
+        master.pump()?;
+        for w in workers.iter_mut() {
+            w.pump()?;
+        }
+        if done(master, workers) {
+            return Ok(true);
+        }
+        if Instant::now() > deadline {
+            return Ok(false);
+        }
+        std::thread::sleep(Duration::from_millis(1));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bitdew_core::{RuntimeConfig, ServiceContainer};
+    use bitdew_core::{BitdewNode, RuntimeConfig, ServiceContainer};
 
-    fn harness(workers: usize) -> (MwMaster, Vec<MwWorker>, Vec<Arc<BitdewNode>>) {
+    type Node = Arc<BitdewNode>;
+
+    fn harness(workers: usize) -> (MwMaster<Node>, Vec<MwWorker<Node>>) {
         let c = ServiceContainer::start(RuntimeConfig::default());
         // The master is a *client*: it pins the collector and receives
         // affinity-routed results, but replica placement skips it.
         let master_node = BitdewNode::new_client(Arc::clone(&c));
-        let master = MwMaster::new(Arc::clone(&master_node)).unwrap();
+        let master = MwMaster::new(master_node).unwrap();
         let compute: ComputeFn =
             Arc::new(|name, input| format!("{name}:{}", input.len()).into_bytes());
-        let mut ws = Vec::new();
-        let mut nodes = vec![master_node];
-        for _ in 0..workers {
-            let node = BitdewNode::new(Arc::clone(&c));
-            ws.push(MwWorker::attach(
-                Arc::clone(&node),
-                master.collector().id,
-                Arc::clone(&compute),
-            ));
-            nodes.push(node);
-        }
-        (master, ws, nodes)
-    }
-
-    fn pump_until<F: Fn() -> bool>(nodes: &[Arc<BitdewNode>], done: F, timeout: Duration) {
-        let deadline = Instant::now() + timeout;
-        while !done() && Instant::now() < deadline {
-            for n in nodes {
-                n.sync_once();
-            }
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        let ws = (0..workers)
+            .map(|_| {
+                MwWorker::attach(
+                    BitdewNode::new(Arc::clone(&c)),
+                    master.collector().id,
+                    Arc::clone(&compute),
+                )
+            })
+            .collect();
+        (master, ws)
     }
 
     #[test]
     fn single_task_roundtrip() {
-        let (master, workers, nodes) = harness(1);
+        let (mut master, mut workers) = harness(1);
         master.submit("t1", b"payload").unwrap();
-        pump_until(&nodes, || !master.results().is_empty(), Duration::from_secs(15));
+        let ok = pump_until(
+            &mut master,
+            &mut workers,
+            |m, _| !m.results().is_empty(),
+            Duration::from_secs(15),
+        )
+        .unwrap();
+        assert!(ok, "result arrived");
         let results = master.results();
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].0, format!("{RESULT_PREFIX}t1"));
@@ -236,11 +321,24 @@ mod tests {
 
     #[test]
     fn tasks_spread_over_workers() {
-        let (master, workers, nodes) = harness(3);
-        for i in 0..6 {
-            master.submit(&format!("t{i}"), &vec![0u8; 100 + i]).unwrap();
-        }
-        pump_until(&nodes, || master.results().len() >= 6, Duration::from_secs(30));
+        let (mut master, mut workers) = harness(3);
+        let inputs: Vec<(String, Vec<u8>)> = (0..6)
+            .map(|i| (format!("t{i}"), vec![0u8; 100 + i]))
+            .collect();
+        let batch: Vec<(&str, &[u8])> = inputs
+            .iter()
+            .map(|(n, c)| (n.as_str(), c.as_slice()))
+            .collect();
+        // The batched path: one put_many + one schedule_many for all six.
+        master.submit_batch(&batch).unwrap();
+        let ok = pump_until(
+            &mut master,
+            &mut workers,
+            |m, _| m.results().len() >= 6,
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(ok);
         assert_eq!(master.results().len(), 6);
         let total: u32 = workers.iter().map(|w| w.computed()).sum();
         assert_eq!(total, 6);
@@ -253,7 +351,7 @@ mod tests {
 
     #[test]
     fn shared_data_reaches_all_workers() {
-        let (master, _workers, nodes) = harness(2);
+        let (mut master, mut workers) = harness(2);
         let shared = master
             .share(
                 "mw.app",
@@ -261,34 +359,42 @@ mod tests {
                 DataAttributes::default().with_replica(bitdew_core::REPLICA_ALL),
             )
             .unwrap();
-        pump_until(
-            &nodes,
-            || nodes[1..].iter().all(|n| n.has_cached(shared.id)),
+        let ok = pump_until(
+            &mut master,
+            &mut workers,
+            |_, ws| ws.iter().all(|w| w.node().has_cached(shared.id)),
             Duration::from_secs(15),
-        );
-        for n in &nodes[1..] {
-            assert!(n.has_cached(shared.id));
-        }
+        )
+        .unwrap();
+        assert!(ok, "every worker got the shared payload");
     }
 
     #[test]
     fn finish_purges_relative_lifetimes() {
-        let (master, _workers, nodes) = harness(1);
+        let (mut master, mut workers) = harness(1);
         let shared = master
-            .share("mw.db", b"reference", DataAttributes::default().with_replica(1))
+            .share(
+                "mw.db",
+                b"reference",
+                DataAttributes::default().with_replica(1),
+            )
             .unwrap();
-        pump_until(
-            &nodes,
-            || nodes[1].has_cached(shared.id),
+        let ok = pump_until(
+            &mut master,
+            &mut workers,
+            |_, ws| ws[0].node().has_cached(shared.id),
             Duration::from_secs(15),
-        );
-        assert!(nodes[1].has_cached(shared.id));
+        )
+        .unwrap();
+        assert!(ok);
         master.finish().unwrap();
-        pump_until(
-            &nodes,
-            || !nodes[1].has_cached(shared.id),
+        let ok = pump_until(
+            &mut master,
+            &mut workers,
+            |_, ws| !ws[0].node().has_cached(shared.id),
             Duration::from_secs(15),
-        );
-        assert!(!nodes[1].has_cached(shared.id), "collector deletion cascades");
+        )
+        .unwrap();
+        assert!(ok, "collector deletion cascades");
     }
 }

@@ -21,7 +21,5 @@
 pub mod blast;
 pub mod framework;
 
-pub use blast::{
-    fig5_point, run_blast, BigFileProtocol, BlastParams, BlastReport, PhaseBreakdown,
-};
-pub use framework::{ComputeFn, MwMaster, MwWorker, RESULT_PREFIX, TASK_PREFIX};
+pub use blast::{fig5_point, run_blast, BigFileProtocol, BlastParams, BlastReport, PhaseBreakdown};
+pub use framework::{pump_until, ComputeFn, MwMaster, MwWorker, RESULT_PREFIX, TASK_PREFIX};

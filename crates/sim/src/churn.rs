@@ -47,13 +47,21 @@ impl ChurnPlan {
 
     /// Schedule a crash.
     pub fn kill(&mut self, at: SimTime, host: HostId) -> &mut Self {
-        self.events.push(ChurnEvent { at, host, state: HostState::Down });
+        self.events.push(ChurnEvent {
+            at,
+            host,
+            state: HostState::Down,
+        });
         self
     }
 
     /// Schedule an arrival / restart.
     pub fn start(&mut self, at: SimTime, host: HostId) -> &mut Self {
-        self.events.push(ChurnEvent { at, host, state: HostState::Up });
+        self.events.push(ChurnEvent {
+            at,
+            host,
+            state: HostState::Up,
+        });
         self
     }
 
@@ -111,7 +119,11 @@ pub struct ChurnDriver {
 impl ChurnDriver {
     /// New driver over a shared pool and network.
     pub fn new(pool: Rc<RefCell<HostPool>>, net: FlowNet) -> ChurnDriver {
-        ChurnDriver { pool, net, listener: Rc::new(RefCell::new(None)) }
+        ChurnDriver {
+            pool,
+            net,
+            listener: Rc::new(RefCell::new(None)),
+        }
     }
 
     /// Install the listener (replaces any previous one).
@@ -153,8 +165,9 @@ mod tests {
 
     fn pool_with(n: usize) -> (Rc<RefCell<HostPool>>, FlowNet, Vec<HostId>) {
         let mut pool = HostPool::new();
-        let ids: Vec<HostId> =
-            (0..n).map(|i| pool.add(HostSpec::gigabit(format!("n{i}"), "c"))).collect();
+        let ids: Vec<HostId> = (0..n)
+            .map(|i| pool.add(HostSpec::gigabit(format!("n{i}"), "c")))
+            .collect();
         let net = FlowNet::new();
         for &id in &ids {
             let h = pool.get(id).spec.clone();
@@ -176,7 +189,9 @@ mod tests {
         let seen = Rc::new(RefCell::new(Vec::new()));
         let seen2 = Rc::clone(&seen);
         driver.set_listener(Box::new(move |sim, ev| {
-            seen2.borrow_mut().push((sim.now().as_secs_f64(), ev.host, ev.state));
+            seen2
+                .borrow_mut()
+                .push((sim.now().as_secs_f64(), ev.host, ev.state));
         }));
         driver.install(&mut sim, &plan);
         sim.run();
@@ -248,11 +263,14 @@ mod tests {
         assert!(!plan.events().is_empty());
         for &h in &hosts {
             let mut expect_down = true;
-            let mut evs: Vec<&ChurnEvent> =
-                plan.events().iter().filter(|e| e.host == h).collect();
+            let mut evs: Vec<&ChurnEvent> = plan.events().iter().filter(|e| e.host == h).collect();
             evs.sort_by_key(|e| e.at);
             for e in evs {
-                let want = if expect_down { HostState::Down } else { HostState::Up };
+                let want = if expect_down {
+                    HostState::Down
+                } else {
+                    HostState::Up
+                };
                 assert_eq!(e.state, want, "host {h} alternates");
                 expect_down = !expect_down;
             }

@@ -96,7 +96,11 @@ impl Sim {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, f: Box::new(f) }));
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        }));
         EventToken(seq)
     }
 
@@ -286,10 +290,15 @@ mod tests {
         let mut sim = Sim::new(0);
         let hits = Rc::new(RefCell::new(0u32));
         let h = Rc::clone(&hits);
-        every(&mut sim, SimTime::from_secs(1), SimDuration::from_secs(1), move |_| {
-            *h.borrow_mut() += 1;
-            *h.borrow() < 5
-        });
+        every(
+            &mut sim,
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+            move |_| {
+                *h.borrow_mut() += 1;
+                *h.borrow() < 5
+            },
+        );
         sim.run();
         assert_eq!(*hits.borrow(), 5);
         assert_eq!(sim.now(), SimTime::from_secs(5));

@@ -124,7 +124,11 @@ impl HostPool {
     /// Register a host; returns its id. Hosts start `Up`.
     pub fn add(&mut self, spec: HostSpec) -> HostId {
         let id = HostId(self.hosts.len() as u32);
-        self.hosts.push(Host { spec, state: HostState::Up, state_since: SimTime::ZERO });
+        self.hosts.push(Host {
+            spec,
+            state: HostState::Up,
+            state_since: SimTime::ZERO,
+        });
         id
     }
 
@@ -161,17 +165,26 @@ impl HostPool {
 
     /// Iterate over `(id, host)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (HostId, &Host)> {
-        self.hosts.iter().enumerate().map(|(i, h)| (HostId(i as u32), h))
+        self.hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (HostId(i as u32), h))
     }
 
     /// Ids of all hosts currently up.
     pub fn up_hosts(&self) -> Vec<HostId> {
-        self.iter().filter(|(_, h)| h.state == HostState::Up).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(_, h)| h.state == HostState::Up)
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Ids of all hosts in a given cluster.
     pub fn cluster_hosts(&self, cluster: &str) -> Vec<HostId> {
-        self.iter().filter(|(_, h)| h.spec.cluster == cluster).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(_, h)| h.spec.cluster == cluster)
+            .map(|(id, _)| id)
+            .collect()
     }
 }
 

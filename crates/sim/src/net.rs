@@ -123,7 +123,13 @@ impl FlowNet {
     pub fn add_host(&self, host: HostId, up: f64, down: f64) {
         self.inner.borrow_mut().endpoints.insert(
             host,
-            Endpoint { up, down, reserved_up: 0.0, reserved_down: 0.0, enabled: true },
+            Endpoint {
+                up,
+                down,
+                reserved_up: 0.0,
+                reserved_down: 0.0,
+                enabled: true,
+            },
         );
     }
 
@@ -184,12 +190,29 @@ impl FlowNet {
         {
             let mut inner = self.inner.borrow_mut();
             inner.advance(now);
-            let src_up = inner.endpoints.get(&src).map(|e| e.enabled).unwrap_or(false);
-            let dst_up = inner.endpoints.get(&dst).map(|e| e.enabled).unwrap_or(false);
+            let src_up = inner
+                .endpoints
+                .get(&src)
+                .map(|e| e.enabled)
+                .unwrap_or(false);
+            let dst_up = inner
+                .endpoints
+                .get(&dst)
+                .map(|e| e.enabled)
+                .unwrap_or(false);
             if !src_up || !dst_up {
-                let reason =
-                    if !src_up { FlowFailure::SourceDown } else { FlowFailure::DestinationDown };
-                immediate = Some((callback, FlowOutcome::Failed { reason, bytes_done: 0.0 }));
+                let reason = if !src_up {
+                    FlowFailure::SourceDown
+                } else {
+                    FlowFailure::DestinationDown
+                };
+                immediate = Some((
+                    callback,
+                    FlowOutcome::Failed {
+                        reason,
+                        bytes_done: 0.0,
+                    },
+                ));
             } else if bytes <= 0.0 {
                 immediate = Some((
                     callback,
@@ -234,11 +257,20 @@ impl FlowNet {
                 inner.recompute();
             }
             removed.map(|mut f| {
-                (f.callback.take().expect("callback present"), f.bytes - f.remaining)
+                (
+                    f.callback.take().expect("callback present"),
+                    f.bytes - f.remaining,
+                )
             })
         };
         if let Some((cb, done)) = cb {
-            cb(sim, FlowOutcome::Failed { reason: FlowFailure::Cancelled, bytes_done: done });
+            cb(
+                sim,
+                FlowOutcome::Failed {
+                    reason: FlowFailure::Cancelled,
+                    bytes_done: done,
+                },
+            );
             self.reschedule(sim);
         }
     }
@@ -270,7 +302,10 @@ impl FlowNet {
                     };
                     fired.push((
                         f.callback.take().expect("callback present"),
-                        FlowOutcome::Failed { reason, bytes_done: f.bytes - f.remaining },
+                        FlowOutcome::Failed {
+                            reason,
+                            bytes_done: f.bytes - f.remaining,
+                        },
                     ));
                 }
             }
@@ -332,7 +367,11 @@ impl FlowNet {
                 let mut f = inner.flows.remove(&id).expect("listed");
                 let duration = now - f.started;
                 let secs = duration.as_secs_f64();
-                let avg = if secs > 0.0 { f.bytes / secs } else { f64::INFINITY };
+                let avg = if secs > 0.0 {
+                    f.bytes / secs
+                } else {
+                    f64::INFINITY
+                };
                 done.push((
                     f.callback.take().expect("callback present"),
                     FlowOutcome::Completed {
@@ -541,8 +580,16 @@ mod tests {
         net.start_flow(&mut sim, s, c2, 150.0, SimDuration::ZERO, mk());
         sim.run();
         let times: Vec<f64> = log.borrow().iter().map(finish_time).collect();
-        assert!((times[0] - 1.0).abs() < 1e-9, "short flow at t=1, got {}", times[0]);
-        assert!((times[1] - 2.0).abs() < 1e-9, "long flow at t=2, got {}", times[1]);
+        assert!(
+            (times[0] - 1.0).abs() < 1e-9,
+            "short flow at t=1, got {}",
+            times[0]
+        );
+        assert!(
+            (times[1] - 2.0).abs() < 1e-9,
+            "long flow at t=2, got {}",
+            times[1]
+        );
     }
 
     #[test]
@@ -598,7 +645,10 @@ mod tests {
         match &outcomes[0] {
             FlowOutcome::Failed { reason, bytes_done } => {
                 assert_eq!(*reason, FlowFailure::DestinationDown);
-                assert!((bytes_done - 200.0).abs() < 1e-6, "2s at 100 B/s, got {bytes_done}");
+                assert!(
+                    (bytes_done - 200.0).abs() < 1e-6,
+                    "2s at 100 B/s, got {bytes_done}"
+                );
             }
             other => panic!("expected failure, got {other:?}"),
         }
@@ -617,7 +667,10 @@ mod tests {
         net.start_flow(&mut sim, a, b, 100.0, SimDuration::ZERO, mk());
         assert!(matches!(
             log.borrow()[0],
-            FlowOutcome::Failed { reason: FlowFailure::DestinationDown, .. }
+            FlowOutcome::Failed {
+                reason: FlowFailure::DestinationDown,
+                ..
+            }
         ));
     }
 
@@ -638,7 +691,10 @@ mod tests {
         sim.run();
         let outcomes = log.borrow().clone();
         match &outcomes[0] {
-            FlowOutcome::Failed { reason: FlowFailure::Cancelled, bytes_done } => {
+            FlowOutcome::Failed {
+                reason: FlowFailure::Cancelled,
+                bytes_done,
+            } => {
                 assert!((bytes_done - 300.0).abs() < 1e-6);
             }
             other => panic!("unexpected {other:?}"),

@@ -164,7 +164,10 @@ mod tests {
         assert_eq!(t, SimTime::from_secs(15));
         assert_eq!(t - SimTime::from_secs(4), SimDuration::from_secs(11));
         // Saturating subtraction for "earlier - later".
-        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(9), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimTime::from_secs(9),
+            SimDuration::ZERO
+        );
         let mut t2 = SimTime::ZERO;
         t2 += SimDuration::from_millis(10);
         assert_eq!(t2, SimTime::from_millis(10));

@@ -109,16 +109,19 @@ pub fn grid5000_clusters() -> Vec<ClusterSpec> {
 /// `workers` volatile nodes plus one service node.
 pub fn gdx_cluster(workers: usize) -> Topology {
     let mut pool = HostPool::new();
-    let service = pool.add(
-        HostSpec::gigabit("gdx-service", "gdx").with_role(HostRole::Service),
-    );
+    let service = pool.add(HostSpec::gigabit("gdx-service", "gdx").with_role(HostRole::Service));
     let mut ids = Vec::with_capacity(workers);
     for i in 0..workers {
         ids.push(pool.add(HostSpec::gigabit(format!("gdx-{i}"), "gdx")));
     }
     let net = FlowNet::new();
     Topology::register_all(&pool, &net);
-    Topology { pool, net, service, workers: ids }
+    Topology {
+        pool,
+        net,
+        service,
+        workers: ids,
+    }
 }
 
 /// Build the 4-cluster Grid'5000 testbed of Table 1, truncated to at most
@@ -130,9 +133,7 @@ pub fn grid5000(max_workers: usize) -> Topology {
     let take = max_workers.min(total);
 
     let mut pool = HostPool::new();
-    let service = pool.add(
-        HostSpec::gigabit("gdx-service", "gdx").with_role(HostRole::Service),
-    );
+    let service = pool.add(HostSpec::gigabit("gdx-service", "gdx").with_role(HostRole::Service));
     let mut workers = Vec::with_capacity(take);
     // Largest-remainder apportionment so cluster proportions match Table 1.
     let mut allocated = 0usize;
@@ -147,7 +148,9 @@ pub fn grid5000(max_workers: usize) -> Topology {
     let mut counts: Vec<usize> = shares.iter().map(|(_, e)| e.floor() as usize).collect();
     allocated += counts.iter().sum::<usize>();
     shares.sort_by(|a, b| {
-        (b.1 - b.1.floor()).partial_cmp(&(a.1 - a.1.floor())).expect("finite")
+        (b.1 - b.1.floor())
+            .partial_cmp(&(a.1 - a.1.floor()))
+            .expect("finite")
     });
     let mut i = 0;
     while allocated < take {
@@ -158,20 +161,25 @@ pub fn grid5000(max_workers: usize) -> Topology {
     for (ci, c) in clusters.iter().enumerate() {
         for n in 0..counts[ci].min(c.nodes) {
             workers.push(pool.add(
-                HostSpec::gigabit(format!("{}-{n}", c.name), c.name)
-                    .with_compute(c.compute_factor),
+                HostSpec::gigabit(format!("{}-{n}", c.name), c.name).with_compute(c.compute_factor),
             ));
         }
     }
     let net = FlowNet::new();
     Topology::register_all(&pool, &net);
-    Topology { pool, net, service, workers }
+    Topology {
+        pool,
+        net,
+        service,
+        workers,
+    }
 }
 
 /// Measured DSL-Lab download bandwidths from Fig. 4, bytes/second.
 /// Node order DSL01..DSL10.
-pub const DSL_DOWN_KBPS: [f64; 10] =
-    [492.0, 211.0, 254.0, 247.0, 384.0, 53.0, 412.0, 332.0, 304.0, 259.0];
+pub const DSL_DOWN_KBPS: [f64; 10] = [
+    492.0, 211.0, 254.0, 247.0, 384.0, 53.0, 412.0, 332.0, 304.0, 259.0,
+];
 
 /// Build the DSL-Lab ADSL testbed: `n` broadband nodes (cycling through the
 /// Fig. 4 bandwidth profile when `n > 10`) and one well-connected service
@@ -188,15 +196,22 @@ pub fn dsl_lab(n: usize) -> Topology {
     for i in 0..n {
         let down = DSL_DOWN_KBPS[i % DSL_DOWN_KBPS.len()] * 1_000.0;
         let up = down / 4.0; // asymmetric consumer ADSL
-        workers.push(pool.add(
-            HostSpec::gigabit(format!("DSL{:02}", i + 1), "dsl-lab")
-                .with_bandwidth(up, down)
-                .with_compute(0.3), // Pentium-M 1 GHz Mini-ITX
-        ));
+        workers.push(
+            pool.add(
+                HostSpec::gigabit(format!("DSL{:02}", i + 1), "dsl-lab")
+                    .with_bandwidth(up, down)
+                    .with_compute(0.3), // Pentium-M 1 GHz Mini-ITX
+            ),
+        );
     }
     let net = FlowNet::new();
     Topology::register_all(&pool, &net);
-    Topology { pool, net, service, workers }
+    Topology {
+        pool,
+        net,
+        service,
+        workers,
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +238,7 @@ mod tests {
         assert_eq!(gdx + grelon + grillon + sagittaire, 400);
         // gdx has 312/544 ≈ 57% of nodes.
         assert!((220..=240).contains(&gdx), "gdx share {gdx}");
-        assert!(grillon >= 30 && grillon <= 40, "grillon share {grillon}");
+        assert!((30..=40).contains(&grillon), "grillon share {grillon}");
     }
 
     #[test]

@@ -159,7 +159,12 @@ mod tests {
         t.push(SimTime::from_secs(1), TraceEvent::HostUp { host: h0 });
         t.push(
             SimTime::from_secs(2),
-            TraceEvent::TransferStarted { from: h1, to: h0, data: "d".into(), bytes: 10.0 },
+            TraceEvent::TransferStarted {
+                from: h1,
+                to: h0,
+                data: "d".into(),
+                bytes: 10.0,
+            },
         );
         t.push(SimTime::from_secs(3), TraceEvent::HostDown { host: h1 });
         t.push(SimTime::from_secs(4), TraceEvent::Note { text: "x".into() });
@@ -174,7 +179,12 @@ mod tests {
         let t = Trace::new();
         for s in [5u64, 1, 3] {
             // Trace preserves insertion order (callers insert in time order).
-            t.push(SimTime::from_secs(s), TraceEvent::Note { text: s.to_string() });
+            t.push(
+                SimTime::from_secs(s),
+                TraceEvent::Note {
+                    text: s.to_string(),
+                },
+            );
         }
         let recs = t.records();
         assert_eq!(recs.len(), 3);
@@ -185,7 +195,12 @@ mod tests {
     fn clones_share_storage() {
         let t = Trace::new();
         let t2 = t.clone();
-        t2.push(SimTime::ZERO, TraceEvent::Note { text: "shared".into() });
+        t2.push(
+            SimTime::ZERO,
+            TraceEvent::Note {
+                text: "shared".into(),
+            },
+        );
         assert_eq!(t.len(), 1);
     }
 }

@@ -234,7 +234,7 @@ mod tests {
         roundtrip(u64::MAX);
         roundtrip(u128::MAX);
         roundtrip(-42i64);
-        roundtrip(3.141592653589793f64);
+        roundtrip(std::f64::consts::PI);
         roundtrip(true);
         roundtrip(false);
     }
@@ -272,13 +272,19 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = 1u8.to_bytes().to_vec();
         bytes.push(0);
-        assert_eq!(u8::from_bytes(&bytes), Err(CodecError::Corrupt("trailing bytes")));
+        assert_eq!(
+            u8::from_bytes(&bytes),
+            Err(CodecError::Corrupt("trailing bytes"))
+        );
     }
 
     #[test]
     fn invalid_tags_rejected() {
         assert_eq!(bool::from_bytes(&[2]), Err(CodecError::Corrupt("bool")));
-        assert_eq!(Option::<u8>::from_bytes(&[9]), Err(CodecError::Corrupt("option tag")));
+        assert_eq!(
+            Option::<u8>::from_bytes(&[9]),
+            Err(CodecError::Corrupt("option tag"))
+        );
         // Invalid UTF-8 string body.
         let mut buf = BytesMut::new();
         2u32.encode(&mut buf);

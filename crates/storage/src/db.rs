@@ -59,9 +59,12 @@ struct Durability {
     auto_checkpoint: u64,
 }
 
+/// The in-memory table map a snapshot (de)serializes.
+type Tables = BTreeMap<String, BTreeMap<Vec<u8>, Vec<u8>>>;
+
 /// The embedded store.
 pub struct DewDb {
-    tables: BTreeMap<String, BTreeMap<Vec<u8>, Vec<u8>>>,
+    tables: Tables,
     durability: Option<Durability>,
     mutations: u64,
 }
@@ -70,7 +73,11 @@ impl DewDb {
     /// Pure in-memory database (no files). Used by the simulator benches
     /// where virtual time makes real disk cost meaningless.
     pub fn in_memory() -> DewDb {
-        DewDb { tables: BTreeMap::new(), durability: None, mutations: 0 }
+        DewDb {
+            tables: BTreeMap::new(),
+            durability: None,
+            mutations: 0,
+        }
     }
 
     /// Open (or create) a durable database in `dir`, replaying snapshot+WAL.
@@ -138,7 +145,10 @@ impl DewDb {
     /// Remove a key. Returns the removed value if any.
     pub fn delete(&mut self, table: &str, key: &[u8]) -> DbResult<Option<Vec<u8>>> {
         if let Some(d) = &mut self.durability {
-            d.wal.append(&LogRecord::Delete { table: table.to_string(), key: key.to_vec() })?;
+            d.wal.append(&LogRecord::Delete {
+                table: table.to_string(),
+                key: key.to_vec(),
+            })?;
         }
         let prev = self.tables.get_mut(table).and_then(|t| t.remove(key));
         self.after_mutation()?;
@@ -224,9 +234,7 @@ impl DewDb {
         Ok(())
     }
 
-    fn load_snapshot(
-        path: &Path,
-    ) -> DbResult<BTreeMap<String, BTreeMap<Vec<u8>, Vec<u8>>>> {
+    fn load_snapshot(path: &Path) -> DbResult<Tables> {
         let file = match File::open(path) {
             Ok(f) => f,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -268,11 +276,9 @@ impl DewDb {
             let rows = u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("8")) as usize;
             let mut map = BTreeMap::new();
             for _ in 0..rows {
-                let klen =
-                    u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4")) as usize;
+                let klen = u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4")) as usize;
                 let k = take(&mut off, klen)?.to_vec();
-                let vlen =
-                    u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4")) as usize;
+                let vlen = u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4")) as usize;
                 let v = take(&mut off, vlen)?.to_vec();
                 map.insert(k, v);
             }
@@ -334,7 +340,8 @@ mod tests {
         {
             let mut db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
             for i in 0..100u32 {
-                db.put("t", &i.to_le_bytes(), &(i * 2).to_le_bytes()).unwrap();
+                db.put("t", &i.to_le_bytes(), &(i * 2).to_le_bytes())
+                    .unwrap();
             }
             db.checkpoint().unwrap();
             // Post-checkpoint mutations land in the (fresh) WAL.
@@ -343,7 +350,10 @@ mod tests {
         let db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
         assert_eq!(db.table_len("t"), 101);
         assert_eq!(db.get("t", b"extra"), Some(&b"x"[..]));
-        assert_eq!(db.get("t", &7u32.to_le_bytes()), Some(&14u32.to_le_bytes()[..]));
+        assert_eq!(
+            db.get("t", &7u32.to_le_bytes()),
+            Some(&14u32.to_le_bytes()[..])
+        );
     }
 
     #[test]
@@ -358,7 +368,11 @@ mod tests {
         }
         // After 25 ops with checkpoint-every-10, the WAL holds ≤ 5 records.
         let replayed = wal::replay(dir.path().join("wal.log")).unwrap();
-        assert!(replayed.records.len() <= 5, "wal has {}", replayed.records.len());
+        assert!(
+            replayed.records.len() <= 5,
+            "wal has {}",
+            replayed.records.len()
+        );
         let db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
         assert_eq!(db.table_len("t"), 25);
     }

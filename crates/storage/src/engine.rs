@@ -73,9 +73,7 @@ pub enum DbReply {
 
 fn apply(db: &mut DewDb, op: DbOp) -> DbResult<DbReply> {
     match op {
-        DbOp::Put { table, key, value } => {
-            Ok(DbReply::Previous(db.put(&table, &key, &value)?))
-        }
+        DbOp::Put { table, key, value } => Ok(DbReply::Previous(db.put(&table, &key, &value)?)),
         DbOp::Get { table, key } => Ok(DbReply::Value(db.get(&table, &key).map(|v| v.to_vec()))),
         DbOp::Delete { table, key } => Ok(DbReply::Previous(db.delete(&table, &key)?)),
         DbOp::ScanPrefix { table, prefix } => Ok(DbReply::Rows(db.scan_prefix(&table, &prefix))),
@@ -108,7 +106,9 @@ pub struct EmbeddedDriver {
 impl EmbeddedDriver {
     /// Wrap a database.
     pub fn new(db: DewDb) -> EmbeddedDriver {
-        EmbeddedDriver { db: Arc::new(Mutex::new(db)) }
+        EmbeddedDriver {
+            db: Arc::new(Mutex::new(db)),
+        }
     }
 
     /// Shared handle to the underlying store (e.g. for checkpointing).
@@ -134,7 +134,10 @@ impl DbDriver for EmbeddedDriver {
         let mut session = vec![0u8; 512];
         let digest = bitdew_util::md5::md5(&session);
         session[..16].copy_from_slice(digest.as_bytes());
-        Ok(Box::new(EmbeddedConnection { db: Arc::clone(&self.db), _session: session }))
+        Ok(Box::new(EmbeddedConnection {
+            db: Arc::clone(&self.db),
+            _session: session,
+        }))
     }
 
     fn name(&self) -> &'static str {
@@ -186,7 +189,10 @@ impl NetworkedDriver {
                 }
             })
             .expect("spawn dewdb server");
-        NetworkedDriver { tx, handle: Some(handle) }
+        NetworkedDriver {
+            tx,
+            handle: Some(handle),
+        }
     }
 }
 
@@ -206,7 +212,10 @@ struct NetworkedConnection {
 }
 
 fn disconnected() -> DbError {
-    DbError::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "db server gone"))
+    DbError::Io(std::io::Error::new(
+        std::io::ErrorKind::BrokenPipe,
+        "db server gone",
+    ))
 }
 
 impl DbDriver for NetworkedDriver {
@@ -214,10 +223,14 @@ impl DbDriver for NetworkedDriver {
         // TCP connect + auth + schema select: three round trips.
         for _ in 0..3 {
             let (rtx, rrx) = bounded(1);
-            self.tx.send(ServerMsg::Handshake(rtx)).map_err(|_| disconnected())?;
+            self.tx
+                .send(ServerMsg::Handshake(rtx))
+                .map_err(|_| disconnected())?;
             rrx.recv().map_err(|_| disconnected())?;
         }
-        Ok(Box::new(NetworkedConnection { tx: self.tx.clone() }))
+        Ok(Box::new(NetworkedConnection {
+            tx: self.tx.clone(),
+        }))
     }
 
     fn name(&self) -> &'static str {
@@ -228,7 +241,9 @@ impl DbDriver for NetworkedDriver {
 impl DbConnection for NetworkedConnection {
     fn exec(&mut self, op: DbOp) -> DbResult<DbReply> {
         let (rtx, rrx) = bounded(1);
-        self.tx.send(ServerMsg::Exec(op, rtx)).map_err(|_| disconnected())?;
+        self.tx
+            .send(ServerMsg::Exec(op, rtx))
+            .map_err(|_| disconnected())?;
         rrx.recv().map_err(|_| disconnected())?
     }
 }
@@ -240,24 +255,48 @@ mod tests {
     fn crud(driver: &dyn DbDriver) {
         let mut conn = driver.connect().unwrap();
         let put = |c: &mut Box<dyn DbConnection>, k: &[u8], v: &[u8]| {
-            c.exec(DbOp::Put { table: "t".into(), key: k.to_vec(), value: v.to_vec() }).unwrap()
+            c.exec(DbOp::Put {
+                table: "t".into(),
+                key: k.to_vec(),
+                value: v.to_vec(),
+            })
+            .unwrap()
         };
         assert_eq!(put(&mut conn, b"a", b"1"), DbReply::Previous(None));
-        assert_eq!(put(&mut conn, b"a", b"2"), DbReply::Previous(Some(b"1".to_vec())));
         assert_eq!(
-            conn.exec(DbOp::Get { table: "t".into(), key: b"a".to_vec() }).unwrap(),
+            put(&mut conn, b"a", b"2"),
+            DbReply::Previous(Some(b"1".to_vec()))
+        );
+        assert_eq!(
+            conn.exec(DbOp::Get {
+                table: "t".into(),
+                key: b"a".to_vec()
+            })
+            .unwrap(),
             DbReply::Value(Some(b"2".to_vec()))
         );
         assert_eq!(
-            conn.exec(DbOp::ScanPrefix { table: "t".into(), prefix: b"a".to_vec() }).unwrap(),
+            conn.exec(DbOp::ScanPrefix {
+                table: "t".into(),
+                prefix: b"a".to_vec()
+            })
+            .unwrap(),
             DbReply::Rows(vec![(b"a".to_vec(), b"2".to_vec())])
         );
         assert_eq!(
-            conn.exec(DbOp::Delete { table: "t".into(), key: b"a".to_vec() }).unwrap(),
+            conn.exec(DbOp::Delete {
+                table: "t".into(),
+                key: b"a".to_vec()
+            })
+            .unwrap(),
             DbReply::Previous(Some(b"2".to_vec()))
         );
         assert_eq!(
-            conn.exec(DbOp::Get { table: "t".into(), key: b"a".to_vec() }).unwrap(),
+            conn.exec(DbOp::Get {
+                table: "t".into(),
+                key: b"a".to_vec()
+            })
+            .unwrap(),
             DbReply::Value(None)
         );
     }
@@ -281,10 +320,18 @@ mod tests {
         let driver = EmbeddedDriver::new(DewDb::in_memory());
         let mut c1 = driver.connect().unwrap();
         let mut c2 = driver.connect().unwrap();
-        c1.exec(DbOp::Put { table: "t".into(), key: b"k".to_vec(), value: b"v".to_vec() })
-            .unwrap();
+        c1.exec(DbOp::Put {
+            table: "t".into(),
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        })
+        .unwrap();
         assert_eq!(
-            c2.exec(DbOp::Get { table: "t".into(), key: b"k".to_vec() }).unwrap(),
+            c2.exec(DbOp::Get {
+                table: "t".into(),
+                key: b"k".to_vec()
+            })
+            .unwrap(),
             DbReply::Value(Some(b"v".to_vec()))
         );
     }
@@ -299,8 +346,12 @@ mod tests {
                 let mut conn = d.connect().unwrap();
                 for i in 0..50u32 {
                     let key = (t * 1000 + i).to_le_bytes().to_vec();
-                    conn.exec(DbOp::Put { table: "t".into(), key, value: b"v".to_vec() })
-                        .unwrap();
+                    conn.exec(DbOp::Put {
+                        table: "t".into(),
+                        key,
+                        value: b"v".to_vec(),
+                    })
+                    .unwrap();
                 }
             }));
         }
@@ -308,7 +359,13 @@ mod tests {
             h.join().unwrap();
         }
         let mut conn = driver.connect().unwrap();
-        match conn.exec(DbOp::ScanPrefix { table: "t".into(), prefix: vec![] }).unwrap() {
+        match conn
+            .exec(DbOp::ScanPrefix {
+                table: "t".into(),
+                prefix: vec![],
+            })
+            .unwrap()
+        {
             DbReply::Rows(rows) => assert_eq!(rows.len(), 200),
             other => panic!("unexpected {other:?}"),
         }
@@ -324,7 +381,9 @@ mod tests {
         let send = conn_tx.send(ServerMsg::Handshake(rtx));
         // Either the send fails (receiver dropped) or nobody replies.
         if send.is_ok() {
-            assert!(rrx.recv_timeout(std::time::Duration::from_millis(200)).is_err());
+            assert!(rrx
+                .recv_timeout(std::time::Duration::from_millis(200))
+                .is_err());
         }
     }
 }

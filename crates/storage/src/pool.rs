@@ -38,7 +38,10 @@ impl ConnectionPool {
         Arc::new(ConnectionPool {
             driver,
             max_size,
-            state: Mutex::new(PoolState { idle: Vec::new(), live: 0 }),
+            state: Mutex::new(PoolState {
+                idle: Vec::new(),
+                live: 0,
+            }),
             available: Condvar::new(),
         })
     }
@@ -58,7 +61,10 @@ impl ConnectionPool {
         let mut state = self.state.lock();
         loop {
             if let Some(conn) = state.idle.pop() {
-                return Ok(PooledConnection { pool: Arc::clone(self), conn: Some(conn) });
+                return Ok(PooledConnection {
+                    pool: Arc::clone(self),
+                    conn: Some(conn),
+                });
             }
             if state.live < self.max_size {
                 state.live += 1;
@@ -132,7 +138,10 @@ pub struct PooledConnection {
 impl PooledConnection {
     /// Execute one operation on the borrowed session.
     pub fn exec(&mut self, op: DbOp) -> DbResult<DbReply> {
-        self.conn.as_mut().expect("connection present until drop").exec(op)
+        self.conn
+            .as_mut()
+            .expect("connection present until drop")
+            .exec(op)
     }
 
     /// Drop the session instead of returning it (e.g. after an error), so
@@ -168,8 +177,12 @@ mod tests {
         let p = pool(2);
         {
             let mut c = p.checkout().unwrap();
-            c.exec(DbOp::Put { table: "t".into(), key: b"k".to_vec(), value: b"v".to_vec() })
-                .unwrap();
+            c.exec(DbOp::Put {
+                table: "t".into(),
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            })
+            .unwrap();
         }
         assert_eq!(p.live(), 1);
         assert_eq!(p.idle(), 1);
@@ -198,7 +211,11 @@ mod tests {
         let p2 = Arc::clone(&p);
         let waiter = std::thread::spawn(move || {
             let mut c = p2.checkout().unwrap();
-            c.exec(DbOp::Get { table: "t".into(), key: b"k".to_vec() }).unwrap()
+            c.exec(DbOp::Get {
+                table: "t".into(),
+                key: b"k".to_vec(),
+            })
+            .unwrap()
         });
         std::thread::sleep(Duration::from_millis(50));
         drop(held);
@@ -255,7 +272,13 @@ mod tests {
         }
         assert!(p.live() <= 4);
         let mut c = p.checkout().unwrap();
-        match c.exec(DbOp::ScanPrefix { table: "t".into(), prefix: vec![] }).unwrap() {
+        match c
+            .exec(DbOp::ScanPrefix {
+                table: "t".into(),
+                prefix: vec![],
+            })
+            .unwrap()
+        {
             DbReply::Rows(rows) => assert_eq!(rows.len(), 200),
             other => panic!("unexpected {other:?}"),
         }

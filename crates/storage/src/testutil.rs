@@ -17,10 +17,7 @@ impl TempDir {
     /// Create `"$TMPDIR/bitdew-<tag>-<pid>-<n>"`.
     pub fn new(tag: &str) -> TempDir {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "bitdew-{tag}-{}-{n}",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("bitdew-{tag}-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&path).expect("create temp dir");
         TempDir { path }
     }

@@ -95,14 +95,20 @@ impl WalWriter {
     pub fn open(path: impl AsRef<Path>, policy: SyncPolicy) -> std::io::Result<WalWriter> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(WalWriter { path, writer: BufWriter::new(file), policy, appended: 0 })
+        Ok(WalWriter {
+            path,
+            writer: BufWriter::new(file),
+            policy,
+            appended: 0,
+        })
     }
 
     /// Append one record.
     pub fn append(&mut self, rec: &LogRecord) -> std::io::Result<()> {
         let payload = rec.to_bytes();
         let crc = crc32(&payload);
-        self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
         self.writer.write_all(&crc.to_le_bytes())?;
         self.writer.write_all(&payload)?;
         self.appended += 1;
@@ -130,7 +136,10 @@ impl WalWriter {
     /// Truncate the log to empty (after a checkpoint made it redundant).
     pub fn truncate(&mut self) -> std::io::Result<()> {
         self.writer.flush()?;
-        let file = OpenOptions::new().write(true).truncate(true).open(&self.path)?;
+        let file = OpenOptions::new()
+            .write(true)
+            .truncate(true)
+            .open(&self.path)?;
         self.writer = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
         drop(file);
         Ok(())
@@ -153,7 +162,10 @@ pub fn replay(path: impl AsRef<Path>) -> std::io::Result<WalReplay> {
     let file = match File::open(path.as_ref()) {
         Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(WalReplay { records: Vec::new(), truncated_tail: false });
+            return Ok(WalReplay {
+                records: Vec::new(),
+                truncated_tail: false,
+            });
         }
         Err(e) => return Err(e),
     };
@@ -197,7 +209,10 @@ pub fn replay(path: impl AsRef<Path>) -> std::io::Result<WalReplay> {
             }
         }
     }
-    Ok(WalReplay { records, truncated_tail: truncated })
+    Ok(WalReplay {
+        records,
+        truncated_tail: truncated,
+    })
 }
 
 enum ReadState {
@@ -211,7 +226,11 @@ fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<Read
     while filled < buf.len() {
         let n = r.read(&mut buf[filled..])?;
         if n == 0 {
-            return Ok(if filled == 0 { ReadState::Eof } else { ReadState::Partial });
+            return Ok(if filled == 0 {
+                ReadState::Eof
+            } else {
+                ReadState::Partial
+            });
         }
         filled += n;
     }
@@ -224,7 +243,11 @@ mod tests {
     use crate::testutil::TempDir;
 
     fn put(t: &str, k: &[u8], v: &[u8]) -> LogRecord {
-        LogRecord::Put { table: t.into(), key: k.to_vec(), value: v.to_vec() }
+        LogRecord::Put {
+            table: t.into(),
+            key: k.to_vec(),
+            value: v.to_vec(),
+        }
     }
 
     #[test]
@@ -233,7 +256,11 @@ mod tests {
         let path = dir.path().join("wal.log");
         let mut w = WalWriter::open(&path, SyncPolicy::EveryAppend).unwrap();
         w.append(&put("t", b"k1", b"v1")).unwrap();
-        w.append(&LogRecord::Delete { table: "t".into(), key: b"k1".to_vec() }).unwrap();
+        w.append(&LogRecord::Delete {
+            table: "t".into(),
+            key: b"k1".to_vec(),
+        })
+        .unwrap();
         w.append(&put("u", b"k2", b"v2")).unwrap();
         assert_eq!(w.appended(), 3);
         drop(w);

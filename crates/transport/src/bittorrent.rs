@@ -117,15 +117,12 @@ impl Tracker {
         let listener = fabric.listen(name);
         let shutdown = Arc::new(AtomicBool::new(false));
         let shutdown2 = Arc::clone(&shutdown);
-        let peers: Arc<Mutex<HashMap<String, Vec<String>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let peers: Arc<Mutex<HashMap<String, Vec<String>>>> = Arc::new(Mutex::new(HashMap::new()));
         let thread = std::thread::Builder::new()
             .name(format!("tracker-{name}"))
             .spawn(move || {
                 while !shutdown2.load(Ordering::Relaxed) {
-                    let conn = match listener
-                        .accept_timeout(std::time::Duration::from_millis(50))
-                    {
+                    let conn = match listener.accept_timeout(std::time::Duration::from_millis(50)) {
                         Ok(c) => c,
                         Err(FabricError::Timeout) => continue,
                         Err(_) => break,
@@ -182,7 +179,9 @@ pub fn announce(
         .map_err(|e| TransportError::ConnectFailed(e.to_string()))?;
     conn.send(Bytes::from(format!("ANNOUNCE {torrent} {self_listener}")))
         .map_err(|e| TransportError::Interrupted(e.to_string()))?;
-    let reply = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let reply = conn
+        .recv()
+        .map_err(|e| TransportError::Interrupted(e.to_string()))?;
     let text = String::from_utf8_lossy(&reply).to_string();
     let list = text
         .strip_prefix("PEERS ")
@@ -236,9 +235,7 @@ impl BtPeer {
             .name(format!("btpeer-{listener_name}"))
             .spawn(move || {
                 while !shutdown2.load(Ordering::Relaxed) {
-                    let conn = match listener
-                        .accept_timeout(std::time::Duration::from_millis(50))
-                    {
+                    let conn = match listener.accept_timeout(std::time::Duration::from_millis(50)) {
                         Ok(c) => c,
                         Err(FabricError::Timeout) => continue,
                         Err(_) => break,
@@ -254,19 +251,16 @@ impl BtPeer {
                         let mut parts = text.split_whitespace();
                         match parts.next() {
                             Some("BITFIELD") => {
-                                let bits: Vec<u8> =
-                                    have.lock().iter().map(|&b| b as u8).collect();
+                                let bits: Vec<u8> = have.lock().iter().map(|&b| b as u8).collect();
                                 let _ = conn.send(Bytes::from(bits));
                             }
                             Some("REQ") => {
-                                let Some(idx) =
-                                    parts.nth(1).and_then(|s| s.parse::<usize>().ok())
+                                let Some(idx) = parts.nth(1).and_then(|s| s.parse::<usize>().ok())
                                 else {
                                     let _ = conn.send(Bytes::from_static(b"MISSING"));
                                     return;
                                 };
-                                let holds =
-                                    have.lock().get(idx).copied().unwrap_or(false);
+                                let holds = have.lock().get(idx).copied().unwrap_or(false);
                                 if !holds {
                                     let _ = conn.send(Bytes::from_static(b"MISSING"));
                                     return;
@@ -284,8 +278,7 @@ impl BtPeer {
                                     store.read_at(&torrent.name, start, (end - start) as usize);
                                 match piece {
                                     Ok(data) => {
-                                        let _ = conn
-                                            .send(Bytes::from(format!("PIECE {idx}")));
+                                        let _ = conn.send(Bytes::from(format!("PIECE {idx}")));
                                         let _ = conn.send(data);
                                     }
                                     Err(_) => {
@@ -432,7 +425,15 @@ pub fn leech(
     let mut state = LeechState {
         status: {
             let have = have.lock();
-            (0..npieces).map(|i| if have.get(i).copied().unwrap_or(false) { 2 } else { 0 }).collect()
+            (0..npieces)
+                .map(|i| {
+                    if have.get(i).copied().unwrap_or(false) {
+                        2
+                    } else {
+                        0
+                    }
+                })
+                .collect()
         },
         avail: vec![0; npieces],
         peer_bits: HashMap::new(),
@@ -466,8 +467,7 @@ pub fn leech(
             let progress = progress.clone();
             let config = config.clone();
             scope.spawn(move || {
-                let mut rng =
-                    rand::rngs::SmallRng::seed_from_u64(config.seed ^ (w as u64) << 32);
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(config.seed ^ (w as u64) << 32);
                 let mut stalls = 0u32;
                 loop {
                     // Pick the rarest needed piece with a live holder.
@@ -494,7 +494,7 @@ pub fn leech(
                                 .collect();
                             let peer = holders.choose(&mut rng).cloned();
                             Some((idx, peer))
-                        } else if st.status.iter().any(|&s| s == 1) {
+                        } else if st.status.contains(&1) {
                             None // others still fetching; wait
                         } else {
                             return; // all done or unavailable
@@ -536,9 +536,8 @@ pub fn leech(
                             state.lock().status[idx] = 0;
                             stalls += 1;
                             if stalls > config.max_stalls {
-                                *failed.lock() = Some(TransportError::Interrupted(
-                                    "swarm starved".into(),
-                                ));
+                                *failed.lock() =
+                                    Some(TransportError::Interrupted("swarm starved".into()));
                                 return;
                             }
                             std::thread::sleep(config.backoff);
@@ -572,21 +571,21 @@ pub fn leech(
     if st.status.iter().all(|&s| s == 2) {
         Ok(())
     } else {
-        Err(TransportError::Interrupted("incomplete swarm download".into()))
+        Err(TransportError::Interrupted(
+            "incomplete swarm download".into(),
+        ))
     }
 }
 
-fn fetch_bitfield(
-    fabric: &Fabric,
-    peer: &str,
-    torrent: &str,
-) -> TransportResult<Vec<bool>> {
+fn fetch_bitfield(fabric: &Fabric, peer: &str, torrent: &str) -> TransportResult<Vec<bool>> {
     let conn = fabric
         .connect(peer)
         .map_err(|e| TransportError::ConnectFailed(e.to_string()))?;
     conn.send(Bytes::from(format!("BITFIELD {torrent}")))
         .map_err(|e| TransportError::Interrupted(e.to_string()))?;
-    let bits = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let bits = conn
+        .recv()
+        .map_err(|e| TransportError::Interrupted(e.to_string()))?;
     Ok(bits.iter().map(|&b| b != 0).collect())
 }
 
@@ -603,14 +602,18 @@ fn fetch_piece(
         .map_err(|e| TransportError::ConnectFailed(e.to_string()))?;
     conn.send(Bytes::from(format!("REQ {} {}", torrent.name, idx)))
         .map_err(|e| TransportError::Interrupted(e.to_string()))?;
-    let head = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let head = conn
+        .recv()
+        .map_err(|e| TransportError::Interrupted(e.to_string()))?;
     if head.starts_with(b"CHOKE") || head.starts_with(b"MISSING") {
         return Ok(false);
     }
     if !head.starts_with(b"PIECE") {
         return Err(TransportError::Protocol("bad piece reply".into()));
     }
-    let data = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let data = conn
+        .recv()
+        .map_err(|e| TransportError::Interrupted(e.to_string()))?;
     if md5(&data) != torrent.piece_hashes[idx] {
         // Sabotage tolerance: a bad piece is rejected, not stored (§2.2).
         return Ok(false);
@@ -702,8 +705,15 @@ impl OobTransfer for BtTransfer {
         let progress = Arc::clone(&self.progress);
         let verdict = Arc::clone(&self.verdict);
         self.worker = Some(std::thread::spawn(move || {
-            let result =
-                leech(&fabric, &torrent, local, have, &listener, &config, Some(progress));
+            let result = leech(
+                &fabric,
+                &torrent,
+                local,
+                have,
+                &listener,
+                &config,
+                Some(progress),
+            );
             *verdict.lock() = Some(match result {
                 Ok(()) => TransferVerdict::Complete,
                 Err(_) => TransferVerdict::Interrupted,
@@ -733,8 +743,7 @@ mod tests {
         let seed_store = MemStore::new();
         let data = payload(bytes);
         seed_store.put("blob", &data);
-        let torrent =
-            Torrent::describe(seed_store.as_ref(), "blob", piece, "tracker").unwrap();
+        let torrent = Torrent::describe(seed_store.as_ref(), "blob", piece, "tracker").unwrap();
         let seed_have = full_have(&torrent);
         let _seeder = BtPeer::start(
             &fabric,
@@ -764,7 +773,10 @@ mod tests {
             stores.push(Arc::clone(&store));
             let fabric2 = fabric.clone();
             let torrent2 = torrent.clone();
-            let config = LeechConfig { seed: i as u64, ..Default::default() };
+            let config = LeechConfig {
+                seed: i as u64,
+                ..Default::default()
+            };
             handles.push(std::thread::spawn(move || {
                 leech(
                     &fabric2,
@@ -804,12 +816,21 @@ mod tests {
     fn tracker_accumulates_peers() {
         let fabric = Fabric::new();
         let _tracker = Tracker::start(&fabric, "trk");
-        assert_eq!(announce(&fabric, "trk", "t1", "a").unwrap(), Vec::<String>::new());
-        assert_eq!(announce(&fabric, "trk", "t1", "b").unwrap(), vec!["a".to_string()]);
+        assert_eq!(
+            announce(&fabric, "trk", "t1", "a").unwrap(),
+            Vec::<String>::new()
+        );
+        assert_eq!(
+            announce(&fabric, "trk", "t1", "b").unwrap(),
+            vec!["a".to_string()]
+        );
         let peers = announce(&fabric, "trk", "t1", "c").unwrap();
         assert_eq!(peers, vec!["a".to_string(), "b".to_string()]);
         // Torrents are independent.
-        assert_eq!(announce(&fabric, "trk", "t2", "x").unwrap(), Vec::<String>::new());
+        assert_eq!(
+            announce(&fabric, "trk", "t2", "x").unwrap(),
+            Vec::<String>::new()
+        );
     }
 
     #[test]
@@ -831,8 +852,7 @@ mod tests {
         let seed_store = MemStore::new();
         let data = payload(256 * 1024);
         seed_store.put("blob", &data);
-        let torrent =
-            Torrent::describe(seed_store.as_ref(), "blob", 16 * 1024, "tracker").unwrap();
+        let torrent = Torrent::describe(seed_store.as_ref(), "blob", 16 * 1024, "tracker").unwrap();
         let _seeder = BtPeer::start(
             &fabric,
             "peer-seed",
@@ -864,7 +884,10 @@ mod tests {
                     store as _,
                     have,
                     &format!("peer-{i}"),
-                    &LeechConfig { seed: 7 + i as u64, ..Default::default() },
+                    &LeechConfig {
+                        seed: 7 + i as u64,
+                        ..Default::default()
+                    },
                     None,
                 )
             }));
@@ -882,8 +905,7 @@ mod tests {
         let seed_store = MemStore::new();
         let data = payload(128 * 1024);
         seed_store.put("blob", &data);
-        let torrent =
-            Torrent::describe(seed_store.as_ref(), "blob", 16 * 1024, "tracker").unwrap();
+        let torrent = Torrent::describe(seed_store.as_ref(), "blob", 16 * 1024, "tracker").unwrap();
         let _seeder = BtPeer::start(
             &fabric,
             "peer-seed",

@@ -76,9 +76,7 @@ impl Duplex {
         match self.rx.try_recv() {
             Ok(f) => Ok(Some(f)),
             Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
-            Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                Err(FabricError::Disconnected)
-            }
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(FabricError::Disconnected),
         }
     }
 }
@@ -124,7 +122,9 @@ impl Fabric {
     /// Fabric with zero added latency (a LAN / same-host path).
     pub fn new() -> Fabric {
         Fabric {
-            inner: Arc::new(Mutex::new(FabricInner { listeners: HashMap::new() })),
+            inner: Arc::new(Mutex::new(FabricInner {
+                listeners: HashMap::new(),
+            })),
             latency: Duration::ZERO,
         }
     }
@@ -132,7 +132,9 @@ impl Fabric {
     /// Fabric whose sends each pay `latency` (a WAN path).
     pub fn with_latency(latency: Duration) -> Fabric {
         Fabric {
-            inner: Arc::new(Mutex::new(FabricInner { listeners: HashMap::new() })),
+            inner: Arc::new(Mutex::new(FabricInner {
+                listeners: HashMap::new(),
+            })),
             latency,
         }
     }
@@ -154,13 +156,27 @@ impl Fabric {
     pub fn connect(&self, name: &str) -> Result<Duplex, FabricError> {
         let accept_tx = {
             let inner = self.inner.lock();
-            inner.listeners.get(name).cloned().ok_or(FabricError::NoSuchListener)?
+            inner
+                .listeners
+                .get(name)
+                .cloned()
+                .ok_or(FabricError::NoSuchListener)?
         };
         let (a_tx, b_rx) = unbounded();
         let (b_tx, a_rx) = unbounded();
-        let server_side = Duplex { tx: b_tx, rx: b_rx, latency: self.latency };
-        let client_side = Duplex { tx: a_tx, rx: a_rx, latency: self.latency };
-        accept_tx.send(server_side).map_err(|_| FabricError::NoSuchListener)?;
+        let server_side = Duplex {
+            tx: b_tx,
+            rx: b_rx,
+            latency: self.latency,
+        };
+        let client_side = Duplex {
+            tx: a_tx,
+            rx: a_rx,
+            latency: self.latency,
+        };
+        accept_tx
+            .send(server_side)
+            .map_err(|_| FabricError::NoSuchListener)?;
         Ok(client_side)
     }
 
@@ -181,7 +197,8 @@ mod tests {
         let server = std::thread::spawn(move || {
             let conn = listener.accept().unwrap();
             let msg = conn.recv().unwrap();
-            conn.send(Bytes::from([b"echo: ".as_slice(), &msg].concat())).unwrap();
+            conn.send(Bytes::from([b"echo: ".as_slice(), &msg].concat()))
+                .unwrap();
         });
         let conn = fabric.connect("svc").unwrap();
         conn.send(Bytes::from_static(b"hi")).unwrap();
@@ -192,7 +209,10 @@ mod tests {
     #[test]
     fn connect_unknown_listener_fails() {
         let fabric = Fabric::new();
-        assert!(matches!(fabric.connect("nope"), Err(FabricError::NoSuchListener)));
+        assert!(matches!(
+            fabric.connect("nope"),
+            Err(FabricError::NoSuchListener)
+        ));
     }
 
     #[test]
@@ -201,7 +221,10 @@ mod tests {
         let _l = fabric.listen("svc");
         assert!(fabric.connect("svc").is_ok());
         fabric.unlisten("svc");
-        assert!(matches!(fabric.connect("svc"), Err(FabricError::NoSuchListener)));
+        assert!(matches!(
+            fabric.connect("svc"),
+            Err(FabricError::NoSuchListener)
+        ));
     }
 
     #[test]

@@ -138,7 +138,9 @@ impl FtpServer {
                             return Ok(()); // injected fault: vanish mid-stream
                         }
                     }
-                    let digest = store.checksum(name).map_err(|_| FabricError::Disconnected)?;
+                    let digest = store
+                        .checksum(name)
+                        .map_err(|_| FabricError::Disconnected)?;
                     conn.send(Bytes::from(format!("END {}", digest.to_hex())))?;
                 }
                 Some("STOR") => {
@@ -161,8 +163,9 @@ impl FtpServer {
                         offset += chunk.len() as u64;
                         received += chunk.len() as u64;
                     }
-                    let digest =
-                        store.checksum(&name).map_err(|_| FabricError::Disconnected)?;
+                    let digest = store
+                        .checksum(&name)
+                        .map_err(|_| FabricError::Disconnected)?;
                     conn.send(Bytes::from(format!("DONE {}", digest.to_hex())))?;
                 }
                 Some("SIZE") => {
@@ -273,18 +276,23 @@ fn download(
     shared.bytes_done.store(offset, Ordering::Relaxed);
     conn.send(Bytes::from(format!("RETR {} {}", spec.name, offset)))
         .map_err(|e| TransportError::Interrupted(e.to_string()))?;
-    let head = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let head = conn
+        .recv()
+        .map_err(|e| TransportError::Interrupted(e.to_string()))?;
     let head = String::from_utf8_lossy(&head).to_string();
     let total = match head.strip_prefix("SIZE ") {
-        Some(s) => s.trim().parse::<u64>().map_err(|_| {
-            TransportError::Protocol(format!("bad SIZE reply: {head}"))
-        })?,
+        Some(s) => s
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| TransportError::Protocol(format!("bad SIZE reply: {head}")))?,
         None => return Err(TransportError::NoSuchObject(spec.name.clone())),
     };
     let mut pos = offset;
     let server_digest;
     loop {
-        let frame = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+        let frame = conn
+            .recv()
+            .map_err(|e| TransportError::Interrupted(e.to_string()))?;
         // Terminal frame is "END <md5hex>"; data frames are raw bytes. A raw
         // chunk that happens to start with "END " is impossible here because
         // the server only sends END as the final line after `total` bytes.
@@ -326,7 +334,9 @@ fn upload(
     let size = local.size(&spec.name)?;
     conn.send(Bytes::from(format!("STOR {} 0 {}", spec.name, size)))
         .map_err(|e| TransportError::Interrupted(e.to_string()))?;
-    let ok = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let ok = conn
+        .recv()
+        .map_err(|e| TransportError::Interrupted(e.to_string()))?;
     if &ok[..] != b"OK" {
         return Err(TransportError::Protocol("expected OK".into()));
     }
@@ -337,10 +347,13 @@ fn upload(
             break;
         }
         pos += chunk.len() as u64;
-        conn.send(chunk).map_err(|e| TransportError::Interrupted(e.to_string()))?;
+        conn.send(chunk)
+            .map_err(|e| TransportError::Interrupted(e.to_string()))?;
         shared.bytes_done.store(pos, Ordering::Relaxed);
     }
-    let done = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let done = conn
+        .recv()
+        .map_err(|e| TransportError::Interrupted(e.to_string()))?;
     let line = String::from_utf8_lossy(&done).to_string();
     let remote_digest = line
         .strip_prefix("DONE ")
@@ -359,7 +372,12 @@ impl OobTransfer for FtpTransfer {
         // the listener table rather than opening a throwaway connection, so
         // server-side accounting (and fault injection in tests) only sees
         // the real transfer connection.
-        if !self.fabric.listener_names().iter().any(|n| n == &self.spec.remote) {
+        if !self
+            .fabric
+            .listener_names()
+            .iter()
+            .any(|n| n == &self.spec.remote)
+        {
             return Err(TransportError::ConnectFailed(format!(
                 "no listener {}",
                 self.spec.remote
@@ -435,7 +453,12 @@ mod tests {
     }
 
     fn spec(name: &str, bytes: u64) -> TransferSpec {
-        TransferSpec { name: name.into(), bytes, checksum: None, remote: "ftp".into() }
+        TransferSpec {
+            name: name.into(),
+            bytes,
+            checksum: None,
+            remote: "ftp".into(),
+        }
     }
 
     #[test]
@@ -444,8 +467,7 @@ mod tests {
         let (fabric, _server, local) = setup(&[("big", &data)]);
         let mut spec = spec("big", data.len() as u64);
         spec.checksum = Some(bitdew_util::md5::md5(&data));
-        let mut t =
-            FtpTransfer::new(fabric, spec, local.clone(), Direction::Download);
+        let mut t = FtpTransfer::new(fabric, spec, local.clone(), Direction::Download);
         t.connect().unwrap();
         t.receive().unwrap();
         let status = t.wait(Duration::from_millis(2)).unwrap();
@@ -503,14 +525,21 @@ mod tests {
         server.inject_drop_after(128 * 1024);
         let mut spec1 = spec("f", data.len() as u64);
         spec1.checksum = Some(bitdew_util::md5::md5(&data));
-        let mut t =
-            FtpTransfer::new(fabric.clone(), spec1.clone(), local.clone(), Direction::Download);
+        let mut t = FtpTransfer::new(
+            fabric.clone(),
+            spec1.clone(),
+            local.clone(),
+            Direction::Download,
+        );
         t.connect().unwrap();
         t.receive().unwrap();
         let status = t.wait(Duration::from_millis(2)).unwrap();
         assert_eq!(status.outcome, Some(TransferVerdict::Interrupted));
         let partial = status.bytes_done;
-        assert!(partial > 0 && partial < data.len() as u64, "partial = {partial}");
+        assert!(
+            partial > 0 && partial < data.len() as u64,
+            "partial = {partial}"
+        );
 
         // Second attempt resumes and completes; bytes_done starts at partial.
         let mut t2 = FtpTransfer::new(fabric, spec1, local.clone(), Direction::Download);

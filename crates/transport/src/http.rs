@@ -100,7 +100,9 @@ impl HttpServer {
                     conn.send(Bytes::from_static(b"404 Not Found"))?;
                     return Ok(());
                 };
-                let digest = store.checksum(name).map_err(|_| FabricError::Disconnected)?;
+                let digest = store
+                    .checksum(name)
+                    .map_err(|_| FabricError::Disconnected)?;
                 conn.send(Bytes::from(format!(
                     "200 OK\nContent-Length: {size}\nETag: {}",
                     digest.to_hex()
@@ -128,8 +130,13 @@ impl HttpServer {
                         .map_err(|_| FabricError::Disconnected)?;
                     received += chunk.len() as u64;
                 }
-                let digest = store.checksum(&name).map_err(|_| FabricError::Disconnected)?;
-                conn.send(Bytes::from(format!("201 Created\nETag: {}", digest.to_hex())))?;
+                let digest = store
+                    .checksum(&name)
+                    .map_err(|_| FabricError::Disconnected)?;
+                conn.send(Bytes::from(format!(
+                    "201 Created\nETag: {}",
+                    digest.to_hex()
+                )))?;
             }
             _ => conn.send(Bytes::from_static(b"400 Bad Request"))?,
         }
@@ -215,9 +222,14 @@ fn get(
         .map_err(|e| TransportError::ConnectFailed(e.to_string()))?;
     let offset = local.size(&spec.name).unwrap_or(0).min(spec.bytes);
     shared.bytes_done.store(offset, Ordering::Relaxed);
-    conn.send(Bytes::from(format!("GET /{}\nRange: bytes={}-", spec.name, offset)))
+    conn.send(Bytes::from(format!(
+        "GET /{}\nRange: bytes={}-",
+        spec.name, offset
+    )))
+    .map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let head = conn
+        .recv()
         .map_err(|e| TransportError::Interrupted(e.to_string()))?;
-    let head = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
     let head = String::from_utf8_lossy(&head).to_string();
     if !head.starts_with("200") {
         return Err(TransportError::NoSuchObject(spec.name.clone()));
@@ -234,7 +246,9 @@ fn get(
     }
     let mut pos = offset;
     while pos < total {
-        let chunk = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+        let chunk = conn
+            .recv()
+            .map_err(|e| TransportError::Interrupted(e.to_string()))?;
         local.write_at(&spec.name, pos, &chunk)?;
         pos += chunk.len() as u64;
         shared.bytes_done.store(pos, Ordering::Relaxed);
@@ -257,9 +271,14 @@ fn put(
         .connect(&spec.remote)
         .map_err(|e| TransportError::ConnectFailed(e.to_string()))?;
     let size = local.size(&spec.name)?;
-    conn.send(Bytes::from(format!("PUT /{}\nContent-Length: {size}", spec.name)))
+    conn.send(Bytes::from(format!(
+        "PUT /{}\nContent-Length: {size}",
+        spec.name
+    )))
+    .map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let cont = conn
+        .recv()
         .map_err(|e| TransportError::Interrupted(e.to_string()))?;
-    let cont = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
     if !cont.starts_with(b"100") {
         return Err(TransportError::Protocol("expected 100 Continue".into()));
     }
@@ -270,10 +289,13 @@ fn put(
             break;
         }
         pos += chunk.len() as u64;
-        conn.send(chunk).map_err(|e| TransportError::Interrupted(e.to_string()))?;
+        conn.send(chunk)
+            .map_err(|e| TransportError::Interrupted(e.to_string()))?;
         shared.bytes_done.store(pos, Ordering::Relaxed);
     }
-    let created = conn.recv().map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let created = conn
+        .recv()
+        .map_err(|e| TransportError::Interrupted(e.to_string()))?;
     let text = String::from_utf8_lossy(&created).to_string();
     if !text.starts_with("201") {
         return Err(TransportError::Protocol("expected 201 Created".into()));
@@ -291,7 +313,12 @@ fn put(
 
 impl OobTransfer for HttpTransfer {
     fn connect(&mut self) -> TransportResult<()> {
-        if !self.fabric.listener_names().iter().any(|n| n == &self.spec.remote) {
+        if !self
+            .fabric
+            .listener_names()
+            .iter()
+            .any(|n| n == &self.spec.remote)
+        {
             return Err(TransportError::ConnectFailed(format!(
                 "no listener {}",
                 self.spec.remote
@@ -381,7 +408,10 @@ mod tests {
         t.send().unwrap();
         let status = t.wait(Duration::from_millis(2)).unwrap();
         assert_eq!(status.outcome, Some(TransferVerdict::Complete));
-        assert_eq!(&server_store.read_at("up", 0, data.len()).unwrap()[..], &data[..]);
+        assert_eq!(
+            &server_store.read_at("up", 0, data.len()).unwrap()[..],
+            &data[..]
+        );
     }
 
     #[test]

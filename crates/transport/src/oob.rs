@@ -146,10 +146,7 @@ pub trait BlockingOobTransfer: OobTransfer {
 pub trait NonBlockingOobTransfer: OobTransfer {
     /// Poll until terminal, sleeping `poll_interval` between probes. This is
     /// the loop the DT service runs with its 500 ms monitor period (§4.3).
-    fn wait(
-        &mut self,
-        poll_interval: std::time::Duration,
-    ) -> TransportResult<TransferStatus> {
+    fn wait(&mut self, poll_interval: std::time::Duration) -> TransportResult<TransferStatus> {
         loop {
             let status = self.probe()?;
             if status.outcome.is_some() {
@@ -177,7 +174,11 @@ mod tests {
 
     #[test]
     fn status_progress() {
-        let s = TransferStatus { bytes_done: 25, bytes_total: 100, outcome: None };
+        let s = TransferStatus {
+            bytes_done: 25,
+            bytes_total: 100,
+            outcome: None,
+        };
         assert!((s.progress() - 0.25).abs() < 1e-12);
         let done = TransferStatus::complete(0);
         assert_eq!(done.progress(), 1.0);
@@ -201,7 +202,11 @@ mod tests {
             Ok(if self.done {
                 TransferStatus::complete(self.total)
             } else {
-                TransferStatus { bytes_done: 0, bytes_total: self.total, outcome: None }
+                TransferStatus {
+                    bytes_done: 0,
+                    bytes_total: self.total,
+                    outcome: None,
+                }
             })
         }
         fn send(&mut self) -> TransportResult<()> {
@@ -219,16 +224,25 @@ mod tests {
 
     #[test]
     fn blocking_adapter_runs_to_completion() {
-        let mut t = Instant { done: false, total: 10 };
+        let mut t = Instant {
+            done: false,
+            total: 10,
+        };
         let status = t.receive_blocking().unwrap();
         assert_eq!(status.outcome, Some(TransferVerdict::Complete));
-        let mut t = Instant { done: false, total: 10 };
+        let mut t = Instant {
+            done: false,
+            total: 10,
+        };
         assert_eq!(t.send_blocking().unwrap().bytes_done, 10);
     }
 
     #[test]
     fn nonblocking_wait_polls_probe() {
-        let mut t = Instant { done: false, total: 4 };
+        let mut t = Instant {
+            done: false,
+            total: 4,
+        };
         t.receive().unwrap();
         let status = t.wait(std::time::Duration::from_millis(1)).unwrap();
         assert_eq!(status.outcome, Some(TransferVerdict::Complete));

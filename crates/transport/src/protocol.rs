@@ -48,8 +48,11 @@ impl From<&str> for ProtocolId {
 }
 
 /// Factory creating a transfer for a spec, reading/writing `local`.
-pub type TransferFactory =
-    Arc<dyn Fn(&TransferSpec, Arc<dyn FileStore>) -> TransportResult<Box<dyn OobTransfer>> + Send + Sync>;
+pub type TransferFactory = Arc<
+    dyn Fn(&TransferSpec, Arc<dyn FileStore>) -> TransportResult<Box<dyn OobTransfer>>
+        + Send
+        + Sync,
+>;
 
 /// Thread-safe protocol plugin registry.
 #[derive(Clone, Default)]
@@ -142,7 +145,9 @@ mod tests {
             checksum: None,
             remote: "r".into(),
         };
-        let mut t = reg.create(&ProtocolId::ftp(), &spec, MemStore::new()).unwrap();
+        let mut t = reg
+            .create(&ProtocolId::ftp(), &spec, MemStore::new())
+            .unwrap();
         assert!(t.probe().unwrap().outcome.is_some());
     }
 

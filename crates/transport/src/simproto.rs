@@ -39,7 +39,11 @@ pub struct StarOutcome {
 impl StarOutcome {
     /// Time the last client finished (ZERO when nothing completed).
     pub fn makespan(&self) -> SimTime {
-        self.completions.iter().map(|&(_, t)| t).max().unwrap_or(SimTime::ZERO)
+        self.completions
+            .iter()
+            .map(|&(_, t)| t)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// True when every client in a set of `n` finished.
@@ -115,7 +119,11 @@ pub fn run_bitdew_ftp_star(
 ) -> Rc<RefCell<StarOutcome>> {
     let outcome = Rc::new(RefCell::new(StarOutcome::default()));
     let active = Rc::new(RefCell::new(clients.len()));
-    net.reserve_up(sim, server, *active.borrow() as f64 * cost.control_bytes_per_client);
+    net.reserve_up(
+        sim,
+        server,
+        *active.borrow() as f64 * cost.control_bytes_per_client,
+    );
     for &client in clients {
         let out = Rc::clone(&outcome);
         let active = Rc::clone(&active);
@@ -223,10 +231,12 @@ pub fn bt_fluid_completion(
 
         // Max-min allocation of `supply` across needy peers capped by their
         // downlinks: sort by cap, fill progressively.
-        let mut needy: Vec<usize> =
-            (0..n).filter(|&i| done[i].is_nan()).collect();
+        let mut needy: Vec<usize> = (0..n).filter(|&i| done[i].is_nan()).collect();
         needy.sort_by(|&a, &b| {
-            peers[a].down.partial_cmp(&peers[b].down).expect("finite bw")
+            peers[a]
+                .down
+                .partial_cmp(&peers[b].down)
+                .expect("finite bw")
         });
         let mut rates = vec![0.0f64; n];
         let mut left = supply;
@@ -255,7 +265,9 @@ pub fn bt_fluid_completion(
         t += dt;
     }
     // Anything unfinished gets the cap (shouldn't happen with sane inputs).
-    done.iter().map(|&d| if d.is_nan() { max_t } else { d }).collect()
+    done.iter()
+        .map(|&d| if d.is_nan() { max_t } else { d })
+        .collect()
 }
 
 /// Completion time of the whole swarm (max over peers).
@@ -393,7 +405,10 @@ mod tests {
     #[test]
     fn bt_respects_distinct_frontier() {
         // A swarm cannot finish faster than the seed can upload one copy.
-        let params = BtFluidParams { startup_secs: 0.0, ..Default::default() };
+        let params = BtFluidParams {
+            startup_secs: 0.0,
+            ..Default::default()
+        };
         let t = bt_fluid_makespan(100.0e6, 10.0e6, &gbe_peers(50), &params);
         assert!(t >= 100.0e6 * 1.05 / 10.0e6 - 1.0, "t = {t}");
     }
@@ -402,7 +417,10 @@ mod tests {
     fn bt_heterogeneous_slowest_peer_finishes_last() {
         let params = BtFluidParams::default();
         let mut peers = gbe_peers(5);
-        peers.push(PeerLink { down: 1.0e6, up: 0.25e6 }); // an ADSL straggler
+        peers.push(PeerLink {
+            down: 1.0e6,
+            up: 0.25e6,
+        }); // an ADSL straggler
         let times = bt_fluid_completion(50.0e6, GBE, &peers, &params);
         let straggler = times[5];
         assert!(times[..5].iter().all(|&t| t < straggler));

@@ -98,14 +98,18 @@ impl MemStore {
 
     /// Create an object with the given content (replacing any previous).
     pub fn put(&self, name: &str, content: &[u8]) {
-        self.objects.write().insert(name.to_string(), content.to_vec());
+        self.objects
+            .write()
+            .insert(name.to_string(), content.to_vec());
     }
 }
 
 impl FileStore for MemStore {
     fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Bytes, StoreError> {
         let objects = self.objects.read();
-        let data = objects.get(name).ok_or_else(|| StoreError::NotFound(name.into()))?;
+        let data = objects
+            .get(name)
+            .ok_or_else(|| StoreError::NotFound(name.into()))?;
         let off = offset as usize;
         if off > data.len() {
             return Err(StoreError::OutOfRange);
@@ -168,7 +172,13 @@ impl DiskStore {
     fn path_for(&self, name: &str) -> PathBuf {
         let safe: String = name
             .chars()
-            .map(|c| if c == '/' || c == '\\' || c == '.' && name.starts_with('.') { '_' } else { c })
+            .map(|c| {
+                if c == '/' || c == '\\' || c == '.' && name.starts_with('.') {
+                    '_'
+                } else {
+                    c
+                }
+            })
             .collect();
         self.root.join(safe)
     }
@@ -177,8 +187,7 @@ impl DiskStore {
 impl FileStore for DiskStore {
     fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Bytes, StoreError> {
         let path = self.path_for(name);
-        let mut file = std::fs::File::open(&path)
-            .map_err(|_| StoreError::NotFound(name.into()))?;
+        let mut file = std::fs::File::open(&path).map_err(|_| StoreError::NotFound(name.into()))?;
         let size = file.metadata()?.len();
         if offset > size {
             return Err(StoreError::OutOfRange);
@@ -305,7 +314,10 @@ mod tests {
     fn read_out_of_range() {
         let store = MemStore::new();
         store.put("f", b"abc");
-        assert!(matches!(store.read_at("f", 10, 1), Err(StoreError::OutOfRange)));
+        assert!(matches!(
+            store.read_at("f", 10, 1),
+            Err(StoreError::OutOfRange)
+        ));
         // Reading exactly at EOF yields empty.
         assert_eq!(store.read_at("f", 3, 10).unwrap().len(), 0);
     }

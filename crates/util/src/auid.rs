@@ -32,8 +32,7 @@ impl Auid {
     pub fn generate<R: Rng + ?Sized>(now_nanos: u64, rng: &mut R) -> Auid {
         let seq = SEQ.fetch_add(1, Ordering::Relaxed);
         let node: u64 = rng.gen::<u64>() & 0xffff_ffff_ffff; // 48 bits
-        let value =
-            ((now_nanos as u128) << 64) | ((seq as u128) << 48) | node as u128;
+        let value = ((now_nanos as u128) << 64) | ((seq as u128) << 48) | node as u128;
         // Reserve 0 for NIL.
         Auid(if value == 0 { 1 } else { value })
     }
@@ -82,7 +81,9 @@ impl Auid {
         if parts.next().is_some() || node > 0xffff_ffff_ffff {
             return None;
         }
-        Some(Auid(((ts as u128) << 64) | ((seq as u128) << 48) | node as u128))
+        Some(Auid(
+            ((ts as u128) << 64) | ((seq as u128) << 48) | node as u128,
+        ))
     }
 
     /// Fold to a 64-bit key for DHT placement.
@@ -141,7 +142,10 @@ mod tests {
         assert_eq!(Auid::parse_canonical("xyz"), None);
         assert_eq!(Auid::parse_canonical("1-2-3-4"), None);
         // node component out of range (13 hex digits)
-        assert_eq!(Auid::parse_canonical("0000000000000001-0003-1000000000000"), None);
+        assert_eq!(
+            Auid::parse_canonical("0000000000000001-0003-1000000000000"),
+            None
+        );
     }
 
     #[test]

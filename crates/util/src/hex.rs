@@ -15,7 +15,7 @@ pub fn encode(bytes: &[u8]) -> String {
 /// Decode a hexadecimal string (either case). Returns `None` on odd length or
 /// non-hex characters.
 pub fn decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(s.len() / 2);
@@ -65,7 +65,7 @@ mod tests {
 
         #[test]
         fn decode_rejects_or_roundtrips(s in "[0-9a-fA-F]{0,64}") {
-            if s.len() % 2 == 0 {
+            if s.len().is_multiple_of(2) {
                 let decoded = decode(&s).expect("even-length hex must decode");
                 prop_assert_eq!(encode(&decoded), s.to_lowercase());
             } else {

@@ -27,7 +27,13 @@ impl Default for RunningStats {
 impl RunningStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Absorb one sample.
@@ -141,7 +147,13 @@ impl Histogram {
     /// Panics if `hi <= lo` or `n == 0`.
     pub fn new(lo: f64, hi: f64, n: usize) -> Self {
         assert!(hi > lo && n > 0, "invalid histogram bounds");
-        Histogram { lo, hi, buckets: vec![0; n], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Absorb one sample.
@@ -236,7 +248,10 @@ mod tests {
             a.merge(&b);
             assert_eq!(a.count(), whole.count());
             assert!((a.mean() - whole.mean()).abs() < 1e-9, "split {split}");
-            assert!((a.variance() - whole.variance()).abs() < 1e-9, "split {split}");
+            assert!(
+                (a.variance() - whole.variance()).abs() < 1e-9,
+                "split {split}"
+            );
         }
     }
 

@@ -30,7 +30,9 @@ fn main() {
     let data = Data::slot(Auid(42), "precious-dataset", 5_000_000);
     bd.schedule_data(
         data.clone(),
-        DataAttributes::default().with_replica(5).with_fault_tolerance(true),
+        DataAttributes::default()
+            .with_replica(5)
+            .with_fault_tolerance(true),
     );
 
     // Five initial owners; five spares arriving as owners get killed.
@@ -66,10 +68,16 @@ fn main() {
         let t = r.at.as_secs_f64();
         match &r.event {
             TraceEvent::HostUp { host } => {
-                println!("  {t:7.1}s  + {} joined", pool.borrow().get(*host).spec.name)
+                println!(
+                    "  {t:7.1}s  + {} joined",
+                    pool.borrow().get(*host).spec.name
+                )
             }
             TraceEvent::HostDown { host } => {
-                println!("  {t:7.1}s  ✗ {} crashed", pool.borrow().get(*host).spec.name)
+                println!(
+                    "  {t:7.1}s  ✗ {} crashed",
+                    pool.borrow().get(*host).spec.name
+                )
             }
             TraceEvent::DataScheduled { host, data } => println!(
                 "  {t:7.1}s  → scheduler assigned {data} to {}",

@@ -30,7 +30,9 @@ fn main() {
     updater
         .schedule(&collector, DataAttributes::default().with_replica(0))
         .expect("schedule collector");
-    updater.pin(&collector, DataAttributes::default());
+    updater
+        .pin(&collector, DataAttributes::default())
+        .expect("pin collector");
 
     // The list of updated hosts, filled by the data life-cycle handler —
     // the paper's `UpdaterHandler.onDataCopyEvent`.
@@ -47,7 +49,9 @@ fn main() {
     // The big file to push everywhere — Listing 1:
     //   attr update = { replicat = -1, oob = bittorrent, abstime = 43200 }
     let payload: Vec<u8> = (0..600_000u32).map(|i| (i % 251) as u8).collect();
-    let update = updater.create_data("big_data_to_update", &payload).expect("create");
+    let update = updater
+        .create_data("big_data_to_update", &payload)
+        .expect("create");
     updater.put(&update, &payload).expect("put");
     let attr = updater
         .create_attribute("attr update = { replicat = -1, oob = bittorrent, abstime = 43200 }")
@@ -71,10 +75,8 @@ fn main() {
                 let ack_name = format!("host.{hostname}");
                 if let Ok(ack) = n2.create_data(&ack_name, hostname.as_bytes()) {
                     let _ = n2.put(&ack, hostname.as_bytes());
-                    let _ = n2.schedule(
-                        &ack,
-                        DataAttributes::default().with_affinity(collector_id),
-                    );
+                    let _ =
+                        n2.schedule(&ack, DataAttributes::default().with_affinity(collector_id));
                 }
             }
         }));

@@ -18,15 +18,22 @@ fn main() {
     // A client attaches to the data space.
     let client = BitdewNode::new_client(Arc::clone(&container));
     let content = b"the dew of little bits of data".to_vec();
-    let data = client.create_data("quickstart-payload", &content).expect("create");
+    let data = client
+        .create_data("quickstart-payload", &content)
+        .expect("create");
     client.put(&data, &content).expect("put");
-    println!("created {} ({} bytes, md5 {})", data.name, data.size, data.checksum);
+    println!(
+        "created {} ({} bytes, md5 {})",
+        data.name, data.size, data.checksum
+    );
 
     // Tag it: two replicas, fault tolerant, over the FTP-like protocol.
     client
         .schedule(
             &data,
-            DataAttributes::default().with_replica(2).with_fault_tolerance(true),
+            DataAttributes::default()
+                .with_replica(2)
+                .with_fault_tolerance(true),
         )
         .expect("schedule");
 
@@ -39,7 +46,10 @@ fn main() {
 
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while !(w1.has_cached(data.id) && w2.has_cached(data.id)) {
-        assert!(std::time::Instant::now() < deadline, "replication timed out");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replication timed out"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     h1.stop();

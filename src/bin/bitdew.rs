@@ -38,7 +38,9 @@ fn usage() -> ExitCode {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn cmd_attr(args: &[String]) -> ExitCode {
@@ -93,8 +95,12 @@ fn cmd_md5(args: &[String]) -> ExitCode {
 }
 
 fn cmd_transfer(args: &[String]) -> ExitCode {
-    let nodes: usize = flag(args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(50);
-    let mb: f64 = flag(args, "--mb").and_then(|v| v.parse().ok()).unwrap_or(100.0);
+    let nodes: usize = flag(args, "--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let mb: f64 = flag(args, "--mb")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100.0);
     let proto = flag(args, "--protocol").unwrap_or_else(|| "ftp".into());
     let bytes = mb * 1e6;
     let secs = match proto.as_str() {
@@ -114,7 +120,13 @@ fn cmd_transfer(args: &[String]) -> ExitCode {
             m
         }
         "bt" | "bittorrent" => {
-            let peers = vec![PeerLink { down: 125.0e6, up: 125.0e6 }; nodes];
+            let peers = vec![
+                PeerLink {
+                    down: 125.0e6,
+                    up: 125.0e6
+                };
+                nodes
+            ];
             bt_fluid_makespan(bytes, 125.0e6, &peers, &BtFluidParams::default())
         }
         other => {
@@ -131,7 +143,9 @@ fn cmd_transfer(args: &[String]) -> ExitCode {
 }
 
 fn cmd_blast(args: &[String]) -> ExitCode {
-    let workers: usize = flag(args, "--workers").and_then(|v| v.parse().ok()).unwrap_or(100);
+    let workers: usize = flag(args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
     let proto = match flag(args, "--protocol").as_deref() {
         Some("bt") | Some("bittorrent") => BigFileProtocol::BitTorrent,
         _ => BigFileProtocol::Ftp,

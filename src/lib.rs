@@ -1,13 +1,39 @@
 //! # bitdew — facade crate
 //!
 //! Re-exports every crate of the BitDew-rs workspace under one roof, the
-//! way the original Java distribution shipped one jar. Start with
-//! [`core`] ([`bitdew_core`]) for the programming interfaces; see the
-//! `examples/` directory for runnable walk-throughs:
+//! way the original Java distribution shipped one jar.
+//!
+//! ## Where to start: the three trait APIs
+//!
+//! Applications program against the paper's three interfaces, exposed as
+//! object-safe traits in [`core::api`]:
+//!
+//! * `BitDewApi` — the data space: `create_data`/`create_slot`,
+//!   `put`/`put_many`, non-blocking `get`, `search`, `delete`,
+//!   `create_attribute`;
+//! * `ActiveData` — attribute-driven scheduling: `schedule`/
+//!   `schedule_many`, `pin`, polled life-cycle events;
+//! * `TransferManager` — transfer control: `wait_for`, `try_wait`,
+//!   `wait_all`, `barrier`, `pump`.
+//!
+//! Write code generic over `N: BitDewApi + ActiveData + TransferManager`
+//! and run it on either deployment:
+//!
+//! * [`core::runtime::BitdewNode`] — threads, wall-clock heartbeats, real
+//!   FTP/HTTP/BitTorrent transfers;
+//! * [`core::simdriver::SimNode`] — the discrete-event simulator, virtual
+//!   time, flow-level transfers.
+//!
+//! Every operation returns `core::Result`, failing with the unified
+//! `core::BitdewError` (transport, storage, attribute-parse, catalog-miss,
+//! scheduler, timeout and transfer-failure variants).
+//!
+//! See the `examples/` directory for runnable walk-throughs:
 //!
 //! * `quickstart` — create, tag, replicate a datum;
 //! * `file_updater` — the paper's Listing 1/2 network-update program;
-//! * `blast_mw` — the §5 master/worker application on the threaded runtime;
+//! * `blast_mw` — the §5 master/worker application written once against the
+//!   traits and executed on BOTH the threaded runtime and the simulator;
 //! * `fault_tolerance` — the Fig. 4 churn scenario under the simulator.
 
 #![warn(missing_docs)]

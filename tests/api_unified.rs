@@ -1,0 +1,285 @@
+//! The point of the API redesign, proven end to end: ONE generic scenario
+//! function, written against the three trait APIs of `bitdew::core::api`,
+//! executed on BOTH the threaded runtime (`BitdewNode`) and the
+//! discrete-event simulator (`SimNode`) — plus the batched entry points and
+//! the unified error model under forced failures.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bitdew::core::api::{ActiveData, BitDewApi, BitdewError, TransferManager};
+use bitdew::core::services::transfer::TransferState;
+use bitdew::core::simdriver::{SimBitdew, SimNode};
+use bitdew::core::{
+    BitdewNode, Data, DataAttributes, Locator, RuntimeConfig, ServiceContainer, REPLICA_ALL,
+};
+use bitdew::sim::{topology, Sim, SimDuration, SimTime, Trace};
+use bitdew::transport::ProtocolId;
+
+/// The generic scenario: create + put a replicated datum and a per-protocol
+/// one, schedule both (batched), pump everyone until the workers hold them,
+/// exercise search and the attribute language, then delete and verify the
+/// cascade purge. Never mentions a deployment.
+fn replicate_scenario<N>(client: &N, workers: &[N]) -> bitdew::core::Result<()>
+where
+    N: BitDewApi + ActiveData + TransferManager,
+{
+    let payload: Vec<u8> = (0..60_000u32).map(|i| (i % 251) as u8).collect();
+    let shared = client.create_data("scenario.shared", &payload)?;
+    let solo = client.create_data("scenario.solo", b"just one copy")?;
+    // Batched data-space write, then batched scheduling.
+    client.put_many(&[(shared.clone(), &payload), (solo.clone(), b"just one copy")])?;
+    client.schedule_many(&[
+        (
+            shared.clone(),
+            DataAttributes::default().with_replica(REPLICA_ALL),
+        ),
+        (solo.clone(), DataAttributes::default().with_replica(1)),
+    ])?;
+
+    // Pump until every worker holds the replicated datum.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        client.pump()?;
+        for w in workers {
+            w.pump()?;
+        }
+        if workers.iter().all(|w| w.has_cached(shared.id)) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "replication timed out");
+    }
+    // replica=1 lands on exactly one worker.
+    let solo_owners = workers.iter().filter(|w| w.has_cached(solo.id)).count();
+    assert_eq!(solo_owners, 1, "replica=1 placed exactly once");
+
+    // Content is verifiable wherever it landed.
+    for w in workers {
+        assert_eq!(w.read_local(&shared)?, payload);
+    }
+
+    // The data space answers searches and resolves attribute names.
+    assert_eq!(client.search("scenario.shared")?, vec![shared.clone()]);
+    let attrs =
+        client.create_attribute("attr dep = { replica = 2, affinity = \"scenario.shared\" }")?;
+    assert_eq!(attrs.replica, 2);
+    assert_eq!(attrs.affinity, Some(shared.id));
+
+    // Deletion propagates to every cache.
+    client.delete(&shared)?;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        client.pump()?;
+        for w in workers {
+            w.pump()?;
+        }
+        if workers.iter().all(|w| !w.has_cached(shared.id)) {
+            return Ok(());
+        }
+        assert!(Instant::now() < deadline, "purge timed out");
+    }
+}
+
+#[test]
+fn same_scenario_fn_passes_on_threaded_runtime() {
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let workers: Vec<Arc<BitdewNode>> = (0..2).map(|_| BitdewNode::new(Arc::clone(&c))).collect();
+    replicate_scenario(&client, &workers).expect("threaded run");
+}
+
+#[test]
+fn same_scenario_fn_passes_on_simulator() {
+    let topo = topology::gdx_cluster(3);
+    let sim = Rc::new(RefCell::new(Sim::new(11)));
+    let driver = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_millis(250),
+        Trace::new(),
+    );
+    let client = SimNode::attach_client(&sim, &driver, topo.workers[0], SimTime::ZERO);
+    let workers: Vec<SimNode> = (1..=2)
+        .map(|i| SimNode::attach(&sim, &driver, topo.workers[i], SimTime::ZERO))
+        .collect();
+    replicate_scenario(&client, &workers).expect("simulated run");
+    // And it all happened in virtual time, fast.
+    assert!(sim.borrow().now().as_secs_f64() < 3600.0);
+}
+
+#[test]
+fn wait_all_drives_batched_gets_to_completion() {
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let contents: Vec<Vec<u8>> = (0..4u8)
+        .map(|k| {
+            (0..40_000u32)
+                .map(|i| ((i + k as u32) % 251) as u8)
+                .collect()
+        })
+        .collect();
+    let data: Vec<Data> = contents
+        .iter()
+        .enumerate()
+        .map(|(i, c2)| client.create_data(&format!("batch-{i}"), c2).unwrap())
+        .collect();
+    let batch: Vec<(Data, &[u8])> = data
+        .iter()
+        .cloned()
+        .zip(contents.iter().map(|c2| c2.as_slice()))
+        .collect();
+    client.put_many(&batch).unwrap();
+
+    let fetcher = BitdewNode::new(Arc::clone(&c));
+    let ids: Vec<_> = data.iter().map(|d| fetcher.get(d).unwrap()).collect();
+    let states = fetcher.wait_all(&ids).unwrap();
+    assert!(states.iter().all(|s| *s == TransferState::Complete));
+    for (d, content) in data.iter().zip(&contents) {
+        assert_eq!(&fetcher.read_local(d).unwrap(), content);
+    }
+}
+
+#[test]
+fn transfer_failures_surface_through_the_unified_error_model() {
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+
+    // A datum that was never `put` has no locator: get() is a catalog miss.
+    let ghost = client
+        .create_data("ghost", b"registered but never put")
+        .unwrap();
+    match client.get(&ghost) {
+        Err(BitdewError::CatalogMiss { what }) => assert!(what.contains("ghost"), "{what}"),
+        other => panic!("expected CatalogMiss, got {other:?}"),
+    }
+
+    // A locator pointing at a dead endpoint fails in transport terms.
+    let stale = client.create_data("stale", b"content").unwrap();
+    c.catalog
+        .add_locator(&Locator {
+            data: stale.id,
+            protocol: ProtocolId::ftp(),
+            remote: "no.such.listener".into(),
+            object: stale.object_name(),
+        })
+        .unwrap();
+    match client.get(&stale) {
+        Err(BitdewError::Transport(_)) => {}
+        other => panic!("expected Transport error, got {other:?}"),
+    }
+
+    // Unknown transfer ids are errors, not silent Nones.
+    assert!(matches!(
+        client.try_wait(bitdew::core::services::transfer::TransferId(999_999)),
+        Err(BitdewError::CatalogMiss { .. })
+    ));
+}
+
+#[test]
+fn both_backends_reject_invalid_schedules_identically() {
+    // replica < -1 and self-affinity are scheduler errors on BOTH backends.
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let threaded = BitdewNode::new(Arc::clone(&c));
+
+    let topo = topology::gdx_cluster(1);
+    let sim = Rc::new(RefCell::new(Sim::new(9)));
+    let driver = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_secs(1),
+        Trace::new(),
+    );
+    let simulated = SimNode::attach(&sim, &driver, topo.workers[0], SimTime::ZERO);
+
+    fn probe<N: BitDewApi + ActiveData>(node: &N) {
+        let d = node.create_data("strict", b"x").unwrap();
+        match node.schedule(&d, DataAttributes::default().with_replica(-7)) {
+            Err(BitdewError::Scheduler { what }) => assert!(what.contains("-7"), "{what}"),
+            other => panic!("expected Scheduler error, got {other:?}"),
+        }
+        match node.schedule(&d, DataAttributes::default().with_affinity(d.id)) {
+            Err(BitdewError::Scheduler { what }) => assert!(what.contains("itself"), "{what}"),
+            other => panic!("expected Scheduler error, got {other:?}"),
+        }
+    }
+    probe(&threaded);
+    probe(&simulated);
+}
+
+#[test]
+fn sim_transfer_failure_reports_failed_state() {
+    // Under the simulator: a direct get whose host dies mid-flow resolves
+    // Failed through the same TransferManager surface.
+    let topo = topology::gdx_cluster(1);
+    let sim = Rc::new(RefCell::new(Sim::new(5)));
+    let driver = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_secs(1),
+        Trace::new(),
+    );
+    let node = SimNode::attach(&sim, &driver, topo.workers[0], SimTime::ZERO);
+    let big = node.create_data("doomed", &[1u8; 64]).unwrap();
+    // Describe it as a large transfer so the flow is still running when the
+    // host is killed (content size is metadata in the simulator; the empty
+    // `put` marks it available, as a slot carries no checksum to violate).
+    let big = Data::slot(big.id, "doomed", 500_000_000);
+    driver.register_data(&big);
+    node.put(&big, b"").unwrap();
+    let tid = node.get(&big).unwrap();
+
+    let net = topo.net.clone();
+    let victim = topo.workers[0];
+    sim.borrow_mut()
+        .schedule_at(SimTime::from_secs(2), move |sim| {
+            net.set_host_enabled(sim, victim, false);
+        });
+    assert_eq!(node.wait_for(tid).unwrap(), TransferState::Failed);
+}
+
+#[test]
+fn try_wait_is_nonblocking_on_both_backends() {
+    // Threaded: an in-flight transfer reports None, then Complete.
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let content = vec![9u8; 200_000];
+    let d = client.create_data("poll-me", &content).unwrap();
+    client.put(&d, &content).unwrap();
+    let fetcher = BitdewNode::new(Arc::clone(&c));
+    let tid = fetcher.get(&d).unwrap();
+    // Poll until terminal without ever calling the blocking wait.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let final_state = loop {
+        if let Some(s) = fetcher.try_wait(tid).unwrap() {
+            break s;
+        }
+        assert!(Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    assert_eq!(final_state, TransferState::Complete);
+
+    // Simulator: try_wait never advances virtual time.
+    let topo = topology::gdx_cluster(1);
+    let sim = Rc::new(RefCell::new(Sim::new(6)));
+    let driver = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_secs(1),
+        Trace::new(),
+    );
+    let node = SimNode::attach(&sim, &driver, topo.workers[0], SimTime::ZERO);
+    let content = vec![2u8; 10_000_000];
+    let d = node.create_data("sim-poll", &content).unwrap();
+    node.put(&d, &content).unwrap();
+    let tid = node.get(&d).unwrap();
+    let before = sim.borrow().now();
+    assert_eq!(node.try_wait(tid).unwrap(), None);
+    assert_eq!(
+        sim.borrow().now(),
+        before,
+        "try_wait must not advance the clock"
+    );
+    assert_eq!(node.wait_for(tid).unwrap(), TransferState::Complete);
+}

@@ -32,17 +32,27 @@ fn full_pipeline_over_all_three_protocols() {
     let c = ServiceContainer::start(RuntimeConfig::default());
     let client = BitdewNode::new_client(Arc::clone(&c));
     let mut payloads = Vec::new();
-    for (i, proto) in [ProtocolId::ftp(), ProtocolId::http(), ProtocolId::bittorrent()]
-        .into_iter()
-        .enumerate()
+    for (i, proto) in [
+        ProtocolId::ftp(),
+        ProtocolId::http(),
+        ProtocolId::bittorrent(),
+    ]
+    .into_iter()
+    .enumerate()
     {
-        let content: Vec<u8> = (0..300_000u32).map(|x| ((x + i as u32 * 7) % 251) as u8).collect();
-        let data = client.create_data(&format!("multi-{proto}"), &content).unwrap();
+        let content: Vec<u8> = (0..300_000u32)
+            .map(|x| ((x + i as u32 * 7) % 251) as u8)
+            .collect();
+        let data = client
+            .create_data(&format!("multi-{proto}"), &content)
+            .unwrap();
         client.put(&data, &content).unwrap();
         client
             .schedule(
                 &data,
-                DataAttributes::default().with_replica(REPLICA_ALL).with_protocol(proto),
+                DataAttributes::default()
+                    .with_replica(REPLICA_ALL)
+                    .with_protocol(proto),
             )
             .unwrap();
         payloads.push((data, content));
@@ -52,12 +62,17 @@ fn full_pipeline_over_all_three_protocols() {
     let nodes = [Arc::clone(&w1), Arc::clone(&w2)];
     assert!(pump_until(
         &nodes,
-        || payloads.iter().all(|(d, _)| w1.has_cached(d.id) && w2.has_cached(d.id)),
+        || payloads
+            .iter()
+            .all(|(d, _)| w1.has_cached(d.id) && w2.has_cached(d.id)),
         120
     ));
     for (data, content) in &payloads {
         for w in [&w1, &w2] {
-            let got = w.local_store().read_at(&data.object_name(), 0, content.len()).unwrap();
+            let got = w
+                .local_store()
+                .read_at(&data.object_name(), 0, content.len())
+                .unwrap();
             assert_eq!(&got[..], &content[..], "content of {} verified", data.name);
         }
     }
@@ -68,8 +83,10 @@ fn fault_tolerant_data_moves_to_surviving_worker() {
     // replica=1, ft=true: worker 1 takes the datum and "crashes" (stops
     // heartbeating); after the detector timeout the datum must reappear on
     // worker 2. Uses a fast heartbeat so the test runs in milliseconds.
-    let mut config = RuntimeConfig::default();
-    config.heartbeat = Duration::from_millis(30);
+    let config = RuntimeConfig {
+        heartbeat: Duration::from_millis(30),
+        ..Default::default()
+    };
     let c = ServiceContainer::start(config);
     let client = BitdewNode::new_client(Arc::clone(&c));
     let content = vec![7u8; 40_000];
@@ -78,12 +95,18 @@ fn fault_tolerant_data_moves_to_surviving_worker() {
     client
         .schedule(
             &data,
-            DataAttributes::default().with_replica(1).with_fault_tolerance(true),
+            DataAttributes::default()
+                .with_replica(1)
+                .with_fault_tolerance(true),
         )
         .unwrap();
 
     let w1 = BitdewNode::new(Arc::clone(&c));
-    assert!(pump_until(&[Arc::clone(&w1)], || w1.has_cached(data.id), 30));
+    assert!(pump_until(
+        &[Arc::clone(&w1)],
+        || w1.has_cached(data.id),
+        30
+    ));
 
     // w1 goes silent. Drive only w2 plus the failure detector.
     let w2 = BitdewNode::new(Arc::clone(&c));
@@ -103,7 +126,9 @@ fn relative_lifetime_cascade_cleans_worker_caches() {
     let c = ServiceContainer::start(RuntimeConfig::default());
     let client = BitdewNode::new_client(Arc::clone(&c));
     let anchor = client.create_slot("anchor", 0).unwrap();
-    client.schedule(&anchor, DataAttributes::default().with_replica(REPLICA_ALL)).unwrap();
+    client
+        .schedule(&anchor, DataAttributes::default().with_replica(REPLICA_ALL))
+        .unwrap();
     let dep = client.create_data("dependent", b"payload").unwrap();
     client.put(&dep, b"payload").unwrap();
     client
@@ -116,11 +141,22 @@ fn relative_lifetime_cascade_cleans_worker_caches() {
         .unwrap();
     let w = BitdewNode::new(Arc::clone(&c));
     let nodes = [Arc::clone(&w)];
-    assert!(pump_until(&nodes, || w.has_cached(dep.id) && w.has_cached(anchor.id), 30));
+    assert!(pump_until(
+        &nodes,
+        || w.has_cached(dep.id) && w.has_cached(anchor.id),
+        30
+    ));
 
     client.delete(&anchor).unwrap();
-    assert!(pump_until(&nodes, || !w.has_cached(dep.id) && !w.has_cached(anchor.id), 30));
-    assert!(!w.local_store().exists(&dep.object_name()), "content purged too");
+    assert!(pump_until(
+        &nodes,
+        || !w.has_cached(dep.id) && !w.has_cached(anchor.id),
+        30
+    ));
+    assert!(
+        !w.local_store().exists(&dep.object_name()),
+        "content purged too"
+    );
 }
 
 #[test]
@@ -132,21 +168,24 @@ fn events_follow_the_listing2_contract() {
     let data = client.create_data("update", b"v2").unwrap();
     client.put(&data, b"v2").unwrap();
 
-    let log: Arc<std::sync::Mutex<Vec<String>>> =
-        Arc::new(std::sync::Mutex::new(Vec::new()));
+    let log: Arc<std::sync::Mutex<Vec<String>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
     let w = BitdewNode::new(Arc::clone(&c));
     let l2 = Arc::clone(&log);
     let l3 = Arc::clone(&log);
     w.add_callback(
         CallbackHandler::new()
             .on_copy(move |d, a| {
-                l2.lock().unwrap().push(format!("copy:{}:r{}", d.name, a.replica));
+                l2.lock()
+                    .unwrap()
+                    .push(format!("copy:{}:r{}", d.name, a.replica));
             })
             .on_delete(move |d, _| {
                 l3.lock().unwrap().push(format!("delete:{}", d.name));
             }),
     );
-    client.schedule(&data, DataAttributes::default().with_replica(2)).unwrap();
+    client
+        .schedule(&data, DataAttributes::default().with_replica(2))
+        .unwrap();
     let nodes = [Arc::clone(&w)];
     assert!(pump_until(&nodes, || !log.lock().unwrap().is_empty(), 30));
     assert_eq!(log.lock().unwrap()[0], "copy:update:r2");
@@ -160,33 +199,41 @@ fn events_follow_the_listing2_contract() {
 fn mw_survives_worker_crash_mid_run() {
     // Tasks are ft=true: a worker that dies after claiming tasks must not
     // stall the run — the failure detector frees its tasks for the others.
-    let mut config = RuntimeConfig::default();
-    config.heartbeat = Duration::from_millis(30);
+    let config = RuntimeConfig {
+        heartbeat: Duration::from_millis(30),
+        ..Default::default()
+    };
     let c = ServiceContainer::start(config);
     let master_node = BitdewNode::new_client(Arc::clone(&c));
-    let master = MwMaster::new(Arc::clone(&master_node)).unwrap();
+    let mut master = MwMaster::new(Arc::clone(&master_node)).unwrap();
     let compute: ComputeFn = Arc::new(|name, _| name.as_bytes().to_vec());
 
-    let w1 = BitdewNode::new(Arc::clone(&c));
-    let _mw1 = MwWorker::attach(Arc::clone(&w1), master.collector().id, Arc::clone(&compute));
+    let mut mw1 = MwWorker::attach(
+        BitdewNode::new(Arc::clone(&c)),
+        master.collector().id,
+        Arc::clone(&compute),
+    );
     for i in 0..4 {
         master.submit(&format!("t{i}"), b"input").unwrap();
     }
     // Let w1 claim some tasks…
     for _ in 0..10 {
-        w1.sync_once();
-        master_node.sync_once();
+        mw1.pump().unwrap();
+        master.pump().unwrap();
         std::thread::sleep(Duration::from_millis(3));
     }
-    // …then w1 "crashes" (no more syncs). A fresh worker finishes the job.
-    let w2 = BitdewNode::new(Arc::clone(&c));
-    let _mw2 = MwWorker::attach(Arc::clone(&w2), master.collector().id, compute);
+    // …then w1 "crashes" (no more pumps). A fresh worker finishes the job.
+    let mut mw2 = MwWorker::attach(
+        BitdewNode::new(Arc::clone(&c)),
+        master.collector().id,
+        compute,
+    );
     let deadline = Instant::now() + Duration::from_secs(60);
     while master.results().len() < 4 {
         assert!(Instant::now() < deadline, "MW run stalled after crash");
         c.detect_failures();
-        w2.sync_once();
-        master_node.sync_once();
+        mw2.pump().unwrap();
+        master.pump().unwrap();
         std::thread::sleep(Duration::from_millis(5));
     }
     assert_eq!(master.results().len(), 4);
@@ -209,5 +256,5 @@ fn search_and_attribute_language_work_end_to_end() {
     assert_eq!(attrs.affinity, Some(gene.id));
     assert_eq!(attrs.protocol, ProtocolId::http());
     // And the search API finds the referenced datum.
-    assert_eq!(node.search("Genebase"), vec![gene]);
+    assert_eq!(node.search("Genebase").unwrap(), vec![gene]);
 }

@@ -25,8 +25,14 @@ fn real_swarm_offloads_a_constrained_seeder() {
     let data: Vec<u8> = (0..512 * 1024).map(|i| (i % 251) as u8).collect();
     seed_store.put("blob", &data);
     let torrent = Torrent::describe(seed_store.as_ref(), "blob", 16 * 1024, "tracker").unwrap();
-    let seeder =
-        BtPeer::start(&fabric, "seed", torrent.clone(), seed_store, full_have(&torrent), 1);
+    let seeder = BtPeer::start(
+        &fabric,
+        "seed",
+        torrent.clone(),
+        seed_store,
+        full_have(&torrent),
+        1,
+    );
     announce(&fabric, "tracker", "blob", "seed").unwrap();
     let start = Instant::now();
     std::thread::scope(|s| {
@@ -50,14 +56,20 @@ fn real_swarm_offloads_a_constrained_seeder() {
                     store as _,
                     have,
                     &format!("peer-{i}"),
-                    &LeechConfig { seed: i as u64, ..Default::default() },
+                    &LeechConfig {
+                        seed: i as u64,
+                        ..Default::default()
+                    },
                     None,
                 )
                 .unwrap();
             });
         }
     });
-    assert!(start.elapsed().as_secs_f64() < 60.0, "swarm finished promptly");
+    assert!(
+        start.elapsed().as_secs_f64() < 60.0,
+        "swarm finished promptly"
+    );
     // With in-memory transfer speeds the single slot may or may not be
     // contended at the instant of each request; when it was, the choke path
     // fired and the swarm still completed (choking is retry-able, and the
@@ -65,7 +77,10 @@ fn real_swarm_offloads_a_constrained_seeder() {
     println!("seeder choked {} requests", seeder.choked_requests());
 
     // And the fluid model shows the matching sublinear scaling.
-    let params = BtFluidParams { startup_secs: 0.0, ..Default::default() };
+    let params = BtFluidParams {
+        startup_secs: 0.0,
+        ..Default::default()
+    };
     let peers2 = vec![PeerLink { down: 1e6, up: 1e6 }; 2];
     let peers6 = vec![PeerLink { down: 1e6, up: 1e6 }; 6];
     let f2 = bt_fluid_completion(5e6, 1e6, &peers2, &params)
@@ -74,7 +89,10 @@ fn real_swarm_offloads_a_constrained_seeder() {
     let f6 = bt_fluid_completion(5e6, 1e6, &peers6, &params)
         .into_iter()
         .fold(0.0, f64::max);
-    assert!(f6 < f2 * 3.0 * 0.9, "fluid model sublinear: {f2:.1}s vs {f6:.1}s");
+    assert!(
+        f6 < f2 * 3.0 * 0.9,
+        "fluid model sublinear: {f2:.1}s vs {f6:.1}s"
+    );
 }
 
 proptest! {

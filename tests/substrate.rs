@@ -21,11 +21,13 @@ fn catalog_metadata_survives_restart() {
     {
         let mut db = DewDb::open(dir.path(), SyncPolicy::EveryAppend).unwrap();
         for i in 0..500u32 {
-            db.put("dc_data", &key(i), format!("datum-{i}").as_bytes()).unwrap();
+            db.put("dc_data", &key(i), format!("datum-{i}").as_bytes())
+                .unwrap();
         }
         db.checkpoint().unwrap();
         for i in 500..700u32 {
-            db.put("dc_data", &key(i), format!("datum-{i}").as_bytes()).unwrap();
+            db.put("dc_data", &key(i), format!("datum-{i}").as_bytes())
+                .unwrap();
         }
         for i in 0..100u32 {
             db.delete("dc_data", &key(i)).unwrap();
@@ -44,11 +46,20 @@ fn dht_under_sustained_churn_keeps_replicated_keys() {
     // inherently fault-tolerant" (§3.4.1) is a property we must actually
     // provide, not assume.
     let mut rng = SmallRng::seed_from_u64(77);
-    let mut overlay = build_overlay(DhtConfig { arity: 4, replication: 4 }, 40, &mut rng);
+    let mut overlay = build_overlay(
+        DhtConfig {
+            arity: 4,
+            replication: 4,
+        },
+        40,
+        &mut rng,
+    );
     let origin0 = overlay.members()[0];
     let keys: Vec<RingPos> = (0..120).map(|_| RingPos(rng.gen())).collect();
     for (i, &k) in keys.iter().enumerate() {
-        overlay.put(origin0, k, (i as u32).to_le_bytes().to_vec()).unwrap();
+        overlay
+            .put(origin0, k, (i as u32).to_le_bytes().to_vec())
+            .unwrap();
     }
     for round in 0..10 {
         let members = overlay.members();
@@ -101,7 +112,10 @@ fn simulator_runs_are_bit_deterministic() {
     assert_eq!(a, b, "identical seeds replay identically");
     let c = run(2);
     assert!((a.0 - c.0).abs() < 1e-9, "physics independent of seed");
-    assert!((a.2 - 25.0 * 77.7e6).abs() / a.2 < 1e-6, "all bytes accounted");
+    assert!(
+        (a.2 - 25.0 * 77.7e6).abs() / a.2 < 1e-6,
+        "all bytes accounted"
+    );
 }
 
 #[test]

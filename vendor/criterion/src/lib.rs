@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/builder surface the workspace's benches use. Each
+//! benchmark runs its closure for a fixed warm-up and a bounded measurement
+//! loop, then prints the mean iteration time — honest numbers, minus
+//! criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value wrapper.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark harness configuration and dispatcher.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time budget for the measurement loop.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), None, self, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.throughput, self.criterion, &mut f);
+        self
+    }
+
+    /// Finish the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; drives the timed loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the harness-chosen iteration count.
+    pub fn iter<F, R>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(
+    name: &str,
+    throughput: Option<Throughput>,
+    config: &Criterion,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm up and calibrate the iteration count from a single probe run.
+    let mut probe = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_deadline = Instant::now() + config.warm_up_time;
+    f(&mut probe);
+    while Instant::now() < warm_deadline {
+        f(&mut probe);
+    }
+    let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+    let budget = config.measurement_time.max(Duration::from_millis(1));
+    let iters = ((budget.as_secs_f64() / config.sample_size as f64) / per_iter.as_secs_f64())
+        .clamp(1.0, 1e7) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += b.iters;
+    }
+    let mean = total.as_secs_f64() / total_iters.max(1) as f64;
+    match throughput {
+        Some(Throughput::Bytes(n)) => println!(
+            "{name}: {:.3} µs/iter ({:.1} MB/s)",
+            mean * 1e6,
+            n as f64 / mean / 1e6
+        ),
+        Some(Throughput::Elements(n)) => println!(
+            "{name}: {:.3} µs/iter ({:.0} elem/s)",
+            mean * 1e6,
+            n as f64 / mean
+        ),
+        None => println!("{name}: {:.3} µs/iter", mean * 1e6),
+    }
+}
+
+/// Declare a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        g.finish();
+        c.bench_function("mul", |b| b.iter(|| black_box(3u64) * black_box(4)));
+    }
+
+    #[test]
+    fn harness_runs_quickly() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        trivial(&mut c);
+    }
+}

@@ -1,0 +1,366 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the API subset this workspace uses: the [`proptest!`] macro
+//! (with optional `#![proptest_config]`), range and `any::<T>()` strategies,
+//! [`collection::vec`], [`bool::ANY`], and string strategies for simple
+//! regex patterns (`.{a,b}` and `[set]{a,b}` forms). No shrinking: a failing
+//! case fails the test with the sampled inputs printed by the assertion.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+/// Deterministic per-(test, case) RNG, so failures replay.
+#[doc(hidden)]
+pub fn test_rng(test_name: &str, case: u32) -> SmallRng {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut h);
+    case.hash(&mut h);
+    SmallRng::seed_from_u64(h.finish())
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a whole-domain strategy ([`any`]).
+pub trait Arbitrary {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+/// Strategy over a type's whole domain.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Whole-domain strategy for `T` (`any::<u64>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    /// Strategy yielding either boolean.
+    pub struct AnyBool;
+
+    impl super::Strategy for AnyBool {
+        type Value = core::primitive::bool;
+        fn sample(&self, rng: &mut super::SmallRng) -> core::primitive::bool {
+            use rand::Rng;
+            rng.gen()
+        }
+    }
+
+    /// Either boolean, uniformly.
+    pub const ANY: AnyBool = AnyBool;
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SmallRng, Strategy};
+
+    /// Strategy for `Vec<T>` with element strategy `S` and a size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+// --- String strategies from simple regex patterns ---------------------------
+
+enum Atom {
+    /// `.` — any printable character.
+    AnyChar,
+    /// `[...]` — one of an explicit set.
+    Set(Vec<char>),
+    /// A literal character.
+    Lit(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (a, b) = (chars[i], chars[i + 2]);
+                        assert!(a <= b, "bad range in pattern `{pat}`");
+                        for c in a..=b {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated `[` in pattern `{pat}`");
+                i += 1; // consume ']'
+                Atom::Set(set)
+            }
+            c if !"\\^$()|*+?".contains(c) => {
+                i += 1;
+                Atom::Lit(c)
+            }
+            c => panic!("unsupported regex construct `{c}` in pattern `{pat}` (stub proptest)"),
+        };
+        // Optional {n} / {a,b} repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated `{{` in pattern `{pat}`"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("repeat lower bound"),
+                    b.trim().parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut SmallRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let n = rng.gen_range(piece.min..piece.max + 1);
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Set(set) => {
+                        assert!(!set.is_empty(), "empty character class");
+                        out.push(set[rng.gen_range(0..set.len())]);
+                    }
+                    Atom::AnyChar => {
+                        // Printable ASCII with occasional newline/unicode to
+                        // probe parser robustness.
+                        let c = match rng.gen_range(0u32..20) {
+                            0 => '\n',
+                            1 => 'é',
+                            _ => char::from(rng.gen_range(0x20u8..0x7f)),
+                        };
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Run a block of property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))] // optional
+///     #[test]
+///     fn prop(x in 0u32..10, s in ".{0,8}") { assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_rng(stringify!($name), __case);
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )*
+                    // One-shot closure so `prop_assume!` can skip the case
+                    // with an early return.
+                    let __body = move || { $body };
+                    __body();
+                }
+            }
+        )*
+    };
+}
+
+/// Property assertion (plain `assert!` in the stub — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case unless `cond` holds (the stub discards rather than
+/// resamples; the budget of cases is not refilled).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in -3i64..3, u in 0usize..5, f in 0.0f64..1.0) {
+            prop_assert!((-3..3).contains(&x));
+            prop_assert!(u < 5);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[0-9a-f]{0,8}", t in ".{0,16}") {
+            prop_assert!(s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+            prop_assert!(t.chars().count() <= 16);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn config_form_compiles(b in crate::bool::ANY) {
+            let _: bool = b;
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`: the workspace derives
+//! `Serialize`/`Deserialize` on value types but never serializes through
+//! serde (the storage layer has its own codec), so marker traits plus no-op
+//! derives satisfy every use site.
+
+/// Marker for serde-serializable types (no-op in the offline stand-in).
+pub trait Serialize {}
+
+/// Marker for serde-deserializable types (no-op in the offline stand-in).
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on value types for
+//! forward compatibility but never feeds them to a serde data format (the
+//! storage layer owns its own binary codec), so the derives expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
