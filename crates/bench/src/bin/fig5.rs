@@ -3,7 +3,7 @@
 //! The paper ran NCBI BLAST with a 2.68 GB Genebase on 10–275 workers, with
 //! the big shared files delivered by FTP or BitTorrent: "when the number of
 //! workers is relatively small (10 and 20), the performance of BitTorrent is
-//! worse th[a]n FTP. But when the number of workers still increases from 50
+//! worse th\[a\]n FTP. But when the number of workers still increases from 50
 //! to 250, the total time of FTP increases considerably, in contrast the
 //! line for BitTorrent is nearly flat."
 

@@ -47,7 +47,7 @@
 //! (`TransportError`/`DbError`/`StoreError`/`AttrError`), so service
 //! plumbing propagates with `?` and callers match one type.
 //!
-//! ## The D* services
+//! ## The D* services and the sharded service plane
 //!
 //! Behind the APIs sit the four services of §3.4, plain state machines in
 //! [`services`]:
@@ -62,6 +62,25 @@
 //! * **Data Scheduler** ([`services::scheduler`]) — Algorithm 1: reservoir
 //!   hosts heartbeat their cache, the scheduler returns the new cache,
 //!   resolving lifetime, affinity, replication and fault tolerance.
+//!
+//! The paper hosts DC/DR/DS/DT in one service process; this crate goes one
+//! step further: the metadata/placement plane (DC + DS) is **horizontally
+//! partitioned** by the [`shard`] module. [`shard::ShardRouter`] maps every
+//! [`DataId`] onto one of N shards by splitting `bitdew-dht`'s 2^64 ring
+//! into equal consistent-hash arcs; [`shard::ShardedPlane`] owns N
+//! `(DataCatalog, DataScheduler)` pairs, each with its own database and its
+//! own lock, so shards never contend. A reservoir synchronization is
+//! fan-out/merge — the host's cache Δk splits by shard, Algorithm 1's two
+//! steps run per shard (cross-shard affinity chains and relative lifetimes
+//! resolve through a shared registry), and one *global* `MaxDataSchedule`
+//! budget is threaded through the shards deterministically, so an N-shard
+//! plane converges to the same placements as the paper's monolith
+//! (`shards = 1`, the [`RuntimeConfig`] default). Both deployments build
+//! the plane: the threaded [`ServiceContainer`] from
+//! `RuntimeConfig::shards`, the simulator via
+//! [`simdriver::SimBitdew::with_shards`] — where per-shard service latency
+//! is charged on parallel shard queues, making the plane's horizontal
+//! scaling measurable in virtual time (the `shard_scale` bench).
 
 #![warn(missing_docs)]
 
@@ -72,6 +91,7 @@ pub mod data;
 pub mod events;
 pub mod runtime;
 pub mod services;
+pub mod shard;
 pub mod simdriver;
 
 pub use api::{
@@ -83,3 +103,4 @@ pub use data::{Data, DataFlags, DataId, Locator};
 pub use events::{ActiveDataEventHandler, CallbackHandler};
 pub use runtime::{BitdewNode, NodeHandle, RuntimeConfig, ServiceContainer, SyncSummary};
 pub use services::{DataCatalog, DataRepository, DataScheduler, DataTransfer};
+pub use shard::{ShardRouter, ShardedPlane, ShardedScheduler};

@@ -5,7 +5,9 @@
 //! setup, obtain the three APIs, and reservoir agents heartbeat the Data
 //! Scheduler, pulling data per Algorithm 1.
 //!
-//! * [`ServiceContainer`] — the stable node: DC + DR + DT + DS over the
+//! * [`ServiceContainer`] — the stable node: the sharded DC + DS plane
+//!   ([`crate::shard::ShardedPlane`], `RuntimeConfig::shards` partitions;
+//!   1 = the paper's monolithic service node) plus DR + DT over the
 //!   in-process fabric, with the protocol-dispatching transfer builder.
 //! * [`BitdewNode`] — a volatile client/reservoir: local store, cache,
 //!   life-cycle event handlers, and the synchronization loop
@@ -20,6 +22,7 @@
 //! returns [`crate::Result`].
 
 use std::collections::{HashMap, VecDeque};
+use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -31,7 +34,7 @@ use bitdew_transport::bittorrent::{self, BtPeer, BtTransfer, LeechConfig};
 use bitdew_transport::ftp::{Direction, FtpTransfer};
 use bitdew_transport::http::{HttpMethod, HttpTransfer};
 use bitdew_transport::oob::{OobTransfer, TransferSpec, TransferStatus};
-use bitdew_transport::{Fabric, FileStore, MemStore, ProtocolId, TransportError, TransportResult};
+use bitdew_transport::{Fabric, FileStore, MemStore, ProtocolId, TransportError};
 use bitdew_util::Auid;
 
 use crate::api::{
@@ -41,10 +44,11 @@ use crate::attr::DataAttributes;
 use crate::attrparse;
 use crate::data::{Data, DataId, Locator};
 use crate::events::ActiveDataEventHandler;
-use crate::services::catalog::{DataCatalog, DbAccess};
+use crate::services::catalog::DbAccess;
 use crate::services::repository::DataRepository;
-use crate::services::scheduler::{DataScheduler, HostUid, SyncRole};
+use crate::services::scheduler::{HostUid, SyncRole};
 use crate::services::transfer::{DataTransfer, TransferBuilder, TransferId, TransferState};
+use crate::shard::ShardedPlane;
 
 /// Runtime tuning parameters.
 #[derive(Debug, Clone)]
@@ -53,13 +57,18 @@ pub struct RuntimeConfig {
     pub heartbeat: Duration,
     /// Failure-detector timeout = `detector_factor` × heartbeat (§4.4: 3×).
     pub detector_factor: u32,
-    /// Algorithm 1's `MaxDataSchedule` cap.
+    /// Algorithm 1's `MaxDataSchedule` cap — global across all shards.
     pub max_data_schedule: usize,
     /// DT retry budget per transfer.
     pub max_retries: u32,
     /// Per-node concurrent download cap (the TransferManager "level of
     /// transfers concurrency", §3.1).
     pub max_concurrent_downloads: usize,
+    /// Service-plane shards: the DC + DS are partitioned over this many
+    /// consistent-hash shards, each with its own database and its own lock
+    /// (see [`crate::shard`]). `1` reproduces the paper's monolithic
+    /// service node.
+    pub shards: NonZeroUsize,
 }
 
 impl Default for RuntimeConfig {
@@ -70,6 +79,7 @@ impl Default for RuntimeConfig {
             max_data_schedule: 64,
             max_retries: 3,
             max_concurrent_downloads: 8,
+            shards: NonZeroUsize::MIN,
         }
     }
 }
@@ -78,12 +88,11 @@ impl Default for RuntimeConfig {
 pub struct ServiceContainer {
     /// The in-process network.
     pub fabric: Fabric,
-    /// Data Catalog.
-    pub catalog: Arc<DataCatalog>,
+    /// The sharded DC + DS service plane (N = `config.shards`; one
+    /// catalog database and one scheduler lock per shard).
+    pub plane: Arc<ShardedPlane>,
     /// Data Repository.
     pub repository: Arc<DataRepository>,
-    /// Data Scheduler (Algorithm 1).
-    pub scheduler: Mutex<DataScheduler>,
     /// Data Transfer.
     pub transfer: Arc<DataTransfer>,
     config: RuntimeConfig,
@@ -91,9 +100,9 @@ pub struct ServiceContainer {
 }
 
 impl ServiceContainer {
-    /// Start a container with an in-memory repository store and an embedded
-    /// pooled database (the common case; Table 2's other combinations are
-    /// exercised directly by the bench harness).
+    /// Start a container with an in-memory repository store and embedded
+    /// pooled databases, one per shard (the common case; Table 2's other
+    /// combinations are exercised directly by the bench harness).
     pub fn start(config: RuntimeConfig) -> Arc<ServiceContainer> {
         let fabric = Fabric::new();
         Self::start_on(fabric, MemStore::new(), config)
@@ -105,21 +114,25 @@ impl ServiceContainer {
         repo_store: Arc<dyn FileStore>,
         config: RuntimeConfig,
     ) -> Arc<ServiceContainer> {
-        let driver = Arc::new(EmbeddedDriver::new(DewDb::in_memory()));
-        let pool = ConnectionPool::new(driver, 8);
-        let catalog = Arc::new(DataCatalog::new(DbAccess::Pooled(pool)));
-        let repository = Arc::new(DataRepository::start(&fabric, "dr", repo_store));
         let timeout = config.heartbeat.as_nanos() as u64 * config.detector_factor as u64;
-        let scheduler = Mutex::new(DataScheduler::new(timeout, config.max_data_schedule));
+        let plane = Arc::new(ShardedPlane::new(
+            config.shards,
+            timeout,
+            config.max_data_schedule,
+            |_shard| {
+                let driver = Arc::new(EmbeddedDriver::new(DewDb::in_memory()));
+                DbAccess::Pooled(ConnectionPool::new(driver, 8))
+            },
+        ));
+        let repository = Arc::new(DataRepository::start(&fabric, "dr", repo_store));
 
         let builder = Self::make_builder(fabric.clone(), Arc::clone(&repository));
         let transfer = DataTransfer::new(builder, config.max_retries);
 
         Arc::new(ServiceContainer {
             fabric,
-            catalog,
+            plane,
             repository,
-            scheduler,
             transfer,
             config,
             epoch: Instant::now(),
@@ -139,7 +152,12 @@ impl ServiceContainer {
     /// Run the heartbeat failure detector once; returns hosts declared dead.
     pub fn detect_failures(&self) -> Vec<HostUid> {
         let now = self.now_nanos();
-        self.scheduler.lock().detect_failures(now)
+        self.plane.scheduler().detect_failures(now)
+    }
+
+    /// Current owner set Ω(d) in the Data Scheduler.
+    pub fn owners_of(&self, id: DataId) -> Vec<HostUid> {
+        self.plane.scheduler().owners_of(id)
     }
 
     /// The protocol-dispatching transfer builder: FTP and HTTP pull from the
@@ -175,7 +193,10 @@ impl ServiceContainer {
                     )) as Box<dyn OobTransfer + Send>)
                 } else if locator.protocol == ProtocolId::bittorrent() {
                     let torrent = repository.torrent_for(data).ok_or_else(|| {
-                        TransportError::Protocol(format!("no torrent registered for {}", data.name))
+                        BitdewError::Transport(TransportError::Protocol(format!(
+                            "no torrent registered for {}",
+                            data.name
+                        )))
                     })?;
                     let n = counter.fetch_add(1, Ordering::Relaxed);
                     let listener = format!("bt.leech.{}.{}", data.id.to_canonical(), n);
@@ -201,10 +222,10 @@ impl ServiceContainer {
                     );
                     Ok(Box::new(LeechGuard { _peer: peer, inner }) as Box<dyn OobTransfer + Send>)
                 } else {
-                    Err(TransportError::Protocol(format!(
+                    Err(BitdewError::Transport(TransportError::Protocol(format!(
                         "unsupported protocol {}",
                         locator.protocol
-                    )))
+                    ))))
                 }
             },
         )
@@ -212,26 +233,28 @@ impl ServiceContainer {
 }
 
 /// Keeps the leecher's serving daemon alive for the duration of a BitTorrent
-/// transfer; delegates the OOB contract to the inner transfer.
+/// transfer; delegates the OOB contract to the inner transfer. (The
+/// `OobTransfer` trait speaks the transport layer's result type; core's own
+/// surface is all [`crate::Result`].)
 struct LeechGuard {
     _peer: BtPeer,
     inner: BtTransfer,
 }
 
 impl OobTransfer for LeechGuard {
-    fn connect(&mut self) -> TransportResult<()> {
+    fn connect(&mut self) -> bitdew_transport::TransportResult<()> {
         self.inner.connect()
     }
-    fn disconnect(&mut self) -> TransportResult<()> {
+    fn disconnect(&mut self) -> bitdew_transport::TransportResult<()> {
         self.inner.disconnect()
     }
-    fn probe(&mut self) -> TransportResult<TransferStatus> {
+    fn probe(&mut self) -> bitdew_transport::TransportResult<TransferStatus> {
         self.inner.probe()
     }
-    fn send(&mut self) -> TransportResult<()> {
+    fn send(&mut self) -> bitdew_transport::TransportResult<()> {
         self.inner.send()
     }
-    fn receive(&mut self) -> TransportResult<()> {
+    fn receive(&mut self) -> bitdew_transport::TransportResult<()> {
         self.inner.receive()
     }
 }
@@ -326,14 +349,14 @@ impl BitdewNode {
     /// Create a datum describing `content` and register it in the DC.
     pub fn create_data(&self, name: &str, content: &[u8]) -> Result<Data> {
         let data = Data::from_bytes(Auid::random(), name, content);
-        self.container.catalog.register(&data)?;
+        self.container.plane.register(&data)?;
         Ok(data)
     }
 
     /// Create an empty slot (content put later or produced remotely).
     pub fn create_slot(&self, name: &str, size: u64) -> Result<Data> {
         let data = Data::slot(Auid::random(), name, size);
-        self.container.catalog.register(&data)?;
+        self.container.plane.register(&data)?;
         Ok(data)
     }
 
@@ -353,7 +376,7 @@ impl BitdewNode {
                 locators.push(self.container.repository.locator_for(data, &proto)?);
             }
         }
-        self.container.catalog.add_locators(&locators)?;
+        self.container.plane.add_locators(&locators)?;
         Ok(())
     }
 
@@ -368,15 +391,15 @@ impl BitdewNode {
 
     /// Search the DC by exact name.
     pub fn search(&self, name: &str) -> Result<Vec<Data>> {
-        self.container.catalog.search(name)
+        self.container.plane.search(name)
     }
 
     /// Delete a datum everywhere: catalog, repository, scheduler. Reservoir
     /// caches purge it on their next synchronization.
     pub fn delete(&self, data: &Data) -> Result<()> {
-        self.container.catalog.delete(data.id)?;
+        self.container.plane.delete_catalog(data.id)?;
         let _ = self.container.repository.remove(data);
-        self.container.scheduler.lock().delete_data(data.id);
+        self.container.plane.scheduler().delete_data(data.id);
         Ok(())
     }
 
@@ -385,7 +408,7 @@ impl BitdewNode {
     pub fn create_attribute(&self, src: &str) -> Result<DataAttributes> {
         attrparse::parse_single_resolving(src, self.container.now_nanos(), &|name| {
             self.container
-                .catalog
+                .plane
                 .search(name)
                 .ok()
                 .and_then(|hits| hits.first().map(|d| d.id))
@@ -427,14 +450,14 @@ impl BitdewNode {
                 );
             }
         }
-        self.container.catalog.add_locators(&locators)?;
+        self.container.plane.add_locators(&locators)?;
         for (data, attrs) in items {
             self.fire(DataEventKind::Create, data, attrs);
         }
-        let mut scheduler = self.container.scheduler.lock();
-        for (data, attrs) in items {
-            scheduler.schedule(data.clone(), attrs.clone());
-        }
+        self.container
+            .plane
+            .scheduler()
+            .schedule_many(items.iter().cloned());
         Ok(())
     }
 
@@ -442,7 +465,7 @@ impl BitdewNode {
     /// cache so affinity dependencies resolve here — the master pins the
     /// Collector in §5).
     pub fn pin(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
-        self.container.scheduler.lock().pin(data.id, self.uid);
+        self.container.plane.scheduler().pin(data.id, self.uid);
         self.cache.lock().insert(data.id, (data.clone(), attrs));
         Ok(())
     }
@@ -580,8 +603,8 @@ impl BitdewNode {
         let now = self.container.now_nanos();
         let reply = self
             .container
-            .scheduler
-            .lock()
+            .plane
+            .scheduler()
             .sync_as(self.uid, &cache_ids, now, self.role);
 
         // 3. Purge obsolete data.
@@ -661,7 +684,7 @@ impl BitdewNode {
     }
 
     fn locator_for(&self, data: &Data, protocol: &ProtocolId) -> Result<Locator> {
-        let locs = self.container.catalog.locators(data.id)?;
+        let locs = self.container.plane.locators(data.id)?;
         locs.iter()
             .find(|l| l.protocol == *protocol)
             .or_else(|| locs.first())

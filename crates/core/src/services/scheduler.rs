@@ -34,7 +34,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use bitdew_util::Auid;
 
-use crate::attr::DataAttributes;
+use crate::attr::{DataAttributes, Lifetime};
 use crate::data::{Data, DataId};
 
 /// Identity of a reservoir/client host in the BitDew layer.
@@ -74,6 +74,27 @@ pub struct SyncReply {
     pub download: Vec<(Data, DataAttributes)>,
 }
 
+/// Result of Algorithm 1's step 1 ([`DataScheduler::validate_cache`]): the
+/// host-facing keep/delete split plus the data the expiry sweep removed from
+/// management (a sharded plane uses the latter to propagate lifetime
+/// cascades across shards).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheValidation {
+    /// Cached data the host keeps.
+    pub keep: Vec<DataId>,
+    /// Obsolete cached data the host deletes.
+    pub delete: Vec<DataId>,
+    /// Data that left Θ during this validation's expiry sweep (including
+    /// relative-lifetime dependents removed by the cascade).
+    pub expired: Vec<DataId>,
+}
+
+/// Oracle answering "is this datum still managed somewhere?" for lifetime
+/// checks. `None` means "consult this scheduler's own Θ" (the unsharded
+/// deployment); a sharded plane passes a closure over its global live set so
+/// relative lifetimes resolve across shard boundaries.
+pub type AliveOracle<'a> = Option<&'a dyn Fn(DataId) -> bool>;
+
 /// The Data Scheduler state machine. Pure: time comes in through arguments,
 /// so the same code runs under the threaded clock and the simulator.
 pub struct DataScheduler {
@@ -90,8 +111,17 @@ pub struct DataScheduler {
     timeout: u64,
     /// Cap on |Ψk \ Δk| per synchronization.
     max_data_schedule: usize,
-    /// Data explicitly deleted; referenced by relative lifetimes.
-    deleted: HashSet<DataId>,
+    /// Absolute-lifetime deadline index: `(deadline, id)` ordered by
+    /// deadline, so the expiry sweep visits only actually-expired data
+    /// instead of walking all of Θ on every synchronization.
+    expiries: BTreeSet<(u64, DataId)>,
+    /// Reverse relative-lifetime dependencies: reference → dependents
+    /// managed *by this scheduler*. Deleting (or expiring) the reference
+    /// cascades to the dependents immediately.
+    rdeps: HashMap<DataId, BTreeSet<DataId>>,
+    /// How many Θ entries expiry sweeps have visited (each visit is an
+    /// actual expiry — the sweep never touches live data).
+    sweep_visits: u64,
 }
 
 impl DataScheduler {
@@ -105,15 +135,70 @@ impl DataScheduler {
             last_seen: HashMap::new(),
             timeout: timeout_nanos,
             max_data_schedule: max_data_schedule.max(1),
-            deleted: HashSet::new(),
+            expiries: BTreeSet::new(),
+            rdeps: HashMap::new(),
+            sweep_visits: 0,
         }
     }
 
     /// `ActiveData::schedule` — put a datum under management.
+    ///
+    /// A datum whose `RelativeTo` lifetime references a datum that is not
+    /// currently managed is dead on arrival and expires immediately (the
+    /// pre-index expiry sweep removed it at the next synchronization; the
+    /// deadline index never scans relative lifetimes, so the check moved
+    /// here).
     pub fn schedule(&mut self, data: Data, attrs: DataAttributes) {
-        self.deleted.remove(&data.id);
+        let id = data.id;
+        let lt = attrs.lifetime;
+        self.schedule_unchecked(data, attrs);
+        if let Lifetime::RelativeTo(r) = lt {
+            if !self.theta.contains_key(&r) {
+                self.delete_data(id);
+            }
+        }
+    }
+
+    /// [`DataScheduler::schedule`] without the dead-on-arrival check on
+    /// relative lifetimes — for a sharded plane, which resolves references
+    /// against its global live set rather than this shard's Θ.
+    pub fn schedule_unchecked(&mut self, data: Data, attrs: DataAttributes) {
         self.owners.entry(data.id).or_default();
+        // Re-scheduling may change the lifetime: drop stale index entries
+        // before recording the new ones.
+        self.unindex_lifetime(data.id);
+        match attrs.lifetime {
+            Lifetime::Absolute(t) => {
+                self.expiries.insert((t, data.id));
+            }
+            Lifetime::RelativeTo(r) => {
+                self.rdeps.entry(r).or_default().insert(data.id);
+            }
+            Lifetime::Unbounded => {}
+        }
         self.theta.insert(data.id, ScheduledData { data, attrs });
+    }
+
+    /// Remove `id`'s lifetime-index entries (deadline index / reverse-dep
+    /// registration), using the attributes currently recorded in Θ.
+    fn unindex_lifetime(&mut self, id: DataId) {
+        let Some(sd) = self.theta.get(&id) else {
+            return;
+        };
+        match sd.attrs.lifetime {
+            Lifetime::Absolute(t) => {
+                self.expiries.remove(&(t, id));
+            }
+            Lifetime::RelativeTo(r) => {
+                if let Some(deps) = self.rdeps.get_mut(&r) {
+                    deps.remove(&id);
+                    if deps.is_empty() {
+                        self.rdeps.remove(&r);
+                    }
+                }
+            }
+            Lifetime::Unbounded => {}
+        }
     }
 
     /// `ActiveData::pin` — declare that `host` owns `data` (e.g. the master
@@ -124,13 +209,26 @@ impl DataScheduler {
         self.owners.entry(data).or_default().insert(host);
     }
 
-    /// Remove a datum from management. Its relative-lifetime dependents
-    /// become obsolete on their owners' next synchronization.
-    pub fn delete_data(&mut self, id: DataId) {
-        self.theta.remove(&id);
-        self.owners.remove(&id);
-        self.pinned.remove(&id);
-        self.deleted.insert(id);
+    /// Remove a datum from management, cascading to its relative-lifetime
+    /// dependents (which become obsolete with it). Owners purge their cached
+    /// copies on their next synchronization. Returns every id that left Θ —
+    /// a sharded plane uses the list to propagate the cascade to dependents
+    /// living on other shards.
+    pub fn delete_data(&mut self, id: DataId) -> Vec<DataId> {
+        let mut removed = Vec::new();
+        let mut stack = vec![id];
+        while let Some(d) = stack.pop() {
+            self.unindex_lifetime(d);
+            if self.theta.remove(&d).is_some() {
+                removed.push(d);
+            }
+            self.owners.remove(&d);
+            self.pinned.remove(&d);
+            if let Some(deps) = self.rdeps.remove(&d) {
+                stack.extend(deps.into_iter().filter(|x| self.theta.contains_key(x)));
+            }
+        }
+        removed
     }
 
     /// Whether a datum is currently managed.
@@ -163,12 +261,62 @@ impl DataScheduler {
         self.theta.get(&d).map(|s| &s.attrs)
     }
 
+    /// The per-synchronization download cap this scheduler was built with.
+    pub fn max_data_schedule(&self) -> usize {
+        self.max_data_schedule
+    }
+
+    /// Total Θ entries expiry sweeps have visited. Every visit is an actual
+    /// expiry: the deadline index means a sweep never examines live data, so
+    /// this counter pins the sweep's cost model in tests.
+    pub fn sweep_visits(&self) -> u64 {
+        self.sweep_visits
+    }
+
+    /// Entries currently in the absolute-deadline expiry index.
+    pub fn expiry_index_len(&self) -> usize {
+        self.expiries.len()
+    }
+
+    /// Whether `lt` still holds at `now`, resolving relative references
+    /// through `ext` when provided (else through this scheduler's Θ).
+    fn lifetime_live(&self, lt: Lifetime, now: u64, ext: AliveOracle<'_>) -> bool {
+        let alive = |r: DataId| match ext {
+            Some(f) => f(r),
+            None => self.theta.contains_key(&r),
+        };
+        !lt.is_expired(now, alive)
+    }
+
+    /// Expiry sweep over the deadline index: remove from Θ every datum whose
+    /// absolute lifetime lapsed before `now` (each removal cascades to
+    /// relative-lifetime dependents). Only actually-expired entries are
+    /// visited — O(expired · log |Θ|), not O(|Θ|). Returns everything that
+    /// left Θ.
+    fn sweep_expired(&mut self, now: u64) -> Vec<DataId> {
+        let mut removed = Vec::new();
+        while let Some(&(t, id)) = self.expiries.iter().next() {
+            // Absolute lifetimes expire strictly after their deadline
+            // (`now > t`), so an entry at exactly `now` stays.
+            if t >= now {
+                break;
+            }
+            self.sweep_visits += 1;
+            // delete_data unindexes the entry we just looked at, so the
+            // loop always makes progress.
+            removed.extend(self.delete_data(id));
+        }
+        removed
+    }
+
     /// Algorithm 1: synchronize reservoir `host` presenting cache `delta_k`.
     pub fn sync(&mut self, host: HostUid, delta_k: &[DataId], now: u64) -> SyncReply {
         self.sync_as(host, delta_k, now, SyncRole::Reservoir)
     }
 
-    /// [`DataScheduler::sync`] with an explicit host role.
+    /// [`DataScheduler::sync`] with an explicit host role. Composes the two
+    /// steps ([`DataScheduler::validate_cache`] then
+    /// [`DataScheduler::assign_new`]) over this scheduler's whole Θ.
     pub fn sync_as(
         &mut self,
         host: HostUid,
@@ -176,24 +324,34 @@ impl DataScheduler {
         now: u64,
         role: SyncRole,
     ) -> SyncReply {
+        let v = self.validate_cache(host, delta_k, now, None);
+        let holds: BTreeSet<DataId> = v.keep.iter().copied().collect();
+        let download = self.assign_new(host, &holds, now, role, self.max_data_schedule, None);
+        SyncReply {
+            keep: v.keep,
+            delete: v.delete,
+            download,
+        }
+    }
+
+    /// Algorithm 1, step 1: run the expiry sweep, reconcile Ω with the
+    /// host's report, and split the presented cache slice into keep/delete.
+    /// `ext_alive` resolves relative-lifetime references that may be managed
+    /// outside this scheduler (the sharded plane); `None` consults local Θ.
+    pub fn validate_cache(
+        &mut self,
+        host: HostUid,
+        delta_k: &[DataId],
+        now: u64,
+        ext_alive: AliveOracle<'_>,
+    ) -> CacheValidation {
         self.last_seen.insert(host, now);
         let delta: BTreeSet<DataId> = delta_k.iter().copied().collect();
 
-        // Expiry sweep: data whose lifetime has lapsed leave Θ entirely so
-        // step 2 can never re-schedule them (their cache copies are then
-        // swept out by step 1's membership check at each host's next sync).
-        let expired: Vec<DataId> = self
-            .theta
-            .iter()
-            .filter(|(_, sd)| {
-                let alive = |r: DataId| self.theta.contains_key(&r);
-                sd.attrs.lifetime.is_expired(now, alive)
-            })
-            .map(|(&id, _)| id)
-            .collect();
-        for id in expired {
-            self.delete_data(id);
-        }
+        // Expiry sweep: lapsed data leave Θ entirely so step 2 can never
+        // re-schedule them (their cache copies are then swept out by the
+        // membership check below at each host's next sync).
+        let expired = self.sweep_expired(now);
 
         // Reconcile Ω with the report: the host no longer holds data missing
         // from its cache (unless pinned). Step 2 may legitimately re-assign.
@@ -209,65 +367,87 @@ impl DataScheduler {
             }
         }
 
-        let mut reply = SyncReply::default();
-        let mut psi: BTreeSet<DataId> = BTreeSet::new();
-
-        // ---- Step 1: remove obsolete data from cache -------------------
+        let mut v = CacheValidation {
+            expired,
+            ..CacheValidation::default()
+        };
         for &d in &delta {
             let keep = match self.theta.get(&d) {
                 None => false,
                 Some(sd) => {
-                    let alive = |r: DataId| self.theta.contains_key(&r);
-                    !sd.attrs.lifetime.is_expired(now, alive)
+                    let lt = sd.attrs.lifetime;
+                    self.lifetime_live(lt, now, ext_alive)
                 }
             };
             if keep {
-                psi.insert(d);
-                reply.keep.push(d);
+                v.keep.push(d);
                 // Refresh Ω for kept data (the algorithm does so for
                 // fault-tolerant data; refreshing unconditionally is the
                 // same steady state since non-ft owner sets are only pruned
                 // by the report reconciliation above).
                 self.owners.entry(d).or_default().insert(host);
             } else {
-                reply.delete.push(d);
+                v.delete.push(d);
             }
         }
+        v
+    }
 
-        // ---- Step 2: add new data to the cache -------------------------
-        // Algorithm 1 runs one affinity pass (against Δk) and one replica
-        // pass. We iterate the two passes to their fixed point so that a
-        // datum assigned by the replica pass pulls its affinity-dependents
-        // in the *same* synchronization instead of the next heartbeat —
-        // identical steady state, one round sooner.
+    /// Algorithm 1, step 2: add new data to the host's cache. `holds` is
+    /// everything the host already has after step 1 — across *all* shards
+    /// when called by a sharded plane, so affinity targets resolve over the
+    /// host's whole cache. At most `budget` new assignments are made
+    /// (a sharded plane splits one global `MaxDataSchedule` across the
+    /// per-shard calls).
+    ///
+    /// Algorithm 1 runs one affinity pass (against Δk) and one replica
+    /// pass. We iterate the two passes to their fixed point so that a
+    /// datum assigned by the replica pass pulls its affinity-dependents
+    /// in the *same* synchronization instead of the next heartbeat —
+    /// identical steady state, one round sooner.
+    pub fn assign_new(
+        &mut self,
+        host: HostUid,
+        holds: &BTreeSet<DataId>,
+        now: u64,
+        role: SyncRole,
+        budget: usize,
+        ext_alive: AliveOracle<'_>,
+    ) -> Vec<(Data, DataAttributes)> {
         let candidates: Vec<DataId> = self
             .theta
             .keys()
             .copied()
-            .filter(|d| !psi.contains(d))
+            .filter(|d| !holds.contains(d))
             .collect();
-        let mut new_count = 0usize;
+        let mut newly: BTreeSet<DataId> = BTreeSet::new();
+        let mut downloads: Vec<(Data, DataAttributes)> = Vec::new();
         loop {
-            let before = new_count;
+            let before = downloads.len();
 
             // Affinity resolution first — affinity is stronger than replica.
             for &dj in &candidates {
-                if new_count >= self.max_data_schedule {
+                if downloads.len() >= budget {
                     break;
                 }
-                if psi.contains(&dj) {
+                if newly.contains(&dj) {
                     continue;
                 }
                 let sd = &self.theta[&dj];
                 let Some(target) = sd.attrs.affinity else {
                     continue;
                 };
-                if psi.contains(&target) {
-                    psi.insert(dj);
-                    reply.download.push((sd.data.clone(), sd.attrs.clone()));
-                    self.owners.entry(dj).or_default().insert(host);
-                    new_count += 1;
+                let lt = sd.attrs.lifetime;
+                if !(holds.contains(&target) || newly.contains(&target)) {
+                    continue;
                 }
+                if !self.lifetime_live(lt, now, ext_alive) {
+                    continue;
+                }
+                let sd = &self.theta[&dj];
+                downloads.push((sd.data.clone(), sd.attrs.clone()));
+                newly.insert(dj);
+                self.owners.entry(dj).or_default().insert(host);
             }
 
             // Replica scheduling (reservoir hosts only).
@@ -275,10 +455,10 @@ impl DataScheduler {
                 if role == SyncRole::Client {
                     break;
                 }
-                if new_count >= self.max_data_schedule {
+                if downloads.len() >= budget {
                     break;
                 }
-                if psi.contains(&dj) {
+                if newly.contains(&dj) {
                     continue;
                 }
                 let sd = &self.theta[&dj];
@@ -286,22 +466,25 @@ impl DataScheduler {
                 if sd.attrs.affinity.is_some() {
                     continue;
                 }
+                let lt = sd.attrs.lifetime;
+                if !self.lifetime_live(lt, now, ext_alive) {
+                    continue;
+                }
+                let sd = &self.theta[&dj];
                 let owner_count = self.owners.get(&dj).map(|s| s.len()).unwrap_or(0);
                 let wants_all = sd.attrs.replicate_everywhere();
                 if wants_all || (owner_count as i64) < sd.attrs.replica {
-                    psi.insert(dj);
-                    reply.download.push((sd.data.clone(), sd.attrs.clone()));
+                    downloads.push((sd.data.clone(), sd.attrs.clone()));
+                    newly.insert(dj);
                     self.owners.entry(dj).or_default().insert(host);
-                    new_count += 1;
                 }
             }
 
-            if new_count == before || new_count >= self.max_data_schedule {
+            if downloads.len() == before || downloads.len() >= budget {
                 break;
             }
         }
-
-        reply
+        downloads
     }
 
     /// Heartbeat failure detection: hosts silent for longer than the timeout
@@ -659,6 +842,108 @@ mod tests {
             "affinity still flows to clients"
         );
         assert!(!got.contains(&loose.id), "replica data skips clients");
+    }
+
+    #[test]
+    fn relative_lifetime_dead_on_arrival_expires_immediately() {
+        // With the lazy full-Θ sweep gone, a datum referencing a
+        // never-managed (or already-dead) datum must be expired eagerly at
+        // schedule time — and so must anything chained through it.
+        let mut f = Fixture::new();
+        let ghost = f.id();
+        let a = f.datum("orphan");
+        f.ds.schedule(
+            a.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::RelativeTo(ghost)),
+        );
+        assert!(!f.ds.is_managed(a.id), "orphan is dead on arrival");
+        let b = f.datum("chained");
+        f.ds.schedule(
+            b.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::RelativeTo(a.id)),
+        );
+        assert!(!f.ds.is_managed(b.id), "chained dependent dies with it");
+        let h = f.host();
+        assert!(f.ds.sync(h, &[], 0).download.is_empty());
+        assert_eq!(f.ds.managed_count(), 0, "no leak in Θ");
+    }
+
+    #[test]
+    fn expiry_sweep_visits_only_expired_data() {
+        // The deadline index means a sync's sweep touches expired entries
+        // only — never the (large) live remainder of Θ.
+        let mut f = Fixture::new();
+        for i in 0..200 {
+            let d = f.datum(&format!("live{i}"));
+            f.ds.schedule(d, DataAttributes::default()); // unbounded
+        }
+        let short = f.datum("short");
+        let mid = f.datum("mid");
+        let long = f.datum("long");
+        f.ds.schedule(
+            short.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::Absolute(SEC)),
+        );
+        f.ds.schedule(
+            mid.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::Absolute(2 * SEC)),
+        );
+        f.ds.schedule(
+            long.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::Absolute(1000 * SEC)),
+        );
+        assert_eq!(f.ds.expiry_index_len(), 3);
+
+        let h = f.host();
+        // Nothing expired yet: the sweep visits nothing despite |Θ| = 203.
+        f.ds.sync(h, &[], SEC);
+        assert_eq!(f.ds.sweep_visits(), 0);
+        // Two deadlines lapse: exactly two visits, index keeps the rest.
+        f.ds.sync(h, &[], 5 * SEC);
+        assert_eq!(f.ds.sweep_visits(), 2);
+        assert_eq!(f.ds.expiry_index_len(), 1);
+        assert!(!f.ds.is_managed(short.id));
+        assert!(!f.ds.is_managed(mid.id));
+        assert!(f.ds.is_managed(long.id));
+        // Every further sync is free — no re-scanning of Θ.
+        for t in 6..30 {
+            f.ds.sync(h, &[], t * SEC);
+        }
+        assert_eq!(f.ds.sweep_visits(), 2);
+    }
+
+    #[test]
+    fn rescheduling_replaces_expiry_index_entry() {
+        let mut f = Fixture::new();
+        let d = f.datum("renewed");
+        f.ds.schedule(
+            d.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::Absolute(SEC)),
+        );
+        assert_eq!(f.ds.expiry_index_len(), 1);
+        // Re-schedule with a later deadline: the stale entry is dropped, so
+        // the old deadline passing must not expire the datum.
+        f.ds.schedule(
+            d.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::Absolute(10 * SEC)),
+        );
+        assert_eq!(f.ds.expiry_index_len(), 1);
+        let h = f.host();
+        let r = f.ds.sync(h, &[d.id], 5 * SEC);
+        assert_eq!(r.keep, vec![d.id], "renewed lifetime honored");
+        assert_eq!(f.ds.sweep_visits(), 0);
+        // Switching to unbounded empties the index entirely.
+        f.ds.schedule(d.clone(), DataAttributes::default());
+        assert_eq!(f.ds.expiry_index_len(), 0);
+        // And a delete cleans up without waiting for any sweep.
+        let e = f.datum("expiring");
+        f.ds.schedule(
+            e.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::Absolute(3 * SEC)),
+        );
+        assert_eq!(f.ds.expiry_index_len(), 1);
+        f.ds.delete_data(e.id);
+        assert_eq!(f.ds.expiry_index_len(), 0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use bitdew_transport::oob::{OobTransfer, TransferStatus, TransferVerdict};
-use bitdew_transport::{FileStore, TransportResult};
+use bitdew_transport::FileStore;
 
 use crate::api::Result;
 use crate::data::{Data, Locator};
@@ -32,9 +32,11 @@ use crate::data::{Data, Locator};
 pub struct TransferId(pub u64);
 
 /// Builds a protocol transfer for a datum/locator pair. Installed by the
-/// runtime, which knows the fabric and protocol plumbing.
+/// runtime, which knows the fabric and protocol plumbing. Fails with the
+/// crate-wide [`crate::api::BitdewError`] like every other core surface
+/// (transport failures arrive wrapped in its `Transport` variant).
 pub type TransferBuilder = Arc<
-    dyn Fn(&Data, &Locator, Arc<dyn FileStore>) -> TransportResult<Box<dyn OobTransfer + Send>>
+    dyn Fn(&Data, &Locator, Arc<dyn FileStore>) -> Result<Box<dyn OobTransfer + Send>>
         + Send
         + Sync,
 >;

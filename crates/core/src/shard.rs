@@ -1,0 +1,937 @@
+//! The sharded service plane: a consistent-hash partitioned Data Catalog +
+//! Data Scheduler.
+//!
+//! The paper's service node (§3.3) hosts DC/DR/DS/DT as one process, and the
+//! original `ServiceContainer` reproduced that monolith: every `put`,
+//! `schedule` and reservoir synchronization funnelled through a single
+//! scheduler mutex and a single DewDB-backed catalog. This module extends
+//! the paper's own DDC idea (§3.4.1 — replica records partitioned over the
+//! `bitdew-dht` key space) to the full DC+DS plane:
+//!
+//! * [`ShardRouter`] — maps [`DataId`]s onto N shards by partitioning the
+//!   2^64 DHT ring ([`bitdew_dht::id::key_for_auid`] /
+//!   [`bitdew_dht::id::RingPos`]) into N equal clockwise arcs.
+//! * [`ShardedScheduler`] — N independent [`DataScheduler`]s, one lock each.
+//!   A reservoir synchronization becomes **fan-out/merge**: the host's cache
+//!   Δk is split by shard, each shard runs Algorithm 1's step 1 on its
+//!   slice, and step 2 iterates over the shards to a fixed point so
+//!   cross-shard affinity chains resolve in the same round. A *global*
+//!   `MaxDataSchedule` budget is threaded through the per-shard calls in
+//!   deterministic shard order, so sharded and unsharded deployments
+//!   converge to the same placements.
+//! * [`ShardedPlane`] — N `(DataCatalog, DataScheduler)` pairs, each catalog
+//!   on its own database (own DewDB/pool), so catalog traffic for different
+//!   shards never contends. Name search fans out and merges; everything
+//!   keyed by id routes to exactly one shard.
+//!
+//! Cross-shard lifetime semantics live in shared state: a read-mostly
+//! `RwLock` union of managed ids (so `RelativeTo` references resolve across
+//! shards without serializing concurrent syncs) and a mutex-guarded
+//! reverse-dependency registry (so deleting or expiring a reference
+//! cascades to dependents on other shards).
+//!
+//! Lock hierarchy: shard → registry → live set; a later lock may be taken
+//! while holding an earlier one, never the reverse, and multi-shard loops
+//! acquire shard locks one at a time (ascending order, never nested). The
+//! sync-path alive oracle takes only a brief `live` read lock per
+//! relative-lifetime check.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::num::NonZeroUsize;
+
+use parking_lot::{Mutex, RwLock};
+
+use bitdew_dht::id::{key_for_auid, RingPos};
+
+use crate::api::Result;
+use crate::attr::{DataAttributes, Lifetime};
+use crate::data::{Data, DataId, Locator};
+use crate::services::catalog::{DataCatalog, DbAccess};
+use crate::services::scheduler::{DataScheduler, HostUid, SyncReply, SyncRole};
+
+/// Maps data identifiers onto shards by partitioning the DHT ring.
+///
+/// Shard `i` owns the clockwise arc `[i·2^64/N, (i+1)·2^64/N)` of the ring;
+/// a datum lands on the shard whose arc contains
+/// [`key_for_auid`]`(id)`. Because the key is a uniform hash of the AUID,
+/// shards stay balanced regardless of id allocation patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Router over `shards` partitions of the ring.
+    pub fn new(shards: NonZeroUsize) -> ShardRouter {
+        ShardRouter {
+            shards: shards.get(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The datum's position on the 2^64 ring.
+    pub fn ring_pos(&self, id: DataId) -> RingPos {
+        key_for_auid(id)
+    }
+
+    /// The shard owning `id`: the index of the equal-width ring arc that
+    /// contains the datum's key. Computed as `⌊key · N / 2^64⌋`, which is
+    /// exact in 128-bit arithmetic.
+    pub fn shard_of(&self, id: DataId) -> usize {
+        ((self.ring_pos(id).0 as u128 * self.shards as u128) >> 64) as usize
+    }
+
+    /// Split a batch of ids into per-shard slices in one routing pass.
+    pub fn split(&self, ids: &[DataId]) -> Vec<Vec<DataId>> {
+        let mut slices: Vec<Vec<DataId>> = vec![Vec::new(); self.shards];
+        for &id in ids {
+            slices[self.shard_of(id)].push(id);
+        }
+        slices
+    }
+}
+
+/// The shared cross-shard dependency registry (see module docs).
+#[derive(Default)]
+struct RefRegistry {
+    /// Reference → dependents with `Lifetime::RelativeTo(reference)`,
+    /// across all shards.
+    rdeps: HashMap<DataId, BTreeSet<DataId>>,
+    /// Dependent → its current reference (the inverse edge), so the edge
+    /// under `rdeps` can be dropped exactly when the dependent dies or is
+    /// re-scheduled with a different lifetime — a stale edge would later
+    /// cascade-delete a datum that no longer depends on the reference.
+    ref_of: HashMap<DataId, DataId>,
+}
+
+impl RefRegistry {
+    /// Drop `id`'s dependency edge (if any): both directions.
+    fn unlink(&mut self, id: DataId) {
+        if let Some(r0) = self.ref_of.remove(&id) {
+            if let Some(deps) = self.rdeps.get_mut(&r0) {
+                deps.remove(&id);
+                if deps.is_empty() {
+                    self.rdeps.remove(&r0);
+                }
+            }
+        }
+    }
+
+    /// Record `dep` as depending on `reference`: both directions.
+    fn link(&mut self, dep: DataId, reference: DataId) {
+        self.ref_of.insert(dep, reference);
+        self.rdeps.entry(reference).or_default().insert(dep);
+    }
+}
+
+/// Per-shard work profile of one fan-out synchronization: how many items
+/// (cache-slice entries + candidate scans) each shard examined. The
+/// simulator charges per-shard service latency from this.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncProfile {
+    /// Items examined per shard.
+    pub per_shard: Vec<usize>,
+}
+
+impl SyncProfile {
+    /// The busiest shard's item count (the critical path when shards
+    /// process their slices in parallel).
+    pub fn max_items(&self) -> usize {
+        self.per_shard.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// N independent Data Schedulers behind one fan-out/merge face.
+///
+/// Every method routes by [`ShardRouter`] and takes at most one shard lock
+/// at a time, so synchronizations against different shards run concurrently
+/// — the single scheduler mutex of the monolithic plane is gone.
+pub struct ShardedScheduler {
+    router: ShardRouter,
+    shards: Vec<Mutex<DataScheduler>>,
+    /// Union of managed ids across every shard — read-mostly (the sync
+    /// path's alive oracle), hence an `RwLock` rather than the registry
+    /// mutex.
+    live: RwLock<HashSet<DataId>>,
+    refs: Mutex<RefRegistry>,
+    max_data_schedule: usize,
+}
+
+impl ShardedScheduler {
+    /// Build `shards` schedulers with the given failure-detection timeout
+    /// and a **global** per-sync download cap (split across shards).
+    pub fn new(shards: NonZeroUsize, timeout_nanos: u64, max_data_schedule: usize) -> Self {
+        let router = ShardRouter::new(shards);
+        ShardedScheduler {
+            router,
+            shards: (0..shards.get())
+                .map(|_| Mutex::new(DataScheduler::new(timeout_nanos, max_data_schedule)))
+                .collect(),
+            live: RwLock::new(HashSet::new()),
+            refs: Mutex::new(RefRegistry::default()),
+            max_data_schedule: max_data_schedule.max(1),
+        }
+    }
+
+    /// The router this plane partitions with.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, id: DataId) -> &Mutex<DataScheduler> {
+        &self.shards[self.router.shard_of(id)]
+    }
+
+    /// `ActiveData::schedule` — put a datum under management on its shard.
+    pub fn schedule(&self, data: Data, attrs: DataAttributes) {
+        self.schedule_many(std::iter::once((data, attrs)));
+    }
+
+    /// Batched schedule: one routing pass, one lock acquisition per touched
+    /// shard.
+    ///
+    /// Relative-lifetime references resolve against the plane's *global*
+    /// live set, so a dependent may land on a different shard than its
+    /// reference. A datum whose reference is not managed anywhere is dead
+    /// on arrival, mirroring [`DataScheduler::schedule`].
+    pub fn schedule_many(&self, items: impl IntoIterator<Item = (Data, DataAttributes)>) {
+        // Registry pass first, in INPUT order — a dependent may ride in the
+        // same batch as its reference, and the monolithic scheduler decides
+        // dead-on-arrival sequentially, so the per-shard fan-out below must
+        // not reorder that decision. (No shard lock is held here.)
+        let mut per_shard: Vec<Vec<(Data, DataAttributes)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut batch_ids: Vec<DataId> = Vec::new();
+        {
+            let mut refs = self.refs.lock();
+            let mut live = self.live.write();
+            for (data, attrs) in items {
+                // Keep the registry consistent under re-scheduling: drop a
+                // previous dependency edge before recording the new
+                // lifetime. Dead-on-arrival data (reference managed
+                // nowhere) are left out of the live set; the reconciliation
+                // below expires them.
+                refs.unlink(data.id);
+                match attrs.lifetime {
+                    Lifetime::RelativeTo(r) if !live.contains(&r) => {
+                        live.remove(&data.id);
+                    }
+                    lt => {
+                        live.insert(data.id);
+                        if let Lifetime::RelativeTo(r) = lt {
+                            refs.link(data.id, r);
+                        }
+                    }
+                }
+                batch_ids.push(data.id);
+                per_shard[self.router.shard_of(data.id)].push((data, attrs));
+            }
+        }
+        for (i, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[i].lock();
+            for (data, attrs) in batch {
+                // The shard-local dead-on-arrival check is skipped: the
+                // reference may legitimately live on another shard.
+                shard.schedule_unchecked(data, attrs);
+            }
+        }
+        // Reconcile: any batch id no longer in the live set — dead on
+        // arrival, or consumed by a concurrent delete/expiry cascade racing
+        // the shard pass above — must leave Θ too, or it would linger as an
+        // unmanaged-but-listed zombie. Cascades run with no shard lock held.
+        let stale: Vec<DataId> = {
+            let live = self.live.read();
+            batch_ids
+                .into_iter()
+                .filter(|id| !live.contains(id))
+                .collect()
+        };
+        for id in stale {
+            self.delete_data(id);
+        }
+    }
+
+    /// `ActiveData::pin` — declare `host` an owner of `data` on its shard.
+    pub fn pin(&self, data: DataId, host: HostUid) {
+        self.shard_for(data).lock().pin(data, host);
+    }
+
+    /// Remove a datum from management, cascading across shards to its
+    /// relative-lifetime dependents.
+    pub fn delete_data(&self, id: DataId) {
+        let mut stack = vec![id];
+        while let Some(d) = stack.pop() {
+            // Shard-local delete first (it cascades to same-shard deps and
+            // reports everything that left Θ there)…
+            let removed = self.shard_for(d).lock().delete_data(d);
+            // …then follow the global dependency edges for cross-shard deps.
+            let mut refs = self.refs.lock();
+            let mut live = self.live.write();
+            let mut follow: Vec<DataId> = Vec::new();
+            live.remove(&d);
+            refs.unlink(d);
+            if let Some(deps) = refs.rdeps.remove(&d) {
+                follow.extend(deps);
+            }
+            for r in &removed {
+                if *r != d {
+                    live.remove(r);
+                    refs.unlink(*r);
+                    if let Some(deps) = refs.rdeps.remove(r) {
+                        follow.extend(deps);
+                    }
+                }
+            }
+            stack.extend(follow.into_iter().filter(|x| live.contains(x)));
+        }
+    }
+
+    /// Handle ids a shard's expiry sweep removed: clean the registry and
+    /// cascade to dependents on other shards. Must be called with no shard
+    /// lock held.
+    fn propagate_expiry(&self, expired: &[DataId]) {
+        let mut follow: Vec<DataId> = Vec::new();
+        {
+            let mut refs = self.refs.lock();
+            let mut live = self.live.write();
+            for e in expired {
+                live.remove(e);
+                refs.unlink(*e);
+                if let Some(deps) = refs.rdeps.remove(e) {
+                    follow.extend(deps.iter().copied().filter(|x| live.contains(x)));
+                }
+            }
+        }
+        for dep in follow {
+            self.delete_data(dep);
+        }
+    }
+
+    /// Whether a datum is currently managed on any shard.
+    pub fn is_managed(&self, id: DataId) -> bool {
+        self.shard_for(id).lock().is_managed(id)
+    }
+
+    /// Total managed data |Θ| across shards.
+    pub fn managed_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().managed_count()).sum()
+    }
+
+    /// Current owner set Ω(d).
+    pub fn owners_of(&self, d: DataId) -> Vec<HostUid> {
+        self.shard_for(d).lock().owners_of(d)
+    }
+
+    /// Attribute lookup for a managed datum (cloned out of its shard).
+    pub fn attributes_of(&self, d: DataId) -> Option<DataAttributes> {
+        self.shard_for(d).lock().attributes_of(d).cloned()
+    }
+
+    /// Hosts that have synchronized and not been declared dead, across all
+    /// shards.
+    pub fn known_hosts(&self) -> Vec<HostUid> {
+        let mut v: Vec<HostUid> = Vec::new();
+        for s in &self.shards {
+            v.extend(s.lock().known_hosts());
+        }
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Algorithm 1 over the sharded plane (reservoir role).
+    pub fn sync(&self, host: HostUid, delta_k: &[DataId], now: u64) -> SyncReply {
+        self.sync_as(host, delta_k, now, SyncRole::Reservoir)
+    }
+
+    /// Algorithm 1 over the sharded plane with an explicit host role.
+    pub fn sync_as(
+        &self,
+        host: HostUid,
+        delta_k: &[DataId],
+        now: u64,
+        role: SyncRole,
+    ) -> SyncReply {
+        self.sync_profiled(host, delta_k, now, role).0
+    }
+
+    /// [`ShardedScheduler::sync_as`] returning the per-shard work profile.
+    ///
+    /// Fan-out/merge: step 1 (cache validation) runs on every shard against
+    /// that shard's slice of Δk; step 2 then iterates the shards to a fixed
+    /// point, passing each the host's full holdings so cross-shard affinity
+    /// chains resolve in the same synchronization. The global
+    /// `MaxDataSchedule` budget shrinks as shards assign, in ascending shard
+    /// order — deterministic, and equal to the unsharded placements at the
+    /// fixed point.
+    pub fn sync_profiled(
+        &self,
+        host: HostUid,
+        delta_k: &[DataId],
+        now: u64,
+        role: SyncRole,
+    ) -> (SyncReply, SyncProfile) {
+        let n = self.shards.len();
+        let slices = self.router.split(delta_k);
+        let mut profile = SyncProfile {
+            per_shard: vec![0; n],
+        };
+        // The oracle takes a brief `live` read lock per RelativeTo-lifetime
+        // check; concurrent syncs share it without blocking each other, so
+        // the per-shard parallelism sharding exists for is preserved. With
+        // a single shard its own Θ *is* the global view, so no oracle at
+        // all (`ext = None`) — the default `shards = 1` deployment pays
+        // nothing here.
+        let alive = |r: DataId| self.live.read().contains(&r);
+        let ext: crate::services::scheduler::AliveOracle<'_> =
+            if n > 1 { Some(&alive) } else { None };
+
+        // ---- Step 1 on every shard ------------------------------------
+        let mut merged = SyncReply::default();
+        let mut holds: BTreeSet<DataId> = BTreeSet::new();
+        for (i, slice) in slices.iter().enumerate() {
+            let v = self.shards[i].lock().validate_cache(host, slice, now, ext);
+            profile.per_shard[i] += slice.len();
+            holds.extend(v.keep.iter().copied());
+            merged.keep.extend(v.keep);
+            merged.delete.extend(v.delete);
+            if !v.expired.is_empty() {
+                self.propagate_expiry(&v.expired);
+            }
+        }
+
+        // ---- Step 2, fanned out to a cross-shard fixed point -----------
+        let mut budget = self.max_data_schedule;
+        loop {
+            let mut progress = false;
+            for (i, shard) in self.shards.iter().enumerate() {
+                if budget == 0 {
+                    break;
+                }
+                let mut sh = shard.lock();
+                profile.per_shard[i] += sh.managed_count();
+                let dl = sh.assign_new(host, &holds, now, role, budget, ext);
+                drop(sh);
+                budget -= dl.len();
+                for (d, _) in &dl {
+                    holds.insert(d.id);
+                }
+                progress |= !dl.is_empty();
+                merged.download.extend(dl);
+            }
+            if !progress || budget == 0 {
+                break;
+            }
+        }
+        (merged, profile)
+    }
+
+    /// Heartbeat failure detection across every shard; returns the union of
+    /// hosts declared dead, sorted and deduplicated.
+    pub fn detect_failures(&self, now: u64) -> Vec<HostUid> {
+        let mut dead: Vec<HostUid> = Vec::new();
+        for s in &self.shards {
+            dead.extend(s.lock().detect_failures(now));
+        }
+        dead.sort();
+        dead.dedup();
+        dead
+    }
+}
+
+/// The full sharded service plane: per-shard Data Catalogs (each on its own
+/// database) plus the [`ShardedScheduler`].
+pub struct ShardedPlane {
+    router: ShardRouter,
+    catalogs: Vec<DataCatalog>,
+    scheduler: ShardedScheduler,
+}
+
+impl ShardedPlane {
+    /// Build the plane. `make_db` is called once per shard so every catalog
+    /// gets its own database access path (its own DewDB/pool).
+    pub fn new(
+        shards: NonZeroUsize,
+        timeout_nanos: u64,
+        max_data_schedule: usize,
+        mut make_db: impl FnMut(usize) -> DbAccess,
+    ) -> ShardedPlane {
+        let router = ShardRouter::new(shards);
+        ShardedPlane {
+            router,
+            catalogs: (0..shards.get())
+                .map(|i| DataCatalog::new(make_db(i)))
+                .collect(),
+            scheduler: ShardedScheduler::new(shards, timeout_nanos, max_data_schedule),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.catalogs.len()
+    }
+
+    /// The routing function shared by catalog and scheduler.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The sharded Data Scheduler.
+    pub fn scheduler(&self) -> &ShardedScheduler {
+        &self.scheduler
+    }
+
+    /// The catalog shard owning `id`.
+    pub fn catalog_for(&self, id: DataId) -> &DataCatalog {
+        &self.catalogs[self.router.shard_of(id)]
+    }
+
+    /// Register (or overwrite) a datum on its catalog shard.
+    pub fn register(&self, data: &Data) -> Result<()> {
+        self.catalog_for(data.id).register(data)
+    }
+
+    /// Fetch a datum by id from its catalog shard.
+    pub fn get(&self, id: DataId) -> Result<Option<Data>> {
+        self.catalog_for(id).get(id)
+    }
+
+    /// `searchData` by exact name: fan out to every catalog shard and merge
+    /// (sorted by id for deterministic order).
+    pub fn search(&self, name: &str) -> Result<Vec<Data>> {
+        let mut out = Vec::new();
+        for c in &self.catalogs {
+            out.extend(c.search(name)?);
+        }
+        out.sort_by_key(|d| d.id);
+        Ok(out)
+    }
+
+    /// Attach a batch of locators, grouped per shard in one routing pass so
+    /// each shard sees one batched database round-trip.
+    pub fn add_locators(&self, locs: &[Locator]) -> Result<()> {
+        if self.catalogs.len() == 1 {
+            return self.catalogs[0].add_locators(locs);
+        }
+        let mut per_shard: Vec<Vec<Locator>> =
+            (0..self.catalogs.len()).map(|_| Vec::new()).collect();
+        for loc in locs {
+            per_shard[self.router.shard_of(loc.data)].push(loc.clone());
+        }
+        for (i, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.catalogs[i].add_locators(&batch)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// All locators for a datum.
+    pub fn locators(&self, id: DataId) -> Result<Vec<Locator>> {
+        self.catalog_for(id).locators(id)
+    }
+
+    /// Remove a datum and its locators from its catalog shard.
+    pub fn delete_catalog(&self, id: DataId) -> Result<bool> {
+        self.catalog_for(id).delete(id)
+    }
+
+    /// Successful registrations across every catalog shard.
+    pub fn registrations(&self) -> u64 {
+        self.catalogs.iter().map(|c| c.registrations()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::REPLICA_ALL;
+    use bitdew_storage::{ConnectionPool, DewDb, EmbeddedDriver};
+    use bitdew_util::Auid;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn nz(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).expect("nonzero")
+    }
+
+    fn ids(reply: &SyncReply) -> Vec<DataId> {
+        let mut v: Vec<DataId> = reply.download.iter().map(|(d, _)| d.id).collect();
+        v.sort();
+        v
+    }
+
+    struct Fixture {
+        rng: SmallRng,
+    }
+
+    impl Fixture {
+        fn new(seed: u64) -> Fixture {
+            Fixture {
+                rng: SmallRng::seed_from_u64(seed),
+            }
+        }
+        fn id(&mut self) -> Auid {
+            Auid::generate(1, &mut self.rng)
+        }
+        fn datum(&mut self, name: &str) -> Data {
+            let id = self.id();
+            Data::from_bytes(id, name, name.as_bytes())
+        }
+    }
+
+    #[test]
+    fn router_is_total_and_balanced() {
+        let router = ShardRouter::new(nz(4));
+        let mut f = Fixture::new(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            let s = router.shard_of(f.id());
+            assert!(s < 4);
+            counts[s] += 1;
+        }
+        for &c in &counts {
+            // Uniform hash: each shard holds ~1000 of 4000; allow wide slack.
+            assert!((600..1400).contains(&c), "unbalanced shards: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn router_single_shard_takes_everything() {
+        let router = ShardRouter::new(nz(1));
+        let mut f = Fixture::new(8);
+        for _ in 0..100 {
+            assert_eq!(router.shard_of(f.id()), 0);
+        }
+    }
+
+    #[test]
+    fn split_preserves_membership_and_order() {
+        let router = ShardRouter::new(nz(3));
+        let mut f = Fixture::new(9);
+        let ids: Vec<DataId> = (0..50).map(|_| f.id()).collect();
+        let slices = router.split(&ids);
+        assert_eq!(slices.len(), 3);
+        let total: usize = slices.iter().map(Vec::len).sum();
+        assert_eq!(total, ids.len());
+        for (i, slice) in slices.iter().enumerate() {
+            for id in slice {
+                assert_eq!(router.shard_of(*id), i);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn shard_arcs_partition_the_ring(raw in any::<u128>(), n in 1usize..16) {
+            let router = ShardRouter::new(NonZeroUsize::new(n).unwrap());
+            let id = Auid(raw);
+            let s = router.shard_of(id);
+            prop_assert!(s < n);
+            // The key really lies inside shard s's clockwise arc
+            // [s·2^64/n, (s+1)·2^64/n).
+            let key = router.ring_pos(id).0 as u128;
+            let lo = (s as u128) << 64;
+            prop_assert!(key * (n as u128) >= lo);
+            prop_assert!(key * (n as u128) < lo + (1u128 << 64));
+        }
+    }
+
+    fn sharded(n: usize, cap: usize) -> ShardedScheduler {
+        ShardedScheduler::new(nz(n), 3 * SEC, cap)
+    }
+
+    #[test]
+    fn sharded_replication_matches_unsharded_fixed_point() {
+        // The same workload against N=1 and N=4 must converge to the same
+        // owner sets with the same sync sequence.
+        let mut f = Fixture::new(11);
+        let data: Vec<Data> = (0..12).map(|i| f.datum(&format!("d{i}"))).collect();
+        let hosts: Vec<HostUid> = (0..3).map(|_| f.id()).collect();
+
+        let run = |n: usize| -> Vec<Vec<HostUid>> {
+            let ds = sharded(n, 64);
+            for (i, d) in data.iter().enumerate() {
+                ds.schedule(
+                    d.clone(),
+                    DataAttributes::default().with_replica((i % 3) as i64),
+                );
+            }
+            let mut caches: Vec<Vec<DataId>> = vec![Vec::new(); hosts.len()];
+            for round in 0..4u64 {
+                for (h, host) in hosts.iter().enumerate() {
+                    let reply = ds.sync(*host, &caches[h], round * SEC);
+                    let mut cache: BTreeSet<DataId> = reply.keep.iter().copied().collect();
+                    cache.extend(reply.download.iter().map(|(d, _)| d.id));
+                    caches[h] = cache.into_iter().collect();
+                }
+            }
+            data.iter().map(|d| ds.owners_of(d.id)).collect()
+        };
+
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn cross_shard_affinity_resolves_in_one_sync() {
+        // Find an anchor/follower pair living on different shards, then
+        // check the follower lands with the anchor in the same fan-out.
+        let mut f = Fixture::new(13);
+        let ds = sharded(4, 64);
+        let (anchor, follower) = loop {
+            let a = f.datum("anchor");
+            let b = f.datum("follower");
+            if ds.router().shard_of(a.id) != ds.router().shard_of(b.id) {
+                break (a, b);
+            }
+        };
+        ds.schedule(anchor.clone(), DataAttributes::default().with_replica(1));
+        ds.schedule(
+            follower.clone(),
+            DataAttributes::default().with_affinity(anchor.id),
+        );
+        let host = f.id();
+        let got = ids(&ds.sync(host, &[], 0));
+        let mut want = vec![anchor.id, follower.id];
+        want.sort();
+        assert_eq!(got, want, "follower crossed the shard boundary");
+    }
+
+    #[test]
+    fn global_budget_caps_downloads_across_shards() {
+        let mut f = Fixture::new(17);
+        let ds = sharded(4, 5);
+        for i in 0..20 {
+            ds.schedule(f.datum(&format!("d{i}")), DataAttributes::default());
+        }
+        let host = f.id();
+        let r1 = ds.sync(host, &[], 0);
+        assert_eq!(r1.download.len(), 5, "global MaxDataSchedule respected");
+        let cache = ids(&r1);
+        let r2 = ds.sync(host, &cache, SEC);
+        assert_eq!(r2.download.len(), 5, "next sync fetches the next slice");
+    }
+
+    #[test]
+    fn cross_shard_relative_lifetime_cascades() {
+        let mut f = Fixture::new(19);
+        let ds = sharded(4, 64);
+        let (anchor, dependent) = loop {
+            let a = f.datum("anchor");
+            let b = f.datum("dependent");
+            if ds.router().shard_of(a.id) != ds.router().shard_of(b.id) {
+                break (a, b);
+            }
+        };
+        ds.schedule(anchor.clone(), DataAttributes::default());
+        ds.schedule(
+            dependent.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::RelativeTo(anchor.id)),
+        );
+        let host = f.id();
+        let r = ds.sync(host, &[], 0);
+        assert_eq!(r.download.len(), 2);
+        // Deleting the anchor obsoletes the dependent on its other shard.
+        ds.delete_data(anchor.id);
+        assert!(!ds.is_managed(dependent.id), "cascade crossed shards");
+        let r2 = ds.sync(host, &[anchor.id, dependent.id], SEC);
+        let mut gone = r2.delete.clone();
+        gone.sort();
+        let mut want = vec![anchor.id, dependent.id];
+        want.sort();
+        assert_eq!(gone, want);
+    }
+
+    #[test]
+    fn reschedule_after_delete_drops_stale_dependency_edge() {
+        // delete(d) then re-schedule(d, Unbounded) must not leave an edge
+        // under d's old reference: deleting that reference later must not
+        // take the re-scheduled datum with it.
+        let mut f = Fixture::new(41);
+        let ds = sharded(4, 64);
+        let anchor = f.datum("anchor");
+        let d = f.datum("reborn");
+        ds.schedule(anchor.clone(), DataAttributes::default());
+        ds.schedule(
+            d.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::RelativeTo(anchor.id)),
+        );
+        ds.delete_data(d.id);
+        assert!(!ds.is_managed(d.id));
+        ds.schedule(d.clone(), DataAttributes::default());
+        assert!(ds.is_managed(d.id));
+        ds.delete_data(anchor.id);
+        assert!(
+            ds.is_managed(d.id),
+            "unbounded incarnation survives its old anchor's deletion"
+        );
+    }
+
+    #[test]
+    fn same_batch_dependency_survives_shard_reordering() {
+        // A dependent and its reference scheduled in ONE batch, with the
+        // dependent living on a lower-numbered shard: the dead-on-arrival
+        // decision must follow input order, not shard order.
+        let mut f = Fixture::new(47);
+        let ds = sharded(4, 64);
+        let (reference, dependent) = loop {
+            let r = f.datum("batch-ref");
+            let d = f.datum("batch-dep");
+            if ds.router().shard_of(d.id) < ds.router().shard_of(r.id) {
+                break (r, d);
+            }
+        };
+        ds.schedule_many([
+            (reference.clone(), DataAttributes::default()),
+            (
+                dependent.clone(),
+                DataAttributes::default().with_lifetime(Lifetime::RelativeTo(reference.id)),
+            ),
+        ]);
+        assert!(ds.is_managed(reference.id));
+        assert!(
+            ds.is_managed(dependent.id),
+            "same-batch dependent must not be declared dead on arrival"
+        );
+        let host = f.id();
+        assert_eq!(ds.sync(host, &[], 0).download.len(), 2);
+    }
+
+    #[test]
+    fn dead_on_arrival_reference_expires_on_the_sharded_plane() {
+        let mut f = Fixture::new(43);
+        let ds = sharded(4, 64);
+        let ghost = f.id();
+        let orphan = f.datum("orphan");
+        ds.schedule(
+            orphan.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::RelativeTo(ghost)),
+        );
+        assert!(!ds.is_managed(orphan.id), "dead on arrival across shards");
+        let host = f.id();
+        assert!(ds.sync(host, &[], 0).download.is_empty());
+        assert_eq!(ds.managed_count(), 0);
+    }
+
+    #[test]
+    fn expiry_on_one_shard_cascades_to_dependents_elsewhere() {
+        let mut f = Fixture::new(23);
+        let ds = sharded(4, 64);
+        let (anchor, dependent) = loop {
+            let a = f.datum("ttl-anchor");
+            let b = f.datum("ttl-dependent");
+            if ds.router().shard_of(a.id) != ds.router().shard_of(b.id) {
+                break (a, b);
+            }
+        };
+        ds.schedule(
+            anchor.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::Absolute(2 * SEC)),
+        );
+        ds.schedule(
+            dependent.clone(),
+            DataAttributes::default().with_lifetime(Lifetime::RelativeTo(anchor.id)),
+        );
+        let host = f.id();
+        assert_eq!(ds.sync(host, &[], 0).download.len(), 2);
+        // Past the anchor's deadline the sweep fires on the anchor's shard
+        // and the dependent leaves management on its own shard too.
+        let r = ds.sync(host, &[anchor.id, dependent.id], 5 * SEC);
+        assert!(r.delete.contains(&anchor.id));
+        assert!(!ds.is_managed(anchor.id));
+        assert!(!ds.is_managed(dependent.id));
+        // The dependent's cached copy is purged in the same sync when its
+        // shard validates after the anchor's, and one sync later otherwise
+        // — the same one-sync lag the monolithic sweep had.
+        let r2 = ds.sync(host, &r.keep, 6 * SEC);
+        assert!(r.delete.contains(&dependent.id) || r2.delete.contains(&dependent.id));
+        assert!(r2.keep.is_empty());
+    }
+
+    #[test]
+    fn failure_detection_spans_shards() {
+        let mut f = Fixture::new(29);
+        let ds = sharded(4, 64);
+        // Enough data that (with overwhelming probability) several shards
+        // are populated.
+        for i in 0..16 {
+            ds.schedule(
+                f.datum(&format!("ft{i}")),
+                DataAttributes::default()
+                    .with_replica(1)
+                    .with_fault_tolerance(true),
+            );
+        }
+        let h1 = f.id();
+        let r = ds.sync(h1, &[], 0);
+        let cache = ids(&r);
+        ds.sync(h1, &cache, SEC);
+        let dead = ds.detect_failures(SEC + 4 * SEC);
+        assert_eq!(dead, vec![h1], "declared dead exactly once");
+        for d in &cache {
+            assert!(ds.owners_of(*d).is_empty(), "ft owners evicted everywhere");
+        }
+    }
+
+    #[test]
+    fn replica_all_spreads_regardless_of_shard() {
+        let mut f = Fixture::new(31);
+        let ds = sharded(8, 64);
+        let d = f.datum("everywhere");
+        ds.schedule(
+            d.clone(),
+            DataAttributes::default().with_replica(REPLICA_ALL),
+        );
+        for _ in 0..6 {
+            let h = f.id();
+            assert_eq!(ids(&ds.sync(h, &[], 0)), vec![d.id]);
+        }
+        assert_eq!(ds.owners_of(d.id).len(), 6);
+    }
+
+    #[test]
+    fn plane_catalog_routes_and_merges_search() {
+        let plane = ShardedPlane::new(nz(4), 3 * SEC, 64, |_| {
+            let driver = Arc::new(EmbeddedDriver::new(DewDb::in_memory()));
+            DbAccess::Pooled(ConnectionPool::new(driver, 2))
+        });
+        let mut f = Fixture::new(37);
+        let data: Vec<Data> = (0..16).map(|_| f.datum("same-name")).collect();
+        for d in &data {
+            plane.register(d).unwrap();
+        }
+        assert_eq!(plane.registrations(), 16);
+        // Shards really are used: at least two catalogs hold something.
+        let used = (0..16)
+            .map(|i| plane.router().shard_of(data[i].id))
+            .collect::<HashSet<_>>();
+        assert!(used.len() > 1, "ids all hashed to one shard");
+        // Fan-out search finds every instance, sorted by id.
+        let hits = plane.search("same-name").unwrap();
+        assert_eq!(hits.len(), 16);
+        assert!(hits.windows(2).all(|w| w[0].id < w[1].id));
+        // Id-keyed paths route to the owning shard.
+        for d in &data {
+            assert_eq!(plane.get(d.id).unwrap().as_ref(), Some(d));
+        }
+        assert!(plane.delete_catalog(data[0].id).unwrap());
+        assert_eq!(plane.get(data[0].id).unwrap(), None);
+        assert_eq!(plane.search("same-name").unwrap().len(), 15);
+    }
+}

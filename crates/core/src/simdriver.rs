@@ -1,6 +1,6 @@
 //! Virtual-time driver: the BitDew control plane under the simulator.
 //!
-//! Runs the *same* [`DataScheduler`] (Algorithm 1) that the threaded runtime
+//! Runs the *same* [`DataScheduler`](crate::DataScheduler) plane (Algorithm 1) that the threaded runtime
 //! uses, but drives it with `bitdew-sim`'s event loop: reservoir heartbeats
 //! are virtual-clock events, downloads are max-min-fair flows on a
 //! [`FlowNet`], and host churn comes from a scripted plan. This is how the
@@ -8,6 +8,12 @@
 //! directly Fig. 4 (the DSL-Lab fault-tolerance scenario), whose waiting
 //! times are produced by the genuine failure-detector/heartbeat machinery
 //! below, not by a closed-form model.
+//!
+//! The control plane is the same sharded DC+DS plane the threaded runtime
+//! uses ([`crate::shard::ShardedScheduler`]); [`SimBitdew::with_shards`]
+//! partitions it over N consistent-hash shards and charges per-shard
+//! service latency (a queue per shard, slices processed in parallel), so
+//! the service plane's horizontal scaling is measurable in virtual time.
 //!
 //! [`SimBitdew`] is the scenario-scripting face (hosts, churn, traces).
 //! [`SimNode`] wraps one simulated host behind the three API traits of
@@ -18,6 +24,7 @@
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::num::NonZeroUsize;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -32,8 +39,9 @@ use crate::api::{
 use crate::attr::DataAttributes;
 use crate::attrparse;
 use crate::data::{Data, DataId};
-use crate::services::scheduler::{DataScheduler, HostUid, SyncRole};
+use crate::services::scheduler::{HostUid, SyncRole};
 use crate::services::transfer::{TransferId, TransferState};
+use crate::shard::ShardedScheduler;
 
 /// Called when a node finishes downloading a datum.
 pub type CopyHook = Box<dyn FnMut(&mut Sim, HostUid, &Data)>;
@@ -54,7 +62,7 @@ struct SpaceEntry {
 }
 
 struct DriverState {
-    scheduler: DataScheduler,
+    scheduler: ShardedScheduler,
     nodes: HashMap<HostUid, NodeState>,
     by_host: HashMap<HostId, HostUid>,
     copy_hook: Option<CopyHook>,
@@ -64,6 +72,16 @@ struct DriverState {
     space: HashMap<DataId, SpaceEntry>,
     /// Monotonic ids for direct (`get`) transfers.
     next_transfer: u64,
+    /// Per-shard service cost charged per synchronization item (cache
+    /// slice entries + candidate scans). Zero = the plane is free, the
+    /// pre-sharding behavior.
+    service_cost_per_item: SimDuration,
+    /// Fixed per-shard cost per synchronization request.
+    service_cost_base: SimDuration,
+    /// Each shard's service queue: the instant it becomes free.
+    shard_busy: Vec<SimTime>,
+    /// Synchronizations fully served (their shard work finished).
+    syncs_served: u64,
 }
 
 /// The virtual-time BitDew control plane.
@@ -79,7 +97,8 @@ pub struct SimBitdew {
 }
 
 impl SimBitdew {
-    /// Create the control plane on `net`, serving data from `service_host`.
+    /// Create the control plane on `net`, serving data from `service_host`,
+    /// with the monolithic (1-shard) service plane.
     /// The failure-detector timeout is 3 × `heartbeat` (§4.4).
     pub fn new(
         net: FlowNet,
@@ -87,16 +106,35 @@ impl SimBitdew {
         heartbeat: SimDuration,
         trace: Trace,
     ) -> SimBitdew {
+        Self::with_shards(net, service_host, heartbeat, trace, NonZeroUsize::MIN)
+    }
+
+    /// [`SimBitdew::new`] with the DC+DS plane partitioned over `shards`
+    /// consistent-hash shards (see [`crate::shard`]). Shard service queues
+    /// drain in parallel, so with a non-zero service cost
+    /// ([`SimBitdew::set_service_cost`]) the plane's sync capacity grows
+    /// with the shard count.
+    pub fn with_shards(
+        net: FlowNet,
+        service_host: HostId,
+        heartbeat: SimDuration,
+        trace: Trace,
+        shards: NonZeroUsize,
+    ) -> SimBitdew {
         let timeout = heartbeat.as_nanos().saturating_mul(3);
         SimBitdew {
             state: Rc::new(RefCell::new(DriverState {
-                scheduler: DataScheduler::new(timeout, 64),
+                scheduler: ShardedScheduler::new(shards, timeout, 64),
                 nodes: HashMap::new(),
                 by_host: HashMap::new(),
                 copy_hook: None,
                 data_names: HashMap::new(),
                 space: HashMap::new(),
                 next_transfer: 1,
+                service_cost_per_item: SimDuration::ZERO,
+                service_cost_base: SimDuration::ZERO,
+                shard_busy: vec![SimTime::ZERO; shards.get()],
+                syncs_served: 0,
             })),
             net,
             service_host,
@@ -104,6 +142,26 @@ impl SimBitdew {
             setup_latency: SimDuration::from_millis(150),
             trace,
         }
+    }
+
+    /// Charge each shard `base + per_item × items` of service time per
+    /// synchronization, where `items` is the shard's share of the work
+    /// (its slice of the host cache plus its candidate scan). Requests
+    /// queue per shard; shards serve in parallel.
+    pub fn set_service_cost(&self, base: SimDuration, per_item: SimDuration) {
+        let mut st = self.state.borrow_mut();
+        st.service_cost_base = base;
+        st.service_cost_per_item = per_item;
+    }
+
+    /// Synchronizations whose service-plane work has completed.
+    pub fn syncs_served(&self) -> u64 {
+        self.state.borrow().syncs_served
+    }
+
+    /// Number of service-plane shards.
+    pub fn shard_count(&self) -> usize {
+        self.state.borrow().scheduler.shard_count()
     }
 
     /// Install a hook fired on every completed copy (the MW workloads use
@@ -181,7 +239,7 @@ impl SimBitdew {
         let st = self.state.borrow();
         if let Some(attrs) = st.scheduler.attributes_of(id) {
             if let Some(entry) = st.space.get(&id) {
-                return Some((entry.data.clone(), attrs.clone()));
+                return Some((entry.data.clone(), attrs));
             }
         }
         st.space
@@ -296,12 +354,14 @@ impl SimBitdew {
         });
     }
 
-    /// One heartbeat for node `uid`: sync with the scheduler, purge obsolete
-    /// data, start flows for new assignments. Returns false (stopping the
-    /// recurring timer) when the node is dead.
+    /// One heartbeat for node `uid`: sync with the sharded scheduler, purge
+    /// obsolete data, start flows for new assignments once the service
+    /// plane has processed the request (per-shard queues, drained in
+    /// parallel; free when no service cost is configured). Returns false
+    /// (stopping the recurring timer) when the node is dead.
     fn heartbeat_step(&self, sim: &mut Sim, uid: HostUid) -> bool {
         let now = sim.now().as_nanos();
-        let (host, downloads) = {
+        let (host, downloads, served_at) = {
             let mut st = self.state.borrow_mut();
             let Some(node) = st.nodes.get(&uid) else {
                 return false;
@@ -312,7 +372,22 @@ impl SimBitdew {
             let host = node.host;
             let role = node.role;
             let cache: Vec<DataId> = node.cache.iter().copied().collect();
-            let reply = st.scheduler.sync_as(uid, &cache, now, role);
+            let (reply, profile) = st.scheduler.sync_profiled(uid, &cache, now, role);
+            // Charge each shard's queue its share of the work; the sync is
+            // served when the slowest shard finishes.
+            let mut served_at = sim.now();
+            if st.service_cost_base > SimDuration::ZERO
+                || st.service_cost_per_item > SimDuration::ZERO
+            {
+                for (i, &items) in profile.per_shard.iter().enumerate() {
+                    let cost = st.service_cost_base
+                        + st.service_cost_per_item.saturating_mul(items as u64);
+                    let start = st.shard_busy[i].max(sim.now());
+                    let done = start.saturating_add(cost);
+                    st.shard_busy[i] = done;
+                    served_at = served_at.max(done);
+                }
+            }
             let Some(node) = st.nodes.get_mut(&uid) else {
                 return false;
             };
@@ -325,8 +400,39 @@ impl SimBitdew {
                     downloads.push((data, attrs));
                 }
             }
-            (host, downloads)
+            (host, downloads, served_at)
         };
+        if served_at <= sim.now() {
+            self.state.borrow_mut().syncs_served += 1;
+            self.start_assigned_flows(sim, uid, host, downloads);
+        } else {
+            // The reply (and its transfer orders) arrives when the busiest
+            // shard has drained this request from its queue.
+            let driver = self.clone();
+            sim.schedule_at(served_at, move |sim| {
+                driver.state.borrow_mut().syncs_served += 1;
+                let alive = driver
+                    .state
+                    .borrow()
+                    .nodes
+                    .get(&uid)
+                    .is_some_and(|n| n.alive);
+                if alive {
+                    driver.start_assigned_flows(sim, uid, host, downloads);
+                }
+            });
+        }
+        true
+    }
+
+    /// Start the flows for a served synchronization's transfer orders.
+    fn start_assigned_flows(
+        &self,
+        sim: &mut Sim,
+        uid: HostUid,
+        host: HostId,
+        downloads: Vec<(Data, DataAttributes)>,
+    ) {
         for (data, _attrs) in downloads {
             let name = data.name.clone();
             self.trace.push(
@@ -357,7 +463,6 @@ impl SimBitdew {
                 }),
             );
         }
-        true
     }
 
     fn on_flow_done(

@@ -2,7 +2,7 @@
 //!
 //! "In contrast [to classical MW], the data-driven approach followed by
 //! BitDew implies that data are first scheduled to hosts. The programmer
-//! do[es] not have to code explicitly the data movement from host to host,
+//! do\[es\] not have to code explicitly the data movement from host to host,
 //! neither to manage fault tolerance. Programming the master or the worker
 //! consists in operating on data and attributes and reacting on data copy."
 //!

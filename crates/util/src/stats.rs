@@ -189,7 +189,7 @@ impl Histogram {
         self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
     }
 
-    /// Approximate quantile (`q` in [0,1]) from bucket midpoints.
+    /// Approximate quantile (`q` in \[0,1\]) from bucket midpoints.
     pub fn quantile(&self, q: f64) -> f64 {
         let total = self.total();
         if total == 0 {

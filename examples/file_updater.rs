@@ -2,29 +2,39 @@
 //!
 //! "One master node, the Updater, copies a file to each node in the network,
 //! the Updatee, and maintains the list of nodes which have received the file
-//! updated." The update is tagged `replica = −1` (every node), distributed
-//! over BitTorrent, with a bounded lifetime; each updatee reports back by
-//! scheduling a tiny host-name datum with affinity to a collector pinned on
-//! the master.
+//! updated." The update is tagged `replica = −1` (every node), with a
+//! bounded lifetime; each updatee reports back by scheduling a tiny
+//! host-name datum with affinity to a collector pinned on the master.
+//!
+//! The scenario is generic over the three trait APIs and reacts to data
+//! life-cycle events through the deployment-agnostic `poll_events` face
+//! (the polling equivalent of the paper's `UpdaterHandler`/`UpdateeHandler`
+//! callbacks), so the very same function runs on the threaded runtime —
+//! with the update distributed over real BitTorrent — and on the
+//! discrete-event simulator under virtual time.
 //!
 //! Run with: `cargo run --example file_updater`
 
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use bitdew::core::{
-    BitdewNode, CallbackHandler, DataAttributes, RuntimeConfig, ServiceContainer, REPLICA_ALL,
-};
-use bitdew::transport::ProtocolId;
-use std::sync::Mutex;
+use bitdew::core::api::{ActiveData, BitDewApi, DataEventKind, TransferManager};
+use bitdew::core::simdriver::{SimBitdew, SimNode};
+use bitdew::core::{BitdewNode, DataAttributes, RuntimeConfig, ServiceContainer, REPLICA_ALL};
+use bitdew::sim::{topology, Sim, SimDuration, SimTime, Trace};
 
 const UPDATEES: usize = 4;
 
-fn main() {
-    let container = ServiceContainer::start(RuntimeConfig::default());
-
+/// The whole update round, deployment-agnostic: push the file everywhere,
+/// gather one acknowledgement per updatee, return the updated host names.
+fn run_file_updater<N>(updater: N, updatees: Vec<N>, oob: &str) -> Vec<String>
+where
+    N: BitDewApi + ActiveData + TransferManager,
+{
     // --- The Updater (master) -----------------------------------------
-    let updater = BitdewNode::new_client(Arc::clone(&container));
     // The collector gathers "host updated" acknowledgements.
     let collector = updater.create_slot("collector", 0).expect("collector");
     updater
@@ -34,71 +44,100 @@ fn main() {
         .pin(&collector, DataAttributes::default())
         .expect("pin collector");
 
-    // The list of updated hosts, filled by the data life-cycle handler —
-    // the paper's `UpdaterHandler.onDataCopyEvent`.
-    let updatees: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
-    {
-        let updatees = Arc::clone(&updatees);
-        updater.add_callback(CallbackHandler::new().on_copy(move |data, _| {
-            if let Some(host) = data.name.strip_prefix("host.") {
-                updatees.lock().unwrap().push(host.to_string());
-            }
-        }));
-    }
-
     // The big file to push everywhere — Listing 1:
-    //   attr update = { replicat = -1, oob = bittorrent, abstime = 43200 }
+    //   attr update = { replicat = -1, oob = <protocol>, abstime = 43200 }
     let payload: Vec<u8> = (0..600_000u32).map(|i| (i % 251) as u8).collect();
     let update = updater
         .create_data("big_data_to_update", &payload)
         .expect("create");
     updater.put(&update, &payload).expect("put");
     let attr = updater
-        .create_attribute("attr update = { replicat = -1, oob = bittorrent, abstime = 43200 }")
+        .create_attribute(&format!(
+            "attr update = {{ replicat = -1, oob = {oob}, abstime = 43200 }}"
+        ))
         .expect("parse attribute");
     assert_eq!(attr.replica, REPLICA_ALL);
-    assert_eq!(attr.protocol, ProtocolId::bittorrent());
     updater.schedule(&update, attr).expect("schedule update");
 
-    // --- The Updatees ---------------------------------------------------
-    // Each updatee installs the paper's `UpdateeHandler`: on receiving the
-    // update it acknowledges by scheduling a host datum with affinity to
-    // the collector.
-    let mut nodes = Vec::new();
-    for i in 0..UPDATEES {
-        let node = BitdewNode::new(Arc::clone(&container));
-        let n2 = Arc::clone(&node);
-        let collector_id = collector.id;
-        let hostname = format!("node-{i:02}");
-        node.add_callback(CallbackHandler::new().on_copy(move |data, _| {
-            if data.name == "big_data_to_update" {
-                let ack_name = format!("host.{hostname}");
-                if let Ok(ack) = n2.create_data(&ack_name, hostname.as_bytes()) {
-                    let _ = n2.put(&ack, hostname.as_bytes());
-                    let _ =
-                        n2.schedule(&ack, DataAttributes::default().with_affinity(collector_id));
+    // --- Pump everyone until the updater heard back from every node ----
+    // Updatees react to the update's Copy event by scheduling an
+    // acknowledgement with affinity to the collector (the paper's
+    // `UpdateeHandler`); the updater's Copy events are the ack arrivals
+    // (`UpdaterHandler.onDataCopyEvent`).
+    let collector_id = collector.id;
+    let mut acked: Vec<bool> = vec![false; updatees.len()];
+    let mut done: BTreeSet<String> = BTreeSet::new();
+    let mut rounds = 0;
+    while done.len() < updatees.len() {
+        rounds += 1;
+        assert!(rounds < 20_000, "update round timed out");
+        updater.pump().expect("pump updater");
+        for ev in updater.poll_events() {
+            if ev.kind == DataEventKind::Copy {
+                if let Some(host) = ev.data.name.strip_prefix("host.") {
+                    done.insert(host.to_string());
                 }
             }
-        }));
-        nodes.push(node);
-    }
-
-    // Pump everyone until the updater heard back from every node.
-    let deadline = Instant::now() + Duration::from_secs(60);
-    while updatees.lock().unwrap().len() < UPDATEES {
-        assert!(Instant::now() < deadline, "update round timed out");
-        updater.sync_once();
-        for n in &nodes {
-            n.sync_once();
         }
-        std::thread::sleep(Duration::from_millis(5));
+        for (i, node) in updatees.iter().enumerate() {
+            node.pump().expect("pump updatee");
+            for ev in node.poll_events() {
+                if ev.kind != DataEventKind::Copy
+                    || ev.data.name != "big_data_to_update"
+                    || acked[i]
+                {
+                    continue;
+                }
+                acked[i] = true;
+                let hostname = format!("node-{i:02}");
+                let ack_name = format!("host.{hostname}");
+                let ack = node
+                    .create_data(&ack_name, hostname.as_bytes())
+                    .expect("create ack");
+                node.put(&ack, hostname.as_bytes()).expect("put ack");
+                node.schedule(&ack, DataAttributes::default().with_affinity(collector_id))
+                    .expect("schedule ack");
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
     }
 
-    let mut done = updatees.lock().unwrap().clone();
-    done.sort();
-    println!("updated hosts ({}): {done:?}", done.len());
-    for n in &nodes {
-        assert!(n.has_cached(update.id));
+    for n in &updatees {
+        assert!(n.has_cached(update.id), "every node kept the update");
     }
-    println!("every node verified the BitTorrent-distributed update — done");
+    done.into_iter().collect()
+}
+
+fn main() {
+    // --- Deployment 1: the threaded runtime, BitTorrent distribution -----
+    println!("[threaded runtime] update over BitTorrent:");
+    let container = ServiceContainer::start(RuntimeConfig::default());
+    let updater = BitdewNode::new_client(Arc::clone(&container));
+    let nodes: Vec<Arc<BitdewNode>> = (0..UPDATEES)
+        .map(|_| BitdewNode::new(Arc::clone(&container)))
+        .collect();
+    let done = run_file_updater(updater, nodes, "bittorrent");
+    println!("  updated hosts ({}): {done:?}", done.len());
+
+    // --- Deployment 2: the discrete-event simulator ----------------------
+    println!("[simulator] same scenario fn, virtual time:");
+    let topo = topology::gdx_cluster(UPDATEES + 1);
+    let sim = Rc::new(RefCell::new(Sim::new(77)));
+    let driver = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_millis(100),
+        Trace::new(),
+    );
+    let updater = SimNode::attach_client(&sim, &driver, topo.workers[0], SimTime::ZERO);
+    let nodes: Vec<SimNode> = (1..=UPDATEES)
+        .map(|i| SimNode::attach(&sim, &driver, topo.workers[i], SimTime::ZERO))
+        .collect();
+    let done = run_file_updater(updater, nodes, "ftp");
+    println!(
+        "  updated hosts ({}) at virtual t = {:.1}s",
+        done.len(),
+        sim.borrow().now().as_secs_f64()
+    );
+    println!("every node verified the update on both deployments — done");
 }

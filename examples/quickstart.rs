@@ -1,33 +1,43 @@
 //! Quickstart: create data, tag it with attributes, let the runtime move it.
 //!
-//! Demonstrates the paper's core loop in a dozen lines of API: a client
-//! creates a datum, `put`s its content into the data space, schedules it
-//! with `replica = 2`, and two reservoir workers receive it automatically.
+//! Demonstrates the paper's core loop in a dozen lines of API — written
+//! ONCE against the three trait APIs (`BitDewApi` + `ActiveData` +
+//! `TransferManager`) and executed on BOTH deployments: the threaded
+//! runtime (real transfers, wall-clock heartbeats) and the discrete-event
+//! simulator (flow-level transfers, virtual time). A client creates a
+//! datum, `put`s its content into the data space, schedules it with
+//! `replica = 2`, and two reservoir workers receive it automatically.
 //!
 //! Run with: `cargo run --example quickstart`
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bitdew::core::{BitdewNode, DataAttributes, RuntimeConfig, ServiceContainer};
+use bitdew::core::api::{ActiveData, BitDewApi, TransferManager};
+use bitdew::core::simdriver::{SimBitdew, SimNode};
+use bitdew::core::{BitdewNode, Data, DataAttributes, RuntimeConfig, ServiceContainer};
+use bitdew::sim::{topology, Sim, SimDuration, SimTime, Trace};
 
-fn main() {
-    // The stable service host: Data Catalog, Repository, Transfer, Scheduler.
-    let container = ServiceContainer::start(RuntimeConfig::default());
-
-    // A client attaches to the data space.
-    let client = BitdewNode::new_client(Arc::clone(&container));
+/// The whole quickstart, deployment-agnostic: returns the scheduled datum
+/// once both workers hold a verified replica.
+fn run_quickstart<N>(client: N, workers: Vec<N>) -> Data
+where
+    N: BitDewApi + ActiveData + TransferManager,
+{
     let content = b"the dew of little bits of data".to_vec();
     let data = client
         .create_data("quickstart-payload", &content)
         .expect("create");
     client.put(&data, &content).expect("put");
     println!(
-        "created {} ({} bytes, md5 {})",
+        "  created {} ({} bytes, md5 {})",
         data.name, data.size, data.checksum
     );
 
-    // Tag it: two replicas, fault tolerant, over the FTP-like protocol.
+    // Tag it: two replicas, fault tolerant. The Data Scheduler (Algorithm 1)
+    // hands each synchronizing reservoir a replica.
     client
         .schedule(
             &data,
@@ -37,34 +47,58 @@ fn main() {
         )
         .expect("schedule");
 
-    // Two volatile reservoir workers join and heartbeat; the Data Scheduler
-    // (Algorithm 1) hands each of them a replica.
-    let w1 = BitdewNode::new(Arc::clone(&container));
-    let w2 = BitdewNode::new(Arc::clone(&container));
-    let h1 = w1.start_heartbeat(Duration::from_millis(20));
-    let h2 = w2.start_heartbeat(Duration::from_millis(20));
-
-    let deadline = std::time::Instant::now() + Duration::from_secs(10);
-    while !(w1.has_cached(data.id) && w2.has_cached(data.id)) {
-        assert!(
-            std::time::Instant::now() < deadline,
-            "replication timed out"
-        );
-        std::thread::sleep(Duration::from_millis(10));
+    // Pump the workers until both replicas landed (a pump is one reservoir
+    // heartbeat: wall-clock on threads, virtual time under the simulator).
+    let mut rounds = 0;
+    while !workers.iter().all(|w| w.has_cached(data.id)) {
+        rounds += 1;
+        assert!(rounds < 5_000, "replication timed out");
+        for w in &workers {
+            w.pump().expect("pump");
+        }
+        std::thread::sleep(Duration::from_millis(1));
     }
-    h1.stop();
-    h2.stop();
 
-    for (i, w) in [&w1, &w2].iter().enumerate() {
-        let got = w
-            .local_store()
-            .read_at(&data.object_name(), 0, content.len())
-            .expect("replica content");
+    for (i, w) in workers.iter().enumerate() {
+        let got = w.read_local(&data).expect("replica content");
         assert_eq!(&got[..], &content[..]);
-        println!("worker {} holds a verified replica", i + 1);
+        println!("  worker {} holds a verified replica", i + 1);
     }
+    data
+}
+
+fn main() {
+    // --- Deployment 1: the threaded runtime ------------------------------
+    println!("[threaded runtime]");
+    let container = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&container));
+    let workers: Vec<Arc<BitdewNode>> = (0..2)
+        .map(|_| BitdewNode::new(Arc::clone(&container)))
+        .collect();
+    let data = run_quickstart(client, workers);
     println!(
-        "scheduler sees {} owners — quickstart done",
-        container.scheduler.lock().owners_of(data.id).len()
+        "  scheduler sees {} owners — threaded quickstart done",
+        container.owners_of(data.id).len()
+    );
+
+    // --- Deployment 2: the discrete-event simulator -----------------------
+    println!("[simulator] same scenario fn, virtual time:");
+    let topo = topology::gdx_cluster(3);
+    let sim = Rc::new(RefCell::new(Sim::new(5)));
+    let driver = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_millis(100),
+        Trace::new(),
+    );
+    let client = SimNode::attach_client(&sim, &driver, topo.workers[0], SimTime::ZERO);
+    let workers: Vec<SimNode> = (1..=2)
+        .map(|i| SimNode::attach(&sim, &driver, topo.workers[i], SimTime::ZERO))
+        .collect();
+    let data = run_quickstart(client, workers);
+    println!(
+        "  {} owners at virtual t = {:.2}s — simulated quickstart done",
+        driver.owners_of(data.id).len(),
+        sim.borrow().now().as_secs_f64()
     );
 }

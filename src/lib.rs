@@ -28,13 +28,30 @@
 //! `core::BitdewError` (transport, storage, attribute-parse, catalog-miss,
 //! scheduler, timeout and transfer-failure variants).
 //!
-//! See the `examples/` directory for runnable walk-throughs:
+//! ## The sharded service plane
+//!
+//! Behind both deployments sits one service plane, and since PR 2 it is
+//! **horizontally partitioned**: `core::shard::ShardRouter` maps each datum
+//! onto one of N consistent-hash shards (equal arcs of the `dht` 2^64
+//! ring), and `core::shard::ShardedPlane` runs an independent
+//! `(DataCatalog, DataScheduler)` pair per shard — own database, own lock.
+//! Reservoir synchronization fans out per shard and merges under one global
+//! `MaxDataSchedule` budget, so any shard count converges to the paper's
+//! placements; `RuntimeConfig::shards` (default 1 = the paper's monolithic
+//! service node) selects the partition width, and the `shard_scale` bench
+//! in `bitdew-bench` measures the resulting sync/publish throughput
+//! scaling.
+//!
+//! See the `examples/` directory for runnable walk-throughs — every one of
+//! them is written once against the three traits and executed on BOTH the
+//! threaded runtime and the simulator:
 //!
 //! * `quickstart` — create, tag, replicate a datum;
-//! * `file_updater` — the paper's Listing 1/2 network-update program;
-//! * `blast_mw` — the §5 master/worker application written once against the
-//!   traits and executed on BOTH the threaded runtime and the simulator;
-//! * `fault_tolerance` — the Fig. 4 churn scenario under the simulator.
+//! * `file_updater` — the paper's Listing 1/2 network-update program,
+//!   reacting to life-cycle events through `poll_events`;
+//! * `blast_mw` — the §5 master/worker application;
+//! * `fault_tolerance` — an owner crash healed through the failure
+//!   detector (the Fig. 4 machinery).
 
 #![warn(missing_docs)]
 

@@ -157,13 +157,13 @@ fn transfer_failures_surface_through_the_unified_error_model() {
 
     // A locator pointing at a dead endpoint fails in transport terms.
     let stale = client.create_data("stale", b"content").unwrap();
-    c.catalog
-        .add_locator(&Locator {
+    c.plane
+        .add_locators(&[Locator {
             data: stale.id,
             protocol: ProtocolId::ftp(),
             remote: "no.such.listener".into(),
             object: stale.object_name(),
-        })
+        }])
         .unwrap();
     match client.get(&stale) {
         Err(BitdewError::Transport(_)) => {}

@@ -117,7 +117,7 @@ fn fault_tolerant_data_moves_to_surviving_worker() {
         w2.sync_once();
         std::thread::sleep(Duration::from_millis(5));
     }
-    let owners = c.scheduler.lock().owners_of(data.id);
+    let owners = c.owners_of(data.id);
     assert_eq!(owners, vec![w2.uid], "ownership moved to the survivor");
 }
 

@@ -1,0 +1,302 @@
+//! Dual-backend equivalence of the sharded service plane: for the same
+//! workload driven in the same deterministic order, a 4-shard plane and the
+//! monolithic 1-shard plane must reach the same steady state — the same
+//! per-node cache contents and the same owner sets — on the threaded
+//! runtime and on the simulator alike.
+//!
+//! Caches and owners are compared by data *name* and node *index* (ids and
+//! host uids are freshly generated per run), which is exactly the
+//! application-visible state.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::num::NonZeroUsize;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bitdew::core::api::{ActiveData, BitDewApi, TransferManager};
+use bitdew::core::simdriver::{SimBitdew, SimNode};
+use bitdew::core::{
+    BitdewNode, Data, DataAttributes, Lifetime, RuntimeConfig, ServiceContainer, REPLICA_ALL,
+};
+use bitdew::sim::{topology, Sim, SimDuration, SimTime, Trace};
+
+/// Application-visible steady state: per node (by index) the set of cached
+/// data names, and per datum the set of owner node indices.
+#[derive(Debug, PartialEq, Eq)]
+struct Snapshot {
+    caches: Vec<BTreeSet<String>>,
+    owners: BTreeMap<String, BTreeSet<usize>>,
+}
+
+const WORKERS: usize = 4;
+
+/// Build the mixed workload on `master`: replicated data, an affinity
+/// chain, a relative lifetime, and a collector-routed result. Returns the
+/// data by name (the anchor is deleted mid-scenario by the caller).
+fn build_workload<N>(master: &N) -> BTreeMap<String, Data>
+where
+    N: BitDewApi + ActiveData + TransferManager,
+{
+    let mut by_name = BTreeMap::new();
+    let collector = master.create_slot("collector", 0).expect("collector");
+    master
+        .schedule(&collector, DataAttributes::default().with_replica(0))
+        .expect("schedule collector");
+    master
+        .pin(&collector, DataAttributes::default())
+        .expect("pin collector");
+    by_name.insert("collector".to_string(), collector.clone());
+
+    fn put<N: BitDewApi + ActiveData>(
+        master: &N,
+        by_name: &mut BTreeMap<String, Data>,
+        name: &str,
+        attrs: DataAttributes,
+    ) {
+        let content = format!("content of {name}").into_bytes();
+        let d = master.create_data(name, &content).expect("create");
+        master.put(&d, &content).expect("put");
+        master.schedule(&d, attrs).expect("schedule");
+        by_name.insert(name.to_string(), d);
+    }
+
+    put(
+        master,
+        &mut by_name,
+        "app",
+        DataAttributes::default().with_replica(REPLICA_ALL),
+    );
+    put(
+        master,
+        &mut by_name,
+        "solo",
+        DataAttributes::default().with_replica(1),
+    );
+    put(
+        master,
+        &mut by_name,
+        "pair",
+        DataAttributes::default().with_replica(2),
+    );
+    put(
+        master,
+        &mut by_name,
+        "anchor",
+        DataAttributes::default()
+            .with_replica(2)
+            .with_fault_tolerance(true),
+    );
+    let anchor_id = by_name["anchor"].id;
+    put(
+        master,
+        &mut by_name,
+        "follower",
+        DataAttributes::default().with_affinity(anchor_id),
+    );
+    put(
+        master,
+        &mut by_name,
+        "leased",
+        DataAttributes::default()
+            .with_replica(1)
+            .with_lifetime(Lifetime::RelativeTo(anchor_id)),
+    );
+    let collector_id = by_name["collector"].id;
+    put(
+        master,
+        &mut by_name,
+        "result",
+        DataAttributes::default().with_affinity(collector_id),
+    );
+    by_name
+}
+
+fn snapshot<N>(
+    nodes: &[&N],
+    by_name: &BTreeMap<String, Data>,
+    owners_of: impl Fn(&Data) -> Vec<bitdew::util::Auid>,
+) -> Snapshot
+where
+    N: BitDewApi + ActiveData + TransferManager,
+{
+    let names: BTreeMap<_, _> = by_name.iter().map(|(n, d)| (d.id, n.clone())).collect();
+    let uid_to_index: BTreeMap<_, _> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.host_uid(), i))
+        .collect();
+    let caches = nodes
+        .iter()
+        .map(|n| {
+            n.cached()
+                .into_iter()
+                .filter_map(|id| names.get(&id).cloned())
+                .collect()
+        })
+        .collect();
+    let owners = by_name
+        .iter()
+        .map(|(name, d)| {
+            let set = owners_of(d)
+                .into_iter()
+                .filter_map(|u| uid_to_index.get(&u).copied())
+                .collect();
+            (name.clone(), set)
+        })
+        .collect();
+    Snapshot { caches, owners }
+}
+
+/// Drive `nodes` in fixed order until their caches are stable for several
+/// consecutive rounds (steady state).
+fn pump_to_steady_state<N>(nodes: &[&N], max_rounds: usize)
+where
+    N: BitDewApi + ActiveData + TransferManager,
+{
+    let mut stable = 0;
+    let mut last: Vec<Vec<_>> = Vec::new();
+    for round in 0..max_rounds {
+        for n in nodes {
+            n.pump().expect("pump");
+        }
+        let now: Vec<Vec<_>> = nodes.iter().map(|n| n.cached()).collect();
+        if now == last {
+            stable += 1;
+            if stable >= 8 {
+                return;
+            }
+        } else {
+            stable = 0;
+            last = now;
+        }
+        assert!(round + 1 < max_rounds, "no steady state reached");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The full scenario against one deployment: build, replicate, then delete
+/// the anchor (taking `follower`'s placement root and `leased`'s lifetime
+/// reference with it) and settle again.
+fn run_scenario<N>(
+    master: &N,
+    workers: &[N],
+    owners_of: impl Fn(&Data) -> Vec<bitdew::util::Auid>,
+) -> (Snapshot, Snapshot)
+where
+    N: BitDewApi + ActiveData + TransferManager,
+{
+    let by_name = build_workload(master);
+    let mut nodes: Vec<&N> = vec![master];
+    nodes.extend(workers.iter());
+
+    pump_to_steady_state(&nodes, 4_000);
+    let mid = snapshot(&nodes, &by_name, &owners_of);
+
+    master.delete(&by_name["anchor"]).expect("delete anchor");
+    pump_to_steady_state(&nodes, 4_000);
+    let end = snapshot(&nodes, &by_name, &owners_of);
+    (mid, end)
+}
+
+fn run_threaded(shards: usize) -> (Snapshot, Snapshot) {
+    let config = RuntimeConfig {
+        heartbeat: Duration::from_millis(20),
+        shards: NonZeroUsize::new(shards).expect("shards"),
+        ..Default::default()
+    };
+    let c = ServiceContainer::start(config);
+    let master = BitdewNode::new_client(Arc::clone(&c));
+    let workers: Vec<Arc<BitdewNode>> = (0..WORKERS)
+        .map(|_| BitdewNode::new(Arc::clone(&c)))
+        .collect();
+    run_scenario(&master, &workers, |d| c.owners_of(d.id))
+}
+
+fn run_simulated(shards: usize) -> (Snapshot, Snapshot) {
+    let topo = topology::gdx_cluster(WORKERS + 1);
+    let sim = Rc::new(RefCell::new(Sim::new(4242)));
+    let driver = SimBitdew::with_shards(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_millis(100),
+        Trace::new(),
+        NonZeroUsize::new(shards).expect("shards"),
+    );
+    let master = SimNode::attach_client(&sim, &driver, topo.workers[0], SimTime::ZERO);
+    let workers: Vec<SimNode> = (1..=WORKERS)
+        .map(|i| SimNode::attach(&sim, &driver, topo.workers[i], SimTime::ZERO))
+        .collect();
+    run_scenario(&master, &workers, |d| driver.owners_of(d.id))
+}
+
+#[test]
+fn threaded_sharded_plane_matches_monolith() {
+    let (mid1, end1) = run_threaded(1);
+    let (mid4, end4) = run_threaded(4);
+    assert_eq!(mid1, mid4, "pre-delete steady state diverged");
+    assert_eq!(end1, end4, "post-delete steady state diverged");
+
+    // Sanity: the scenario actually exercised the plane.
+    assert!(mid1.caches[1..].iter().all(|c| c.contains("app")));
+    assert_eq!(mid1.owners["solo"].len(), 1);
+    assert_eq!(mid1.owners["pair"].len(), 2);
+    assert!(mid1.caches[0].contains("result"), "affinity reached master");
+    assert_eq!(mid1.owners["follower"], mid1.owners["anchor"]);
+    // The anchor's deletion took its dependents with it.
+    assert!(end1.owners["anchor"].is_empty());
+    assert!(end1.owners["leased"].is_empty());
+    assert!(end1.caches.iter().all(|c| !c.contains("leased")));
+}
+
+#[test]
+fn simulated_sharded_plane_matches_monolith() {
+    let (mid1, end1) = run_simulated(1);
+    let (mid4, end4) = run_simulated(4);
+    assert_eq!(mid1, mid4, "pre-delete steady state diverged");
+    assert_eq!(end1, end4, "post-delete steady state diverged");
+    assert!(mid1.caches[1..].iter().all(|c| c.contains("app")));
+    assert_eq!(mid1.owners["solo"].len(), 1);
+    assert!(end1.caches.iter().all(|c| !c.contains("leased")));
+}
+
+#[test]
+fn binding_global_budget_still_converges_identically() {
+    // With MaxDataSchedule = 2 the per-sync assignment order differs
+    // between shard layouts, but replica = -1 data must still blanket every
+    // node at the fixed point, shard count notwithstanding.
+    let run = |shards: usize| -> Snapshot {
+        let config = RuntimeConfig {
+            heartbeat: Duration::from_millis(20),
+            max_data_schedule: 2,
+            shards: NonZeroUsize::new(shards).expect("shards"),
+            ..Default::default()
+        };
+        let c = ServiceContainer::start(config);
+        let master = BitdewNode::new_client(Arc::clone(&c));
+        let workers: Vec<Arc<BitdewNode>> =
+            (0..3).map(|_| BitdewNode::new(Arc::clone(&c))).collect();
+        let mut by_name = BTreeMap::new();
+        for i in 0..7 {
+            let name = format!("blanket-{i}");
+            let content = name.clone().into_bytes();
+            let d = master.create_data(&name, &content).expect("create");
+            master.put(&d, &content).expect("put");
+            master
+                .schedule(&d, DataAttributes::default().with_replica(REPLICA_ALL))
+                .expect("schedule");
+            by_name.insert(name, d);
+        }
+        let nodes: Vec<&Arc<BitdewNode>> = workers.iter().collect();
+        pump_to_steady_state(&nodes, 4_000);
+        snapshot(&nodes, &by_name, |d| c.owners_of(d.id))
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one, four);
+    assert!(
+        one.caches.iter().all(|c| c.len() == 7),
+        "every node holds every blanket datum"
+    );
+}
