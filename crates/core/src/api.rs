@@ -67,6 +67,14 @@ pub enum BitdewError {
         /// How long the caller waited.
         waited: Duration,
     },
+    /// A chunk failed verification against its manifest digest
+    /// (the chunked data plane's per-chunk CRC32 check).
+    ChunkDigest {
+        /// Object the chunk belongs to.
+        object: String,
+        /// Index of the offending chunk.
+        index: u32,
+    },
 }
 
 impl std::fmt::Display for BitdewError {
@@ -80,6 +88,9 @@ impl std::fmt::Display for BitdewError {
             BitdewError::Scheduler { what } => write!(f, "scheduler: {what}"),
             BitdewError::Timeout { what, waited } => {
                 write!(f, "timed out after {waited:?} waiting for {what}")
+            }
+            BitdewError::ChunkDigest { object, index } => {
+                write!(f, "chunk {index} of `{object}` failed digest verification")
             }
         }
     }
@@ -187,6 +198,16 @@ pub trait BitDewApi {
     /// Read the content of a datum this node holds locally (after a
     /// completed `get` or a scheduled copy).
     fn read_local(&self, data: &Data) -> Result<Vec<u8>>;
+
+    /// Write a byte range into a datum's data-space content (fine-grain
+    /// update; the chunked plane's write face). The datum must have been
+    /// `put` (or created as a slot with content) first.
+    fn put_range(&self, data: &Data, offset: u64, content: &[u8]) -> Result<()>;
+
+    /// Read a byte range of a datum straight from the data space, without
+    /// copying the whole blob locally (fine-grain access; short only at
+    /// EOF).
+    fn get_range(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>>;
 }
 
 /// The *ActiveData* API (§3.3): attribute-driven scheduling and life-cycle
@@ -203,6 +224,14 @@ pub trait ActiveData {
     /// eviction, and place the datum in the local cache so affinity
     /// dependencies resolve here (the master pins the Collector in §5).
     fn pin(&self, data: &Data, attrs: DataAttributes) -> Result<()>;
+
+    /// Manifest-aware partial pin: declare that this node currently holds
+    /// exactly the listed chunks of `data` (indices into its published
+    /// [`ChunkManifest`](crate::chunks::ChunkManifest)). Holding every
+    /// chunk is a full [`ActiveData::pin`]; holding a subset registers the
+    /// node as a *partial* holder, which the Data Scheduler keeps out of
+    /// Ω(d) and targets with chunk-level repair instead of a re-download.
+    fn pin_chunks(&self, data: &Data, attrs: DataAttributes, held: &[u32]) -> Result<()>;
 
     /// Drain the life-cycle events observed since the last poll, oldest
     /// first. Polling is the deployment-agnostic face of the paper's
@@ -277,6 +306,12 @@ macro_rules! delegate_api {
             fn read_local(&self, data: &Data) -> Result<Vec<u8>> {
                 (**self).read_local(data)
             }
+            fn put_range(&self, data: &Data, offset: u64, content: &[u8]) -> Result<()> {
+                (**self).put_range(data, offset, content)
+            }
+            fn get_range(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>> {
+                (**self).get_range(data, offset, len)
+            }
         }
 
         impl<N: ActiveData + ?Sized> ActiveData for $wrapper {
@@ -288,6 +323,9 @@ macro_rules! delegate_api {
             }
             fn pin(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
                 (**self).pin(data, attrs)
+            }
+            fn pin_chunks(&self, data: &Data, attrs: DataAttributes, held: &[u32]) -> Result<()> {
+                (**self).pin_chunks(data, attrs, held)
             }
             fn poll_events(&self) -> Vec<DataEvent> {
                 (**self).poll_events()

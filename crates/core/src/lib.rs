@@ -81,12 +81,29 @@
 //! [`simdriver::SimBitdew::with_shards`] — where per-shard service latency
 //! is charged on parallel shard queues, making the plane's horizontal
 //! scaling measurable in virtual time (the `shard_scale` bench).
+//!
+//! ## The chunked multi-source data plane
+//!
+//! Between the attribute/scheduler plane and the transport protocols sits
+//! [`chunks`]: every datum can publish a [`ChunkManifest`] (fixed-size
+//! chunk descriptors with CRC32 digests, stored in the catalog beside the
+//! locators), nodes store content through a chunk-granular [`ChunkStore`],
+//! and downloads run as a [`MultiSourceFetcher`] that work-steals chunk
+//! ranges across the repository *and* every announced peer replica, with
+//! per-source pipelining, per-chunk digest verification, and re-queue of
+//! chunks from sources that die mid-transfer. The Data Scheduler is
+//! chunk-aware: a host joins Ω(d) only once it holds every chunk, and a
+//! partially lost replica receives a *repair* order that moves only the
+//! missing chunks. The simulator models the same plane as per-chunk flows
+//! (the `chunk_scale` bench pins multi-source scaling against
+//! single-source FTP and the BitTorrent fluid model).
 
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod attr;
 pub mod attrparse;
+pub mod chunks;
 pub mod data;
 pub mod events;
 pub mod runtime;
@@ -99,6 +116,7 @@ pub use api::{
 };
 pub use attr::{Attribute, DataAttributes, Lifetime, REPLICA_ALL};
 pub use attrparse::{parse_attributes, parse_single, AttrDef, AttrError, ResolveCtx};
+pub use chunks::{ChunkDescriptor, ChunkManifest, ChunkStore, MultiSourceFetcher};
 pub use data::{Data, DataFlags, DataId, Locator};
 pub use events::{ActiveDataEventHandler, CallbackHandler};
 pub use runtime::{BitdewNode, NodeHandle, RuntimeConfig, ServiceContainer, SyncSummary};

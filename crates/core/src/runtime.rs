@@ -37,11 +37,14 @@ use bitdew_transport::oob::{OobTransfer, TransferSpec, TransferStatus};
 use bitdew_transport::{Fabric, FileStore, MemStore, ProtocolId, TransportError};
 use bitdew_util::Auid;
 
+use bitdew_transport::ftp::{FtpRangeClient, FtpServer};
+
 use crate::api::{
     ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, Result, TransferManager,
 };
 use crate::attr::DataAttributes;
 use crate::attrparse;
+use crate::chunks::{ChunkManifest, ChunkStore, MultiSourceFetcher, DEFAULT_CHUNK_SIZE};
 use crate::data::{Data, DataId, Locator};
 use crate::events::ActiveDataEventHandler;
 use crate::services::catalog::DbAccess;
@@ -284,8 +287,20 @@ pub struct BitdewNode {
     pub uid: HostUid,
     container: Arc<ServiceContainer>,
     local: Arc<dyn FileStore>,
+    /// Chunk-granular view of `local` (presence tracking + verified range
+    /// admission) — the node's face of the chunked data plane.
+    chunk_store: Arc<ChunkStore>,
     cache: Mutex<HashMap<DataId, (Data, DataAttributes)>>,
     pending: Mutex<HashMap<DataId, (TransferId, Data, DataAttributes)>>,
+    /// In-flight chunk-level repairs (datum stays cached while missing
+    /// chunks are re-fetched).
+    repairing: Mutex<HashMap<DataId, TransferId>>,
+    /// Manifests this node has seen (fetched from the catalog or produced
+    /// by `put_chunked`).
+    manifests: Mutex<HashMap<DataId, ChunkManifest>>,
+    /// Range server over `local` when this node serves its replicas to
+    /// peers (see [`BitdewNode::enable_serving`]).
+    peer_server: Mutex<Option<FtpServer>>,
     handlers: Mutex<Vec<Box<dyn ActiveDataEventHandler>>>,
     events: Mutex<VecDeque<DataEvent>>,
     /// Whether `poll_events` has ever been called (see [`EVENT_QUEUE_CAP`]).
@@ -323,9 +338,13 @@ impl BitdewNode {
         Arc::new(BitdewNode {
             uid: Auid::random(),
             container,
+            chunk_store: ChunkStore::new(Arc::clone(&local)),
             local,
             cache: Mutex::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
+            repairing: Mutex::new(HashMap::new()),
+            manifests: Mutex::new(HashMap::new()),
+            peer_server: Mutex::new(None),
             handlers: Mutex::new(Vec::new()),
             events: Mutex::new(VecDeque::new()),
             polled: AtomicBool::new(false),
@@ -422,6 +441,209 @@ impl BitdewNode {
             .local
             .read_at(&data.object_name(), 0, data.size as usize)?;
         Ok(bytes.to_vec())
+    }
+
+    // --- Chunked data plane -----------------------------------------------
+
+    /// This node's chunk-granular local store.
+    pub fn chunk_store(&self) -> &Arc<ChunkStore> {
+        &self.chunk_store
+    }
+
+    /// [`BitdewNode::put`] plus a published [`ChunkManifest`]: the content
+    /// lands in the repository, FTP/HTTP locators are recorded, and the
+    /// chunk map (per-chunk CRC32 digests at `chunk_size`, 0 = default) is
+    /// published through the catalog plane so any host can run a
+    /// multi-source range fetch or chunk-level repair against it.
+    pub fn put_chunked(
+        &self,
+        data: &Data,
+        content: &[u8],
+        chunk_size: u64,
+    ) -> Result<ChunkManifest> {
+        self.put(data, content)?;
+        let chunk_size = if chunk_size == 0 {
+            DEFAULT_CHUNK_SIZE
+        } else {
+            chunk_size
+        };
+        let manifest = ChunkManifest::describe(data.id, chunk_size, content);
+        self.container.plane.put_manifest(&manifest)?;
+        self.manifests.lock().insert(data.id, manifest.clone());
+        Ok(manifest)
+    }
+
+    /// The chunk manifest of a datum, if one was published (cached locally
+    /// after the first catalog hit).
+    pub fn manifest_for(&self, id: DataId) -> Result<Option<ChunkManifest>> {
+        if let Some(m) = self.manifests.lock().get(&id) {
+            return Ok(Some(m.clone()));
+        }
+        let m = self.container.plane.manifest(id)?;
+        if let Some(m) = &m {
+            self.manifests.lock().insert(id, m.clone());
+        }
+        Ok(m)
+    }
+
+    /// Start serving this node's local store to peers over the FTP range
+    /// protocol. Once enabled, every manifest-backed datum this node
+    /// finishes downloading is announced with a peer locator, so other
+    /// hosts' multi-source fetches can pull chunks from here — the
+    /// scheduler's Ω owner set becomes a real source set.
+    pub fn enable_serving(&self) {
+        let mut server = self.peer_server.lock();
+        if server.is_none() {
+            *server = Some(FtpServer::start(
+                &self.container.fabric,
+                &self.peer_endpoint(),
+                Arc::clone(&self.local),
+            ));
+        }
+    }
+
+    /// The fabric listener name of this node's peer range server.
+    pub fn peer_endpoint(&self) -> String {
+        format!("peer.{}.ftp", self.uid.to_canonical())
+    }
+
+    /// Announce this node as a source for `data` (serving must be enabled).
+    fn announce_replica(&self, data: &Data) -> Result<()> {
+        let locator = Locator::new(data, ProtocolId::ftp(), self.peer_endpoint());
+        self.container.plane.add_locators(&[locator])?;
+        Ok(())
+    }
+
+    /// Every range-capable source for a datum: the repository's FTP/HTTP
+    /// endpoints plus announced peer replicas, excluding this node's own
+    /// range server.
+    fn range_sources(&self, id: DataId) -> Result<Vec<Locator>> {
+        Ok(self
+            .container
+            .plane
+            .locators(id)?
+            .into_iter()
+            .filter(|l| l.protocol == ProtocolId::ftp() || l.protocol == ProtocolId::http())
+            .filter(|l| l.remote != self.peer_endpoint())
+            .collect())
+    }
+
+    /// Assemble and submit the work-stealing fetcher over `sources`
+    /// (`sources[0]` doubles as the locator DT retries rebuild from).
+    fn submit_multi_fetch(
+        &self,
+        data: &Data,
+        manifest: ChunkManifest,
+        sources: Vec<Locator>,
+    ) -> Result<TransferId> {
+        let primary = sources[0].clone();
+        let fetcher = MultiSourceFetcher::new(
+            self.container.fabric.clone(),
+            data,
+            manifest,
+            sources,
+            Arc::clone(&self.chunk_store),
+        );
+        self.container.transfer.submit_built(
+            data.clone(),
+            primary,
+            Arc::clone(&self.local),
+            Box::new(fetcher),
+        )
+    }
+
+    /// Start a multi-source chunked download of `data`: the manifest is
+    /// fetched from the catalog and every range-capable locator (repository
+    /// endpoints plus announced peer replicas) becomes a work-stealing
+    /// source. Chunks already verified locally are skipped, so the same
+    /// call performs chunk-level repair of a partially lost replica.
+    pub fn get_multi(&self, data: &Data) -> Result<TransferId> {
+        let manifest = self
+            .manifest_for(data.id)?
+            .ok_or_else(|| BitdewError::CatalogMiss {
+                what: format!("chunk manifest for `{}`", data.name),
+            })?;
+        let sources = self.range_sources(data.id)?;
+        if sources.is_empty() {
+            return Err(BitdewError::CatalogMiss {
+                what: format!("range-capable locator for `{}`", data.name),
+            });
+        }
+        self.submit_multi_fetch(data, manifest, sources)
+    }
+
+    /// Fetch one byte range of `data` from the data space without caching
+    /// the blob: served over the FTP range verb or an HTTP bounded range,
+    /// whichever a locator offers first.
+    pub fn get_range(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let locators = self.container.plane.locators(data.id)?;
+        let locator = locators
+            .iter()
+            .find(|l| l.protocol == ProtocolId::ftp())
+            .or_else(|| locators.iter().find(|l| l.protocol == ProtocolId::http()))
+            .ok_or_else(|| BitdewError::CatalogMiss {
+                what: format!("range-capable locator for `{}`", data.name),
+            })?;
+        let fabric = &self.container.fabric;
+        if locator.protocol == ProtocolId::ftp() {
+            let client = FtpRangeClient::connect(fabric, &locator.remote)?;
+            client.request(&locator.object, offset, len as u32)?;
+            Ok(client.read_reply()?.to_vec())
+        } else {
+            Ok(bitdew_transport::http::fetch_range(
+                fabric,
+                &locator.remote,
+                &locator.object,
+                offset,
+                len as u32,
+            )?
+            .to_vec())
+        }
+    }
+
+    /// Write a byte range into a datum's data-space content (the
+    /// repository's slot). See [`DataRepository::put_range`] for the
+    /// integrity contract.
+    pub fn put_range(&self, data: &Data, offset: u64, content: &[u8]) -> Result<()> {
+        self.container.repository.put_range(data, offset, content)
+    }
+
+    /// Manifest-aware partial pin: verify which of the claimed chunk
+    /// indices are actually intact in the local store, mark them in the
+    /// chunk store, and report the holding to the Data Scheduler. Complete
+    /// holdings become a full [`BitdewNode::pin`]; partial holdings enter
+    /// the cache as repair candidates — the next synchronization returns a
+    /// repair order and only the missing chunks move.
+    pub fn pin_chunks(&self, data: &Data, attrs: DataAttributes, held: &[u32]) -> Result<()> {
+        let manifest = self
+            .manifest_for(data.id)?
+            .ok_or_else(|| BitdewError::CatalogMiss {
+                what: format!("chunk manifest for `{}`", data.name),
+            })?;
+        let object = data.object_name();
+        // Trust but verify: only chunks whose local bytes match the
+        // manifest digest count as held (put_range runs the digest check
+        // and rejects mismatched claims).
+        for &idx in held {
+            if let Some(desc) = manifest.descriptor(idx) {
+                if let Ok(bytes) =
+                    self.local
+                        .read_at(&object, manifest.offset_of(idx), desc.len as usize)
+                {
+                    let _ = self.chunk_store.put_range(&object, &manifest, idx, &bytes);
+                }
+            }
+        }
+        let verified = self.chunk_store.held_count(&object);
+        let scheduler = self.container.plane.scheduler();
+        scheduler.set_chunk_total(data.id, manifest.chunk_count());
+        if verified >= manifest.chunk_count() {
+            self.pin(data, attrs)?;
+        } else {
+            scheduler.report_chunks(self.uid, data.id, verified);
+            self.cache.lock().insert(data.id, (data.clone(), attrs));
+        }
+        Ok(())
     }
 
     // --- ActiveData API ---------------------------------------------------
@@ -569,6 +791,7 @@ impl BitdewNode {
 
         // 1. Reap finished transfers.
         self.container.transfer.tick();
+        let mut completed_data: Vec<Data> = Vec::new();
         {
             let mut pending = self.pending.lock();
             let ids: Vec<(DataId, TransferId)> = pending
@@ -586,6 +809,7 @@ impl BitdewNode {
                         self.container.transfer.reap(tid);
                         self.cache.lock().insert(id, (data.clone(), attrs.clone()));
                         summary.completed.push(id);
+                        completed_data.push(data.clone());
                         self.fire(DataEventKind::Copy, &data, &attrs);
                     }
                     Some(TransferState::Failed) | None => {
@@ -597,9 +821,75 @@ impl BitdewNode {
                 }
             }
         }
+        // 1b. Reap finished chunk-level repairs: a repaired datum is whole
+        // again, so report full holdings (restoring Ω membership).
+        {
+            let mut repairing = self.repairing.lock();
+            let ids: Vec<(DataId, TransferId)> =
+                repairing.iter().map(|(&id, &tid)| (id, tid)).collect();
+            for (id, tid) in ids {
+                match self.container.transfer.report(tid).map(|r| r.state) {
+                    Some(TransferState::Complete) => {
+                        repairing.remove(&id);
+                        self.container.transfer.reap(tid);
+                        if let Ok(Some(m)) = self.manifest_for(id) {
+                            self.container.plane.scheduler().report_chunks(
+                                self.uid,
+                                id,
+                                m.chunk_count(),
+                            );
+                        }
+                        summary.completed.push(id);
+                    }
+                    Some(TransferState::Failed) | None => {
+                        // Retried on a later sync's repair order.
+                        repairing.remove(&id);
+                        self.container.transfer.reap(tid);
+                    }
+                    Some(TransferState::Active) => {}
+                }
+            }
+        }
+        // 1c. Serving nodes announce replicas they just completed, so other
+        // hosts' multi-source fetches can steal chunks from here.
+        if self.peer_server.lock().is_some() {
+            for data in &completed_data {
+                if self.manifests.lock().contains_key(&data.id) {
+                    let _ = self.announce_replica(data);
+                }
+            }
+        }
 
-        // 2. Synchronize with the Data Scheduler.
+        // 2. Report partial holdings of manifest-backed cached data (the
+        // chunk-aware replica validation's input), then synchronize with
+        // the Data Scheduler.
         let cache_ids: Vec<DataId> = self.cache.lock().keys().copied().collect();
+        {
+            // Lock order matches step 1b: repairing before manifests.
+            let repairing = self.repairing.lock();
+            let manifests = self.manifests.lock();
+            for id in &cache_ids {
+                let Some(m) = manifests.get(id) else { continue };
+                if repairing.contains_key(id) {
+                    continue; // repair already running; holdings in flux
+                }
+                let held = {
+                    let cache = self.cache.lock();
+                    let Some((data, _)) = cache.get(id) else {
+                        continue;
+                    };
+                    self.chunk_store.held_count(&data.object_name())
+                };
+                // Only chunk-tracked data report: a whole-blob download has
+                // no presence marks and stays under whole-blob semantics.
+                if held > 0 && held < m.chunk_count() {
+                    self.container
+                        .plane
+                        .scheduler()
+                        .report_chunks(self.uid, *id, held);
+                }
+            }
+        }
         let now = self.container.now_nanos();
         let reply = self
             .container
@@ -607,16 +897,23 @@ impl BitdewNode {
             .scheduler()
             .sync_as(self.uid, &cache_ids, now, self.role);
 
-        // 3. Purge obsolete data.
+        // 3. Purge obsolete data — bytes, chunk presence marks AND the
+        // cached manifest. Stale presence would make a later re-download
+        // of the same datum a zero-byte no-op (every chunk "already held").
         for id in reply.delete {
             if let Some((data, attrs)) = self.cache.lock().remove(&id) {
                 let _ = self.local.remove(&data.object_name());
+                self.chunk_store.forget(&data.object_name());
+                self.manifests.lock().remove(&id);
                 summary.deleted.push(id);
                 self.fire(DataEventKind::Delete, &data, &attrs);
             }
         }
 
-        // 4. Launch newly assigned downloads (respecting the concurrency cap).
+        // 4. Launch newly assigned downloads (respecting the concurrency
+        // cap). Manifest-backed data with more than one range-capable
+        // source go through the multi-source chunk fetcher; everything
+        // else takes the single-locator protocol path.
         let cap = self.container.config.max_concurrent_downloads;
         for (data, attrs) in reply.download {
             let mut pending = self.pending.lock();
@@ -637,24 +934,58 @@ impl BitdewNode {
                 self.fire(DataEventKind::Copy, &data, &attrs);
                 continue;
             }
-            match self.locator_for(&data, &attrs.protocol) {
-                Ok(locator) => {
-                    match self.container.transfer.submit(
-                        data.clone(),
-                        locator,
-                        Arc::clone(&self.local),
-                    ) {
-                        Ok(tid) => {
-                            summary.started.push(data.id);
-                            pending.insert(data.id, (tid, data, attrs));
-                        }
-                        Err(_) => { /* retried on a later sync */ }
-                    }
+            let submitted = match self.try_multi_fetch(&data, &attrs) {
+                Some(tid) => Some(tid),
+                None => self
+                    .locator_for(&data, &attrs.protocol)
+                    .ok()
+                    .and_then(|locator| {
+                        self.container
+                            .transfer
+                            .submit(data.clone(), locator, Arc::clone(&self.local))
+                            .ok()
+                    }),
+            };
+            match submitted {
+                Some(tid) => {
+                    summary.started.push(data.id);
+                    pending.insert(data.id, (tid, data, attrs));
                 }
-                Err(_) => { /* no locator yet (content not put) — retry later */ }
+                None => { /* no locator yet (content not put) — retry later */ }
+            }
+        }
+
+        // 5. Launch chunk-level repairs: the datum stays cached, only the
+        // missing chunks move (the multi-source fetcher skips verified
+        // ones).
+        for (data, _attrs) in reply.repair {
+            let mut repairing = self.repairing.lock();
+            if repairing.contains_key(&data.id) {
+                continue;
+            }
+            if let Ok(tid) = self.get_multi(&data) {
+                summary.started.push(data.id);
+                repairing.insert(data.id, tid);
             }
         }
         summary
+    }
+
+    /// Submit a multi-source chunked fetch for a scheduled download when
+    /// the plane has a manifest and at least two range-capable sources;
+    /// `None` falls back to the single-source path. Data scheduled with an
+    /// explicit BitTorrent protocol keep their swarm (it is already
+    /// multi-source).
+    fn try_multi_fetch(&self, data: &Data, attrs: &DataAttributes) -> Option<TransferId> {
+        if attrs.protocol == ProtocolId::bittorrent() {
+            return None;
+        }
+        let manifest = self.manifest_for(data.id).ok()??;
+        let sources = self.range_sources(data.id).ok()?;
+        if sources.len() < 2 {
+            return None;
+        }
+        self.submit_multi_fetch(data, manifest, sources).ok()
     }
 
     /// Spawn the heartbeat thread; returns a guard that stops it on drop.
@@ -785,6 +1116,12 @@ impl BitDewApi for BitdewNode {
     fn read_local(&self, data: &Data) -> Result<Vec<u8>> {
         BitdewNode::read_local(self, data)
     }
+    fn put_range(&self, data: &Data, offset: u64, content: &[u8]) -> Result<()> {
+        BitdewNode::put_range(self, data, offset, content)
+    }
+    fn get_range(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>> {
+        BitdewNode::get_range(self, data, offset, len)
+    }
 }
 
 impl ActiveData for BitdewNode {
@@ -796,6 +1133,9 @@ impl ActiveData for BitdewNode {
     }
     fn pin(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
         BitdewNode::pin(self, data, attrs)
+    }
+    fn pin_chunks(&self, data: &Data, attrs: DataAttributes, held: &[u32]) -> Result<()> {
+        BitdewNode::pin_chunks(self, data, attrs, held)
     }
     fn poll_events(&self) -> Vec<DataEvent> {
         BitdewNode::poll_events(self)

@@ -17,11 +17,13 @@ use bitdew_storage::codec::{Decode, Encode};
 use bitdew_storage::{ConnectionPool, DbDriver, DbOp, DbReply, DbResult};
 
 use crate::api::Result;
+use crate::chunks::ChunkManifest;
 use crate::data::{Data, DataId, Locator};
 
 const T_DATA: &str = "dc_data";
 const T_LOCATOR: &str = "dc_locator";
 const T_NAME: &str = "dc_name";
+const T_MANIFEST: &str = "dc_manifest";
 
 /// How the DC reaches its database (Table 2's pooling axis).
 pub enum DbAccess {
@@ -176,6 +178,29 @@ impl DataCatalog {
             .collect())
     }
 
+    /// Publish (or overwrite) a datum's chunk manifest — the chunked data
+    /// plane's metadata, persisted next to the locators so any host can
+    /// plan a multi-source range fetch.
+    pub fn put_manifest(&self, manifest: &ChunkManifest) -> Result<()> {
+        self.db.exec(DbOp::Put {
+            table: T_MANIFEST.into(),
+            key: manifest.data.0.to_le_bytes().to_vec(),
+            value: manifest.to_bytes().to_vec(),
+        })?;
+        Ok(())
+    }
+
+    /// The published chunk manifest of a datum, if any.
+    pub fn manifest(&self, id: DataId) -> Result<Option<ChunkManifest>> {
+        match self.db.exec(DbOp::Get {
+            table: T_MANIFEST.into(),
+            key: id.0.to_le_bytes().to_vec(),
+        })? {
+            DbReply::Value(Some(bytes)) => Ok(ChunkManifest::from_bytes(&bytes).ok()),
+            _ => Ok(None),
+        }
+    }
+
     /// Remove a datum and its locators ("data deletion implies both local
     /// and remote deletion", §3.3).
     pub fn delete(&self, id: DataId) -> Result<bool> {
@@ -203,6 +228,10 @@ impl DataCatalog {
                 key,
             })?;
         }
+        self.db.exec(DbOp::Delete {
+            table: T_MANIFEST.into(),
+            key: id.0.to_le_bytes().to_vec(),
+        })?;
         Ok(true)
     }
 
@@ -276,6 +305,21 @@ mod tests {
     #[test]
     fn per_operation_catalog_contract() {
         exercise(&dc_unpooled());
+    }
+
+    #[test]
+    fn manifest_publication_roundtrip() {
+        let dc = dc_pooled();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let d = datum(&mut rng, "chunked");
+        dc.register(&d).unwrap();
+        assert_eq!(dc.manifest(d.id).unwrap(), None);
+        let m = crate::chunks::ChunkManifest::describe(d.id, 64, &vec![7u8; 500]);
+        dc.put_manifest(&m).unwrap();
+        assert_eq!(dc.manifest(d.id).unwrap(), Some(m));
+        // Deleting the datum drops its manifest too.
+        dc.delete(d.id).unwrap();
+        assert_eq!(dc.manifest(d.id).unwrap(), None);
     }
 
     #[test]

@@ -79,21 +79,42 @@ impl DataRepository {
         Ok(())
     }
 
-    /// Read a datum's full content out of the repository.
+    /// Read a datum's full content out of the repository: one sized
+    /// allocation and (for the in-process stores) one read — the loop only
+    /// fires on a short read, i.e. when the object shrank concurrently.
     pub fn get_bytes(&self, data: &Data) -> Result<Vec<u8>> {
         let name = data.object_name();
         let size = self.store.size(&name)?;
         let mut out = Vec::with_capacity(size as usize);
-        let mut off = 0u64;
-        while off < size {
-            let chunk = self.store.read_at(&name, off, 256 * 1024)?;
+        while (out.len() as u64) < size {
+            let chunk = self
+                .store
+                .read_at(&name, out.len() as u64, (size as usize) - out.len())?;
             if chunk.is_empty() {
                 break;
             }
-            off += chunk.len() as u64;
             out.extend_from_slice(&chunk);
         }
         Ok(out)
+    }
+
+    /// Write a byte range into a datum's repository slot (fine-grain
+    /// update). Range writes bypass the whole-blob MD5 check — the chunked
+    /// plane verifies per-chunk CRC32 digests instead, and a caller mixing
+    /// range writes with a declared checksum is expected to re-`put` (or
+    /// republish the manifest) when done.
+    pub fn put_range(&self, data: &Data, offset: u64, content: &[u8]) -> Result<()> {
+        self.store.write_at(&data.object_name(), offset, content)?;
+        Ok(())
+    }
+
+    /// Read a byte range of a datum out of the repository (short only at
+    /// EOF).
+    pub fn get_range(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>> {
+        Ok(self
+            .store
+            .read_at(&data.object_name(), offset, len)?
+            .to_vec())
     }
 
     /// Whether content for `data` is present.

@@ -72,6 +72,10 @@ pub struct SyncReply {
     pub delete: Vec<DataId>,
     /// Ψk \ Δk — new data the host must download.
     pub download: Vec<(Data, DataAttributes)>,
+    /// Cached data the host holds only partially (some chunks missing): it
+    /// keeps the verified chunks and re-fetches the rest — chunk-level
+    /// repair instead of delete + whole-blob re-download.
+    pub repair: Vec<(Data, DataAttributes)>,
 }
 
 /// Result of Algorithm 1's step 1 ([`DataScheduler::validate_cache`]): the
@@ -87,6 +91,9 @@ pub struct CacheValidation {
     /// Data that left Θ during this validation's expiry sweep (including
     /// relative-lifetime dependents removed by the cascade).
     pub expired: Vec<DataId>,
+    /// Cached data the host reported holding only partially (chunk-level
+    /// repair candidates: still managed and alive, but not ownership).
+    pub repair: Vec<DataId>,
 }
 
 /// Oracle answering "is this datum still managed somewhere?" for lifetime
@@ -122,6 +129,13 @@ pub struct DataScheduler {
     /// How many Θ entries expiry sweeps have visited (each visit is an
     /// actual expiry — the sweep never touches live data).
     sweep_visits: u64,
+    /// Chunk counts of manifest-backed data: ownership of these is
+    /// chunk-aware (a host joins Ω only once it holds every chunk).
+    chunk_totals: HashMap<DataId, u32>,
+    /// Partial holders: hosts that reported holding some but not all chunks
+    /// of a datum, with the held count. Kept out of Ω and sent repair
+    /// orders instead of deletes.
+    partials: HashMap<DataId, HashMap<HostUid, u32>>,
 }
 
 impl DataScheduler {
@@ -138,7 +152,68 @@ impl DataScheduler {
             expiries: BTreeSet::new(),
             rdeps: HashMap::new(),
             sweep_visits: 0,
+            chunk_totals: HashMap::new(),
+            partials: HashMap::new(),
         }
+    }
+
+    /// Record that `data` is chunked into `total` pieces (its manifest was
+    /// published). From now on replica validation is chunk-aware for it.
+    pub fn set_chunk_total(&mut self, data: DataId, total: u32) {
+        self.chunk_totals.insert(data, total);
+    }
+
+    /// The registered chunk count of a datum, if its manifest is known.
+    pub fn chunk_total(&self, data: DataId) -> Option<u32> {
+        self.chunk_totals.get(&data).copied()
+    }
+
+    /// A host reports how many verified chunks of `data` it holds. Holding
+    /// every chunk makes it a full owner (enters Ω); anything less records
+    /// it as a partial holder — out of Ω, so replica counting still sees
+    /// the replica as missing, and its next synchronization returns a
+    /// repair order for the datum.
+    pub fn report_chunks(&mut self, host: HostUid, data: DataId, held: u32) {
+        let total = self.chunk_totals.get(&data).copied();
+        match total {
+            Some(t) if held >= t => {
+                if let Some(p) = self.partials.get_mut(&data) {
+                    p.remove(&host);
+                    if p.is_empty() {
+                        self.partials.remove(&data);
+                    }
+                }
+                self.owners.entry(data).or_default().insert(host);
+            }
+            Some(_) => {
+                self.partials.entry(data).or_default().insert(host, held);
+                if let Some(o) = self.owners.get_mut(&data) {
+                    o.remove(&host);
+                }
+            }
+            // No manifest registered: chunk reports are meaningless.
+            None => {}
+        }
+    }
+
+    /// Hosts currently recorded as partial holders of `data`, with their
+    /// held chunk counts (sorted by host for determinism).
+    pub fn partial_holders(&self, data: DataId) -> Vec<(HostUid, u32)> {
+        let mut v: Vec<(HostUid, u32)> = self
+            .partials
+            .get(&data)
+            .map(|m| m.iter().map(|(&h, &n)| (h, n)).collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// The managed datum and its attributes, cloned (the sharded plane uses
+    /// this to materialize cross-shard repair orders).
+    pub fn entry_of(&self, id: DataId) -> Option<(Data, DataAttributes)> {
+        self.theta
+            .get(&id)
+            .map(|sd| (sd.data.clone(), sd.attrs.clone()))
     }
 
     /// `ActiveData::schedule` — put a datum under management.
@@ -224,6 +299,8 @@ impl DataScheduler {
             }
             self.owners.remove(&d);
             self.pinned.remove(&d);
+            self.chunk_totals.remove(&d);
+            self.partials.remove(&d);
             if let Some(deps) = self.rdeps.remove(&d) {
                 stack.extend(deps.into_iter().filter(|x| self.theta.contains_key(x)));
             }
@@ -325,12 +402,20 @@ impl DataScheduler {
         role: SyncRole,
     ) -> SyncReply {
         let v = self.validate_cache(host, delta_k, now, None);
-        let holds: BTreeSet<DataId> = v.keep.iter().copied().collect();
+        // Repair targets count as held: the host keeps its verified chunks,
+        // so step 2 must not re-assign the datum as a fresh download.
+        let holds: BTreeSet<DataId> = v.keep.iter().chain(v.repair.iter()).copied().collect();
         let download = self.assign_new(host, &holds, now, role, self.max_data_schedule, None);
+        let repair = v
+            .repair
+            .iter()
+            .filter_map(|id| self.entry_of(*id))
+            .collect();
         SyncReply {
             keep: v.keep,
             delete: v.delete,
             download,
+            repair,
         }
     }
 
@@ -380,12 +465,21 @@ impl DataScheduler {
                 }
             };
             if keep {
-                v.keep.push(d);
-                // Refresh Ω for kept data (the algorithm does so for
-                // fault-tolerant data; refreshing unconditionally is the
-                // same steady state since non-ft owner sets are only pruned
-                // by the report reconciliation above).
-                self.owners.entry(d).or_default().insert(host);
+                // Chunk-aware ownership: a host recorded as a *partial*
+                // holder keeps its verified chunks but is not an owner —
+                // it gets a repair order instead, and Ω is not refreshed,
+                // so replica counting still sees the replica as missing.
+                let partial = self.partials.get(&d).is_some_and(|p| p.contains_key(&host));
+                if partial {
+                    v.repair.push(d);
+                } else {
+                    v.keep.push(d);
+                    // Refresh Ω for kept data (the algorithm does so for
+                    // fault-tolerant data; refreshing unconditionally is the
+                    // same steady state since non-ft owner sets are only
+                    // pruned by the report reconciliation above).
+                    self.owners.entry(d).or_default().insert(host);
+                }
             } else {
                 v.delete.push(d);
             }
@@ -500,6 +594,11 @@ impl DataScheduler {
             .collect();
         for &h in &dead {
             self.last_seen.remove(&h);
+            // A dead host's partial holdings are gone with it.
+            self.partials.retain(|_, hosts| {
+                hosts.remove(&h);
+                !hosts.is_empty()
+            });
             for (d, owners) in self.owners.iter_mut() {
                 let ft = self
                     .theta
@@ -944,6 +1043,93 @@ mod tests {
         assert_eq!(f.ds.expiry_index_len(), 1);
         f.ds.delete_data(e.id);
         assert_eq!(f.ds.expiry_index_len(), 0);
+    }
+
+    #[test]
+    fn partial_holder_leaves_omega_and_gets_repair_order() {
+        let mut f = Fixture::new();
+        let d = f.datum("chunked");
+        f.ds.schedule(d.clone(), DataAttributes::default().with_replica(1));
+        f.ds.set_chunk_total(d.id, 4);
+        assert_eq!(f.ds.chunk_total(d.id), Some(4));
+        let h = f.host();
+        assert_eq!(ids(&f.ds.sync(h, &[], 0)), vec![d.id]);
+        // Full holdings: the host is a real owner.
+        f.ds.report_chunks(h, d.id, 4);
+        assert_eq!(f.ds.owners_of(d.id), vec![h]);
+        let r = f.ds.sync(h, &[d.id], SEC);
+        assert_eq!(r.keep, vec![d.id]);
+        assert!(r.repair.is_empty());
+
+        // The host loses two chunks: it reports partial holdings.
+        f.ds.report_chunks(h, d.id, 2);
+        assert!(
+            f.ds.owners_of(d.id).is_empty(),
+            "partial holder is not an owner"
+        );
+        assert_eq!(f.ds.partial_holders(d.id), vec![(h, 2)]);
+        let r = f.ds.sync(h, &[d.id], 2 * SEC);
+        assert!(r.keep.is_empty());
+        assert!(r.delete.is_empty(), "partial content is kept, not purged");
+        assert_eq!(r.repair.len(), 1, "repair order issued");
+        assert_eq!(r.repair[0].0.id, d.id);
+        assert!(
+            !r.download.iter().any(|(dd, _)| dd.id == d.id),
+            "repair target is not also re-assigned as a download"
+        );
+
+        // Repair done: full ownership is restored.
+        f.ds.report_chunks(h, d.id, 4);
+        assert_eq!(f.ds.owners_of(d.id), vec![h]);
+        assert!(f.ds.partial_holders(d.id).is_empty());
+        let r = f.ds.sync(h, &[d.id], 3 * SEC);
+        assert_eq!(r.keep, vec![d.id]);
+        assert!(r.repair.is_empty());
+    }
+
+    #[test]
+    fn unmet_replica_from_partial_holder_is_rescheduled_elsewhere() {
+        // replica = 1 and the only holder is partial: the replica is
+        // missing in Ω's eyes, so another reservoir picks up a full copy
+        // while the partial holder repairs.
+        let mut f = Fixture::new();
+        let d = f.datum("halfway");
+        f.ds.schedule(d.clone(), DataAttributes::default().with_replica(1));
+        f.ds.set_chunk_total(d.id, 8);
+        let h1 = f.host();
+        f.ds.sync(h1, &[], 0);
+        f.ds.report_chunks(h1, d.id, 3);
+        let h2 = f.host();
+        assert_eq!(
+            ids(&f.ds.sync(h2, &[], SEC)),
+            vec![d.id],
+            "replica re-placed while the partial holder repairs"
+        );
+    }
+
+    #[test]
+    fn dead_partial_holder_is_forgotten() {
+        let mut f = Fixture::new();
+        let d = f.datum("c");
+        f.ds.schedule(d.clone(), DataAttributes::default().with_replica(1));
+        f.ds.set_chunk_total(d.id, 2);
+        let h = f.host();
+        f.ds.sync(h, &[], 0);
+        f.ds.report_chunks(h, d.id, 1);
+        assert_eq!(f.ds.partial_holders(d.id).len(), 1);
+        f.ds.detect_failures(100 * SEC);
+        assert!(f.ds.partial_holders(d.id).is_empty());
+    }
+
+    #[test]
+    fn chunk_reports_without_manifest_are_ignored() {
+        let mut f = Fixture::new();
+        let d = f.datum("plain");
+        f.ds.schedule(d.clone(), DataAttributes::default());
+        let h = f.host();
+        f.ds.report_chunks(h, d.id, 3);
+        assert!(f.ds.partial_holders(d.id).is_empty());
+        assert!(f.ds.owners_of(d.id).is_empty());
     }
 
     #[test]

@@ -109,7 +109,24 @@ impl DataTransfer {
         locator: Locator,
         local: Arc<dyn FileStore>,
     ) -> Result<TransferId> {
-        let mut transfer = (self.builder)(&data, &locator, Arc::clone(&local))?;
+        let transfer = (self.builder)(&data, &locator, Arc::clone(&local))?;
+        self.submit_built(data, locator, local, transfer)
+    }
+
+    /// Register and start an already-built transfer — e.g. a
+    /// [`MultiSourceFetcher`](crate::chunks::MultiSourceFetcher), which the
+    /// runtime assembles from a chunk manifest and every known replica
+    /// locator. DT monitors it like any other protocol; if it fails
+    /// terminally, retries rebuild through the ordinary protocol builder
+    /// with `locator`, so a multi-source fetch that loses every source
+    /// degrades to the single-source resumable path.
+    pub fn submit_built(
+        &self,
+        data: Data,
+        locator: Locator,
+        local: Arc<dyn FileStore>,
+        mut transfer: Box<dyn OobTransfer + Send>,
+    ) -> Result<TransferId> {
         transfer.connect()?;
         transfer.receive()?;
         let id = TransferId(self.next_id.fetch_add(1, Ordering::Relaxed));

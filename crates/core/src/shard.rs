@@ -268,6 +268,26 @@ impl ShardedScheduler {
         self.shard_for(data).lock().pin(data, host);
     }
 
+    /// Record a datum's chunk count on its shard (chunk-aware ownership).
+    pub fn set_chunk_total(&self, data: DataId, total: u32) {
+        self.shard_for(data).lock().set_chunk_total(data, total);
+    }
+
+    /// The registered chunk count of a datum, if known.
+    pub fn chunk_total(&self, data: DataId) -> Option<u32> {
+        self.shard_for(data).lock().chunk_total(data)
+    }
+
+    /// Route a host's chunk-holding report to the datum's shard.
+    pub fn report_chunks(&self, host: HostUid, data: DataId, held: u32) {
+        self.shard_for(data).lock().report_chunks(host, data, held);
+    }
+
+    /// Partial holders of a datum on its shard.
+    pub fn partial_holders(&self, data: DataId) -> Vec<(HostUid, u32)> {
+        self.shard_for(data).lock().partial_holders(data)
+    }
+
     /// Remove a datum from management, cascading across shards to its
     /// relative-lifetime dependents.
     pub fn delete_data(&self, id: DataId) {
@@ -402,11 +422,22 @@ impl ShardedScheduler {
         let mut merged = SyncReply::default();
         let mut holds: BTreeSet<DataId> = BTreeSet::new();
         for (i, slice) in slices.iter().enumerate() {
-            let v = self.shards[i].lock().validate_cache(host, slice, now, ext);
+            let (v, repair_entries) = {
+                let mut sh = self.shards[i].lock();
+                let v = sh.validate_cache(host, slice, now, ext);
+                // Repair targets stay held (the host keeps its verified
+                // chunks) but are not owned; materialize the orders while
+                // the shard lock is held.
+                let entries: Vec<(Data, DataAttributes)> =
+                    v.repair.iter().filter_map(|id| sh.entry_of(*id)).collect();
+                (v, entries)
+            };
             profile.per_shard[i] += slice.len();
             holds.extend(v.keep.iter().copied());
+            holds.extend(v.repair.iter().copied());
             merged.keep.extend(v.keep);
             merged.delete.extend(v.delete);
+            merged.repair.extend(repair_entries);
             if !v.expired.is_empty() {
                 self.propagate_expiry(&v.expired);
             }
@@ -541,6 +572,21 @@ impl ShardedPlane {
     /// All locators for a datum.
     pub fn locators(&self, id: DataId) -> Result<Vec<Locator>> {
         self.catalog_for(id).locators(id)
+    }
+
+    /// Publish a chunk manifest on its catalog shard, and record the chunk
+    /// count with the owning scheduler shard so replica validation becomes
+    /// chunk-aware (a host counts as owner only once it holds every chunk).
+    pub fn put_manifest(&self, manifest: &crate::chunks::ChunkManifest) -> Result<()> {
+        self.catalog_for(manifest.data).put_manifest(manifest)?;
+        self.scheduler
+            .set_chunk_total(manifest.data, manifest.chunk_count());
+        Ok(())
+    }
+
+    /// The published chunk manifest of a datum, if any.
+    pub fn manifest(&self, id: DataId) -> Result<Option<crate::chunks::ChunkManifest>> {
+        self.catalog_for(id).manifest(id)
     }
 
     /// Remove a datum and its locators from its catalog shard.
@@ -903,6 +949,33 @@ mod tests {
             assert_eq!(ids(&ds.sync(h, &[], 0)), vec![d.id]);
         }
         assert_eq!(ds.owners_of(d.id).len(), 6);
+    }
+
+    #[test]
+    fn chunk_repair_flows_through_the_sharded_plane() {
+        let mut f = Fixture::new(53);
+        let ds = sharded(4, 64);
+        let d = f.datum("sharded-chunks");
+        ds.schedule(d.clone(), DataAttributes::default().with_replica(1));
+        ds.set_chunk_total(d.id, 6);
+        assert_eq!(ds.chunk_total(d.id), Some(6));
+        let h = f.id();
+        assert_eq!(ids(&ds.sync(h, &[], 0)), vec![d.id]);
+        ds.report_chunks(h, d.id, 6);
+        assert_eq!(ds.owners_of(d.id), vec![h]);
+        // Partial loss → repair order through the fan-out sync, no delete,
+        // no duplicate download.
+        ds.report_chunks(h, d.id, 4);
+        assert_eq!(ds.partial_holders(d.id), vec![(h, 4)]);
+        let r = ds.sync(h, &[d.id], SEC);
+        assert!(r.keep.is_empty() && r.delete.is_empty());
+        assert_eq!(r.repair.len(), 1);
+        assert_eq!(r.repair[0].0.id, d.id);
+        assert!(r.download.is_empty());
+        // Repair completes → ownership restored.
+        ds.report_chunks(h, d.id, 6);
+        assert_eq!(ds.owners_of(d.id), vec![h]);
+        assert_eq!(ds.sync(h, &[d.id], 2 * SEC).keep, vec![d.id]);
     }
 
     #[test]

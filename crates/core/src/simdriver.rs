@@ -38,6 +38,7 @@ use crate::api::{
 };
 use crate::attr::DataAttributes;
 use crate::attrparse;
+use crate::chunks::ChunkManifest;
 use crate::data::{Data, DataId};
 use crate::services::scheduler::{HostUid, SyncRole};
 use crate::services::transfer::{TransferId, TransferState};
@@ -45,6 +46,44 @@ use crate::shard::ShardedScheduler;
 
 /// Called when a node finishes downloading a datum.
 pub type CopyHook = Box<dyn FnMut(&mut Sim, HostUid, &Data)>;
+
+/// Shared state of one in-flight per-chunk multi-source fetch.
+struct SimChunkFetch {
+    data: Data,
+    uid: HostUid,
+    dest: HostId,
+    /// Chunk repair (datum stays cached; no Copy hook on completion).
+    repair: bool,
+    /// Chunk indices not yet claimed by any source.
+    queue: VecDeque<usize>,
+    /// Per-chunk byte counts.
+    lens: Vec<f64>,
+    /// Chunks not yet delivered.
+    remaining: usize,
+    /// Sources that failed a flow mid-fetch.
+    dead: HashSet<HostId>,
+    sources: Vec<HostId>,
+    failed: bool,
+    /// Round-robin cursor for re-assigning a dead source's chunks.
+    rr: usize,
+    started: SimTime,
+    /// Bytes delivered.
+    moved: f64,
+}
+
+impl SimChunkFetch {
+    /// The next surviving source, round-robin; `None` when all are dead.
+    fn next_alive(&mut self) -> Option<HostId> {
+        for _ in 0..self.sources.len() {
+            let s = self.sources[self.rr % self.sources.len()];
+            self.rr += 1;
+            if !self.dead.contains(&s) {
+                return Some(s);
+            }
+        }
+        None
+    }
+}
 
 struct NodeState {
     host: HostId,
@@ -82,6 +121,15 @@ struct DriverState {
     shard_busy: Vec<SimTime>,
     /// Synchronizations fully served (their shard work finished).
     syncs_served: u64,
+    /// Published chunk manifests: data listed here move as per-chunk flows
+    /// work-stolen across every live replica owner.
+    manifests: HashMap<DataId, ChunkManifest>,
+    /// Partial holdings (host, datum) → held chunk count, for the
+    /// chunk-level repair loop.
+    partials: HashMap<(HostUid, DataId), u32>,
+    /// Chunk flows started from a peer replica (vs the service host) —
+    /// the multi-source data plane's utilization counter.
+    peer_chunk_flows: u64,
 }
 
 /// The virtual-time BitDew control plane.
@@ -135,6 +183,9 @@ impl SimBitdew {
                 service_cost_base: SimDuration::ZERO,
                 shard_busy: vec![SimTime::ZERO; shards.get()],
                 syncs_served: 0,
+                manifests: HashMap::new(),
+                partials: HashMap::new(),
+                peer_chunk_flows: 0,
             })),
             net,
             service_host,
@@ -275,6 +326,62 @@ impl SimBitdew {
         }
     }
 
+    /// Publish a chunk manifest: the datum's transfers become per-chunk
+    /// flows work-stolen across the service host and every live replica
+    /// owner, and its replica validation becomes chunk-aware.
+    pub fn put_manifest(&self, manifest: &ChunkManifest) {
+        let mut st = self.state.borrow_mut();
+        st.scheduler
+            .set_chunk_total(manifest.data, manifest.chunk_count());
+        st.manifests.insert(manifest.data, manifest.clone());
+    }
+
+    /// The published manifest of a datum, if any.
+    pub fn manifest_of(&self, id: DataId) -> Option<ChunkManifest> {
+        self.state.borrow().manifests.get(&id).cloned()
+    }
+
+    /// Chunk flows served by peer replicas (rather than the service host)
+    /// since the start of the simulation.
+    pub fn peer_chunk_flows(&self) -> u64 {
+        self.state.borrow().peer_chunk_flows
+    }
+
+    /// Model partial replica loss: node `uid` forgets `lost` chunks of a
+    /// manifest-backed datum it holds. The scheduler drops it from Ω and
+    /// its next synchronization returns a chunk-level repair order that
+    /// moves only the missing chunks.
+    pub fn lose_chunks(&self, uid: HostUid, data: DataId, lost: u32) {
+        let mut st = self.state.borrow_mut();
+        let Some(total) = st.manifests.get(&data).map(|m| m.chunk_count()) else {
+            return;
+        };
+        let held = total.saturating_sub(lost);
+        st.partials.insert((uid, data), held);
+        st.scheduler.report_chunks(uid, data, held);
+    }
+
+    /// Register a *partial* pin: `uid` holds `held` of the datum's chunks
+    /// (the SimNode face of `pin_chunks`). Full holdings are an ordinary
+    /// pin.
+    pub fn pin_partial(&self, data: DataId, uid: HostUid, held: u32) {
+        let total = {
+            let st = self.state.borrow();
+            st.manifests.get(&data).map(|m| m.chunk_count())
+        };
+        let Some(total) = total else { return };
+        if held >= total {
+            self.pin(data, uid);
+            return;
+        }
+        let mut st = self.state.borrow_mut();
+        st.partials.insert((uid, data), held);
+        st.scheduler.report_chunks(uid, data, held);
+        if let Some(n) = st.nodes.get_mut(&uid) {
+            n.cache.insert(data);
+        }
+    }
+
     /// Current owner set of a datum.
     pub fn owners_of(&self, data: DataId) -> Vec<HostUid> {
         self.state.borrow().scheduler.owners_of(data)
@@ -361,7 +468,7 @@ impl SimBitdew {
     /// (stopping the recurring timer) when the node is dead.
     fn heartbeat_step(&self, sim: &mut Sim, uid: HostUid) -> bool {
         let now = sim.now().as_nanos();
-        let (host, downloads, served_at) = {
+        let (host, downloads, repairs, served_at) = {
             let mut st = self.state.borrow_mut();
             let Some(node) = st.nodes.get(&uid) else {
                 return false;
@@ -400,11 +507,18 @@ impl SimBitdew {
                     downloads.push((data, attrs));
                 }
             }
-            (host, downloads, served_at)
+            let mut repairs = Vec::new();
+            for (data, _attrs) in reply.repair {
+                if node.pending.insert(data.id) {
+                    repairs.push(data);
+                }
+            }
+            (host, downloads, repairs, served_at)
         };
         if served_at <= sim.now() {
             self.state.borrow_mut().syncs_served += 1;
             self.start_assigned_flows(sim, uid, host, downloads);
+            self.start_repairs(sim, uid, host, repairs);
         } else {
             // The reply (and its transfer orders) arrives when the busiest
             // shard has drained this request from its queue.
@@ -419,13 +533,16 @@ impl SimBitdew {
                     .is_some_and(|n| n.alive);
                 if alive {
                     driver.start_assigned_flows(sim, uid, host, downloads);
+                    driver.start_repairs(sim, uid, host, repairs);
                 }
             });
         }
         true
     }
 
-    /// Start the flows for a served synchronization's transfer orders.
+    /// Start the flows for a served synchronization's transfer orders:
+    /// per-chunk multi-source flows for manifest-backed data, one
+    /// whole-blob flow from the service host otherwise.
     fn start_assigned_flows(
         &self,
         sim: &mut Sim,
@@ -451,17 +568,299 @@ impl SimBitdew {
                     bytes: data.size as f64,
                 },
             );
-            let driver = self.clone();
-            self.net.start_flow(
-                sim,
-                self.service_host,
-                host,
-                data.size as f64,
-                self.setup_latency,
-                Box::new(move |sim, outcome| {
-                    driver.on_flow_done(sim, uid, host, data.clone(), outcome, name.clone());
-                }),
+            let manifest = self.manifest_of(data.id).filter(|m| m.chunk_count() > 0);
+            match manifest {
+                Some(m) => self.start_chunked_fetch(sim, uid, host, data, &m, None),
+                None => {
+                    let driver = self.clone();
+                    self.net.start_flow(
+                        sim,
+                        self.service_host,
+                        host,
+                        data.size as f64,
+                        self.setup_latency,
+                        Box::new(move |sim, outcome| {
+                            driver.on_flow_done(
+                                sim,
+                                uid,
+                                host,
+                                data.clone(),
+                                outcome,
+                                name.clone(),
+                            );
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Start chunk-level repairs: only the missing chunks move, stolen
+    /// across the live sources like any chunked fetch.
+    fn start_repairs(&self, sim: &mut Sim, uid: HostUid, host: HostId, repairs: Vec<Data>) {
+        for data in repairs {
+            let (manifest, held) = {
+                let st = self.state.borrow();
+                (
+                    st.manifests.get(&data.id).cloned(),
+                    st.partials.get(&(uid, data.id)).copied().unwrap_or(0),
+                )
+            };
+            let Some(m) = manifest else {
+                self.state
+                    .borrow_mut()
+                    .nodes
+                    .get_mut(&uid)
+                    .map(|n| n.pending.remove(&data.id));
+                continue;
+            };
+            let missing = m.chunk_count().saturating_sub(held);
+            self.trace.push(
+                sim.now(),
+                TraceEvent::TransferStarted {
+                    from: self.service_host,
+                    to: host,
+                    data: format!("{}#repair", data.name),
+                    bytes: missing as f64 * m.chunk_size as f64,
+                },
             );
+            self.start_chunked_fetch(sim, uid, host, data, &m, Some(missing));
+        }
+    }
+
+    /// The per-chunk multi-source engine: a queue of chunk indices is
+    /// work-stolen by every source (the service host plus each live replica
+    /// owner), each source keeping a small window of chunk flows in flight.
+    /// A source that dies fails its flows; their chunks are re-queued onto
+    /// the survivors. `only` limits the fetch to that many chunks (repair).
+    fn start_chunked_fetch(
+        &self,
+        sim: &mut Sim,
+        uid: HostUid,
+        dest: HostId,
+        data: Data,
+        manifest: &ChunkManifest,
+        only: Option<u32>,
+    ) {
+        let take = only
+            .unwrap_or(manifest.chunk_count())
+            .min(manifest.chunk_count());
+        let repair = only.is_some();
+        let mut sources = vec![self.service_host];
+        {
+            let st = self.state.borrow();
+            for n in st.nodes.values() {
+                if n.alive && n.host != dest && n.cache.contains(&data.id) {
+                    // Partial holders don't serve (they're repairing).
+                    let held_partial = st.partials.keys().any(|(h, d)| {
+                        *d == data.id && st.nodes.get(h).map(|x| x.host) == Some(n.host)
+                    });
+                    if !held_partial {
+                        sources.push(n.host);
+                    }
+                }
+            }
+        }
+        let lens: Vec<f64> = manifest
+            .chunks
+            .iter()
+            .take(take as usize)
+            .map(|c| c.len as f64)
+            .collect();
+        if lens.is_empty() {
+            self.finish_chunked(sim, uid, dest, &data, repair, 0.0, sim.now());
+            return;
+        }
+        let fetch = Rc::new(RefCell::new(SimChunkFetch {
+            data: data.clone(),
+            uid,
+            dest,
+            repair,
+            queue: (0..lens.len()).collect(),
+            lens,
+            remaining: take as usize,
+            dead: HashSet::new(),
+            sources: sources.clone(),
+            failed: false,
+            rr: 0,
+            started: sim.now(),
+            moved: 0.0,
+        }));
+        // Initial windows: each source pulls up to the pipeline depth of
+        // chunks; refills (in the flow callbacks) are work-stealing.
+        for src in sources {
+            for _ in 0..crate::chunks::PIPELINE_DEPTH {
+                let next = fetch.borrow_mut().queue.pop_front();
+                match next {
+                    Some(idx) => self.start_chunk_flow(sim, &fetch, src, idx, self.setup_latency),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// One chunk flow; its callback refills the source's window from the
+    /// shared queue, or re-queues on failure.
+    fn start_chunk_flow(
+        &self,
+        sim: &mut Sim,
+        fetch: &Rc<RefCell<SimChunkFetch>>,
+        src: HostId,
+        idx: usize,
+        latency: SimDuration,
+    ) {
+        let (bytes, dest) = {
+            let f = fetch.borrow();
+            (f.lens[idx], f.dest)
+        };
+        if src != self.service_host {
+            self.state.borrow_mut().peer_chunk_flows += 1;
+        }
+        let driver = self.clone();
+        let fetch_rc = Rc::clone(fetch);
+        self.net.start_flow(
+            sim,
+            src,
+            dest,
+            bytes,
+            latency,
+            Box::new(move |sim, outcome| {
+                driver.on_chunk_flow_done(sim, &fetch_rc, src, idx, outcome);
+            }),
+        );
+    }
+
+    fn on_chunk_flow_done(
+        &self,
+        sim: &mut Sim,
+        fetch: &Rc<RefCell<SimChunkFetch>>,
+        src: HostId,
+        idx: usize,
+        outcome: FlowOutcome,
+    ) {
+        // Decide the next action with the borrow held, act after releasing
+        // it (starting a flow can fail immediately and re-enter).
+        enum Next {
+            Flow(HostId, usize),
+            Done(HostUid, HostId, Data, bool, f64, SimTime),
+            Fail(HostUid, Data, bool),
+            Nothing,
+        }
+        let next = {
+            let mut f = fetch.borrow_mut();
+            if f.failed {
+                Next::Nothing
+            } else {
+                match outcome {
+                    FlowOutcome::Completed { .. } => {
+                        f.moved += f.lens[idx];
+                        f.remaining -= 1;
+                        if f.remaining == 0 {
+                            Next::Done(f.uid, f.dest, f.data.clone(), f.repair, f.moved, f.started)
+                        } else {
+                            match f.queue.pop_front() {
+                                Some(next_idx) => Next::Flow(src, next_idx),
+                                None => Next::Nothing,
+                            }
+                        }
+                    }
+                    FlowOutcome::Failed { reason, .. } => {
+                        if reason == bitdew_sim::FlowFailure::DestinationDown {
+                            f.failed = true;
+                            Next::Fail(f.uid, f.data.clone(), f.repair)
+                        } else {
+                            // Source died: its chunk goes back on the queue
+                            // and a survivor picks it up right away.
+                            f.dead.insert(src);
+                            match f.next_alive() {
+                                Some(alt) => Next::Flow(alt, idx),
+                                None => {
+                                    f.failed = true;
+                                    Next::Fail(f.uid, f.data.clone(), f.repair)
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        match next {
+            Next::Flow(source, chunk) => {
+                self.start_chunk_flow(sim, fetch, source, chunk, SimDuration::ZERO)
+            }
+            Next::Done(uid, dest, data, repair, moved, started) => {
+                self.finish_chunked(sim, uid, dest, &data, repair, moved, started)
+            }
+            Next::Fail(uid, data, repair) => {
+                let host = fetch.borrow().dest;
+                let mut st = self.state.borrow_mut();
+                if let Some(n) = st.nodes.get_mut(&uid) {
+                    n.pending.remove(&data.id);
+                    if repair {
+                        n.cache.remove(&data.id);
+                    }
+                }
+                drop(st);
+                self.trace.push(
+                    sim.now(),
+                    TraceEvent::TransferFailed {
+                        to: host,
+                        data: data.name.clone(),
+                    },
+                );
+            }
+            Next::Nothing => {}
+        }
+    }
+
+    /// A chunked fetch (or repair) delivered every chunk.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_chunked(
+        &self,
+        sim: &mut Sim,
+        uid: HostUid,
+        host: HostId,
+        data: &Data,
+        repair: bool,
+        moved: f64,
+        started: SimTime,
+    ) {
+        let hook = {
+            let mut st = self.state.borrow_mut();
+            if let Some(n) = st.nodes.get_mut(&uid) {
+                n.pending.remove(&data.id);
+                n.cache.insert(data.id);
+            }
+            if repair {
+                st.partials.remove(&(uid, data.id));
+                let total = st
+                    .manifests
+                    .get(&data.id)
+                    .map(|m| m.chunk_count())
+                    .unwrap_or(0);
+                st.scheduler.report_chunks(uid, data.id, total);
+            }
+            let elapsed = sim.now().since(started).as_secs_f64();
+            self.trace.push(
+                sim.now(),
+                TraceEvent::TransferCompleted {
+                    to: host,
+                    data: data.name.clone(),
+                    avg_rate: if elapsed > 0.0 { moved / elapsed } else { 0.0 },
+                },
+            );
+            if repair {
+                None
+            } else {
+                st.copy_hook.take()
+            }
+        };
+        if let Some(mut h) = hook {
+            h(sim, uid, data);
+            let mut st = self.state.borrow_mut();
+            if st.copy_hook.is_none() {
+                st.copy_hook = Some(h);
+            }
         }
     }
 
@@ -773,6 +1172,51 @@ impl BitDewApi for SimNode {
             .content_of(data.id)
             .unwrap_or_else(|| vec![0u8; data.size as usize]))
     }
+
+    fn put_range(&self, data: &Data, offset: u64, content: &[u8]) -> Result<()> {
+        let mut st = self.driver.state.borrow_mut();
+        let entry = st
+            .space
+            .get_mut(&data.id)
+            .ok_or_else(|| BitdewError::CatalogMiss {
+                what: format!("data {}", data.id),
+            })?;
+        // A metadata-only datum models as `size` zero bytes (read_local /
+        // get_range agree); materialize that before patching, or the write
+        // would silently truncate everything past it.
+        let size = entry.data.size as usize;
+        let buf = entry.content.get_or_insert_with(|| vec![0u8; size]);
+        let end = offset as usize + content.len();
+        if buf.len() < end {
+            buf.resize(end, 0);
+        }
+        buf[offset as usize..end].copy_from_slice(content);
+        Ok(())
+    }
+
+    fn get_range(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let st = self.driver.state.borrow();
+        let entry = st
+            .space
+            .get(&data.id)
+            .ok_or_else(|| BitdewError::CatalogMiss {
+                what: format!("data {}", data.id),
+            })?;
+        match &entry.content {
+            Some(buf) => {
+                let from = (offset as usize).min(buf.len());
+                let to = (from + len).min(buf.len());
+                Ok(buf[from..to].to_vec())
+            }
+            // Metadata-only datum: the modeled bytes are zeros.
+            None => {
+                let size = entry.data.size as usize;
+                let from = (offset as usize).min(size);
+                let to = (from + len).min(size);
+                Ok(vec![0u8; to - from])
+            }
+        }
+    }
 }
 
 impl ActiveData for SimNode {
@@ -796,6 +1240,31 @@ impl ActiveData for SimNode {
 
     fn pin(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
         self.driver.pin(data.id, self.uid);
+        self.seen
+            .borrow_mut()
+            .insert(data.id, (data.clone(), attrs));
+        Ok(())
+    }
+
+    fn pin_chunks(&self, data: &Data, attrs: DataAttributes, held: &[u32]) -> Result<()> {
+        let manifest =
+            self.driver
+                .manifest_of(data.id)
+                .ok_or_else(|| BitdewError::CatalogMiss {
+                    what: format!("chunk manifest for `{}`", data.name),
+                })?;
+        // Count unique, in-range indices — mirroring the threaded node,
+        // which verifies every claimed index (duplicates or out-of-range
+        // claims must not add up to a full pin).
+        let held = held
+            .iter()
+            .filter(|&&i| i < manifest.chunk_count())
+            .collect::<std::collections::HashSet<_>>()
+            .len() as u32;
+        if held >= manifest.chunk_count() {
+            return self.pin(data, attrs);
+        }
+        self.driver.pin_partial(data.id, self.uid, held);
         self.seen
             .borrow_mut()
             .insert(data.id, (data.clone(), attrs));

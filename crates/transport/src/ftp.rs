@@ -168,6 +168,36 @@ impl FtpServer {
                         .map_err(|_| FabricError::Disconnected)?;
                     conn.send(Bytes::from(format!("DONE {}", digest.to_hex())))?;
                 }
+                Some("RANGE") => {
+                    // Bounded range read: `RANGE <name> <offset> <len>` →
+                    // `DATA <n>` followed by one payload frame (omitted when
+                    // n = 0). Requests may be pipelined on one connection —
+                    // replies come back in request order — which is what the
+                    // chunked multi-source fetcher exploits.
+                    let (Some(name), Some(off), Some(len)) =
+                        (parts.next(), parts.next(), parts.next())
+                    else {
+                        conn.send(Bytes::from_static(b"ERR malformed"))?;
+                        continue;
+                    };
+                    let offset: u64 = off.parse().unwrap_or(0);
+                    let len: usize = len.parse().unwrap_or(0);
+                    let chunk = match store.read_at(name, offset, len) {
+                        Ok(c) => c,
+                        Err(_) => {
+                            conn.send(Bytes::from(format!("ERR no such range {name}")))?;
+                            continue;
+                        }
+                    };
+                    conn.send(Bytes::from(format!("DATA {}", chunk.len())))?;
+                    if !chunk.is_empty() {
+                        sent_payload += chunk.len() as u64;
+                        conn.send(chunk)?;
+                        if sent_payload >= drop_after {
+                            return Ok(()); // injected fault: vanish mid-stream
+                        }
+                    }
+                }
                 Some("SIZE") => {
                     let Some(name) = parts.next() else {
                         conn.send(Bytes::from_static(b"ERR malformed"))?;
@@ -363,6 +393,69 @@ fn upload(
         Some(d) if d == local_digest => Ok(TransferVerdict::Complete),
         Some(_) => Ok(TransferVerdict::CorruptPayload),
         None => Err(TransportError::Protocol("expected DONE".into())),
+    }
+}
+
+/// A pipelined range client over one FTP command session.
+///
+/// `request` queues a `RANGE` command without waiting; `read_reply` consumes
+/// the next reply in request order. Keeping several requests in flight hides
+/// the per-command round trip — the per-source pipelining of the chunked
+/// multi-source data plane.
+pub struct FtpRangeClient {
+    conn: Duplex,
+}
+
+impl FtpRangeClient {
+    /// Open a command session to the server at fabric listener `remote`.
+    pub fn connect(fabric: &Fabric, remote: &str) -> TransportResult<FtpRangeClient> {
+        let conn = fabric
+            .connect(remote)
+            .map_err(|e| TransportError::ConnectFailed(e.to_string()))?;
+        Ok(FtpRangeClient { conn })
+    }
+
+    /// Queue a range request (non-blocking; replies arrive in order).
+    pub fn request(&self, object: &str, offset: u64, len: u32) -> TransportResult<()> {
+        self.conn
+            .send(Bytes::from(format!("RANGE {object} {offset} {len}")))
+            .map_err(|e| TransportError::Interrupted(e.to_string()))
+    }
+
+    /// Read the next pipelined reply: the requested bytes (short only at
+    /// EOF, empty when the range starts at or past it).
+    pub fn read_reply(&self) -> TransportResult<Bytes> {
+        let head = self
+            .conn
+            .recv()
+            .map_err(|e| TransportError::Interrupted(e.to_string()))?;
+        let line = String::from_utf8_lossy(&head).to_string();
+        if let Some(n) = line.strip_prefix("DATA ") {
+            let n: usize = n
+                .trim()
+                .parse()
+                .map_err(|_| TransportError::Protocol(format!("bad DATA reply: {line}")))?;
+            if n == 0 {
+                return Ok(Bytes::new());
+            }
+            let payload = self
+                .conn
+                .recv()
+                .map_err(|e| TransportError::Interrupted(e.to_string()))?;
+            if payload.len() != n {
+                return Err(TransportError::Protocol(format!(
+                    "range payload length {} != declared {n}",
+                    payload.len()
+                )));
+            }
+            Ok(payload)
+        } else if let Some(what) = line.strip_prefix("ERR ") {
+            Err(TransportError::NoSuchObject(what.to_string()))
+        } else {
+            Err(TransportError::Protocol(format!(
+                "unexpected range reply: {line}"
+            )))
+        }
     }
 }
 
@@ -585,6 +678,50 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), Some(TransferVerdict::Complete));
         }
+    }
+
+    #[test]
+    fn pipelined_range_requests_return_in_order() {
+        let data = payload(300_000);
+        let (fabric, _server, _) = setup(&[("f", &data)]);
+        let client = FtpRangeClient::connect(&fabric, "ftp").unwrap();
+        // Queue several ranges before reading any reply.
+        let ranges: Vec<(u64, u32)> = vec![(0, 1000), (250_000, 50_000), (100_000, 1), (0, 0)];
+        for &(off, len) in &ranges {
+            client.request("f", off, len).unwrap();
+        }
+        for &(off, len) in &ranges {
+            let got = client.read_reply().unwrap();
+            let end = (off as usize + len as usize).min(data.len());
+            assert_eq!(&got[..], &data[off as usize..end]);
+        }
+        // Past-EOF range is empty, not an error (read_at clamps at EOF).
+        client.request("f", data.len() as u64, 64).unwrap();
+        assert!(client.read_reply().unwrap().is_empty());
+        // Missing object surfaces as NoSuchObject.
+        client.request("ghost", 0, 8).unwrap();
+        assert!(matches!(
+            client.read_reply(),
+            Err(TransportError::NoSuchObject(_))
+        ));
+    }
+
+    #[test]
+    fn range_session_dies_with_injected_fault() {
+        let data = payload(200_000);
+        let (fabric, server, _) = setup(&[("f", &data)]);
+        server.inject_drop_after(64 * 1024);
+        let client = FtpRangeClient::connect(&fabric, "ftp").unwrap();
+        for i in 0..4u64 {
+            client.request("f", i * 32 * 1024, 32 * 1024).unwrap();
+        }
+        // First two replies (64 KiB) arrive, then the connection vanishes.
+        assert!(client.read_reply().is_ok());
+        assert!(client.read_reply().is_ok());
+        assert!(matches!(
+            client.read_reply(),
+            Err(TransportError::Interrupted(_))
+        ));
     }
 
     #[test]

@@ -83,10 +83,13 @@ impl HttpServer {
         let mut lines = text.lines();
         let request_line = lines.next().unwrap_or_default();
         let mut range_from = 0u64;
+        let mut range_to: Option<u64> = None; // inclusive end, RFC 7233 style
         let mut content_length = 0u64;
         for line in lines {
             if let Some(v) = line.strip_prefix("Range: bytes=") {
-                range_from = v.trim_end_matches('-').parse().unwrap_or(0);
+                let mut ends = v.splitn(2, '-');
+                range_from = ends.next().unwrap_or("0").parse().unwrap_or(0);
+                range_to = ends.next().and_then(|e| e.parse().ok());
             }
             if let Some(v) = line.strip_prefix("Content-Length: ") {
                 content_length = v.parse().unwrap_or(0);
@@ -100,17 +103,33 @@ impl HttpServer {
                     conn.send(Bytes::from_static(b"404 Not Found"))?;
                     return Ok(());
                 };
-                let digest = store
-                    .checksum(name)
-                    .map_err(|_| FabricError::Disconnected)?;
-                conn.send(Bytes::from(format!(
-                    "200 OK\nContent-Length: {size}\nETag: {}",
-                    digest.to_hex()
-                )))?;
                 let mut pos = range_from.min(size);
-                while pos < size {
+                // A bounded range (`bytes=from-to`, inclusive end) serves
+                // only that window with a 206; an open range keeps the
+                // whole-object 200 + Content-Length contract the resuming
+                // full-file client depends on.
+                let end = match range_to {
+                    Some(to) => to.saturating_add(1).min(size),
+                    None => size,
+                };
+                match range_to {
+                    Some(_) => conn.send(Bytes::from(format!(
+                        "206 Partial Content\nContent-Length: {}",
+                        end.saturating_sub(pos)
+                    )))?,
+                    None => {
+                        let digest = store
+                            .checksum(name)
+                            .map_err(|_| FabricError::Disconnected)?;
+                        conn.send(Bytes::from(format!(
+                            "200 OK\nContent-Length: {size}\nETag: {}",
+                            digest.to_hex()
+                        )))?;
+                    }
+                }
+                while pos < end {
                     let chunk = store
-                        .read_at(name, pos, CHUNK)
+                        .read_at(name, pos, CHUNK.min((end - pos) as usize))
                         .map_err(|_| FabricError::Disconnected)?;
                     if chunk.is_empty() {
                         break;
@@ -357,6 +376,49 @@ impl OobTransfer for HttpTransfer {
 
 impl NonBlockingOobTransfer for HttpTransfer {}
 
+/// One-shot bounded range fetch: `GET /<object>` with `Range: bytes=from-to`
+/// (inclusive end), one request per connection in the module's stateless
+/// style. Returns exactly the window's bytes (short only at EOF).
+pub fn fetch_range(
+    fabric: &Fabric,
+    remote: &str,
+    object: &str,
+    offset: u64,
+    len: u32,
+) -> TransportResult<Bytes> {
+    if len == 0 {
+        return Ok(Bytes::new());
+    }
+    let conn = fabric
+        .connect(remote)
+        .map_err(|e| TransportError::ConnectFailed(e.to_string()))?;
+    let last = offset + len as u64 - 1; // inclusive end
+    conn.send(Bytes::from(format!(
+        "GET /{object}\nRange: bytes={offset}-{last}"
+    )))
+    .map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let head = conn
+        .recv()
+        .map_err(|e| TransportError::Interrupted(e.to_string()))?;
+    let head = String::from_utf8_lossy(&head).to_string();
+    if !head.starts_with("206") {
+        return Err(TransportError::NoSuchObject(object.to_string()));
+    }
+    let total: u64 = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| TransportError::Protocol("206 without Content-Length".into()))?;
+    let mut buf = Vec::with_capacity(total as usize);
+    while (buf.len() as u64) < total {
+        let chunk = conn
+            .recv()
+            .map_err(|e| TransportError::Interrupted(e.to_string()))?;
+        buf.extend_from_slice(&chunk);
+    }
+    Ok(Bytes::from(buf))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +491,31 @@ mod tests {
         t.receive().unwrap();
         let status = t.wait(Duration::from_millis(2)).unwrap();
         assert_eq!(status.outcome, Some(TransferVerdict::Interrupted));
+    }
+
+    #[test]
+    fn bounded_range_fetch_returns_window() {
+        let fabric = Fabric::new();
+        let server_store = MemStore::new();
+        let data = payload(150_000);
+        server_store.put("obj", &data);
+        let _server = HttpServer::start(&fabric, "http", server_store);
+        let got = fetch_range(&fabric, "http", "obj", 70_000, 10_000).unwrap();
+        assert_eq!(&got[..], &data[70_000..80_000]);
+        // Window spanning several server-side chunks.
+        let got = fetch_range(&fabric, "http", "obj", 1_000, 130_000).unwrap();
+        assert_eq!(&got[..], &data[1_000..131_000]);
+        // Tail-clamped window is short, not an error.
+        let got = fetch_range(&fabric, "http", "obj", 149_000, 64_000).unwrap();
+        assert_eq!(&got[..], &data[149_000..]);
+        // Empty window and missing object.
+        assert!(fetch_range(&fabric, "http", "obj", 0, 0)
+            .unwrap()
+            .is_empty());
+        assert!(matches!(
+            fetch_range(&fabric, "http", "ghost", 0, 8),
+            Err(TransportError::NoSuchObject(_))
+        ));
     }
 
     #[test]

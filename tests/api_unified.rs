@@ -39,14 +39,17 @@ where
         (solo.clone(), DataAttributes::default().with_replica(1)),
     ])?;
 
-    // Pump until every worker holds the replicated datum.
+    // Pump until every worker holds the replicated datum AND the solo
+    // replica landed somewhere (its transfer may finish after shared's).
     let deadline = Instant::now() + Duration::from_secs(60);
     loop {
         client.pump()?;
         for w in workers {
             w.pump()?;
         }
-        if workers.iter().all(|w| w.has_cached(shared.id)) {
+        if workers.iter().all(|w| w.has_cached(shared.id))
+            && workers.iter().any(|w| w.has_cached(solo.id))
+        {
             break;
         }
         assert!(Instant::now() < deadline, "replication timed out");

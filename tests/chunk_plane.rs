@@ -1,0 +1,384 @@
+//! The chunked multi-source data plane, end to end.
+//!
+//! Exercises the whole stack the PR introduces: manifests published through
+//! the catalog plane, scheduled downloads that work-steal chunks from the
+//! repository AND peer replicas, chunk-aware ownership (a host joins Ω only
+//! when it holds every chunk), chunk-level repair of partially lost
+//! replicas, and the simulator's per-chunk flow model — including the
+//! mid-transfer source kill on both backends.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bitdew::core::api::{ActiveData, BitDewApi, TransferManager};
+use bitdew::core::chunks::ChunkManifest;
+use bitdew::core::services::transfer::TransferState;
+use bitdew::core::simdriver::SimBitdew;
+use bitdew::core::{
+    BitdewNode, Data, DataAttributes, RuntimeConfig, ServiceContainer, REPLICA_ALL,
+};
+use bitdew::sim::{topology, Sim, SimDuration, SimTime, Trace, TraceEvent};
+use bitdew::util::Auid;
+
+const CHUNK: u64 = 64 * 1024;
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 37 % 251) as u8).collect()
+}
+
+fn pump(nodes: &[&Arc<BitdewNode>], until: impl Fn() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !until() {
+        for n in nodes {
+            n.sync_once();
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn scheduled_chunked_data_fetches_multi_source_and_peers_serve() {
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let content = payload(900_000);
+    let data = client.create_data("striped", &content).unwrap();
+    let manifest = client.put_chunked(&data, &content, CHUNK).unwrap();
+    assert_eq!(manifest.chunk_count(), 14);
+    // The manifest is readable from the plane by any node.
+    assert_eq!(c.plane.manifest(data.id).unwrap(), Some(manifest.clone()));
+
+    client
+        .schedule(&data, DataAttributes::default().with_replica(REPLICA_ALL))
+        .unwrap();
+
+    let w1 = BitdewNode::new(Arc::clone(&c));
+    let w2 = BitdewNode::new(Arc::clone(&c));
+    w1.enable_serving();
+    w2.enable_serving();
+    pump(
+        &[&w1, &w2],
+        || w1.has_cached(data.id) && w2.has_cached(data.id),
+        "chunked replication",
+    );
+    for w in [&w1, &w2] {
+        assert_eq!(w.read_local(&data).unwrap(), content);
+        assert!(
+            w.chunk_store().is_complete(&data.object_name(), &manifest),
+            "multi-source fetch tracked every chunk"
+        );
+    }
+    // Serving workers announced themselves: the plane now lists peer
+    // locators beside the repository's endpoints.
+    let locators = c.plane.locators(data.id).unwrap();
+    assert!(
+        locators.iter().any(|l| l.remote.starts_with("peer.")),
+        "peer replicas announced: {locators:?}"
+    );
+    // Chunk-aware ownership: both workers count as full owners.
+    let owners = c.owners_of(data.id);
+    assert!(owners.contains(&w1.uid) && owners.contains(&w2.uid));
+}
+
+#[test]
+fn partial_replica_loss_is_repaired_chunk_by_chunk() {
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let content = payload(600_000);
+    let data = client.create_data("fragile", &content).unwrap();
+    let manifest = client.put_chunked(&data, &content, CHUNK).unwrap();
+    client
+        .schedule(&data, DataAttributes::default().with_replica(1))
+        .unwrap();
+
+    let w = BitdewNode::new(Arc::clone(&c));
+    pump(&[&w], || w.has_cached(data.id), "initial chunked download");
+    assert_eq!(c.owners_of(data.id), vec![w.uid]);
+
+    // Damage the replica: two chunks lose their bytes and presence marks.
+    let object = data.object_name();
+    for idx in [2u32, 7] {
+        w.chunk_store().invalidate_chunk(&object, idx);
+        let garbage = vec![0xEEu8; CHUNK as usize];
+        w.local_store()
+            .write_at(&object, manifest.offset_of(idx), &garbage)
+            .unwrap();
+    }
+    assert_ne!(w.read_local(&data).unwrap(), content);
+
+    // The next synchronizations report partial holdings, drop the host
+    // from Ω, issue a repair order, and move ONLY the two missing chunks.
+    pump(
+        &[&w],
+        || w.chunk_store().is_complete(&object, &manifest) && c.owners_of(data.id).contains(&w.uid),
+        "chunk-level repair",
+    );
+    assert_eq!(w.read_local(&data).unwrap(), content, "content restored");
+}
+
+#[test]
+fn delete_clears_chunk_presence_so_redownloads_move_real_bytes() {
+    // Regression: a scheduler-ordered delete must clear the ChunkStore's
+    // presence marks along with the bytes, or a later re-download of the
+    // same datum would "complete" instantly with no content.
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let content = payload(300_000);
+    let data = client.create_data("reborn", &content).unwrap();
+    client.put_chunked(&data, &content, CHUNK).unwrap();
+    client
+        .schedule(&data, DataAttributes::default().with_replica(1))
+        .unwrap();
+    let w = BitdewNode::new(Arc::clone(&c));
+    pump(&[&w], || w.has_cached(data.id), "first download");
+
+    client.delete(&data).unwrap();
+    pump(&[&w], || !w.has_cached(data.id), "purge");
+    assert!(!w.local_store().exists(&data.object_name()));
+
+    // The same datum comes back into the data space; the re-download must
+    // move real bytes again.
+    c.plane.register(&data).unwrap();
+    let manifest = client.put_chunked(&data, &content, CHUNK).unwrap();
+    client
+        .schedule(&data, DataAttributes::default().with_replica(1))
+        .unwrap();
+    pump(&[&w], || w.has_cached(data.id), "re-download");
+    assert_eq!(w.read_local(&data).unwrap(), content);
+    assert!(w.chunk_store().is_complete(&data.object_name(), &manifest));
+}
+
+#[test]
+fn pin_chunks_registers_partial_holdings_and_triggers_repair() {
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let content = payload(400_000);
+    let data = client.create_data("prefix-held", &content).unwrap();
+    let manifest = client.put_chunked(&data, &content, CHUNK).unwrap();
+    client
+        .schedule(&data, DataAttributes::default().with_replica(0))
+        .unwrap();
+
+    // The worker already holds the first three chunks (e.g. restored from
+    // an old partial download) — and claims one it does NOT hold, which
+    // verification must reject.
+    let w = BitdewNode::new(Arc::clone(&c));
+    let object = data.object_name();
+    let held_bytes = 3 * CHUNK as usize;
+    w.local_store()
+        .write_at(&object, 0, &content[..held_bytes])
+        .unwrap();
+    w.pin_chunks(&data, DataAttributes::default(), &[0, 1, 2, 5])
+        .unwrap();
+    assert_eq!(w.chunk_store().held_count(&object), 3, "claim 5 rejected");
+    assert!(
+        !c.owners_of(data.id).contains(&w.uid),
+        "partial holder is not an owner"
+    );
+    assert_eq!(
+        c.plane.scheduler().partial_holders(data.id),
+        vec![(w.uid, 3)]
+    );
+
+    // Synchronization turns the partial pin into a repair; afterwards the
+    // node is a full owner with verifiable content.
+    pump(
+        &[&w],
+        || c.owners_of(data.id).contains(&w.uid),
+        "repair after partial pin",
+    );
+    assert_eq!(w.read_local(&data).unwrap(), content);
+
+    // A full pin_chunks is an ordinary pin.
+    let w2 = BitdewNode::new(Arc::clone(&c));
+    w2.local_store().write_at(&object, 0, &content).unwrap();
+    let all: Vec<u32> = (0..manifest.chunk_count()).collect();
+    w2.pin_chunks(&data, DataAttributes::default(), &all)
+        .unwrap();
+    assert!(c.owners_of(data.id).contains(&w2.uid));
+}
+
+#[test]
+fn direct_get_multi_and_range_reads() {
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let content = payload(500_000);
+    // A slot, not a checksummed datum: range writes mutate the content, so
+    // the whole-blob MD5 is left unset and integrity lives in the
+    // manifest's per-chunk digests.
+    let data = client.create_slot("ranged", content.len() as u64).unwrap();
+    client.put_chunked(&data, &content, CHUNK).unwrap();
+
+    // Fine-grain access: read a window straight from the data space.
+    let window = client.get_range(&data, 100_000, 5_000).unwrap();
+    assert_eq!(&window[..], &content[100_000..105_000]);
+
+    // Direct multi-source get on a fresh node.
+    let w = BitdewNode::new(Arc::clone(&c));
+    let tid = w.get_multi(&data).unwrap();
+    assert_eq!(w.wait_for(tid).unwrap(), TransferState::Complete);
+    assert_eq!(w.read_local(&data).unwrap(), content);
+
+    // Fine-grain update: patch a range, re-publish the manifest (range
+    // writes stale the per-chunk digests — re-publication is the
+    // documented contract), and a fresh fetch sees the patched content.
+    client.put_range(&data, 100_000, b"PATCHED").unwrap();
+    let window = client.get_range(&data, 100_000, 7).unwrap();
+    assert_eq!(&window[..], b"PATCHED");
+    let mut expect = content.clone();
+    expect[100_000..100_007].copy_from_slice(b"PATCHED");
+    let fresh = client.put_chunked(&data, &expect, CHUNK).unwrap();
+    let w2 = BitdewNode::new(Arc::clone(&c));
+    let tid = w2.get_multi(&data).unwrap();
+    assert_eq!(w2.wait_for(tid).unwrap(), TransferState::Complete);
+    assert!(w2.chunk_store().is_complete(&data.object_name(), &fresh));
+    assert_eq!(w2.read_local(&data).unwrap(), expect);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator backend
+// ---------------------------------------------------------------------------
+
+fn sim_manifest(data: &Data, chunk: u64) -> ChunkManifest {
+    // Metadata-only manifest: the simulator moves modeled bytes, so digests
+    // are computed over the zero content of the declared size.
+    ChunkManifest::describe(data.id, chunk, &vec![0u8; data.size as usize])
+}
+
+#[test]
+fn sim_chunked_fetch_steals_from_peer_replicas_and_survives_source_kill() {
+    let topo = topology::gdx_cluster(4);
+    let mut sim = Sim::new(41);
+    let trace = Trace::new();
+    let bd = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_secs(1),
+        trace.clone(),
+    );
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(17);
+    let data = Data::slot(Auid::generate(1, &mut rng), "blob", 200_000_000); // 200 MB
+    bd.put_manifest(&sim_manifest(&data, 4_000_000)); // 50 chunks
+    bd.schedule_data(data.clone(), DataAttributes::default().with_replica(3));
+
+    // Two seed replicas hold the datum from the start.
+    let s1 = bd.add_node(&mut sim, topo.workers[0], SimTime::ZERO);
+    let s2 = bd.add_node(&mut sim, topo.workers[1], SimTime::ZERO);
+    bd.pin(data.id, s1);
+    bd.pin(data.id, s2);
+    // The downloader work-steals chunks from service + both seeds.
+    let d = bd.add_node(&mut sim, topo.workers[2], SimTime::ZERO);
+
+    // Kill seed 1 while the fetch is in flight (flows start at ~150 ms;
+    // 200 MB over ~3 sources takes over a second of virtual time).
+    let bd2 = bd.clone();
+    let net = topo.net.clone();
+    let victim = topo.workers[0];
+    sim.schedule_at(SimTime::from_millis(400), move |sim| {
+        bd2.kill_host(sim, victim);
+        net.set_host_enabled(sim, victim, false);
+    });
+    sim.run_until(SimTime::from_secs(60));
+
+    assert!(
+        bd.cache_of(d).contains(&data.id),
+        "transfer completed from the survivors"
+    );
+    assert!(
+        bd.peer_chunk_flows() > 0,
+        "peer replicas actually served chunks"
+    );
+    let completed = trace.records().iter().any(
+        |r| matches!(&r.event, TraceEvent::TransferCompleted { to, .. } if *to == topo.workers[2]),
+    );
+    assert!(completed, "completion traced");
+}
+
+#[test]
+fn sim_multi_source_beats_single_source_throughput() {
+    // 6 downloaders pulling 50 MB each: single-source (whole-blob flows
+    // from the service host) vs chunked multi-source with 3 seed replicas.
+    let makespan = |seeds: usize, chunked: bool| -> f64 {
+        let topo = topology::gdx_cluster(6 + seeds);
+        let mut sim = Sim::new(7);
+        let trace = Trace::new();
+        let bd = SimBitdew::new(
+            topo.net.clone(),
+            topo.service,
+            SimDuration::from_secs(1),
+            trace.clone(),
+        );
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(3);
+        let data = Data::slot(Auid::generate(1, &mut rng), "blob", 50_000_000);
+        if chunked {
+            bd.put_manifest(&sim_manifest(&data, 2_000_000));
+        }
+        bd.schedule_data(
+            data.clone(),
+            DataAttributes::default().with_replica(REPLICA_ALL),
+        );
+        for i in 0..seeds {
+            let s = bd.add_node(&mut sim, topo.workers[i], SimTime::ZERO);
+            bd.pin(data.id, s);
+        }
+        for i in seeds..seeds + 6 {
+            bd.add_node(&mut sim, topo.workers[i], SimTime::ZERO);
+        }
+        sim.run_until(SimTime::from_secs(300));
+        trace
+            .records()
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::TransferCompleted { .. }))
+            .map(|r| r.at.as_secs_f64())
+            .fold(0.0, f64::max)
+    };
+    let single = makespan(0, false);
+    let multi = makespan(3, true);
+    assert!(
+        multi < single / 2.0,
+        "3 extra sources must at least halve the 6-client makespan: single={single:.2}s multi={multi:.2}s"
+    );
+}
+
+#[test]
+fn sim_partial_loss_repairs_only_missing_chunks() {
+    let topo = topology::gdx_cluster(1);
+    let sim = Rc::new(RefCell::new(Sim::new(23)));
+    let trace = Trace::new();
+    let bd = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_secs(1),
+        trace.clone(),
+    );
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(5);
+    let data = Data::slot(Auid::generate(1, &mut rng), "precious", 40_000_000);
+    let manifest = sim_manifest(&data, 2_000_000); // 20 chunks
+    bd.put_manifest(&manifest);
+    bd.schedule_data(data.clone(), DataAttributes::default().with_replica(1));
+    let uid = bd.add_node(&mut sim.borrow_mut(), topo.workers[0], SimTime::ZERO);
+    sim.borrow_mut().run_until(SimTime::from_secs(20));
+    assert!(bd.cache_of(uid).contains(&data.id));
+    // The heartbeat after the download re-validated the cache: full owner.
+    assert_eq!(bd.owners_of(data.id), vec![uid]);
+
+    // Lose 5 of 20 chunks: ownership drops, a repair moves 5 chunks'
+    // bytes, ownership comes back.
+    bd.lose_chunks(uid, data.id, 5);
+    assert!(bd.owners_of(data.id).is_empty());
+    sim.borrow_mut().run_until(SimTime::from_secs(60));
+    assert_eq!(bd.owners_of(data.id), vec![uid], "repair restored Ω");
+    let repair_bytes: Vec<f64> = trace
+        .records()
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::TransferStarted {
+                data: name, bytes, ..
+            } if name.ends_with("#repair") => Some(*bytes),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(repair_bytes, vec![5.0 * 2_000_000.0], "only 5 chunks moved");
+}
