@@ -1,0 +1,521 @@
+//! The subscription event bus: per-datum / per-name / per-kind routed
+//! delivery of data life-cycle events.
+//!
+//! The paper's §3.3 programming model is event-driven — applications
+//! install `onDataCopy`/`onDataDelete` handlers and react as the reservoir
+//! cache changes. [`EventBus`] is the runtime side of that promise: every
+//! life-cycle transition a node observes is *published* once, and routed to
+//!
+//! * **subscriptions** ([`EventBus::subscribe`] → [`EventSub`]): drainable
+//!   per-subscriber queues with condvar wakeups, filtered by
+//!   [`EventFilter`] (datum id, exact name, name prefix, event kind);
+//! * **handlers** ([`EventBus::attach`]): [`ActiveDataEventHandler`]
+//!   callbacks invoked synchronously at publish time, with the same
+//!   filters.
+//!
+//! Both deployments own one bus per node: the threaded
+//! [`BitdewNode`](crate::BitdewNode) publishes from its synchronization
+//! loop (subscribers on other threads wake through the condvar), the
+//! simulator's [`SimNode`](crate::simdriver::SimNode) publishes as virtual
+//! time advances (subscribers drain between pumps). The legacy
+//! `poll_events` surface is a compatibility shim over a capped any-filter
+//! subscription.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::api::{DataEvent, DataEventKind, Result, TransferManager};
+use crate::data::DataId;
+use crate::events::ActiveDataEventHandler;
+
+/// Which life-cycle events a subscription or handler wants. All criteria
+/// are conjunctive; an unset criterion matches everything, so
+/// [`EventFilter::any`] is the match-all filter of the legacy polling
+/// surface.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventFilter {
+    data: Option<DataId>,
+    name: Option<String>,
+    name_prefix: Option<String>,
+    kind: Option<DataEventKind>,
+}
+
+impl EventFilter {
+    /// Match every event.
+    pub fn any() -> EventFilter {
+        EventFilter::default()
+    }
+
+    /// Match events about one datum.
+    pub fn data(id: DataId) -> EventFilter {
+        EventFilter::any().and_data(id)
+    }
+
+    /// Match events whose datum has exactly this name.
+    pub fn name(name: &str) -> EventFilter {
+        EventFilter::any().and_name(name)
+    }
+
+    /// Match events whose datum name starts with `prefix` (the
+    /// master/worker framework routes `mw.task.*` / `mw.result.*` this
+    /// way).
+    pub fn name_prefix(prefix: &str) -> EventFilter {
+        EventFilter::any().and_name_prefix(prefix)
+    }
+
+    /// Match one life-cycle transition.
+    pub fn kind(kind: DataEventKind) -> EventFilter {
+        EventFilter::any().and_kind(kind)
+    }
+
+    /// Restrict to one datum.
+    pub fn and_data(mut self, id: DataId) -> EventFilter {
+        self.data = Some(id);
+        self
+    }
+
+    /// Restrict to an exact datum name.
+    pub fn and_name(mut self, name: &str) -> EventFilter {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// Restrict to a datum-name prefix.
+    pub fn and_name_prefix(mut self, prefix: &str) -> EventFilter {
+        self.name_prefix = Some(prefix.to_string());
+        self
+    }
+
+    /// Restrict to one life-cycle transition.
+    pub fn and_kind(mut self, kind: DataEventKind) -> EventFilter {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Whether `event` passes every set criterion.
+    pub fn matches(&self, event: &DataEvent) -> bool {
+        if let Some(id) = self.data {
+            if event.data.id != id {
+                return false;
+            }
+        }
+        if let Some(name) = &self.name {
+            if &event.data.name != name {
+                return false;
+            }
+        }
+        if let Some(prefix) = &self.name_prefix {
+            if !event.data.name.starts_with(prefix) {
+                return false;
+            }
+        }
+        if let Some(kind) = self.kind {
+            if event.kind != kind {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Queue state of one subscription.
+struct SubState {
+    queue: VecDeque<DataEvent>,
+    /// Queue bound; events beyond it drop the oldest entry. `usize::MAX`
+    /// (the default for explicit subscriptions) means lossless.
+    cap: usize,
+    /// Events dropped to honor `cap` (a capped legacy queue only).
+    dropped: u64,
+}
+
+/// Shared core of a subscription: the bus holds one reference, the
+/// [`EventSub`] the other. The bus prunes entries whose subscriber side
+/// was dropped.
+struct SubShared {
+    state: Mutex<SubState>,
+    cond: Condvar,
+}
+
+/// A live subscription handle returned by [`EventBus::subscribe`] (and the
+/// `ActiveData::subscribe` trait surface). Dropping it unsubscribes.
+pub struct EventSub {
+    shared: Arc<SubShared>,
+}
+
+impl EventSub {
+    /// Pop the oldest buffered event, without blocking.
+    pub fn try_recv(&self) -> Option<DataEvent> {
+        self.shared.state.lock().queue.pop_front()
+    }
+
+    /// Drain every buffered event, oldest first.
+    pub fn drain(&self) -> Vec<DataEvent> {
+        self.shared.state.lock().queue.drain(..).collect()
+    }
+
+    /// Buffered event count.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.state.lock().queue.is_empty()
+    }
+
+    /// Block up to `timeout` for the next event, waking the moment a
+    /// publisher delivers one (condvar parking — no polling). This is the
+    /// threaded-deployment face: some other thread (a heartbeat, another
+    /// client) must be driving the node for events to be produced.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<DataEvent> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock();
+        loop {
+            if let Some(ev) = state.queue.pop_front() {
+                return Some(ev);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared.cond.wait_for(&mut state, deadline - now);
+        }
+    }
+
+    /// Deployment-agnostic blocking receive: drive `node` (one `pump` per
+    /// round — a reservoir heartbeat on threads, a virtual-time step under
+    /// the simulator) until an event arrives or `timeout` elapses. The
+    /// generic analogue of [`EventSub::recv_timeout`] for callers that are
+    /// themselves the node's driver. Between pumps the wait parks briefly
+    /// on the subscription's condvar, so it neither spins hot nor misses a
+    /// publish from another thread.
+    pub fn next_with<N: TransferManager + ?Sized>(
+        &self,
+        node: &N,
+        timeout: Duration,
+    ) -> Result<Option<DataEvent>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(ev) = self.try_recv() {
+                return Ok(Some(ev));
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            node.pump()?;
+            let park =
+                Duration::from_millis(1).min(deadline.saturating_duration_since(Instant::now()));
+            if let Some(ev) = self.recv_timeout(park) {
+                return Ok(Some(ev));
+            }
+        }
+    }
+
+    /// Events dropped because the (capped, legacy) queue overflowed.
+    pub fn dropped(&self) -> u64 {
+        self.shared.state.lock().dropped
+    }
+
+    /// Lift the queue bound: from now on every event is retained until
+    /// drained. Called by the legacy `poll_events` shim on first poll,
+    /// when a consumer has proven to exist.
+    pub(crate) fn uncap(&self) {
+        self.shared.state.lock().cap = usize::MAX;
+    }
+}
+
+/// Identifies an attached handler so it can be detached again
+/// ([`EventBus::detach`]) — without this, per-datum callbacks would
+/// accumulate on a long-running node's bus forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HandlerId(u64);
+
+/// One attached handler: its id, its filter, the callback itself.
+type HandlerEntry = (HandlerId, EventFilter, Box<dyn ActiveDataEventHandler>);
+
+/// Per-node event bus: filtered subscriptions plus filtered
+/// [`ActiveDataEventHandler`] callbacks. One instance lives in every
+/// [`BitdewNode`](crate::BitdewNode) and every
+/// [`SimNode`](crate::simdriver::SimNode).
+#[derive(Default)]
+pub struct EventBus {
+    subs: Mutex<Vec<(EventFilter, Arc<SubShared>)>>,
+    handlers: Mutex<Vec<HandlerEntry>>,
+    /// Detaches issued while the handler list was checked out for a
+    /// running dispatch; applied at merge-back.
+    pending_detach: Mutex<Vec<HandlerId>>,
+    next_handler: AtomicU64,
+    published: AtomicU64,
+}
+
+impl EventBus {
+    /// An empty bus.
+    pub fn new() -> EventBus {
+        EventBus::default()
+    }
+
+    /// Open a lossless subscription for events matching `filter`.
+    pub fn subscribe(&self, filter: EventFilter) -> EventSub {
+        self.subscribe_capped(filter, usize::MAX)
+    }
+
+    /// Subscription whose queue drops its oldest event beyond `cap` — the
+    /// legacy polling shim uses this until the first poll proves a consumer
+    /// exists.
+    pub(crate) fn subscribe_capped(&self, filter: EventFilter, cap: usize) -> EventSub {
+        let shared = Arc::new(SubShared {
+            state: Mutex::new(SubState {
+                queue: VecDeque::new(),
+                cap,
+                dropped: 0,
+            }),
+            cond: Condvar::new(),
+        });
+        self.subs.lock().push((filter, Arc::clone(&shared)));
+        EventSub { shared }
+    }
+
+    /// Attach a callback handler for events matching `filter`, invoked
+    /// synchronously at publish time (the paper's `ActiveDataEventHandler`
+    /// registration). The handler stays attached for the bus's lifetime
+    /// unless the returned id is [`EventBus::detach`]ed.
+    pub fn attach(
+        &self,
+        filter: EventFilter,
+        handler: Box<dyn ActiveDataEventHandler>,
+    ) -> HandlerId {
+        let id = HandlerId(self.next_handler.fetch_add(1, Ordering::Relaxed));
+        self.handlers.lock().push((id, filter, handler));
+        id
+    }
+
+    /// Remove a previously attached handler. A detach issued while the
+    /// handler list is checked out for dispatch (e.g. from inside a
+    /// callback) is recorded and applied when the dispatch completes.
+    pub fn detach(&self, id: HandlerId) {
+        let mut handlers = self.handlers.lock();
+        let before = handlers.len();
+        handlers.retain(|(hid, _, _)| *hid != id);
+        if handlers.len() == before {
+            // Not in the list — either unknown or currently taken out by a
+            // running publish; record so the merge-back drops it.
+            self.pending_detach.lock().push(id);
+        }
+    }
+
+    /// Number of installed callback handlers.
+    pub fn handler_count(&self) -> usize {
+        self.handlers.lock().len()
+    }
+
+    /// Events published through this bus since creation.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Publish one event: enqueue on every matching subscription (waking
+    /// its condvar), then invoke every matching handler.
+    pub fn publish(&self, event: &DataEvent) {
+        self.published.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut subs = self.subs.lock();
+            // Prune subscriptions whose EventSub handle was dropped (the
+            // bus holds the only remaining reference).
+            subs.retain(|(_, shared)| Arc::strong_count(shared) > 1);
+            for (filter, shared) in subs.iter() {
+                if !filter.matches(event) {
+                    continue;
+                }
+                let mut state = shared.state.lock();
+                if state.queue.len() >= state.cap {
+                    state.queue.pop_front();
+                    state.dropped += 1;
+                }
+                state.queue.push_back(event.clone());
+                shared.cond.notify_all();
+            }
+        }
+        // Handlers may call back into the node (a worker's onDataCopy
+        // schedules its result, which publishes onDataCreate), so the lock
+        // must not be held while they run: take the list out, invoke, then
+        // merge back anything attached meanwhile. A nested publish sees an
+        // empty list and skips handler dispatch.
+        let mut taken = {
+            let mut guard = self.handlers.lock();
+            std::mem::take(&mut *guard)
+        };
+        for (_, filter, handler) in taken.iter_mut() {
+            if filter.matches(event) {
+                handler.on_event(event);
+            }
+        }
+        let mut guard = self.handlers.lock();
+        let added = std::mem::take(&mut *guard);
+        *guard = taken;
+        guard.extend(added);
+        let pending = std::mem::take(&mut *self.pending_detach.lock());
+        if !pending.is_empty() {
+            guard.retain(|(hid, _, _)| !pending.contains(hid));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::DataAttributes;
+    use crate::data::Data;
+    use bitdew_util::Auid;
+
+    fn ev(kind: DataEventKind, name: &str, seed: u128) -> DataEvent {
+        DataEvent {
+            kind,
+            data: Data::from_bytes(Auid(seed), name, b"x"),
+            attrs: DataAttributes::default(),
+            host: Auid(99),
+        }
+    }
+
+    #[test]
+    fn filters_are_conjunctive() {
+        let e = ev(DataEventKind::Copy, "mw.task.7", 3);
+        assert!(EventFilter::any().matches(&e));
+        assert!(EventFilter::data(e.data.id).matches(&e));
+        assert!(!EventFilter::data(Auid(4)).matches(&e));
+        assert!(EventFilter::name("mw.task.7").matches(&e));
+        assert!(!EventFilter::name("mw.task").matches(&e));
+        assert!(EventFilter::name_prefix("mw.task.").matches(&e));
+        assert!(!EventFilter::name_prefix("mw.result.").matches(&e));
+        assert!(EventFilter::kind(DataEventKind::Copy).matches(&e));
+        assert!(!EventFilter::kind(DataEventKind::Delete).matches(&e));
+        assert!(EventFilter::name_prefix("mw.")
+            .and_kind(DataEventKind::Copy)
+            .and_data(e.data.id)
+            .matches(&e));
+        assert!(!EventFilter::name_prefix("mw.")
+            .and_kind(DataEventKind::Delete)
+            .matches(&e));
+    }
+
+    #[test]
+    fn subscriptions_route_by_filter() {
+        let bus = EventBus::new();
+        let copies = bus.subscribe(EventFilter::kind(DataEventKind::Copy));
+        let tasks = bus.subscribe(EventFilter::name_prefix("mw.task."));
+        let all = bus.subscribe(EventFilter::any());
+        bus.publish(&ev(DataEventKind::Copy, "mw.task.1", 1));
+        bus.publish(&ev(DataEventKind::Delete, "mw.task.1", 1));
+        bus.publish(&ev(DataEventKind::Copy, "other", 2));
+        assert_eq!(copies.len(), 2);
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(all.len(), 3);
+        let first = tasks.try_recv().unwrap();
+        assert_eq!(first.kind, DataEventKind::Copy);
+        assert_eq!(first.host, Auid(99));
+        assert_eq!(tasks.drain().len(), 1);
+        assert!(tasks.is_empty());
+    }
+
+    #[test]
+    fn dropped_subscription_is_pruned() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(EventFilter::any());
+        drop(sub);
+        bus.publish(&ev(DataEventKind::Create, "x", 1));
+        assert_eq!(bus.subs.lock().len(), 0);
+    }
+
+    #[test]
+    fn capped_queue_drops_oldest_until_uncapped() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe_capped(EventFilter::any(), 2);
+        for i in 0..4 {
+            bus.publish(&ev(DataEventKind::Create, &format!("d{i}"), i as u128 + 1));
+        }
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.dropped(), 2);
+        assert_eq!(sub.try_recv().unwrap().data.name, "d2");
+        sub.uncap();
+        for i in 0..4 {
+            bus.publish(&ev(DataEventKind::Create, &format!("e{i}"), i as u128 + 10));
+        }
+        assert_eq!(sub.len(), 5, "uncapped queue retains everything");
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_publish_from_another_thread() {
+        let bus = Arc::new(EventBus::new());
+        let sub = bus.subscribe(EventFilter::any());
+        let b2 = Arc::clone(&bus);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            b2.publish(&ev(DataEventKind::Copy, "late", 5));
+        });
+        let started = Instant::now();
+        let got = sub.recv_timeout(Duration::from_secs(5));
+        t.join().unwrap();
+        assert_eq!(got.unwrap().data.name, "late");
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "woke on publish, not on timeout"
+        );
+        assert!(sub.recv_timeout(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn detached_handlers_stop_firing_and_free_their_slot() {
+        use std::sync::atomic::AtomicU32;
+        let bus = EventBus::new();
+        let fired = Arc::new(AtomicU32::new(0));
+        let f2 = Arc::clone(&fired);
+        let id = bus.attach(
+            EventFilter::any(),
+            Box::new(crate::events::CallbackHandler::new().on_copy(move |_, _| {
+                f2.fetch_add(1, Ordering::Relaxed);
+            })),
+        );
+        bus.publish(&ev(DataEventKind::Copy, "a", 1));
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        bus.detach(id);
+        assert_eq!(bus.handler_count(), 0, "slot freed");
+        bus.publish(&ev(DataEventKind::Copy, "b", 2));
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "no longer fires");
+        // Detaching an unknown id is a no-op recorded then discarded.
+        bus.detach(HandlerId(999));
+        bus.publish(&ev(DataEventKind::Copy, "c", 3));
+        assert_eq!(bus.handler_count(), 0);
+    }
+
+    #[test]
+    fn handlers_filter_and_can_reenter() {
+        use std::sync::atomic::AtomicU32;
+        let bus = Arc::new(EventBus::new());
+        let copies = Arc::new(AtomicU32::new(0));
+        let c2 = Arc::clone(&copies);
+        bus.attach(
+            EventFilter::kind(DataEventKind::Copy),
+            Box::new(crate::events::CallbackHandler::new().on_copy(move |_, _| {
+                c2.fetch_add(1, Ordering::Relaxed);
+            })),
+        );
+        // A handler that publishes back into the bus must not deadlock.
+        let b2 = Arc::clone(&bus);
+        bus.attach(
+            EventFilter::kind(DataEventKind::Create),
+            Box::new(
+                crate::events::CallbackHandler::new().on_create(move |_, _| {
+                    b2.publish(&ev(DataEventKind::Copy, "nested", 8));
+                }),
+            ),
+        );
+        bus.publish(&ev(DataEventKind::Create, "outer", 7));
+        assert_eq!(copies.load(Ordering::Relaxed), 0, "nested publish skipped");
+        bus.publish(&ev(DataEventKind::Copy, "direct", 9));
+        assert_eq!(copies.load(Ordering::Relaxed), 1);
+        assert_eq!(bus.handler_count(), 2);
+    }
+}

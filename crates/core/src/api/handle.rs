@@ -1,0 +1,192 @@
+//! [`DataHandle`]: the ergonomic object API over a datum.
+//!
+//! The paper's Java bindings hand applications *objects* — a `Data` you
+//! call `put`/`schedule` on, with `onDataCopy` callbacks — instead of the
+//! `(node, data, attrs)` triples our raw trait surface threads by hand.
+//! `DataHandle` restores that shape: it binds one [`Data`] to the
+//! [`Session`] (and therefore the node) it lives on, routes every mutating
+//! call through the session's pipelined command plane, and exposes the
+//! subscription event bus per datum (`on_copy`, `on_delete`,
+//! `subscribe`).
+
+use std::time::{Duration, Instant};
+
+use crate::api::{
+    ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, EventFilter, EventSub, HandlerId,
+    OpFuture, Result, Session, TransferManager,
+};
+use crate::attr::DataAttributes;
+use crate::data::{Data, DataId};
+use crate::events::ActiveDataEventHandler;
+use crate::services::transfer::{TransferId, TransferState};
+
+/// An owned, cloneable handle binding a datum to the session it lives on.
+/// Clones share the session's submission queue and the node's event bus.
+pub struct DataHandle<N> {
+    data: Data,
+    session: Session<N>,
+}
+
+impl<N> Clone for DataHandle<N> {
+    fn clone(&self) -> DataHandle<N> {
+        DataHandle {
+            data: self.data.clone(),
+            session: self.session.clone(),
+        }
+    }
+}
+
+/// Adapter turning a boxed closure over [`DataEvent`] into an
+/// [`ActiveDataEventHandler`], used by the `on_*` registration helpers.
+struct EventClosure(Box<dyn FnMut(&DataEvent) + Send>);
+
+impl ActiveDataEventHandler for EventClosure {
+    fn on_event(&mut self, event: &DataEvent) {
+        (self.0)(event);
+    }
+}
+
+impl<N: BitDewApi + ActiveData + TransferManager + 'static> DataHandle<N> {
+    pub(crate) fn new(data: Data, session: Session<N>) -> DataHandle<N> {
+        DataHandle { data, session }
+    }
+
+    /// The datum this handle wraps.
+    pub fn data(&self) -> &Data {
+        &self.data
+    }
+
+    /// The datum's id.
+    pub fn id(&self) -> DataId {
+        self.data.id
+    }
+
+    /// The datum's name.
+    pub fn name(&self) -> &str {
+        &self.data.name
+    }
+
+    /// The session this handle submits through.
+    pub fn session(&self) -> &Session<N> {
+        &self.session
+    }
+
+    // --- Pipelined mutations ---------------------------------------------
+
+    /// Queue a copy of `content` into the data space; the returned future
+    /// resolves when the batch containing it lands.
+    pub fn put(&self, content: &[u8]) -> OpFuture<()> {
+        self.session.put(&self.data, content)
+    }
+
+    /// Queue placement of this datum under Data Scheduler management.
+    pub fn schedule(&self, attrs: DataAttributes) -> OpFuture<()> {
+        self.session.schedule(&self.data, attrs)
+    }
+
+    /// Queue an ownership pin of this datum on the session's node.
+    pub fn pin(&self, attrs: DataAttributes) -> OpFuture<()> {
+        self.session.pin(&self.data, attrs)
+    }
+
+    /// Queue deletion of this datum everywhere.
+    pub fn delete(&self) -> OpFuture<()> {
+        self.session.delete(&self.data)
+    }
+
+    // --- Synchronous data access -----------------------------------------
+
+    /// Start copying the datum into the node's local store (flushes the
+    /// queue first so a just-queued `put` is visible). Non-blocking;
+    /// resolve with [`DataHandle::wait_transfer`] or the node's
+    /// `TransferManager` surface.
+    pub fn get(&self) -> Result<TransferId> {
+        self.session.flush();
+        self.session.node().get(&self.data)
+    }
+
+    /// Block until `id` (a transfer started by [`DataHandle::get`]) is
+    /// terminal.
+    pub fn wait_transfer(&self, id: TransferId) -> Result<TransferState> {
+        self.session.node().wait_for(id)
+    }
+
+    /// Read the locally held content of the datum (flushes the queue
+    /// first).
+    pub fn read(&self) -> Result<Vec<u8>> {
+        self.session.flush();
+        self.session.node().read_local(&self.data)
+    }
+
+    /// Whether the session's node currently caches this datum.
+    pub fn is_cached(&self) -> bool {
+        self.session.node().has_cached(self.data.id)
+    }
+
+    /// Drive the node until this datum is in its cache, or time out.
+    /// (Under the simulator the pump advances virtual time; the wall-clock
+    /// `timeout` bounds only the driving loop itself.)
+    pub fn wait_cached(&self, timeout: Duration) -> Result<()> {
+        self.session.flush();
+        let started = Instant::now();
+        while !self.is_cached() {
+            if started.elapsed() > timeout {
+                return Err(BitdewError::Timeout {
+                    what: format!("`{}` to reach the local cache", self.data.name),
+                    waited: started.elapsed(),
+                });
+            }
+            self.session.node().pump()?;
+        }
+        Ok(())
+    }
+
+    // --- Event subscription ----------------------------------------------
+
+    /// Open a lossless subscription to every life-cycle event of this
+    /// datum on the session's node.
+    pub fn subscribe(&self) -> EventSub {
+        self.session
+            .node()
+            .subscribe(EventFilter::data(self.data.id))
+    }
+
+    /// Open a subscription restricted to one event kind for this datum.
+    pub fn subscribe_kind(&self, kind: DataEventKind) -> EventSub {
+        self.session
+            .node()
+            .subscribe(EventFilter::data(self.data.id).and_kind(kind))
+    }
+
+    /// Install a callback fired when this datum finishes copying into the
+    /// node's cache (the paper's `onDataCopyEvent`). The callback stays
+    /// attached until [`DataHandle::remove_callback`] is called with the
+    /// returned id.
+    pub fn on_copy(&self, f: impl FnMut(&DataEvent) + Send + 'static) -> HandlerId {
+        self.on_kind(DataEventKind::Copy, f)
+    }
+
+    /// Install a callback fired when this datum leaves the node's cache
+    /// (the paper's `onDataDeleteEvent`).
+    pub fn on_delete(&self, f: impl FnMut(&DataEvent) + Send + 'static) -> HandlerId {
+        self.on_kind(DataEventKind::Delete, f)
+    }
+
+    /// Detach a callback installed by [`DataHandle::on_copy`] /
+    /// [`DataHandle::on_delete`], so per-datum closures don't accumulate
+    /// on the node's bus after the datum is done.
+    pub fn remove_callback(&self, id: HandlerId) {
+        self.session.node().remove_handler(id);
+    }
+
+    fn on_kind(
+        &self,
+        kind: DataEventKind,
+        f: impl FnMut(&DataEvent) + Send + 'static,
+    ) -> HandlerId {
+        self.session.node().add_handler(
+            EventFilter::data(self.data.id).and_kind(kind),
+            Box::new(EventClosure(Box::new(f))),
+        )
+    }
+}

@@ -1,12 +1,13 @@
 //! The three BitDew programming interfaces as first-class traits, with a
-//! unified error model.
+//! unified error model and the reactive session surface.
 //!
 //! The paper (§3.3) defines three APIs an application programs against:
 //!
 //! * [`BitDewApi`] — the data space: `create`/`put`/`get`/`search`/`delete`
 //!   plus the attribute language (`create_attribute`);
 //! * [`ActiveData`] — attribute-driven scheduling: `schedule`/`pin` and the
-//!   data life-cycle events;
+//!   data life-cycle events (filtered [`subscribe`](ActiveData::subscribe)
+//!   subscriptions and [`add_handler`](ActiveData::add_handler) callbacks);
 //! * [`TransferManager`] — non-blocking transfer control: waits, polls and
 //!   barriers.
 //!
@@ -21,12 +22,82 @@
 //! Every operation returns [`Result`], whose error type [`BitdewError`]
 //! unifies what used to be a mix of `TransportResult`, storage `DbError` and
 //! bare `AttrError` leaking through the node surface. `From` impls exist for
-//! each underlying error so service code propagates with `?`.
+//! each underlying error so service code propagates with `?`;
+//! [`BitdewError::is_retryable`] classifies which failures a caller may
+//! simply try again.
 //!
-//! Batched entry points (`put_many`, `schedule_many`, `wait_all`) amortize
-//! catalog round-trips and scheduler lock acquisitions for throughput-bound
-//! masters; [`TransferManager::try_wait`] lets pipelined callers poll
-//! without blocking.
+//! ## The reactive session surface
+//!
+//! On top of the raw traits sit three pieces (submodules of this module)
+//! that decouple submission from completion:
+//!
+//! * [`Session`] / [`OpFuture`] ([`pipeline`]) — every mutating op returns
+//!   a future immediately; ops land in a per-node submission queue drained
+//!   in batches (one catalog round-trip / one scheduler lock per batch via
+//!   `put_many` / `schedule_many`), so a client keeps thousands of ops in
+//!   flight against the sharded service plane;
+//! * [`DataHandle`] ([`handle`]) — the paper's object-style bindings:
+//!   `handle.put(bytes)`, `handle.schedule(attrs)`, `handle.get()`,
+//!   `handle.on_copy(f)`;
+//! * [`EventBus`] / [`EventFilter`] / [`EventSub`] ([`bus`]) — the
+//!   subscription event bus replacing global event polling, with
+//!   per-datum, per-name and per-kind routing to both drainable queues and
+//!   [`ActiveDataEventHandler`](crate::events::ActiveDataEventHandler)
+//!   callbacks. The old `poll_events` drain survives as a compatibility
+//!   shim over an any-filter subscription.
+//!
+//! End to end, on the threaded deployment (the same code runs on
+//! [`SimNode`](crate::simdriver::SimNode) under virtual time):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use bitdew_core::api::{join_all, ActiveData, DataEventKind, EventFilter, Session};
+//! use bitdew_core::{BitdewNode, DataAttributes, RuntimeConfig, ServiceContainer};
+//!
+//! # fn main() -> bitdew_core::Result<()> {
+//! let container = ServiceContainer::start(RuntimeConfig::default());
+//! let session = Session::new(BitdewNode::new_client(Arc::clone(&container)));
+//!
+//! // A worker subscribes to copy events instead of polling globally.
+//! let worker = BitdewNode::new(Arc::clone(&container));
+//! let arrivals = worker.subscribe(EventFilter::kind(DataEventKind::Copy));
+//!
+//! // Pipelined submission: the puts and schedules all queue, resolve in
+//! // batches, and report through their futures.
+//! let mut futures = Vec::new();
+//! let mut handles = Vec::new();
+//! for i in 0..4 {
+//!     let payload = vec![i as u8; 2_000];
+//!     let handle = session.create(&format!("doc-{i}"), &payload)?;
+//!     futures.push(handle.put(&payload));
+//!     futures.push(handle.schedule(DataAttributes::default().with_replica(1)));
+//!     handles.push(handle);
+//! }
+//! join_all(futures)?; // one flush: one catalog round-trip, one scheduler lock
+//! assert!(session.batches_flushed() <= 2);
+//!
+//! // The worker reacts to arrivals as the reservoir cache changes.
+//! let mut seen = 0;
+//! while seen < 4 {
+//!     let ev = arrivals
+//!         .next_with(&worker, Duration::from_secs(30))?
+//!         .expect("copies arrive");
+//!     assert_eq!(ev.kind, DataEventKind::Copy);
+//!     assert_eq!(ev.host, worker.uid); // events carry the observing host
+//!     seen += 1;
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bus;
+pub mod handle;
+pub mod pipeline;
+
+pub use bus::{EventBus, EventFilter, EventSub, HandlerId};
+pub use handle::DataHandle;
+pub use pipeline::{join_all, OpFuture, Session, DEFAULT_BATCH_LIMIT};
 
 use std::time::Duration;
 
@@ -96,6 +167,29 @@ impl std::fmt::Display for BitdewError {
     }
 }
 
+impl BitdewError {
+    /// Whether simply retrying the failed operation can plausibly succeed.
+    ///
+    /// Retryable: transport failures (the remote may come back, another
+    /// locator may serve), timeouts (the wait can be re-issued), chunk
+    /// digest mismatches (a re-fetch from another source heals them) and
+    /// catalog misses (content/locators often just haven't been `put`
+    /// yet — the reservoir loop itself retries these every sync).
+    ///
+    /// Not retryable: attribute parse errors and scheduler refusals
+    /// (deterministic rejections of the same input) and storage/store
+    /// engine failures (a corrupt snapshot does not heal by re-reading).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            BitdewError::Transport(_)
+                | BitdewError::Timeout { .. }
+                | BitdewError::ChunkDigest { .. }
+                | BitdewError::CatalogMiss { .. }
+        )
+    }
+}
+
 impl std::error::Error for BitdewError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
@@ -135,8 +229,9 @@ impl From<AttrError> for BitdewError {
 /// Crate-wide result type: every public BitDew operation returns this.
 pub type Result<T> = std::result::Result<T, BitdewError>;
 
-/// A data life-cycle event observed on a node, as delivered by
-/// [`ActiveData::poll_events`].
+/// A data life-cycle event observed on a node, as delivered through the
+/// subscription bus ([`ActiveData::subscribe`]) and the legacy
+/// [`ActiveData::poll_events`] shim.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DataEvent {
     /// Which life-cycle transition happened.
@@ -145,6 +240,10 @@ pub struct DataEvent {
     pub data: Data,
     /// The attributes it was scheduled with.
     pub attrs: DataAttributes,
+    /// The node whose cache observed the transition — so a handler
+    /// aggregating several nodes' events (a master watching its workers)
+    /// can tell whose reservoir changed.
+    pub host: HostUid,
 }
 
 /// The three life-cycle transitions of §3.3's ActiveData events.
@@ -171,6 +270,11 @@ pub trait BitDewApi {
     /// Create an empty slot of declared `size` (content produced later or
     /// remotely; a zero-size slot is a pure marker like §5's Collector).
     fn create_slot(&self, name: &str, size: u64) -> Result<Data>;
+
+    /// Batched [`BitDewApi::create_data`]: register the whole batch with
+    /// one catalog round-trip per shard (the `register_many` fan-out),
+    /// returning the data in input order.
+    fn create_many(&self, items: &[(&str, &[u8])]) -> Result<Vec<Data>>;
 
     /// Copy content into the data space and record locators for it.
     fn put(&self, data: &Data, content: &[u8]) -> Result<()>;
@@ -233,10 +337,35 @@ pub trait ActiveData {
     /// Ω(d) and targets with chunk-level repair instead of a re-download.
     fn pin_chunks(&self, data: &Data, attrs: DataAttributes, held: &[u32]) -> Result<()>;
 
+    /// Open a subscription to this node's life-cycle events matching
+    /// `filter` — per-datum, per-name, per-name-prefix and per-kind
+    /// routing, lossless delivery, condvar wakeups under threads and
+    /// virtual-time delivery under the simulator.
+    fn subscribe(&self, filter: EventFilter) -> EventSub;
+
+    /// Install a filtered
+    /// [`ActiveDataEventHandler`](crate::events::ActiveDataEventHandler)
+    /// callback, invoked synchronously as matching events are published
+    /// (the paper's `onDataCopyEvent`/`onDataDeleteEvent` registration).
+    /// The handler stays attached until
+    /// [`remove_handler`](ActiveData::remove_handler) is called with the
+    /// returned id.
+    fn add_handler(
+        &self,
+        filter: EventFilter,
+        handler: Box<dyn crate::events::ActiveDataEventHandler>,
+    ) -> HandlerId;
+
+    /// Detach a handler installed by [`ActiveData::add_handler`], so
+    /// per-datum callbacks don't accumulate on a long-running node.
+    fn remove_handler(&self, id: HandlerId);
+
     /// Drain the life-cycle events observed since the last poll, oldest
-    /// first. Polling is the deployment-agnostic face of the paper's
-    /// callback handlers: it works identically under threads and under the
-    /// discrete-event simulator.
+    /// first.
+    ///
+    /// **Compatibility shim**: this is an any-filter subscription drained
+    /// in place; new code should [`subscribe`](ActiveData::subscribe) with
+    /// a filter instead and react per datum/name/kind.
     fn poll_events(&self) -> Vec<DataEvent>;
 
     /// This node's identity in the scheduler's host space.
@@ -285,6 +414,9 @@ macro_rules! delegate_api {
             fn create_slot(&self, name: &str, size: u64) -> Result<Data> {
                 (**self).create_slot(name, size)
             }
+            fn create_many(&self, items: &[(&str, &[u8])]) -> Result<Vec<Data>> {
+                (**self).create_many(items)
+            }
             fn put(&self, data: &Data, content: &[u8]) -> Result<()> {
                 (**self).put(data, content)
             }
@@ -326,6 +458,19 @@ macro_rules! delegate_api {
             }
             fn pin_chunks(&self, data: &Data, attrs: DataAttributes, held: &[u32]) -> Result<()> {
                 (**self).pin_chunks(data, attrs, held)
+            }
+            fn subscribe(&self, filter: EventFilter) -> EventSub {
+                (**self).subscribe(filter)
+            }
+            fn add_handler(
+                &self,
+                filter: EventFilter,
+                handler: Box<dyn crate::events::ActiveDataEventHandler>,
+            ) -> HandlerId {
+                (**self).add_handler(filter, handler)
+            }
+            fn remove_handler(&self, id: HandlerId) {
+                (**self).remove_handler(id)
             }
             fn poll_events(&self) -> Vec<DataEvent> {
                 (**self).poll_events()

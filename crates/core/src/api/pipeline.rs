@@ -1,0 +1,450 @@
+//! The pipelined command plane: per-node submission queues and op futures.
+//!
+//! Every mutating operation submitted through a [`Session`] returns an
+//! [`OpFuture`] ticket immediately; the op lands in the session's
+//! submission queue and an executor drains the queue in *batches* — one
+//! catalog round-trip (`put_many`) and one scheduler lock acquisition
+//! (`schedule_many`) per batch — instead of paying one lock-and-round-trip
+//! per call. A client can keep thousands of operations in flight against
+//! the sharded DC+DS plane and collect completions with
+//! [`OpFuture::wait`] / [`OpFuture::try_get`] / [`join_all`].
+//!
+//! The executor is *cooperative* and deployment-agnostic: the queue drains
+//! when it reaches the session's batch limit, when [`Session::flush`] is
+//! called, or when any future belonging to the session is waited on. That
+//! makes the semantics identical on the threaded
+//! [`BitdewNode`](crate::BitdewNode) (where waits additionally park on
+//! condvars, so a queue another thread flushes wakes waiters immediately)
+//! and on the single-threaded, virtual-time
+//! [`SimNode`](crate::simdriver::SimNode) (where a wait drives the drain
+//! itself — no background thread required, so nothing in the discrete
+//! event order changes).
+//!
+//! Batches preserve program order per datum: ops are grouped into
+//! `put → schedule → pin → delete` phases, and a later op that would have
+//! to run *before* an already-queued op on the same datum (e.g. a
+//! re-schedule after a queued delete) closes the current batch segment and
+//! opens a new one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::api::{ActiveData, BitDewApi, Result, TransferManager};
+use crate::attr::DataAttributes;
+use crate::data::{Data, DataId};
+
+/// Default submission-queue length that triggers an automatic drain.
+pub const DEFAULT_BATCH_LIMIT: usize = 256;
+
+/// One queued mutating operation.
+enum Op {
+    Put(Data, Vec<u8>, Ticket<()>),
+    Schedule(Data, DataAttributes, Ticket<()>),
+    Pin(Data, DataAttributes, Ticket<()>),
+    Delete(Data, Ticket<()>),
+}
+
+impl Op {
+    /// Batch phase: ops of a lower phase run before ops of a higher phase
+    /// within one segment (put before schedule before pin before delete —
+    /// the only orders an application can mean when it queues them
+    /// together).
+    fn phase(&self) -> u8 {
+        match self {
+            Op::Put(..) => 0,
+            Op::Schedule(..) => 1,
+            Op::Pin(..) => 2,
+            Op::Delete(..) => 3,
+        }
+    }
+
+    fn data_id(&self) -> DataId {
+        match self {
+            Op::Put(d, ..) | Op::Schedule(d, ..) | Op::Pin(d, ..) | Op::Delete(d, ..) => d.id,
+        }
+    }
+}
+
+/// Resolution slot of one op future.
+enum SlotState<T> {
+    Pending,
+    Ready(Result<T>),
+    Taken,
+}
+
+struct OpSlot<T> {
+    state: Mutex<SlotState<T>>,
+    cond: Condvar,
+}
+
+type Ticket<T> = Arc<OpSlot<T>>;
+
+fn ticket<T>() -> Ticket<T> {
+    Arc::new(OpSlot {
+        state: Mutex::new(SlotState::Pending),
+        cond: Condvar::new(),
+    })
+}
+
+fn resolve<T>(t: &Ticket<T>, result: Result<T>) {
+    *t.state.lock() = SlotState::Ready(result);
+    t.cond.notify_all();
+}
+
+/// Something that can drain a submission queue — implemented by the
+/// session core so a future can drive its own resolution.
+trait Drive {
+    fn drive(&self);
+}
+
+/// A ticket for one submitted operation. Resolution happens when the
+/// owning session's queue drains; waiting on the future triggers that
+/// drain, so a pipelined caller never deadlocks on its own queue.
+#[must_use = "a dropped OpFuture discards the op's error; wait() or join_all() it"]
+pub struct OpFuture<T> {
+    slot: Ticket<T>,
+    driver: Arc<dyn Drive>,
+}
+
+impl<T> OpFuture<T> {
+    /// Whether the op has resolved (successfully or not) — never drives
+    /// the queue, never blocks.
+    pub fn is_ready(&self) -> bool {
+        !matches!(*self.slot.state.lock(), SlotState::Pending)
+    }
+
+    /// Take the result if the op has resolved; `None` while it is still
+    /// queued or in flight (and forever after the result was taken).
+    /// Never drives the queue.
+    pub fn try_get(&self) -> Option<Result<T>> {
+        let mut state = self.slot.state.lock();
+        match std::mem::replace(&mut *state, SlotState::Taken) {
+            SlotState::Ready(result) => Some(result),
+            other => {
+                *state = other;
+                None
+            }
+        }
+    }
+
+    /// Resolve the op: flush the owning session's queue if it is still
+    /// pending, then return the result. Flushing is synchronous, so this
+    /// returns without blocking on anything but the underlying batched
+    /// calls themselves.
+    pub fn wait(self) -> Result<T> {
+        if !self.is_ready() {
+            self.driver.drive();
+        }
+        let mut state = self.slot.state.lock();
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Taken) {
+                SlotState::Ready(result) => return result,
+                SlotState::Taken => {
+                    panic!("OpFuture::wait called after try_get already took the result")
+                }
+                SlotState::Pending => {
+                    // Another thread is mid-flush and owns this op; park
+                    // until it resolves the ticket.
+                    *state = SlotState::Pending;
+                    self.slot.cond.wait(&mut state);
+                }
+            }
+        }
+    }
+}
+
+/// Wait for every future; returns the values in submission order, or the
+/// first error encountered. One queue drain resolves them all.
+pub fn join_all<T>(futures: impl IntoIterator<Item = OpFuture<T>>) -> Result<Vec<T>> {
+    let mut out = Vec::new();
+    for f in futures {
+        out.push(f.wait()?);
+    }
+    Ok(out)
+}
+
+struct SessionCore<N> {
+    node: N,
+    queue: Mutex<Vec<Op>>,
+    /// Serializes flushes: held for the whole drain, so concurrent
+    /// flushers (a waiting future on another thread, an auto-flush) cannot
+    /// interleave their batch execution with an in-flight one and invert
+    /// per-datum program order.
+    flush_gate: Mutex<()>,
+    /// The thread currently draining, if any — a nested flush from that
+    /// same thread (a bus handler queuing ops and flushing during
+    /// `schedule_many`'s event dispatch) returns immediately instead of
+    /// self-deadlocking; the outer drain loop picks its ops up.
+    flusher: Mutex<Option<std::thread::ThreadId>>,
+    batch_limit: usize,
+    ops: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl<N: BitDewApi + ActiveData + TransferManager> SessionCore<N> {
+    fn submit(self: &Arc<Self>, op: Op) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let full = {
+            let mut queue = self.queue.lock();
+            queue.push(op);
+            queue.len() >= self.batch_limit
+        };
+        if full {
+            self.flush();
+        }
+    }
+
+    fn flush(&self) {
+        let me = std::thread::current().id();
+        if *self.flusher.lock() == Some(me) {
+            // Nested flush from inside this thread's own drain (a bus
+            // handler fired during batch execution queued ops, or waited a
+            // future): this frame already holds the gate higher in the
+            // stack, so drain directly — returning would strand a waited
+            // future's op in the queue.
+            self.drain();
+            return;
+        }
+        let _gate = self.flush_gate.lock();
+        *self.flusher.lock() = Some(me);
+        self.drain();
+        *self.flusher.lock() = None;
+    }
+
+    /// Drain the queue until empty (caller holds the flush gate). Ops
+    /// queued while a batch executes — by other threads, or by handlers on
+    /// this one — run in a later iteration of the same serialized flush,
+    /// so per-datum program order holds across concurrent submitters.
+    fn drain(&self) {
+        loop {
+            let ops = std::mem::take(&mut *self.queue.lock());
+            if ops.is_empty() {
+                break;
+            }
+            // Split into segments: within a segment every datum's ops are
+            // in non-decreasing phase order, so executing the segment's
+            // phases in order preserves program order exactly.
+            let mut segment: Vec<Op> = Vec::new();
+            let mut seen_phase: HashMap<DataId, u8> = HashMap::new();
+            for op in ops {
+                let phase = op.phase();
+                if seen_phase.get(&op.data_id()).is_some_and(|&p| phase < p) {
+                    self.run_segment(std::mem::take(&mut segment));
+                    seen_phase.clear();
+                }
+                seen_phase.insert(op.data_id(), phase);
+                segment.push(op);
+            }
+            self.run_segment(segment);
+        }
+    }
+
+    fn run_segment(&self, ops: Vec<Op>) {
+        if ops.is_empty() {
+            return;
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let mut puts = Vec::new();
+        let mut schedules = Vec::new();
+        let mut pins = Vec::new();
+        let mut deletes = Vec::new();
+        for op in ops {
+            match op {
+                Op::Put(d, bytes, tk) => puts.push((d, bytes, tk)),
+                Op::Schedule(d, attrs, tk) => schedules.push((d, attrs, tk)),
+                Op::Pin(d, attrs, tk) => pins.push((d, attrs, tk)),
+                Op::Delete(d, tk) => deletes.push((d, tk)),
+            }
+        }
+
+        if !puts.is_empty() {
+            let batch: Vec<(Data, &[u8])> = puts
+                .iter()
+                .map(|(d, bytes, _)| (d.clone(), bytes.as_slice()))
+                .collect();
+            match self.node.put_many(&batch) {
+                Ok(()) => {
+                    for (_, _, tk) in &puts {
+                        resolve(tk, Ok(()));
+                    }
+                }
+                // The batch is all-or-nothing; re-run per item so every
+                // ticket carries its own error (put_many is idempotent —
+                // re-storing a payload and re-recording its locators).
+                Err(_) => {
+                    for (d, bytes, tk) in &puts {
+                        resolve(tk, self.node.put(d, bytes));
+                    }
+                }
+            }
+        }
+        if !schedules.is_empty() {
+            let batch: Vec<(Data, DataAttributes)> = schedules
+                .iter()
+                .map(|(d, attrs, _)| (d.clone(), attrs.clone()))
+                .collect();
+            match self.node.schedule_many(&batch) {
+                Ok(()) => {
+                    for (_, _, tk) in &schedules {
+                        resolve(tk, Ok(()));
+                    }
+                }
+                Err(_) => {
+                    for (d, attrs, tk) in &schedules {
+                        resolve(tk, self.node.schedule(d, attrs.clone()));
+                    }
+                }
+            }
+        }
+        for (d, attrs, tk) in pins {
+            resolve(&tk, self.node.pin(&d, attrs));
+        }
+        for (d, tk) in deletes {
+            resolve(&tk, self.node.delete(&d));
+        }
+    }
+}
+
+impl<N: BitDewApi + ActiveData + TransferManager> Drive for SessionCore<N> {
+    fn drive(&self) {
+        self.flush();
+    }
+}
+
+/// A pipelined client session over a node. Cloning is cheap and shares
+/// the submission queue, so handles ([`DataHandle`](crate::DataHandle))
+/// and worker threads can feed one batch stream.
+pub struct Session<N> {
+    core: Arc<SessionCore<N>>,
+}
+
+impl<N> Clone for Session<N> {
+    fn clone(&self) -> Session<N> {
+        Session {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<N: BitDewApi + ActiveData + TransferManager + 'static> Session<N> {
+    /// A session with the default batch limit.
+    pub fn new(node: N) -> Session<N> {
+        Session::with_batch_limit(node, DEFAULT_BATCH_LIMIT)
+    }
+
+    /// A session draining its queue whenever `limit` ops are pending
+    /// (1 degenerates to the blocking per-call path).
+    pub fn with_batch_limit(node: N, limit: usize) -> Session<N> {
+        Session {
+            core: Arc::new(SessionCore {
+                node,
+                queue: Mutex::new(Vec::new()),
+                flush_gate: Mutex::new(()),
+                flusher: Mutex::new(None),
+                batch_limit: limit.max(1),
+                ops: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The node this session feeds.
+    pub fn node(&self) -> &N {
+        &self.core.node
+    }
+
+    /// Create a datum in the data space and return its handle (metadata
+    /// registration is synchronous — the id must exist before any queued
+    /// op can reference it).
+    pub fn create(&self, name: &str, content: &[u8]) -> Result<crate::api::DataHandle<N>> {
+        let data = self.core.node.create_data(name, content)?;
+        Ok(crate::api::DataHandle::new(data, self.clone()))
+    }
+
+    /// Create an empty slot of declared size and return its handle.
+    pub fn create_slot(&self, name: &str, size: u64) -> Result<crate::api::DataHandle<N>> {
+        let data = self.core.node.create_slot(name, size)?;
+        Ok(crate::api::DataHandle::new(data, self.clone()))
+    }
+
+    /// Batched creation: one catalog round-trip per shard for the whole
+    /// batch (the `register_many` fan-out), returning handles in order.
+    pub fn create_many(&self, items: &[(&str, &[u8])]) -> Result<Vec<crate::api::DataHandle<N>>> {
+        let data = self.core.node.create_many(items)?;
+        Ok(data
+            .into_iter()
+            .map(|d| crate::api::DataHandle::new(d, self.clone()))
+            .collect())
+    }
+
+    /// Wrap an already-created datum in a handle bound to this session.
+    pub fn handle(&self, data: Data) -> crate::api::DataHandle<N> {
+        crate::api::DataHandle::new(data, self.clone())
+    }
+
+    /// Queue a `put` of `content` for `data`; resolves when the batch
+    /// lands in the data space.
+    pub fn put(&self, data: &Data, content: &[u8]) -> OpFuture<()> {
+        let tk = ticket();
+        let fut = self.future(&tk);
+        self.core
+            .submit(Op::Put(data.clone(), content.to_vec(), tk));
+        fut
+    }
+
+    /// Queue a `schedule` of `data` under `attrs`.
+    pub fn schedule(&self, data: &Data, attrs: DataAttributes) -> OpFuture<()> {
+        let tk = ticket();
+        let fut = self.future(&tk);
+        self.core.submit(Op::Schedule(data.clone(), attrs, tk));
+        fut
+    }
+
+    /// Queue a `pin` of `data` on this node.
+    pub fn pin(&self, data: &Data, attrs: DataAttributes) -> OpFuture<()> {
+        let tk = ticket();
+        let fut = self.future(&tk);
+        self.core.submit(Op::Pin(data.clone(), attrs, tk));
+        fut
+    }
+
+    /// Queue a `delete` of `data` from the data space.
+    pub fn delete(&self, data: &Data) -> OpFuture<()> {
+        let tk = ticket();
+        let fut = self.future(&tk);
+        self.core.submit(Op::Delete(data.clone(), tk));
+        fut
+    }
+
+    /// Drain the submission queue now (one batched round per segment).
+    /// Errors are delivered through the individual futures.
+    pub fn flush(&self) {
+        self.core.flush();
+    }
+
+    /// Ops currently queued and not yet flushed.
+    pub fn pending_ops(&self) -> usize {
+        self.core.queue.lock().len()
+    }
+
+    /// Total ops submitted through this session.
+    pub fn ops_submitted(&self) -> u64 {
+        self.core.ops.load(Ordering::Relaxed)
+    }
+
+    /// Batch segments executed (the denominator of the amortization:
+    /// `ops_submitted / batches_flushed` is the mean batch size).
+    pub fn batches_flushed(&self) -> u64 {
+        self.core.batches.load(Ordering::Relaxed)
+    }
+
+    fn future<T>(&self, tk: &Ticket<T>) -> OpFuture<T> {
+        OpFuture {
+            slot: Arc::clone(tk),
+            driver: Arc::clone(&self.core) as Arc<dyn Drive>,
+        }
+    }
+}

@@ -5,7 +5,14 @@
 //! (§3.1). Listing 2 of the paper installs `onDataCopyEvent` /
 //! `onDataDeleteEvent` handlers on both the Updater and the Updatee; the
 //! reservoir runtime fires these as its cache changes.
+//!
+//! Handlers attach to a node through the subscription event bus
+//! ([`ActiveData::add_handler`](crate::api::ActiveData::add_handler) with
+//! an [`EventFilter`](crate::api::EventFilter), or the any-filter
+//! `BitdewNode::add_callback` shim) and are invoked synchronously as
+//! matching events are published on either deployment.
 
+use crate::api::{DataEvent, DataEventKind};
 use crate::attr::DataAttributes;
 use crate::data::Data;
 
@@ -19,6 +26,19 @@ pub trait ActiveDataEventHandler: Send {
     fn on_data_copy(&mut self, _data: &Data, _attrs: &DataAttributes) {}
     /// A datum became obsolete and was removed from this node's cache.
     fn on_data_delete(&mut self, _data: &Data, _attrs: &DataAttributes) {}
+
+    /// Full-event entry point the bus dispatches through: receives the
+    /// whole [`DataEvent`] (including the observing
+    /// [`host`](crate::api::DataEvent::host)) and routes to the three
+    /// kind-specific methods by default. Override it to consume the event
+    /// wholesale.
+    fn on_event(&mut self, event: &DataEvent) {
+        match event.kind {
+            DataEventKind::Create => self.on_data_create(&event.data, &event.attrs),
+            DataEventKind::Copy => self.on_data_copy(&event.data, &event.attrs),
+            DataEventKind::Delete => self.on_data_delete(&event.data, &event.attrs),
+        }
+    }
 }
 
 /// A boxed life-cycle callback.

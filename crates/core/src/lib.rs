@@ -15,22 +15,34 @@
 //! exposes as the first-class, object-safe traits of [`api`]:
 //!
 //! * [`BitDewApi`] — explicit data-space management:
-//!   `create_data`/`create_slot`, `put`/`put_many`, non-blocking `get`,
-//!   `search`, `delete`, and `create_attribute` (the attribute language of
-//!   [`attrparse`]).
+//!   `create_data`/`create_slot`/`create_many`, `put`/`put_many`,
+//!   non-blocking `get`, `search`, `delete`, and `create_attribute` (the
+//!   attribute language of [`attrparse`]).
 //! * [`ActiveData`] — attribute-driven scheduling: `schedule`/
-//!   `schedule_many`, `pin`, and the data life-cycle events (polled with
-//!   `poll_events`, or via [`events`] callback handlers on the threaded
-//!   node).
+//!   `schedule_many`, `pin`, and the data life-cycle events, consumed
+//!   through filtered [`subscribe`](ActiveData::subscribe) subscriptions
+//!   and [`add_handler`](ActiveData::add_handler) callbacks (the legacy
+//!   global `poll_events` drain survives as a compatibility shim).
 //! * [`TransferManager`] — transfer control: `wait_for`, non-blocking
-//!   `try_wait`, batched `wait_all`, `barrier`, and `pump`.
+//!   `try_wait`, batched `wait_all`, `barrier`, and `pump` — waits park on
+//!   condvars and wake on completion instead of spin-polling.
 //!
-//! Two deployments implement all three:
+//! On top of the traits sits the **reactive session surface** of [`api`]:
+//! [`Session`] queues every mutating op and drains in batches (one catalog
+//! round-trip / one scheduler lock per batch), each op reporting through
+//! an [`OpFuture`]; [`DataHandle`] is the paper's object-style binding
+//! (`handle.put(bytes)`, `handle.schedule(attrs)`, `handle.on_copy(f)`);
+//! [`EventBus`]/[`EventFilter`]/[`EventSub`] route life-cycle events per
+//! datum, per name and per kind.
+//!
+//! Two deployments implement all of it:
 //!
 //! * [`runtime::BitdewNode`] — the threaded runtime: wall-clock heartbeats,
-//!   real FTP/HTTP/BitTorrent transfers over the in-process fabric.
+//!   real FTP/HTTP/BitTorrent transfers over the in-process fabric,
+//!   condvar event delivery across threads.
 //! * [`simdriver::SimNode`] — the discrete-event adapter: virtual-time
-//!   heartbeats and max-min-fair flow transfers under `bitdew-sim`.
+//!   heartbeats, max-min-fair flow transfers under `bitdew-sim`, events
+//!   delivered as virtual time advances.
 //!
 //! Application code generic over
 //! `N: BitDewApi + ActiveData + TransferManager` (the `bitdew-mw`
@@ -112,7 +124,8 @@ pub mod shard;
 pub mod simdriver;
 
 pub use api::{
-    ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, Result, TransferManager,
+    join_all, ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, DataHandle, EventBus,
+    EventFilter, EventSub, HandlerId, OpFuture, Result, Session, TransferManager,
 };
 pub use attr::{Attribute, DataAttributes, Lifetime, REPLICA_ALL};
 pub use attrparse::{parse_attributes, parse_single, AttrDef, AttrError, ResolveCtx};

@@ -21,13 +21,13 @@
 //! deployment or on the simulator adapter unchanged. Every operation
 //! returns [`crate::Result`].
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use bitdew_storage::{ConnectionPool, DewDb, EmbeddedDriver};
 use bitdew_transport::bittorrent::{self, BtPeer, BtTransfer, LeechConfig};
@@ -40,7 +40,8 @@ use bitdew_util::Auid;
 use bitdew_transport::ftp::{FtpRangeClient, FtpServer};
 
 use crate::api::{
-    ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, Result, TransferManager,
+    ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, EventBus, EventFilter, EventSub,
+    HandlerId, Result, TransferManager,
 };
 use crate::attr::DataAttributes;
 use crate::attrparse;
@@ -111,21 +112,37 @@ impl ServiceContainer {
         Self::start_on(fabric, MemStore::new(), config)
     }
 
-    /// Start a container on an existing fabric and repository store.
+    /// Start a container on an existing fabric and repository store, with
+    /// the default catalog engine (embedded in-memory DewDB behind a
+    /// connection pool, one database per shard).
     pub fn start_on(
         fabric: Fabric,
         repo_store: Arc<dyn FileStore>,
         config: RuntimeConfig,
+    ) -> Arc<ServiceContainer> {
+        Self::start_with_db(fabric, repo_store, config, |_shard| {
+            let driver = Arc::new(EmbeddedDriver::new(DewDb::in_memory()));
+            DbAccess::Pooled(ConnectionPool::new(driver, 8))
+        })
+    }
+
+    /// [`ServiceContainer::start_on`] with an explicit per-shard catalog
+    /// database factory — how the bench harness runs the service plane on
+    /// Table 2's other engine/pooling combinations (e.g. the networked
+    /// MySQL-analog engine, where every catalog operation pays a real wire
+    /// round trip and batching is measurable).
+    pub fn start_with_db(
+        fabric: Fabric,
+        repo_store: Arc<dyn FileStore>,
+        config: RuntimeConfig,
+        make_db: impl Fn(usize) -> DbAccess,
     ) -> Arc<ServiceContainer> {
         let timeout = config.heartbeat.as_nanos() as u64 * config.detector_factor as u64;
         let plane = Arc::new(ShardedPlane::new(
             config.shards,
             timeout,
             config.max_data_schedule,
-            |_shard| {
-                let driver = Arc::new(EmbeddedDriver::new(DewDb::in_memory()));
-                DbAccess::Pooled(ConnectionPool::new(driver, 8))
-            },
+            make_db,
         ));
         let repository = Arc::new(DataRepository::start(&fabric, "dr", repo_store));
 
@@ -273,13 +290,14 @@ pub struct SyncSummary {
     pub deleted: Vec<DataId>,
 }
 
-/// Cap on the buffered life-cycle event queue while NO consumer has ever
-/// polled — a callback-only node must not leak memory recording events
-/// nobody reads. Once `poll_events` has been called, the queue grows
-/// without bound instead: for a polling consumer (the generic MW layer),
-/// every Copy event is load-bearing and dropping one would stall the
-/// workload permanently.
-const EVENT_QUEUE_CAP: usize = 4096;
+/// Cap on the legacy poll queue while NO consumer has ever polled — a
+/// node using only subscriptions and callbacks must not leak memory
+/// recording events nobody reads. Once `poll_events` has been called the
+/// queue is uncapped instead: for a polling consumer every Copy event is
+/// load-bearing and dropping one would stall the workload permanently.
+/// (Explicit [`EventSub`] subscriptions are always lossless — their
+/// consumer provably exists.)
+pub(crate) const EVENT_QUEUE_CAP: usize = 4096;
 
 /// A volatile node (client or reservoir host).
 pub struct BitdewNode {
@@ -301,10 +319,18 @@ pub struct BitdewNode {
     /// Range server over `local` when this node serves its replicas to
     /// peers (see [`BitdewNode::enable_serving`]).
     peer_server: Mutex<Option<FtpServer>>,
-    handlers: Mutex<Vec<Box<dyn ActiveDataEventHandler>>>,
-    events: Mutex<VecDeque<DataEvent>>,
+    /// The subscription event bus: every life-cycle transition this node
+    /// observes is published here, routed to filtered subscriptions and
+    /// handler callbacks.
+    bus: EventBus,
+    /// The legacy `poll_events` queue: an any-filter subscription, capped
+    /// until the first poll proves a consumer exists.
+    legacy: EventSub,
     /// Whether `poll_events` has ever been called (see [`EVENT_QUEUE_CAP`]).
     polled: AtomicBool,
+    /// Signaled when a synchronization round leaves no pending downloads
+    /// (barrier waiters park on this instead of spinning).
+    idle: Condvar,
     role: SyncRole,
     stop: AtomicBool,
 }
@@ -335,6 +361,8 @@ impl BitdewNode {
         local: Arc<dyn FileStore>,
         role: SyncRole,
     ) -> Arc<BitdewNode> {
+        let bus = EventBus::new();
+        let legacy = bus.subscribe_capped(EventFilter::any(), EVENT_QUEUE_CAP);
         Arc::new(BitdewNode {
             uid: Auid::random(),
             container,
@@ -345,9 +373,10 @@ impl BitdewNode {
             repairing: Mutex::new(HashMap::new()),
             manifests: Mutex::new(HashMap::new()),
             peer_server: Mutex::new(None),
-            handlers: Mutex::new(Vec::new()),
-            events: Mutex::new(VecDeque::new()),
+            bus,
+            legacy,
             polled: AtomicBool::new(false),
+            idle: Condvar::new(),
             role,
             stop: AtomicBool::new(false),
         })
@@ -376,6 +405,17 @@ impl BitdewNode {
     pub fn create_slot(&self, name: &str, size: u64) -> Result<Data> {
         let data = Data::slot(Auid::random(), name, size);
         self.container.plane.register(&data)?;
+        Ok(data)
+    }
+
+    /// Batched [`BitdewNode::create_data`]: the whole batch registers with
+    /// one catalog round-trip per shard instead of one per datum.
+    pub fn create_many(&self, items: &[(&str, &[u8])]) -> Result<Vec<Data>> {
+        let data: Vec<Data> = items
+            .iter()
+            .map(|(name, content)| Data::from_bytes(Auid::random(), *name, content))
+            .collect();
+        self.container.plane.register_many(&data)?;
         Ok(data)
     }
 
@@ -692,15 +732,49 @@ impl BitdewNode {
         Ok(())
     }
 
-    /// Install a life-cycle event handler.
-    pub fn add_callback(&self, handler: impl ActiveDataEventHandler + 'static) {
-        self.handlers.lock().push(Box::new(handler));
+    /// Install an unfiltered life-cycle event handler (compatibility
+    /// shim for [`BitdewNode::add_handler`] with [`EventFilter::any`]).
+    pub fn add_callback(&self, handler: impl ActiveDataEventHandler + 'static) -> HandlerId {
+        self.bus.attach(EventFilter::any(), Box::new(handler))
     }
 
-    /// Drain buffered life-cycle events (oldest first).
+    /// Install a life-cycle handler invoked for events matching `filter`;
+    /// detach it again with [`BitdewNode::remove_handler`].
+    pub fn add_handler(
+        &self,
+        filter: EventFilter,
+        handler: Box<dyn ActiveDataEventHandler>,
+    ) -> HandlerId {
+        self.bus.attach(filter, handler)
+    }
+
+    /// Detach a handler installed by [`BitdewNode::add_handler`] or
+    /// [`BitdewNode::add_callback`].
+    pub fn remove_handler(&self, id: HandlerId) {
+        self.bus.detach(id);
+    }
+
+    /// Open a lossless subscription to this node's life-cycle events
+    /// matching `filter`. Subscribers on other threads wake through the
+    /// queue's condvar the moment the synchronization loop publishes.
+    pub fn subscribe(&self, filter: EventFilter) -> EventSub {
+        self.bus.subscribe(filter)
+    }
+
+    /// This node's event bus (publish statistics, ad-hoc subscriptions).
+    pub fn event_bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// Drain buffered life-cycle events (oldest first). Compatibility
+    /// shim over an any-filter subscription — new code should
+    /// [`BitdewNode::subscribe`] with a filter instead.
     pub fn poll_events(&self) -> Vec<DataEvent> {
-        self.polled.store(true, Ordering::Relaxed);
-        self.events.lock().drain(..).collect()
+        if !self.polled.swap(true, Ordering::Relaxed) {
+            // A consumer exists: stop dropping oldest events.
+            self.legacy.uncap();
+        }
+        self.legacy.drain()
     }
 
     // --- TransferManager API ----------------------------------------------
@@ -737,7 +811,7 @@ impl BitdewNode {
     pub fn wait_all(&self, ids: &[TransferId]) -> Result<Vec<TransferState>> {
         let mut states = vec![None; ids.len()];
         loop {
-            // One monitor tick per poll round, shared by every probe.
+            // One monitor tick per round, shared by every probe.
             self.container.transfer.tick();
             for (slot, &id) in states.iter_mut().zip(ids) {
                 if slot.is_none() {
@@ -747,26 +821,36 @@ impl BitdewNode {
             if states.iter().all(Option::is_some) {
                 return Ok(states.into_iter().flatten().collect());
             }
-            std::thread::sleep(Duration::from_millis(2));
+            // Park on the DT completion condvar: wakes the instant another
+            // thread's tick finishes a transfer, self-ticks on timeout.
+            self.container
+                .transfer
+                .park_progress(Duration::from_millis(2));
         }
     }
 
     /// Block until every pending scheduled download on this node finished
-    /// (a transfer barrier). Runs synchronization rounds while waiting.
+    /// (a transfer barrier). Runs synchronization rounds while waiting;
+    /// between rounds the wait parks on the node's idle condvar, waking
+    /// immediately when a concurrent synchronization (the heartbeat
+    /// thread's, another client's) empties the pending set.
     pub fn barrier(&self, timeout: Duration) -> Result<()> {
         let start = Instant::now();
         loop {
             self.sync_once();
-            if self.pending.lock().is_empty() {
-                return Ok(());
+            {
+                let mut pending = self.pending.lock();
+                if pending.is_empty() {
+                    return Ok(());
+                }
+                if start.elapsed() > timeout {
+                    return Err(BitdewError::Timeout {
+                        what: format!("{} pending downloads", pending.len()),
+                        waited: start.elapsed(),
+                    });
+                }
+                self.idle.wait_for(&mut pending, Duration::from_millis(2));
             }
-            if start.elapsed() > timeout {
-                return Err(BitdewError::Timeout {
-                    what: format!("{} pending downloads", self.pending.lock().len()),
-                    waited: start.elapsed(),
-                });
-            }
-            std::thread::sleep(Duration::from_millis(2));
         }
     }
 
@@ -968,6 +1052,10 @@ impl BitdewNode {
                 repairing.insert(data.id, tid);
             }
         }
+        // Wake barrier waiters the moment the node has nothing in flight.
+        if self.pending.lock().is_empty() {
+            self.idle.notify_all();
+        }
         summary
     }
 
@@ -1026,39 +1114,17 @@ impl BitdewNode {
     }
 
     fn fire(&self, kind: DataEventKind, data: &Data, attrs: &DataAttributes) {
-        // Record for pollers first. Bounded (drop-oldest) only until the
-        // first poll proves a consumer exists — see EVENT_QUEUE_CAP.
-        {
-            let mut events = self.events.lock();
-            if !self.polled.load(Ordering::Relaxed) && events.len() >= EVENT_QUEUE_CAP {
-                events.pop_front();
-            }
-            events.push_back(DataEvent {
-                kind,
-                data: data.clone(),
-                attrs: attrs.clone(),
-            });
-        }
-        // Handlers may call back into this node (a worker's onDataCopy
-        // schedules its result, which fires onDataCreate), so the lock must
-        // not be held while they run: take the handler list out, invoke,
-        // then merge back anything installed meanwhile. A nested fire sees
-        // an empty list and is a no-op.
-        let mut taken = {
-            let mut guard = self.handlers.lock();
-            std::mem::take(&mut *guard)
-        };
-        for h in taken.iter_mut() {
-            match kind {
-                DataEventKind::Create => h.on_data_create(data, attrs),
-                DataEventKind::Copy => h.on_data_copy(data, attrs),
-                DataEventKind::Delete => h.on_data_delete(data, attrs),
-            }
-        }
-        let mut guard = self.handlers.lock();
-        let added = std::mem::take(&mut *guard);
-        *guard = taken;
-        guard.extend(added);
+        // One publish reaches every consumer: filtered subscriptions (the
+        // legacy poll queue among them), then handler callbacks — the bus
+        // runs handlers with its lock released, so a handler calling back
+        // into this node (a worker's onDataCopy schedules its result,
+        // which fires onDataCreate) cannot deadlock.
+        self.bus.publish(&DataEvent {
+            kind,
+            data: data.clone(),
+            attrs: attrs.clone(),
+            host: self.uid,
+        });
     }
 }
 
@@ -1094,6 +1160,9 @@ impl BitDewApi for BitdewNode {
     }
     fn create_slot(&self, name: &str, size: u64) -> Result<Data> {
         BitdewNode::create_slot(self, name, size)
+    }
+    fn create_many(&self, items: &[(&str, &[u8])]) -> Result<Vec<Data>> {
+        BitdewNode::create_many(self, items)
     }
     fn put(&self, data: &Data, content: &[u8]) -> Result<()> {
         BitdewNode::put(self, data, content)
@@ -1136,6 +1205,19 @@ impl ActiveData for BitdewNode {
     }
     fn pin_chunks(&self, data: &Data, attrs: DataAttributes, held: &[u32]) -> Result<()> {
         BitdewNode::pin_chunks(self, data, attrs, held)
+    }
+    fn subscribe(&self, filter: EventFilter) -> EventSub {
+        BitdewNode::subscribe(self, filter)
+    }
+    fn add_handler(
+        &self,
+        filter: EventFilter,
+        handler: Box<dyn ActiveDataEventHandler>,
+    ) -> HandlerId {
+        BitdewNode::add_handler(self, filter, handler)
+    }
+    fn remove_handler(&self, id: HandlerId) {
+        BitdewNode::remove_handler(self, id)
     }
     fn poll_events(&self) -> Vec<DataEvent> {
         BitdewNode::poll_events(self)

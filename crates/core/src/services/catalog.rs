@@ -41,23 +41,19 @@ impl DbAccess {
         }
     }
 
-    /// Run a batch of operations over a single checked-out connection —
-    /// the amortization behind the batched API entry points (`put_many`,
-    /// `schedule_many`): one pool checkout (or one fresh connection)
-    /// instead of one per operation.
+    /// Run a batch of operations as one unit over a single checked-out
+    /// connection — the amortization behind the batched API entry points
+    /// (`put_many`, `schedule_many`, `register_many`): one pool checkout
+    /// (or one fresh connection) and one engine batch round (a single
+    /// store lock on the embedded engine, a single wire round trip on the
+    /// networked one) instead of one per operation.
     fn exec_many(&self, ops: Vec<DbOp>) -> DbResult<()> {
         match self {
             DbAccess::Pooled(pool) => {
-                let mut conn = pool.checkout()?;
-                for op in ops {
-                    conn.exec(op)?;
-                }
+                pool.checkout()?.exec_batch(ops)?;
             }
             DbAccess::PerOperation(driver) => {
-                let mut conn = driver.connect()?;
-                for op in ops {
-                    conn.exec(op)?;
-                }
+                driver.connect()?.exec_batch(ops)?;
             }
         }
         Ok(())
@@ -98,6 +94,34 @@ impl DataCatalog {
         })?;
         self.registered
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Batched [`DataCatalog::register`]: the whole batch (data rows plus
+    /// name-index rows) goes through one database round-trip.
+    pub fn register_many(&self, data: &[Data]) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let mut ops = Vec::with_capacity(data.len() * 2);
+        for d in data {
+            ops.push(DbOp::Put {
+                table: T_DATA.into(),
+                key: d.id.0.to_le_bytes().to_vec(),
+                value: d.to_bytes().to_vec(),
+            });
+            let mut key = d.name.as_bytes().to_vec();
+            key.push(0);
+            key.extend_from_slice(&d.id.0.to_le_bytes());
+            ops.push(DbOp::Put {
+                table: T_NAME.into(),
+                key,
+                value: d.id.0.to_le_bytes().to_vec(),
+            });
+        }
+        self.db.exec_many(ops)?;
+        self.registered
+            .fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
 

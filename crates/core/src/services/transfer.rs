@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use bitdew_transport::oob::{OobTransfer, TransferStatus, TransferVerdict};
 use bitdew_transport::FileStore;
@@ -80,6 +80,10 @@ struct Entry {
 pub struct DataTransfer {
     builder: TransferBuilder,
     entries: Mutex<HashMap<TransferId, Entry>>,
+    /// Signaled whenever a monitor step drives any transfer to a terminal
+    /// state, so waiters park instead of polling (they wake the instant
+    /// another thread's tick completes their transfer).
+    progress: Condvar,
     next_id: AtomicU64,
     max_retries: u32,
     /// Total transfers that reached `Complete`.
@@ -95,6 +99,7 @@ impl DataTransfer {
         Arc::new(DataTransfer {
             builder,
             entries: Mutex::new(HashMap::new()),
+            progress: Condvar::new(),
             next_id: AtomicU64::new(1),
             max_retries,
             completed: AtomicU64::new(0),
@@ -151,6 +156,14 @@ impl DataTransfer {
     /// One monitor step over all active transfers (the 500 ms loop). Returns
     /// the ids that reached a terminal state during this step.
     pub fn tick(&self) -> Vec<(TransferId, TransferState)> {
+        let terminal = self.tick_inner();
+        if !terminal.is_empty() {
+            self.progress.notify_all();
+        }
+        terminal
+    }
+
+    fn tick_inner(&self) -> Vec<(TransferId, TransferState)> {
         let mut terminal = Vec::new();
         let mut entries = self.entries.lock();
         for (&id, entry) in entries.iter_mut() {
@@ -220,16 +233,29 @@ impl DataTransfer {
         })
     }
 
-    /// Block (ticking the monitor) until `id` is terminal.
+    /// Block until `id` is terminal: run a monitor step, then park on the
+    /// progress condvar up to `poll` — the wait wakes immediately when any
+    /// other thread's tick drives a transfer to completion, and self-ticks
+    /// on the timeout so progress never depends on a second driver.
     pub fn wait(&self, id: TransferId, poll: Duration) -> Option<TransferState> {
         loop {
             self.tick();
-            let state = self.entries.lock().get(&id).map(|e| e.state)?;
-            if state != TransferState::Active {
-                return Some(state);
+            {
+                let mut entries = self.entries.lock();
+                let state = entries.get(&id).map(|e| e.state)?;
+                if state != TransferState::Active {
+                    return Some(state);
+                }
+                self.progress.wait_for(&mut entries, poll);
             }
-            std::thread::sleep(poll);
         }
+    }
+
+    /// Park up to `timeout` for the next completion signal (used by
+    /// multi-transfer waiters between their own monitor steps).
+    pub fn park_progress(&self, timeout: Duration) {
+        let mut entries = self.entries.lock();
+        self.progress.wait_for(&mut entries, timeout);
     }
 
     /// Remove a terminal transfer's record; returns its final state.

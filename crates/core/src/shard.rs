@@ -534,6 +534,25 @@ impl ShardedPlane {
         self.catalog_for(data.id).register(data)
     }
 
+    /// Register a batch of data, grouped per shard in one routing pass so
+    /// each shard sees one batched database round-trip (the batch-creation
+    /// face of the pipelined command plane).
+    pub fn register_many(&self, data: &[Data]) -> Result<()> {
+        if self.catalogs.len() == 1 {
+            return self.catalogs[0].register_many(data);
+        }
+        let mut per_shard: Vec<Vec<Data>> = (0..self.catalogs.len()).map(|_| Vec::new()).collect();
+        for d in data {
+            per_shard[self.router.shard_of(d.id)].push(d.clone());
+        }
+        for (i, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.catalogs[i].register_many(&batch)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Fetch a datum by id from its catalog shard.
     pub fn get(&self, id: DataId) -> Result<Option<Data>> {
         self.catalog_for(id).get(id)

@@ -34,12 +34,14 @@ use bitdew_sim::{
 use bitdew_util::Auid;
 
 use crate::api::{
-    ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, Result, TransferManager,
+    ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, EventBus, EventFilter, EventSub,
+    HandlerId, Result, TransferManager,
 };
 use crate::attr::DataAttributes;
 use crate::attrparse;
 use crate::chunks::ChunkManifest;
 use crate::data::{Data, DataId};
+use crate::events::ActiveDataEventHandler;
 use crate::services::scheduler::{HostUid, SyncRole};
 use crate::services::transfer::{TransferId, TransferState};
 use crate::shard::ShardedScheduler;
@@ -922,21 +924,38 @@ impl SimBitdew {
 /// [`BitdewNode`](crate::BitdewNode) against the simulated data space, so a
 /// scenario written as `fn scenario<N: BitDewApi + ActiveData +
 /// TransferManager>(...)` runs unchanged on either.
+///
+/// `SimNode` is cheaply cloneable (clones share the node's state and event
+/// bus), so sessions, handles and subscriptions hold owned copies exactly
+/// as they hold `Arc<BitdewNode>` on the threaded deployment.
+#[derive(Clone)]
 pub struct SimNode {
     sim: Rc<RefCell<Sim>>,
     driver: SimBitdew,
     uid: HostUid,
     host: HostId,
+    shared: Rc<SimNodeShared>,
+}
+
+/// Per-node state shared by every clone of a [`SimNode`].
+struct SimNodeShared {
     /// Data seen in this node's cache at the last refresh, with the
     /// attributes they were scheduled under (for Delete events).
     seen: RefCell<HashMap<DataId, (Data, DataAttributes)>>,
-    events: RefCell<VecDeque<DataEvent>>,
+    /// The subscription event bus; [`SimNode::refresh`] publishes into it
+    /// as virtual time advances (virtual-time delivery).
+    bus: EventBus,
+    /// The legacy `poll_events` queue: an any-filter subscription, capped
+    /// until the first poll proves a consumer exists (mirrors the
+    /// threaded node's `EVENT_QUEUE_CAP` semantics).
+    legacy: EventSub,
+    polled: std::cell::Cell<bool>,
     /// Direct (`get`) transfers: outcome slot plus the datum they carry.
     transfers: RefCell<HashMap<TransferId, (DataId, TransferSlot)>>,
     /// Data whose direct transfer completed (O(1) `read_local` checks).
-    arrived: Rc<RefCell<HashSet<DataId>>>,
+    arrived: RefCell<HashSet<DataId>>,
     /// Direct transfers not yet terminal (O(1) `barrier` checks).
-    unresolved: Rc<std::cell::Cell<usize>>,
+    unresolved: std::cell::Cell<usize>,
 }
 
 /// Shared cell a flow-completion callback resolves a transfer state into.
@@ -973,16 +992,22 @@ impl SimNode {
         role: SyncRole,
     ) -> SimNode {
         let uid = driver.add_node_with_role(&mut sim.borrow_mut(), host, start_at, role);
+        let bus = EventBus::new();
+        let legacy = bus.subscribe_capped(EventFilter::any(), crate::runtime::EVENT_QUEUE_CAP);
         SimNode {
             sim: Rc::clone(sim),
             driver: driver.clone(),
             uid,
             host,
-            seen: RefCell::new(HashMap::new()),
-            events: RefCell::new(VecDeque::new()),
-            transfers: RefCell::new(HashMap::new()),
-            arrived: Rc::new(RefCell::new(HashSet::new())),
-            unresolved: Rc::new(std::cell::Cell::new(0)),
+            shared: Rc::new(SimNodeShared {
+                seen: RefCell::new(HashMap::new()),
+                bus,
+                legacy,
+                polled: std::cell::Cell::new(false),
+                transfers: RefCell::new(HashMap::new()),
+                arrived: RefCell::new(HashSet::new()),
+                unresolved: std::cell::Cell::new(0),
+            }),
         }
     }
 
@@ -1005,43 +1030,53 @@ impl SimNode {
         self.refresh();
     }
 
-    /// Diff the scheduler-driven cache against the last refresh, emitting
-    /// Copy/Delete life-cycle events (the polling face of ActiveData).
+    /// Diff the scheduler-driven cache against the last refresh, publishing
+    /// Copy/Delete life-cycle events on the node's bus (virtual-time
+    /// delivery: subscriptions fill as pumps and waits advance the clock).
     fn refresh(&self) {
         let current: HashSet<DataId> = self.driver.cache_of(self.uid).into_iter().collect();
-        let mut seen = self.seen.borrow_mut();
-        let mut events = self.events.borrow_mut();
-        let mut arrivals: Vec<DataId> = current
-            .iter()
-            .copied()
-            .filter(|id| !seen.contains_key(id))
-            .collect();
-        arrivals.sort();
-        for id in arrivals {
-            if let Some((data, attrs)) = self.driver.lookup(id) {
-                events.push_back(DataEvent {
-                    kind: DataEventKind::Copy,
-                    data: data.clone(),
-                    attrs: attrs.clone(),
+        let mut fired: Vec<DataEvent> = Vec::new();
+        {
+            let mut seen = self.shared.seen.borrow_mut();
+            let mut arrivals: Vec<DataId> = current
+                .iter()
+                .copied()
+                .filter(|id| !seen.contains_key(id))
+                .collect();
+            arrivals.sort();
+            for id in arrivals {
+                if let Some((data, attrs)) = self.driver.lookup(id) {
+                    fired.push(DataEvent {
+                        kind: DataEventKind::Copy,
+                        data: data.clone(),
+                        attrs: attrs.clone(),
+                        host: self.uid,
+                    });
+                    seen.insert(id, (data, attrs));
+                }
+            }
+            let gone: Vec<DataId> = seen
+                .keys()
+                .copied()
+                .filter(|id| !current.contains(id))
+                .collect();
+            for id in gone {
+                // seen only holds keys we inserted; `gone` came from it.
+                let Some((data, attrs)) = seen.remove(&id) else {
+                    continue;
+                };
+                fired.push(DataEvent {
+                    kind: DataEventKind::Delete,
+                    data,
+                    attrs,
+                    host: self.uid,
                 });
-                seen.insert(id, (data, attrs));
             }
         }
-        let gone: Vec<DataId> = seen
-            .keys()
-            .copied()
-            .filter(|id| !current.contains(id))
-            .collect();
-        for id in gone {
-            // seen only holds keys we inserted; `gone` was computed from it.
-            let Some((data, attrs)) = seen.remove(&id) else {
-                continue;
-            };
-            events.push_back(DataEvent {
-                kind: DataEventKind::Delete,
-                data,
-                attrs,
-            });
+        // Publish with the `seen` borrow released: a handler may call back
+        // into this node (pin, schedule), which re-borrows.
+        for ev in &fired {
+            self.shared.bus.publish(ev);
         }
     }
 
@@ -1074,6 +1109,15 @@ impl BitDewApi for SimNode {
         let data = Data::slot(id, name, size);
         self.driver.register_data(&data);
         Ok(data)
+    }
+
+    fn create_many(&self, items: &[(&str, &[u8])]) -> Result<Vec<Data>> {
+        // The simulated data space has no per-registration round-trip to
+        // amortize; batching is a loop for surface parity.
+        items
+            .iter()
+            .map(|(name, content)| self.create_data(name, content))
+            .collect()
     }
 
     fn put(&self, data: &Data, content: &[u8]) -> Result<()> {
@@ -1115,10 +1159,9 @@ impl BitDewApi for SimNode {
         };
         let slot: TransferSlot = Rc::new(RefCell::new(None));
         let slot2 = Rc::clone(&slot);
-        let arrived = Rc::clone(&self.arrived);
-        let unresolved = Rc::clone(&self.unresolved);
+        let shared = Rc::clone(&self.shared);
         let data_id = data.id;
-        self.unresolved.set(self.unresolved.get() + 1);
+        self.shared.unresolved.set(self.shared.unresolved.get() + 1);
         let mut sim = self.sim.borrow_mut();
         self.driver.net.start_flow(
             &mut sim,
@@ -1132,14 +1175,19 @@ impl BitDewApi for SimNode {
                     FlowOutcome::Failed { .. } => TransferState::Failed,
                 };
                 if state == TransferState::Complete {
-                    arrived.borrow_mut().insert(data_id);
+                    shared.arrived.borrow_mut().insert(data_id);
                 }
-                unresolved.set(unresolved.get().saturating_sub(1));
+                shared
+                    .unresolved
+                    .set(shared.unresolved.get().saturating_sub(1));
                 *slot2.borrow_mut() = Some(state);
             }),
         );
         drop(sim);
-        self.transfers.borrow_mut().insert(tid, (data.id, slot));
+        self.shared
+            .transfers
+            .borrow_mut()
+            .insert(tid, (data.id, slot));
         Ok(tid)
     }
 
@@ -1159,7 +1207,7 @@ impl BitDewApi for SimNode {
     }
 
     fn read_local(&self, data: &Data) -> Result<Vec<u8>> {
-        let arrived = self.has_cached(data.id) || self.arrived.borrow().contains(&data.id);
+        let arrived = self.has_cached(data.id) || self.shared.arrived.borrow().contains(&data.id);
         if !arrived {
             return Err(BitdewError::CatalogMiss {
                 what: format!("local copy of `{}`", data.name),
@@ -1222,12 +1270,13 @@ impl BitDewApi for SimNode {
 impl ActiveData for SimNode {
     fn schedule(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
         crate::runtime::validate_attrs(data, &attrs)?;
-        self.events.borrow_mut().push_back(DataEvent {
+        self.driver.schedule_data(data.clone(), attrs.clone());
+        self.shared.bus.publish(&DataEvent {
             kind: DataEventKind::Create,
             data: data.clone(),
-            attrs: attrs.clone(),
+            attrs,
+            host: self.uid,
         });
-        self.driver.schedule_data(data.clone(), attrs);
         Ok(())
     }
 
@@ -1240,7 +1289,8 @@ impl ActiveData for SimNode {
 
     fn pin(&self, data: &Data, attrs: DataAttributes) -> Result<()> {
         self.driver.pin(data.id, self.uid);
-        self.seen
+        self.shared
+            .seen
             .borrow_mut()
             .insert(data.id, (data.clone(), attrs));
         Ok(())
@@ -1265,15 +1315,35 @@ impl ActiveData for SimNode {
             return self.pin(data, attrs);
         }
         self.driver.pin_partial(data.id, self.uid, held);
-        self.seen
+        self.shared
+            .seen
             .borrow_mut()
             .insert(data.id, (data.clone(), attrs));
         Ok(())
     }
 
+    fn subscribe(&self, filter: EventFilter) -> EventSub {
+        self.shared.bus.subscribe(filter)
+    }
+
+    fn add_handler(
+        &self,
+        filter: EventFilter,
+        handler: Box<dyn ActiveDataEventHandler>,
+    ) -> HandlerId {
+        self.shared.bus.attach(filter, handler)
+    }
+
+    fn remove_handler(&self, id: HandlerId) {
+        self.shared.bus.detach(id);
+    }
+
     fn poll_events(&self) -> Vec<DataEvent> {
         self.refresh();
-        self.events.borrow_mut().drain(..).collect()
+        if !self.shared.polled.replace(true) {
+            self.shared.legacy.uncap();
+        }
+        self.shared.legacy.drain()
     }
 
     fn host_uid(&self) -> HostUid {
@@ -1308,7 +1378,7 @@ impl TransferManager for SimNode {
     }
 
     fn try_wait(&self, id: TransferId) -> Result<Option<TransferState>> {
-        match self.transfers.borrow().get(&id) {
+        match self.shared.transfers.borrow().get(&id) {
             Some((_, slot)) => Ok(*slot.borrow()),
             None => Err(BitdewError::CatalogMiss {
                 what: format!("transfer {id:?}"),
@@ -1328,7 +1398,7 @@ impl TransferManager for SimNode {
         let deadline = self.virtual_deadline(timeout);
         loop {
             self.advance_one();
-            if self.driver.pending_of(self.uid) == 0 && self.unresolved.get() == 0 {
+            if self.driver.pending_of(self.uid) == 0 && self.shared.unresolved.get() == 0 {
                 return Ok(());
             }
             if self.sim.borrow().now() >= deadline {

@@ -11,20 +11,32 @@
 //! runtime routes them home automatically. [`MwWorker`] reacts to task
 //! arrivals by running the compute function and publishing the result.
 //!
-//! Both halves are generic over `N: BitDewApi + ActiveData +
-//! TransferManager` — the three programming interfaces of
-//! [`bitdew_core::api`] — so the very same master/worker code runs on the
+//! Both halves run on the **reactive session surface** of
+//! [`bitdew_core::api`]:
+//!
+//! * submission goes through a pipelined [`Session`] — a task batch is one
+//!   queue flush (one catalog round-trip, one scheduler lock), and every
+//!   mutating op reports through its [`OpFuture`];
+//! * reaction comes from the **subscription event bus** — the master
+//!   subscribes to `Copy` events whose name starts with
+//!   [`RESULT_PREFIX`], the worker to `Copy` events under [`TASK_PREFIX`],
+//!   so neither ever drains a global event queue.
+//!
+//! Both halves stay generic over `N: BitDewApi + ActiveData +
+//! TransferManager`, so the very same master/worker code runs on the
 //! threaded runtime ([`bitdew_core::BitdewNode`]) and under the
 //! discrete-event simulator ([`bitdew_core::simdriver::SimNode`]). Progress
-//! is driven by [`MwMaster::pump`]/[`MwWorker::pump`], which synchronize the
-//! node and react to its polled life-cycle events; under threads a pump is a
-//! reservoir heartbeat, under the simulator it advances virtual time.
+//! is driven by [`MwMaster::pump`]/[`MwWorker::pump`]; under threads a pump
+//! is a reservoir heartbeat, under the simulator it advances virtual time.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bitdew_core::api::{ActiveData, BitDewApi, DataEventKind, Result, TransferManager};
+use bitdew_core::api::{
+    join_all, ActiveData, BitDewApi, DataEventKind, EventFilter, EventSub, OpFuture, Result,
+    Session, TransferManager,
+};
 use bitdew_core::{Data, DataAttributes, DataId, Lifetime};
 
 /// Name prefix identifying task inputs.
@@ -34,21 +46,32 @@ pub const RESULT_PREFIX: &str = "mw.result.";
 
 /// The master side: creates tasks, pins the collector, gathers results.
 pub struct MwMaster<N> {
-    node: N,
+    session: Session<N>,
     collector: Data,
+    /// Copy events for `mw.result.*` data arriving at the pinned
+    /// collector's node.
+    results_sub: EventSub,
     results: Vec<(String, Vec<u8>)>,
     submitted: HashSet<DataId>,
 }
 
-impl<N: BitDewApi + ActiveData + TransferManager> MwMaster<N> {
-    /// Set up the master on `node`: creates and pins the Collector.
+impl<N: BitDewApi + ActiveData + TransferManager + 'static> MwMaster<N> {
+    /// Set up the master on `node`: creates and pins the Collector and
+    /// subscribes to result arrivals.
     pub fn new(node: N) -> Result<MwMaster<N>> {
-        let collector = node.create_slot("mw.collector", 0)?;
-        node.schedule(&collector, DataAttributes::default().with_replica(0))?;
-        node.pin(&collector, DataAttributes::default())?;
+        let results_sub =
+            node.subscribe(EventFilter::name_prefix(RESULT_PREFIX).and_kind(DataEventKind::Copy));
+        let session = Session::new(node);
+        let collector = session.create_slot("mw.collector", 0)?;
+        collector
+            .schedule(DataAttributes::default().with_replica(0))
+            .wait()?;
+        collector.pin(DataAttributes::default()).wait()?;
+        let collector = collector.data().clone();
         Ok(MwMaster {
-            node,
+            session,
             collector,
+            results_sub,
             results: Vec::new(),
             submitted: HashSet::new(),
         })
@@ -56,7 +79,12 @@ impl<N: BitDewApi + ActiveData + TransferManager> MwMaster<N> {
 
     /// The node this master runs on.
     pub fn node(&self) -> &N {
-        &self.node
+        self.session.node()
+    }
+
+    /// The pipelined session this master submits through.
+    pub fn session(&self) -> &Session<N> {
+        &self.session
     }
 
     /// The collector datum (results carry affinity to it; give shared data a
@@ -68,15 +96,17 @@ impl<N: BitDewApi + ActiveData + TransferManager> MwMaster<N> {
     /// Publish a shared payload (application binary, reference database)
     /// with the given attributes.
     pub fn share(&self, name: &str, content: &[u8], attrs: DataAttributes) -> Result<Data> {
-        let data = self.node.create_data(name, content)?;
-        self.node.put(&data, content)?;
+        let handle = self.session.create(name, content)?;
+        let put = handle.put(content);
         // Shared data die with the collector unless the caller said otherwise.
         let attrs = match attrs.lifetime {
             Lifetime::Unbounded => attrs.with_lifetime(Lifetime::RelativeTo(self.collector.id)),
             _ => attrs,
         };
-        self.node.schedule(&data, attrs)?;
-        Ok(data)
+        let scheduled = handle.schedule(attrs);
+        put.wait()?;
+        scheduled.wait()?;
+        Ok(handle.data().clone())
     }
 
     /// Submit one task: its input is scheduled fault-tolerant with
@@ -89,39 +119,44 @@ impl<N: BitDewApi + ActiveData + TransferManager> MwMaster<N> {
             .expect("one task in, one datum out"))
     }
 
-    /// Submit a batch of tasks through the batched API entry points: one
-    /// catalog round-trip for all the payloads, one scheduler lock for all
-    /// the schedules.
+    /// Submit a batch of tasks through the pipelined command plane: the
+    /// creations register in one per-shard fan-out, then every put and
+    /// every schedule queues as an op future and the whole batch flushes
+    /// as one segment — one catalog round-trip for all the payloads, one
+    /// scheduler lock for all the schedules.
     pub fn submit_batch(&mut self, tasks: &[(&str, &[u8])]) -> Result<Vec<Data>> {
-        let mut created = Vec::with_capacity(tasks.len());
-        for (task_name, input) in tasks {
-            let name = format!("{TASK_PREFIX}{task_name}");
-            created.push((self.node.create_data(&name, input)?, *input));
-        }
-        self.node.put_many(&created)?;
+        let names: Vec<String> = tasks
+            .iter()
+            .map(|(task_name, _)| format!("{TASK_PREFIX}{task_name}"))
+            .collect();
+        let items: Vec<(&str, &[u8])> = names
+            .iter()
+            .map(|n| n.as_str())
+            .zip(tasks.iter().map(|(_, input)| *input))
+            .collect();
+        let handles = self.session.create_many(&items)?;
         let attrs = DataAttributes::default()
             .with_replica(1)
             .with_fault_tolerance(true)
             .with_lifetime(Lifetime::RelativeTo(self.collector.id));
-        let schedules: Vec<(Data, DataAttributes)> = created
-            .iter()
-            .map(|(d, _)| (d.clone(), attrs.clone()))
-            .collect();
-        self.node.schedule_many(&schedules)?;
-        let out: Vec<Data> = created.into_iter().map(|(d, _)| d).collect();
+        let mut futures: Vec<OpFuture<()>> = Vec::with_capacity(handles.len() * 2);
+        for (handle, (_, input)) in handles.iter().zip(tasks) {
+            futures.push(handle.put(input));
+            futures.push(handle.schedule(attrs.clone()));
+        }
+        join_all(futures)?;
+        let out: Vec<Data> = handles.into_iter().map(|h| h.data().clone()).collect();
         self.submitted.extend(out.iter().map(|d| d.id));
         Ok(out)
     }
 
-    /// One round of progress: synchronize the node and gather any newly
-    /// arrived results.
+    /// One round of progress: synchronize the node and gather the result
+    /// arrivals the subscription delivered.
     pub fn pump(&mut self) -> Result<()> {
-        self.node.pump()?;
-        for event in self.node.poll_events() {
-            if event.kind == DataEventKind::Copy && event.data.name.starts_with(RESULT_PREFIX) {
-                if let Ok(bytes) = self.node.read_local(&event.data) {
-                    self.results.push((event.data.name.clone(), bytes));
-                }
+        self.node().pump()?;
+        for event in self.results_sub.drain() {
+            if let Ok(bytes) = self.node().read_local(&event.data) {
+                self.results.push((event.data.name.clone(), bytes));
             }
         }
         Ok(())
@@ -153,7 +188,7 @@ impl<N: BitDewApi + ActiveData + TransferManager> MwMaster<N> {
     /// lifetime is relative to it — "once the user decides that he has
     /// finished his work, he can safely delete the Collector" (§5).
     pub fn finish(&self) -> Result<()> {
-        self.node.delete(&self.collector)
+        self.session.delete(&self.collector).wait()
     }
 }
 
@@ -162,44 +197,48 @@ pub type ComputeFn = Arc<dyn Fn(&str, &[u8]) -> Vec<u8> + Send + Sync>;
 
 /// The worker side: reacts to task arrivals, computes, publishes results.
 pub struct MwWorker<N> {
-    node: N,
+    session: Session<N>,
+    /// Copy events for `mw.task.*` data landing in this node's cache.
+    tasks_sub: EventSub,
     collector: DataId,
     compute: ComputeFn,
     computed: u32,
 }
 
-impl<N: BitDewApi + ActiveData + TransferManager> MwWorker<N> {
+impl<N: BitDewApi + ActiveData + TransferManager + 'static> MwWorker<N> {
     /// Attach worker behaviour to `node`. `collector` is the master's
     /// collector datum id (results get affinity to it).
     pub fn attach(node: N, collector: DataId, compute: ComputeFn) -> MwWorker<N> {
+        let tasks_sub =
+            node.subscribe(EventFilter::name_prefix(TASK_PREFIX).and_kind(DataEventKind::Copy));
         MwWorker {
-            node,
+            session: Session::new(node),
+            tasks_sub,
             collector,
             compute,
             computed: 0,
         }
     }
 
-    /// One round of progress: synchronize the node, run the compute function
-    /// on every newly arrived task, publish the results.
+    /// One round of progress: synchronize the node, run the compute
+    /// function on every task arrival the subscription delivered, publish
+    /// the results through one pipelined flush.
     ///
-    /// A failed publish affects only its own task — the remaining drained
-    /// events are still processed (tasks are `fault tolerance = true`, so a
-    /// task whose result never materializes is eventually re-scheduled
-    /// elsewhere; losing its siblings to one error would not be). The first
-    /// error is returned after the batch.
+    /// A failed publish affects only its own task — the remaining arrivals
+    /// are still processed (tasks are `fault tolerance = true`, so a task
+    /// whose result never materializes is eventually re-scheduled
+    /// elsewhere; losing its siblings to one error would not be). The
+    /// first error is returned after the batch.
     pub fn pump(&mut self) -> Result<()> {
-        self.node.pump()?;
+        self.node().pump()?;
         let mut first_err = None;
-        for event in self.node.poll_events() {
-            if event.kind != DataEventKind::Copy || !event.data.name.starts_with(TASK_PREFIX) {
-                continue;
-            }
+        let mut futures: Vec<(OpFuture<()>, OpFuture<()>)> = Vec::new();
+        for event in self.tasks_sub.drain() {
             let task_name = event.data.name[TASK_PREFIX.len()..].to_string();
             // An unreadable input is this task's failure, not grounds to
             // compute on garbage: skip it (no result is published, so
             // fault-tolerant re-scheduling stays possible) and report.
-            let input = match self.node.read_local(&event.data) {
+            let input = match self.node().read_local(&event.data) {
                 Ok(bytes) => bytes,
                 Err(e) => {
                     first_err.get_or_insert(e);
@@ -207,11 +246,29 @@ impl<N: BitDewApi + ActiveData + TransferManager> MwWorker<N> {
                 }
             };
             let output = (self.compute)(&task_name, &input);
-            if let Err(e) = self.publish(&task_name, &output) {
-                first_err.get_or_insert(e);
-                continue;
+            match self.publish(&task_name, &output) {
+                Ok(pair) => futures.push(pair),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
             }
-            self.computed += 1;
+        }
+        // One flush resolves every queued put/schedule of this round. A
+        // task counts as computed only once its result actually reached
+        // the data space and the scheduler — a failed publish leaves it
+        // for fault-tolerant re-execution.
+        for (put, schedule) in futures {
+            match (put.wait(), schedule.wait()) {
+                (Ok(()), Ok(())) => self.computed += 1,
+                (put_res, schedule_res) => {
+                    if let Err(e) = put_res {
+                        first_err.get_or_insert(e);
+                    }
+                    if let Err(e) = schedule_res {
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
         }
         match first_err {
             Some(e) => Err(e),
@@ -219,18 +276,19 @@ impl<N: BitDewApi + ActiveData + TransferManager> MwWorker<N> {
         }
     }
 
-    /// Publish one result with affinity to the collector; the scheduler
-    /// routes it to wherever the collector is pinned.
-    fn publish(&self, task_name: &str, output: &[u8]) -> Result<()> {
+    /// Queue one result with affinity to the collector; the scheduler
+    /// routes it to wherever the collector is pinned once the session
+    /// flushes.
+    fn publish(&self, task_name: &str, output: &[u8]) -> Result<(OpFuture<()>, OpFuture<()>)> {
         let rname = format!("{RESULT_PREFIX}{task_name}");
-        let result = self.node.create_data(&rname, output)?;
-        self.node.put(&result, output)?;
-        self.node.schedule(
-            &result,
+        let handle = self.session.create(&rname, output)?;
+        let put = handle.put(output);
+        let schedule = handle.schedule(
             DataAttributes::default()
                 .with_affinity(self.collector)
                 .with_lifetime(Lifetime::RelativeTo(self.collector)),
-        )
+        );
+        Ok((put, schedule))
     }
 
     /// Tasks computed by this worker.
@@ -240,7 +298,7 @@ impl<N: BitDewApi + ActiveData + TransferManager> MwWorker<N> {
 
     /// The underlying node.
     pub fn node(&self) -> &N {
-        &self.node
+        self.session.node()
     }
 }
 
@@ -254,7 +312,7 @@ pub fn pump_until<N, F>(
     timeout: Duration,
 ) -> Result<bool>
 where
-    N: BitDewApi + ActiveData + TransferManager,
+    N: BitDewApi + ActiveData + TransferManager + 'static,
     F: FnMut(&MwMaster<N>, &[MwWorker<N>]) -> bool,
 {
     let deadline = Instant::now() + timeout;
@@ -329,8 +387,14 @@ mod tests {
             .iter()
             .map(|(n, c)| (n.as_str(), c.as_slice()))
             .collect();
-        // The batched path: one put_many + one schedule_many for all six.
+        // The pipelined path: one create_many fan-out plus one queue flush
+        // (12 op futures) for all six tasks.
         master.submit_batch(&batch).unwrap();
+        assert!(
+            master.session().batches_flushed() <= 3,
+            "batch stayed batched: {} flushes",
+            master.session().batches_flushed()
+        );
         let ok = pump_until(
             &mut master,
             &mut workers,

@@ -84,6 +84,17 @@ fn apply(db: &mut DewDb, op: DbOp) -> DbResult<DbReply> {
 pub trait DbConnection: Send {
     /// Execute one operation.
     fn exec(&mut self, op: DbOp) -> DbResult<DbReply>;
+
+    /// Execute a batch of operations as one unit. The default loops
+    /// [`DbConnection::exec`]; engines override it to amortize their
+    /// per-operation cost — the embedded engine takes its store lock once
+    /// for the whole batch, the networked engine ships the batch in a
+    /// single round trip (the multi-statement wire protocol). This is the
+    /// storage face of the batched catalog entry points (`put_many`,
+    /// `register_many`).
+    fn exec_batch(&mut self, ops: Vec<DbOp>) -> DbResult<Vec<DbReply>> {
+        ops.into_iter().map(|op| self.exec(op)).collect()
+    }
 }
 
 /// A database engine that can open sessions.
@@ -149,6 +160,12 @@ impl DbConnection for EmbeddedConnection {
     fn exec(&mut self, op: DbOp) -> DbResult<DbReply> {
         apply(&mut self.db.lock(), op)
     }
+
+    fn exec_batch(&mut self, ops: Vec<DbOp>) -> DbResult<Vec<DbReply>> {
+        // One store-lock acquisition for the whole batch.
+        let mut db = self.db.lock();
+        ops.into_iter().map(|op| apply(&mut db, op)).collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -158,6 +175,7 @@ impl DbConnection for EmbeddedConnection {
 enum ServerMsg {
     Handshake(Sender<()>),
     Exec(DbOp, Sender<DbResult<DbReply>>),
+    ExecBatch(Vec<DbOp>, Sender<DbResult<Vec<DbReply>>>),
     Shutdown,
 }
 
@@ -183,6 +201,10 @@ impl NetworkedDriver {
                         }
                         ServerMsg::Exec(op, reply) => {
                             let _ = reply.send(apply(&mut db, op));
+                        }
+                        ServerMsg::ExecBatch(ops, reply) => {
+                            let _ =
+                                reply.send(ops.into_iter().map(|op| apply(&mut db, op)).collect());
                         }
                         ServerMsg::Shutdown => break,
                     }
@@ -243,6 +265,16 @@ impl DbConnection for NetworkedConnection {
         let (rtx, rrx) = bounded(1);
         self.tx
             .send(ServerMsg::Exec(op, rtx))
+            .map_err(|_| disconnected())?;
+        rrx.recv().map_err(|_| disconnected())?
+    }
+
+    fn exec_batch(&mut self, ops: Vec<DbOp>) -> DbResult<Vec<DbReply>> {
+        // The whole batch in one round trip (multi-statement pipelining),
+        // instead of one wire round trip per operation.
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send(ServerMsg::ExecBatch(ops, rtx))
             .map_err(|_| disconnected())?;
         rrx.recv().map_err(|_| disconnected())?
     }

@@ -144,6 +144,16 @@ impl PooledConnection {
             .exec(op)
     }
 
+    /// Execute a batch as one unit on the borrowed session (one store
+    /// lock on the embedded engine, one wire round trip on the networked
+    /// one).
+    pub fn exec_batch(&mut self, ops: Vec<DbOp>) -> DbResult<Vec<DbReply>> {
+        self.conn
+            .as_mut()
+            .expect("connection present until drop")
+            .exec_batch(ops)
+    }
+
     /// Drop the session instead of returning it (e.g. after an error), so
     /// the pool will open a fresh one for the next borrower.
     pub fn invalidate(mut self) {

@@ -38,7 +38,7 @@ fn run_blast_scenario<N>(
     big_file_protocol: ProtocolId,
 ) -> Vec<(String, Vec<u8>)>
 where
-    N: BitDewApi + ActiveData + TransferManager,
+    N: BitDewApi + ActiveData + TransferManager + 'static,
 {
     let mut master = MwMaster::new(master_node).expect("master");
 
@@ -91,6 +91,11 @@ where
         .map(|(n, c)| (n.as_str(), c.as_slice()))
         .collect();
     master.submit_batch(&batch).expect("submit batch");
+    println!(
+        "  pipelined submission: {} ops in {} batch flushes",
+        master.session().ops_submitted(),
+        master.session().batches_flushed()
+    );
 
     // Gather.
     let done = pump_until(

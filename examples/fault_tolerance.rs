@@ -2,8 +2,11 @@
 //! its owner's crash — the failure detector (3 × heartbeat, §4.4) evicts
 //! the dead owner and Algorithm 1 re-schedules the replica to a survivor.
 //!
-//! The scenario is written once against the three trait APIs and runs on
-//! BOTH deployments. Only the crash itself is deployment-specific and
+//! The scenario is written once against the reactive session surface —
+//! the client submits through a [`Session`]/[`DataHandle`] (put and
+//! schedule pipelined into one flush), and the heir *reacts* to the
+//! inherited replica through a per-datum `Copy` subscription instead of
+//! polling the cache. Only the crash itself is deployment-specific and
 //! arrives as an adapter closure: under threads a node "crashes" by
 //! falling silent (we stop pumping it), while the simulator kills the host
 //! and fails its flows. A second closure drives the failure detector
@@ -17,9 +20,9 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bitdew::core::api::{ActiveData, BitDewApi, TransferManager};
+use bitdew::core::api::{ActiveData, BitDewApi, DataEventKind, Session, TransferManager};
 use bitdew::core::simdriver::{SimBitdew, SimNode};
-use bitdew::core::{BitdewNode, DataAttributes, RuntimeConfig, ServiceContainer};
+use bitdew::core::{BitdewNode, DataAttributes, EventFilter, RuntimeConfig, ServiceContainer};
 use bitdew::sim::{topology, Sim, SimDuration, SimTime, Trace};
 
 /// The deployment-agnostic scenario: `victim` earns the replica, crashes,
@@ -31,25 +34,30 @@ fn run_fault_scenario<N>(
     mut crash_victim: impl FnMut(),
     mut tick_detector: impl FnMut(),
 ) where
-    N: BitDewApi + ActiveData + TransferManager,
+    N: BitDewApi + ActiveData + TransferManager + 'static,
 {
+    let session = Session::new(client);
     let content: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
-    let data = client
-        .create_data("precious-dataset", &content)
+    let data = session
+        .create("precious-dataset", &content)
         .expect("create");
-    client.put(&data, &content).expect("put");
-    client
-        .schedule(
-            &data,
-            DataAttributes::default()
-                .with_replica(1)
-                .with_fault_tolerance(true),
-        )
-        .expect("schedule");
+    // Pipelined: put + schedule resolve through one queue flush.
+    let put = data.put(&content);
+    let scheduled = data.schedule(
+        DataAttributes::default()
+            .with_replica(1)
+            .with_fault_tolerance(true),
+    );
+    put.wait().expect("put");
+    scheduled.wait().expect("schedule");
+
+    // The heir reacts to the inheritance; the subscription exists before
+    // the crash so the Copy event cannot be missed.
+    let inherit_sub = heir.subscribe(EventFilter::data(data.id()).and_kind(DataEventKind::Copy));
 
     // Only the victim heartbeats: it wins the single replica.
     let mut rounds = 0;
-    while !victim.has_cached(data.id) {
+    while !victim.has_cached(data.id()) {
         rounds += 1;
         assert!(rounds < 5_000, "initial placement timed out");
         victim.pump().expect("pump victim");
@@ -61,15 +69,20 @@ fn run_fault_scenario<N>(
     // victim dead before Algorithm 1 re-schedules the replica.
     crash_victim();
     println!("  victim crashed — waiting out the failure detector");
-    let mut rounds = 0;
-    while !heir.has_cached(data.id) {
-        rounds += 1;
-        assert!(rounds < 20_000, "recovery timed out");
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let event = loop {
         tick_detector();
-        heir.pump().expect("pump heir");
-        std::thread::sleep(Duration::from_millis(1));
-    }
-    let got = heir.read_local(&data).expect("inherited content");
+        match inherit_sub
+            .next_with(&heir, Duration::from_millis(25))
+            .expect("pump heir")
+        {
+            Some(ev) => break ev,
+            None => assert!(std::time::Instant::now() < deadline, "recovery timed out"),
+        }
+    };
+    assert_eq!(event.kind, DataEventKind::Copy);
+    assert_eq!(event.host, heir.host_uid(), "the heir observed the copy");
+    let got = heir.read_local(data.data()).expect("inherited content");
     assert_eq!(&got[..], &content[..]);
     println!("  heir holds a verified replica — the runtime healed the loss");
 }

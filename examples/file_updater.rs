@@ -6,11 +6,14 @@
 //! bounded lifetime; each updatee reports back by scheduling a tiny
 //! host-name datum with affinity to a collector pinned on the master.
 //!
-//! The scenario is generic over the three trait APIs and reacts to data
-//! life-cycle events through the deployment-agnostic `poll_events` face
-//! (the polling equivalent of the paper's `UpdaterHandler`/`UpdateeHandler`
-//! callbacks), so the very same function runs on the threaded runtime —
-//! with the update distributed over real BitTorrent — and on the
+//! The scenario runs on the subscription event bus — the paper's
+//! `UpdaterHandler`/`UpdateeHandler` roles, reactive and per-datum: every
+//! updatee holds a subscription to the update datum's `Copy` event and
+//! publishes its acknowledgement through a pipelined session the moment it
+//! fires; the updater drains a name-filtered subscription for the `host.*`
+//! acks. No global event polling anywhere. The same function runs on the
+//! threaded runtime — with the update distributed over real BitTorrent,
+//! plus an `on_copy` callback handler auditing ack arrivals — and on the
 //! discrete-event simulator under virtual time.
 //!
 //! Run with: `cargo run --example file_updater`
@@ -18,12 +21,15 @@
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bitdew::core::api::{ActiveData, BitDewApi, DataEventKind, TransferManager};
+use bitdew::core::api::{ActiveData, BitDewApi, DataEventKind, Session, TransferManager};
 use bitdew::core::simdriver::{SimBitdew, SimNode};
-use bitdew::core::{BitdewNode, DataAttributes, RuntimeConfig, ServiceContainer, REPLICA_ALL};
+use bitdew::core::{
+    BitdewNode, DataAttributes, EventFilter, RuntimeConfig, ServiceContainer, REPLICA_ALL,
+};
 use bitdew::sim::{topology, Sim, SimDuration, SimTime, Trace};
 
 const UPDATEES: usize = 4;
@@ -32,78 +38,94 @@ const UPDATEES: usize = 4;
 /// gather one acknowledgement per updatee, return the updated host names.
 fn run_file_updater<N>(updater: N, updatees: Vec<N>, oob: &str) -> Vec<String>
 where
-    N: BitDewApi + ActiveData + TransferManager,
+    N: BitDewApi + ActiveData + TransferManager + 'static,
 {
     // --- The Updater (master) -----------------------------------------
-    // The collector gathers "host updated" acknowledgements.
-    let collector = updater.create_slot("collector", 0).expect("collector");
-    updater
-        .schedule(&collector, DataAttributes::default().with_replica(0))
+    // The collector gathers "host updated" acknowledgements; the updater
+    // subscribes to their Copy events by name prefix (the reactive face of
+    // the paper's UpdaterHandler.onDataCopyEvent).
+    let acks_sub =
+        updater.subscribe(EventFilter::name_prefix("host.").and_kind(DataEventKind::Copy));
+    let session = Session::new(updater);
+    let collector = session.create_slot("collector", 0).expect("collector");
+    collector
+        .schedule(DataAttributes::default().with_replica(0))
+        .wait()
         .expect("schedule collector");
-    updater
-        .pin(&collector, DataAttributes::default())
+    collector
+        .pin(DataAttributes::default())
+        .wait()
         .expect("pin collector");
 
     // The big file to push everywhere — Listing 1:
     //   attr update = { replicat = -1, oob = <protocol>, abstime = 43200 }
     let payload: Vec<u8> = (0..600_000u32).map(|i| (i % 251) as u8).collect();
-    let update = updater
-        .create_data("big_data_to_update", &payload)
+    let update = session
+        .create("big_data_to_update", &payload)
         .expect("create");
-    updater.put(&update, &payload).expect("put");
-    let attr = updater
+    let attr = session
+        .node()
         .create_attribute(&format!(
             "attr update = {{ replicat = -1, oob = {oob}, abstime = 43200 }}"
         ))
         .expect("parse attribute");
     assert_eq!(attr.replica, REPLICA_ALL);
-    updater.schedule(&update, attr).expect("schedule update");
+    // Pipelined: the put and the schedule flush as one batch.
+    let put = update.put(&payload);
+    let scheduled = update.schedule(attr);
+    put.wait().expect("put");
+    scheduled.wait().expect("schedule update");
+
+    // --- The Updatees (UpdateeHandler) ---------------------------------
+    // Each holds a per-datum subscription to the update's Copy event and
+    // its own pipelined session for the acknowledgement.
+    let update_id = update.id();
+    let collector_id = collector.id();
+    let updatee_sessions: Vec<Session<N>> = updatees.into_iter().map(Session::new).collect();
+    let update_subs: Vec<_> = updatee_sessions
+        .iter()
+        .map(|s| {
+            s.node()
+                .subscribe(EventFilter::data(update_id).and_kind(DataEventKind::Copy))
+        })
+        .collect();
 
     // --- Pump everyone until the updater heard back from every node ----
-    // Updatees react to the update's Copy event by scheduling an
-    // acknowledgement with affinity to the collector (the paper's
-    // `UpdateeHandler`); the updater's Copy events are the ack arrivals
-    // (`UpdaterHandler.onDataCopyEvent`).
-    let collector_id = collector.id;
-    let mut acked: Vec<bool> = vec![false; updatees.len()];
+    let mut acked: Vec<bool> = vec![false; updatee_sessions.len()];
     let mut done: BTreeSet<String> = BTreeSet::new();
     let mut rounds = 0;
-    while done.len() < updatees.len() {
+    while done.len() < updatee_sessions.len() {
         rounds += 1;
         assert!(rounds < 20_000, "update round timed out");
-        updater.pump().expect("pump updater");
-        for ev in updater.poll_events() {
-            if ev.kind == DataEventKind::Copy {
-                if let Some(host) = ev.data.name.strip_prefix("host.") {
-                    done.insert(host.to_string());
-                }
+        session.node().pump().expect("pump updater");
+        for ev in acks_sub.drain() {
+            if let Some(host) = ev.data.name.strip_prefix("host.") {
+                done.insert(host.to_string());
             }
         }
-        for (i, node) in updatees.iter().enumerate() {
-            node.pump().expect("pump updatee");
-            for ev in node.poll_events() {
-                if ev.kind != DataEventKind::Copy
-                    || ev.data.name != "big_data_to_update"
-                    || acked[i]
-                {
-                    continue;
-                }
-                acked[i] = true;
-                let hostname = format!("node-{i:02}");
-                let ack_name = format!("host.{hostname}");
-                let ack = node
-                    .create_data(&ack_name, hostname.as_bytes())
-                    .expect("create ack");
-                node.put(&ack, hostname.as_bytes()).expect("put ack");
-                node.schedule(&ack, DataAttributes::default().with_affinity(collector_id))
-                    .expect("schedule ack");
+        for (i, s) in updatee_sessions.iter().enumerate() {
+            s.node().pump().expect("pump updatee");
+            if acked[i] || update_subs[i].try_recv().is_none() {
+                continue;
             }
+            // The update landed here: react by queueing the ack (put +
+            // schedule resolve in one flush) with affinity to the
+            // collector, so the runtime routes it back to the updater.
+            acked[i] = true;
+            let hostname = format!("node-{i:02}");
+            let ack = s
+                .create(&format!("host.{hostname}"), hostname.as_bytes())
+                .expect("create ack");
+            let put = ack.put(hostname.as_bytes());
+            let sched = ack.schedule(DataAttributes::default().with_affinity(collector_id));
+            put.wait().expect("put ack");
+            sched.wait().expect("schedule ack");
         }
         std::thread::sleep(Duration::from_millis(1));
     }
 
-    for n in &updatees {
-        assert!(n.has_cached(update.id), "every node kept the update");
+    for s in &updatee_sessions {
+        assert!(s.node().has_cached(update_id), "every node kept the update");
     }
     done.into_iter().collect()
 }
@@ -113,11 +135,26 @@ fn main() {
     println!("[threaded runtime] update over BitTorrent:");
     let container = ServiceContainer::start(RuntimeConfig::default());
     let updater = BitdewNode::new_client(Arc::clone(&container));
+    // Listing 2's callback flavor, threaded: an on-copy handler audits the
+    // `host.*` ack arrivals as they are published on the updater's bus.
+    let audited = Arc::new(AtomicU32::new(0));
+    let a2 = Arc::clone(&audited);
+    updater.add_handler(
+        EventFilter::name_prefix("host.").and_kind(DataEventKind::Copy),
+        Box::new(bitdew::core::CallbackHandler::new().on_copy(move |_, _| {
+            a2.fetch_add(1, Ordering::Relaxed);
+        })),
+    );
     let nodes: Vec<Arc<BitdewNode>> = (0..UPDATEES)
         .map(|_| BitdewNode::new(Arc::clone(&container)))
         .collect();
     let done = run_file_updater(updater, nodes, "bittorrent");
-    println!("  updated hosts ({}): {done:?}", done.len());
+    println!(
+        "  updated hosts ({}), {} audited by the on_copy handler: {done:?}",
+        done.len(),
+        audited.load(Ordering::Relaxed)
+    );
+    assert_eq!(audited.load(Ordering::Relaxed) as usize, UPDATEES);
 
     // --- Deployment 2: the discrete-event simulator ----------------------
     println!("[simulator] same scenario fn, virtual time:");

@@ -1,12 +1,16 @@
 //! Quickstart: create data, tag it with attributes, let the runtime move it.
 //!
-//! Demonstrates the paper's core loop in a dozen lines of API — written
-//! ONCE against the three trait APIs (`BitDewApi` + `ActiveData` +
-//! `TransferManager`) and executed on BOTH deployments: the threaded
-//! runtime (real transfers, wall-clock heartbeats) and the discrete-event
-//! simulator (flow-level transfers, virtual time). A client creates a
-//! datum, `put`s its content into the data space, schedules it with
-//! `replica = 2`, and two reservoir workers receive it automatically.
+//! Demonstrates the paper's core loop on the **reactive session surface** —
+//! written ONCE against the three trait APIs and executed on BOTH
+//! deployments: the threaded runtime (real transfers, wall-clock
+//! heartbeats) and the discrete-event simulator (flow-level transfers,
+//! virtual time).
+//!
+//! A client opens a [`Session`], creates a [`DataHandle`], queues
+//! `handle.put(...)` and `handle.schedule(...)` as pipelined op futures
+//! (one batched round-trip resolves both), and two reservoir workers —
+//! each subscribed to the datum's `Copy` event instead of polling — receive
+//! it automatically.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -15,7 +19,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bitdew::core::api::{ActiveData, BitDewApi, TransferManager};
+use bitdew::core::api::{ActiveData, BitDewApi, DataEventKind, Session, TransferManager};
 use bitdew::core::simdriver::{SimBitdew, SimNode};
 use bitdew::core::{BitdewNode, Data, DataAttributes, RuntimeConfig, ServiceContainer};
 use bitdew::sim::{topology, Sim, SimDuration, SimTime, Trace};
@@ -24,47 +28,56 @@ use bitdew::sim::{topology, Sim, SimDuration, SimTime, Trace};
 /// once both workers hold a verified replica.
 fn run_quickstart<N>(client: N, workers: Vec<N>) -> Data
 where
-    N: BitDewApi + ActiveData + TransferManager,
+    N: BitDewApi + ActiveData + TransferManager + 'static,
 {
+    let session = Session::new(client);
     let content = b"the dew of little bits of data".to_vec();
-    let data = client
-        .create_data("quickstart-payload", &content)
+    let handle = session
+        .create("quickstart-payload", &content)
         .expect("create");
-    client.put(&data, &content).expect("put");
     println!(
         "  created {} ({} bytes, md5 {})",
-        data.name, data.size, data.checksum
+        handle.name(),
+        handle.data().size,
+        handle.data().checksum
     );
 
-    // Tag it: two replicas, fault tolerant. The Data Scheduler (Algorithm 1)
-    // hands each synchronizing reservoir a replica.
-    client
-        .schedule(
-            &data,
-            DataAttributes::default()
-                .with_replica(2)
-                .with_fault_tolerance(true),
-        )
-        .expect("schedule");
+    // Each worker subscribes to this datum's Copy event — the §3.3
+    // event-driven face — before anything moves.
+    let arrivals: Vec<_> = workers
+        .iter()
+        .map(|w| {
+            w.subscribe(bitdew::core::EventFilter::data(handle.id()).and_kind(DataEventKind::Copy))
+        })
+        .collect();
 
-    // Pump the workers until both replicas landed (a pump is one reservoir
-    // heartbeat: wall-clock on threads, virtual time under the simulator).
-    let mut rounds = 0;
-    while !workers.iter().all(|w| w.has_cached(data.id)) {
-        rounds += 1;
-        assert!(rounds < 5_000, "replication timed out");
-        for w in &workers {
-            w.pump().expect("pump");
-        }
-        std::thread::sleep(Duration::from_millis(1));
-    }
+    // Pipelined submission: put and schedule queue together, flush as one
+    // batch, and report through their futures. Two replicas, fault
+    // tolerant — the Data Scheduler (Algorithm 1) hands each synchronizing
+    // reservoir a replica.
+    let put = handle.put(&content);
+    let scheduled = handle.schedule(
+        DataAttributes::default()
+            .with_replica(2)
+            .with_fault_tolerance(true),
+    );
+    put.wait().expect("put");
+    scheduled.wait().expect("schedule");
 
-    for (i, w) in workers.iter().enumerate() {
-        let got = w.read_local(&data).expect("replica content");
+    // React to the arrivals (a pump is one reservoir heartbeat: wall-clock
+    // on threads, virtual time under the simulator).
+    for (i, (w, sub)) in workers.iter().zip(&arrivals).enumerate() {
+        let ev = sub
+            .next_with(w, Duration::from_secs(30))
+            .expect("pump")
+            .expect("replica arrived");
+        assert_eq!(ev.kind, DataEventKind::Copy);
+        assert_eq!(ev.host, w.host_uid(), "event names the observing host");
+        let got = w.read_local(handle.data()).expect("replica content");
         assert_eq!(&got[..], &content[..]);
         println!("  worker {} holds a verified replica", i + 1);
     }
-    data
+    handle.data().clone()
 }
 
 fn main() {

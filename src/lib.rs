@@ -46,12 +46,15 @@
 //! them is written once against the three traits and executed on BOTH the
 //! threaded runtime and the simulator:
 //!
-//! * `quickstart` — create, tag, replicate a datum;
-//! * `file_updater` — the paper's Listing 1/2 network-update program,
-//!   reacting to life-cycle events through `poll_events`;
-//! * `blast_mw` — the §5 master/worker application;
+//! * `quickstart` — create, tag, replicate a datum through a pipelined
+//!   `Session`/`DataHandle`, reacting via per-datum subscriptions;
+//! * `file_updater` — the paper's Listing 1/2 network-update program on
+//!   the subscription event bus (name-filtered acks, per-datum copies);
+//! * `blast_mw` — the §5 master/worker application (batched task
+//!   submission through op futures);
 //! * `fault_tolerance` — an owner crash healed through the failure
-//!   detector (the Fig. 4 machinery).
+//!   detector (the Fig. 4 machinery), the heir reacting to its inherited
+//!   replica's Copy event.
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,332 @@
+//! Event-bus guarantees, proven on BOTH deployments: a datum's subscriber
+//! sees `Create ≤ Copy ≤ Delete` in order, with no duplicates and no loss
+//! across reservoir churn (proptest over randomized schedule/delete/pump
+//! interleavings), plus the reactive handle/future surface end to end.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use bitdew::core::api::{
+    join_all, ActiveData, BitDewApi, DataEventKind, EventFilter, Session, TransferManager,
+};
+use bitdew::core::simdriver::{SimBitdew, SimNode};
+use bitdew::core::{
+    BitdewError, BitdewNode, Data, DataAttributes, RuntimeConfig, ServiceContainer,
+};
+use bitdew::sim::{topology, Sim, SimDuration, SimTime, Trace};
+
+/// One datum's scripted life: the round it is scheduled, and (optionally)
+/// how many rounds later it is deleted — randomized by proptest so deletes
+/// land before, during and after the copy transfer. The raw strategy
+/// encodes the delete as `0 = never`, `n = n-1 rounds after scheduling`.
+type Plan = Vec<(u8, Option<u8>)>;
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    proptest::collection::vec((0u8..5, 0u8..5), 1..5).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(sched, del)| (sched, del.checked_sub(1)))
+            .collect()
+    })
+}
+
+const ACTION_ROUNDS: u8 = 10;
+
+/// Drive the scripted churn on any deployment and assert the ordering
+/// guarantees on the worker's subscription.
+fn event_order_scenario<N>(client: &N, worker: &N, plan: &Plan)
+where
+    N: BitDewApi + ActiveData + TransferManager + 'static,
+{
+    let client_sub = client.subscribe(EventFilter::kind(DataEventKind::Create));
+    let worker_sub = worker.subscribe(EventFilter::any());
+    let attrs = DataAttributes::default().with_replica(1);
+
+    let mut data: Vec<Option<Data>> = vec![None; plan.len()];
+    for round in 0..ACTION_ROUNDS {
+        for (i, (sched_round, delete_after)) in plan.iter().enumerate() {
+            if *sched_round == round {
+                let payload = vec![i as u8 + 1; 64];
+                let d = client
+                    .create_data(&format!("churn-{i}"), &payload)
+                    .expect("create");
+                client.put(&d, &payload).expect("put");
+                client.schedule(&d, attrs.clone()).expect("schedule");
+                data[i] = Some(d);
+            }
+            if let Some(offset) = delete_after {
+                if sched_round + offset == round {
+                    if let Some(d) = &data[i] {
+                        client.delete(d).expect("delete");
+                    }
+                }
+            }
+        }
+        worker.pump().expect("pump worker");
+        worker.pump().expect("pump worker");
+        client.pump().expect("pump client");
+    }
+
+    // Settle: every surviving datum must land (no loss), every deleted one
+    // must purge.
+    for _ in 0..400 {
+        worker.pump().expect("pump worker");
+        let done = plan.iter().enumerate().all(|(i, (_, delete_after))| {
+            let Some(d) = &data[i] else { return true };
+            match delete_after {
+                None => worker.has_cached(d.id),
+                Some(_) => !worker.has_cached(d.id),
+            }
+        });
+        if done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The scheduling node saw exactly one Create per schedule, no more.
+    let creates = client_sub.drain();
+    let scheduled = data.iter().flatten().count();
+    assert_eq!(creates.len(), scheduled, "one Create per schedule");
+    for ev in &creates {
+        assert_eq!(ev.kind, DataEventKind::Create);
+        assert_eq!(ev.host, client.host_uid(), "Create names the scheduler");
+    }
+
+    // The worker's per-datum sequences: Copy/Delete strictly alternating
+    // starting with Copy (Create ≤ Copy ≤ Delete order, no duplicates),
+    // balanced against the final cache state, no loss for survivors.
+    let events = worker_sub.drain();
+    for (i, slot) in data.iter().enumerate() {
+        let Some(d) = slot else { continue };
+        let seq: Vec<DataEventKind> = events
+            .iter()
+            .filter(|e| e.data.id == d.id)
+            .map(|e| e.kind)
+            .collect();
+        for (j, kind) in seq.iter().enumerate() {
+            let expected = if j % 2 == 0 {
+                DataEventKind::Copy
+            } else {
+                DataEventKind::Delete
+            };
+            assert_eq!(
+                *kind, expected,
+                "datum {i}: events must alternate Copy/Delete, got {seq:?}"
+            );
+        }
+        let copies = seq.iter().filter(|k| **k == DataEventKind::Copy).count();
+        let deletes = seq.iter().filter(|k| **k == DataEventKind::Delete).count();
+        let cached = worker.has_cached(d.id);
+        assert_eq!(
+            copies - deletes,
+            cached as usize,
+            "datum {i}: events balance the cache state, got {seq:?}"
+        );
+        if plan[i].1.is_none() {
+            assert_eq!(copies, 1, "datum {i}: surviving datum copied exactly once");
+            assert!(cached, "datum {i}: surviving datum not lost");
+        }
+        for e in events.iter().filter(|e| e.data.id == d.id) {
+            assert_eq!(e.host, worker.host_uid(), "event names the observing host");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn event_order_holds_on_threaded_runtime(plan in plan_strategy()) {
+        let c = ServiceContainer::start(RuntimeConfig::default());
+        let client = BitdewNode::new_client(Arc::clone(&c));
+        let worker = BitdewNode::new(Arc::clone(&c));
+        event_order_scenario(&client, &worker, &plan);
+    }
+
+    #[test]
+    fn event_order_holds_on_simulator(plan in plan_strategy()) {
+        let topo = topology::gdx_cluster(2);
+        let sim = Rc::new(RefCell::new(Sim::new(
+            plan.iter().map(|(s, d)| *s as u64 + d.unwrap_or(9) as u64).sum::<u64>() + 1,
+        )));
+        let driver = SimBitdew::new(
+            topo.net.clone(),
+            topo.service,
+            SimDuration::from_millis(100),
+            Trace::new(),
+        );
+        let client = SimNode::attach_client(&sim, &driver, topo.workers[0], SimTime::ZERO);
+        let worker = SimNode::attach(&sim, &driver, topo.workers[1], SimTime::ZERO);
+        event_order_scenario(&client, &worker, &plan);
+    }
+}
+
+/// The pipelined handle surface end to end, generic over the deployment:
+/// create handles, queue puts + schedules, join the futures, react to the
+/// per-datum subscription, then delete through the handle.
+fn handle_roundtrip_scenario<N>(client: N, worker: N)
+where
+    N: BitDewApi + ActiveData + TransferManager + 'static,
+{
+    let session = Session::new(client);
+    let mut handles = Vec::new();
+    let mut futures = Vec::new();
+    for i in 0..3 {
+        let payload = vec![i as u8 + 1; 4_000];
+        let h = session
+            .create(&format!("hr-{i}"), &payload)
+            .expect("create");
+        futures.push(h.put(&payload));
+        futures.push(h.schedule(DataAttributes::default().with_replica(1)));
+        handles.push((h, payload));
+    }
+    join_all(futures).expect("pipelined ops");
+    assert!(
+        session.batches_flushed() <= 2,
+        "six ops resolved in at most two batch segments"
+    );
+
+    let subs: Vec<_> = handles
+        .iter()
+        .map(|(h, _)| worker.subscribe(EventFilter::data(h.id()).and_kind(DataEventKind::Copy)))
+        .collect();
+    for ((h, payload), sub) in handles.iter().zip(&subs) {
+        let ev = sub
+            .next_with(&worker, Duration::from_secs(30))
+            .expect("pump")
+            .expect("copy event arrived");
+        assert_eq!(ev.kind, DataEventKind::Copy);
+        assert_eq!(ev.data.id, h.id());
+        assert_eq!(
+            &worker.read_local(h.data()).expect("read")[..],
+            &payload[..]
+        );
+    }
+
+    // Delete through the handle; the worker's cache purges.
+    for (h, _) in &handles {
+        h.delete().wait().expect("delete");
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while handles.iter().any(|(h, _)| worker.has_cached(h.id())) {
+        assert!(std::time::Instant::now() < deadline, "purge timed out");
+        worker.pump().expect("pump");
+    }
+}
+
+#[test]
+fn handle_roundtrip_on_threaded_runtime() {
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let worker = BitdewNode::new(Arc::clone(&c));
+    handle_roundtrip_scenario(client, worker);
+}
+
+#[test]
+fn handle_roundtrip_on_simulator() {
+    let topo = topology::gdx_cluster(2);
+    let sim = Rc::new(RefCell::new(Sim::new(31)));
+    let driver = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_millis(100),
+        Trace::new(),
+    );
+    let client = SimNode::attach_client(&sim, &driver, topo.workers[0], SimTime::ZERO);
+    let worker = SimNode::attach(&sim, &driver, topo.workers[1], SimTime::ZERO);
+    handle_roundtrip_scenario(client, worker);
+}
+
+#[test]
+fn on_copy_handler_fires_with_host_context() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let worker = BitdewNode::new(Arc::clone(&c));
+
+    let payload = vec![9u8; 2_000];
+    let session = Session::new(Arc::clone(&worker));
+    let client_session = Session::new(client);
+    let h = client_session.create("cb", &payload).expect("create");
+    // The worker-side handle registers the callback on the worker's bus.
+    let worker_handle = session.handle(h.data().clone());
+    let fired = Arc::new(AtomicU32::new(0));
+    let f2 = Arc::clone(&fired);
+    let expect_host = worker.uid;
+    worker_handle.on_copy(move |ev| {
+        assert_eq!(ev.kind, DataEventKind::Copy);
+        assert_eq!(ev.host, expect_host);
+        f2.fetch_add(1, Ordering::Relaxed);
+    });
+
+    let put = h.put(&payload);
+    let sched = h.schedule(DataAttributes::default().with_replica(1));
+    put.wait().expect("put");
+    sched.wait().expect("schedule");
+    worker_handle
+        .wait_cached(Duration::from_secs(30))
+        .expect("copy arrived");
+    assert_eq!(
+        fired.load(Ordering::Relaxed),
+        1,
+        "on_copy fired exactly once"
+    );
+}
+
+#[test]
+fn subscription_recv_timeout_wakes_from_heartbeat_thread() {
+    // Condvar delivery: the subscriber parks; the heartbeat thread's
+    // synchronization publishes the Copy and wakes it — no polling loop.
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let worker = BitdewNode::new(Arc::clone(&c));
+    let sub = worker.subscribe(EventFilter::kind(DataEventKind::Copy));
+    let _hb = worker.start_heartbeat(Duration::from_millis(5));
+
+    let payload = vec![3u8; 10_000];
+    let d = client.create_data("parked", &payload).unwrap();
+    client.put(&d, &payload).unwrap();
+    client
+        .schedule(&d, DataAttributes::default().with_replica(1))
+        .unwrap();
+
+    let ev = sub
+        .recv_timeout(Duration::from_secs(30))
+        .expect("woken by the heartbeat's publish");
+    assert_eq!(ev.data.id, d.id);
+    assert_eq!(ev.host, worker.uid);
+}
+
+#[test]
+fn error_retryability_classification() {
+    let transport: BitdewError = bitdew::transport::TransportError::ChecksumMismatch.into();
+    assert!(transport.is_retryable());
+    assert!(BitdewError::Timeout {
+        what: "barrier".into(),
+        waited: Duration::from_secs(1),
+    }
+    .is_retryable());
+    assert!(BitdewError::CatalogMiss {
+        what: "locator".into()
+    }
+    .is_retryable());
+    assert!(BitdewError::ChunkDigest {
+        object: "o".into(),
+        index: 3
+    }
+    .is_retryable());
+    assert!(!BitdewError::Scheduler {
+        what: "replica -7".into()
+    }
+    .is_retryable());
+    let parse: BitdewError = bitdew::core::AttrError {
+        message: "bad".into(),
+        offset: None,
+    }
+    .into();
+    assert!(!parse.is_retryable());
+}

@@ -36,6 +36,43 @@ pub trait Strategy {
 
     /// Draw one value.
     fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Strategy producing `f` of this strategy's values.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Mapped strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
 }
 
 /// Deterministic per-(test, case) RNG, so failures replay.
