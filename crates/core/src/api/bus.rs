@@ -20,10 +20,35 @@
 //! time advances (subscribers drain between pumps). The legacy
 //! `poll_events` surface is a compatibility shim over a capped any-filter
 //! subscription.
+//!
+//! ## Backpressure
+//!
+//! Explicit subscriptions choose how a lagging consumer is handled
+//! ([`EventBus::subscribe_with`] / [`Backpressure`]): queue without bound
+//! (`Lossless`, the [`EventBus::subscribe`] default), make the publisher
+//! **block** until the consumer drains (`Block(cap)` — the reservoir
+//! heartbeat slows down rather than losing an event), or shed the newest
+//! event once `cap` are buffered (`DropNewest(cap)`). Shedding and
+//! blocking are observable per subscription via [`EventSub::dropped`] and
+//! [`EventSub::blocked`] — nothing is silent. (The legacy poll queue keeps
+//! its internal drop-*oldest* cap until the first poll proves a consumer
+//! exists.)
+//!
+//! ## Async consumption
+//!
+//! [`EventSub::stream`] turns a subscription into an [`EventStream`] whose
+//! [`next`](EventStream::next) future resolves as events are published —
+//! the waker is stored in the subscription and woken at publish time, so
+//! `stream.next().await` works under any executor (see
+//! [`block_on`](crate::api::block_on)) whenever something else — a
+//! heartbeat thread, another client — is driving the node.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -122,14 +147,54 @@ impl EventFilter {
     }
 }
 
+/// How a subscription's queue treats a lagging consumer.
+///
+/// Chosen at subscription time ([`EventBus::subscribe_with`]); every mode
+/// keeps its own loss/stall accounting ([`EventSub::dropped`],
+/// [`EventSub::blocked`]) so backpressure is observable, never silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Queue without bound — every event is retained until drained (the
+    /// [`EventBus::subscribe`] default; the consumer provably exists).
+    Lossless,
+    /// Block the publisher once `cap` events are buffered, until the
+    /// consumer drains (or drops the subscription). Delivery stays
+    /// lossless; the *producer* slows down — on the threaded runtime that
+    /// is the heartbeat thread pacing itself to the subscriber. Pacing
+    /// engages once the consumer has identified itself by receiving at
+    /// least once from another thread; publishes before that — and
+    /// publishes from the consumer's own thread (a sole driver pumping
+    /// the node itself) — deliver losslessly instead of parking for space
+    /// only the publishing thread could free. Not meaningful on the
+    /// single-threaded simulator (it degrades to `Lossless` there); use
+    /// [`Backpressure::DropNewest`] if shedding is preferred.
+    Block(usize),
+    /// Shed the **newest** event once `cap` are buffered, counting each
+    /// shed in [`EventSub::dropped`] — the consumer keeps the oldest,
+    /// still-unseen history instead of a sliding window.
+    DropNewest(usize),
+}
+
+/// Internal queue policy: the public [`Backpressure`] modes plus the
+/// legacy poll queue's drop-*oldest* cap (lifted on first poll).
+#[derive(Debug, Clone, Copy)]
+enum QueueMode {
+    Lossless,
+    DropOldest(usize),
+    DropNewest(usize),
+    Block(usize),
+}
+
 /// Queue state of one subscription.
 struct SubState {
     queue: VecDeque<DataEvent>,
-    /// Queue bound; events beyond it drop the oldest entry. `usize::MAX`
-    /// (the default for explicit subscriptions) means lossless.
-    cap: usize,
-    /// Events dropped to honor `cap` (a capped legacy queue only).
+    mode: QueueMode,
+    /// Events shed to honor the mode's cap.
     dropped: u64,
+    /// Publishes that had to block for queue space (`Block` mode only).
+    blocked: u64,
+    /// Task wakers of pending [`EventStream`] polls, woken at publish.
+    wakers: Vec<Waker>,
 }
 
 /// Shared core of a subscription: the bus holds one reference, the
@@ -137,7 +202,26 @@ struct SubState {
 /// was dropped.
 struct SubShared {
     state: Mutex<SubState>,
+    /// Consumer-side wakeups: signaled on every delivery.
     cond: Condvar,
+    /// Publisher-side wakeups: signaled when the consumer frees queue
+    /// space (a `Block`-mode publisher parks here).
+    space: Condvar,
+    /// Set when the [`EventSub`] handle drops — pruned by the next
+    /// publish, and unblocks any publisher parked on `space`.
+    closed: AtomicBool,
+    /// The thread last seen consuming this queue. A `Block`-mode delivery
+    /// *from that same thread* (a sole driver publishing from inside its
+    /// own `pump`) must not park for space it can only free itself — it
+    /// delivers losslessly instead.
+    consumer: Mutex<Option<std::thread::ThreadId>>,
+}
+
+impl SubShared {
+    /// Record the calling thread as this queue's consumer.
+    fn note_consumer(&self) {
+        *self.consumer.lock() = Some(std::thread::current().id());
+    }
 }
 
 /// A live subscription handle returned by [`EventBus::subscribe`] (and the
@@ -146,15 +230,34 @@ pub struct EventSub {
     shared: Arc<SubShared>,
 }
 
+impl Drop for EventSub {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        // A publisher blocked on this queue must not wait for a consumer
+        // that no longer exists.
+        self.shared.space.notify_all();
+    }
+}
+
 impl EventSub {
     /// Pop the oldest buffered event, without blocking.
     pub fn try_recv(&self) -> Option<DataEvent> {
-        self.shared.state.lock().queue.pop_front()
+        self.shared.note_consumer();
+        let ev = self.shared.state.lock().queue.pop_front();
+        if ev.is_some() {
+            self.shared.space.notify_all();
+        }
+        ev
     }
 
     /// Drain every buffered event, oldest first.
     pub fn drain(&self) -> Vec<DataEvent> {
-        self.shared.state.lock().queue.drain(..).collect()
+        self.shared.note_consumer();
+        let evs: Vec<DataEvent> = self.shared.state.lock().queue.drain(..).collect();
+        if !evs.is_empty() {
+            self.shared.space.notify_all();
+        }
+        evs
     }
 
     /// Buffered event count.
@@ -172,10 +275,13 @@ impl EventSub {
     /// threaded-deployment face: some other thread (a heartbeat, another
     /// client) must be driving the node for events to be produced.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<DataEvent> {
+        self.shared.note_consumer();
         let deadline = Instant::now() + timeout;
         let mut state = self.shared.state.lock();
         loop {
             if let Some(ev) = state.queue.pop_front() {
+                drop(state);
+                self.shared.space.notify_all();
                 return Some(ev);
             }
             let now = Instant::now();
@@ -186,13 +292,15 @@ impl EventSub {
         }
     }
 
-    /// Deployment-agnostic blocking receive: drive `node` (one `pump` per
-    /// round — a reservoir heartbeat on threads, a virtual-time step under
-    /// the simulator) until an event arrives or `timeout` elapses. The
-    /// generic analogue of [`EventSub::recv_timeout`] for callers that are
-    /// themselves the node's driver. Between pumps the wait parks briefly
-    /// on the subscription's condvar, so it neither spins hot nor misses a
-    /// publish from another thread.
+    /// Deployment-agnostic blocking receive, driving `node` only when
+    /// nothing else does. If the node reports an active driver
+    /// ([`TransferManager::is_driven`] — a heartbeat thread on the
+    /// threaded runtime), the wait parks on the subscription's condvar for
+    /// the remaining deadline (re-checking the driver periodically) and
+    /// never pumps: the total pump count stays O(events produced), not
+    /// O(timeout/1ms). Only when the caller is the sole driver does each
+    /// round run one `pump` (a reservoir heartbeat on threads, a
+    /// virtual-time step under the simulator) before a short park.
     pub fn next_with<N: TransferManager + ?Sized>(
         &self,
         node: &N,
@@ -203,28 +311,101 @@ impl EventSub {
             if let Some(ev) = self.try_recv() {
                 return Ok(Some(ev));
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return Ok(None);
             }
-            node.pump()?;
-            let park =
-                Duration::from_millis(1).min(deadline.saturating_duration_since(Instant::now()));
-            if let Some(ev) = self.recv_timeout(park) {
-                return Ok(Some(ev));
+            let remaining = deadline - now;
+            if node.is_driven() {
+                // Someone else produces events; park on the condvar (in
+                // bounded slices, in case the driver stops mid-wait).
+                let park = remaining.min(Duration::from_millis(25));
+                if let Some(ev) = self.recv_timeout(park) {
+                    return Ok(Some(ev));
+                }
+            } else {
+                node.pump()?;
+                let park = Duration::from_millis(1).min(remaining);
+                if let Some(ev) = self.recv_timeout(park) {
+                    return Ok(Some(ev));
+                }
             }
         }
     }
 
-    /// Events dropped because the (capped, legacy) queue overflowed.
+    /// Events shed because the queue overflowed its [`Backpressure`] cap
+    /// (or the legacy poll queue's pre-consumer cap).
     pub fn dropped(&self) -> u64 {
         self.shared.state.lock().dropped
+    }
+
+    /// Publishes that had to block for queue space
+    /// ([`Backpressure::Block`] subscriptions only).
+    pub fn blocked(&self) -> u64 {
+        self.shared.state.lock().blocked
+    }
+
+    /// Turn this subscription into an async event stream:
+    /// `stream.next().await` resolves as matching events are published.
+    pub fn stream(self) -> EventStream {
+        EventStream { sub: self }
     }
 
     /// Lift the queue bound: from now on every event is retained until
     /// drained. Called by the legacy `poll_events` shim on first poll,
     /// when a consumer has proven to exist.
     pub(crate) fn uncap(&self) {
-        self.shared.state.lock().cap = usize::MAX;
+        self.shared.state.lock().mode = QueueMode::Lossless;
+    }
+}
+
+/// An async view over an [`EventSub`]: each [`EventStream::next`] future
+/// resolves with the next matching event, its waker woken at publish time
+/// — no polling loop, no runtime dependency. Something other than the
+/// awaiting task must drive the node (a heartbeat thread, another
+/// client); under the single-threaded simulator, pump between awaits or
+/// use [`EventSub::next_with`] instead.
+pub struct EventStream {
+    sub: EventSub,
+}
+
+impl EventStream {
+    /// The future of the next event on this subscription (the
+    /// `Stream::next` idiom — async, not `Iterator::next`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> NextEvent<'_> {
+        NextEvent { sub: &self.sub }
+    }
+
+    /// The underlying subscription (buffered length, counters, sync
+    /// receives).
+    pub fn sub(&self) -> &EventSub {
+        &self.sub
+    }
+}
+
+/// Future of one event on an [`EventStream`] — see [`EventStream::next`].
+#[must_use = "futures do nothing unless polled"]
+pub struct NextEvent<'a> {
+    sub: &'a EventSub,
+}
+
+impl Future for NextEvent<'_> {
+    type Output = DataEvent;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<DataEvent> {
+        let shared = &self.sub.shared;
+        shared.note_consumer();
+        let mut state = shared.state.lock();
+        if let Some(ev) = state.queue.pop_front() {
+            drop(state);
+            shared.space.notify_all();
+            return Poll::Ready(ev);
+        }
+        if !state.wakers.iter().any(|w| w.will_wake(cx.waker())) {
+            state.wakers.push(cx.waker().clone());
+        }
+        Poll::Pending
     }
 }
 
@@ -260,20 +441,47 @@ impl EventBus {
 
     /// Open a lossless subscription for events matching `filter`.
     pub fn subscribe(&self, filter: EventFilter) -> EventSub {
-        self.subscribe_capped(filter, usize::MAX)
+        self.subscribe_with(filter, Backpressure::Lossless)
+    }
+
+    /// Open a subscription with an explicit [`Backpressure`] mode for
+    /// events matching `filter`.
+    pub fn subscribe_with(&self, filter: EventFilter, backpressure: Backpressure) -> EventSub {
+        self.subscribe_mode(
+            filter,
+            match backpressure {
+                Backpressure::Lossless => QueueMode::Lossless,
+                Backpressure::Block(cap) => QueueMode::Block(cap.max(1)),
+                Backpressure::DropNewest(cap) => QueueMode::DropNewest(cap.max(1)),
+            },
+        )
     }
 
     /// Subscription whose queue drops its oldest event beyond `cap` — the
     /// legacy polling shim uses this until the first poll proves a consumer
     /// exists.
     pub(crate) fn subscribe_capped(&self, filter: EventFilter, cap: usize) -> EventSub {
+        let mode = if cap == usize::MAX {
+            QueueMode::Lossless
+        } else {
+            QueueMode::DropOldest(cap)
+        };
+        self.subscribe_mode(filter, mode)
+    }
+
+    fn subscribe_mode(&self, filter: EventFilter, mode: QueueMode) -> EventSub {
         let shared = Arc::new(SubShared {
             state: Mutex::new(SubState {
                 queue: VecDeque::new(),
-                cap,
+                mode,
                 dropped: 0,
+                blocked: 0,
+                wakers: Vec::new(),
             }),
             cond: Condvar::new(),
+            space: Condvar::new(),
+            closed: AtomicBool::new(false),
+            consumer: Mutex::new(None),
         });
         self.subs.lock().push((filter, Arc::clone(&shared)));
         EventSub { shared }
@@ -317,27 +525,36 @@ impl EventBus {
         self.published.load(Ordering::Relaxed)
     }
 
-    /// Publish one event: enqueue on every matching subscription (waking
-    /// its condvar), then invoke every matching handler.
+    /// Publish one event: enqueue on every matching subscription per its
+    /// [`Backpressure`] mode (waking condvars and stream wakers; a
+    /// `Block`-mode queue at capacity parks this publisher until the
+    /// consumer drains), then invoke every matching handler.
+    ///
+    /// Each subscription's own queue is ordered, but **concurrent**
+    /// publishers are not totally ordered *across* subscriptions: two
+    /// events published from different threads at the same instant may
+    /// appear in different relative orders on two different subscriptions
+    /// (delivery runs outside the bus lock so a `Block`ed queue cannot
+    /// stall the whole bus). Events published by one thread — e.g.
+    /// everything a single node's synchronization loop fires — keep their
+    /// order on every subscription.
     pub fn publish(&self, event: &DataEvent) {
         self.published.fetch_add(1, Ordering::Relaxed);
-        {
+        // Snapshot the matching subscriptions, then deliver with the subs
+        // lock released — a Block-mode delivery may park, and must not
+        // hold up subscribe/unsubscribe (or other publishers' snapshots)
+        // while it does.
+        let targets: Vec<Arc<SubShared>> = {
             let mut subs = self.subs.lock();
-            // Prune subscriptions whose EventSub handle was dropped (the
-            // bus holds the only remaining reference).
-            subs.retain(|(_, shared)| Arc::strong_count(shared) > 1);
-            for (filter, shared) in subs.iter() {
-                if !filter.matches(event) {
-                    continue;
-                }
-                let mut state = shared.state.lock();
-                if state.queue.len() >= state.cap {
-                    state.queue.pop_front();
-                    state.dropped += 1;
-                }
-                state.queue.push_back(event.clone());
-                shared.cond.notify_all();
-            }
+            // Prune subscriptions whose EventSub handle was dropped.
+            subs.retain(|(_, shared)| !shared.closed.load(Ordering::Acquire));
+            subs.iter()
+                .filter(|(filter, _)| filter.matches(event))
+                .map(|(_, shared)| Arc::clone(shared))
+                .collect()
+        };
+        for shared in targets {
+            Self::deliver(&shared, event);
         }
         // Handlers may call back into the node (a worker's onDataCopy
         // schedules its result, which publishes onDataCreate), so the lock
@@ -360,6 +577,58 @@ impl EventBus {
         let pending = std::mem::take(&mut *self.pending_detach.lock());
         if !pending.is_empty() {
             guard.retain(|(hid, _, _)| !pending.contains(hid));
+        }
+    }
+
+    /// Deliver one event to one subscription per its queue mode, waking
+    /// the consumer condvar and any stored stream wakers.
+    fn deliver(shared: &Arc<SubShared>, event: &DataEvent) {
+        let mut state = shared.state.lock();
+        match state.mode {
+            QueueMode::Lossless => {}
+            QueueMode::DropOldest(cap) => {
+                if state.queue.len() >= cap {
+                    state.queue.pop_front();
+                    state.dropped += 1;
+                }
+            }
+            QueueMode::DropNewest(cap) => {
+                if state.queue.len() >= cap {
+                    state.dropped += 1;
+                    return; // shed this event; nothing to wake
+                }
+            }
+            QueueMode::Block(cap) => {
+                if state.queue.len() >= cap {
+                    // Park only when a consumer on *another* thread has
+                    // identified itself by receiving at least once. A sole
+                    // driver publishing from inside its own pump — or a
+                    // publish before the first consume — delivers
+                    // losslessly instead of parking for space that only
+                    // the publishing thread itself could ever free.
+                    let other_consumer = shared
+                        .consumer
+                        .lock()
+                        .is_some_and(|t| t != std::thread::current().id());
+                    if other_consumer {
+                        state.blocked += 1;
+                        while state.queue.len() >= cap {
+                            if shared.closed.load(Ordering::Acquire) {
+                                state.dropped += 1;
+                                return; // consumer gone mid-block
+                            }
+                            shared.space.wait_for(&mut state, Duration::from_millis(10));
+                        }
+                    }
+                }
+            }
+        }
+        state.queue.push_back(event.clone());
+        let wakers = std::mem::take(&mut state.wakers);
+        drop(state);
+        shared.cond.notify_all();
+        for w in wakers {
+            w.wake();
         }
     }
 }

@@ -12,8 +12,8 @@
 use std::time::{Duration, Instant};
 
 use crate::api::{
-    ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, EventFilter, EventSub, HandlerId,
-    OpFuture, Result, Session, TransferManager,
+    ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, EventFilter, EventStream,
+    EventSub, HandlerId, OpFuture, Result, Session, TransferManager,
 };
 use crate::attr::DataAttributes;
 use crate::data::{Data, DataId};
@@ -156,6 +156,14 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> DataHandle<N> {
         self.session
             .node()
             .subscribe(EventFilter::data(self.data.id).and_kind(kind))
+    }
+
+    /// Open an async stream over this datum's life-cycle events:
+    /// `stream.next().await` resolves per event as something drives the
+    /// node (a heartbeat thread; under the simulator, pump between
+    /// awaits). See [`EventStream`].
+    pub fn subscribe_stream(&self) -> EventStream {
+        self.subscribe().stream()
     }
 
     /// Install a callback fired when this datum finishes copying into the

@@ -43,8 +43,45 @@
 //!   subscription event bus replacing global event polling, with
 //!   per-datum, per-name and per-kind routing to both drainable queues and
 //!   [`ActiveDataEventHandler`](crate::events::ActiveDataEventHandler)
-//!   callbacks. The old `poll_events` drain survives as a compatibility
-//!   shim over an any-filter subscription.
+//!   callbacks, and explicit [`Backpressure`] modes (block the publisher,
+//!   shed the newest, queue unboundedly) with per-subscription
+//!   `dropped()`/`blocked()` accounting. The old `poll_events` drain
+//!   survives as a compatibility shim over an any-filter subscription.
+//!
+//! ## The background executor and the async façade
+//!
+//! A threaded session can hand its queue to a dedicated **background
+//! executor thread** ([`Session::start_executor`]; on by default via
+//! [`BitdewNode::session`](crate::BitdewNode::session)): submissions
+//! signal its condvar, batches drain fully asynchronously, and futures
+//! resolve with no caller-driven pump — batch round-trips overlap
+//! application work. The simulator keeps the cooperative drain, so the
+//! discrete event order is unchanged.
+//!
+//! The same tickets carry an **async façade** with zero runtime
+//! dependency: [`OpFuture`] implements [`std::future::Future`] (waker
+//! stored in the op slot, woken on resolve), [`EventSub::stream`] yields
+//! an async [`EventStream`] of life-cycle events, and [`block_on`] is the
+//! minimal park-based executor when the application has none of its own:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bitdew_core::api::block_on;
+//! use bitdew_core::{BitdewNode, DataAttributes, RuntimeConfig, ServiceContainer};
+//!
+//! # fn main() -> bitdew_core::Result<()> {
+//! let container = ServiceContainer::start(RuntimeConfig::default());
+//! let node = BitdewNode::new_client(Arc::clone(&container));
+//! // Background-executor session: the default-on threaded surface.
+//! let session = node.session()?;
+//! let handle = session.create("awaited", b"payload")?;
+//! block_on(async {
+//!     handle.put(b"payload").await?;
+//!     handle.schedule(DataAttributes::default().with_replica(1)).await
+//! })?;
+//! # Ok(())
+//! # }
+//! ```
 //!
 //! End to end, on the threaded deployment (the same code runs on
 //! [`SimNode`](crate::simdriver::SimNode) under virtual time):
@@ -95,9 +132,9 @@ pub mod bus;
 pub mod handle;
 pub mod pipeline;
 
-pub use bus::{EventBus, EventFilter, EventSub, HandlerId};
+pub use bus::{Backpressure, EventBus, EventFilter, EventStream, EventSub, HandlerId, NextEvent};
 pub use handle::DataHandle;
-pub use pipeline::{join_all, OpFuture, Session, DEFAULT_BATCH_LIMIT};
+pub use pipeline::{block_on, join_all, OpFuture, Session, DEFAULT_BATCH_LIMIT};
 
 use std::time::Duration;
 
@@ -146,6 +183,12 @@ pub enum BitdewError {
         /// Index of the offending chunk.
         index: u32,
     },
+    /// The OS refused a runtime resource the operation needs — a heartbeat
+    /// or session-executor thread could not be spawned.
+    Spawn {
+        /// What failed to spawn, with the OS error.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for BitdewError {
@@ -163,6 +206,7 @@ impl std::fmt::Display for BitdewError {
             BitdewError::ChunkDigest { object, index } => {
                 write!(f, "chunk {index} of `{object}` failed digest verification")
             }
+            BitdewError::Spawn { what } => write!(f, "failed to spawn {what}"),
         }
     }
 }
@@ -172,9 +216,10 @@ impl BitdewError {
     ///
     /// Retryable: transport failures (the remote may come back, another
     /// locator may serve), timeouts (the wait can be re-issued), chunk
-    /// digest mismatches (a re-fetch from another source heals them) and
+    /// digest mismatches (a re-fetch from another source heals them),
     /// catalog misses (content/locators often just haven't been `put`
-    /// yet — the reservoir loop itself retries these every sync).
+    /// yet — the reservoir loop itself retries these every sync) and
+    /// spawn failures (thread exhaustion is transient).
     ///
     /// Not retryable: attribute parse errors and scheduler refusals
     /// (deterministic rejections of the same input) and storage/store
@@ -186,6 +231,7 @@ impl BitdewError {
                 | BitdewError::Timeout { .. }
                 | BitdewError::ChunkDigest { .. }
                 | BitdewError::CatalogMiss { .. }
+                | BitdewError::Spawn { .. }
         )
     }
 }
@@ -343,6 +389,11 @@ pub trait ActiveData {
     /// virtual-time delivery under the simulator.
     fn subscribe(&self, filter: EventFilter) -> EventSub;
 
+    /// [`ActiveData::subscribe`] with an explicit [`Backpressure`] mode
+    /// governing how the subscription's queue treats a lagging consumer
+    /// (block the publisher, shed the newest event, or queue unboundedly).
+    fn subscribe_with(&self, filter: EventFilter, backpressure: Backpressure) -> EventSub;
+
     /// Install a filtered
     /// [`ActiveDataEventHandler`](crate::events::ActiveDataEventHandler)
     /// callback, invoked synchronously as matching events are published
@@ -396,6 +447,15 @@ pub trait TransferManager {
     /// Make one round of progress: synchronize with the Data Scheduler and
     /// advance transfers (one heartbeat of wall-clock or virtual time).
     fn pump(&self) -> Result<()>;
+
+    /// Whether something other than the caller is driving this node's
+    /// synchronization (a running heartbeat thread on the threaded
+    /// runtime). Waiters use this to park instead of self-pumping —
+    /// see [`EventSub::next_with`]. Defaults to `false` (the caller is
+    /// the sole driver, as under the simulator).
+    fn is_driven(&self) -> bool {
+        false
+    }
 
     /// Ids currently in the local cache, sorted.
     fn cached(&self) -> Vec<DataId>;
@@ -462,6 +522,9 @@ macro_rules! delegate_api {
             fn subscribe(&self, filter: EventFilter) -> EventSub {
                 (**self).subscribe(filter)
             }
+            fn subscribe_with(&self, filter: EventFilter, backpressure: Backpressure) -> EventSub {
+                (**self).subscribe_with(filter, backpressure)
+            }
             fn add_handler(
                 &self,
                 filter: EventFilter,
@@ -495,6 +558,9 @@ macro_rules! delegate_api {
             }
             fn pump(&self) -> Result<()> {
                 (**self).pump()
+            }
+            fn is_driven(&self) -> bool {
+                (**self).is_driven()
             }
             fn cached(&self) -> Vec<DataId> {
                 (**self).cached()

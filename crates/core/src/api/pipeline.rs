@@ -1,4 +1,5 @@
-//! The pipelined command plane: per-node submission queues and op futures.
+//! The pipelined command plane: per-node submission queues, op futures,
+//! and the background session executor.
 //!
 //! Every mutating operation submitted through a [`Session`] returns an
 //! [`OpFuture`] ticket immediately; the op lands in the session's
@@ -7,37 +8,69 @@
 //! (`schedule_many`) per batch — instead of paying one lock-and-round-trip
 //! per call. A client can keep thousands of operations in flight against
 //! the sharded DC+DS plane and collect completions with
-//! [`OpFuture::wait`] / [`OpFuture::try_get`] / [`join_all`].
+//! [`OpFuture::wait`] / [`OpFuture::try_get`] / [`join_all`] — or simply
+//! `.await` them: [`OpFuture`] implements [`std::future::Future`] with no
+//! runtime dependency (see [`block_on`] for a zero-dependency executor).
 //!
-//! The executor is *cooperative* and deployment-agnostic: the queue drains
-//! when it reaches the session's batch limit, when [`Session::flush`] is
-//! called, or when any future belonging to the session is waited on. That
-//! makes the semantics identical on the threaded
-//! [`BitdewNode`](crate::BitdewNode) (where waits additionally park on
-//! condvars, so a queue another thread flushes wakes waiters immediately)
-//! and on the single-threaded, virtual-time
-//! [`SimNode`](crate::simdriver::SimNode) (where a wait drives the drain
-//! itself — no background thread required, so nothing in the discrete
-//! event order changes).
+//! ## Two drain modes
 //!
-//! Batches preserve program order per datum: ops are grouped into
-//! `put → schedule → pin → delete` phases, and a later op that would have
-//! to run *before* an already-queued op on the same datum (e.g. a
+//! **Cooperative** (the default, and the only mode under the simulator):
+//! the queue drains when it reaches the session's batch limit, when
+//! [`Session::flush`] is called, or when any future belonging to the
+//! session is waited on. That makes the semantics identical on the
+//! threaded [`BitdewNode`](crate::BitdewNode) and on the single-threaded,
+//! virtual-time [`SimNode`](crate::simdriver::SimNode) (where a wait
+//! drives the drain itself — no background thread required, so nothing in
+//! the discrete event order changes).
+//!
+//! **Background** ([`Session::start_executor`], on by default for
+//! [`BitdewNode::session`](crate::BitdewNode::session)): a dedicated
+//! executor thread parks on a condvar, wakes on every submission, and
+//! drains whatever is queued — batch round-trips overlap application work,
+//! and futures resolve without any caller-driven pump. Batches stay
+//! *self-clocking*: while one batch executes its wire round-trips, new
+//! submissions accumulate, so the next drain is a bigger batch exactly
+//! when the plane is the bottleneck (the group-commit idiom).
+//!
+//! Batches preserve program order per datum in both modes: ops are grouped
+//! into `put → schedule → pin → delete` phases, and a later op that would
+//! have to run *before* an already-queued op on the same datum (e.g. a
 //! re-schedule after a queued delete) closes the current batch segment and
 //! opens a new one.
+//!
+//! ## Error delivery
+//!
+//! Each future carries its own [`crate::BitdewError`]. An error whose
+//! future was dropped without being consumed is **not** lost: it lands in
+//! the session's error sink ([`Session::take_failed`] /
+//! [`Session::failed_count`]), and the last session handle logs any
+//! still-unreported failures when it drops.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::api::{ActiveData, BitDewApi, Result, TransferManager};
+use crate::api::{ActiveData, BitDewApi, BitdewError, Result, TransferManager};
 use crate::attr::DataAttributes;
 use crate::data::{Data, DataId};
 
 /// Default submission-queue length that triggers an automatic drain.
 pub const DEFAULT_BATCH_LIMIT: usize = 256;
+
+/// How long a parked waiter sleeps before re-checking whether it must
+/// drive the queue itself (an executor may have stopped mid-wait).
+const WAIT_RECHECK: Duration = Duration::from_millis(100);
+
+/// A background session's queue bound, as a multiple of the batch limit:
+/// producers that sustainably outrun the executor park at
+/// `batch_limit × HIGH_WATER_FACTOR` queued ops until it catches up.
+const HIGH_WATER_FACTOR: usize = 16;
 
 /// One queued mutating operation.
 enum Op {
@@ -73,11 +106,18 @@ enum SlotState<T> {
     Pending,
     Ready(Result<T>),
     Taken,
+    /// The future was dropped while the op was still queued or in flight;
+    /// an error resolution routes to the session's error sink instead of
+    /// vanishing.
+    Abandoned,
 }
 
 struct OpSlot<T> {
     state: Mutex<SlotState<T>>,
     cond: Condvar,
+    /// Task waker of an `.await`er, stored by `Future::poll` and woken when
+    /// the slot resolves.
+    waker: Mutex<Option<Waker>>,
 }
 
 type Ticket<T> = Arc<OpSlot<T>>;
@@ -86,24 +126,37 @@ fn ticket<T>() -> Ticket<T> {
     Arc::new(OpSlot {
         state: Mutex::new(SlotState::Pending),
         cond: Condvar::new(),
+        waker: Mutex::new(None),
     })
 }
 
-fn resolve<T>(t: &Ticket<T>, result: Result<T>) {
-    *t.state.lock() = SlotState::Ready(result);
-    t.cond.notify_all();
-}
-
-/// Something that can drain a submission queue — implemented by the
-/// session core so a future can drive its own resolution.
+/// Something that can drain a submission queue and absorb orphaned errors
+/// — implemented by the session core so a future can drive (or park on)
+/// its own resolution without naming the node type.
 trait Drive {
+    /// Drain the owning session's queue now.
     fn drive(&self);
+    /// Whether the *calling thread* should park and let a background
+    /// executor resolve its tickets. False when no executor is draining —
+    /// and false on the draining thread itself (a bus handler fired from
+    /// inside a batch that waits/awaits a future must drive the nested
+    /// drain, not park on a resolution only its own frame can produce).
+    fn background_active(&self) -> bool;
+    /// Record the error of an op whose future was dropped unconsumed.
+    fn sink_error(&self, err: BitdewError);
 }
 
 /// A ticket for one submitted operation. Resolution happens when the
 /// owning session's queue drains; waiting on the future triggers that
-/// drain, so a pipelined caller never deadlocks on its own queue.
-#[must_use = "a dropped OpFuture discards the op's error; wait() or join_all() it"]
+/// drain on a cooperative session and parks on a background-executor one,
+/// so a pipelined caller never deadlocks on its own queue.
+///
+/// `OpFuture` also implements [`std::future::Future`], so
+/// `handle.put(..).await` works under any async executor (the waker is
+/// stored in the op slot and woken when the background executor resolves
+/// it; on a cooperative session the first poll drains the queue
+/// synchronously, preserving discrete-event order under the simulator).
+#[must_use = "a dropped OpFuture reports its op's error only through Session::take_failed; wait(), .await or join_all() it"]
 pub struct OpFuture<T> {
     slot: Ticket<T>,
     driver: Arc<dyn Drive>,
@@ -130,28 +183,80 @@ impl<T> OpFuture<T> {
         }
     }
 
-    /// Resolve the op: flush the owning session's queue if it is still
-    /// pending, then return the result. Flushing is synchronous, so this
-    /// returns without blocking on anything but the underlying batched
-    /// calls themselves.
+    /// Resolve the op and return the result. On a cooperative session this
+    /// flushes the owning queue synchronously; with a background executor
+    /// running it parks until the executor resolves the ticket (re-driving
+    /// itself if the executor stops mid-wait).
     pub fn wait(self) -> Result<T> {
-        if !self.is_ready() {
+        if !self.is_ready() && !self.driver.background_active() {
             self.driver.drive();
         }
         let mut state = self.slot.state.lock();
         loop {
             match std::mem::replace(&mut *state, SlotState::Taken) {
                 SlotState::Ready(result) => return result,
-                SlotState::Taken => {
-                    panic!("OpFuture::wait called after try_get already took the result")
+                SlotState::Taken | SlotState::Abandoned => {
+                    panic!("OpFuture::wait called after the result was already taken")
                 }
                 SlotState::Pending => {
-                    // Another thread is mid-flush and owns this op; park
-                    // until it resolves the ticket.
+                    // Another thread (a concurrent flusher or the background
+                    // executor) owns this op; park until it resolves the
+                    // ticket. If no executor is draining anymore (it was
+                    // stopped, or a concurrent flush finished without our
+                    // op), drive the queue ourselves.
                     *state = SlotState::Pending;
-                    self.slot.cond.wait(&mut state);
+                    self.slot.cond.wait_for(&mut state, WAIT_RECHECK);
+                    if matches!(*state, SlotState::Pending) && !self.driver.background_active() {
+                        drop(state);
+                        self.driver.drive();
+                        state = self.slot.state.lock();
+                    }
                 }
             }
+        }
+    }
+}
+
+impl<T> Future for OpFuture<T> {
+    type Output = Result<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<T>> {
+        if let Some(result) = self.try_get() {
+            return Poll::Ready(result);
+        }
+        // Store the waker before the second readiness check so a resolve
+        // racing between the two wakes us rather than being lost.
+        *self.slot.waker.lock() = Some(cx.waker().clone());
+        if let Some(result) = self.try_get() {
+            return Poll::Ready(result);
+        }
+        if !self.driver.background_active() {
+            // Cooperative session: the poller is the only driver, so drain
+            // synchronously — the future resolves within this poll and
+            // discrete-event order is unchanged under the simulator.
+            self.driver.drive();
+            if let Some(result) = self.try_get() {
+                return Poll::Ready(result);
+            }
+        }
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for OpFuture<T> {
+    fn drop(&mut self) {
+        let mut state = self.slot.state.lock();
+        match std::mem::replace(&mut *state, SlotState::Taken) {
+            // Resolved to an error nobody consumed: route it to the
+            // session's error sink instead of discarding it.
+            SlotState::Ready(Err(e)) => {
+                drop(state);
+                self.driver.sink_error(e);
+            }
+            SlotState::Ready(Ok(_)) | SlotState::Taken | SlotState::Abandoned => {}
+            // Still queued or in flight: mark the slot so the eventual
+            // resolution routes an error to the sink.
+            SlotState::Pending => *state = SlotState::Abandoned,
         }
     }
 }
@@ -166,13 +271,46 @@ pub fn join_all<T>(futures: impl IntoIterator<Item = OpFuture<T>>) -> Result<Vec
     Ok(out)
 }
 
+/// Drive a future to completion on the current thread — the minimal
+/// `.await` executor (no runtime dependency): polls, parks, and re-polls
+/// when the stored waker unparks the thread.
+///
+/// Works with any future; with [`OpFuture`] it completes in one poll on a
+/// cooperative session (the poll drains the queue) and parks until the
+/// background executor resolves the ticket otherwise.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    /// Unparks the thread that started `block_on`.
+    struct ThreadWaker(std::thread::Thread);
+    impl std::task::Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            // The bounded park is a belt against a waker lost to a panic
+            // mid-resolve; the park token makes an early unpark safe.
+            Poll::Pending => std::thread::park_timeout(WAIT_RECHECK),
+        }
+    }
+}
+
 struct SessionCore<N> {
     node: N,
     queue: Mutex<Vec<Op>>,
+    /// Signaled on every submission; the background executor parks here.
+    queue_cond: Condvar,
     /// Serializes flushes: held for the whole drain, so concurrent
-    /// flushers (a waiting future on another thread, an auto-flush) cannot
-    /// interleave their batch execution with an in-flight one and invert
-    /// per-datum program order.
+    /// flushers (a waiting future on another thread, an auto-flush, the
+    /// background executor) cannot interleave their batch execution with
+    /// an in-flight one and invert per-datum program order.
     flush_gate: Mutex<()>,
     /// The thread currently draining, if any — a nested flush from that
     /// same thread (a bus handler queuing ops and flushing during
@@ -182,17 +320,54 @@ struct SessionCore<N> {
     batch_limit: usize,
     ops: AtomicU64,
     batches: AtomicU64,
+    /// Whether a background executor thread is currently draining.
+    /// `SeqCst` against queue pushes: a submitter always pushes *before*
+    /// loading this flag, and the exiting executor always clears it
+    /// *before* its final queue sweep — so an op either reaches the sweep
+    /// or its submitter sees the flag down and drains cooperatively.
+    background: AtomicBool,
+    /// Tells the executor thread to exit (after a final drain).
+    exec_stop: AtomicBool,
+    /// Signaled by the executor after every drain round; producers parked
+    /// at the queue's high-water mark resume here.
+    space_cond: Condvar,
+    /// The executor thread, for joining at stop/drop.
+    executor: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Errors of ops whose future was dropped before the result was taken.
+    failed: Mutex<Vec<BitdewError>>,
+    /// Total errors ever routed to the sink (monotonic).
+    failed_total: AtomicU64,
+    /// Live public `Session` clones; the last one stops the executor
+    /// (whose exit path drains) and logs still-pending losses on drop.
+    user_refs: AtomicUsize,
 }
 
 impl<N: BitDewApi + ActiveData + TransferManager> SessionCore<N> {
     fn submit(self: &Arc<Self>, op: Op) {
         self.ops.fetch_add(1, Ordering::Relaxed);
-        let full = {
-            let mut queue = self.queue.lock();
-            queue.push(op);
-            queue.len() >= self.batch_limit
-        };
-        if full {
+        let mut queue = self.queue.lock();
+        queue.push(op);
+        let full = queue.len() >= self.batch_limit;
+        if self.background.load(Ordering::SeqCst) {
+            // The executor drains asynchronously; don't flush from the
+            // submitting thread (that would serialize round-trips back
+            // into application work). The queue stays *bounded*: past the
+            // high-water mark the producer parks until the executor
+            // catches up — backpressure, not unbounded memory. The
+            // executor's own thread (a nested bus-handler submit during a
+            // drain) never parks on space only it can free.
+            self.queue_cond.notify_one();
+            let high_water = self.batch_limit.saturating_mul(HIGH_WATER_FACTOR);
+            if queue.len() >= high_water
+                && *self.flusher.lock() != Some(std::thread::current().id())
+            {
+                while queue.len() >= high_water && self.background.load(Ordering::SeqCst) {
+                    self.space_cond
+                        .wait_for(&mut queue, Duration::from_millis(5));
+                }
+            }
+        } else if full {
+            drop(queue);
             self.flush();
         }
     }
@@ -221,6 +396,9 @@ impl<N: BitDewApi + ActiveData + TransferManager> SessionCore<N> {
     fn drain(&self) {
         loop {
             let ops = std::mem::take(&mut *self.queue.lock());
+            // The queue just emptied: wake producers parked at the
+            // high-water mark.
+            self.space_cond.notify_all();
             if ops.is_empty() {
                 break;
             }
@@ -239,6 +417,27 @@ impl<N: BitDewApi + ActiveData + TransferManager> SessionCore<N> {
                 segment.push(op);
             }
             self.run_segment(segment);
+        }
+    }
+
+    /// Resolve one ticket, waking parked waiters and stored task wakers. A
+    /// ticket whose future was dropped routes its error to the session's
+    /// sink instead.
+    fn resolve<T>(&self, t: &Ticket<T>, result: Result<T>) {
+        let mut state = t.state.lock();
+        if matches!(*state, SlotState::Abandoned) {
+            *state = SlotState::Taken;
+            drop(state);
+            if let Err(e) = result {
+                self.sink_error(e);
+            }
+            return;
+        }
+        *state = SlotState::Ready(result);
+        drop(state);
+        t.cond.notify_all();
+        if let Some(w) = t.waker.lock().take() {
+            w.wake();
         }
     }
 
@@ -268,7 +467,7 @@ impl<N: BitDewApi + ActiveData + TransferManager> SessionCore<N> {
             match self.node.put_many(&batch) {
                 Ok(()) => {
                     for (_, _, tk) in &puts {
-                        resolve(tk, Ok(()));
+                        self.resolve(tk, Ok(()));
                     }
                 }
                 // The batch is all-or-nothing; re-run per item so every
@@ -276,7 +475,7 @@ impl<N: BitDewApi + ActiveData + TransferManager> SessionCore<N> {
                 // re-storing a payload and re-recording its locators).
                 Err(_) => {
                     for (d, bytes, tk) in &puts {
-                        resolve(tk, self.node.put(d, bytes));
+                        self.resolve(tk, self.node.put(d, bytes));
                     }
                 }
             }
@@ -289,22 +488,66 @@ impl<N: BitDewApi + ActiveData + TransferManager> SessionCore<N> {
             match self.node.schedule_many(&batch) {
                 Ok(()) => {
                     for (_, _, tk) in &schedules {
-                        resolve(tk, Ok(()));
+                        self.resolve(tk, Ok(()));
                     }
                 }
                 Err(_) => {
                     for (d, attrs, tk) in &schedules {
-                        resolve(tk, self.node.schedule(d, attrs.clone()));
+                        self.resolve(tk, self.node.schedule(d, attrs.clone()));
                     }
                 }
             }
         }
         for (d, attrs, tk) in pins {
-            resolve(&tk, self.node.pin(&d, attrs));
+            self.resolve(&tk, self.node.pin(&d, attrs));
         }
         for (d, tk) in deletes {
-            resolve(&tk, self.node.delete(&d));
+            self.resolve(&tk, self.node.delete(&d));
         }
+    }
+
+    /// The background executor loop: park on the submission condvar, drain
+    /// whatever queued, repeat — with a final drain on stop so no accepted
+    /// op is left behind.
+    fn executor_loop(self: Arc<Self>) {
+        /// Clears the background flag even if a drain panics, so waiters
+        /// fall back to driving the queue themselves.
+        struct Deactivate<'a>(&'a AtomicBool);
+        impl Drop for Deactivate<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::SeqCst);
+            }
+        }
+        let _guard = Deactivate(&self.background);
+        loop {
+            let stopping = {
+                let mut queue = self.queue.lock();
+                while queue.is_empty() && !self.exec_stop.load(Ordering::Acquire) {
+                    // The timeout is a belt against a notify lost between
+                    // the emptiness check and the park; submissions under
+                    // the same lock make a true miss impossible.
+                    self.queue_cond
+                        .wait_for(&mut queue, Duration::from_millis(250));
+                }
+                queue.is_empty()
+            };
+            if stopping {
+                // Stop requested with an empty queue. Clear `background`
+                // FIRST, then sweep once more: a submitter pushes before it
+                // loads the flag and we clear the flag before this sweep
+                // (both `SeqCst`), so every op either reaches the sweep or
+                // its submitter saw the flag down and owns the cooperative
+                // drain — no op can be stranded with a stored waker.
+                self.background.store(false, Ordering::SeqCst);
+                if !self.queue.lock().is_empty() {
+                    self.flush();
+                }
+                break;
+            }
+            self.flush();
+        }
+        // Unblock any producer still parked at the high-water mark.
+        self.space_cond.notify_all();
     }
 }
 
@@ -312,25 +555,93 @@ impl<N: BitDewApi + ActiveData + TransferManager> Drive for SessionCore<N> {
     fn drive(&self) {
         self.flush();
     }
+
+    fn background_active(&self) -> bool {
+        self.background.load(Ordering::SeqCst)
+            && *self.flusher.lock() != Some(std::thread::current().id())
+    }
+
+    fn sink_error(&self, err: BitdewError) {
+        self.failed_total.fetch_add(1, Ordering::Relaxed);
+        self.failed.lock().push(err);
+    }
 }
 
 /// A pipelined client session over a node. Cloning is cheap and shares
 /// the submission queue, so handles ([`DataHandle`](crate::DataHandle))
-/// and worker threads can feed one batch stream.
+/// and worker threads can feed one batch stream. The last clone to drop
+/// stops the background executor (whose exit path drains the queue, so no
+/// accepted op is abandoned) and logs still-queued ops and errors never
+/// collected through [`Session::take_failed`].
 pub struct Session<N> {
     core: Arc<SessionCore<N>>,
 }
 
 impl<N> Clone for Session<N> {
     fn clone(&self) -> Session<N> {
+        self.core.user_refs.fetch_add(1, Ordering::Relaxed);
         Session {
             core: Arc::clone(&self.core),
         }
     }
 }
 
+/// Executor shutdown shared by [`Session::stop_executor`] and the last
+/// [`Session`] drop — bound-free so `Drop` (which has no `N` bounds) can
+/// call it. The stop flag is set under the queue lock the executor's wait
+/// loop holds, so the wake cannot land in its check-to-park window and be
+/// lost; the join is skipped on the executor's own thread (a drop from a
+/// handler running mid-drain must not join itself).
+impl<N> SessionCore<N> {
+    fn shutdown_executor(&self) {
+        {
+            let _queue = self.queue.lock();
+            self.exec_stop.store(true, Ordering::Release);
+        }
+        self.queue_cond.notify_all();
+        if let Some(handle) = self.executor.lock().take() {
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl<N> Drop for Session<N> {
+    fn drop(&mut self) {
+        if self.core.user_refs.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return;
+        }
+        // Last public handle: stop the executor — its exit path drains the
+        // queue, so every accepted op of a background session still runs —
+        // then log what would otherwise vanish silently: ops still queued
+        // (cooperative session dropped without a flush; their futures can
+        // still drive the drain if the caller kept them) and sink errors
+        // nobody collected.
+        self.core.shutdown_executor();
+        if std::thread::panicking() {
+            return;
+        }
+        let leftover = self.core.queue.lock().len();
+        if leftover > 0 {
+            eprintln!(
+                "bitdew: session dropped with {leftover} op(s) still queued \
+                 (flush() or wait the futures before dropping the last handle)"
+            );
+        }
+        let unreported = self.core.failed.lock().len();
+        if unreported > 0 {
+            eprintln!(
+                "bitdew: session dropped with {unreported} unreported op failure(s) \
+                 (collect them with Session::take_failed before dropping)"
+            );
+        }
+    }
+}
+
 impl<N: BitDewApi + ActiveData + TransferManager + 'static> Session<N> {
-    /// A session with the default batch limit.
+    /// A session with the default batch limit (cooperative drain; see
+    /// [`Session::start_executor`] for the background mode).
     pub fn new(node: N) -> Session<N> {
         Session::with_batch_limit(node, DEFAULT_BATCH_LIMIT)
     }
@@ -342,11 +653,19 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> Session<N> {
             core: Arc::new(SessionCore {
                 node,
                 queue: Mutex::new(Vec::new()),
+                queue_cond: Condvar::new(),
+                space_cond: Condvar::new(),
                 flush_gate: Mutex::new(()),
                 flusher: Mutex::new(None),
                 batch_limit: limit.max(1),
                 ops: AtomicU64::new(0),
                 batches: AtomicU64::new(0),
+                background: AtomicBool::new(false),
+                exec_stop: AtomicBool::new(false),
+                executor: Mutex::new(None),
+                failed: Mutex::new(Vec::new()),
+                failed_total: AtomicU64::new(0),
+                user_refs: AtomicUsize::new(1),
             }),
         }
     }
@@ -441,10 +760,80 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> Session<N> {
         self.core.batches.load(Ordering::Relaxed)
     }
 
+    /// Whether a background executor thread is currently draining this
+    /// session.
+    pub fn executor_running(&self) -> bool {
+        self.core.background.load(Ordering::SeqCst)
+    }
+
+    /// Drain and return the errors of ops whose futures were dropped
+    /// before the result was taken (the session error sink).
+    pub fn take_failed(&self) -> Vec<BitdewError> {
+        std::mem::take(&mut *self.core.failed.lock())
+    }
+
+    /// Total errors ever routed to the session error sink (monotonic —
+    /// unaffected by [`Session::take_failed`]).
+    pub fn failed_count(&self) -> u64 {
+        self.core.failed_total.load(Ordering::Relaxed)
+    }
+
     fn future<T>(&self, tk: &Ticket<T>) -> OpFuture<T> {
         OpFuture {
             slot: Arc::clone(tk),
             driver: Arc::clone(&self.core) as Arc<dyn Drive>,
         }
+    }
+}
+
+impl<N: BitDewApi + ActiveData + TransferManager + Send + Sync + 'static> Session<N> {
+    /// A session whose queue is drained by a dedicated background executor
+    /// thread from the start ([`Session::new`] + a successful
+    /// [`Session::start_executor`]).
+    pub fn background(node: N) -> Result<Session<N>> {
+        let session = Session::new(node);
+        session.start_executor()?;
+        Ok(session)
+    }
+
+    /// Start the background executor thread: submissions signal its
+    /// condvar, it drains batches fully asynchronously, and futures
+    /// resolve without any caller-driven pump. Returns `Ok(false)` if an
+    /// executor is already running. Thread-spawn failure is reported as
+    /// [`BitdewError::Spawn`] — no panic on resource exhaustion.
+    pub fn start_executor(&self) -> Result<bool> {
+        let mut slot = self.core.executor.lock();
+        if let Some(handle) = slot.take() {
+            if self.core.background.load(Ordering::SeqCst) {
+                *slot = Some(handle);
+                return Ok(false);
+            }
+            // A previous executor stopped (or died): reap it and respawn.
+            let _ = handle.join();
+        }
+        self.core.exec_stop.store(false, Ordering::Release);
+        self.core.background.store(true, Ordering::SeqCst);
+        let core = Arc::clone(&self.core);
+        match std::thread::Builder::new()
+            .name("bitdew-session-executor".into())
+            .spawn(move || core.executor_loop())
+        {
+            Ok(handle) => {
+                *slot = Some(handle);
+                Ok(true)
+            }
+            Err(e) => {
+                self.core.background.store(false, Ordering::SeqCst);
+                Err(BitdewError::Spawn {
+                    what: format!("session executor thread: {e}"),
+                })
+            }
+        }
+    }
+
+    /// Stop the background executor: it drains whatever is queued, then
+    /// exits and is joined. The session falls back to cooperative drains.
+    pub fn stop_executor(&self) {
+        self.core.shutdown_executor();
     }
 }

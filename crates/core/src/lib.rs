@@ -33,7 +33,13 @@
 //! an [`OpFuture`]; [`DataHandle`] is the paper's object-style binding
 //! (`handle.put(bytes)`, `handle.schedule(attrs)`, `handle.on_copy(f)`);
 //! [`EventBus`]/[`EventFilter`]/[`EventSub`] route life-cycle events per
-//! datum, per name and per kind.
+//! datum, per name and per kind, with explicit [`Backpressure`] modes for
+//! lagging consumers. Threaded sessions drain on a dedicated **background
+//! executor thread** (`Session::start_executor` /
+//! [`runtime::BitdewNode::session`]), overlapping batch round-trips with
+//! application work; the same tickets expose an async façade —
+//! `OpFuture` implements `Future`, [`EventStream`] awaits life-cycle
+//! events, [`block_on`] runs either with zero runtime dependency.
 //!
 //! Two deployments implement all of it:
 //!
@@ -124,8 +130,9 @@ pub mod shard;
 pub mod simdriver;
 
 pub use api::{
-    join_all, ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, DataHandle, EventBus,
-    EventFilter, EventSub, HandlerId, OpFuture, Result, Session, TransferManager,
+    block_on, join_all, ActiveData, Backpressure, BitDewApi, BitdewError, DataEvent, DataEventKind,
+    DataHandle, EventBus, EventFilter, EventStream, EventSub, HandlerId, OpFuture, Result, Session,
+    TransferManager,
 };
 pub use attr::{Attribute, DataAttributes, Lifetime, REPLICA_ALL};
 pub use attrparse::{parse_attributes, parse_single, AttrDef, AttrError, ResolveCtx};

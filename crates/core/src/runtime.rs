@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -40,8 +40,8 @@ use bitdew_util::Auid;
 use bitdew_transport::ftp::{FtpRangeClient, FtpServer};
 
 use crate::api::{
-    ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, EventBus, EventFilter, EventSub,
-    HandlerId, Result, TransferManager,
+    ActiveData, Backpressure, BitDewApi, BitdewError, DataEvent, DataEventKind, EventBus,
+    EventFilter, EventSub, HandlerId, Result, Session, TransferManager,
 };
 use crate::attr::DataAttributes;
 use crate::attrparse;
@@ -333,6 +333,14 @@ pub struct BitdewNode {
     idle: Condvar,
     role: SyncRole,
     stop: AtomicBool,
+    /// Pairs with `stop_cv`: the heartbeat loop parks here between syncs,
+    /// so a stop request interrupts the inter-sync sleep immediately
+    /// instead of waiting out the period.
+    stop_mu: Mutex<bool>,
+    stop_cv: Condvar,
+    /// Running drivers of this node's synchronization (heartbeat threads);
+    /// waiters park instead of self-pumping while this is non-zero.
+    drivers: AtomicUsize,
 }
 
 impl BitdewNode {
@@ -379,7 +387,19 @@ impl BitdewNode {
             idle: Condvar::new(),
             role,
             stop: AtomicBool::new(false),
+            stop_mu: Mutex::new(false),
+            stop_cv: Condvar::new(),
+            drivers: AtomicUsize::new(0),
         })
+    }
+
+    /// A pipelined [`Session`] over this node with the background executor
+    /// already running (the threaded deployment's default-on reactive
+    /// surface): submissions signal the executor's condvar, batches drain
+    /// asynchronously, and op futures resolve — and `.await` — without any
+    /// caller-driven pump.
+    pub fn session(self: &Arc<Self>) -> Result<Session<Arc<BitdewNode>>> {
+        Session::background(Arc::clone(self))
     }
 
     /// The node's local content store.
@@ -1079,27 +1099,68 @@ impl BitdewNode {
     /// Spawn the heartbeat thread; returns a guard that stops it on drop.
     ///
     /// # Panics
-    /// If the OS refuses to spawn a thread (resource exhaustion). A
-    /// heartbeat host that cannot run its reservoir loop has no meaningful
-    /// degraded mode, so this is a documented invariant rather than a
-    /// recoverable error.
+    /// If the OS refuses to spawn a thread (resource exhaustion) — use
+    /// [`BitdewNode::try_start_heartbeat`] to handle that as an error
+    /// instead.
     pub fn start_heartbeat(self: &Arc<Self>, period: Duration) -> NodeHandle {
+        self.try_start_heartbeat(period)
+            .expect("OS refused to spawn the reservoir heartbeat thread")
+    }
+
+    /// Fallible [`BitdewNode::start_heartbeat`]: spawn the reservoir loop,
+    /// reporting thread-spawn failure as [`BitdewError::Spawn`]. Between
+    /// synchronizations the loop parks on a condvar signaled by
+    /// [`NodeHandle::stop`], so shutdown is prompt (well under the period)
+    /// rather than waiting out a full heartbeat sleep.
+    pub fn try_start_heartbeat(self: &Arc<Self>, period: Duration) -> Result<NodeHandle> {
+        /// Deregisters the driver when the heartbeat thread exits — by
+        /// stop, or by a panic in `sync_once` — so `is_driven` never lies
+        /// and event waiters fall back to self-pumping.
+        struct DriverGuard(Arc<BitdewNode>);
+        impl Drop for DriverGuard {
+            fn drop(&mut self) {
+                self.0.drivers.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
         let node = Arc::clone(self);
         node.stop.store(false, Ordering::Relaxed);
+        *node.stop_mu.lock() = false;
+        // Registered before the spawn (and rolled back on spawn failure)
+        // so the count can never go negative.
+        node.drivers.fetch_add(1, Ordering::AcqRel);
+        let guard = DriverGuard(Arc::clone(&node));
         let n2 = Arc::clone(&node);
         let thread = std::thread::Builder::new()
             .name(format!("reservoir-{}", self.uid))
             .spawn(move || {
+                let _guard = guard;
                 while !n2.stop.load(Ordering::Relaxed) {
                     n2.sync_once();
-                    std::thread::sleep(period);
+                    let mut stopped = n2.stop_mu.lock();
+                    if !*stopped {
+                        n2.stop_cv.wait_for(&mut stopped, period);
+                    }
                 }
             })
-            .expect("OS refused to spawn the reservoir heartbeat thread");
-        NodeHandle {
+            .map_err(|e| BitdewError::Spawn {
+                what: format!("reservoir heartbeat thread: {e}"),
+            })?;
+        Ok(NodeHandle {
             node,
             thread: Some(thread),
-        }
+        })
+    }
+
+    /// Whether a heartbeat thread currently drives this node's
+    /// synchronization (see [`TransferManager::is_driven`]).
+    pub fn is_driven(&self) -> bool {
+        self.drivers.load(Ordering::Acquire) > 0
+    }
+
+    /// Open a subscription with an explicit [`Backpressure`] mode — see
+    /// [`ActiveData::subscribe_with`].
+    pub fn subscribe_with(&self, filter: EventFilter, backpressure: Backpressure) -> EventSub {
+        self.bus.subscribe_with(filter, backpressure)
     }
 
     fn locator_for(&self, data: &Data, protocol: &ProtocolId) -> Result<Locator> {
@@ -1209,6 +1270,9 @@ impl ActiveData for BitdewNode {
     fn subscribe(&self, filter: EventFilter) -> EventSub {
         BitdewNode::subscribe(self, filter)
     }
+    fn subscribe_with(&self, filter: EventFilter, backpressure: Backpressure) -> EventSub {
+        BitdewNode::subscribe_with(self, filter, backpressure)
+    }
     fn add_handler(
         &self,
         filter: EventFilter,
@@ -1244,6 +1308,9 @@ impl TransferManager for BitdewNode {
         self.sync_once();
         Ok(())
     }
+    fn is_driven(&self) -> bool {
+        BitdewNode::is_driven(self)
+    }
     fn cached(&self) -> Vec<DataId> {
         BitdewNode::cached(self)
     }
@@ -1271,7 +1338,13 @@ impl NodeHandle {
 
     fn stop_inner(&mut self) {
         self.node.stop.store(true, Ordering::Relaxed);
+        // Interrupt the inter-sync park so shutdown is prompt even with a
+        // long heartbeat period.
+        *self.node.stop_mu.lock() = true;
+        self.node.stop_cv.notify_all();
         if let Some(t) = self.thread.take() {
+            // The thread's own exit guard deregisters it from `drivers`
+            // (covering panics too); joining just makes that visible.
             let _ = t.join();
         }
     }
@@ -1476,6 +1549,48 @@ mod tests {
         }
         handle.stop();
         assert!(worker.has_cached(data.id));
+    }
+
+    #[test]
+    fn heartbeat_stop_is_prompt_with_long_period() {
+        // Regression: the reservoir loop used to `sleep(period)`
+        // unconditionally, so stop/drop blocked up to a full period. It
+        // now parks on a condvar signaled by stop.
+        let c = quick_container();
+        let worker = BitdewNode::new(Arc::clone(&c));
+        let handle = worker
+            .try_start_heartbeat(Duration::from_secs(5))
+            .expect("spawn heartbeat");
+        assert!(worker.is_driven(), "driver registered while running");
+        // Let the first sync round run so the thread is parked in the
+        // inter-sync wait when stop arrives.
+        std::thread::sleep(Duration::from_millis(30));
+        let started = Instant::now();
+        handle.stop();
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(100),
+            "stop with a 5s period must return promptly, took {elapsed:?}"
+        );
+        assert!(!worker.is_driven(), "driver deregistered after stop");
+    }
+
+    #[test]
+    fn heartbeat_restarts_after_stop() {
+        // try_start_heartbeat resets the stop latch, so a stopped node can
+        // be driven again (and the drop path also deregisters).
+        let c = quick_container();
+        let worker = BitdewNode::new(Arc::clone(&c));
+        worker
+            .try_start_heartbeat(Duration::from_millis(5))
+            .expect("first heartbeat")
+            .stop();
+        let handle = worker
+            .try_start_heartbeat(Duration::from_millis(5))
+            .expect("second heartbeat");
+        assert!(worker.is_driven());
+        drop(handle);
+        assert!(!worker.is_driven());
     }
 
     #[test]

@@ -34,8 +34,8 @@ use bitdew_sim::{
 use bitdew_util::Auid;
 
 use crate::api::{
-    ActiveData, BitDewApi, BitdewError, DataEvent, DataEventKind, EventBus, EventFilter, EventSub,
-    HandlerId, Result, TransferManager,
+    ActiveData, Backpressure, BitDewApi, BitdewError, DataEvent, DataEventKind, EventBus,
+    EventFilter, EventSub, HandlerId, Result, TransferManager,
 };
 use crate::attr::DataAttributes;
 use crate::attrparse;
@@ -1324,6 +1324,19 @@ impl ActiveData for SimNode {
 
     fn subscribe(&self, filter: EventFilter) -> EventSub {
         self.shared.bus.subscribe(filter)
+    }
+
+    fn subscribe_with(&self, filter: EventFilter, backpressure: Backpressure) -> EventSub {
+        // `Block` cannot apply backpressure on the single-threaded
+        // simulator — the publisher and the only possible consumer share
+        // the thread, so parking for space would never be released. It
+        // degrades to `Lossless`, which preserves the mode's no-loss
+        // guarantee (only the pacing is lost, and virtual time has none).
+        let backpressure = match backpressure {
+            Backpressure::Block(_) => Backpressure::Lossless,
+            other => other,
+        };
+        self.shared.bus.subscribe_with(filter, backpressure)
     }
 
     fn add_handler(

@@ -28,6 +28,11 @@
 //! discrete-event simulator ([`bitdew_core::simdriver::SimNode`]). Progress
 //! is driven by [`MwMaster::pump`]/[`MwWorker::pump`]; under threads a pump
 //! is a reservoir heartbeat, under the simulator it advances virtual time.
+//!
+//! On the threaded deployment, [`MwMaster::start_executor`] /
+//! [`MwWorker::start_executor`] put the half's session on a background
+//! executor thread: task submissions and result publishes drain
+//! asynchronously, overlapping the batch round-trips with compute.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -192,6 +197,15 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> MwMaster<N> {
     }
 }
 
+impl<N: BitDewApi + ActiveData + TransferManager + Send + Sync + 'static> MwMaster<N> {
+    /// Put this master's session on a background executor thread
+    /// (threaded deployments only): task-batch round-trips drain
+    /// asynchronously instead of inside [`MwMaster::submit_batch`].
+    pub fn start_executor(&self) -> Result<bool> {
+        self.session.start_executor()
+    }
+}
+
 /// The compute function a worker runs: `(task name, input) → result bytes`.
 pub type ComputeFn = Arc<dyn Fn(&str, &[u8]) -> Vec<u8> + Send + Sync>;
 
@@ -299,6 +313,15 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> MwWorker<N> {
     /// The underlying node.
     pub fn node(&self) -> &N {
         self.session.node()
+    }
+}
+
+impl<N: BitDewApi + ActiveData + TransferManager + Send + Sync + 'static> MwWorker<N> {
+    /// Put this worker's session on a background executor thread
+    /// (threaded deployments only): result publishes drain while the next
+    /// task computes.
+    pub fn start_executor(&self) -> Result<bool> {
+        self.session.start_executor()
     }
 }
 

@@ -36,6 +36,7 @@ fn run_blast_scenario<N>(
     master_node: N,
     worker_nodes: Vec<N>,
     big_file_protocol: ProtocolId,
+    tune: impl Fn(&MwMaster<N>, &[MwWorker<N>]),
 ) -> Vec<(String, Vec<u8>)>
 where
     N: BitDewApi + ActiveData + TransferManager + 'static,
@@ -75,6 +76,10 @@ where
         .into_iter()
         .map(|n| MwWorker::attach(n, master.collector().id, Arc::clone(&compute)))
         .collect();
+    // Deployment knob: threaded runs put every session on a background
+    // executor thread (submission overlaps the batch round-trips); the
+    // simulator keeps the cooperative drain.
+    tune(&master, &workers);
 
     // Submit one sequence per task — the batched path: one put_many and one
     // schedule_many for the whole workload.
@@ -127,7 +132,17 @@ fn main() {
     let worker_nodes: Vec<Arc<BitdewNode>> = (0..WORKERS)
         .map(|_| BitdewNode::new(Arc::clone(&container)))
         .collect();
-    let threaded = run_blast_scenario(master_node, worker_nodes, ProtocolId::bittorrent());
+    let threaded = run_blast_scenario(
+        master_node,
+        worker_nodes,
+        ProtocolId::bittorrent(),
+        |m, ws| {
+            m.start_executor().expect("master executor");
+            for w in ws {
+                w.start_executor().expect("worker executor");
+            }
+        },
+    );
     for (name, payload) in &threaded {
         println!("  {name}: {}", String::from_utf8_lossy(payload));
     }
@@ -146,7 +161,7 @@ fn main() {
     let worker_nodes: Vec<SimNode> = (1..=WORKERS)
         .map(|i| SimNode::attach(&sim, &driver, topo.workers[i], SimTime::ZERO))
         .collect();
-    let simulated = run_blast_scenario(master_node, worker_nodes, ProtocolId::ftp());
+    let simulated = run_blast_scenario(master_node, worker_nodes, ProtocolId::ftp(), |_, _| {});
     for (name, payload) in &simulated {
         println!("  {name}: {}", String::from_utf8_lossy(payload));
     }

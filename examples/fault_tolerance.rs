@@ -31,12 +31,14 @@ fn run_fault_scenario<N>(
     client: N,
     victim: N,
     heir: N,
+    tune: impl Fn(&Session<N>),
     mut crash_victim: impl FnMut(),
     mut tick_detector: impl FnMut(),
 ) where
     N: BitDewApi + ActiveData + TransferManager + 'static,
 {
     let session = Session::new(client);
+    tune(&session);
     let content: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
     let data = session
         .create("precious-dataset", &content)
@@ -99,6 +101,9 @@ fn main() {
         client,
         victim,
         heir,
+        |s| {
+            s.start_executor().expect("session executor");
+        },
         || { /* a silent node IS a crashed node to the detector */ },
         move || {
             c2.detect_failures();
@@ -126,6 +131,7 @@ fn main() {
         client,
         victim,
         heir,
+        |_| { /* cooperative drain under virtual time */ },
         move || {
             let mut s = sim2.borrow_mut();
             d2.kill_host(&mut s, victim_host);

@@ -36,7 +36,12 @@ const UPDATEES: usize = 4;
 
 /// The whole update round, deployment-agnostic: push the file everywhere,
 /// gather one acknowledgement per updatee, return the updated host names.
-fn run_file_updater<N>(updater: N, updatees: Vec<N>, oob: &str) -> Vec<String>
+fn run_file_updater<N>(
+    updater: N,
+    updatees: Vec<N>,
+    oob: &str,
+    tune: impl Fn(&Session<N>),
+) -> Vec<String>
 where
     N: BitDewApi + ActiveData + TransferManager + 'static,
 {
@@ -47,6 +52,7 @@ where
     let acks_sub =
         updater.subscribe(EventFilter::name_prefix("host.").and_kind(DataEventKind::Copy));
     let session = Session::new(updater);
+    tune(&session);
     let collector = session.create_slot("collector", 0).expect("collector");
     collector
         .schedule(DataAttributes::default().with_replica(0))
@@ -81,7 +87,14 @@ where
     // its own pipelined session for the acknowledgement.
     let update_id = update.id();
     let collector_id = collector.id();
-    let updatee_sessions: Vec<Session<N>> = updatees.into_iter().map(Session::new).collect();
+    let updatee_sessions: Vec<Session<N>> = updatees
+        .into_iter()
+        .map(|n| {
+            let s = Session::new(n);
+            tune(&s);
+            s
+        })
+        .collect();
     let update_subs: Vec<_> = updatee_sessions
         .iter()
         .map(|s| {
@@ -148,7 +161,10 @@ fn main() {
     let nodes: Vec<Arc<BitdewNode>> = (0..UPDATEES)
         .map(|_| BitdewNode::new(Arc::clone(&container)))
         .collect();
-    let done = run_file_updater(updater, nodes, "bittorrent");
+    let done = run_file_updater(updater, nodes, "bittorrent", |s| {
+        // Background-executor sessions: acknowledgements drain off-thread.
+        s.start_executor().expect("session executor");
+    });
     println!(
         "  updated hosts ({}), {} audited by the on_copy handler: {done:?}",
         done.len(),
@@ -170,7 +186,7 @@ fn main() {
     let nodes: Vec<SimNode> = (1..=UPDATEES)
         .map(|i| SimNode::attach(&sim, &driver, topo.workers[i], SimTime::ZERO))
         .collect();
-    let done = run_file_updater(updater, nodes, "ftp");
+    let done = run_file_updater(updater, nodes, "ftp", |_| { /* cooperative */ });
     println!(
         "  updated hosts ({}) at virtual t = {:.1}s",
         done.len(),

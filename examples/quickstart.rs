@@ -8,9 +8,13 @@
 //!
 //! A client opens a [`Session`], creates a [`DataHandle`], queues
 //! `handle.put(...)` and `handle.schedule(...)` as pipelined op futures
-//! (one batched round-trip resolves both), and two reservoir workers —
-//! each subscribed to the datum's `Copy` event instead of polling — receive
-//! it automatically.
+//! and simply **`.await`s** them (the async façade works under any
+//! executor — here the zero-dependency [`block_on`]), and two reservoir
+//! workers — each subscribed to the datum's `Copy` event instead of
+//! polling — receive it automatically. On the threaded runtime the session
+//! runs its **background executor** (`tune` hook), so the batched
+//! round-trips drain off-thread; under the simulator the same awaits drive
+//! the queue cooperatively and virtual time is unchanged.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -19,18 +23,21 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bitdew::core::api::{ActiveData, BitDewApi, DataEventKind, Session, TransferManager};
+use bitdew::core::api::{block_on, ActiveData, BitDewApi, DataEventKind, Session, TransferManager};
 use bitdew::core::simdriver::{SimBitdew, SimNode};
 use bitdew::core::{BitdewNode, Data, DataAttributes, RuntimeConfig, ServiceContainer};
 use bitdew::sim::{topology, Sim, SimDuration, SimTime, Trace};
 
 /// The whole quickstart, deployment-agnostic: returns the scheduled datum
-/// once both workers hold a verified replica.
-fn run_quickstart<N>(client: N, workers: Vec<N>) -> Data
+/// once both workers hold a verified replica. `tune` is the deployment's
+/// one knob: the threaded runtime turns the session's background executor
+/// on; the simulator keeps the cooperative drain.
+fn run_quickstart<N>(client: N, workers: Vec<N>, tune: impl Fn(&Session<N>)) -> Data
 where
     N: BitDewApi + ActiveData + TransferManager + 'static,
 {
     let session = Session::new(client);
+    tune(&session);
     let content = b"the dew of little bits of data".to_vec();
     let handle = session
         .create("quickstart-payload", &content)
@@ -51,18 +58,21 @@ where
         })
         .collect();
 
-    // Pipelined submission: put and schedule queue together, flush as one
-    // batch, and report through their futures. Two replicas, fault
-    // tolerant — the Data Scheduler (Algorithm 1) hands each synchronizing
-    // reservoir a replica.
+    // Pipelined submission through the async façade: put and schedule
+    // queue together and are awaited — on a background-executor session
+    // they resolve off-thread; cooperatively the first poll drains the
+    // queue. Two replicas, fault tolerant — the Data Scheduler
+    // (Algorithm 1) hands each synchronizing reservoir a replica.
     let put = handle.put(&content);
     let scheduled = handle.schedule(
         DataAttributes::default()
             .with_replica(2)
             .with_fault_tolerance(true),
     );
-    put.wait().expect("put");
-    scheduled.wait().expect("schedule");
+    block_on(async {
+        put.await.expect("put");
+        scheduled.await.expect("schedule");
+    });
 
     // React to the arrivals (a pump is one reservoir heartbeat: wall-clock
     // on threads, virtual time under the simulator).
@@ -88,7 +98,9 @@ fn main() {
     let workers: Vec<Arc<BitdewNode>> = (0..2)
         .map(|_| BitdewNode::new(Arc::clone(&container)))
         .collect();
-    let data = run_quickstart(client, workers);
+    let data = run_quickstart(client, workers, |s| {
+        s.start_executor().expect("session executor");
+    });
     println!(
         "  scheduler sees {} owners — threaded quickstart done",
         container.owners_of(data.id).len()
@@ -108,7 +120,7 @@ fn main() {
     let workers: Vec<SimNode> = (1..=2)
         .map(|i| SimNode::attach(&sim, &driver, topo.workers[i], SimTime::ZERO))
         .collect();
-    let data = run_quickstart(client, workers);
+    let data = run_quickstart(client, workers, |_| { /* cooperative drain */ });
     println!(
         "  {} owners at virtual t = {:.2}s — simulated quickstart done",
         driver.owners_of(data.id).len(),
