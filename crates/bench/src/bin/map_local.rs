@@ -1,0 +1,375 @@
+//! Data-local MapOp execution vs fetch-then-compute.
+//!
+//! The compute-plane tentpole claims that shipping the function to the
+//! chunks' holders beats shipping the chunks to the function. This harness
+//! measures both modes over the same replicated chunked blob and the same
+//! UDF (a byte checksum):
+//!
+//! 1. **Threaded wall clock at 1/2/4 workers** — *data-local*: one MapOp
+//!    partitioned by ownership across W full holders, every chunk read
+//!    from the local `ChunkStore`; *fetch-then-compute*: W `fetch_all`
+//!    ops, each restricted to a contiguous chunk slice, executed on W
+//!    dataless hosts that must pull their slice through the
+//!    `MultiSourceFetcher` first. Per-op `ComputeStats` give the exact
+//!    bytes-moved ledger. The run **asserts** the acceptance criterion at
+//!    4 workers: data-local moves ≥ 5× fewer bytes and finishes ≥ 2×
+//!    faster.
+//! 2. **Virtual-time check at 4 workers** — the same two modes on the
+//!    simulator, where data-local chunk reads are zero-cost and every
+//!    fetched chunk is a modeled flow: `peer_chunk_flows` must stay flat
+//!    for the data-local op and grow by exactly the chunk count for the
+//!    baseline, with the ≥ 5× / ≥ 2× ratios asserted in flows and
+//!    virtual time.
+//!
+//! Run with: `cargo run --release -p bitdew-bench --bin map_local`
+//! (`-- --smoke` for the CI-sized run; the assertions hold in both.)
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bitdew_bench::{print_table, section};
+use bitdew_core::api::{ActiveData, BitDewApi, Session, TransferManager};
+use bitdew_core::compute::register;
+use bitdew_core::simdriver::{SimBitdew, SimNode};
+use bitdew_core::{
+    BitdewNode, ComputeRunner, ComputeStats, Data, DataAttributes, MapOp, RuntimeConfig,
+    ServiceContainer, REPLICA_ALL,
+};
+use bitdew_sim::{topology, Sim, SimDuration, SimTime, Trace};
+use bitdew_storage::codec::Encode;
+
+const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
+
+struct Params {
+    /// Blob size (bytes).
+    bytes: usize,
+    /// Chunk size for the manifest.
+    chunk: u64,
+}
+
+impl Params {
+    fn full() -> Params {
+        Params {
+            bytes: 32 * 1024 * 1024,
+            chunk: 128 * 1024,
+        }
+    }
+
+    fn smoke() -> Params {
+        Params {
+            bytes: 8 * 1024 * 1024,
+            chunk: 128 * 1024,
+        }
+    }
+
+    fn chunks(&self) -> u32 {
+        (self.bytes as u64).div_ceil(self.chunk) as u32
+    }
+}
+
+fn content(bytes: usize) -> Vec<u8> {
+    (0..bytes).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+/// Split `0..chunks` into `w` contiguous slices (the per-executor share of
+/// the fetch-then-compute baseline).
+fn slices(chunks: u32, w: usize) -> Vec<Vec<u32>> {
+    (0..w)
+        .map(|i| {
+            let lo = (chunks as usize * i / w) as u32;
+            let hi = (chunks as usize * (i + 1) / w) as u32;
+            (lo..hi).collect()
+        })
+        .collect()
+}
+
+fn checksum_op(tag: &str, data: &Data, chunks: Option<Vec<u32>>, fetch_all: bool) -> MapOp {
+    MapOp {
+        fn_name: "ml.checksum".into(),
+        tag: tag.into(),
+        inputs: vec![data.clone()],
+        chunks,
+        // Outputs stay put (replica 0): the timing covers compute, not an
+        // output shuffle.
+        output_attrs: DataAttributes::default().with_replica(0),
+        fetch_all,
+    }
+}
+
+/// One mode's aggregate: max wall across executors runs in parallel, so
+/// the scope elapsed time is the mode's makespan.
+struct ModeResult {
+    wall: Duration,
+    bytes_local: u64,
+    bytes_fetched: u64,
+    chunks: u32,
+}
+
+/// Execute every `(node, op datum, op)` concurrently (one thread per
+/// executor, as a deployment would) and aggregate the stats ledgers.
+fn run_mode(execs: &[(Arc<BitdewNode>, Data, MapOp)]) -> ModeResult {
+    let started = Instant::now();
+    let stats: Vec<ComputeStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = execs
+            .iter()
+            .map(|(node, opd, op)| {
+                s.spawn(move || {
+                    let mut r = ComputeRunner::new(Session::new(Arc::clone(node)));
+                    assert!(r.run_op(opd, op).expect("run_op"), "op must run");
+                    r.stats()[&opd.id].clone()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    ModeResult {
+        wall: started.elapsed(),
+        bytes_local: stats.iter().map(|s| s.bytes_local).sum(),
+        bytes_fetched: stats.iter().map(|s| s.bytes_fetched).sum(),
+        chunks: stats.iter().map(|s| s.chunks).sum(),
+    }
+}
+
+/// Both modes over the same `w`-way replicated blob on the threaded
+/// runtime: data-local first (on the holders), then fetch-then-compute
+/// (on `w` fresh dataless nodes).
+fn threaded_pair(p: &Params, w: usize) -> (ModeResult, ModeResult) {
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let blob = content(p.bytes);
+    let data = client.create_data("ml-blob", &blob).expect("create");
+    client.put_chunked(&data, &blob, p.chunk).expect("chunk");
+    client
+        .schedule(&data, DataAttributes::default().with_replica(REPLICA_ALL))
+        .expect("schedule");
+    let workers: Vec<Arc<BitdewNode>> = (0..w).map(|_| BitdewNode::new(Arc::clone(&c))).collect();
+    for wk in &workers {
+        wk.enable_serving();
+    }
+    // Stable replication before timing anything: every worker a full
+    // holder with the bytes on disk.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let h = client.chunk_holdings(data.id).expect("holdings");
+        if h.full.len() == w
+            && h.partial.is_empty()
+            && workers.iter().all(|wk| wk.has_cached(data.id))
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "replication stalled");
+        for wk in &workers {
+            wk.sync_once();
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Data-local: one op, dealt across the holders by ownership.
+    let op = checksum_op(&format!("mll{w}"), &data, None, false);
+    let opd = client
+        .create_data(&format!("compute.op.mll{w}"), &op.to_bytes())
+        .expect("op datum");
+    let execs: Vec<_> = workers
+        .iter()
+        .map(|wk| (Arc::clone(wk), opd.clone(), op.clone()))
+        .collect();
+    let local = run_mode(&execs);
+
+    // Fetch-then-compute: w dataless nodes, each pulling its slice first.
+    let execs: Vec<_> = slices(p.chunks(), w)
+        .into_iter()
+        .enumerate()
+        .map(|(i, slice)| {
+            let node = BitdewNode::new(Arc::clone(&c));
+            let op = checksum_op(&format!("mlf{w}.{i}"), &data, Some(slice), true);
+            let opd = client
+                .create_data(&format!("compute.op.mlf{w}.{i}"), &op.to_bytes())
+                .expect("op datum");
+            (node, opd, op)
+        })
+        .collect();
+    let fetch = run_mode(&execs);
+    (local, fetch)
+}
+
+/// The same two modes at 4 workers on the simulator. Returns
+/// `(local flows, fetch flows, local vt secs, fetch vt secs)`.
+fn sim_pair(p: &Params) -> (u64, u64, f64, f64) {
+    const W: usize = 4;
+    let topo = topology::gdx_cluster(2 * W + 1);
+    let sim = Rc::new(RefCell::new(Sim::new(17)));
+    // A long heartbeat: the ops are driven by hand; no background repair
+    // may race the measurement.
+    let driver = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_secs(600),
+        Trace::new(),
+    );
+    let client = SimNode::attach_client(&sim, &driver, topo.workers[0], SimTime::ZERO);
+    let holders: Vec<SimNode> = (1..=W)
+        .map(|i| SimNode::attach(&sim, &driver, topo.workers[i], SimTime::ZERO))
+        .collect();
+    let blob = content(p.bytes);
+    let data = client.create_data("ml-sim-blob", &blob).expect("create");
+    client.put_chunked(&data, &blob, p.chunk).expect("chunk");
+    client
+        .schedule(&data, DataAttributes::default().with_replica(0))
+        .expect("schedule");
+    let all: Vec<u32> = (0..p.chunks()).collect();
+    for h in &holders {
+        h.pin_chunks(&data, DataAttributes::default(), &all)
+            .expect("pin");
+    }
+
+    // Data-local: zero-cost local chunk reads — no flow, no virtual time.
+    let op = checksum_op("smll", &data, None, false);
+    let opd = client
+        .create_data("compute.op.smll", &op.to_bytes())
+        .expect("op datum");
+    let flows0 = driver.peer_chunk_flows();
+    let vt0 = sim.borrow().now().as_secs_f64();
+    let mut chunks_done = 0;
+    for h in &holders {
+        let mut r = ComputeRunner::new(Session::new(h.clone()));
+        assert!(r.run_op(&opd, &op).expect("run_op"), "op must run");
+        chunks_done += r.stats()[&opd.id].chunks;
+    }
+    assert_eq!(chunks_done, p.chunks(), "the deal covered every chunk");
+    let local_flows = driver.peer_chunk_flows() - flows0;
+    let local_vt = sim.borrow().now().as_secs_f64() - vt0;
+
+    // Fetch-then-compute: every dealt chunk is a modeled per-chunk flow.
+    let flows0 = driver.peer_chunk_flows();
+    let vt0 = sim.borrow().now().as_secs_f64();
+    for (i, slice) in slices(p.chunks(), W).into_iter().enumerate() {
+        let node = SimNode::attach(&sim, &driver, topo.workers[W + 1 + i], SimTime::ZERO);
+        let op = checksum_op(&format!("smlf{i}"), &data, Some(slice), true);
+        let opd = client
+            .create_data(&format!("compute.op.smlf{i}"), &op.to_bytes())
+            .expect("op datum");
+        let mut r = ComputeRunner::new(Session::new(node.clone()));
+        assert!(r.run_op(&opd, &op).expect("run_op"), "op must run");
+    }
+    let fetch_flows = driver.peer_chunk_flows() - flows0;
+    let fetch_vt = sim.borrow().now().as_secs_f64() - vt0;
+    (local_flows, fetch_flows, local_vt, fetch_vt)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let p = if smoke {
+        Params::smoke()
+    } else {
+        Params::full()
+    };
+    register("ml.checksum", |_tag, parts| {
+        let sum: u64 = parts
+            .iter()
+            .flat_map(|p| p.bytes.iter())
+            .map(|&b| b as u64)
+            .sum();
+        sum.to_le_bytes().to_vec()
+    });
+    println!(
+        "# map_local — data-local MapOps vs fetch-then-compute{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    section("1. threaded wall clock (checksum over a replicated chunked blob)");
+    println!(
+        "{} MB blob, {} KiB chunks, W-way replicated; fetch baseline runs on W dataless hosts\n",
+        p.bytes / (1024 * 1024),
+        p.chunk / 1024
+    );
+    let mut at4 = None;
+    let rows: Vec<Vec<String>> = WORKER_SWEEP
+        .iter()
+        .map(|&w| {
+            let (local, fetch) = threaded_pair(&p, w);
+            // Every chunk was computed exactly once in each mode.
+            assert_eq!(local.chunks, p.chunks());
+            assert_eq!(fetch.chunks, p.chunks());
+            assert_eq!(local.bytes_local + local.bytes_fetched, p.bytes as u64);
+            let wall_ratio = fetch.wall.as_secs_f64() / local.wall.as_secs_f64();
+            let row = vec![
+                w.to_string(),
+                format!("{:.1}", local.wall.as_secs_f64() * 1e3),
+                format!("{:.2}", local.bytes_fetched as f64 / 1e6),
+                format!("{:.1}", fetch.wall.as_secs_f64() * 1e3),
+                format!("{:.2}", fetch.bytes_fetched as f64 / 1e6),
+                format!("{wall_ratio:.1}x"),
+            ];
+            if w == 4 {
+                at4 = Some((local, fetch));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        &[
+            "workers",
+            "local ms",
+            "local MB moved",
+            "fetch ms",
+            "fetch MB moved",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    // The acceptance criterion at 4 workers: ≥ 5× fewer bytes moved and
+    // ≥ 2× faster wall clock.
+    let (local, fetch) = at4.expect("4-worker row");
+    assert!(
+        fetch.bytes_fetched >= 5 * local.bytes_fetched.max(1),
+        "data-local must move >= 5x fewer bytes: {} vs {}",
+        local.bytes_fetched,
+        fetch.bytes_fetched
+    );
+    assert!(
+        fetch.wall.as_secs_f64() >= 2.0 * local.wall.as_secs_f64(),
+        "data-local must be >= 2x faster at 4 workers: {:?} vs {:?}",
+        local.wall,
+        fetch.wall
+    );
+    println!("\n4-worker data-local >= 5x fewer bytes and >= 2x faster verified");
+
+    section("2. virtual time, 4 workers (per-chunk flows vs zero-cost local reads)");
+    let (local_flows, fetch_flows, local_vt, fetch_vt) = sim_pair(&p);
+    print_table(
+        &["mode", "chunk flows", "virtual s"],
+        &[
+            vec![
+                "data-local".into(),
+                local_flows.to_string(),
+                format!("{local_vt:.3}"),
+            ],
+            vec![
+                "fetch-then-compute".into(),
+                fetch_flows.to_string(),
+                format!("{fetch_vt:.3}"),
+            ],
+        ],
+    );
+    assert_eq!(local_flows, 0, "data-local op moved no modeled chunk");
+    assert_eq!(
+        fetch_flows,
+        p.chunks() as u64,
+        "the baseline flowed every chunk exactly once"
+    );
+    assert!(
+        fetch_flows >= 5 * local_flows.max(1),
+        "sim: >= 5x fewer chunk flows"
+    );
+    assert!(
+        fetch_vt > 0.0 && fetch_vt >= 2.0 * local_vt,
+        "sim: data-local must be >= 2x faster in virtual time: {local_vt:.3}s vs {fetch_vt:.3}s"
+    );
+    println!("\nsim: flow-count and virtual-time ratios verified");
+}

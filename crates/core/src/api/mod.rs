@@ -143,6 +143,7 @@ use bitdew_transport::{StoreError, TransportError};
 
 use crate::attr::DataAttributes;
 use crate::attrparse::AttrError;
+use crate::chunks::{ChunkHoldings, ChunkManifest};
 use crate::data::{Data, DataId};
 use crate::services::scheduler::HostUid;
 use crate::services::transfer::{TransferId, TransferState};
@@ -358,6 +359,40 @@ pub trait BitDewApi {
     /// copying the whole blob locally (fine-grain access; short only at
     /// EOF).
     fn get_range(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// [`BitDewApi::put`] plus a published
+    /// [`ChunkManifest`] describing `content`
+    /// as `chunk_size`-sized chunks — the entry point of the chunked data
+    /// plane (and of the compute plane, which partitions
+    /// [`MapOp`](crate::compute)s over the manifest).
+    fn put_chunked(&self, data: &Data, content: &[u8], chunk_size: u64) -> Result<ChunkManifest>;
+
+    /// The published chunk manifest of a datum, if it was
+    /// [`put_chunked`](BitDewApi::put_chunked).
+    fn chunk_manifest(&self, id: DataId) -> Result<Option<ChunkManifest>>;
+
+    /// Chunk indices of `data` this node verifiably holds right now. A node
+    /// whose cache holds the complete (or non-chunked) datum holds every
+    /// chunk; a partial holder reports its exact subset.
+    fn held_chunks(&self, data: &Data) -> Result<Vec<u32>>;
+
+    /// Fetch the listed chunks of `data` this node is missing, from every
+    /// known replica (the compute plane's `missing()`-driven fallback:
+    /// a [`MultiSourceFetcher`](crate::chunks::MultiSourceFetcher)
+    /// restricted to the requested subset on the threaded runtime, a
+    /// flow-counted transfer under the simulator). Returns the bytes that
+    /// actually moved — zero when everything requested was already held.
+    fn fetch_chunks(&self, data: &Data, chunks: &[u32]) -> Result<u64>;
+
+    /// The scheduler's chunk-holding picture of a datum: Ω full owners
+    /// plus partial holders with their exact chunk sets.
+    fn chunk_holdings(&self, id: DataId) -> Result<ChunkHoldings>;
+
+    /// Read bytes `[offset, offset+len)` of a datum from this node's
+    /// *local* verified chunk store — no network, unlike
+    /// [`get_range`](BitDewApi::get_range) which reads from the data
+    /// space. This is the compute plane's data-local read path.
+    fn get_range_local(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>>;
 }
 
 /// The *ActiveData* API (§3.3): attribute-driven scheduling and life-cycle
@@ -377,7 +412,7 @@ pub trait ActiveData {
 
     /// Manifest-aware partial pin: declare that this node currently holds
     /// exactly the listed chunks of `data` (indices into its published
-    /// [`ChunkManifest`](crate::chunks::ChunkManifest)). Holding every
+    /// [`ChunkManifest`]). Holding every
     /// chunk is a full [`ActiveData::pin`]; holding a subset registers the
     /// node as a *partial* holder, which the Data Scheduler keeps out of
     /// Ω(d) and targets with chunk-level repair instead of a re-download.
@@ -503,6 +538,29 @@ macro_rules! delegate_api {
             }
             fn get_range(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>> {
                 (**self).get_range(data, offset, len)
+            }
+            fn put_chunked(
+                &self,
+                data: &Data,
+                content: &[u8],
+                chunk_size: u64,
+            ) -> Result<ChunkManifest> {
+                (**self).put_chunked(data, content, chunk_size)
+            }
+            fn chunk_manifest(&self, id: DataId) -> Result<Option<ChunkManifest>> {
+                (**self).chunk_manifest(id)
+            }
+            fn held_chunks(&self, data: &Data) -> Result<Vec<u32>> {
+                (**self).held_chunks(data)
+            }
+            fn fetch_chunks(&self, data: &Data, chunks: &[u32]) -> Result<u64> {
+                (**self).fetch_chunks(data, chunks)
+            }
+            fn chunk_holdings(&self, id: DataId) -> Result<ChunkHoldings> {
+                (**self).chunk_holdings(id)
+            }
+            fn get_range_local(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>> {
+                (**self).get_range_local(data, offset, len)
             }
         }
 

@@ -60,6 +60,12 @@ pub struct DataAttributes {
     pub affinity: Option<DataId>,
     /// Preferred distribution protocol.
     pub protocol: ProtocolId,
+    /// Reserved compute-plane attribute: the registered UDF name of a
+    /// [`MapOp`](crate::compute::MapOp) this datum carries. A datum
+    /// scheduled with `compute = Some(f)` is a *compute order*: hosts that
+    /// receive it run `f` over the chunks of the op's inputs they already
+    /// hold (see [`crate::compute`]). `None` for ordinary data.
+    pub compute: Option<String>,
 }
 
 impl Default for DataAttributes {
@@ -70,6 +76,7 @@ impl Default for DataAttributes {
             lifetime: Lifetime::Unbounded,
             affinity: None,
             protocol: ProtocolId::ftp(),
+            compute: None,
         }
     }
 }
@@ -98,6 +105,12 @@ impl DataAttributes {
     /// Builder: transfer protocol.
     pub fn with_protocol(mut self, p: ProtocolId) -> Self {
         self.protocol = p;
+        self
+    }
+    /// Builder: mark this datum as a compute order running the registered
+    /// UDF `name` (the compute plane's reserved scheduling attribute).
+    pub fn with_compute(mut self, name: impl Into<String>) -> Self {
+        self.compute = Some(name.into());
         self
     }
 
@@ -165,6 +178,7 @@ impl Encode for DataAttributes {
         self.lifetime.encode(buf);
         self.affinity.encode(buf);
         self.protocol.0.encode(buf);
+        self.compute.encode(buf);
     }
 }
 
@@ -176,6 +190,7 @@ impl Decode for DataAttributes {
             lifetime: Lifetime::decode(buf)?,
             affinity: Option::<Auid>::decode(buf)?,
             protocol: ProtocolId(String::decode(buf)?),
+            compute: Option::<String>::decode(buf)?,
         })
     }
 }
@@ -197,6 +212,7 @@ mod tests {
         assert_eq!(a.lifetime, Lifetime::Unbounded);
         assert!(a.affinity.is_none());
         assert_eq!(a.protocol, ProtocolId::ftp());
+        assert!(a.compute.is_none());
         assert!(!a.replicate_everywhere());
     }
 
@@ -241,7 +257,8 @@ mod tests {
                 .with_replica(5)
                 .with_fault_tolerance(true)
                 .with_lifetime(lt)
-                .with_protocol(ProtocolId::http());
+                .with_protocol(ProtocolId::http())
+                .with_compute("wordcount.map");
             let bytes = a.to_bytes();
             assert_eq!(<DataAttributes as Decode>::from_bytes(&bytes).unwrap(), a);
         }

@@ -51,6 +51,7 @@ use bitdew_transport::oob::{
     OobTransfer, TransferStatus, TransferVerdict, TransportError, TransportResult,
 };
 use bitdew_transport::{Fabric, FileStore, ProtocolId, StoreError};
+use bitdew_util::Auid;
 
 use crate::api::{BitdewError, Result};
 use crate::data::{Data, DataId, Locator};
@@ -212,6 +213,53 @@ impl Decode for ChunkManifest {
     }
 }
 
+/// The scheduler-side chunk-holding picture of one datum: Ω full owners
+/// plus partial holders with the exact chunk indices they hold.
+///
+/// This is what the compute plane partitions a [`MapOp`](crate::compute)
+/// over: every chunk is executed on a host that already holds it when one
+/// exists, so bytes only move for chunks nobody local has.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChunkHoldings {
+    /// Hosts holding every chunk (the Ω owner set), sorted.
+    pub full: Vec<Auid>,
+    /// Hosts holding a strict subset, with the sorted indices they hold.
+    pub partial: Vec<(Auid, Vec<u32>)>,
+}
+
+impl ChunkHoldings {
+    /// Every host that holds at least one chunk, sorted and deduplicated.
+    pub fn participants(&self) -> Vec<Auid> {
+        let mut all: Vec<Auid> = self
+            .full
+            .iter()
+            .copied()
+            .chain(self.partial.iter().map(|(h, _)| *h))
+            .collect();
+        all.sort();
+        all.dedup();
+        all
+    }
+
+    /// Hosts holding chunk `index`, sorted (full owners hold everything).
+    pub fn holders_of(&self, index: u32) -> Vec<Auid> {
+        let mut hosts: Vec<Auid> = self
+            .full
+            .iter()
+            .copied()
+            .chain(
+                self.partial
+                    .iter()
+                    .filter(|(_, set)| set.binary_search(&index).is_ok())
+                    .map(|(h, _)| *h),
+            )
+            .collect();
+        hosts.sort();
+        hosts.dedup();
+        hosts
+    }
+}
+
 /// Chunk-granular storage over a [`FileStore`]: ranges are admitted only
 /// after verifying against the manifest, and per-object presence sets answer
 /// `has_chunk`/`missing` without re-hashing.
@@ -284,6 +332,18 @@ impl ChunkStore {
             .map(|c| c.index)
             .filter(|i| !held.is_some_and(|s| s.contains(i)))
             .collect()
+    }
+
+    /// Sorted indices of verified chunks for `object`.
+    pub fn held_set(&self, object: &str) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .present
+            .lock()
+            .get(object)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
     }
 
     /// Verified chunk count for `object`.
@@ -525,6 +585,32 @@ impl MultiSourceFetcher {
     /// Override the per-source pipeline depth (min 1).
     pub fn with_pipeline(mut self, depth: usize) -> MultiSourceFetcher {
         self.pipeline = depth.max(1);
+        self
+    }
+
+    /// Restrict the fetch to `subset` (intersected with the chunks still
+    /// missing from the destination). Chunks outside the subset count as
+    /// satisfied for the completion verdict — this is the compute plane's
+    /// `missing()`-driven fallback, which moves only the chunks a
+    /// [`MapOp`](crate::compute) actually needs on this host.
+    pub fn with_chunks(self, subset: &[u32]) -> MultiSourceFetcher {
+        let want: std::collections::HashSet<u32> = subset.iter().copied().collect();
+        let queued_bytes;
+        let done;
+        {
+            let mut queue = self.shared.queue.lock();
+            queue.retain(|i| want.contains(i));
+            queued_bytes = queue
+                .iter()
+                .filter_map(|&i| self.manifest.descriptor(i))
+                .map(|c| c.len as u64)
+                .sum::<u64>();
+            done = self.manifest.chunk_count() as usize - queue.len();
+        }
+        self.shared
+            .bytes_done
+            .store(self.manifest.total - queued_bytes, Ordering::Relaxed);
+        self.shared.chunks_done.store(done, Ordering::Relaxed);
         self
     }
 
@@ -929,6 +1015,56 @@ mod tests {
             .unwrap();
         assert_eq!(&got[..], &content[..]);
         fetch.disconnect().unwrap();
+    }
+
+    #[test]
+    fn chunk_holdings_partition_helpers() {
+        let (a, b, c) = (an_id(10), an_id(11), an_id(12));
+        let h = ChunkHoldings {
+            full: vec![a],
+            partial: vec![(b, vec![0, 2]), (c, vec![2, 3])],
+        };
+        let mut want = vec![a, b, c];
+        want.sort();
+        assert_eq!(h.participants(), want);
+        let mut h0 = vec![a, b];
+        h0.sort();
+        assert_eq!(h.holders_of(0), h0);
+        let mut h2 = vec![a, b, c];
+        h2.sort();
+        assert_eq!(h.holders_of(2), h2);
+        assert_eq!(h.holders_of(7), vec![a]);
+    }
+
+    #[test]
+    fn with_chunks_fetches_only_the_requested_subset() {
+        let fabric = Fabric::new();
+        let content = payload(10_000);
+        let data = Data::from_bytes(an_id(8), "sub", &content);
+        let manifest = ChunkManifest::describe(data.id, 1024, &content);
+        let s = MemStore::new();
+        s.put(&data.object_name(), &content);
+        let _server = FtpServer::start(&fabric, "sub.ftp", s);
+        let sources = vec![locator_for(&data, ProtocolId::ftp(), "sub.ftp")];
+        let dest = ChunkStore::new(MemStore::new());
+        let mut fetch =
+            MultiSourceFetcher::new(fabric, &data, manifest.clone(), sources, Arc::clone(&dest))
+                .with_chunks(&[1, 3, 7]);
+        fetch.connect().unwrap();
+        fetch.receive().unwrap();
+        let status = bitdew_transport::oob::NonBlockingOobTransfer::wait(
+            &mut fetch,
+            Duration::from_millis(2),
+        )
+        .unwrap();
+        assert_eq!(status.outcome, Some(TransferVerdict::Complete));
+        fetch.disconnect().unwrap();
+        for idx in [1u32, 3, 7] {
+            assert!(dest.has_chunk(&data.object_name(), idx));
+        }
+        for idx in [0u32, 2, 4, 5, 6, 8, 9] {
+            assert!(!dest.has_chunk(&data.object_name(), idx), "chunk {idx}");
+        }
     }
 
     #[test]

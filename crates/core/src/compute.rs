@@ -1,0 +1,692 @@
+//! The data-local compute plane: attribute-scheduled MapOps over the
+//! chunk store.
+//!
+//! BitDew's thesis is that *data placement is the schedule*: tag a datum
+//! with attributes and the runtime moves replicas where they should be.
+//! This module closes the loop for computation the way Sector/Sphere does
+//! — instead of moving data to workers, a **[`MapOp`]** (a named
+//! user-defined function over chunk ranges) is attached to a datum via the
+//! reserved `compute` scheduling attribute and travels *to the replicas*:
+//!
+//! 1. [`Session::map`] publishes a small op datum named
+//!    `compute.op.<tag>` whose content is the codec-encoded [`MapOp`] and
+//!    whose attributes carry `affinity = input` plus
+//!    `compute = <fn name>`. Because "affinity is stronger than replica",
+//!    Algorithm 1 lands the op on exactly the hosts that already hold the
+//!    input's chunks — full owners in Ω *and* partial holders tracked by
+//!    the chunk-aware scheduler.
+//! 2. Every host runs a [`ComputeRunner`] subscribed to `compute.op.*`
+//!    arrivals. When an op lands, the runner partitions the input's chunk
+//!    universe across the participant set by ownership (chunk `c` goes to
+//!    the holder `holders(c)[c mod |holders|]`; chunks nobody holds are
+//!    dealt round-robin), reads its share straight from the local
+//!    [`ChunkStore`](crate::ChunkStore) via
+//!    [`BitDewApi::get_range_local`], and falls back to
+//!    [`BitDewApi::fetch_chunks`] (a
+//!    [`MultiSourceFetcher`](crate::MultiSourceFetcher) restricted to the
+//!    missing subset) only for chunks it was dealt but does not hold.
+//! 3. The UDF's output is published as *new* catalog data named
+//!    `compute.out.<tag>.<rank>` and scheduled under the op's
+//!    `output_attrs` — so the shuffle is itself attribute-driven: give the
+//!    outputs `affinity = collector` and they converge on one host, where
+//!    a **reduce is just a second MapOp** ([`Session::map_many`]) that
+//!    waits until all its inputs are local.
+//!
+//! UDFs are registered process-wide by name with [`register`] (names, not
+//! closures, travel through the data space), so the same registration
+//! serves the threaded [`BitdewNode`](crate::BitdewNode) and the
+//! virtual-time [`SimNode`](crate::simdriver::SimNode): everything here is
+//! generic over `N: BitDewApi + ActiveData + TransferManager` and behaves
+//! identically on both backends. Per-op [`ComputeStats`] make data
+//! locality measurable: `bytes_local` never crossed the network,
+//! `bytes_fetched` did (the `map_local` bench asserts the ratio).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+
+use bitdew_storage::codec::{decode_vec, encode_vec, CodecError, Decode, Encode};
+
+use crate::api::{
+    ActiveData, BitDewApi, BitdewError, DataEventKind, DataHandle, EventFilter, EventSub, Result,
+    Session, TransferManager,
+};
+use crate::attr::{DataAttributes, Lifetime};
+use crate::data::{Data, DataId};
+
+/// Name prefix of op data (the serialized [`MapOp`] the scheduler routes).
+pub const COMPUTE_OP_PREFIX: &str = "compute.op.";
+
+/// Name prefix of output data published by [`ComputeRunner`] executions.
+pub const COMPUTE_OUT_PREFIX: &str = "compute.out.";
+
+/// One contiguous piece of input handed to a map function: the chunk's
+/// bytes plus which datum and chunk index they came from.
+#[derive(Debug, Clone)]
+pub struct MapPart {
+    /// The input datum this part belongs to.
+    pub input: Data,
+    /// Chunk index within the input (0 for whole unchunked inputs).
+    pub chunk: u32,
+    /// The part's verified bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A registered map function: `(tag, parts) -> output bytes`. The parts
+/// are this executor's share of the input, in chunk order.
+pub type MapFn = Arc<dyn Fn(&str, &[MapPart]) -> Vec<u8> + Send + Sync>;
+
+/// The process-global UDF registry. Functions are addressed by *name* in
+/// the data space (names survive serialization; closures don't), so both
+/// backends — and every node of a test topology, which share the process —
+/// resolve the same registration.
+fn registry() -> &'static Mutex<HashMap<String, MapFn>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, MapFn>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Register (or replace) the map function `name` resolves to. Must be
+/// called before an op referencing `name` is submitted or executed.
+pub fn register(name: &str, f: impl Fn(&str, &[MapPart]) -> Vec<u8> + Send + Sync + 'static) {
+    registry().lock().insert(name.to_string(), Arc::new(f));
+}
+
+/// Resolve a registered map function by name.
+pub fn registered(name: &str) -> Option<MapFn> {
+    registry().lock().get(name).cloned()
+}
+
+/// A serialized compute order: which function to run, over which inputs
+/// (optionally restricted to a chunk subset), and how to schedule the
+/// outputs. Travels through the data space as the content of a
+/// `compute.op.<tag>` datum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapOp {
+    /// Registered function name ([`register`]).
+    pub fn_name: String,
+    /// Job tag: op datum is `compute.op.<tag>`, outputs are
+    /// `compute.out.<tag>.<rank>`.
+    pub tag: String,
+    /// Input data. A single chunked input is partitioned across its
+    /// holders; multiple (or unchunked) inputs are consumed whole by one
+    /// executor.
+    pub inputs: Vec<Data>,
+    /// Restrict a single chunked input to these chunk indices (`None` =
+    /// every chunk).
+    pub chunks: Option<Vec<u32>>,
+    /// Attributes the outputs are scheduled under — this is the shuffle:
+    /// `affinity` here decides where the next stage's inputs converge.
+    pub output_attrs: DataAttributes,
+    /// Run on whatever host the op lands on, fetching every missing chunk
+    /// (the "move the data" baseline; contrast the data-local default).
+    pub fetch_all: bool,
+}
+
+impl Encode for MapOp {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.fn_name.encode(buf);
+        self.tag.encode(buf);
+        encode_vec(&self.inputs, buf);
+        // Option<Vec<u32>> by hand: a presence tag then the elements
+        // (`Vec<u32>` itself has no Encode impl to wrap in Option).
+        self.chunks.is_some().encode(buf);
+        if let Some(chunks) = &self.chunks {
+            encode_vec(chunks, buf);
+        }
+        self.output_attrs.encode(buf);
+        self.fetch_all.encode(buf);
+    }
+}
+
+impl Decode for MapOp {
+    fn decode(buf: &mut Bytes) -> std::result::Result<Self, CodecError> {
+        let fn_name = String::decode(buf)?;
+        let tag = String::decode(buf)?;
+        let inputs = decode_vec::<Data>(buf)?;
+        let chunks = if bool::decode(buf)? {
+            Some(decode_vec::<u32>(buf)?)
+        } else {
+            None
+        };
+        let output_attrs = DataAttributes::decode(buf)?;
+        let fetch_all = bool::decode(buf)?;
+        Ok(MapOp {
+            fn_name,
+            tag,
+            inputs,
+            chunks,
+            output_attrs,
+            fetch_all,
+        })
+    }
+}
+
+/// Submission-side options of a map stage (see [`Session::map`]).
+#[derive(Debug, Clone, Default)]
+pub struct MapSpec {
+    /// Job tag (names the op and its outputs).
+    pub tag: String,
+    /// Attributes the outputs are scheduled under.
+    pub output_attrs: DataAttributes,
+    /// Restrict the stage to these chunks of a single chunked input.
+    pub chunks: Option<Vec<u32>>,
+    /// Scheduling anchor: the op follows this datum's owners and lives as
+    /// long as it does (defaults to the first input).
+    pub anchor: Option<DataId>,
+    /// Schedule the op *without* input affinity (one copy, wherever the
+    /// scheduler puts it) and fetch every chunk there — the
+    /// fetch-then-compute baseline.
+    pub fetch_all: bool,
+}
+
+impl MapSpec {
+    /// A spec with the given job tag and default placement (data-local,
+    /// outputs unconstrained).
+    pub fn new(tag: impl Into<String>) -> MapSpec {
+        MapSpec {
+            tag: tag.into(),
+            ..MapSpec::default()
+        }
+    }
+
+    /// Schedule the stage's outputs under `attrs` (the shuffle).
+    pub fn with_output_attrs(mut self, attrs: DataAttributes) -> MapSpec {
+        self.output_attrs = attrs;
+        self
+    }
+
+    /// Restrict the stage to these chunk indices.
+    pub fn with_chunks(mut self, chunks: Vec<u32>) -> MapSpec {
+        self.chunks = Some(chunks);
+        self
+    }
+
+    /// Anchor the op's placement and lifetime to `data` instead of the
+    /// first input.
+    pub fn with_anchor(mut self, data: DataId) -> MapSpec {
+        self.anchor = Some(data);
+        self
+    }
+
+    /// Make this a fetch-then-compute stage (see [`MapSpec::fetch_all`]).
+    pub fn with_fetch_all(mut self, yes: bool) -> MapSpec {
+        self.fetch_all = yes;
+        self
+    }
+}
+
+/// Per-op execution counters of one [`ComputeRunner`] — the locality
+/// ledger: `bytes_local` were read from the node's own verified chunk
+/// store, `bytes_fetched` had to move over the network first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ComputeStats {
+    /// Input bytes read from the local chunk store (no network).
+    pub bytes_local: u64,
+    /// Input bytes pulled by the fallback multi-source fetch.
+    pub bytes_fetched: u64,
+    /// Input chunks (or whole unchunked inputs) consumed.
+    pub chunks: u32,
+    /// Wall-clock spent executing the op (reads + fetch + UDF + publish).
+    pub wall: Duration,
+}
+
+impl ComputeStats {
+    fn absorb(&mut self, other: &ComputeStats) {
+        self.bytes_local += other.bytes_local;
+        self.bytes_fetched += other.bytes_fetched;
+        self.chunks += other.chunks;
+        self.wall += other.wall;
+    }
+}
+
+/// Group sorted chunk indices into maximal contiguous `(first, last)`
+/// runs, so each run is one `get_range_local` spanning its boundaries.
+fn contiguous_runs(chunks: &[u32]) -> Vec<(u32, u32)> {
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for &c in chunks {
+        match runs.last_mut() {
+            Some((_, last)) if *last + 1 == c => *last = c,
+            _ => runs.push((c, c)),
+        }
+    }
+    runs
+}
+
+/// Collect the outputs a finished map stage published under `tag`, in
+/// rank order (ranks are dense from 0, so the scan stops at the first
+/// absent rank). This is how a next stage discovers its inputs on either
+/// backend.
+pub fn op_outputs<N: BitDewApi + ?Sized>(node: &N, tag: &str) -> Result<Vec<Data>> {
+    let mut out = Vec::new();
+    for rank in 0u32.. {
+        let hits = node.search(&format!("{COMPUTE_OUT_PREFIX}{tag}.{rank}"))?;
+        if hits.is_empty() {
+            break;
+        }
+        out.extend(hits);
+    }
+    Ok(out)
+}
+
+/// The worker-side executor of the compute plane: subscribes to
+/// `compute.op.*` arrivals on a node, runs each op's share of work where
+/// the data already is, and publishes the outputs. Drive it with
+/// [`ComputeRunner::step`] after pumping the node (or use
+/// [`ComputeRunner::pump`], which does both).
+pub struct ComputeRunner<N> {
+    session: Session<N>,
+    sub: EventSub,
+    /// Ops already executed here (an op re-announced by a later sync must
+    /// not run twice).
+    executed: HashSet<DataId>,
+    /// Ops seen but not yet runnable (inputs not local yet, participant
+    /// set not yet visible); retried every step.
+    pending: Vec<Data>,
+    stats: HashMap<DataId, ComputeStats>,
+}
+
+impl<N: BitDewApi + ActiveData + TransferManager + 'static> ComputeRunner<N> {
+    /// Attach a runner to `session`'s node.
+    pub fn new(session: Session<N>) -> ComputeRunner<N> {
+        let sub = session
+            .node()
+            .subscribe(EventFilter::name_prefix(COMPUTE_OP_PREFIX).and_kind(DataEventKind::Copy));
+        ComputeRunner {
+            session,
+            sub,
+            executed: HashSet::new(),
+            pending: Vec::new(),
+            stats: HashMap::new(),
+        }
+    }
+
+    /// The session this runner publishes outputs through.
+    pub fn session(&self) -> &Session<N> {
+        &self.session
+    }
+
+    /// Per-op execution stats, keyed by op datum id.
+    pub fn stats(&self) -> &HashMap<DataId, ComputeStats> {
+        &self.stats
+    }
+
+    /// Aggregate stats across every op this runner executed.
+    pub fn total_stats(&self) -> ComputeStats {
+        let mut total = ComputeStats::default();
+        for s in self.stats.values() {
+            total.absorb(s);
+        }
+        total
+    }
+
+    /// Ops executed on this node so far.
+    pub fn executed_count(&self) -> usize {
+        self.executed.len()
+    }
+
+    /// Drain newly arrived ops and retry pending ones; returns how many
+    /// ops ran to completion this step. Does *not* pump the node — callers
+    /// embedding the runner in their own pump loop call this after it.
+    pub fn step(&mut self) -> Result<usize> {
+        let mut candidates: Vec<Data> = std::mem::take(&mut self.pending);
+        candidates.extend(self.sub.drain().into_iter().map(|e| e.data));
+        let mut ran = 0;
+        for op_data in candidates {
+            if self.executed.contains(&op_data.id) {
+                continue;
+            }
+            let bytes = match self.session.node().read_local(&op_data) {
+                Ok(b) => b,
+                // Announced but not yet materialized locally: retry.
+                Err(_) => {
+                    self.pending.push(op_data);
+                    continue;
+                }
+            };
+            let op = MapOp::from_bytes(&bytes).map_err(|e| BitdewError::Scheduler {
+                what: format!("op datum `{}` is not a MapOp: {e:?}", op_data.name),
+            })?;
+            if self.run_op(&op_data, &op)? {
+                ran += 1;
+            }
+        }
+        Ok(ran)
+    }
+
+    /// Pump the node once and then [`step`](ComputeRunner::step).
+    pub fn pump(&mut self) -> Result<usize> {
+        self.session.node().pump()?;
+        self.step()
+    }
+
+    /// Execute `op` directly (the event-driven path decodes the op datum's
+    /// content and lands here). Returns `Ok(false)` and queues a retry
+    /// when this node cannot run it *yet* — not a participant as far as
+    /// the catalog currently shows, or inputs not local — and `Ok(true)`
+    /// once the op ran and its output was published.
+    pub fn run_op(&mut self, op_data: &Data, op: &MapOp) -> Result<bool> {
+        if self.executed.contains(&op_data.id) {
+            return Ok(true);
+        }
+        let f = registered(&op.fn_name).ok_or_else(|| BitdewError::Scheduler {
+            what: format!("compute function `{}` is not registered", op.fn_name),
+        })?;
+        if op.inputs.is_empty() {
+            return Err(BitdewError::Scheduler {
+                what: format!("op `{}` has no inputs", op_data.name),
+            });
+        }
+        let started = Instant::now();
+        let single_manifest = if op.inputs.len() == 1 {
+            self.session.node().chunk_manifest(op.inputs[0].id)?
+        } else {
+            None
+        };
+        let outcome = match single_manifest {
+            Some(manifest) => self.gather_partitioned(op, &manifest)?,
+            None => self.gather_whole(op)?,
+        };
+        let Some((parts, rank, mut stats)) = outcome else {
+            self.pending.push(op_data.clone());
+            return Ok(false);
+        };
+        let output = f(&op.tag, &parts);
+        let name = format!("{COMPUTE_OUT_PREFIX}{}.{}", op.tag, rank);
+        let handle = self.session.create(&name, &output)?;
+        let put = handle.put(&output);
+        let sched = handle.schedule(op.output_attrs.clone());
+        put.wait()?;
+        sched.wait()?;
+        stats.wall = started.elapsed();
+        self.executed.insert(op_data.id);
+        self.stats.insert(op_data.id, stats);
+        Ok(true)
+    }
+
+    /// The data-local path: partition a single chunked input across the
+    /// hosts that hold it. Returns `None` when this node is not (yet) a
+    /// participant.
+    #[allow(clippy::type_complexity)]
+    fn gather_partitioned(
+        &self,
+        op: &MapOp,
+        manifest: &crate::chunks::ChunkManifest,
+    ) -> Result<Option<(Vec<MapPart>, u32, ComputeStats)>> {
+        let node = self.session.node();
+        let me = node.host_uid();
+        let input = &op.inputs[0];
+        let total = manifest.chunk_count();
+        let universe: Vec<u32> = match &op.chunks {
+            Some(subset) => {
+                let mut s: Vec<u32> = subset.iter().copied().filter(|&c| c < total).collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            }
+            None => (0..total).collect(),
+        };
+        // Participants: everyone the chunk-aware scheduler shows holding
+        // any of the input — full Ω owners and partial holders alike. A
+        // fetch-all op runs solo wherever it landed.
+        let (participants, holdings) = if op.fetch_all {
+            (vec![me], crate::chunks::ChunkHoldings::default())
+        } else {
+            let holdings = node.chunk_holdings(input.id)?;
+            (holdings.participants(), holdings)
+        };
+        let Some(rank) = participants.iter().position(|&u| u == me) else {
+            return Ok(None);
+        };
+        // Deal each chunk to the holder it hashes to; a chunk nobody holds
+        // yet goes round-robin over the participants (whoever draws it
+        // fetches it below).
+        let mine: Vec<u32> = universe
+            .into_iter()
+            .filter(|&c| {
+                let holders = holdings.holders_of(c);
+                let executor = if holders.is_empty() {
+                    participants[c as usize % participants.len()]
+                } else {
+                    holders[c as usize % holders.len()]
+                };
+                executor == me
+            })
+            .collect();
+        let mut stats = ComputeStats {
+            chunks: mine.len() as u32,
+            ..ComputeStats::default()
+        };
+        // The missing()-driven fallback: fetch only the dealt chunks this
+        // node does not verifiably hold.
+        let held: HashSet<u32> = node.held_chunks(input)?.into_iter().collect();
+        let missing: Vec<u32> = mine.iter().copied().filter(|c| !held.contains(c)).collect();
+        if !missing.is_empty() {
+            stats.bytes_fetched = node.fetch_chunks(input, &missing)?;
+        }
+        let mut parts = Vec::with_capacity(mine.len());
+        for (first, last) in contiguous_runs(&mine) {
+            let offset = manifest.offset_of(first);
+            let run_len: usize = (first..=last)
+                .filter_map(|c| manifest.descriptor(c))
+                .map(|d| d.len as usize)
+                .sum();
+            // One boundary-spanning read per contiguous run, sliced back
+            // into per-chunk parts.
+            let bytes = node.get_range_local(input, offset, run_len)?;
+            let mut cursor = 0usize;
+            for c in first..=last {
+                let len = manifest.descriptor(c).map(|d| d.len as usize).unwrap_or(0);
+                parts.push(MapPart {
+                    input: input.clone(),
+                    chunk: c,
+                    bytes: bytes[cursor..cursor + len].to_vec(),
+                });
+                cursor += len;
+            }
+        }
+        let read: u64 = parts.iter().map(|p| p.bytes.len() as u64).sum();
+        stats.bytes_local = read.saturating_sub(stats.bytes_fetched);
+        Ok(Some((parts, rank as u32, stats)))
+    }
+
+    /// The convergent path (reduce, multi-input, unchunked input): one
+    /// executor — wherever the op landed — consumes every input whole,
+    /// retrying until they are all local.
+    #[allow(clippy::type_complexity)]
+    fn gather_whole(&self, op: &MapOp) -> Result<Option<(Vec<MapPart>, u32, ComputeStats)>> {
+        let node = self.session.node();
+        let mut stats = ComputeStats::default();
+        let mut parts = Vec::with_capacity(op.inputs.len());
+        for input in &op.inputs {
+            if let Some(manifest) = node.chunk_manifest(input.id)? {
+                let held: HashSet<u32> = node.held_chunks(input)?.into_iter().collect();
+                let missing: Vec<u32> = (0..manifest.chunk_count())
+                    .filter(|c| !held.contains(c))
+                    .collect();
+                if !missing.is_empty() {
+                    if !op.fetch_all && !node.has_cached(input.id) {
+                        // Affinity will pull the input here; wait for it.
+                        return Ok(None);
+                    }
+                    stats.bytes_fetched += node.fetch_chunks(input, &missing)?;
+                }
+                for (first, last) in
+                    contiguous_runs(&(0..manifest.chunk_count()).collect::<Vec<_>>())
+                {
+                    let offset = manifest.offset_of(first);
+                    let run_len: usize = (first..=last)
+                        .filter_map(|c| manifest.descriptor(c))
+                        .map(|d| d.len as usize)
+                        .sum();
+                    let bytes = node.get_range_local(input, offset, run_len)?;
+                    let mut cursor = 0usize;
+                    for c in first..=last {
+                        let len = manifest.descriptor(c).map(|d| d.len as usize).unwrap_or(0);
+                        parts.push(MapPart {
+                            input: input.clone(),
+                            chunk: c,
+                            bytes: bytes[cursor..cursor + len].to_vec(),
+                        });
+                        cursor += len;
+                    }
+                }
+                stats.chunks += manifest.chunk_count();
+            } else {
+                if !node.has_cached(input.id) {
+                    return Ok(None);
+                }
+                let bytes = node.read_local(input)?;
+                stats.bytes_local += bytes.len() as u64;
+                stats.chunks += 1;
+                parts.push(MapPart {
+                    input: input.clone(),
+                    chunk: 0,
+                    bytes,
+                });
+            }
+        }
+        let read: u64 = parts.iter().map(|p| p.bytes.len() as u64).sum();
+        stats.bytes_local = read.saturating_sub(stats.bytes_fetched);
+        Ok(Some((parts, 0, stats)))
+    }
+}
+
+impl<N: BitDewApi + ActiveData + TransferManager + 'static> Session<N> {
+    /// Submit a map stage over one input: publish a `compute.op.<tag>`
+    /// datum carrying the [`MapOp`] and let the scheduler land it on the
+    /// input's holders (affinity placement — the compute goes to the
+    /// data). Returns the op datum; outputs appear as
+    /// `compute.out.<tag>.<rank>` once [`ComputeRunner`]s execute it.
+    pub fn map(&self, input: &Data, fn_name: &str, spec: MapSpec) -> Result<Data> {
+        self.map_many(std::slice::from_ref(input), fn_name, spec)
+    }
+
+    /// Submit a map stage over several inputs (a reduce: one executor runs
+    /// where the op lands, once every input converged there — schedule the
+    /// inputs with affinity to the same anchor and anchor the op to it).
+    pub fn map_many(&self, inputs: &[Data], fn_name: &str, spec: MapSpec) -> Result<Data> {
+        if inputs.is_empty() {
+            return Err(BitdewError::Scheduler {
+                what: "map over an empty input set".into(),
+            });
+        }
+        if registered(fn_name).is_none() {
+            return Err(BitdewError::Scheduler {
+                what: format!("compute function `{fn_name}` is not registered"),
+            });
+        }
+        let anchor = spec.anchor.unwrap_or(inputs[0].id);
+        let op = MapOp {
+            fn_name: fn_name.to_string(),
+            tag: spec.tag.clone(),
+            inputs: inputs.to_vec(),
+            chunks: spec.chunks.clone(),
+            output_attrs: spec.output_attrs.clone(),
+            fetch_all: spec.fetch_all,
+        };
+        let bytes = op.to_bytes();
+        let handle = self.create(&format!("{COMPUTE_OP_PREFIX}{}", spec.tag), &bytes)?;
+        let mut attrs = DataAttributes::default()
+            .with_fault_tolerance(true)
+            .with_lifetime(Lifetime::RelativeTo(anchor))
+            .with_compute(fn_name);
+        if spec.fetch_all {
+            attrs = attrs.with_replica(1);
+        } else {
+            attrs = attrs.with_affinity(anchor);
+        }
+        let put = handle.put(&bytes);
+        let sched = handle.schedule(attrs);
+        put.wait()?;
+        sched.wait()?;
+        Ok(handle.data().clone())
+    }
+}
+
+impl<N: BitDewApi + ActiveData + TransferManager + 'static> DataHandle<N> {
+    /// Submit a map stage over this datum ([`Session::map`]).
+    pub fn map(&self, fn_name: &str, spec: MapSpec) -> Result<Data> {
+        self.session().map(self.data(), fn_name, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitdew_util::Auid;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn datum(name: &str) -> Data {
+        let mut rng = SmallRng::seed_from_u64(name.len() as u64 + 7);
+        Data::slot(Auid::generate(9, &mut rng), name, 4096)
+    }
+
+    #[test]
+    fn map_op_codec_roundtrips() {
+        let op = MapOp {
+            fn_name: "wordcount.map".into(),
+            tag: "wc".into(),
+            inputs: vec![datum("corpus"), datum("extra")],
+            chunks: Some(vec![0, 2, 5]),
+            output_attrs: DataAttributes::default().with_replica(2),
+            fetch_all: false,
+        };
+        let bytes = op.to_bytes();
+        assert_eq!(MapOp::from_bytes(&bytes).unwrap(), op);
+
+        let no_subset = MapOp {
+            chunks: None,
+            fetch_all: true,
+            ..op
+        };
+        let bytes = no_subset.to_bytes();
+        assert_eq!(MapOp::from_bytes(&bytes).unwrap(), no_subset);
+    }
+
+    #[test]
+    fn registry_resolves_by_name() {
+        register("test.compute.upper", |_tag, parts| {
+            parts
+                .iter()
+                .flat_map(|p| p.bytes.iter().map(|b| b.to_ascii_uppercase()))
+                .collect()
+        });
+        let f = registered("test.compute.upper").expect("registered");
+        let parts = [MapPart {
+            input: datum("x"),
+            chunk: 0,
+            bytes: b"abc".to_vec(),
+        }];
+        assert_eq!(f("t", &parts), b"ABC".to_vec());
+        assert!(registered("test.compute.absent").is_none());
+    }
+
+    #[test]
+    fn contiguous_runs_group_adjacent_chunks() {
+        assert_eq!(contiguous_runs(&[]), Vec::<(u32, u32)>::new());
+        assert_eq!(contiguous_runs(&[3]), vec![(3, 3)]);
+        assert_eq!(
+            contiguous_runs(&[0, 1, 2, 4, 5, 9]),
+            vec![(0, 2), (4, 5), (9, 9)]
+        );
+    }
+
+    #[test]
+    fn map_spec_builders_compose() {
+        let anchor = datum("anchor");
+        let spec = MapSpec::new("job")
+            .with_output_attrs(DataAttributes::default().with_replica(1))
+            .with_chunks(vec![1, 2])
+            .with_anchor(anchor.id)
+            .with_fetch_all(true);
+        assert_eq!(spec.tag, "job");
+        assert_eq!(spec.output_attrs.replica, 1);
+        assert_eq!(spec.chunks, Some(vec![1, 2]));
+        assert_eq!(spec.anchor, Some(anchor.id));
+        assert!(spec.fetch_all);
+    }
+}

@@ -115,6 +115,24 @@
 //! missing chunks. The simulator models the same plane as per-chunk flows
 //! (the `chunk_scale` bench pins multi-source scaling against
 //! single-source FTP and the BitTorrent fluid model).
+//!
+//! ## The data-local compute plane
+//!
+//! The crate now stacks **three planes**: the attribute/scheduler *command
+//! plane* decides where data should be, the chunked multi-source *data
+//! plane* moves it there, and the [`compute`] plane brings the computation
+//! to wherever the first two already put the bytes. A [`MapOp`] — a named
+//! UDF over chunk ranges, registered with [`compute::register`] — is
+//! published as a small `compute.op.*` datum whose attributes carry
+//! `affinity = input` plus the reserved `compute` attribute; Algorithm 1
+//! lands it on the input's holders (full owners *and* partial holders),
+//! where a [`ComputeRunner`] partitions the chunk universe by ownership,
+//! reads its share via `get_range_local`, falls back to `fetch_chunks`
+//! only for dealt-but-missing chunks, and publishes outputs as new catalog
+//! data whose attributes drive the shuffle — a reduce is just a second
+//! MapOp scheduled by affinity. Per-op [`ComputeStats`] expose the
+//! locality ledger (the `map_local` bench pins data-local execution
+//! against fetch-then-compute on both backends).
 
 #![warn(missing_docs)]
 
@@ -122,6 +140,7 @@ pub mod api;
 pub mod attr;
 pub mod attrparse;
 pub mod chunks;
+pub mod compute;
 pub mod data;
 pub mod events;
 pub mod runtime;
@@ -136,7 +155,11 @@ pub use api::{
 };
 pub use attr::{Attribute, DataAttributes, Lifetime, REPLICA_ALL};
 pub use attrparse::{parse_attributes, parse_single, AttrDef, AttrError, ResolveCtx};
-pub use chunks::{ChunkDescriptor, ChunkManifest, ChunkStore, MultiSourceFetcher};
+pub use chunks::{ChunkDescriptor, ChunkHoldings, ChunkManifest, ChunkStore, MultiSourceFetcher};
+pub use compute::{
+    op_outputs, ComputeRunner, ComputeStats, MapFn, MapOp, MapPart, MapSpec, COMPUTE_OP_PREFIX,
+    COMPUTE_OUT_PREFIX,
+};
 pub use data::{Data, DataFlags, DataId, Locator};
 pub use events::{ActiveDataEventHandler, CallbackHandler};
 pub use runtime::{BitdewNode, NodeHandle, RuntimeConfig, ServiceContainer, SyncSummary};

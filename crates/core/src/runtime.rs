@@ -45,7 +45,9 @@ use crate::api::{
 };
 use crate::attr::DataAttributes;
 use crate::attrparse;
-use crate::chunks::{ChunkManifest, ChunkStore, MultiSourceFetcher, DEFAULT_CHUNK_SIZE};
+use crate::chunks::{
+    ChunkHoldings, ChunkManifest, ChunkStore, MultiSourceFetcher, DEFAULT_CHUNK_SIZE,
+};
 use crate::data::{Data, DataId, Locator};
 use crate::events::ActiveDataEventHandler;
 use crate::services::catalog::DbAccess;
@@ -546,6 +548,98 @@ impl BitdewNode {
         Ok(m)
     }
 
+    /// Chunk indices of `data` this node verifiably holds right now.
+    /// Content that arrived whole (a completed whole-blob download, a
+    /// `put_chunked` on this node) is absorbed against the manifest first,
+    /// so a full cache reports every chunk. Data without a published
+    /// manifest report empty — they are not chunk-tracked.
+    pub fn held_chunks(&self, data: &Data) -> Result<Vec<u32>> {
+        let Some(manifest) = self.manifest_for(data.id)? else {
+            return Ok(Vec::new());
+        };
+        let object = data.object_name();
+        if self.has_cached(data.id) {
+            self.chunk_store.absorb(&object, &manifest);
+        }
+        Ok(self.chunk_store.held_set(&object))
+    }
+
+    /// Fetch the listed chunks this node is missing through a
+    /// [`MultiSourceFetcher`] restricted to that subset (the compute
+    /// plane's `missing()`-driven fallback). Blocks until the subset is
+    /// verified locally; returns the bytes that actually moved.
+    pub fn fetch_chunks(&self, data: &Data, chunks: &[u32]) -> Result<u64> {
+        let manifest = self
+            .manifest_for(data.id)?
+            .ok_or_else(|| BitdewError::CatalogMiss {
+                what: format!("chunk manifest for `{}`", data.name),
+            })?;
+        let object = data.object_name();
+        let missing: Vec<u32> = chunks
+            .iter()
+            .copied()
+            .filter(|&i| i < manifest.chunk_count() && !self.chunk_store.has_chunk(&object, i))
+            .collect();
+        if missing.is_empty() {
+            return Ok(0);
+        }
+        let sources = self.range_sources(data.id)?;
+        if sources.is_empty() {
+            return Err(BitdewError::CatalogMiss {
+                what: format!("range-capable locator for `{}`", data.name),
+            });
+        }
+        let moved: u64 = missing
+            .iter()
+            .filter_map(|&i| manifest.descriptor(i))
+            .map(|c| c.len as u64)
+            .sum();
+        let mut fetch = MultiSourceFetcher::new(
+            self.container.fabric.clone(),
+            data,
+            manifest,
+            sources,
+            Arc::clone(&self.chunk_store),
+        )
+        .with_chunks(&missing);
+        fetch.connect()?;
+        fetch.receive()?;
+        let status = bitdew_transport::oob::NonBlockingOobTransfer::wait(
+            &mut fetch,
+            Duration::from_millis(2),
+        )?;
+        fetch.disconnect()?;
+        if status.outcome != Some(bitdew_transport::oob::TransferVerdict::Complete) {
+            return Err(BitdewError::Transport(TransportError::Protocol(format!(
+                "chunk fetch of `{}` interrupted",
+                data.name
+            ))));
+        }
+        Ok(moved)
+    }
+
+    /// The scheduler's chunk-holding picture of a datum: Ω full owners plus
+    /// partial holders with their exact chunk sets.
+    pub fn chunk_holdings(&self, id: DataId) -> Result<ChunkHoldings> {
+        let scheduler = self.container.plane.scheduler();
+        let mut full = scheduler.owners_of(id);
+        full.sort();
+        Ok(ChunkHoldings {
+            full,
+            partial: scheduler.partial_chunk_sets(id),
+        })
+    }
+
+    /// Read bytes `[offset, offset+len)` of `data` from this node's local
+    /// verified chunk store — the compute plane's data-local read path
+    /// (no network; contrast [`BitdewNode::get_range`]).
+    pub fn get_range_local(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>> {
+        Ok(self
+            .chunk_store
+            .get_range(&data.object_name(), offset, len)?
+            .to_vec())
+    }
+
     /// Start serving this node's local store to peers over the FTP range
     /// protocol. Once enabled, every manifest-backed datum this node
     /// finishes downloading is announced with a peer locator, so other
@@ -694,13 +788,16 @@ impl BitdewNode {
                 }
             }
         }
-        let verified = self.chunk_store.held_count(&object);
+        let verified = self.chunk_store.held_set(&object);
         let scheduler = self.container.plane.scheduler();
         scheduler.set_chunk_total(data.id, manifest.chunk_count());
-        if verified >= manifest.chunk_count() {
+        if verified.len() as u32 >= manifest.chunk_count() {
             self.pin(data, attrs)?;
         } else {
-            scheduler.report_chunks(self.uid, data.id, verified);
+            // Report the exact chunk set, not just a count: the compute
+            // plane partitions MapOps over these sets, and repair targets
+            // precisely what is missing.
+            scheduler.report_chunk_set(self.uid, data.id, &verified);
             self.cache.lock().insert(data.id, (data.clone(), attrs));
         }
         Ok(())
@@ -982,15 +1079,15 @@ impl BitdewNode {
                     let Some((data, _)) = cache.get(id) else {
                         continue;
                     };
-                    self.chunk_store.held_count(&data.object_name())
+                    self.chunk_store.held_set(&data.object_name())
                 };
                 // Only chunk-tracked data report: a whole-blob download has
                 // no presence marks and stays under whole-blob semantics.
-                if held > 0 && held < m.chunk_count() {
+                if !held.is_empty() && (held.len() as u32) < m.chunk_count() {
                     self.container
                         .plane
                         .scheduler()
-                        .report_chunks(self.uid, *id, held);
+                        .report_chunk_set(self.uid, *id, &held);
                 }
             }
         }
@@ -1212,6 +1309,11 @@ pub(crate) fn validate_attrs(data: &Data, attrs: &DataAttributes) -> Result<()> 
             what: format!("`{}` cannot have affinity to itself", data.name),
         });
     }
+    if attrs.compute.as_deref() == Some("") {
+        return Err(BitdewError::Scheduler {
+            what: format!("`{}` has an empty compute-function name", data.name),
+        });
+    }
     Ok(())
 }
 
@@ -1251,6 +1353,24 @@ impl BitDewApi for BitdewNode {
     }
     fn get_range(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>> {
         BitdewNode::get_range(self, data, offset, len)
+    }
+    fn put_chunked(&self, data: &Data, content: &[u8], chunk_size: u64) -> Result<ChunkManifest> {
+        BitdewNode::put_chunked(self, data, content, chunk_size)
+    }
+    fn chunk_manifest(&self, id: DataId) -> Result<Option<ChunkManifest>> {
+        BitdewNode::manifest_for(self, id)
+    }
+    fn held_chunks(&self, data: &Data) -> Result<Vec<u32>> {
+        BitdewNode::held_chunks(self, data)
+    }
+    fn fetch_chunks(&self, data: &Data, chunks: &[u32]) -> Result<u64> {
+        BitdewNode::fetch_chunks(self, data, chunks)
+    }
+    fn chunk_holdings(&self, id: DataId) -> Result<ChunkHoldings> {
+        BitdewNode::chunk_holdings(self, id)
+    }
+    fn get_range_local(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>> {
+        BitdewNode::get_range_local(self, data, offset, len)
     }
 }
 

@@ -133,9 +133,15 @@ pub struct DataScheduler {
     /// chunk-aware (a host joins Ω only once it holds every chunk).
     chunk_totals: HashMap<DataId, u32>,
     /// Partial holders: hosts that reported holding some but not all chunks
-    /// of a datum, with the held count. Kept out of Ω and sent repair
-    /// orders instead of deletes.
-    partials: HashMap<DataId, HashMap<HostUid, u32>>,
+    /// of a datum, with the exact held chunk indices. Kept out of Ω and
+    /// sent repair orders instead of deletes — but *schedulable*: the
+    /// compute plane reads these sets through
+    /// [`DataScheduler::partial_chunk_sets`] to run a restricted
+    /// [`MapOp`](crate::compute::MapOp) over exactly the chunks a partial
+    /// holder actually has, and affinity followers (a compute order with
+    /// `affinity = data`) reach partial holders because `sync_as` counts
+    /// repair targets as held.
+    partials: HashMap<DataId, HashMap<HostUid, BTreeSet<u32>>>,
 }
 
 impl DataScheduler {
@@ -168,31 +174,41 @@ impl DataScheduler {
         self.chunk_totals.get(&data).copied()
     }
 
-    /// A host reports how many verified chunks of `data` it holds. Holding
-    /// every chunk makes it a full owner (enters Ω); anything less records
-    /// it as a partial holder — out of Ω, so replica counting still sees
-    /// the replica as missing, and its next synchronization returns a
-    /// repair order for the datum.
+    /// A host reports how many verified chunks of `data` it holds, as a
+    /// *prefix count* (chunks `0..held`). Compatibility entry point over
+    /// [`DataScheduler::report_chunk_set`] for callers that only track a
+    /// count.
     pub fn report_chunks(&mut self, host: HostUid, data: DataId, held: u32) {
-        let total = self.chunk_totals.get(&data).copied();
-        match total {
-            Some(t) if held >= t => {
-                if let Some(p) = self.partials.get_mut(&data) {
-                    p.remove(&host);
-                    if p.is_empty() {
-                        self.partials.remove(&data);
-                    }
+        let prefix: Vec<u32> = (0..held).collect();
+        self.report_chunk_set(host, data, &prefix);
+    }
+
+    /// A host reports exactly which verified chunks of `data` it holds.
+    /// Holding every chunk makes it a full owner (enters Ω); anything less
+    /// records it as a partial holder — out of Ω, so replica counting
+    /// still sees the replica as missing, and its next synchronization
+    /// returns a repair order for the datum. The exact index set is kept
+    /// so the compute plane can schedule chunk-restricted work on the
+    /// holder (see [`DataScheduler::partial_chunk_sets`]).
+    pub fn report_chunk_set(&mut self, host: HostUid, data: DataId, held: &[u32]) {
+        // No manifest registered: chunk reports are meaningless.
+        let Some(t) = self.chunk_totals.get(&data).copied() else {
+            return;
+        };
+        let set: BTreeSet<u32> = held.iter().copied().filter(|&c| c < t).collect();
+        if set.len() as u32 >= t {
+            if let Some(p) = self.partials.get_mut(&data) {
+                p.remove(&host);
+                if p.is_empty() {
+                    self.partials.remove(&data);
                 }
-                self.owners.entry(data).or_default().insert(host);
             }
-            Some(_) => {
-                self.partials.entry(data).or_default().insert(host, held);
-                if let Some(o) = self.owners.get_mut(&data) {
-                    o.remove(&host);
-                }
+            self.owners.entry(data).or_default().insert(host);
+        } else {
+            self.partials.entry(data).or_default().insert(host, set);
+            if let Some(o) = self.owners.get_mut(&data) {
+                o.remove(&host);
             }
-            // No manifest registered: chunk reports are meaningless.
-            None => {}
         }
     }
 
@@ -202,7 +218,26 @@ impl DataScheduler {
         let mut v: Vec<(HostUid, u32)> = self
             .partials
             .get(&data)
-            .map(|m| m.iter().map(|(&h, &n)| (h, n)).collect())
+            .map(|m| m.iter().map(|(&h, s)| (h, s.len() as u32)).collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Hosts currently recorded as partial holders of `data`, with the
+    /// exact chunk indices each holds (sorted by host for determinism).
+    /// The compute plane partitions chunk-restricted MapOps over these
+    /// sets, so a partial holder is schedulable for the chunks it actually
+    /// has instead of being excluded from placement wholesale.
+    pub fn partial_chunk_sets(&self, data: DataId) -> Vec<(HostUid, Vec<u32>)> {
+        let mut v: Vec<(HostUid, Vec<u32>)> = self
+            .partials
+            .get(&data)
+            .map(|m| {
+                m.iter()
+                    .map(|(&h, s)| (h, s.iter().copied().collect()))
+                    .collect()
+            })
             .unwrap_or_default();
         v.sort();
         v
@@ -1119,6 +1154,46 @@ mod tests {
         assert_eq!(f.ds.partial_holders(d.id).len(), 1);
         f.ds.detect_failures(100 * SEC);
         assert!(f.ds.partial_holders(d.id).is_empty());
+    }
+
+    #[test]
+    fn partial_holder_chunk_sets_are_tracked_and_schedulable() {
+        // The compute-plane bugfix: a partial holder's exact chunk indices
+        // are kept (not just a count), and an affinity follower — a MapOp
+        // restricted to the chunks the host actually has — still reaches
+        // the partial holder through sync.
+        let mut f = Fixture::new();
+        let d = f.datum("sparse");
+        f.ds.schedule(d.clone(), DataAttributes::default().with_replica(1));
+        f.ds.set_chunk_total(d.id, 8);
+        let h = f.host();
+        f.ds.sync(h, &[], 0);
+        // Non-contiguous holdings, with an out-of-range claim rejected.
+        f.ds.report_chunk_set(h, d.id, &[0, 2, 5, 99]);
+        assert_eq!(f.ds.partial_holders(d.id), vec![(h, 3)]);
+        assert_eq!(f.ds.partial_chunk_sets(d.id), vec![(h, vec![0, 2, 5])]);
+        assert!(f.ds.owners_of(d.id).is_empty());
+
+        // A compute order scheduled with affinity to the datum lands on the
+        // partial holder: repair targets count as held in sync_as, so the
+        // follower flows there even though the host is outside Ω.
+        let op = f.datum("compute.op.scan");
+        f.ds.schedule(
+            op.clone(),
+            DataAttributes::default()
+                .with_affinity(d.id)
+                .with_compute("scan"),
+        );
+        let r = f.ds.sync(h, &[d.id], SEC);
+        assert!(
+            ids(&r).contains(&op.id),
+            "affinity compute order reaches the partial holder: {r:?}"
+        );
+
+        // Reporting the complement completes the set → full owner.
+        f.ds.report_chunk_set(h, d.id, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(f.ds.owners_of(d.id), vec![h]);
+        assert!(f.ds.partial_chunk_sets(d.id).is_empty());
     }
 
     #[test]

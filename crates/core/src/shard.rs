@@ -283,9 +283,23 @@ impl ShardedScheduler {
         self.shard_for(data).lock().report_chunks(host, data, held);
     }
 
+    /// Route a host's exact chunk-set report to the datum's shard (the
+    /// compute plane's partial-holder bookkeeping).
+    pub fn report_chunk_set(&self, host: HostUid, data: DataId, held: &[u32]) {
+        self.shard_for(data)
+            .lock()
+            .report_chunk_set(host, data, held);
+    }
+
     /// Partial holders of a datum on its shard.
     pub fn partial_holders(&self, data: DataId) -> Vec<(HostUid, u32)> {
         self.shard_for(data).lock().partial_holders(data)
+    }
+
+    /// Partial holders of a datum with their exact chunk sets, sorted by
+    /// host.
+    pub fn partial_chunk_sets(&self, data: DataId) -> Vec<(HostUid, Vec<u32>)> {
+        self.shard_for(data).lock().partial_chunk_sets(data)
     }
 
     /// Remove a datum from management, cascading across shards to its

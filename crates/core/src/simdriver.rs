@@ -23,7 +23,7 @@
 //! waits and barriers advance the discrete-event clock instead of sleeping.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::num::NonZeroUsize;
 use std::rc::Rc;
 use std::time::Duration;
@@ -39,7 +39,7 @@ use crate::api::{
 };
 use crate::attr::DataAttributes;
 use crate::attrparse;
-use crate::chunks::ChunkManifest;
+use crate::chunks::{ChunkHoldings, ChunkManifest, DEFAULT_CHUNK_SIZE};
 use crate::data::{Data, DataId};
 use crate::events::ActiveDataEventHandler;
 use crate::services::scheduler::{HostUid, SyncRole};
@@ -48,6 +48,10 @@ use crate::shard::ShardedScheduler;
 
 /// Called when a node finishes downloading a datum.
 pub type CopyHook = Box<dyn FnMut(&mut Sim, HostUid, &Data)>;
+
+/// Nominal rate (bytes/s) of a synchronous compute-plane fallback fetch —
+/// a 1 Gb/s NIC, matching the flow model's default link class.
+const SIM_FETCH_RATE: f64 = 125_000_000.0;
 
 /// Shared state of one in-flight per-chunk multi-source fetch.
 struct SimChunkFetch {
@@ -126,9 +130,9 @@ struct DriverState {
     /// Published chunk manifests: data listed here move as per-chunk flows
     /// work-stolen across every live replica owner.
     manifests: HashMap<DataId, ChunkManifest>,
-    /// Partial holdings (host, datum) → held chunk count, for the
-    /// chunk-level repair loop.
-    partials: HashMap<(HostUid, DataId), u32>,
+    /// Partial holdings (host, datum) → exact held chunk set, for the
+    /// chunk-level repair loop and the compute plane's locality checks.
+    partials: HashMap<(HostUid, DataId), BTreeSet<u32>>,
     /// Chunk flows started from a peer replica (vs the service host) —
     /// the multi-source data plane's utilization counter.
     peer_chunk_flows: u64,
@@ -358,30 +362,77 @@ impl SimBitdew {
         let Some(total) = st.manifests.get(&data).map(|m| m.chunk_count()) else {
             return;
         };
-        let held = total.saturating_sub(lost);
+        let held: BTreeSet<u32> = (0..total.saturating_sub(lost)).collect();
+        let report: Vec<u32> = held.iter().copied().collect();
         st.partials.insert((uid, data), held);
-        st.scheduler.report_chunks(uid, data, held);
+        st.scheduler.report_chunk_set(uid, data, &report);
     }
 
-    /// Register a *partial* pin: `uid` holds `held` of the datum's chunks
-    /// (the SimNode face of `pin_chunks`). Full holdings are an ordinary
-    /// pin.
+    /// Register a *partial* pin: `uid` holds the first `held` of the
+    /// datum's chunks. Full holdings are an ordinary pin.
     pub fn pin_partial(&self, data: DataId, uid: HostUid, held: u32) {
+        let set: Vec<u32> = (0..held).collect();
+        self.pin_partial_set(data, uid, &set);
+    }
+
+    /// Register a *partial* pin with the exact chunk indices `uid` holds
+    /// (the SimNode face of `pin_chunks`). A full complement is an
+    /// ordinary pin.
+    pub fn pin_partial_set(&self, data: DataId, uid: HostUid, held: &[u32]) {
         let total = {
             let st = self.state.borrow();
             st.manifests.get(&data).map(|m| m.chunk_count())
         };
         let Some(total) = total else { return };
-        if held >= total {
+        let set: BTreeSet<u32> = held.iter().copied().filter(|&i| i < total).collect();
+        if set.len() as u32 >= total {
             self.pin(data, uid);
             return;
         }
+        let report: Vec<u32> = set.iter().copied().collect();
         let mut st = self.state.borrow_mut();
-        st.partials.insert((uid, data), held);
-        st.scheduler.report_chunks(uid, data, held);
+        st.partials.insert((uid, data), set);
+        st.scheduler.report_chunk_set(uid, data, &report);
         if let Some(n) = st.nodes.get_mut(&uid) {
             n.cache.insert(data);
         }
+    }
+
+    /// The exact chunk set `uid` verifiably holds of a manifest-backed
+    /// datum: the partial set when one is tracked, every chunk when the
+    /// datum is fully cached, empty otherwise.
+    pub fn held_chunk_set(&self, uid: HostUid, data: DataId) -> Vec<u32> {
+        let st = self.state.borrow();
+        if let Some(set) = st.partials.get(&(uid, data)) {
+            return set.iter().copied().collect();
+        }
+        let Some(total) = st.manifests.get(&data).map(|m| m.chunk_count()) else {
+            return Vec::new();
+        };
+        let cached = st.nodes.get(&uid).is_some_and(|n| n.cache.contains(&data));
+        if cached {
+            (0..total).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Record that `uid` acquired `chunks` of a datum (a compute-plane
+    /// fallback fetch). Keeps the held set exact without promoting the
+    /// datum into the node's cache — the scheduler learns the new set at
+    /// the node's next heartbeat, as it would on the threaded runtime.
+    fn absorb_chunks(&self, uid: HostUid, data: DataId, chunks: &[u32]) {
+        let mut st = self.state.borrow_mut();
+        let Some(total) = st.manifests.get(&data).map(|m| m.chunk_count()) else {
+            return;
+        };
+        let already_full = !st.partials.contains_key(&(uid, data))
+            && st.nodes.get(&uid).is_some_and(|n| n.cache.contains(&data));
+        if already_full {
+            return;
+        }
+        let set = st.partials.entry((uid, data)).or_default();
+        set.extend(chunks.iter().copied().filter(|&i| i < total));
     }
 
     /// Current owner set of a datum.
@@ -481,6 +532,19 @@ impl SimBitdew {
             let host = node.host;
             let role = node.role;
             let cache: Vec<DataId> = node.cache.iter().copied().collect();
+            // Report exact partial chunk sets before synchronizing, as the
+            // threaded node does each pump — chunks acquired out of band
+            // (compute-plane fallback fetches) become visible to the
+            // scheduler's partial-holder tracking here.
+            let partial_sets: Vec<(DataId, Vec<u32>)> = st
+                .partials
+                .iter()
+                .filter(|((h, _), _)| *h == uid)
+                .map(|((_, d), s)| (*d, s.iter().copied().collect()))
+                .collect();
+            for (d, held) in partial_sets {
+                st.scheduler.report_chunk_set(uid, d, &held);
+            }
             let (reply, profile) = st.scheduler.sync_profiled(uid, &cache, now, role);
             // Charge each shard's queue its share of the work; the sync is
             // served when the slowest shard finishes.
@@ -605,7 +669,10 @@ impl SimBitdew {
                 let st = self.state.borrow();
                 (
                     st.manifests.get(&data.id).cloned(),
-                    st.partials.get(&(uid, data.id)).copied().unwrap_or(0),
+                    st.partials
+                        .get(&(uid, data.id))
+                        .map(|s| s.len() as u32)
+                        .unwrap_or(0),
                 )
             };
             let Some(m) = manifest else {
@@ -1265,6 +1332,114 @@ impl BitDewApi for SimNode {
             }
         }
     }
+
+    fn put_chunked(&self, data: &Data, content: &[u8], chunk_size: u64) -> Result<ChunkManifest> {
+        self.put(data, content)?;
+        let chunk_size = if chunk_size == 0 {
+            DEFAULT_CHUNK_SIZE
+        } else {
+            chunk_size
+        };
+        let manifest = ChunkManifest::describe(data.id, chunk_size, content);
+        self.driver.put_manifest(&manifest);
+        Ok(manifest)
+    }
+
+    fn chunk_manifest(&self, id: DataId) -> Result<Option<ChunkManifest>> {
+        Ok(self.driver.manifest_of(id))
+    }
+
+    fn held_chunks(&self, data: &Data) -> Result<Vec<u32>> {
+        Ok(self.driver.held_chunk_set(self.uid, data.id))
+    }
+
+    fn fetch_chunks(&self, data: &Data, chunks: &[u32]) -> Result<u64> {
+        let manifest =
+            self.driver
+                .manifest_of(data.id)
+                .ok_or_else(|| BitdewError::CatalogMiss {
+                    what: format!("chunk manifest for `{}`", data.name),
+                })?;
+        let held: BTreeSet<u32> = self
+            .driver
+            .held_chunk_set(self.uid, data.id)
+            .into_iter()
+            .collect();
+        let missing: Vec<u32> = chunks
+            .iter()
+            .copied()
+            .filter(|&i| i < manifest.chunk_count() && !held.contains(&i))
+            .collect::<BTreeSet<u32>>()
+            .into_iter()
+            .collect();
+        if missing.is_empty() {
+            return Ok(0);
+        }
+        let moved: u64 = missing
+            .iter()
+            .filter_map(|&i| manifest.descriptor(i))
+            .map(|c| c.len as u64)
+            .sum();
+        // Each missing chunk is one flow served by a peer replica — the
+        // same counter the flow-level chunked-fetch engine charges.
+        self.driver.state.borrow_mut().peer_chunk_flows += missing.len() as u64;
+        self.driver.absorb_chunks(self.uid, data.id, &missing);
+        // The threaded fallback blocks on one multi-source fetch; model it
+        // as the setup latency plus the bytes at the nominal NIC rate.
+        {
+            let mut sim = self.sim.borrow_mut();
+            let deadline = sim
+                .now()
+                .saturating_add(self.driver.setup_latency)
+                .saturating_add(SimDuration::from_secs_f64(moved as f64 / SIM_FETCH_RATE));
+            sim.run_until(deadline);
+        }
+        self.refresh();
+        Ok(moved)
+    }
+
+    fn chunk_holdings(&self, id: DataId) -> Result<ChunkHoldings> {
+        let st = self.driver.state.borrow();
+        let mut full = st.scheduler.owners_of(id);
+        full.sort();
+        Ok(ChunkHoldings {
+            full,
+            partial: st.scheduler.partial_chunk_sets(id),
+        })
+    }
+
+    fn get_range_local(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>> {
+        // "Local" means the covering chunks are verifiably held here (the
+        // threaded node reads its chunk store); a miss is an error, not a
+        // silent network read.
+        if let Some(m) = self.driver.manifest_of(data.id) {
+            if len > 0 && m.chunk_size > 0 && m.chunk_count() > 0 {
+                let held: BTreeSet<u32> = self
+                    .driver
+                    .held_chunk_set(self.uid, data.id)
+                    .into_iter()
+                    .collect();
+                let first = (offset / m.chunk_size) as u32;
+                let last = ((offset + len as u64 - 1) / m.chunk_size) as u32;
+                for i in first..=last.min(m.chunk_count() - 1) {
+                    if !held.contains(&i) {
+                        return Err(BitdewError::CatalogMiss {
+                            what: format!("local chunk {i} of `{}`", data.name),
+                        });
+                    }
+                }
+            }
+        } else {
+            let arrived =
+                self.has_cached(data.id) || self.shared.arrived.borrow().contains(&data.id);
+            if !arrived {
+                return Err(BitdewError::CatalogMiss {
+                    what: format!("local copy of `{}`", data.name),
+                });
+            }
+        }
+        self.get_range(data, offset, len)
+    }
 }
 
 impl ActiveData for SimNode {
@@ -1303,18 +1478,19 @@ impl ActiveData for SimNode {
                 .ok_or_else(|| BitdewError::CatalogMiss {
                     what: format!("chunk manifest for `{}`", data.name),
                 })?;
-        // Count unique, in-range indices — mirroring the threaded node,
+        // Keep unique, in-range indices — mirroring the threaded node,
         // which verifies every claimed index (duplicates or out-of-range
         // claims must not add up to a full pin).
-        let held = held
+        let held: BTreeSet<u32> = held
             .iter()
-            .filter(|&&i| i < manifest.chunk_count())
-            .collect::<std::collections::HashSet<_>>()
-            .len() as u32;
-        if held >= manifest.chunk_count() {
+            .copied()
+            .filter(|&i| i < manifest.chunk_count())
+            .collect();
+        if held.len() as u32 >= manifest.chunk_count() {
             return self.pin(data, attrs);
         }
-        self.driver.pin_partial(data.id, self.uid, held);
+        let held: Vec<u32> = held.into_iter().collect();
+        self.driver.pin_partial_set(data.id, self.uid, &held);
         self.shared
             .seen
             .borrow_mut()

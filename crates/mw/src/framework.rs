@@ -42,7 +42,10 @@ use bitdew_core::api::{
     join_all, ActiveData, BitDewApi, DataEventKind, EventFilter, EventSub, OpFuture, Result,
     Session, TransferManager,
 };
-use bitdew_core::{Data, DataAttributes, DataId, Lifetime};
+use bitdew_core::{
+    ComputeRunner, ComputeStats, Data, DataAttributes, DataId, Lifetime, MapSpec,
+    COMPUTE_OUT_PREFIX,
+};
 
 /// Name prefix identifying task inputs.
 pub const TASK_PREFIX: &str = "mw.task.";
@@ -56,7 +59,11 @@ pub struct MwMaster<N> {
     /// Copy events for `mw.result.*` data arriving at the pinned
     /// collector's node.
     results_sub: EventSub,
+    /// Copy events for `compute.out.*` data converging on the collector
+    /// (map-stage outputs scheduled with collector affinity).
+    outputs_sub: EventSub,
     results: Vec<(String, Vec<u8>)>,
+    map_results: Vec<(String, Vec<u8>)>,
     submitted: HashSet<DataId>,
 }
 
@@ -66,6 +73,8 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> MwMaster<N> {
     pub fn new(node: N) -> Result<MwMaster<N>> {
         let results_sub =
             node.subscribe(EventFilter::name_prefix(RESULT_PREFIX).and_kind(DataEventKind::Copy));
+        let outputs_sub = node
+            .subscribe(EventFilter::name_prefix(COMPUTE_OUT_PREFIX).and_kind(DataEventKind::Copy));
         let session = Session::new(node);
         let collector = session.create_slot("mw.collector", 0)?;
         collector
@@ -77,7 +86,9 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> MwMaster<N> {
             session,
             collector,
             results_sub,
+            outputs_sub,
             results: Vec::new(),
+            map_results: Vec::new(),
             submitted: HashSet::new(),
         })
     }
@@ -155,6 +166,20 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> MwMaster<N> {
         Ok(out)
     }
 
+    /// Submit a data-local map stage over `input` (the compute plane):
+    /// the op follows the input's replicas, and the outputs are scheduled
+    /// with affinity to the collector — they converge here and surface
+    /// through [`MwMaster::map_results`]. Workers must have
+    /// [`MwWorker::enable_compute`] on. Returns the op datum.
+    pub fn map(&self, input: &Data, fn_name: &str, tag: &str) -> Result<Data> {
+        let spec = MapSpec::new(tag).with_output_attrs(
+            DataAttributes::default()
+                .with_affinity(self.collector.id)
+                .with_lifetime(Lifetime::RelativeTo(self.collector.id)),
+        );
+        self.session.map(input, fn_name, spec)
+    }
+
     /// One round of progress: synchronize the node and gather the result
     /// arrivals the subscription delivered.
     pub fn pump(&mut self) -> Result<()> {
@@ -164,12 +189,23 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> MwMaster<N> {
                 self.results.push((event.data.name.clone(), bytes));
             }
         }
+        for event in self.outputs_sub.drain() {
+            if let Ok(bytes) = self.node().read_local(&event.data) {
+                self.map_results.push((event.data.name.clone(), bytes));
+            }
+        }
         Ok(())
     }
 
     /// Results gathered so far, as `(result name, payload)`.
     pub fn results(&self) -> &[(String, Vec<u8>)] {
         &self.results
+    }
+
+    /// Map-stage outputs that converged on the collector so far, as
+    /// `(output name, payload)` — names are `compute.out.<tag>.<rank>`.
+    pub fn map_results(&self) -> &[(String, Vec<u8>)] {
+        &self.map_results
     }
 
     /// Drive the master until `expected` results arrived or `timeout`
@@ -217,6 +253,9 @@ pub struct MwWorker<N> {
     collector: DataId,
     compute: ComputeFn,
     computed: u32,
+    /// The embedded compute-plane executor, when enabled: `compute.op.*`
+    /// data landing here run their registered UDF over local chunks.
+    runner: Option<ComputeRunner<N>>,
 }
 
 impl<N: BitDewApi + ActiveData + TransferManager + 'static> MwWorker<N> {
@@ -231,7 +270,34 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> MwWorker<N> {
             collector,
             compute,
             computed: 0,
+            runner: None,
         }
+    }
+
+    /// Turn on the compute plane for this worker: an embedded
+    /// [`ComputeRunner`] executes `compute.op.*` arrivals during
+    /// [`MwWorker::pump`] (UDFs must be registered with
+    /// [`bitdew_core::compute::register`] first).
+    pub fn enable_compute(&mut self) {
+        if self.runner.is_none() {
+            self.runner = Some(ComputeRunner::new(self.session.clone()));
+        }
+    }
+
+    /// Aggregate compute-plane stats of this worker (zeros while the
+    /// compute plane is disabled or idle): the locality ledger of every
+    /// map op executed here.
+    pub fn compute_stats(&self) -> ComputeStats {
+        self.runner
+            .as_ref()
+            .map(|r| r.total_stats())
+            .unwrap_or_default()
+    }
+
+    /// The embedded compute runner, when enabled (per-op stats live
+    /// there).
+    pub fn compute_runner(&self) -> Option<&ComputeRunner<N>> {
+        self.runner.as_ref()
     }
 
     /// One round of progress: synchronize the node, run the compute
@@ -265,6 +331,14 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> MwWorker<N> {
                 Err(e) => {
                     first_err.get_or_insert(e);
                 }
+            }
+        }
+        // Run any compute-plane ops that landed (or became runnable) this
+        // round; an op's failure is reported like a task's, without
+        // blocking its siblings.
+        if let Some(runner) = &mut self.runner {
+            if let Err(e) = runner.step() {
+                first_err.get_or_insert(e);
             }
         }
         // One flush resolves every queued put/schedule of this round. A

@@ -1,0 +1,536 @@
+//! The data-local compute plane, end to end.
+//!
+//! Exercises the PR's whole stack: a `MapOp` published as a `compute.op.*`
+//! datum lands on the input's holders through affinity scheduling, each
+//! `ComputeRunner` executes its ownership-partitioned share straight from
+//! the local chunk store (`get_range_local` reads spanning chunk
+//! boundaries), falls back to a `missing()`-driven `fetch_chunks` only for
+//! dealt-but-absent chunks, and publishes outputs whose attributes drive
+//! the shuffle — so a reduce is just a second MapOp converging by
+//! affinity. A *partial* holder is schedulable for an op restricted to the
+//! chunks it actually has, and the whole pipeline produces byte-identical
+//! outputs on the threaded runtime and the simulator.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bitdew::core::api::{ActiveData, BitDewApi, Session, TransferManager};
+use bitdew::core::compute::register;
+use bitdew::core::simdriver::{SimBitdew, SimNode};
+use bitdew::core::{
+    op_outputs, BitdewNode, ComputeRunner, DataAttributes, Lifetime, MapOp, MapSpec, RuntimeConfig,
+    ServiceContainer, REPLICA_ALL,
+};
+use bitdew::sim::{topology, Sim, SimDuration, SimTime, Trace};
+use bitdew::storage::codec::Encode;
+
+const CHUNK: u64 = 64 * 1024;
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 37 % 251) as u8).collect()
+}
+
+fn pump(nodes: &[&Arc<BitdewNode>], until: impl Fn() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !until() {
+        for n in nodes {
+            n.sync_once();
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The deterministic UDF every test runs: one `chunk:len:sum` line per
+/// part, in part order — byte-comparable across backends and executors.
+fn register_chunksum() {
+    register("cp.chunksum", |_tag, parts| {
+        let mut out = String::new();
+        for p in parts {
+            let sum: u64 = p.bytes.iter().map(|&b| b as u64).sum();
+            out.push_str(&format!("{}:{}:{}\n", p.chunk, p.bytes.len(), sum));
+        }
+        out.into_bytes()
+    });
+}
+
+/// What `cp.chunksum` must produce for `indices` of `content`.
+fn chunk_summary(content: &[u8], chunk: u64, indices: &[u32]) -> Vec<u8> {
+    let mut out = String::new();
+    for &c in indices {
+        let start = (c as u64 * chunk) as usize;
+        let end = usize::min(start + chunk as usize, content.len());
+        let sum: u64 = content[start..end].iter().map(|&b| b as u64).sum();
+        out.push_str(&format!("{}:{}:{}\n", c, end - start, sum));
+    }
+    out.into_bytes()
+}
+
+#[test]
+fn threaded_map_runs_data_local_and_reduce_converges_by_affinity() {
+    register_chunksum();
+    register("cp.concat", |_tag, parts| {
+        parts.iter().flat_map(|p| p.bytes.iter().copied()).collect()
+    });
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let content = payload(9 * CHUNK as usize + 1234); // 10 chunks
+    let data = client.create_data("corpus", &content).unwrap();
+    client.put_chunked(&data, &content, CHUNK).unwrap();
+    client
+        .schedule(&data, DataAttributes::default().with_replica(REPLICA_ALL))
+        .unwrap();
+
+    let w1 = BitdewNode::new(Arc::clone(&c));
+    let w2 = BitdewNode::new(Arc::clone(&c));
+    w1.enable_serving();
+    w2.enable_serving();
+    // Both workers must be *stable* full holders before the op is
+    // published (owners_of alone counts assigned-but-downloading hosts,
+    // and an op reaching a partial holder would legitimately fetch) — so
+    // wait until the scheduler sees two full owners and no partials.
+    pump(
+        &[&w1, &w2],
+        || {
+            let h = client.chunk_holdings(data.id).unwrap();
+            h.full.len() == 2
+                && h.partial.is_empty()
+                && w1.has_cached(data.id)
+                && w2.has_cached(data.id)
+        },
+        "2-way chunked replication",
+    );
+
+    // The collector the shuffle converges on: scheduled with replica(0)
+    // (so it enters Θ and survives cache validation) and pinned here.
+    let sink = client.create_slot("cp.sink", 0).unwrap();
+    client
+        .schedule(&sink, DataAttributes::default().with_replica(0))
+        .unwrap();
+    client.pin(&sink, DataAttributes::default()).unwrap();
+
+    // Runners subscribe before the op exists — no Copy can be missed.
+    let mut r1 = ComputeRunner::new(Session::new(Arc::clone(&w1)));
+    let mut r2 = ComputeRunner::new(Session::new(Arc::clone(&w2)));
+    let cs = Session::new(Arc::clone(&client));
+    let out_attrs = DataAttributes::default()
+        .with_affinity(sink.id)
+        .with_lifetime(Lifetime::RelativeTo(sink.id));
+    cs.map(
+        &data,
+        "cp.chunksum",
+        MapSpec::new("t1").with_output_attrs(out_attrs.clone()),
+    )
+    .unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let outs = loop {
+        assert!(Instant::now() < deadline, "map stage stalled");
+        client.sync_once();
+        w1.sync_once();
+        w2.sync_once();
+        r1.step().unwrap();
+        r2.step().unwrap();
+        let outs = op_outputs(&*client, "t1").unwrap();
+        if outs.len() == 2 && outs.iter().all(|o| client.has_cached(o.id)) {
+            break outs;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+
+    // The chunk deal: rank r owns exactly the chunks ≡ r (mod 2), read
+    // entirely from the local chunk store — zero bytes crossed the network.
+    assert_eq!(outs[0].name, "compute.out.t1.0");
+    assert_eq!(outs[1].name, "compute.out.t1.1");
+    let evens: Vec<u32> = (0..10).step_by(2).collect();
+    let odds: Vec<u32> = (1..10).step_by(2).collect();
+    assert_eq!(
+        client.read_local(&outs[0]).unwrap(),
+        chunk_summary(&content, CHUNK, &evens)
+    );
+    assert_eq!(
+        client.read_local(&outs[1]).unwrap(),
+        chunk_summary(&content, CHUNK, &odds)
+    );
+    for r in [&r1, &r2] {
+        assert_eq!(r.executed_count(), 1);
+        let s = r.total_stats();
+        assert_eq!(s.bytes_fetched, 0, "data-local: nothing moved");
+        assert_eq!(s.chunks, 5);
+        assert!(s.bytes_local > 0);
+    }
+
+    // Reduce: a second MapOp anchored to the sink — one executor (the
+    // client, which holds the sink) consumes both map outputs whole.
+    let mut rc = ComputeRunner::new(Session::new(Arc::clone(&client)));
+    cs.map_many(
+        &outs,
+        "cp.concat",
+        MapSpec::new("t1r")
+            .with_anchor(sink.id)
+            .with_output_attrs(out_attrs),
+    )
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let fin = loop {
+        assert!(Instant::now() < deadline, "reduce stage stalled");
+        client.sync_once();
+        rc.step().unwrap();
+        let fin = op_outputs(&*client, "t1r").unwrap();
+        if fin.len() == 1 && client.has_cached(fin[0].id) {
+            break fin;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    let mut expect = chunk_summary(&content, CHUNK, &evens);
+    expect.extend(chunk_summary(&content, CHUNK, &odds));
+    assert_eq!(client.read_local(&fin[0]).unwrap(), expect);
+}
+
+#[test]
+fn get_range_local_spans_chunk_boundaries() {
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let content = payload(3 * CHUNK as usize + 500); // 4 chunks
+    let data = client.create_data("ranged", &content).unwrap();
+    client.put_chunked(&data, &content, CHUNK).unwrap();
+    client
+        .schedule(&data, DataAttributes::default().with_replica(1))
+        .unwrap();
+    let w = BitdewNode::new(Arc::clone(&c));
+    pump(&[&w], || w.has_cached(data.id), "chunked download");
+
+    // A read crossing the 0/1 chunk boundary, straight from the store.
+    let a = CHUNK as usize - 100;
+    assert_eq!(
+        w.get_range_local(&data, a as u64, 250).unwrap(),
+        &content[a..a + 250]
+    );
+    // One read spanning every boundary reassembles the whole object.
+    assert_eq!(w.get_range_local(&data, 0, content.len()).unwrap(), content);
+    // The same boundary semantics hold on the raw ChunkStore.
+    let direct = w
+        .chunk_store()
+        .get_range(&data.object_name(), 2 * CHUNK - 7, 20)
+        .unwrap();
+    let b = 2 * CHUNK as usize - 7;
+    assert_eq!(&direct[..], &content[b..b + 20]);
+
+    // A node holding nothing must refuse a "local" read, not serve air.
+    let empty = BitdewNode::new(Arc::clone(&c));
+    assert!(empty.get_range_local(&data, 0, 16).is_err());
+}
+
+#[test]
+fn map_fallback_fetches_only_missing_chunks() {
+    register_chunksum();
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let content = payload(5 * CHUNK as usize + 777); // 6 chunks
+    let data = client.create_data("partial", &content).unwrap();
+    client.put_chunked(&data, &content, CHUNK).unwrap();
+    client
+        .schedule(&data, DataAttributes::default().with_replica(0))
+        .unwrap();
+
+    // The worker holds only the first three chunks.
+    let w = BitdewNode::new(Arc::clone(&c));
+    w.local_store()
+        .write_at(&data.object_name(), 0, &content[..3 * CHUNK as usize])
+        .unwrap();
+    w.pin_chunks(&data, DataAttributes::default(), &[0, 1, 2])
+        .unwrap();
+    let mut runner = ComputeRunner::new(Session::new(Arc::clone(&w)));
+
+    // An op restricted to the held chunks runs without moving a byte —
+    // the partial holder is a first-class executor for its own chunks.
+    let restricted = MapOp {
+        fn_name: "cp.chunksum".into(),
+        tag: "t3a".into(),
+        inputs: vec![data.clone()],
+        chunks: Some(vec![0, 1, 2]),
+        output_attrs: DataAttributes::default(),
+        fetch_all: false,
+    };
+    let opd_a = client
+        .create_data("compute.op.t3a", &restricted.to_bytes())
+        .unwrap();
+    assert!(runner.run_op(&opd_a, &restricted).unwrap());
+    let s = &runner.stats()[&opd_a.id];
+    assert_eq!(s.bytes_fetched, 0);
+    assert_eq!(s.bytes_local, 3 * CHUNK);
+    assert_eq!(s.chunks, 3);
+
+    // An unrestricted op falls back to fetching exactly the missing
+    // chunks (3, 4, 5) before computing over all six.
+    let full = MapOp {
+        chunks: None,
+        tag: "t3b".into(),
+        ..restricted
+    };
+    let opd_b = client
+        .create_data("compute.op.t3b", &full.to_bytes())
+        .unwrap();
+    assert!(runner.run_op(&opd_b, &full).unwrap());
+    let s = &runner.stats()[&opd_b.id];
+    assert_eq!(s.bytes_fetched, 2 * CHUNK + 777, "only chunks 3..6 moved");
+    assert_eq!(s.bytes_local, 3 * CHUNK, "held chunks never moved");
+    assert_eq!(s.chunks, 6);
+    let outs = op_outputs(&*w, "t3b").unwrap();
+    assert_eq!(outs.len(), 1);
+    let all: Vec<u32> = (0..6).collect();
+    let got = client
+        .get_range(&outs[0], 0, outs[0].size as usize)
+        .unwrap();
+    assert_eq!(&got[..], &chunk_summary(&content, CHUNK, &all)[..]);
+}
+
+#[test]
+fn partial_holder_is_scheduled_a_restricted_map() {
+    register_chunksum();
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let content = payload(5 * CHUNK as usize); // 5 chunks
+    let data = client.create_data("held-prefix", &content).unwrap();
+    client.put_chunked(&data, &content, CHUNK).unwrap();
+    client
+        .schedule(&data, DataAttributes::default().with_replica(0))
+        .unwrap();
+
+    let w = BitdewNode::new(Arc::clone(&c));
+    w.local_store()
+        .write_at(&data.object_name(), 0, &content[..3 * CHUNK as usize])
+        .unwrap();
+    w.pin_chunks(&data, DataAttributes::default(), &[0, 1, 2])
+        .unwrap();
+    // The bugfix under test: at op-submission time the host is NOT in Ω —
+    // only the partial-holder books know it — yet affinity must land the
+    // op there.
+    assert!(c.owners_of(data.id).is_empty());
+    assert_eq!(
+        c.plane.scheduler().partial_holders(data.id),
+        vec![(w.uid, 3)]
+    );
+
+    let mut runner = ComputeRunner::new(Session::new(Arc::clone(&w)));
+    let cs = Session::new(Arc::clone(&client));
+    let op = cs
+        .map(
+            &data,
+            "cp.chunksum",
+            MapSpec::new("t4").with_chunks(vec![0, 1, 2]),
+        )
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while runner.executed_count() == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "op never reached the partial holder"
+        );
+        w.sync_once();
+        runner.step().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let s = &runner.stats()[&op.id];
+    assert_eq!(s.bytes_fetched, 0, "restricted to held chunks: no fetch");
+    assert_eq!(s.bytes_local, 3 * CHUNK);
+    assert_eq!(s.chunks, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator backend
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sim_partial_holder_map_and_fallback_fetch() {
+    register_chunksum();
+    let topo = topology::gdx_cluster(2);
+    let sim = Rc::new(RefCell::new(Sim::new(9)));
+    // A long heartbeat: the test drives the runner by hand and must not
+    // race a repair started by a synchronization.
+    let driver = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_secs(600),
+        Trace::new(),
+    );
+    let client = SimNode::attach_client(&sim, &driver, topo.workers[0], SimTime::ZERO);
+    let w = SimNode::attach(&sim, &driver, topo.workers[1], SimTime::ZERO);
+    let content = payload(5 * CHUNK as usize + 777); // 6 chunks
+    let data = client.create_data("sim-partial", &content).unwrap();
+    client.put_chunked(&data, &content, CHUNK).unwrap();
+    client
+        .schedule(&data, DataAttributes::default().with_replica(0))
+        .unwrap();
+    w.pin_chunks(&data, DataAttributes::default(), &[0, 1, 2])
+        .unwrap();
+
+    // Boundary-spanning local read over held chunks; a read touching a
+    // missing chunk is refused.
+    let a = CHUNK as usize - 100;
+    assert_eq!(
+        w.get_range_local(&data, a as u64, 250).unwrap(),
+        &content[a..a + 250]
+    );
+    assert!(w.get_range_local(&data, 3 * CHUNK, 16).is_err());
+
+    let mut runner = ComputeRunner::new(Session::new(w.clone()));
+    let flows0 = driver.peer_chunk_flows();
+
+    let restricted = MapOp {
+        fn_name: "cp.chunksum".into(),
+        tag: "s3a".into(),
+        inputs: vec![data.clone()],
+        chunks: Some(vec![0, 1, 2]),
+        output_attrs: DataAttributes::default(),
+        fetch_all: false,
+    };
+    let opd_a = client
+        .create_data("compute.op.s3a", &restricted.to_bytes())
+        .unwrap();
+    assert!(runner.run_op(&opd_a, &restricted).unwrap());
+    let s = &runner.stats()[&opd_a.id];
+    assert_eq!(s.bytes_fetched, 0);
+    assert_eq!(s.bytes_local, 3 * CHUNK);
+    assert_eq!(driver.peer_chunk_flows(), flows0, "no flow moved");
+
+    let full = MapOp {
+        chunks: None,
+        tag: "s3b".into(),
+        ..restricted
+    };
+    let opd_b = client
+        .create_data("compute.op.s3b", &full.to_bytes())
+        .unwrap();
+    assert!(runner.run_op(&opd_b, &full).unwrap());
+    let s = &runner.stats()[&opd_b.id];
+    assert_eq!(s.bytes_fetched, 2 * CHUNK + 777, "only chunks 3..6 moved");
+    assert_eq!(s.bytes_local, 3 * CHUNK);
+    assert_eq!(s.chunks, 6);
+    assert_eq!(
+        driver.peer_chunk_flows() - flows0,
+        3,
+        "exactly the three missing chunks flowed"
+    );
+    let outs = op_outputs(&w, "s3b").unwrap();
+    assert_eq!(outs.len(), 1);
+    let all: Vec<u32> = (0..6).collect();
+    let got = client
+        .get_range(&outs[0], 0, outs[0].size as usize)
+        .unwrap();
+    assert_eq!(&got[..], &chunk_summary(&content, CHUNK, &all)[..]);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend equivalence
+// ---------------------------------------------------------------------------
+
+/// The same map stage, generic over the deployment: replicate a chunked
+/// corpus to two workers, run `cp.chunksum` data-locally, converge the
+/// outputs on a client-pinned sink. Returns (output name, bytes) pairs in
+/// rank order plus the runners' aggregate fetch ledger.
+fn locality_scenario<N>(client: N, w1: N, w2: N) -> (Vec<(String, Vec<u8>)>, u64, u32)
+where
+    N: BitDewApi + ActiveData + TransferManager + Clone + 'static,
+{
+    let content = payload(7 * CHUNK as usize + 321); // 8 chunks
+    let data = client.create_data("eq-corpus", &content).expect("create");
+    client.put_chunked(&data, &content, CHUNK).expect("chunk");
+    client
+        .schedule(&data, DataAttributes::default().with_replica(REPLICA_ALL))
+        .expect("schedule");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        // Stable 2-way replication: two full owners, no partial holder
+        // still mid-download, both caches materialized.
+        let h = client.chunk_holdings(data.id).expect("holdings");
+        if h.full.len() == 2
+            && h.partial.is_empty()
+            && w1.has_cached(data.id)
+            && w2.has_cached(data.id)
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "replication stalled");
+        client.pump().expect("pump");
+        w1.pump().expect("pump");
+        w2.pump().expect("pump");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let sink = client.create_slot("eq-sink", 0).expect("sink");
+    client
+        .schedule(&sink, DataAttributes::default().with_replica(0))
+        .expect("sink schedule");
+    client.pin(&sink, DataAttributes::default()).expect("pin");
+    let mut r1 = ComputeRunner::new(Session::new(w1.clone()));
+    let mut r2 = ComputeRunner::new(Session::new(w2.clone()));
+    let cs = Session::new(client.clone());
+    cs.map(
+        &data,
+        "cp.chunksum",
+        MapSpec::new("eq").with_output_attrs(
+            DataAttributes::default()
+                .with_affinity(sink.id)
+                .with_lifetime(Lifetime::RelativeTo(sink.id)),
+        ),
+    )
+    .expect("map");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let outs = loop {
+        assert!(Instant::now() < deadline, "map stage stalled");
+        client.pump().expect("pump");
+        w1.pump().expect("pump");
+        w2.pump().expect("pump");
+        r1.step().expect("step");
+        r2.step().expect("step");
+        let outs = op_outputs(&client, "eq").expect("outputs");
+        if outs.len() == 2 && outs.iter().all(|o| client.has_cached(o.id)) {
+            break outs;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    let named = outs
+        .iter()
+        .map(|o| (o.name.clone(), client.read_local(o).expect("read")))
+        .collect();
+    let fetched = r1.total_stats().bytes_fetched + r2.total_stats().bytes_fetched;
+    let chunks = r1.total_stats().chunks + r2.total_stats().chunks;
+    (named, fetched, chunks)
+}
+
+#[test]
+fn map_outputs_are_identical_on_sim_and_threads() {
+    register_chunksum();
+
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let w1 = BitdewNode::new(Arc::clone(&c));
+    let w2 = BitdewNode::new(Arc::clone(&c));
+    w1.enable_serving();
+    w2.enable_serving();
+    let (threaded_out, threaded_fetched, threaded_chunks) = locality_scenario(client, w1, w2);
+
+    let topo = topology::gdx_cluster(3);
+    let sim = Rc::new(RefCell::new(Sim::new(11)));
+    let driver = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_millis(100),
+        Trace::new(),
+    );
+    let client = SimNode::attach_client(&sim, &driver, topo.workers[0], SimTime::ZERO);
+    let w1 = SimNode::attach(&sim, &driver, topo.workers[1], SimTime::ZERO);
+    let w2 = SimNode::attach(&sim, &driver, topo.workers[2], SimTime::ZERO);
+    let (sim_out, sim_fetched, sim_chunks) = locality_scenario(client, w1, w2);
+
+    // Same outputs, same placement logic, zero fetch on either backend.
+    assert_eq!(threaded_out, sim_out, "rank-for-rank identical outputs");
+    assert_eq!(threaded_fetched, 0, "threaded map was fully data-local");
+    assert_eq!(sim_fetched, 0, "simulated map was fully data-local");
+    assert_eq!(threaded_chunks, 8);
+    assert_eq!(sim_chunks, 8);
+}
