@@ -34,6 +34,18 @@
 //! its internal drop-*oldest* cap until the first poll proves a consumer
 //! exists.)
 //!
+//! Blocking is a *publisher's choice*, not only the subscriber's: a
+//! direct [`EventBus::publish`] honors `Block(cap)` by parking, but the
+//! threaded node's synchronization loop publishes through
+//! [`EventBus::publish_deferring`] — a full `Block` subscriber gets the
+//! event appended to its **deferral queue** instead of parking the
+//! publisher, counted by [`EventSub::deferred`], and the next
+//! synchronization round retries delivery ([`EventBus::retry_deferred`]).
+//! One slow subscriber therefore slows only itself down, never the
+//! heartbeat's sync round (and never its sibling subscribers). Deferred
+//! events stay ordered behind the subscriber's queue and are also visible
+//! to direct receives, so nothing is lost if the node stops heartbeating.
+//!
 //! ## Async consumption
 //!
 //! [`EventSub::stream`] turns a subscription into an [`EventStream`] whose
@@ -193,8 +205,32 @@ struct SubState {
     dropped: u64,
     /// Publishes that had to block for queue space (`Block` mode only).
     blocked: u64,
+    /// Events a deferring publisher parked *here* instead of itself
+    /// (`Block` mode under [`EventBus::publish_deferring`]); re-delivered
+    /// by [`EventBus::retry_deferred`] and readable directly once the
+    /// main queue empties. Ordered strictly behind `queue`.
+    deferred_q: VecDeque<DataEvent>,
+    /// Total events ever deferred (monotonic).
+    deferred: u64,
     /// Task wakers of pending [`EventStream`] polls, woken at publish.
     wakers: Vec<Waker>,
+}
+
+impl SubState {
+    /// Pop the next readable event: the main queue first, then the
+    /// deferral queue (deferred events are strictly newer — delivery
+    /// order is preserved because a deferring publisher keeps appending
+    /// to the deferral queue while it is non-empty).
+    fn pop_next(&mut self) -> Option<DataEvent> {
+        self.queue
+            .pop_front()
+            .or_else(|| self.deferred_q.pop_front())
+    }
+
+    /// Buffered events across both queues.
+    fn buffered(&self) -> usize {
+        self.queue.len() + self.deferred_q.len()
+    }
 }
 
 /// Shared core of a subscription: the bus holds one reference, the
@@ -243,7 +279,7 @@ impl EventSub {
     /// Pop the oldest buffered event, without blocking.
     pub fn try_recv(&self) -> Option<DataEvent> {
         self.shared.note_consumer();
-        let ev = self.shared.state.lock().queue.pop_front();
+        let ev = self.shared.state.lock().pop_next();
         if ev.is_some() {
             self.shared.space.notify_all();
         }
@@ -253,21 +289,27 @@ impl EventSub {
     /// Drain every buffered event, oldest first.
     pub fn drain(&self) -> Vec<DataEvent> {
         self.shared.note_consumer();
-        let evs: Vec<DataEvent> = self.shared.state.lock().queue.drain(..).collect();
+        let evs: Vec<DataEvent> = {
+            let mut state = self.shared.state.lock();
+            let mut evs: Vec<DataEvent> = state.queue.drain(..).collect();
+            evs.extend(state.deferred_q.drain(..));
+            evs
+        };
         if !evs.is_empty() {
             self.shared.space.notify_all();
         }
         evs
     }
 
-    /// Buffered event count.
+    /// Buffered event count (main queue plus deferred events).
     pub fn len(&self) -> usize {
-        self.shared.state.lock().queue.len()
+        self.shared.state.lock().buffered()
     }
 
-    /// Whether the queue is currently empty.
+    /// Whether the queue is currently empty (no buffered or deferred
+    /// events).
     pub fn is_empty(&self) -> bool {
-        self.shared.state.lock().queue.is_empty()
+        self.shared.state.lock().buffered() == 0
     }
 
     /// Block up to `timeout` for the next event, waking the moment a
@@ -279,7 +321,7 @@ impl EventSub {
         let deadline = Instant::now() + timeout;
         let mut state = self.shared.state.lock();
         loop {
-            if let Some(ev) = state.queue.pop_front() {
+            if let Some(ev) = state.pop_next() {
                 drop(state);
                 self.shared.space.notify_all();
                 return Some(ev);
@@ -345,6 +387,20 @@ impl EventSub {
         self.shared.state.lock().blocked
     }
 
+    /// Events a deferring publisher ([`EventBus::publish_deferring`] — the
+    /// node's synchronization loop) routed to this subscription's deferral
+    /// queue instead of parking itself (monotonic;
+    /// [`Backpressure::Block`] subscriptions only).
+    pub fn deferred(&self) -> u64 {
+        self.shared.state.lock().deferred
+    }
+
+    /// Deferred events not yet re-delivered to the main queue (they are
+    /// still readable — receives fall through to the deferral queue).
+    pub fn deferred_len(&self) -> usize {
+        self.shared.state.lock().deferred_q.len()
+    }
+
     /// Turn this subscription into an async event stream:
     /// `stream.next().await` resolves as matching events are published.
     pub fn stream(self) -> EventStream {
@@ -397,7 +453,7 @@ impl Future for NextEvent<'_> {
         let shared = &self.sub.shared;
         shared.note_consumer();
         let mut state = shared.state.lock();
-        if let Some(ev) = state.queue.pop_front() {
+        if let Some(ev) = state.pop_next() {
             drop(state);
             shared.space.notify_all();
             return Poll::Ready(ev);
@@ -431,6 +487,9 @@ pub struct EventBus {
     pending_detach: Mutex<Vec<HandlerId>>,
     next_handler: AtomicU64,
     published: AtomicU64,
+    /// Events deferred across all subscriptions
+    /// ([`EventBus::publish_deferring`] against full `Block` queues).
+    deferred_total: AtomicU64,
 }
 
 impl EventBus {
@@ -476,6 +535,8 @@ impl EventBus {
                 mode,
                 dropped: 0,
                 blocked: 0,
+                deferred_q: VecDeque::new(),
+                deferred: 0,
                 wakers: Vec::new(),
             }),
             cond: Condvar::new(),
@@ -539,6 +600,66 @@ impl EventBus {
     /// everything a single node's synchronization loop fires — keep their
     /// order on every subscription.
     pub fn publish(&self, event: &DataEvent) {
+        self.publish_inner(event, false);
+    }
+
+    /// [`EventBus::publish`] that **never parks**: a `Block(cap)`
+    /// subscription at capacity gets the event appended to its per-sub
+    /// deferral queue (counted in [`EventSub::deferred`] and
+    /// [`EventBus::deferred_events`]) instead of blocking this publisher.
+    /// Deferred events re-deliver on the next [`EventBus::retry_deferred`]
+    /// — the threaded node runs one at the top of every synchronization
+    /// round — and are meanwhile readable by receives that empty the main
+    /// queue, so the slow subscriber loses nothing while everyone else
+    /// keeps pace. This is the publish the heartbeat's sync round uses.
+    pub fn publish_deferring(&self, event: &DataEvent) {
+        self.publish_inner(event, true);
+    }
+
+    /// Events deferred across all subscriptions since the bus was created
+    /// (monotonic).
+    pub fn deferred_events(&self) -> u64 {
+        self.deferred_total.load(Ordering::Relaxed)
+    }
+
+    /// Re-deliver deferred events into their subscriptions' main queues,
+    /// as far as each `Block` cap allows, waking consumers. Returns how
+    /// many events moved. Called at the top of every threaded sync round;
+    /// harmless (and a no-op) when nothing was deferred.
+    pub fn retry_deferred(&self) -> u64 {
+        let targets: Vec<Arc<SubShared>> = {
+            let subs = self.subs.lock();
+            subs.iter().map(|(_, shared)| Arc::clone(shared)).collect()
+        };
+        let mut moved = 0u64;
+        for shared in targets {
+            let mut state = shared.state.lock();
+            let cap = match state.mode {
+                QueueMode::Block(cap) => cap,
+                // The mode changed (e.g. uncapped): nothing defers any
+                // more, so flush the backlog entirely.
+                _ => usize::MAX,
+            };
+            let mut n = 0u64;
+            while !state.deferred_q.is_empty() && state.queue.len() < cap {
+                let ev = state.deferred_q.pop_front().expect("checked non-empty");
+                state.queue.push_back(ev);
+                n += 1;
+            }
+            if n > 0 {
+                moved += n;
+                let wakers = std::mem::take(&mut state.wakers);
+                drop(state);
+                shared.cond.notify_all();
+                for w in wakers {
+                    w.wake();
+                }
+            }
+        }
+        moved
+    }
+
+    fn publish_inner(&self, event: &DataEvent, deferring: bool) {
         self.published.fetch_add(1, Ordering::Relaxed);
         // Snapshot the matching subscriptions, then deliver with the subs
         // lock released — a Block-mode delivery may park, and must not
@@ -554,7 +675,11 @@ impl EventBus {
                 .collect()
         };
         for shared in targets {
-            Self::deliver(&shared, event);
+            if deferring {
+                self.deliver_deferring(&shared, event);
+            } else {
+                Self::deliver(&shared, event);
+            }
         }
         // Handlers may call back into the node (a worker's onDataCopy
         // schedules its result, which publishes onDataCreate), so the lock
@@ -578,6 +703,38 @@ impl EventBus {
         if !pending.is_empty() {
             guard.retain(|(hid, _, _)| !pending.contains(hid));
         }
+    }
+
+    /// [`EventBus::deliver`] for a publisher that must not park: a full
+    /// `Block` queue defers the event instead. Once anything is deferred,
+    /// *every* subsequent deferring delivery to that subscription defers
+    /// too — even with main-queue space free — so the subscriber's event
+    /// order is never inverted.
+    fn deliver_deferring(&self, shared: &Arc<SubShared>, event: &DataEvent) {
+        let mut state = shared.state.lock();
+        if let QueueMode::Block(cap) = state.mode {
+            if !state.deferred_q.is_empty() || state.queue.len() >= cap {
+                state.deferred_q.push_back(event.clone());
+                state.deferred += 1;
+                self.deferred_total.fetch_add(1, Ordering::Relaxed);
+                return; // retried next round; readable meanwhile
+            }
+            // Space free and nothing deferred: deliver under this same
+            // lock — re-locking in the shared path would open a window
+            // for a rival publisher to fill the queue and park us.
+            state.queue.push_back(event.clone());
+            let wakers = std::mem::take(&mut state.wakers);
+            drop(state);
+            shared.cond.notify_all();
+            for w in wakers {
+                w.wake();
+            }
+            return;
+        }
+        drop(state);
+        // Every other mode never parks; the shared path handles cap
+        // accounting and wakeups.
+        Self::deliver(shared, event);
     }
 
     /// Deliver one event to one subscription per its queue mode, waking

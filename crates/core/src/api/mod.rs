@@ -45,18 +45,33 @@
 //!   [`ActiveDataEventHandler`](crate::events::ActiveDataEventHandler)
 //!   callbacks, and explicit [`Backpressure`] modes (block the publisher,
 //!   shed the newest, queue unboundedly) with per-subscription
-//!   `dropped()`/`blocked()` accounting. The old `poll_events` drain
-//!   survives as a compatibility shim over an any-filter subscription.
+//!   `dropped()`/`blocked()`/`deferred()` accounting. The old
+//!   `poll_events` drain survives as a compatibility shim over an
+//!   any-filter subscription. Node-side publishes (the heartbeat's
+//!   synchronization round) never park on a full `Block` subscriber: the
+//!   event goes to that subscriber's deferral queue and is retried on the
+//!   next round, so one slow consumer cannot stall the sync plane.
 //!
-//! ## The background executor and the async façade
+//! ## The executor pool and the async façade
 //!
-//! A threaded session can hand its queue to a dedicated **background
-//! executor thread** ([`Session::start_executor`]; on by default via
-//! [`BitdewNode::session`](crate::BitdewNode::session)): submissions
-//! signal its condvar, batches drain fully asynchronously, and futures
-//! resolve with no caller-driven pump — batch round-trips overlap
-//! application work. The simulator keeps the cooperative drain, so the
-//! discrete event order is unchanged.
+//! A threaded session turns on **background mode**
+//! ([`Session::start_executor`]; on by default via
+//! [`BitdewNode::session`](crate::BitdewNode::session)) by registering
+//! with the process-shared [`ExecutorPool`] ([`pool`]): a fixed set of
+//! worker threads — default [`std::thread::available_parallelism`], named
+//! `bitdew-pool-{i}` — drains every background session of the process. A
+//! submission marks its session *ready*; a worker claims the whole
+//! session (a flag, not a lock held across round-trips), drains it
+//! through the session's serialized flush path, and idle workers steal
+//! ready sessions — never individual ops — from each other, so per-datum
+//! program order and group-commit batching are exactly the
+//! dedicated-thread semantics while the thread count stays flat from 1 to
+//! 10k sessions. Batches drain fully asynchronously and futures resolve
+//! with no caller-driven pump — batch round-trips overlap application
+//! work. [`Session::start_executor_with`] pins the placement
+//! ([`ExecutorConfig`]): a private pool with an exact worker count, or
+//! the legacy dedicated per-session thread. The simulator keeps the
+//! cooperative drain, so the discrete event order is unchanged.
 //!
 //! The same tickets carry an **async façade** with zero runtime
 //! dependency: [`OpFuture`] implements [`std::future::Future`] (waker
@@ -131,10 +146,12 @@
 pub mod bus;
 pub mod handle;
 pub mod pipeline;
+pub mod pool;
 
 pub use bus::{Backpressure, EventBus, EventFilter, EventStream, EventSub, HandlerId, NextEvent};
 pub use handle::DataHandle;
-pub use pipeline::{block_on, join_all, OpFuture, Session, DEFAULT_BATCH_LIMIT};
+pub use pipeline::{block_on, join_all, OpFuture, Session, DEFAULT_BATCH_LIMIT, ERROR_SINK_CAP};
+pub use pool::{ExecutorConfig, ExecutorPool, PoolHandle};
 
 use std::time::Duration;
 

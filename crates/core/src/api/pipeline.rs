@@ -12,7 +12,7 @@
 //! `.await` them: [`OpFuture`] implements [`std::future::Future`] with no
 //! runtime dependency (see [`block_on`] for a zero-dependency executor).
 //!
-//! ## Two drain modes
+//! ## Drain modes
 //!
 //! **Cooperative** (the default, and the only mode under the simulator):
 //! the queue drains when it reaches the session's batch limit, when
@@ -24,13 +24,24 @@
 //! the discrete event order changes).
 //!
 //! **Background** ([`Session::start_executor`], on by default for
-//! [`BitdewNode::session`](crate::BitdewNode::session)): a dedicated
-//! executor thread parks on a condvar, wakes on every submission, and
-//! drains whatever is queued — batch round-trips overlap application work,
-//! and futures resolve without any caller-driven pump. Batches stay
-//! *self-clocking*: while one batch executes its wire round-trips, new
-//! submissions accumulate, so the next drain is a bigger batch exactly
-//! when the plane is the bottleneck (the group-commit idiom).
+//! [`BitdewNode::session`](crate::BitdewNode::session)): the session
+//! registers with the process-shared
+//! [`ExecutorPool`] — a fixed set of
+//! worker threads (default [`std::thread::available_parallelism`]) that
+//! drains *every* background session of the process. A submission marks
+//! the session ready; a worker claims the whole session, drains it
+//! through the same serialized flush path as a cooperative drain, and
+//! idle workers steal ready sessions (never individual ops) from each
+//! other — so batch round-trips overlap application work, futures resolve
+//! without any caller-driven pump, and the thread count stays flat as
+//! sessions grow. Batches stay *self-clocking*: while one batch executes
+//! its wire round-trips, new submissions accumulate, so the next drain is
+//! a bigger batch exactly when the plane is the bottleneck (the
+//! group-commit idiom). [`Session::start_executor_with`] selects the pool
+//! explicitly ([`ExecutorConfig::Pool`](crate::api::pool::ExecutorConfig)
+//! — tests pin worker counts with private pools) or falls back to the
+//! PR 5 shape, one dedicated `bitdew-exec` thread per session
+//! ([`ExecutorConfig::Dedicated`](crate::api::pool::ExecutorConfig)).
 //!
 //! Batches preserve program order per datum in both modes: ops are grouped
 //! into `put → schedule → pin → delete` phases, and a later op that would
@@ -44,9 +55,12 @@
 //! future was dropped without being consumed is **not** lost: it lands in
 //! the session's error sink ([`Session::take_failed`] /
 //! [`Session::failed_count`]), and the last session handle logs any
-//! still-unreported failures when it drops.
+//! still-unreported failures when it drops. The sink is bounded: past
+//! [`ERROR_SINK_CAP`] uncollected errors the oldest is shed (counted by
+//! [`Session::failed_dropped`]), so an abandoned-futures loop cannot grow
+//! it without limit.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -56,12 +70,17 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::api::pool::{self, ExecutorConfig, ExecutorPool, PoolDrive, PoolHandle};
 use crate::api::{ActiveData, BitDewApi, BitdewError, Result, TransferManager};
 use crate::attr::DataAttributes;
 use crate::data::{Data, DataId};
 
 /// Default submission-queue length that triggers an automatic drain.
 pub const DEFAULT_BATCH_LIMIT: usize = 256;
+
+/// Most uncollected errors the session sink retains; beyond it the oldest
+/// is shed and [`Session::failed_dropped`] counts the loss.
+pub const ERROR_SINK_CAP: usize = 1024;
 
 /// How long a parked waiter sleeps before re-checking whether it must
 /// drive the queue itself (an executor may have stopped mid-wait).
@@ -331,12 +350,19 @@ struct SessionCore<N> {
     /// Signaled by the executor after every drain round; producers parked
     /// at the queue's high-water mark resume here.
     space_cond: Condvar,
-    /// The executor thread, for joining at stop/drop.
+    /// The dedicated executor thread ([`ExecutorConfig::Dedicated`]), for
+    /// joining at stop/drop.
     executor: Mutex<Option<std::thread::JoinHandle<()>>>,
-    /// Errors of ops whose future was dropped before the result was taken.
-    failed: Mutex<Vec<BitdewError>>,
+    /// The pool registration while background mode runs on a shared
+    /// [`ExecutorPool`] — submissions notify it instead of `queue_cond`.
+    pool_reg: Mutex<Option<PoolHandle>>,
+    /// Errors of ops whose future was dropped before the result was taken
+    /// — bounded at [`ERROR_SINK_CAP`], shedding oldest.
+    failed: Mutex<VecDeque<BitdewError>>,
     /// Total errors ever routed to the sink (monotonic).
     failed_total: AtomicU64,
+    /// Sink errors shed past the cap (monotonic).
+    failed_dropped: AtomicU64,
     /// Live public `Session` clones; the last one stops the executor
     /// (whose exit path drains) and logs still-pending losses on drop.
     user_refs: AtomicUsize,
@@ -349,16 +375,26 @@ impl<N: BitDewApi + ActiveData + TransferManager> SessionCore<N> {
         queue.push(op);
         let full = queue.len() >= self.batch_limit;
         if self.background.load(Ordering::SeqCst) {
-            // The executor drains asynchronously; don't flush from the
+            // An executor drains asynchronously; don't flush from the
             // submitting thread (that would serialize round-trips back
-            // into application work). The queue stays *bounded*: past the
-            // high-water mark the producer parks until the executor
-            // catches up — backpressure, not unbounded memory. The
-            // executor's own thread (a nested bus-handler submit during a
-            // drain) never parks on space only it can free.
-            self.queue_cond.notify_one();
+            // into application work). Pool-registered sessions mark
+            // themselves ready (a worker claims the whole session);
+            // dedicated ones wake their thread's condvar. The queue stays
+            // *bounded*: past the high-water mark the producer parks until
+            // the executor catches up — backpressure, not unbounded
+            // memory. The executor's own thread (a nested bus-handler
+            // submit during a drain) never parks on space only it can
+            // free, and a pool worker never parks on space only another
+            // pool worker can free (all workers parked on each other's
+            // sessions would be a circular wait).
+            if let Some(reg) = self.pool_reg.lock().as_ref() {
+                reg.notify();
+            } else {
+                self.queue_cond.notify_one();
+            }
             let high_water = self.batch_limit.saturating_mul(HIGH_WATER_FACTOR);
             if queue.len() >= high_water
+                && !pool::is_pool_worker()
                 && *self.flusher.lock() != Some(std::thread::current().id())
             {
                 while queue.len() >= high_water && self.background.load(Ordering::SeqCst) {
@@ -563,7 +599,22 @@ impl<N: BitDewApi + ActiveData + TransferManager> Drive for SessionCore<N> {
 
     fn sink_error(&self, err: BitdewError) {
         self.failed_total.fetch_add(1, Ordering::Relaxed);
-        self.failed.lock().push(err);
+        let mut failed = self.failed.lock();
+        if failed.len() >= ERROR_SINK_CAP {
+            // Drop-oldest: the newest failure is the one a late collector
+            // most likely still cares about.
+            failed.pop_front();
+            self.failed_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        failed.push_back(err);
+    }
+}
+
+/// The pool-facing face: a worker that claimed this session drains it
+/// through the same serialized flush path as every other drain driver.
+impl<N: BitDewApi + ActiveData + TransferManager + Send + Sync> PoolDrive for SessionCore<N> {
+    fn pool_drain(&self) {
+        self.flush();
     }
 }
 
@@ -588,10 +639,17 @@ impl<N> Clone for Session<N> {
 
 /// Executor shutdown shared by [`Session::stop_executor`] and the last
 /// [`Session`] drop — bound-free so `Drop` (which has no `N` bounds) can
-/// call it. The stop flag is set under the queue lock the executor's wait
-/// loop holds, so the wake cannot land in its check-to-park window and be
-/// lost; the join is skipped on the executor's own thread (a drop from a
-/// handler running mid-drain must not join itself).
+/// call it. Dedicated mode: the stop flag is set under the queue lock the
+/// executor's wait loop holds, so the wake cannot land in its
+/// check-to-park window and be lost; the join is skipped on the
+/// executor's own thread (a drop from a handler running mid-drain must
+/// not join itself). Pool mode: the same clear-then-sweep handshake — the
+/// background flag drops under the queue lock, the registration retires
+/// (workers skip the entry), and one final drain runs on this thread
+/// (bound-free through the registration's vtable), serialized against any
+/// in-flight worker drain by the flush gate. A submitter pushes before it
+/// loads the flag, so every op either reaches the final sweep or its
+/// submitter saw the flag down and owns the cooperative drain.
 impl<N> SessionCore<N> {
     fn shutdown_executor(&self) {
         {
@@ -603,6 +661,17 @@ impl<N> SessionCore<N> {
             if handle.thread().id() != std::thread::current().id() {
                 let _ = handle.join();
             }
+        }
+        let reg = self.pool_reg.lock().take();
+        if let Some(reg) = reg {
+            {
+                let _queue = self.queue.lock();
+                self.background.store(false, Ordering::SeqCst);
+            }
+            reg.retire();
+            reg.final_drain();
+            // Unblock any producer still parked at the high-water mark.
+            self.space_cond.notify_all();
         }
     }
 }
@@ -663,8 +732,10 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> Session<N> {
                 background: AtomicBool::new(false),
                 exec_stop: AtomicBool::new(false),
                 executor: Mutex::new(None),
-                failed: Mutex::new(Vec::new()),
+                pool_reg: Mutex::new(None),
+                failed: Mutex::new(VecDeque::new()),
                 failed_total: AtomicU64::new(0),
+                failed_dropped: AtomicU64::new(0),
                 user_refs: AtomicUsize::new(1),
             }),
         }
@@ -769,13 +840,19 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> Session<N> {
     /// Drain and return the errors of ops whose futures were dropped
     /// before the result was taken (the session error sink).
     pub fn take_failed(&self) -> Vec<BitdewError> {
-        std::mem::take(&mut *self.core.failed.lock())
+        self.core.failed.lock().drain(..).collect()
     }
 
     /// Total errors ever routed to the session error sink (monotonic —
     /// unaffected by [`Session::take_failed`]).
     pub fn failed_count(&self) -> u64 {
         self.core.failed_total.load(Ordering::Relaxed)
+    }
+
+    /// Sink errors shed because more than [`ERROR_SINK_CAP`] accumulated
+    /// uncollected (monotonic; drop-oldest).
+    pub fn failed_dropped(&self) -> u64 {
+        self.core.failed_dropped.load(Ordering::Relaxed)
     }
 
     fn future<T>(&self, tk: &Ticket<T>) -> OpFuture<T> {
@@ -787,35 +864,79 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> Session<N> {
 }
 
 impl<N: BitDewApi + ActiveData + TransferManager + Send + Sync + 'static> Session<N> {
-    /// A session whose queue is drained by a dedicated background executor
-    /// thread from the start ([`Session::new`] + a successful
-    /// [`Session::start_executor`]).
+    /// A session in background mode from the start ([`Session::new`] + a
+    /// successful [`Session::start_executor`] — i.e. registered with the
+    /// process-shared [`ExecutorPool`]).
     pub fn background(node: N) -> Result<Session<N>> {
         let session = Session::new(node);
         session.start_executor()?;
         Ok(session)
     }
 
-    /// Start the background executor thread: submissions signal its
-    /// condvar, it drains batches fully asynchronously, and futures
-    /// resolve without any caller-driven pump. Returns `Ok(false)` if an
-    /// executor is already running. Thread-spawn failure is reported as
-    /// [`BitdewError::Spawn`] — no panic on resource exhaustion.
+    /// Turn background mode on: register this session with the
+    /// process-shared [`ExecutorPool`] (spawning its workers on first
+    /// use). Submissions mark the session ready, a pool worker claims and
+    /// drains it, and futures resolve without any caller-driven pump.
+    /// Returns `Ok(false)` if background mode is already on. Worker-spawn
+    /// failure is reported as [`BitdewError::Spawn`] — no panic on
+    /// resource exhaustion.
     pub fn start_executor(&self) -> Result<bool> {
+        self.start_executor_with(ExecutorConfig::default())
+    }
+
+    /// [`Session::start_executor`] with an explicit executor placement:
+    /// the process-shared pool, a private pool (tests pin worker counts),
+    /// or a dedicated per-session thread (`bitdew-exec`, the PR 5 shape).
+    pub fn start_executor_with(&self, config: ExecutorConfig) -> Result<bool> {
+        match config {
+            ExecutorConfig::Shared => self.register_pool(ExecutorPool::shared()?),
+            ExecutorConfig::Pool(pool) => self.register_pool(pool),
+            ExecutorConfig::Dedicated => self.start_dedicated(),
+        }
+    }
+
+    /// Register with `pool`. The executor slot mutex doubles as the start
+    /// guard, serializing concurrent starts of either flavor.
+    fn register_pool(&self, pool: Arc<ExecutorPool>) -> Result<bool> {
         let mut slot = self.core.executor.lock();
+        if self.core.background.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        // Reap a dedicated executor that already exited (flag is down).
         if let Some(handle) = slot.take() {
-            if self.core.background.load(Ordering::SeqCst) {
-                *slot = Some(handle);
-                return Ok(false);
+            let _ = handle.join();
+        }
+        let session: Arc<dyn PoolDrive> = Arc::clone(&self.core) as Arc<dyn PoolDrive>;
+        let reg = pool.register(Arc::downgrade(&session))?;
+        *self.core.pool_reg.lock() = Some(reg);
+        self.core.background.store(true, Ordering::SeqCst);
+        // Ops queued before registration must not wait for the next
+        // submission: mark the session ready now.
+        let pending = !self.core.queue.lock().is_empty();
+        if pending {
+            if let Some(reg) = self.core.pool_reg.lock().as_ref() {
+                reg.notify();
             }
-            // A previous executor stopped (or died): reap it and respawn.
+        }
+        Ok(true)
+    }
+
+    /// Spawn the dedicated per-session executor thread
+    /// ([`ExecutorConfig::Dedicated`]).
+    fn start_dedicated(&self) -> Result<bool> {
+        let mut slot = self.core.executor.lock();
+        if self.core.background.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        // A previous executor stopped (or died): reap it and respawn.
+        if let Some(handle) = slot.take() {
             let _ = handle.join();
         }
         self.core.exec_stop.store(false, Ordering::Release);
         self.core.background.store(true, Ordering::SeqCst);
         let core = Arc::clone(&self.core);
         match std::thread::Builder::new()
-            .name("bitdew-session-executor".into())
+            .name("bitdew-exec".into())
             .spawn(move || core.executor_loop())
         {
             Ok(handle) => {
@@ -831,8 +952,10 @@ impl<N: BitDewApi + ActiveData + TransferManager + Send + Sync + 'static> Sessio
         }
     }
 
-    /// Stop the background executor: it drains whatever is queued, then
-    /// exits and is joined. The session falls back to cooperative drains.
+    /// Turn background mode off: a pool registration retires (with a final
+    /// drain on this thread); a dedicated executor drains whatever is
+    /// queued, exits, and is joined. The session falls back to cooperative
+    /// drains either way.
     pub fn stop_executor(&self) {
         self.core.shutdown_executor();
     }

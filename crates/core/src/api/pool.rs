@@ -1,0 +1,474 @@
+//! The shared session-executor pool: N worker threads draining M session
+//! submission queues.
+//!
+//! PR 5's command plane gave every [`Session`](crate::Session) its own
+//! background executor thread. That shape is fine for examples and fatal
+//! for the million-session north star: 10k sessions must not mean 10k
+//! parked OS threads. [`ExecutorPool`] multiplexes every background
+//! session of the process over a fixed worker set (default
+//! [`std::thread::available_parallelism`], threads named
+//! `bitdew-pool-{i}`), so the per-op cost stays flat as sessions grow.
+//!
+//! ## Stealing granularity: whole sessions, never individual ops
+//!
+//! The unit of scheduling is a *ready session*, not an op. A session whose
+//! queue is non-empty is pushed (once) onto the pool's injector; a worker
+//! claims it, drains its queue through the session's own serialized flush
+//! path, and only then releases the claim. Idle workers steal ready
+//! sessions from other workers' local runqueues — never ops out of a
+//! queue — so per-session FIFO program order, group-commit batching, and
+//! [`OpFuture`](crate::OpFuture) resolution order are exactly what the
+//! dedicated-thread executor produced. The claim is a flag, not a lock
+//! held across round-trips: a submission landing mid-drain marks the
+//! session ready again and the draining worker re-queues it (to its own
+//! local tail, round-robin across ready sessions) instead of spinning on
+//! one hot session while others starve.
+//!
+//! ## Fairness and wakeups
+//!
+//! Each worker prefers its local runqueue (sessions it re-queued after a
+//! drain — warm state), then the shared injector (fresh wakeups), then
+//! steals from a sibling's runqueue. Workers with nothing to do park on
+//! the injector condvar; every push notifies one. A short bounded park is
+//! the belt against the unlocked local-runqueue push racing a sibling's
+//! check-then-park window.
+//!
+//! ## What never runs here
+//!
+//! The single-threaded simulator's sessions stay cooperative: a
+//! [`SimNode`](crate::simdriver::SimNode) is `!Send`, so pool registration
+//! is not even expressible for it — waits drive the drain in virtual-time
+//! order and nothing in the discrete event schedule changes. The
+//! per-session dedicated thread survives behind
+//! [`ExecutorConfig::Dedicated`] for tests that want executor-lifecycle
+//! isolation.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::api::{BitdewError, Result};
+
+/// How long an idle worker parks before re-scanning the runqueues — the
+/// belt against a local-runqueue push racing the check-then-park window
+/// (injector pushes are covered by the condvar itself).
+const IDLE_RECHECK: Duration = Duration::from_millis(50);
+
+std::thread_local! {
+    /// Set for the lifetime of a pool worker thread. A worker must never
+    /// park at another session's high-water mark (only pool workers free
+    /// that space — parking one on it can form a circular wait), so the
+    /// submission path checks this flag before applying producer
+    /// backpressure.
+    static POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the calling thread is an [`ExecutorPool`] worker.
+pub(crate) fn is_pool_worker() -> bool {
+    POOL_WORKER.with(|f| f.get())
+}
+
+/// The pool-facing face of a session core: drain the submission queue
+/// through the session's own serialized flush path. Object-safe so the
+/// pool is not generic over the node type.
+pub(crate) trait PoolDrive: Send + Sync {
+    /// Drain the session's queue now (serialized by its flush gate).
+    fn pool_drain(&self);
+}
+
+/// One registered session's scheduling state. The pool's runqueues hold
+/// `Arc<Entry>`; the session holds the other reference through its
+/// [`PoolHandle`].
+struct Entry {
+    /// The session core — weak, so a session dropped with its entry still
+    /// queued does not leak through the runqueue.
+    session: Weak<dyn PoolDrive>,
+    /// True while the entry sits in a runqueue or a worker drains it —
+    /// at most one worker owns a session's queue at any time. Not a lock:
+    /// it is never held across a round-trip by anyone but the one worker
+    /// actually draining.
+    claimed: AtomicBool,
+    /// Set on every submission; cleared by the draining worker before each
+    /// drain pass, re-checked after — the standard dirty flag that makes a
+    /// submit racing the end of a drain impossible to lose.
+    ready: AtomicBool,
+    /// Deregistered sessions are skipped (and their entry dropped) when a
+    /// worker pops them.
+    retired: AtomicBool,
+}
+
+/// State shared by the workers and every [`PoolHandle`].
+struct PoolShared {
+    /// Fresh wakeups: sessions that became ready while unclaimed.
+    injector: Mutex<VecDeque<Arc<Entry>>>,
+    /// Per-worker local runqueues (sessions re-queued after a drain pass);
+    /// siblings steal from these when idle.
+    locals: Vec<Mutex<VecDeque<Arc<Entry>>>>,
+    /// Idle workers park here (paired with the injector mutex).
+    cond: Condvar,
+    stop: AtomicBool,
+    /// Live registrations (registered minus retired).
+    sessions: AtomicUsize,
+    /// Drain passes executed across all workers.
+    drains: AtomicU64,
+    /// Ready sessions taken from a sibling's local runqueue.
+    steals: AtomicU64,
+}
+
+impl PoolShared {
+    /// Mark `entry` ready and, if nobody owns it, queue it on the injector
+    /// and wake a worker. Called from the submission path (under the
+    /// session's queue lock — the injector lock nests inside it and is
+    /// never held while taking a queue lock, so the order is acyclic).
+    fn notify(&self, entry: &Arc<Entry>) {
+        entry.ready.store(true, Ordering::SeqCst);
+        if self.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if entry
+            .claimed
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.injector.lock().push_back(Arc::clone(entry));
+            self.cond.notify_one();
+        }
+    }
+
+    /// Pop the next ready session for worker `idx`: local runqueue first,
+    /// then the injector, then steal from a sibling. `None` means the pool
+    /// is stopping.
+    fn next_session(&self, idx: usize) -> Option<Arc<Entry>> {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(e) = self.locals[idx].lock().pop_front() {
+                return Some(e);
+            }
+            if let Some(e) = self.injector.lock().pop_front() {
+                return Some(e);
+            }
+            for j in (0..self.locals.len()).filter(|&j| j != idx) {
+                if let Some(e) = self.locals[j].lock().pop_back() {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(e);
+                }
+            }
+            let mut injector = self.injector.lock();
+            if !injector.is_empty() {
+                continue;
+            }
+            self.cond.wait_for(&mut injector, IDLE_RECHECK);
+        }
+    }
+
+    /// Run one claimed session: drain, then either re-queue it (more ops
+    /// arrived mid-drain) or release the claim — with the release-side
+    /// re-check that closes the submit-vs-release race.
+    fn run_session(&self, idx: usize, entry: Arc<Entry>) {
+        if entry.retired.load(Ordering::SeqCst) {
+            return; // claim dies with the entry; a restart gets a new one
+        }
+        let Some(session) = entry.session.upgrade() else {
+            return;
+        };
+        entry.ready.store(false, Ordering::SeqCst);
+        session.pool_drain();
+        self.drains.fetch_add(1, Ordering::Relaxed);
+        if entry.retired.load(Ordering::SeqCst) {
+            return;
+        }
+        if entry.ready.load(Ordering::SeqCst) {
+            // More work arrived while draining: round-robin — local tail,
+            // move on to the next ready session (a sibling may steal it).
+            self.locals[idx].lock().push_back(entry);
+            self.cond.notify_one();
+            return;
+        }
+        entry.claimed.store(false, Ordering::SeqCst);
+        // A submit between the ready-check and the claim release saw
+        // `claimed` still up and queued nothing; re-check and re-claim.
+        if entry.ready.load(Ordering::SeqCst)
+            && entry
+                .claimed
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            self.locals[idx].lock().push_back(entry);
+            self.cond.notify_one();
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>, idx: usize) {
+        POOL_WORKER.with(|f| f.set(true));
+        while let Some(entry) = self.next_session(idx) {
+            self.run_session(idx, entry);
+        }
+    }
+}
+
+/// A session's registration with an [`ExecutorPool`], held by the session
+/// core while its background mode is on. Dropping (or retiring) it
+/// deregisters: workers skip the entry from then on.
+pub struct PoolHandle {
+    entry: Arc<Entry>,
+    shared: Arc<PoolShared>,
+}
+
+impl PoolHandle {
+    /// Mark the session ready and wake a worker (no-op if one already owns
+    /// the queue — it re-checks the dirty flag before releasing).
+    pub(crate) fn notify(&self) {
+        self.shared.notify(&self.entry);
+    }
+
+    /// Deregister: workers skip this entry from now on. Idempotent.
+    pub(crate) fn retire(&self) {
+        if !self.entry.retired.swap(true, Ordering::SeqCst) {
+            self.shared.sessions.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drain the session once more on the calling thread — the stop
+    /// handshake's final sweep, serialized against any in-flight worker
+    /// drain by the session's own flush gate. Bound-free through the
+    /// vtable, so the session's `Drop` (which has no node bounds) can run
+    /// it.
+    pub(crate) fn final_drain(&self) {
+        if let Some(session) = self.entry.session.upgrade() {
+            session.pool_drain();
+        }
+    }
+}
+
+impl Drop for PoolHandle {
+    fn drop(&mut self) {
+        self.retire();
+    }
+}
+
+/// How [`Session::start_executor_with`](crate::Session::start_executor_with)
+/// runs the background drain.
+#[derive(Clone, Default)]
+pub enum ExecutorConfig {
+    /// Register with the process-shared pool (the
+    /// [`Session::start_executor`](crate::Session::start_executor)
+    /// default): one fixed worker set serves every background session of
+    /// the process.
+    #[default]
+    Shared,
+    /// Register with a specific pool — tests build small private pools
+    /// ([`ExecutorPool::with_workers`]) to pin worker counts.
+    Pool(Arc<ExecutorPool>),
+    /// The PR 5 shape: one dedicated executor thread for this session
+    /// (named `bitdew-exec`), stopped and joined with it.
+    Dedicated,
+}
+
+/// A fixed set of worker threads draining registered sessions' submission
+/// queues — see the [module docs](self) for the scheduling model.
+///
+/// The process-shared instance ([`ExecutorPool::shared`]) is what
+/// [`Session::start_executor`](crate::Session::start_executor) registers
+/// with; private instances serve tests and benchmarks that need an exact
+/// worker count. Dropping a private pool stops and joins its workers —
+/// deregister its sessions first (stop their executors), or their queued
+/// ops wait forever for workers that no longer exist.
+pub struct ExecutorPool {
+    shared: Arc<PoolShared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// The process-shared pool, built on first use.
+static SHARED_POOL: std::sync::Mutex<Option<Arc<ExecutorPool>>> = std::sync::Mutex::new(None);
+
+impl ExecutorPool {
+    /// The process-shared pool (default worker count:
+    /// [`std::thread::available_parallelism`], at least 2), spawning its
+    /// workers on first call. Thread-spawn failure is reported as
+    /// [`BitdewError::Spawn`] and left retryable — nothing is cached until
+    /// the workers exist.
+    pub fn shared() -> Result<Arc<ExecutorPool>> {
+        let mut slot = SHARED_POOL.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pool) = &*slot {
+            return Ok(Arc::clone(pool));
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .max(2);
+        let pool = ExecutorPool::with_workers(workers)?;
+        *slot = Some(Arc::clone(&pool));
+        Ok(pool)
+    }
+
+    /// A private pool with exactly `workers` threads (minimum 1). The
+    /// returned pool stops and joins them when the last `Arc` drops.
+    pub fn with_workers(workers: usize) -> Result<Arc<ExecutorPool>> {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            cond: Condvar::new(),
+            stop: AtomicBool::new(false),
+            sessions: AtomicUsize::new(0),
+            drains: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let pool = ExecutorPool {
+            shared: Arc::clone(&shared),
+            threads: Mutex::new(Vec::with_capacity(workers)),
+        };
+        for i in 0..workers {
+            let s = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("bitdew-pool-{i}"))
+                .spawn(move || s.worker_loop(i))
+            {
+                Ok(handle) => pool.threads.lock().push(handle),
+                Err(e) => {
+                    pool.stop_and_join();
+                    return Err(BitdewError::Spawn {
+                        what: format!("executor pool worker {i}: {e}"),
+                    });
+                }
+            }
+        }
+        Ok(Arc::new(pool))
+    }
+
+    /// Register a session; its [`PoolHandle`] routes submissions to the
+    /// workers until retired.
+    pub(crate) fn register(&self, session: Weak<dyn PoolDrive>) -> Result<PoolHandle> {
+        if self.shared.stop.load(Ordering::SeqCst) {
+            return Err(BitdewError::Spawn {
+                what: "executor pool is shut down".into(),
+            });
+        }
+        self.shared.sessions.fetch_add(1, Ordering::Relaxed);
+        Ok(PoolHandle {
+            entry: Arc::new(Entry {
+                session,
+                claimed: AtomicBool::new(false),
+                ready: AtomicBool::new(false),
+                retired: AtomicBool::new(false),
+            }),
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Worker thread count.
+    pub fn workers(&self) -> usize {
+        self.shared.locals.len()
+    }
+
+    /// Currently registered (not yet retired) sessions.
+    pub fn sessions(&self) -> usize {
+        self.shared.sessions.load(Ordering::Relaxed)
+    }
+
+    /// Drain passes executed across all workers since the pool started.
+    pub fn drains(&self) -> u64 {
+        self.shared.drains.load(Ordering::Relaxed)
+    }
+
+    /// Ready sessions taken from a sibling worker's runqueue — non-zero
+    /// under load imbalance, the signature of the stealing actually
+    /// engaging.
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    fn stop_and_join(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.cond.notify_all();
+        for handle in self.threads.lock().drain(..) {
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingDrain {
+        drains: AtomicU64,
+    }
+
+    impl PoolDrive for CountingDrain {
+        fn pool_drain(&self) {
+            self.drains.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn notify_claims_once_and_redelivers_after_drain() {
+        let pool = ExecutorPool::with_workers(2).unwrap();
+        let task = Arc::new(CountingDrain {
+            drains: AtomicU64::new(0),
+        });
+        let weak: Weak<dyn PoolDrive> = {
+            let strong: Arc<dyn PoolDrive> = Arc::clone(&task) as Arc<dyn PoolDrive>;
+            Arc::downgrade(&strong)
+        };
+        let handle = pool.register(weak).unwrap();
+        assert_eq!(pool.sessions(), 1);
+        handle.notify();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while task.drains.load(Ordering::SeqCst) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "first drain never ran"
+            );
+            std::thread::yield_now();
+        }
+        // A second notify after the claim released drains again.
+        handle.notify();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while task.drains.load(Ordering::SeqCst) < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "re-notify never drained"
+            );
+            std::thread::yield_now();
+        }
+        handle.retire();
+        assert_eq!(pool.sessions(), 0);
+    }
+
+    #[test]
+    fn retired_entries_are_skipped_and_pool_joins_on_drop() {
+        let pool = ExecutorPool::with_workers(1).unwrap();
+        let task = Arc::new(CountingDrain {
+            drains: AtomicU64::new(0),
+        });
+        let weak: Weak<dyn PoolDrive> = {
+            let strong: Arc<dyn PoolDrive> = Arc::clone(&task) as Arc<dyn PoolDrive>;
+            Arc::downgrade(&strong)
+        };
+        let handle = pool.register(weak).unwrap();
+        handle.retire();
+        handle.notify();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(
+            task.drains.load(Ordering::SeqCst),
+            0,
+            "retired session never drained"
+        );
+        drop(handle);
+        drop(pool); // joins the worker; must not hang
+    }
+}

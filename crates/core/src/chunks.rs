@@ -792,16 +792,22 @@ impl OobTransfer for MultiSourceFetcher {
         self.shared
             .live_sources
             .store(self.sources.len(), Ordering::SeqCst);
-        for locator in self.sources.clone() {
+        for (i, locator) in self.sources.clone().into_iter().enumerate() {
             let fabric = self.fabric.clone();
             let manifest = self.manifest.clone();
             let object = self.object.clone();
             let dest = Arc::clone(&self.dest);
             let shared = Arc::clone(&self.shared);
             let pipeline = self.pipeline;
-            self.workers.push(std::thread::spawn(move || {
-                Self::run_source(fabric, locator, manifest, object, dest, shared, pipeline);
-            }));
+            let handle = std::thread::Builder::new()
+                .name(format!("bitdew-fetch-{i}"))
+                .spawn(move || {
+                    Self::run_source(fabric, locator, manifest, object, dest, shared, pipeline);
+                })
+                .map_err(|e| {
+                    TransportError::Protocol(format!("spawn multi-source fetch worker {i}: {e}"))
+                })?;
+            self.workers.push(handle);
         }
         Ok(())
     }

@@ -150,8 +150,8 @@ pub mod simdriver;
 
 pub use api::{
     block_on, join_all, ActiveData, Backpressure, BitDewApi, BitdewError, DataEvent, DataEventKind,
-    DataHandle, EventBus, EventFilter, EventStream, EventSub, HandlerId, OpFuture, Result, Session,
-    TransferManager,
+    DataHandle, EventBus, EventFilter, EventStream, EventSub, ExecutorConfig, ExecutorPool,
+    HandlerId, OpFuture, Result, Session, TransferManager,
 };
 pub use attr::{Attribute, DataAttributes, Lifetime, REPLICA_ALL};
 pub use attrparse::{parse_attributes, parse_single, AttrDef, AttrError, ResolveCtx};

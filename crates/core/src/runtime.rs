@@ -54,7 +54,7 @@ use crate::services::catalog::DbAccess;
 use crate::services::repository::DataRepository;
 use crate::services::scheduler::{HostUid, SyncRole};
 use crate::services::transfer::{DataTransfer, TransferBuilder, TransferId, TransferState};
-use crate::shard::ShardedPlane;
+use crate::shard::{ShardedPlane, SyncProfile};
 
 /// Runtime tuning parameters.
 #[derive(Debug, Clone)]
@@ -343,6 +343,10 @@ pub struct BitdewNode {
     /// Running drivers of this node's synchronization (heartbeat threads);
     /// waiters park instead of self-pumping while this is non-zero.
     drivers: AtomicUsize,
+    /// Work profile of the most recent synchronization round, including
+    /// how many events its publish path deferred for full `Block`
+    /// subscribers (see [`BitdewNode::last_sync_profile`]).
+    last_profile: Mutex<SyncProfile>,
 }
 
 impl BitdewNode {
@@ -392,14 +396,17 @@ impl BitdewNode {
             stop_mu: Mutex::new(false),
             stop_cv: Condvar::new(),
             drivers: AtomicUsize::new(0),
+            last_profile: Mutex::new(SyncProfile::default()),
         })
     }
 
-    /// A pipelined [`Session`] over this node with the background executor
-    /// already running (the threaded deployment's default-on reactive
-    /// surface): submissions signal the executor's condvar, batches drain
-    /// asynchronously, and op futures resolve — and `.await` — without any
-    /// caller-driven pump.
+    /// A pipelined [`Session`] over this node in background mode (the
+    /// threaded deployment's default-on reactive surface): the session is
+    /// registered with the process-shared
+    /// [`ExecutorPool`](crate::api::pool::ExecutorPool), submissions mark
+    /// it ready for the pool's workers, batches drain asynchronously, and
+    /// op futures resolve — and `.await` — without any caller-driven
+    /// pump.
     pub fn session(self: &Arc<Self>) -> Result<Session<Arc<BitdewNode>>> {
         Session::background(Arc::clone(self))
     }
@@ -989,6 +996,11 @@ impl BitdewNode {
     /// (Algorithm 1), delete obsolete data, start newly assigned downloads.
     pub fn sync_once(&self) -> SyncSummary {
         let mut summary = SyncSummary::default();
+        // 0. Re-deliver events deferred for full `Block` subscribers in
+        // earlier rounds — the retry half of the deferral contract (one
+        // slow subscriber slows only itself, never this round).
+        self.bus.retry_deferred();
+        let deferred_before = self.bus.deferred_events();
 
         // 1. Reap finished transfers.
         self.container.transfer.tick();
@@ -1092,11 +1104,11 @@ impl BitdewNode {
             }
         }
         let now = self.container.now_nanos();
-        let reply = self
+        let (reply, mut profile) = self
             .container
             .plane
             .scheduler()
-            .sync_as(self.uid, &cache_ids, now, self.role);
+            .sync_profiled(self.uid, &cache_ids, now, self.role);
 
         // 3. Purge obsolete data — bytes, chunk presence marks AND the
         // cached manifest. Stale presence would make a later re-download
@@ -1173,7 +1185,19 @@ impl BitdewNode {
         if self.pending.lock().is_empty() {
             self.idle.notify_all();
         }
+        // Record the round's work profile, charging it with the events
+        // this round's publishes deferred instead of parking on.
+        profile.deferred_events = self.bus.deferred_events() - deferred_before;
+        *self.last_profile.lock() = profile;
         summary
+    }
+
+    /// The work profile of the most recent synchronization round: per-shard
+    /// items examined plus how many events the round's publish path
+    /// deferred for full [`Backpressure::Block`] subscribers (zero when
+    /// every subscriber kept pace).
+    pub fn last_sync_profile(&self) -> SyncProfile {
+        self.last_profile.lock().clone()
     }
 
     /// Submit a multi-source chunked fetch for a scheduled download when
@@ -1228,7 +1252,7 @@ impl BitdewNode {
         let guard = DriverGuard(Arc::clone(&node));
         let n2 = Arc::clone(&node);
         let thread = std::thread::Builder::new()
-            .name(format!("reservoir-{}", self.uid))
+            .name("bitdew-heartbeat".into())
             .spawn(move || {
                 let _guard = guard;
                 while !n2.stop.load(Ordering::Relaxed) {
@@ -1276,8 +1300,11 @@ impl BitdewNode {
         // legacy poll queue among them), then handler callbacks — the bus
         // runs handlers with its lock released, so a handler calling back
         // into this node (a worker's onDataCopy schedules its result,
-        // which fires onDataCreate) cannot deadlock.
-        self.bus.publish(&DataEvent {
+        // which fires onDataCreate) cannot deadlock. The *deferring*
+        // publish: a full `Block` subscriber defers this event to its
+        // retry queue rather than parking the synchronization round (or a
+        // client's schedule_many) on one slow consumer.
+        self.bus.publish_deferring(&DataEvent {
             kind,
             data: data.clone(),
             attrs: attrs.clone(),

@@ -135,6 +135,13 @@ impl RefRegistry {
 pub struct SyncProfile {
     /// Items examined per shard.
     pub per_shard: Vec<usize>,
+    /// Events the synchronization round that consumed this profile
+    /// deferred for full [`Backpressure::Block`](crate::Backpressure)
+    /// subscribers instead of parking its publish path. The scheduler
+    /// itself publishes nothing — the driving runtime fills this in after
+    /// its publish phase (the threaded heartbeat does; the single-threaded
+    /// simulator never defers, so it stays 0 there).
+    pub deferred_events: u64,
 }
 
 impl SyncProfile {
@@ -421,6 +428,7 @@ impl ShardedScheduler {
         let slices = self.router.split(delta_k);
         let mut profile = SyncProfile {
             per_shard: vec![0; n],
+            deferred_events: 0,
         };
         // The oracle takes a brief `live` read lock per RelativeTo-lifetime
         // check; concurrent syncs share it without blocking each other, so

@@ -21,6 +21,18 @@
 //! application code generic over those traits runs under virtual time
 //! exactly as it runs on the threaded [`BitdewNode`](crate::BitdewNode):
 //! waits and barriers advance the discrete-event clock instead of sleeping.
+//!
+//! Sessions over a [`SimNode`] always drain **cooperatively**: the node is
+//! single-threaded (`Rc`-based, `!Send`), so registration with the shared
+//! [`ExecutorPool`](crate::api::pool::ExecutorPool) is not even
+//! expressible for it — `Session::start_executor` requires `Send + Sync`
+//! — and every queue drain happens inside a wait, in discrete-event
+//! order. The pool is therefore a no-op concept under the simulator: the
+//! same generic application code runs, with the drain driven by the
+//! virtual clock instead of worker threads. Likewise the bus's `Block`
+//! backpressure degrades to lossless here (a single thread can never park
+//! on itself), so the threaded runtime's publish-deferral machinery has
+//! nothing to defer in virtual time.
 
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};

@@ -30,9 +30,13 @@
 //! is a reservoir heartbeat, under the simulator it advances virtual time.
 //!
 //! On the threaded deployment, [`MwMaster::start_executor`] /
-//! [`MwWorker::start_executor`] put the half's session on a background
-//! executor thread: task submissions and result publishes drain
-//! asynchronously, overlapping the batch round-trips with compute.
+//! [`MwWorker::start_executor`] turn on the half's background mode by
+//! registering its session with the **process-shared**
+//! [`ExecutorPool`](bitdew_core::api::pool::ExecutorPool): task
+//! submissions and result publishes drain asynchronously, overlapping the
+//! batch round-trips with compute — and a deployment with one master and
+//! many workers in one process multiplexes all of their sessions over the
+//! same fixed worker set instead of spawning a thread per half.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -234,9 +238,11 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> MwMaster<N> {
 }
 
 impl<N: BitDewApi + ActiveData + TransferManager + Send + Sync + 'static> MwMaster<N> {
-    /// Put this master's session on a background executor thread
-    /// (threaded deployments only): task-batch round-trips drain
-    /// asynchronously instead of inside [`MwMaster::submit_batch`].
+    /// Turn on this master's background mode (threaded deployments
+    /// only): the session registers with the process-shared
+    /// [`ExecutorPool`](bitdew_core::api::pool::ExecutorPool) — shared
+    /// with every worker half in the process — and task-batch round-trips
+    /// drain asynchronously instead of inside [`MwMaster::submit_batch`].
     pub fn start_executor(&self) -> Result<bool> {
         self.session.start_executor()
     }
@@ -391,9 +397,11 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> MwWorker<N> {
 }
 
 impl<N: BitDewApi + ActiveData + TransferManager + Send + Sync + 'static> MwWorker<N> {
-    /// Put this worker's session on a background executor thread
-    /// (threaded deployments only): result publishes drain while the next
-    /// task computes.
+    /// Turn on this worker's background mode (threaded deployments
+    /// only): the session registers with the same process-shared
+    /// [`ExecutorPool`](bitdew_core::api::pool::ExecutorPool) as the
+    /// master and every sibling worker, and result publishes drain while
+    /// the next task computes.
     pub fn start_executor(&self) -> Result<bool> {
         self.session.start_executor()
     }

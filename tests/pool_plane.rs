@@ -1,0 +1,298 @@
+//! PR 7 integration surface: the shared work-stealing executor pool and
+//! the deferring publish path of the sync plane.
+//!
+//! Three planks:
+//!
+//! * many background sessions multiplex over a tiny fixed worker set with
+//!   nothing lost and program order intact (the proptest interleaves
+//!   `flush()`, `.await`, and stop/restart across 64 sessions on 3
+//!   workers);
+//! * a full [`Backpressure::Block`] subscriber no longer stalls the
+//!   heartbeat's synchronization round — its events park in a per-sub
+//!   deferral queue, the round completes, and the events are redelivered
+//!   once the consumer catches up;
+//! * the session error sink is bounded (drop-oldest at
+//!   [`ERROR_SINK_CAP`]) so abandoned-future storms cannot grow it
+//!   without limit.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use bitdew::core::api::{block_on, Backpressure, Session, ERROR_SINK_CAP};
+use bitdew::core::{
+    BitdewNode, DataAttributes, DataEventKind, EventFilter, ExecutorConfig, ExecutorPool,
+    RuntimeConfig, ServiceContainer,
+};
+
+fn threaded() -> Arc<ServiceContainer> {
+    ServiceContainer::start(RuntimeConfig::default())
+}
+
+// --- Flat thread count: many sessions, two workers -----------------------
+
+#[test]
+fn hundred_sessions_share_two_pool_workers() {
+    let c = threaded();
+    let node = BitdewNode::new_client(Arc::clone(&c));
+    let pool = ExecutorPool::with_workers(2).expect("pool");
+    assert_eq!(pool.workers(), 2);
+
+    let sessions: Vec<_> = (0..100)
+        .map(|i| {
+            let s = Session::with_batch_limit(Arc::clone(&node), 8);
+            assert!(
+                s.start_executor_with(ExecutorConfig::Pool(Arc::clone(&pool)))
+                    .expect("register"),
+                "fresh registration {i}"
+            );
+            s
+        })
+        .collect();
+    assert_eq!(pool.sessions(), 100, "every session registered, no threads");
+
+    let futures: Vec<_> = sessions
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let d = s
+                .node()
+                .create_data(&format!("flat-{i}"), &[i as u8; 64])
+                .expect("create");
+            s.put(&d, &[i as u8; 64])
+        })
+        .collect();
+    for (i, fut) in futures.into_iter().enumerate() {
+        fut.wait().unwrap_or_else(|e| panic!("session {i}: {e}"));
+    }
+    assert!(pool.drains() > 0, "workers actually drained");
+
+    for s in &sessions {
+        s.stop_executor();
+    }
+    assert_eq!(pool.sessions(), 0, "stop deregisters every session");
+}
+
+// --- Bounded error sink --------------------------------------------------
+
+#[test]
+fn error_sink_sheds_oldest_past_the_cap() {
+    let c = threaded();
+    let node = BitdewNode::new_client(Arc::clone(&c));
+    let session = Session::new(node);
+    let handle = session.create("sink-cap", b"x").expect("create");
+    let bad = DataAttributes::default().with_replica(-5); // scheduler-invalid
+
+    const OVERFLOW: usize = 50;
+    for _ in 0..ERROR_SINK_CAP + OVERFLOW {
+        drop(handle.schedule(bad.clone()));
+    }
+    session.flush();
+
+    assert_eq!(
+        session.failed_count(),
+        (ERROR_SINK_CAP + OVERFLOW) as u64,
+        "the monotonic total counts every failure"
+    );
+    assert_eq!(
+        session.failed_dropped(),
+        OVERFLOW as u64,
+        "overflow beyond the cap is shed and counted"
+    );
+    let kept = session.take_failed();
+    assert_eq!(kept.len(), ERROR_SINK_CAP, "the sink holds at most the cap");
+    assert_eq!(session.failed_dropped(), OVERFLOW as u64);
+}
+
+// --- Block(1) subscriber defers instead of stalling the sync round -------
+
+#[test]
+fn full_block_subscriber_defers_instead_of_stalling_sync() {
+    const EVENTS: usize = 4;
+    let c = threaded();
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let worker = BitdewNode::new(Arc::clone(&c));
+
+    // Nobody consumes `block_sub` while the rounds run: under PR 5
+    // semantics its second Copy event would park the publishing heartbeat
+    // forever. The sibling proves delivery to healthy subscribers is
+    // untouched.
+    let block_sub = worker.subscribe_with(
+        EventFilter::kind(DataEventKind::Copy),
+        Backpressure::Block(1),
+    );
+    let sibling = worker.subscribe(EventFilter::kind(DataEventKind::Copy));
+
+    for i in 0..EVENTS {
+        let payload = vec![i as u8 + 1; 4_096];
+        let d = client.create_data(&format!("defer-{i}"), &payload).unwrap();
+        client.put(&d, &payload).unwrap();
+        client
+            .schedule(&d, DataAttributes::default().with_replica(1))
+            .unwrap();
+    }
+
+    let mut deferred_profiled = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while sibling.len() < EVENTS {
+        assert!(
+            Instant::now() < deadline,
+            "sync rounds stalled: sibling saw {}/{EVENTS} events",
+            sibling.len()
+        );
+        let round = Instant::now();
+        worker.sync_once();
+        assert!(
+            round.elapsed() < Duration::from_secs(5),
+            "a full Block subscriber must not park the sync round"
+        );
+        deferred_profiled += worker.last_sync_profile().deferred_events;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    assert!(
+        block_sub.deferred() > 0,
+        "overflow events were deferred, not dropped and not parked on"
+    );
+    assert!(
+        deferred_profiled > 0,
+        "the sync profile accounts the deferrals"
+    );
+    assert_eq!(sibling.len(), EVENTS, "healthy subscriber saw everything");
+
+    // The lagging consumer catches up: queued + deferred events drain in
+    // order with nothing lost (try_recv falls through to the deferral
+    // queue; heartbeat rounds migrate it back as space opens).
+    let mut got = 0;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while got < EVENTS {
+        assert!(
+            Instant::now() < deadline,
+            "deferred events never redelivered: {got}/{EVENTS}"
+        );
+        if block_sub.try_recv().is_some() {
+            got += 1;
+        } else {
+            worker.sync_once();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    assert_eq!(block_sub.deferred_len(), 0, "deferral queue fully drained");
+}
+
+// --- Proptest: 64 sessions × 3 workers, stop/restart in the mix ----------
+
+/// One scripted step: which session, and what to do (`0..=1` put a fresh
+/// version, `2` schedule, `3` flush, `4` await that session's newest
+/// future, `5` stop + re-register the executor mid-stream).
+type PoolPlan = Vec<(u8, u8)>;
+
+const SESSIONS: usize = 64;
+const WORKERS: usize = 3;
+const SLOT_LEN: usize = 16;
+
+fn pool_plan() -> impl Strategy<Value = PoolPlan> {
+    proptest::collection::vec((0u8..SESSIONS as u8, 0u8..6), 24..72)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// 64 background sessions share 3 pool workers while the driving
+    /// thread interleaves `flush()`, `.await`, and executor stop/restart.
+    /// Per-session program order must survive (each datum ends at its
+    /// last-submitted version), and no ticket is lost or doubly resolved —
+    /// every future resolves `Ok` exactly once and the error sink stays
+    /// empty.
+    #[test]
+    fn program_order_survives_pool_multiplexing(plan in pool_plan()) {
+        let c = threaded();
+        let node = BitdewNode::new_client(Arc::clone(&c));
+        let pool = ExecutorPool::with_workers(WORKERS).expect("pool");
+        let sessions: Vec<_> = (0..SESSIONS)
+            .map(|_| Session::with_batch_limit(Arc::clone(&node), 4))
+            .collect();
+        for s in &sessions {
+            prop_assert!(
+                s.start_executor_with(ExecutorConfig::Pool(Arc::clone(&pool)))
+                    .expect("register")
+            );
+        }
+        prop_assert_eq!(pool.sessions(), SESSIONS);
+
+        let data: Vec<_> = (0..SESSIONS)
+            .map(|i| {
+                node.create_slot(&format!("pp-{i}"), SLOT_LEN as u64)
+                    .expect("slot")
+            })
+            .collect();
+
+        let mut last_version: Vec<Option<u8>> = vec![None; SESSIONS];
+        let mut pending: Vec<Vec<_>> = (0..SESSIONS).map(|_| Vec::new()).collect();
+        let mut submitted: u64 = 0;
+        let mut resolved: u64 = 0;
+        let mut version: u8 = 0;
+        for (si, action) in plan.iter().map(|(s, a)| (*s as usize, *a)) {
+            let session = &sessions[si];
+            match action {
+                0 | 1 => {
+                    version = version.wrapping_add(1);
+                    last_version[si] = Some(version);
+                    pending[si].push(session.put(&data[si], &[version; SLOT_LEN]));
+                    submitted += 1;
+                }
+                2 => {
+                    pending[si].push(
+                        session.schedule(&data[si], DataAttributes::default().with_replica(1)),
+                    );
+                    submitted += 1;
+                }
+                3 => session.flush(),
+                4 => {
+                    if let Some(fut) = pending[si].pop() {
+                        block_on(fut).expect("awaited op");
+                        resolved += 1;
+                    }
+                }
+                _ => {
+                    // Retire the registration and re-register: queued ops
+                    // drain through the stop handshake, later ops through
+                    // the fresh entry.
+                    session.stop_executor();
+                    prop_assert!(
+                        session
+                            .start_executor_with(ExecutorConfig::Pool(Arc::clone(&pool)))
+                            .expect("restart")
+                    );
+                }
+            }
+        }
+        for (si, futs) in pending.into_iter().enumerate() {
+            for fut in futs {
+                fut.wait()
+                    .unwrap_or_else(|e| panic!("session {si} lost a ticket: {e}"));
+                resolved += 1;
+            }
+        }
+        prop_assert_eq!(resolved, submitted, "every ticket resolved exactly once");
+        for (si, session) in sessions.iter().enumerate() {
+            prop_assert_eq!(session.pending_ops(), 0, "session {} fully drained", si);
+            prop_assert_eq!(session.failed_count(), 0, "session {} sank an error", si);
+        }
+        for (si, last) in last_version.iter().enumerate() {
+            let Some(v) = last else { continue };
+            let got = node.get_range(&data[si], 0, SLOT_LEN).expect("read back");
+            prop_assert_eq!(
+                got,
+                vec![*v; SLOT_LEN],
+                "datum {} must hold its last-submitted version",
+                si
+            );
+        }
+        for s in &sessions {
+            s.stop_executor();
+        }
+        prop_assert_eq!(pool.sessions(), 0, "teardown deregistered everything");
+    }
+}
