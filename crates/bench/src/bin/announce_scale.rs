@@ -1,0 +1,314 @@
+//! Discovery-plane scaling: sync bytes/host/round TCP vs UDP announce,
+//! and 100k-host churn with announce-carried liveness.
+//!
+//! The PR 8 tentpole adds the compact UDP announce plane: between full
+//! catalog synchronizations a host emits one ~86-byte datagram of
+//! liveness plus one per held datum each TTL half-life, instead of the
+//! ~1.2 kB SOAP-shaped catalog round-trip every heartbeat. This harness
+//! measures what that buys, in the same virtual-time methodology the
+//! paper's Fig. 4-6 reproductions use:
+//!
+//! 1. **Sync bytes per host per round** — an identical steady-state
+//!    workload (~2 fault-tolerant data per host) run twice, TCP-only vs
+//!    announce mode at `ttl_factor = 32`, `full_sync_every = 128`. The
+//!    byte model is pinned against the real codec by
+//!    `sim_wire_constants_match_real_codec`; the announce plane must cut
+//!    sync bytes/host/round by >= 10x.
+//! 2. **100k-host churn** — |Θ| = 200 replicated data under announce-
+//!    carried liveness; 1% of hosts die silently mid-run (no failure
+//!    detector runs — only the host cache's TTL sweep notices), and the
+//!    datagram path itself goes down for 5 s (every node degrades to
+//!    full TCP syncs, counted as fallbacks). The run must complete with
+//!    every datum still owned.
+//!
+//! Results land in `BENCH_announce_scale.json` beside the human-readable
+//! tables.
+//!
+//! Run with: `cargo run --release -p bitdew-bench --bin announce_scale`
+//! (`-- --smoke` for the CI-sized run; both sizes assert the >= 10x
+//! byte saving and the churn-survival criteria).
+
+use bitdew_bench::{print_table, section};
+use bitdew_core::simdriver::{SimBitdew, SimSyncStats};
+use bitdew_core::{Data, DataAttributes};
+use bitdew_sim::{topology, Sim, SimDuration, SimTime, Trace};
+use bitdew_util::Auid;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Announce claims stay fresh `ttl_factor` heartbeats without a refresh.
+const TTL_FACTOR: u32 = 32;
+/// One full TCP catalog sync every this many heartbeats per host.
+const FULL_SYNC_EVERY: u32 = 128;
+
+struct Params {
+    /// Hosts in the byte-saving comparison (section 1).
+    sync_hosts: usize,
+    /// Virtual horizon of section 1 (also ~rounds per host).
+    sync_horizon: u64,
+    /// Hosts in the churn scenario (section 2).
+    churn_hosts: usize,
+    /// Managed data |Θ| in the churn scenario.
+    churn_data: usize,
+    /// Virtual horizon of section 2.
+    churn_horizon: u64,
+}
+
+impl Params {
+    fn full() -> Params {
+        Params {
+            sync_hosts: 1_000,
+            sync_horizon: 256,
+            churn_hosts: 100_000,
+            churn_data: 200,
+            churn_horizon: 100,
+        }
+    }
+
+    fn smoke() -> Params {
+        Params {
+            sync_hosts: 256,
+            sync_horizon: 256,
+            churn_hosts: 5_000,
+            churn_data: 200,
+            churn_horizon: 100,
+        }
+    }
+}
+
+/// Section 1: one steady-state run — ~2 fault-tolerant data per host,
+/// every host heartbeating once per virtual second. Returns the sync
+/// plane's byte counters.
+fn sync_bytes_run(announce: bool, p: &Params) -> SimSyncStats {
+    let topo = topology::gdx_cluster(p.sync_hosts);
+    let mut sim = Sim::new(11);
+    let bd = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_secs(1),
+        Trace::new(),
+    );
+    if announce {
+        bd.enable_announce(TTL_FACTOR, FULL_SYNC_EVERY);
+    }
+    let mut rng = SmallRng::seed_from_u64(5);
+    for i in 0..p.sync_hosts * 2 {
+        let d = Data::slot(
+            Auid::generate(i as u64 + 1, &mut rng),
+            format!("d{i}"),
+            64_000,
+        );
+        bd.schedule_data(
+            d,
+            DataAttributes::default()
+                .with_replica(1)
+                .with_fault_tolerance(true),
+        );
+    }
+    // Stagger arrivals over 8 s so the initial full-sync wave spreads.
+    for (i, &w) in topo.workers.iter().enumerate() {
+        bd.add_node(&mut sim, w, SimTime::from_secs((i % 8) as u64));
+    }
+    sim.run_until(SimTime::from_secs(p.sync_horizon));
+    bd.sync_stats()
+}
+
+struct ChurnOutcome {
+    stats: SimSyncStats,
+    min_owners: usize,
+    victims: usize,
+    claims: usize,
+}
+
+/// Section 2: announce-carried liveness under churn. No failure detector
+/// runs; 1% of hosts die silently at t=40 (the TTL sweep is the only
+/// thing that can notice), and the datagram path is down t=50..55 (every
+/// node falls back to full TCP syncs).
+fn churn_run(p: &Params) -> ChurnOutcome {
+    let topo = topology::gdx_cluster(p.churn_hosts);
+    let mut sim = Sim::new(12);
+    let bd = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_secs(1),
+        Trace::new(),
+    );
+    bd.enable_announce(TTL_FACTOR, FULL_SYNC_EVERY);
+    let mut rng = SmallRng::seed_from_u64(6);
+    let data: Vec<Data> = (0..p.churn_data)
+        .map(|i| {
+            Data::slot(
+                Auid::generate(i as u64 + 1, &mut rng),
+                format!("c{i}"),
+                64_000,
+            )
+        })
+        .collect();
+    for d in &data {
+        bd.schedule_data(
+            d.clone(),
+            DataAttributes::default()
+                .with_replica(3)
+                .with_fault_tolerance(true),
+        );
+    }
+    for (i, &w) in topo.workers.iter().enumerate() {
+        bd.add_node(&mut sim, w, SimTime::from_secs((i % 8) as u64));
+    }
+    // Silent death of every 100th host: no HostDown reaches the
+    // scheduler — their announce claims simply stop refreshing.
+    let victims: Vec<_> = topo.workers.iter().step_by(100).copied().collect();
+    let n_victims = victims.len();
+    let bd2 = bd.clone();
+    let net = topo.net.clone();
+    sim.schedule_at(SimTime::from_secs(40), move |sim| {
+        for &v in &victims {
+            bd2.kill_host(sim, v);
+            net.set_host_enabled(sim, v, false);
+        }
+    });
+    // Datagram-plane outage: announce rounds degrade to TCP fallbacks.
+    let bd3 = bd.clone();
+    sim.schedule_at(SimTime::from_secs(50), move |_| bd3.set_udp_up(false));
+    let bd4 = bd.clone();
+    sim.schedule_at(SimTime::from_secs(55), move |_| bd4.set_udp_up(true));
+    sim.run_until(SimTime::from_secs(p.churn_horizon));
+    let min_owners = data
+        .iter()
+        .map(|d| bd.owners_of(d.id).len())
+        .min()
+        .unwrap_or(0);
+    ChurnOutcome {
+        stats: bd.sync_stats(),
+        min_owners,
+        victims: n_victims,
+        claims: bd.announce_claims(),
+    }
+}
+
+fn per_host_round(total: u64, p: &Params) -> f64 {
+    total as f64 / (p.sync_hosts as u64 * p.sync_horizon) as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let p = if smoke {
+        Params::smoke()
+    } else {
+        Params::full()
+    };
+    println!(
+        "# announce_scale — discovery plane vs TCP catalog sync{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    section("1. sync bytes per host per round (steady state)");
+    println!(
+        "{} hosts × {} rounds, ~2 ft data/host, ttl_factor = {TTL_FACTOR}, \
+         full_sync_every = {FULL_SYNC_EVERY}\n",
+        p.sync_hosts, p.sync_horizon
+    );
+    let tcp = sync_bytes_run(false, &p);
+    let udp = sync_bytes_run(true, &p);
+    let tcp_total = tcp.tcp_bytes;
+    let udp_total = udp.tcp_bytes + udp.announce_bytes + udp.scrape_bytes;
+    let ratio = tcp_total as f64 / udp_total as f64;
+    let rows = vec![
+        vec![
+            "tcp-only".to_string(),
+            tcp.tcp_syncs.to_string(),
+            "0".to_string(),
+            format!("{:.1}", per_host_round(tcp_total, &p)),
+        ],
+        vec![
+            "announce".to_string(),
+            udp.tcp_syncs.to_string(),
+            udp.announce_datagrams.to_string(),
+            format!("{:.1}", per_host_round(udp_total, &p)),
+        ],
+    ];
+    print_table(
+        &["plane", "catalog syncs", "datagrams", "bytes/host/round"],
+        &rows,
+    );
+    println!("\nsync-byte saving: {ratio:.1}x (criterion: >= 10x)");
+
+    section("2. churn at scale (announce-carried liveness)");
+    println!(
+        "{} hosts, |Θ| = {} × replica 3, 1% silent deaths at t=40, \
+         datagram outage t=50..55, horizon {} s\n",
+        p.churn_hosts, p.churn_data, p.churn_horizon
+    );
+    let churn = churn_run(&p);
+    let rows = vec![
+        vec!["silent deaths".to_string(), churn.victims.to_string()],
+        vec![
+            "TTL evictions".to_string(),
+            churn.stats.cache_evictions.to_string(),
+        ],
+        vec![
+            "fallback TCP syncs (outage)".to_string(),
+            churn.stats.fallback_syncs.to_string(),
+        ],
+        vec![
+            "announce datagrams".to_string(),
+            churn.stats.announce_datagrams.to_string(),
+        ],
+        vec!["live claims at end".to_string(), churn.claims.to_string()],
+        vec![
+            "min owners over Θ".to_string(),
+            churn.min_owners.to_string(),
+        ],
+    ];
+    print_table(&["metric", "value"], &rows);
+
+    let json = format!(
+        "{{\"bench\":\"announce_scale\",\"smoke\":{},\"ttl_factor\":{TTL_FACTOR},\
+         \"full_sync_every\":{FULL_SYNC_EVERY},\
+         \"sync\":{{\"hosts\":{},\"rounds\":{},\"tcp_bytes\":{},\"udp_bytes\":{},\
+         \"tcp_bytes_per_host_round\":{:.2},\"udp_bytes_per_host_round\":{:.2},\
+         \"ratio\":{:.2}}},\
+         \"churn\":{{\"hosts\":{},\"data\":{},\"victims\":{},\"evictions\":{},\
+         \"fallback_syncs\":{},\"announce_datagrams\":{},\"min_owners\":{}}}}}",
+        smoke,
+        p.sync_hosts,
+        p.sync_horizon,
+        tcp_total,
+        udp_total,
+        per_host_round(tcp_total, &p),
+        per_host_round(udp_total, &p),
+        ratio,
+        p.churn_hosts,
+        p.churn_data,
+        churn.victims,
+        churn.stats.cache_evictions,
+        churn.stats.fallback_syncs,
+        churn.stats.announce_datagrams,
+        churn.min_owners,
+    );
+    std::fs::write("BENCH_announce_scale.json", format!("{json}\n")).expect("write bench json");
+    println!("\nwrote BENCH_announce_scale.json");
+
+    assert!(
+        ratio >= 10.0,
+        "announce plane must cut sync bytes/host/round >= 10x, got {ratio:.2}x"
+    );
+    assert_eq!(
+        udp.fallback_syncs, 0,
+        "no datagram was refused in the steady-state run"
+    );
+    assert!(
+        churn.stats.cache_evictions >= 1,
+        "the TTL sweep must evict the silent hosts' claims"
+    );
+    assert!(
+        churn.stats.fallback_syncs as usize >= p.churn_hosts - churn.victims,
+        "the datagram outage must degrade announce rounds to TCP syncs: {}",
+        churn.stats.fallback_syncs
+    );
+    assert!(
+        churn.min_owners >= 1,
+        "every datum must stay owned through the churn"
+    );
+    println!("\n>= 10x sync-byte saving and churn survival verified");
+}

@@ -116,26 +116,51 @@
 //! (the `chunk_scale` bench pins multi-source scaling against
 //! single-source FTP and the BitTorrent fluid model).
 //!
-//! ## The data-local compute plane
+//! ## The four planes
 //!
-//! The crate now stacks **three planes**: the attribute/scheduler *command
-//! plane* decides where data should be, the chunked multi-source *data
-//! plane* moves it there, and the [`compute`] plane brings the computation
-//! to wherever the first two already put the bytes. A [`MapOp`] — a named
-//! UDF over chunk ranges, registered with [`compute::register`] — is
-//! published as a small `compute.op.*` datum whose attributes carry
-//! `affinity = input` plus the reserved `compute` attribute; Algorithm 1
-//! lands it on the input's holders (full owners *and* partial holders),
-//! where a [`ComputeRunner`] partitions the chunk universe by ownership,
-//! reads its share via `get_range_local`, falls back to `fetch_chunks`
-//! only for dealt-but-missing chunks, and publishes outputs as new catalog
-//! data whose attributes drive the shuffle — a reduce is just a second
-//! MapOp scheduled by affinity. Per-op [`ComputeStats`] expose the
-//! locality ledger (the `map_local` bench pins data-local execution
-//! against fetch-then-compute on both backends).
+//! The crate stacks **four planes**, each with its own contract and its
+//! own transport posture:
+//!
+//! 1. **Command plane** — the attribute/scheduler machinery above: sessions
+//!    queue ops, Algorithm 1 decides where data should be, life-cycle
+//!    events flow back through the bus. Reliable, catalog-backed,
+//!    TCP-shaped (the fabric's connection-oriented side).
+//! 2. **Data plane** ([`chunks`]) — moves the bytes: every datum can
+//!    publish a [`ChunkManifest`] (fixed-size chunk descriptors with CRC32
+//!    digests, stored in the catalog beside the locators), nodes store
+//!    content through a chunk-granular [`ChunkStore`], and downloads run
+//!    as a [`MultiSourceFetcher`] that work-steals chunk ranges across the
+//!    repository *and* every announced peer replica, with per-source
+//!    pipelining, per-chunk digest verification, and re-queue of chunks
+//!    from sources that die mid-transfer. The Data Scheduler is
+//!    chunk-aware: a host joins Ω(d) only once it holds every chunk, and a
+//!    partially lost replica receives a *repair* order that moves only the
+//!    missing chunks (the `chunk_scale` bench pins multi-source scaling).
+//! 3. **Compute plane** ([`compute`]) — brings the computation to wherever
+//!    the first two planes already put the bytes. A [`MapOp`] — a named
+//!    UDF over chunk ranges, registered with [`compute::register`] — is
+//!    published as a small `compute.op.*` datum whose attributes carry
+//!    `affinity = input` plus the reserved `compute` attribute; Algorithm 1
+//!    lands it on the input's holders, where a [`ComputeRunner`] partitions
+//!    the chunk universe by ownership, reads its share via
+//!    `get_range_local`, and publishes outputs as new catalog data whose
+//!    attributes drive the shuffle (the `map_local` bench pins data-local
+//!    execution against fetch-then-compute).
+//! 4. **Discovery plane** ([`announce`]) — catalog-free liveness and
+//!    replica discovery over the fabric's *datagram* side. Hosts emit one
+//!    compact BEP-15-style announce per held datum (host uid, data auid,
+//!    chunk bitmap, TTL) alongside — then instead of — the TCP catalog
+//!    sync; the service-side [`AnnounceServer`] aggregates them into a
+//!    TTL-expiring [`HostCache`] feeding the scheduler's Ω/partial-holder
+//!    bookkeeping, and peers [`scrape`](AnnounceClient::scrape) each
+//!    other's replica lists to find fetch sources without a catalog query.
+//!    Best-effort by design: on datagram loss or a disabled UDP plane
+//!    everything degrades to the TCP path (the `announce_scale` bench pins
+//!    the sync-bytes saving and the 100k-host churn scenario).
 
 #![warn(missing_docs)]
 
+pub mod announce;
 pub mod api;
 pub mod attr;
 pub mod attrparse;
@@ -148,6 +173,10 @@ pub mod services;
 pub mod shard;
 pub mod simdriver;
 
+pub use announce::{
+    AnnounceClient, AnnounceMsg, AnnounceServer, AnnounceStats, HostCache, ANNOUNCE_ENDPOINT,
+    FLAG_COMPLETE, FLAG_SERVING,
+};
 pub use api::{
     block_on, join_all, ActiveData, Backpressure, BitDewApi, BitdewError, DataEvent, DataEventKind,
     DataHandle, EventBus, EventFilter, EventStream, EventSub, ExecutorConfig, ExecutorPool,
@@ -162,6 +191,8 @@ pub use compute::{
 };
 pub use data::{Data, DataFlags, DataId, Locator};
 pub use events::{ActiveDataEventHandler, CallbackHandler};
-pub use runtime::{BitdewNode, NodeHandle, RuntimeConfig, ServiceContainer, SyncSummary};
+pub use runtime::{
+    AnnounceConfig, BitdewNode, NodeHandle, RuntimeConfig, ServiceContainer, SyncSummary,
+};
 pub use services::{DataCatalog, DataRepository, DataScheduler, DataTransfer};
 pub use shard::{ShardRouter, ShardedPlane, ShardedScheduler};

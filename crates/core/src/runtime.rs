@@ -39,6 +39,10 @@ use bitdew_util::Auid;
 
 use bitdew_transport::ftp::{FtpRangeClient, FtpServer};
 
+use crate::announce::{
+    chunk_bitmap, AnnounceClient, AnnounceServer, AnnounceStats, FLAG_COMPLETE, FLAG_SERVING,
+    LIVENESS_PING,
+};
 use crate::api::{
     ActiveData, Backpressure, BitDewApi, BitdewError, DataEvent, DataEventKind, EventBus,
     EventFilter, EventSub, HandlerId, Result, Session, TransferManager,
@@ -55,6 +59,35 @@ use crate::services::repository::DataRepository;
 use crate::services::scheduler::{HostUid, SyncRole};
 use crate::services::transfer::{DataTransfer, TransferBuilder, TransferId, TransferState};
 use crate::shard::{ShardedPlane, SyncProfile};
+
+/// Discovery-plane (UDP announce) tuning — see [`crate::announce`].
+#[derive(Debug, Clone)]
+pub struct AnnounceConfig {
+    /// Run the datagram announce plane (`false` = TCP catalog sync only).
+    pub enabled: bool,
+    /// Announce TTL = `ttl_factor` × heartbeat: how long a claim stays
+    /// live in the announce server's host cache without a refresh. Keep
+    /// it above `detector_factor` so announces alone keep a host alive.
+    pub ttl_factor: u32,
+    /// Every nth heartbeat runs a full TCP catalog sync even while the
+    /// announce plane is healthy; the rounds in between send compact
+    /// datagrams only (0 = full sync every round, announce additive).
+    pub full_sync_every: u32,
+    /// Listener threads the service container's announce server spawns
+    /// (`bitdew-announce-{i}`).
+    pub listener_threads: usize,
+}
+
+impl Default for AnnounceConfig {
+    fn default() -> Self {
+        AnnounceConfig {
+            enabled: true,
+            ttl_factor: 16,
+            full_sync_every: 8,
+            listener_threads: 2,
+        }
+    }
+}
 
 /// Runtime tuning parameters.
 #[derive(Debug, Clone)]
@@ -75,6 +108,8 @@ pub struct RuntimeConfig {
     /// (see [`crate::shard`]). `1` reproduces the paper's monolithic
     /// service node.
     pub shards: NonZeroUsize,
+    /// Discovery-plane (UDP announce) tuning.
+    pub announce: AnnounceConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -86,6 +121,7 @@ impl Default for RuntimeConfig {
             max_retries: 3,
             max_concurrent_downloads: 8,
             shards: NonZeroUsize::MIN,
+            announce: AnnounceConfig::default(),
         }
     }
 }
@@ -103,6 +139,10 @@ pub struct ServiceContainer {
     pub transfer: Arc<DataTransfer>,
     config: RuntimeConfig,
     epoch: Instant,
+    /// The discovery plane's service side: listener threads draining
+    /// announce datagrams into the scheduler (`None` when disabled or
+    /// when the OS refused the listener threads — TCP-only then).
+    announce: Mutex<Option<AnnounceServer>>,
 }
 
 impl ServiceContainer {
@@ -151,13 +191,32 @@ impl ServiceContainer {
         let builder = Self::make_builder(fabric.clone(), Arc::clone(&repository));
         let transfer = DataTransfer::new(builder, config.max_retries);
 
+        let epoch = Instant::now();
+        let announce = if config.announce.enabled {
+            // The listener shares the failure detector's clock so announce
+            // liveness and TTL expiry live on the same timeline. Spawn
+            // failure degrades to TCP-only rather than failing startup.
+            let clock: Arc<dyn Fn() -> u64 + Send + Sync> =
+                Arc::new(move || epoch.elapsed().as_nanos() as u64);
+            AnnounceServer::start(
+                &fabric,
+                Arc::clone(&plane),
+                clock,
+                config.announce.listener_threads,
+            )
+            .ok()
+        } else {
+            None
+        };
+
         Arc::new(ServiceContainer {
             fabric,
             plane,
             repository,
             transfer,
             config,
-            epoch: Instant::now(),
+            epoch,
+            announce: Mutex::new(announce),
         })
     }
 
@@ -180,6 +239,39 @@ impl ServiceContainer {
     /// Current owner set Ω(d) in the Data Scheduler.
     pub fn owners_of(&self, id: DataId) -> Vec<HostUid> {
         self.plane.scheduler().owners_of(id)
+    }
+
+    /// The announce server's lifetime counters, when the discovery plane
+    /// is running.
+    pub fn announce_stats(&self) -> Option<Arc<AnnounceStats>> {
+        self.announce.lock().as_ref().map(|s| Arc::clone(s.stats()))
+    }
+
+    /// The announce server's TTL-cache view of who currently claims
+    /// `data` (empty when the discovery plane is disabled).
+    pub fn announce_holders(&self, id: DataId) -> Vec<(HostUid, u8)> {
+        let now = self.now_nanos();
+        self.announce
+            .lock()
+            .as_ref()
+            .map(|s| s.holders(id, now))
+            .unwrap_or_default()
+    }
+
+    /// Live claims in the announce server's host cache (0 when disabled).
+    pub fn announce_cached_claims(&self) -> usize {
+        self.announce
+            .lock()
+            .as_ref()
+            .map(|s| s.cached_claims())
+            .unwrap_or(0)
+    }
+
+    /// Stop the announce listener threads (the discovery plane goes away;
+    /// nodes degrade to pure TCP catalog sync). Mainly for tests modeling
+    /// a dead tracker.
+    pub fn stop_announce(&self) {
+        *self.announce.lock() = None;
     }
 
     /// The protocol-dispatching transfer builder: FTP and HTTP pull from the
@@ -347,6 +439,23 @@ pub struct BitdewNode {
     /// how many events its publish path deferred for full `Block`
     /// subscribers (see [`BitdewNode::last_sync_profile`]).
     last_profile: Mutex<SyncProfile>,
+    /// The node's announce socket (lazily handshaken; dropped and redone
+    /// when the datagram plane goes down and comes back).
+    announce_client: Mutex<Option<AnnounceClient>>,
+    /// Heartbeat rounds run so far — drives the full-sync-every-nth
+    /// cadence and the per-round jitter draw.
+    hb_rounds: AtomicU64,
+    /// Set when a synchronization round did real work (downloads started
+    /// or finished, data deleted): the next heartbeat runs a full sync
+    /// instead of a compact announce, keeping convergence prompt while a
+    /// workload is active.
+    recent_work: AtomicBool,
+    /// Announce rounds that degraded to a full TCP sync because the
+    /// datagram plane was down or the handshake failed.
+    fallback_syncs: AtomicU64,
+    /// When each held datum was last announced — holdings re-announce
+    /// past the TTL half-life, not every round.
+    announced_at: Mutex<HashMap<DataId, u64>>,
 }
 
 impl BitdewNode {
@@ -397,6 +506,11 @@ impl BitdewNode {
             stop_cv: Condvar::new(),
             drivers: AtomicUsize::new(0),
             last_profile: Mutex::new(SyncProfile::default()),
+            announce_client: Mutex::new(None),
+            hb_rounds: AtomicU64::new(0),
+            recent_work: AtomicBool::new(false),
+            fallback_syncs: AtomicU64::new(0),
+            announced_at: Mutex::new(HashMap::new()),
         })
     }
 
@@ -677,16 +791,42 @@ impl BitdewNode {
 
     /// Every range-capable source for a datum: the repository's FTP/HTTP
     /// endpoints plus announced peer replicas, excluding this node's own
-    /// range server.
+    /// range server. When the discovery plane is up, a scrape merges in
+    /// serving hosts the catalog has no locator for — replica holders
+    /// found without a catalog query.
     fn range_sources(&self, id: DataId) -> Result<Vec<Locator>> {
-        Ok(self
+        let mut sources: Vec<Locator> = self
             .container
             .plane
             .locators(id)?
             .into_iter()
             .filter(|l| l.protocol == ProtocolId::ftp() || l.protocol == ProtocolId::http())
             .filter(|l| l.remote != self.peer_endpoint())
-            .collect())
+            .collect();
+        // The scrape path needs an existing locator for the object name —
+        // a datum with no locator at all has no fetchable content yet.
+        if let Some(object) = sources.first().map(|l| l.object.clone()) {
+            let scraped = self
+                .with_announce_client(|c| c.scrape(id, Duration::from_millis(25)))
+                .flatten()
+                .unwrap_or_default();
+            for (host, flags) in scraped {
+                if host == self.uid || flags & FLAG_SERVING == 0 {
+                    continue;
+                }
+                let remote = format!("peer.{}.ftp", host.to_canonical());
+                if remote == self.peer_endpoint() || sources.iter().any(|l| l.remote == remote) {
+                    continue;
+                }
+                sources.push(Locator {
+                    data: id,
+                    protocol: ProtocolId::ftp(),
+                    remote,
+                    object: object.clone(),
+                });
+            }
+        }
+        Ok(sources)
     }
 
     /// Assemble and submit the work-stealing fetcher over `sources`
@@ -990,6 +1130,139 @@ impl BitdewNode {
         self.cache.lock().contains_key(&id)
     }
 
+    // --- Discovery plane (announce / scrape) -------------------------------
+
+    /// The fabric address of this node's announce socket.
+    fn announce_addr(&self) -> String {
+        format!("peer.{}.udp", self.uid.to_canonical())
+    }
+
+    /// Run `f` against the node's announce client, handshaking lazily.
+    /// `None` when the discovery plane is disabled, the datagram plane is
+    /// down, or the handshake datagrams were lost — every caller treats
+    /// that as "use the TCP path".
+    fn with_announce_client<R>(&self, f: impl FnOnce(&AnnounceClient) -> R) -> Option<R> {
+        if !self.container.config.announce.enabled {
+            return None;
+        }
+        let mut guard = self.announce_client.lock();
+        if self.container.fabric.udp().is_down() {
+            // Drop the socket so a revived plane gets a fresh handshake.
+            *guard = None;
+            return None;
+        }
+        if guard.is_none() {
+            *guard = AnnounceClient::connect(
+                &self.container.fabric,
+                &self.announce_addr(),
+                Duration::from_millis(50),
+            );
+        }
+        guard.as_ref().map(f)
+    }
+
+    /// One compact announce round: a liveness ping (keeps this host out
+    /// of the failure detector's reach without a catalog round-trip) plus
+    /// one datagram per held datum whose claim is past its TTL half-life
+    /// — complete holdings as `FLAG_COMPLETE`, chunk-tracked partials as
+    /// a bitmap. Returns `false` when the datagram plane refused a send
+    /// (the fall-back-to-TCP signal); in-flight loss is silent and healed
+    /// by the next refresh.
+    fn announce_once(&self) -> bool {
+        let cfg = &self.container.config.announce;
+        let ttl = self.container.config.heartbeat.as_nanos() as u64 * cfg.ttl_factor as u64;
+        let now = self.container.now_nanos();
+        let serving = if self.peer_server.lock().is_some() {
+            FLAG_SERVING
+        } else {
+            0
+        };
+        let snapshot: Vec<(DataId, String)> = self
+            .cache
+            .lock()
+            .iter()
+            .map(|(&id, (d, _))| (id, d.object_name()))
+            .collect();
+        self.with_announce_client(|client| {
+            if !client.announce(self.uid, LIVENESS_PING, ttl, serving, Vec::new()) {
+                return false;
+            }
+            let live: std::collections::HashSet<DataId> =
+                snapshot.iter().map(|(id, _)| *id).collect();
+            let mut announced = self.announced_at.lock();
+            announced.retain(|id, _| live.contains(id));
+            for (id, object) in &snapshot {
+                let due = announced
+                    .get(id)
+                    .is_none_or(|&t| now.saturating_sub(t) >= ttl / 2);
+                if !due {
+                    continue;
+                }
+                let (flags, bitmap) = match self.manifests.lock().get(id) {
+                    Some(m) => {
+                        let held = self.chunk_store.held_set(object);
+                        if !held.is_empty() && (held.len() as u32) < m.chunk_count() {
+                            match chunk_bitmap(&held, m.chunk_count()) {
+                                Some(b) => (serving, b),
+                                // Too wide for one datagram: the periodic
+                                // full sync keeps reporting this one.
+                                None => continue,
+                            }
+                        } else {
+                            (serving | FLAG_COMPLETE, Vec::new())
+                        }
+                    }
+                    None => (serving | FLAG_COMPLETE, Vec::new()),
+                };
+                if !client.announce(self.uid, *id, ttl, flags, bitmap) {
+                    return false;
+                }
+                announced.insert(*id, now);
+            }
+            true
+        })
+        .unwrap_or(false)
+    }
+
+    /// One heartbeat tick. Runs a full TCP synchronization round when one
+    /// is due — the discovery plane disabled, the periodic every-nth
+    /// round, or work recently in flight — and a compact announce round
+    /// otherwise, degrading to a full sync when the datagram plane is
+    /// down. Full rounds announce *alongside* the sync so the discovery
+    /// cache stays warm; the rounds between announce *instead of* it.
+    /// Returns the sync summary when a full round ran.
+    pub fn heartbeat_round(&self) -> Option<SyncSummary> {
+        let round = self.hb_rounds.fetch_add(1, Ordering::Relaxed);
+        let cfg = &self.container.config.announce;
+        let full = !cfg.enabled
+            || cfg.full_sync_every == 0
+            || round.is_multiple_of(cfg.full_sync_every as u64)
+            || self.recent_work.swap(false, Ordering::Relaxed)
+            || !self.pending.lock().is_empty()
+            || !self.repairing.lock().is_empty();
+        if full {
+            let summary = self.sync_once();
+            let _ = self.announce_once();
+            Some(summary)
+        } else if self.announce_once() {
+            None
+        } else {
+            self.fallback_syncs.fetch_add(1, Ordering::Relaxed);
+            Some(self.sync_once())
+        }
+    }
+
+    /// Heartbeat rounds run so far (full syncs and announce rounds both).
+    pub fn heartbeat_rounds(&self) -> u64 {
+        self.hb_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Announce rounds that degraded to a full TCP sync because the
+    /// datagram plane was down or the handshake failed.
+    pub fn fallback_syncs(&self) -> u64 {
+        self.fallback_syncs.load(Ordering::Relaxed)
+    }
+
     // --- Reservoir loop ----------------------------------------------------
 
     /// One synchronization round: reap finished downloads, sync with the DS
@@ -1186,9 +1459,23 @@ impl BitdewNode {
             self.idle.notify_all();
         }
         // Record the round's work profile, charging it with the events
-        // this round's publishes deferred instead of parking on.
+        // this round's publishes deferred instead of parking on. The
+        // discovery-plane counters are container-lifetime totals (the
+        // announce server serves every node), fallback_syncs this node's.
         profile.deferred_events = self.bus.deferred_events() - deferred_before;
+        if let Some(stats) = self.container.announce_stats() {
+            profile.announces_rx = stats.announces_rx();
+            profile.scrapes_served = stats.scrapes_served();
+            profile.cache_evictions = stats.cache_evictions();
+        }
+        profile.fallback_syncs = self.fallback_syncs.load(Ordering::Relaxed);
         *self.last_profile.lock() = profile;
+        if !(summary.completed.is_empty()
+            && summary.started.is_empty()
+            && summary.deleted.is_empty())
+        {
+            self.recent_work.store(true, Ordering::Relaxed);
+        }
         summary
     }
 
@@ -1255,11 +1542,17 @@ impl BitdewNode {
             .name("bitdew-heartbeat".into())
             .spawn(move || {
                 let _guard = guard;
+                let seed = n2.uid.fold64();
                 while !n2.stop.load(Ordering::Relaxed) {
-                    n2.sync_once();
+                    n2.heartbeat_round();
                     let mut stopped = n2.stop_mu.lock();
                     if !*stopped {
-                        n2.stop_cv.wait_for(&mut stopped, period);
+                        // ±10% deterministic jitter: a fleet sharing one
+                        // period spreads its rounds instead of thundering
+                        // at the service plane in phase.
+                        let round = n2.hb_rounds.load(Ordering::Relaxed);
+                        n2.stop_cv
+                            .wait_for(&mut stopped, jittered(period, seed, round));
                     }
                 }
             })
@@ -1317,6 +1610,19 @@ impl BitdewNode {
 // (via the blanket smart-pointer impls in `api`) satisfies
 // `BitDewApi + ActiveData + TransferManager` and generic application code
 // runs on the threaded deployment.
+
+/// Apply ±10% deterministic jitter to a period: the factor is a
+/// splitmix64 draw over `(seed, round)`, so a node's sequence is
+/// reproducible while a fleet of nodes sharing one configured heartbeat
+/// spreads its synchronization rounds instead of arriving in phase.
+pub(crate) fn jittered(period: Duration, seed: u64, round: u64) -> Duration {
+    let mut z = seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    period.mul_f64(0.9 + 0.2 * unit)
+}
 
 /// Validate an attribute set before it reaches the Data Scheduler — shared
 /// by the threaded node and the simulator adapter so both backends reject
@@ -1781,6 +2087,83 @@ mod tests {
         let worker = BitdewNode::new(Arc::clone(&c));
         worker.barrier(Duration::from_secs(10)).unwrap();
         assert!(worker.has_cached(data.id));
+    }
+
+    #[test]
+    fn jitter_pinned_to_ten_percent_and_varies() {
+        // Regression for the heartbeat jitter contract: every draw stays
+        // inside ±10% of the configured period, and the draws actually
+        // spread (a constant factor would re-synchronize the fleet).
+        let period = Duration::from_millis(100);
+        let lo = Duration::from_millis(90);
+        let hi = Duration::from_millis(110);
+        let mut distinct = std::collections::HashSet::new();
+        for seed in [1u64, 42, 0xDEAD_BEEF, u64::MAX] {
+            for round in 0..500u64 {
+                let j = jittered(period, seed, round);
+                assert!(j >= lo && j <= hi, "{j:?} outside ±10% of {period:?}");
+                distinct.insert(j.as_nanos());
+            }
+        }
+        assert!(
+            distinct.len() > 200,
+            "jitter varies across seeds and rounds"
+        );
+    }
+
+    #[test]
+    fn announce_rounds_replace_tcp_sync_between_full_rounds() {
+        // With the discovery plane up, only every nth heartbeat round is
+        // a full catalog sync; the rounds between are datagram-only and
+        // still keep the host alive in the failure detector.
+        let c = quick_container();
+        let worker = BitdewNode::new(Arc::clone(&c));
+        let every = c.config().announce.full_sync_every as u64;
+        let mut full = 0;
+        for _ in 0..(2 * every) {
+            if worker.heartbeat_round().is_some() {
+                full += 1;
+            }
+        }
+        assert_eq!(full, 2, "one full sync per {every} rounds when idle");
+        assert_eq!(worker.fallback_syncs(), 0);
+        // The listener drains datagrams asynchronously; give it a moment.
+        let stats = c.announce_stats().expect("announce plane running");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while stats.announces_rx() < 2 * every - 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            stats.announces_rx() >= 2 * every - 2,
+            "liveness pings flowed on announce rounds"
+        );
+    }
+
+    #[test]
+    fn announce_degrades_to_tcp_when_datagram_plane_dies() {
+        let c = quick_container();
+        let worker = BitdewNode::new(Arc::clone(&c));
+        worker.heartbeat_round(); // round 0: full sync, client handshakes
+        c.fabric.udp().set_down(true);
+        let mut full = 0;
+        for _ in 0..4 {
+            if worker.heartbeat_round().is_some() {
+                full += 1;
+            }
+        }
+        assert_eq!(full, 4, "every round falls back to TCP while down");
+        assert!(worker.fallback_syncs() >= 1);
+        // Revive: announce rounds resume (fresh handshake under the hood).
+        c.fabric.udp().set_down(false);
+        let before = worker.fallback_syncs();
+        let mut announce_only = 0;
+        for _ in 0..8 {
+            if worker.heartbeat_round().is_none() {
+                announce_only += 1;
+            }
+        }
+        assert!(announce_only > 0, "datagram rounds resumed after revival");
+        assert_eq!(worker.fallback_syncs(), before);
     }
 
     #[test]

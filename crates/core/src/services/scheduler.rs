@@ -616,6 +616,63 @@ impl DataScheduler {
         downloads
     }
 
+    /// Catalog-free liveness: refresh a host's last-seen instant without a
+    /// full synchronization. The announce plane calls this for every
+    /// verified datagram, so a host whose heartbeats ride on UDP announces
+    /// is never declared dead by [`DataScheduler::detect_failures`] even
+    /// though it skips most TCP catalog syncs.
+    pub fn touch_host(&mut self, host: HostUid, now: u64) {
+        self.last_seen.insert(host, now);
+    }
+
+    /// The announce plane's complete-replica report: record `host` in
+    /// Ω(`data`). Ignored when the datum is not managed here (a stale or
+    /// foreign announce must not create ghost entries). Any partial-holder
+    /// record is cleared — a complete announce supersedes it.
+    pub fn announce_owner(&mut self, host: HostUid, data: DataId) -> bool {
+        if !self.theta.contains_key(&data) {
+            return false;
+        }
+        if let Some(p) = self.partials.get_mut(&data) {
+            p.remove(&host);
+            if p.is_empty() {
+                self.partials.remove(&data);
+            }
+        }
+        self.owners.entry(data).or_default().insert(host)
+    }
+
+    /// TTL expiry of an announce-cache entry: forget `host`'s claimed
+    /// holding of `data`. Mirrors [`DataScheduler::detect_failures`]'s
+    /// eviction semantics — Ω entries are dropped only for fault-tolerant,
+    /// non-pinned data (so the replica gets re-placed), while partial
+    /// records always go. Returns whether any state changed.
+    pub fn drop_host_holding(&mut self, host: HostUid, data: DataId) -> bool {
+        let mut changed = false;
+        if let Some(p) = self.partials.get_mut(&data) {
+            changed |= p.remove(&host).is_some();
+            if p.is_empty() {
+                self.partials.remove(&data);
+            }
+        }
+        let ft = self
+            .theta
+            .get(&data)
+            .map(|sd| sd.attrs.fault_tolerant)
+            .unwrap_or(false);
+        let pinned = self
+            .pinned
+            .get(&data)
+            .map(|p| p.contains(&host))
+            .unwrap_or(false);
+        if ft && !pinned {
+            if let Some(o) = self.owners.get_mut(&data) {
+                changed |= o.remove(&host);
+            }
+        }
+        changed
+    }
+
     /// Heartbeat failure detection: hosts silent for longer than the timeout
     /// are declared dead. Owners of fault-tolerant data are evicted from Ω
     /// (so replicas get rescheduled); non-fault-tolerant owner entries stay.

@@ -142,6 +142,20 @@ pub struct SyncProfile {
     /// its publish phase (the threaded heartbeat does; the single-threaded
     /// simulator never defers, so it stays 0 there).
     pub deferred_events: u64,
+    /// Announce datagrams the discovery plane's server has accepted so far
+    /// (verified connection-id, counted once per datagram). Filled by the
+    /// driving runtime from its [`AnnounceServer`](crate::AnnounceServer)
+    /// stats; 0 when the UDP plane is disabled.
+    pub announces_rx: u64,
+    /// Scrape requests the discovery plane's server has answered so far.
+    pub scrapes_served: u64,
+    /// Announce-cache entries the TTL sweep has expired so far (each one a
+    /// holding forgotten without waiting for catalog sync).
+    pub cache_evictions: u64,
+    /// Heartbeat rounds this host downgraded from UDP announce to a full
+    /// TCP catalog sync because the datagram path was down or the handshake
+    /// failed — the graceful-degradation counter.
+    pub fallback_syncs: u64,
 }
 
 impl SyncProfile {
@@ -428,7 +442,7 @@ impl ShardedScheduler {
         let slices = self.router.split(delta_k);
         let mut profile = SyncProfile {
             per_shard: vec![0; n],
-            deferred_events: 0,
+            ..SyncProfile::default()
         };
         // The oracle takes a brief `live` read lock per RelativeTo-lifetime
         // check; concurrent syncs share it without blocking each other, so
@@ -489,6 +503,27 @@ impl ShardedScheduler {
             }
         }
         (merged, profile)
+    }
+
+    /// Catalog-free liveness refresh on every shard (a full sync touches
+    /// each shard's `last_seen`, so the datagram path must too — otherwise
+    /// the shard-local failure detectors would disagree about the host).
+    pub fn touch_host(&self, host: HostUid, now: u64) {
+        for s in &self.shards {
+            s.lock().touch_host(host, now);
+        }
+    }
+
+    /// Route an announce-plane complete-replica report to the datum's
+    /// shard. See [`DataScheduler::announce_owner`].
+    pub fn announce_owner(&self, host: HostUid, data: DataId) -> bool {
+        self.shard_for(data).lock().announce_owner(host, data)
+    }
+
+    /// Route an announce-cache TTL eviction to the datum's shard. See
+    /// [`DataScheduler::drop_host_holding`].
+    pub fn drop_host_holding(&self, host: HostUid, data: DataId) -> bool {
+        self.shard_for(data).lock().drop_host_holding(host, data)
     }
 
     /// Heartbeat failure detection across every shard; returns the union of

@@ -45,6 +45,7 @@ use bitdew_sim::{
 };
 use bitdew_util::Auid;
 
+use crate::announce::{HostCache, FLAG_COMPLETE, FLAG_SERVING};
 use crate::api::{
     ActiveData, Backpressure, BitDewApi, BitdewError, DataEvent, DataEventKind, EventBus,
     EventFilter, EventSub, HandlerId, Result, TransferManager,
@@ -64,6 +65,85 @@ pub type CopyHook = Box<dyn FnMut(&mut Sim, HostUid, &Data)>;
 /// Nominal rate (bytes/s) of a synchronous compute-plane fallback fetch —
 /// a 1 Gb/s NIC, matching the flow model's default link class.
 const SIM_FETCH_RATE: f64 = 125_000_000.0;
+
+// --- Discovery-plane cost model -------------------------------------------
+//
+// Announce/scrape datagrams are *not* simulated as flows: they are tiny,
+// fire-and-forget, and at 100k hosts per-datagram flow events would
+// dominate the event loop. Each datagram instead charges the byte counters
+// below, sized by the real codec's wire layout (pinned by a unit test
+// against `AnnounceMsg`'s actual encoding). The TCP sync model follows the
+// paper's web-service transport (§4.1, Table 2 measures DC operations over
+// SOAP): each synchronization is a SOAP request/response envelope pair
+// plus per-item XML-serialized payload — which is exactly why the paper's
+// service host tops out where Fig. 3 shows it, and what the compact binary
+// datagrams are up against.
+
+/// Wire bytes of one announce datagram with an empty bitmap: magic(4) +
+/// kind(1) + conn_id(8) + host(16) + data(16) + ttl(8) + flags(1) +
+/// bitmap length prefix(4). A chunk bitmap adds its byte length.
+pub const SIM_ANNOUNCE_WIRE: u64 = 58;
+/// Wire bytes of a scrape request: magic(4) + kind(1) + conn_id(8) +
+/// txid(8) + data(16).
+pub const SIM_SCRAPE_WIRE: u64 = 37;
+/// Fixed wire bytes of a scrape reply: magic(4) + kind(1) + txid(8) +
+/// data(16) + host count(4); each listed host adds
+/// [`SIM_SCRAPE_HOST_WIRE`].
+pub const SIM_SCRAPE_REPLY_WIRE: u64 = 33;
+/// Per-host entry in a scrape reply: uid(16) + flags(1).
+pub const SIM_SCRAPE_HOST_WIRE: u64 = 17;
+/// IP + UDP header overhead charged per datagram.
+pub const SIM_UDP_OVERHEAD: u64 = 28;
+/// Fixed bytes of one TCP catalog synchronization: the SOAP request and
+/// response envelopes (HTTP headers + XML envelope/body framing both
+/// ways) of the paper's web-service DS endpoint.
+pub const SIM_SYNC_BASE_BYTES: u64 = 1200;
+/// Per cached-datum cost in a sync request: one uid XML-serialized with
+/// its element tags in the SOAP body.
+pub const SIM_SYNC_ID_BYTES: u64 = 24;
+/// Per transfer-order entry in a sync reply (datum uid, name, attribute
+/// summary, locator reference — XML-serialized).
+pub const SIM_SYNC_REPLY_ENTRY_BYTES: u64 = 64;
+
+/// Byte/datagram counters of the simulated synchronization planes —
+/// TCP catalog syncs on one side, announce/scrape datagrams on the other
+/// (the `announce_scale` bench's measurement surface).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SimSyncStats {
+    /// Full TCP catalog synchronizations served.
+    pub tcp_syncs: u64,
+    /// Bytes those syncs moved (SOAP model — see the module constants).
+    pub tcp_bytes: u64,
+    /// Announce datagrams sent (liveness pings + holdings refreshes).
+    pub announce_datagrams: u64,
+    /// Bytes those datagrams moved, UDP/IP overhead included.
+    pub announce_bytes: u64,
+    /// Scrape request/reply exchanges.
+    pub scrapes: u64,
+    /// Bytes those exchanges moved, overhead included.
+    pub scrape_bytes: u64,
+    /// Announce rounds that degraded to a full TCP sync because the
+    /// datagram plane was down.
+    pub fallback_syncs: u64,
+    /// Claims the TTL sweep evicted from the host cache.
+    pub cache_evictions: u64,
+}
+
+/// Virtual-time state of the announce plane: the same TTL-expiring
+/// [`HostCache`] the threaded announce server aggregates into, plus the
+/// per-claim refresh clock and the plane's health switch.
+struct AnnounceSimState {
+    ttl_factor: u32,
+    full_sync_every: u32,
+    /// `false` models a dead datagram path: every node's announce rounds
+    /// degrade to full TCP syncs until revived.
+    up: bool,
+    cache: HostCache,
+    /// (host, datum) → last announce time; holdings re-announce past the
+    /// TTL half-life, not every round.
+    announced_at: HashMap<(HostUid, DataId), u64>,
+    stats: SimSyncStats,
+}
 
 /// Shared state of one in-flight per-chunk multi-source fetch.
 struct SimChunkFetch {
@@ -109,6 +189,9 @@ struct NodeState {
     role: SyncRole,
     cache: HashSet<DataId>,
     pending: HashSet<DataId>,
+    /// Heartbeat rounds run — drives the announce plane's every-nth
+    /// full-sync cadence.
+    rounds: u64,
 }
 
 /// A datum registered in the simulated data space: metadata plus (when the
@@ -148,6 +231,12 @@ struct DriverState {
     /// Chunk flows started from a peer replica (vs the service host) —
     /// the multi-source data plane's utilization counter.
     peer_chunk_flows: u64,
+    /// The announce plane, when [`SimBitdew::enable_announce`]d.
+    announce: Option<AnnounceSimState>,
+    /// TCP sync counters while announce is disabled (the baseline a
+    /// TCP-only run measures; with announce enabled the counters live in
+    /// [`AnnounceSimState::stats`]).
+    tcp_stats: SimSyncStats,
 }
 
 /// The virtual-time BitDew control plane.
@@ -204,6 +293,8 @@ impl SimBitdew {
                 manifests: HashMap::new(),
                 partials: HashMap::new(),
                 peer_chunk_flows: 0,
+                announce: None,
+                tcp_stats: SimSyncStats::default(),
             })),
             net,
             service_host,
@@ -226,6 +317,64 @@ impl SimBitdew {
     /// Synchronizations whose service-plane work has completed.
     pub fn syncs_served(&self) -> u64 {
         self.state.borrow().syncs_served
+    }
+
+    /// Turn on the announce plane: only every `full_sync_every`th
+    /// heartbeat of each node runs a full TCP catalog sync; the rounds
+    /// between send compact announce datagrams whose claims live
+    /// `ttl_factor` × heartbeat in the host cache (mirroring
+    /// [`crate::runtime::AnnounceConfig`] on the threaded runtime).
+    pub fn enable_announce(&self, ttl_factor: u32, full_sync_every: u32) {
+        self.state.borrow_mut().announce = Some(AnnounceSimState {
+            ttl_factor: ttl_factor.max(1),
+            full_sync_every: full_sync_every.max(1),
+            up: true,
+            cache: HostCache::new(),
+            announced_at: HashMap::new(),
+            stats: SimSyncStats::default(),
+        });
+    }
+
+    /// Kill or revive the datagram path. While down, every node's
+    /// announce rounds degrade to full TCP syncs (counted as
+    /// [`SimSyncStats::fallback_syncs`]), so liveness and replica
+    /// bookkeeping survive on the reliable plane.
+    pub fn set_udp_up(&self, up: bool) {
+        if let Some(a) = self.state.borrow_mut().announce.as_mut() {
+            a.up = up;
+        }
+    }
+
+    /// The synchronization planes' byte/datagram counters. TCP counters
+    /// accumulate with announce disabled too, so a TCP-only run measures
+    /// the baseline the announce plane is compared against.
+    pub fn sync_stats(&self) -> SimSyncStats {
+        let st = self.state.borrow();
+        match &st.announce {
+            Some(a) => a.stats.clone(),
+            None => st.tcp_stats.clone(),
+        }
+    }
+
+    /// Live claims in the announce host cache (0 with announce disabled).
+    pub fn announce_claims(&self) -> usize {
+        self.state
+            .borrow()
+            .announce
+            .as_ref()
+            .map(|a| a.cache.len())
+            .unwrap_or(0)
+    }
+
+    /// Hosts with a live announce claim on `data` at the current virtual
+    /// time, with their flags.
+    pub fn announce_holders(&self, sim: &Sim, data: DataId) -> Vec<(HostUid, u8)> {
+        self.state
+            .borrow()
+            .announce
+            .as_ref()
+            .map(|a| a.cache.holders(data, sim.now().as_nanos()))
+            .unwrap_or_default()
     }
 
     /// Number of service-plane shards.
@@ -489,6 +638,7 @@ impl SimBitdew {
                     role,
                     cache: HashSet::new(),
                     pending: HashSet::new(),
+                    rounds: 0,
                 },
             );
             st.by_host.insert(host, uid);
@@ -526,21 +676,103 @@ impl SimBitdew {
         });
     }
 
+    /// One compact announce round for `uid`: a liveness ping plus a
+    /// refresh datagram per held datum past its TTL half-life, each
+    /// charged to the byte counters and landed in the host cache — the
+    /// virtual-time mirror of the threaded node's `announce_once`.
+    fn announce_refresh(&self, st: &mut DriverState, uid: HostUid, now: u64) {
+        let Some(a) = st.announce.as_mut() else {
+            return;
+        };
+        let ttl = self
+            .heartbeat
+            .as_nanos()
+            .saturating_mul(a.ttl_factor as u64);
+        st.scheduler.touch_host(uid, now);
+        a.stats.announce_datagrams += 1;
+        a.stats.announce_bytes += SIM_ANNOUNCE_WIRE + SIM_UDP_OVERHEAD;
+        let Some(node) = st.nodes.get(&uid) else {
+            return;
+        };
+        let cached: Vec<DataId> = node.cache.iter().copied().collect();
+        for d in cached {
+            let due = a
+                .announced_at
+                .get(&(uid, d))
+                .is_none_or(|&t| now.saturating_sub(t) >= ttl / 2);
+            if !due {
+                continue;
+            }
+            // Partial holdings announce their bitmap; complete replicas
+            // one flag byte (and regenerate TTL-evicted Ω membership).
+            let (flags, bitmap_bytes) = match st.partials.get(&(uid, d)) {
+                Some(set) => {
+                    let held: Vec<u32> = set.iter().copied().collect();
+                    st.scheduler.report_chunk_set(uid, d, &held);
+                    let total = st
+                        .manifests
+                        .get(&d)
+                        .map(|m| m.chunk_count() as u64)
+                        .unwrap_or(0);
+                    (FLAG_SERVING, total.div_ceil(8))
+                }
+                None => {
+                    st.scheduler.announce_owner(uid, d);
+                    (FLAG_SERVING | FLAG_COMPLETE, 0)
+                }
+            };
+            a.cache.insert(uid, d, now.saturating_add(ttl), flags);
+            a.announced_at.insert((uid, d), now);
+            a.stats.announce_datagrams += 1;
+            a.stats.announce_bytes += SIM_ANNOUNCE_WIRE + SIM_UDP_OVERHEAD + bitmap_bytes;
+        }
+    }
+
     /// One heartbeat for node `uid`: sync with the sharded scheduler, purge
     /// obsolete data, start flows for new assignments once the service
     /// plane has processed the request (per-shard queues, drained in
-    /// parallel; free when no service cost is configured). Returns false
+    /// parallel; free when no service cost is configured). With the
+    /// announce plane up, only every nth round is that full TCP sync; the
+    /// rounds between send compact datagrams only. Returns false
     /// (stopping the recurring timer) when the node is dead.
     fn heartbeat_step(&self, sim: &mut Sim, uid: HostUid) -> bool {
         let now = sim.now().as_nanos();
         let (host, downloads, repairs, served_at) = {
             let mut st = self.state.borrow_mut();
-            let Some(node) = st.nodes.get(&uid) else {
+            let Some(node) = st.nodes.get_mut(&uid) else {
                 return false;
             };
             if !node.alive {
                 return false;
             }
+            let round = node.rounds;
+            node.rounds += 1;
+            let stm = &mut *st;
+            // TTL sweep (O(1) when nothing expired): claims of silently
+            // dead hosts leave the scheduler's replica view here, exactly
+            // as the threaded announce server's sweep drops them.
+            if let Some(a) = stm.announce.as_mut() {
+                let evicted = a.cache.sweep(now);
+                a.stats.cache_evictions += evicted.len() as u64;
+                for (h, d) in evicted {
+                    stm.scheduler.drop_host_holding(h, d);
+                }
+            }
+            let (enabled, up, every) = match stm.announce.as_ref() {
+                Some(a) => (true, a.up, a.full_sync_every as u64),
+                None => (false, true, 1),
+            };
+            if enabled && up {
+                self.announce_refresh(stm, uid, now);
+            }
+            let node = stm.nodes.get(&uid).expect("checked above");
+            // Work in flight forces a full sync, mirroring the threaded
+            // runtime's recent-work predicate.
+            let full = !enabled || !up || round.is_multiple_of(every) || !node.pending.is_empty();
+            if !full {
+                return true; // datagram-only round
+            }
+            let fallback = enabled && !up && !round.is_multiple_of(every);
             let host = node.host;
             let role = node.role;
             let cache: Vec<DataId> = node.cache.iter().copied().collect();
@@ -558,6 +790,25 @@ impl SimBitdew {
                 st.scheduler.report_chunk_set(uid, d, &held);
             }
             let (reply, profile) = st.scheduler.sync_profiled(uid, &cache, now, role);
+            // Charge the sync's wire cost under the SOAP transport model
+            // (see the discovery-plane cost model constants above).
+            let reply_entries =
+                (reply.download.len() + reply.delete.len() + reply.repair.len()) as u64;
+            let sync_bytes = SIM_SYNC_BASE_BYTES
+                + SIM_SYNC_ID_BYTES * cache.len() as u64
+                + SIM_SYNC_REPLY_ENTRY_BYTES * reply_entries;
+            {
+                let stm = &mut *st;
+                let stats = match stm.announce.as_mut() {
+                    Some(a) => &mut a.stats,
+                    None => &mut stm.tcp_stats,
+                };
+                stats.tcp_syncs += 1;
+                stats.tcp_bytes += sync_bytes;
+                if fallback {
+                    stats.fallback_syncs += 1;
+                }
+            }
             // Charge each shard's queue its share of the work; the sync is
             // served when the slowest shard finishes.
             let mut served_at = sim.now();
@@ -729,7 +980,7 @@ impl SimBitdew {
         let repair = only.is_some();
         let mut sources = vec![self.service_host];
         {
-            let st = self.state.borrow();
+            let mut st = self.state.borrow_mut();
             for n in st.nodes.values() {
                 if n.alive && n.host != dest && n.cache.contains(&data.id) {
                     // Partial holders don't serve (they're repairing).
@@ -739,6 +990,19 @@ impl SimBitdew {
                     if !held_partial {
                         sources.push(n.host);
                     }
+                }
+            }
+            // With the announce plane up, peer discovery is one scrape
+            // exchange instead of a catalog locator query.
+            let n_sources = sources.len() as u64;
+            if let Some(a) = st.announce.as_mut() {
+                if a.up {
+                    a.stats.scrapes += 1;
+                    a.stats.scrape_bytes += SIM_SCRAPE_WIRE
+                        + SIM_UDP_OVERHEAD
+                        + SIM_SCRAPE_REPLY_WIRE
+                        + SIM_UDP_OVERHEAD
+                        + SIM_SCRAPE_HOST_WIRE * n_sources;
                 }
             }
         }
@@ -1841,5 +2105,185 @@ mod tests {
         assert_eq!(attrs.replica, 2);
         assert_eq!(attrs.affinity, Some(anchor.id));
         assert_eq!(node.search("Anchor").unwrap(), vec![anchor]);
+    }
+
+    #[test]
+    fn sim_wire_constants_match_real_codec() {
+        // The discovery-plane byte model is only honest if its constants
+        // equal the real codec's wire sizes. Pin them here: a codec layout
+        // change must update the SIM_* constants in the same commit.
+        use crate::announce::AnnounceMsg;
+        use bitdew_storage::codec::Encode;
+        let announce = AnnounceMsg::Announce {
+            conn_id: 1,
+            host: Auid(7),
+            data: Auid(8),
+            ttl_nanos: 1_000_000_000,
+            flags: FLAG_SERVING,
+            bitmap: Vec::new(),
+        };
+        assert_eq!(announce.to_bytes().len() as u64, SIM_ANNOUNCE_WIRE);
+        let scrape = AnnounceMsg::Scrape {
+            conn_id: 1,
+            txid: 2,
+            data: Auid(8),
+        };
+        assert_eq!(scrape.to_bytes().len() as u64, SIM_SCRAPE_WIRE);
+        let empty_reply = AnnounceMsg::ScrapeReply {
+            txid: 2,
+            data: Auid(8),
+            hosts: Vec::new(),
+        };
+        assert_eq!(empty_reply.to_bytes().len() as u64, SIM_SCRAPE_REPLY_WIRE);
+        let full_reply = AnnounceMsg::ScrapeReply {
+            txid: 2,
+            data: Auid(8),
+            hosts: vec![(Auid(1), 0), (Auid(2), FLAG_SERVING), (Auid(3), 3)],
+        };
+        assert_eq!(
+            full_reply.to_bytes().len() as u64,
+            SIM_SCRAPE_REPLY_WIRE + 3 * SIM_SCRAPE_HOST_WIRE
+        );
+    }
+
+    fn sync_plane_run(announce: bool, seconds: u64) -> (SimSyncStats, Vec<usize>) {
+        let topo = topology::gdx_cluster(8);
+        let mut sim = Sim::new(31);
+        let bd = SimBitdew::new(
+            topo.net.clone(),
+            topo.service,
+            SimDuration::from_secs(1),
+            Trace::new(),
+        );
+        if announce {
+            bd.enable_announce(16, 8);
+        }
+        let data: Vec<Data> = (0..2)
+            .map(|i| datum(&format!("spread-{i}"), 500_000))
+            .collect();
+        for d in &data {
+            bd.schedule_data(
+                d.clone(),
+                DataAttributes::default()
+                    .with_replica(4)
+                    .with_fault_tolerance(true),
+            );
+        }
+        for &w in &topo.workers {
+            bd.add_node(&mut sim, w, SimTime::ZERO);
+        }
+        sim.run_until(SimTime::from_secs(seconds));
+        let owners = data.iter().map(|d| bd.owners_of(d.id).len()).collect();
+        (bd.sync_stats(), owners)
+    }
+
+    #[test]
+    fn announce_mode_cuts_sync_bytes_and_keeps_placement() {
+        // Identical 8-host / 2-datum scenario, TCP-only vs discovery plane
+        // on: announce datagrams replace 7 of every 8 catalog syncs and
+        // the placements converge identically.
+        let (tcp, tcp_owners) = sync_plane_run(false, 120);
+        let (udp, udp_owners) = sync_plane_run(true, 120);
+        assert_eq!(tcp_owners, vec![4, 4]);
+        assert_eq!(udp_owners, vec![4, 4]);
+        assert_eq!(udp.fallback_syncs, 0);
+        assert!(udp.announce_datagrams > 0);
+        assert!(
+            udp.tcp_syncs * 4 < tcp.tcp_syncs,
+            "catalog syncs shrank: {} vs {}",
+            udp.tcp_syncs,
+            tcp.tcp_syncs
+        );
+        let udp_total = udp.tcp_bytes + udp.announce_bytes + udp.scrape_bytes;
+        assert!(
+            udp_total * 3 < tcp.tcp_bytes,
+            "sync bytes shrank: {} vs {}",
+            udp_total,
+            tcp.tcp_bytes
+        );
+    }
+
+    #[test]
+    fn announce_ttl_evicts_silent_host_and_repair_regenerates() {
+        // Satellite of the discovery plane: NO failure detector runs —
+        // only the host cache's TTL sweep can notice the dead host. Its
+        // claim expires one TTL after its last announce, the sweep drops
+        // it from the replica view, and the next full sync re-replicates.
+        let topo = topology::gdx_cluster(2);
+        let mut sim = Sim::new(32);
+        let bd = SimBitdew::new(
+            topo.net.clone(),
+            topo.service,
+            SimDuration::from_secs(1),
+            Trace::new(),
+        );
+        bd.enable_announce(4, 4);
+        let data = datum("precious", 1_000_000);
+        bd.schedule_data(
+            data.clone(),
+            DataAttributes::default()
+                .with_replica(1)
+                .with_fault_tolerance(true),
+        );
+        let n1 = bd.add_node(&mut sim, topo.workers[0], SimTime::ZERO);
+        let n2 = bd.add_node(&mut sim, topo.workers[1], SimTime::from_secs(2));
+        let bd2 = bd.clone();
+        let net = topo.net.clone();
+        let victim = topo.workers[0];
+        sim.schedule_at(SimTime::from_secs(10), move |sim| {
+            bd2.kill_host(sim, victim);
+            net.set_host_enabled(sim, victim, false);
+        });
+        sim.run_until(SimTime::from_secs(40));
+        let owners = bd.owners_of(data.id);
+        assert_eq!(owners, vec![n2], "replica regenerated off the dead node");
+        assert!(bd.sync_stats().cache_evictions >= 1);
+        let holders = bd.announce_holders(&sim, data.id);
+        assert!(holders.iter().any(|(h, _)| *h == n2));
+        assert!(!holders.iter().any(|(h, _)| *h == n1));
+    }
+
+    #[test]
+    fn udp_outage_falls_back_to_tcp_sync_and_recovers() {
+        let topo = topology::gdx_cluster(4);
+        let mut sim = Sim::new(33);
+        let bd = SimBitdew::new(
+            topo.net.clone(),
+            topo.service,
+            SimDuration::from_secs(1),
+            Trace::new(),
+        );
+        bd.enable_announce(16, 8);
+        let data = datum("durable", 200_000);
+        bd.schedule_data(
+            data.clone(),
+            DataAttributes::default()
+                .with_replica(2)
+                .with_fault_tolerance(true),
+        );
+        for &w in &topo.workers {
+            bd.add_node(&mut sim, w, SimTime::ZERO);
+        }
+        sim.run_until(SimTime::from_secs(20));
+        let before = bd.sync_stats();
+        assert_eq!(before.fallback_syncs, 0);
+        // Kill the datagram path: every announce round degrades to a full
+        // TCP sync, so liveness and replication survive the outage.
+        bd.set_udp_up(false);
+        sim.run_until(SimTime::from_secs(40));
+        let during = bd.sync_stats();
+        assert!(
+            during.fallback_syncs >= 60,
+            "announce rounds fell back to TCP, got {}",
+            during.fallback_syncs
+        );
+        assert_eq!(during.announce_datagrams, before.announce_datagrams);
+        // Revive: announce rounds resume, fallbacks stop accumulating.
+        bd.set_udp_up(true);
+        sim.run_until(SimTime::from_secs(60));
+        let after = bd.sync_stats();
+        assert_eq!(after.fallback_syncs, during.fallback_syncs);
+        assert!(after.announce_datagrams > during.announce_datagrams);
+        assert_eq!(bd.owners_of(data.id).len(), 2);
     }
 }

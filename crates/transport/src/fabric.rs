@@ -19,6 +19,8 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
+use crate::udp::UdpNet;
+
 /// A framed bidirectional connection.
 pub struct Duplex {
     tx: Sender<Bytes>,
@@ -109,6 +111,7 @@ struct FabricInner {
 #[derive(Clone)]
 pub struct Fabric {
     inner: Arc<Mutex<FabricInner>>,
+    udp: Arc<UdpNet>,
     latency: Duration,
 }
 
@@ -125,6 +128,7 @@ impl Fabric {
             inner: Arc::new(Mutex::new(FabricInner {
                 listeners: HashMap::new(),
             })),
+            udp: Arc::new(UdpNet::new()),
             latency: Duration::ZERO,
         }
     }
@@ -135,8 +139,16 @@ impl Fabric {
             inner: Arc::new(Mutex::new(FabricInner {
                 listeners: HashMap::new(),
             })),
+            udp: Arc::new(UdpNet::new()),
             latency,
         }
+    }
+
+    /// The connectionless datagram plane sharing this fabric's namespace
+    /// (the announce/discovery plane's "UDP"). Every clone of the fabric
+    /// reaches the same [`UdpNet`].
+    pub fn udp(&self) -> &Arc<UdpNet> {
+        &self.udp
     }
 
     /// Register a named listener. Re-registering a name replaces the old

@@ -14,6 +14,10 @@
 //!   types with receiver-driven verification.
 //! * [`fabric`] — an in-process connection-oriented "network" the threaded
 //!   protocols run over (the reproduction's TCP).
+//! * [`udp`] — the matching connectionless datagram plane (the
+//!   reproduction's UDP), with best-effort delivery, bounded socket queues
+//!   and first-class loss injection; the announce/discovery plane runs on
+//!   it.
 //! * [`store`] — content stores ([`MemStore`], [`DiskStore`]) with
 //!   offset-addressed I/O, the basis of transfer *resume*.
 //! * [`ftp`] / [`http`] — client/server protocols with chunked streaming,
@@ -35,6 +39,7 @@ pub mod oob;
 pub mod protocol;
 pub mod simproto;
 pub mod store;
+pub mod udp;
 
 pub use fabric::{Duplex, Fabric, FabricError, Listener};
 pub use oob::{
@@ -43,3 +48,4 @@ pub use oob::{
 };
 pub use protocol::{ProtocolId, ProtocolRegistry, TransferFactory};
 pub use store::{DiskStore, FileStore, MemStore, StoreError};
+pub use udp::{Datagram, UdpNet, UdpSocket};

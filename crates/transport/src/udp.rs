@@ -1,0 +1,325 @@
+//! In-process datagram plane — the fabric's "UDP".
+//!
+//! The connection-oriented [`Fabric`](crate::Fabric) models TCP: named
+//! listeners, framed duplex streams, delivery guaranteed while both ends
+//! live. The announce/discovery plane (BEP-15-style trackers) needs the
+//! opposite contract, so this module adds a connectionless datagram layer
+//! with real UDP semantics:
+//!
+//! * **best-effort** — a send to an unbound address, a full inbound queue,
+//!   or an injected loss silently drops the datagram; the sender never
+//!   learns,
+//! * **bounded buffering** — every socket owns a fixed inbound queue
+//!   ([`UDP_QUEUE_CAP`]); overflow drops new datagrams exactly like a full
+//!   kernel socket buffer,
+//! * **source addressing** — each datagram carries the sender's bound
+//!   address, which is what BEP-15 connection-ids authenticate against.
+//!
+//! Loss injection is first-class because the announce plane's acceptance
+//! test is *degradation*: [`UdpNet::set_down`] models a dead UDP path
+//! (sends fail fast, like an ICMP-unreachable short-circuit) and
+//! [`UdpNet::set_loss_one_in`] drops every nth datagram in flight.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+/// Per-socket inbound queue depth; datagrams beyond it are dropped, as a
+/// full kernel receive buffer would drop them.
+pub const UDP_QUEUE_CAP: usize = 1024;
+
+/// One received datagram: the payload plus the sender's bound address
+/// (what replies — and BEP-15 connection-id verification — key on).
+#[derive(Debug, Clone)]
+pub struct Datagram {
+    /// Bound address of the sending socket.
+    pub from: String,
+    /// The payload bytes.
+    pub payload: Bytes,
+}
+
+struct Bound {
+    gen: u64,
+    tx: Sender<Datagram>,
+}
+
+/// The shared datagram registry: every [`Fabric`](crate::Fabric) clone
+/// reaches the same one. Cheap to clone by `Arc`.
+pub struct UdpNet {
+    sockets: Mutex<HashMap<String, Bound>>,
+    gen: AtomicU64,
+    down: AtomicBool,
+    loss_one_in: AtomicU64,
+    send_seq: AtomicU64,
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for UdpNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UdpNet {
+    /// A fresh datagram plane with no loss.
+    pub fn new() -> UdpNet {
+        UdpNet {
+            sockets: Mutex::new(HashMap::new()),
+            gen: AtomicU64::new(1),
+            down: AtomicBool::new(false),
+            loss_one_in: AtomicU64::new(0),
+            send_seq: AtomicU64::new(0),
+            sent: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Bind a socket on `addr`. Re-binding an address replaces the old
+    /// socket (its queue stops receiving, as a rebound port would).
+    pub fn bind(self: &Arc<Self>, addr: &str) -> UdpSocket {
+        let (tx, rx) = bounded(UDP_QUEUE_CAP);
+        let gen = self.gen.fetch_add(1, Ordering::Relaxed);
+        self.sockets
+            .lock()
+            .insert(addr.to_string(), Bound { gen, tx });
+        UdpSocket {
+            net: Arc::clone(self),
+            addr: addr.to_string(),
+            gen,
+            rx: Mutex::new(rx),
+        }
+    }
+
+    /// Send one datagram from `from` to `to`, best-effort. Returns `false`
+    /// only when the datagram plane is [down](UdpNet::set_down) — the
+    /// fast local failure a dead network interface gives a sender; every
+    /// in-flight loss (no receiver, full queue, injected drop) returns
+    /// `true` and is silent, exactly like UDP.
+    pub fn send(&self, from: &str, to: &str, payload: Bytes) -> bool {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        if self.down.load(Ordering::Relaxed) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let seq = self.send_seq.fetch_add(1, Ordering::Relaxed);
+        let one_in = self.loss_one_in.load(Ordering::Relaxed);
+        if one_in > 0 && seq % one_in == one_in - 1 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        let delivered = {
+            let sockets = self.sockets.lock();
+            match sockets.get(to) {
+                Some(bound) => bound
+                    .tx
+                    .try_send(Datagram {
+                        from: from.to_string(),
+                        payload,
+                    })
+                    .is_ok(),
+                None => false,
+            }
+        };
+        if delivered {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Kill or revive the whole datagram plane (drop injection: sends fail
+    /// fast while down, so senders can fall back to the reliable path).
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::Relaxed);
+    }
+
+    /// Whether the plane is currently down.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::Relaxed)
+    }
+
+    /// Drop every `n`th datagram in flight (0 disables injected loss).
+    /// Unlike [`UdpNet::set_down`] the sender never learns.
+    pub fn set_loss_one_in(&self, n: u64) {
+        self.loss_one_in.store(n, Ordering::Relaxed);
+    }
+
+    /// Datagrams handed to the plane since creation.
+    pub fn sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams that reached a socket queue.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams lost (down plane, injected loss, no receiver, full queue).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn unbind(&self, addr: &str, gen: u64) {
+        let mut sockets = self.sockets.lock();
+        if sockets.get(addr).is_some_and(|b| b.gen == gen) {
+            sockets.remove(addr);
+        }
+    }
+}
+
+/// A bound datagram socket. Receives through a bounded queue; sends go
+/// through the shared [`UdpNet`] stamped with this socket's address.
+/// Unbinds on drop (unless the address was re-bound since). The receive
+/// side is internally locked so several listener threads can share one
+/// socket behind an `Arc`.
+pub struct UdpSocket {
+    net: Arc<UdpNet>,
+    addr: String,
+    gen: u64,
+    rx: Mutex<Receiver<Datagram>>,
+}
+
+impl UdpSocket {
+    /// The bound address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The datagram plane this socket sends through.
+    pub fn net(&self) -> &Arc<UdpNet> {
+        &self.net
+    }
+
+    /// Send a datagram to `to`, stamped with this socket's address. Same
+    /// contract as [`UdpNet::send`].
+    pub fn send_to(&self, to: &str, payload: Bytes) -> bool {
+        self.net.send(&self.addr, to, payload)
+    }
+
+    /// Receive the next datagram, waiting up to `timeout`. `None` on
+    /// timeout (UDP has no peer to disconnect; a closed plane never
+    /// happens while the socket holds the registry alive).
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Datagram> {
+        match self.rx.lock().recv_timeout(timeout) {
+            Ok(dg) => Some(dg),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Datagram> {
+        self.rx.lock().try_recv().ok()
+    }
+}
+
+impl Drop for UdpSocket {
+    fn drop(&mut self) {
+        self.net.unbind(&self.addr, self.gen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Arc<UdpNet> {
+        Arc::new(UdpNet::new())
+    }
+
+    #[test]
+    fn datagram_roundtrip_carries_source_address() {
+        let net = net();
+        let server = net.bind("svc");
+        let client = net.bind("client-1");
+        assert!(client.send_to("svc", Bytes::from_static(b"ping")));
+        let dg = server.recv_timeout(Duration::from_secs(1)).expect("dg");
+        assert_eq!(dg.from, "client-1");
+        assert_eq!(dg.payload, Bytes::from_static(b"ping"));
+        // Reply to the carried source address.
+        assert!(server.send_to(&dg.from, Bytes::from_static(b"pong")));
+        let reply = client.recv_timeout(Duration::from_secs(1)).expect("reply");
+        assert_eq!(reply.from, "svc");
+        assert_eq!(reply.payload, Bytes::from_static(b"pong"));
+    }
+
+    #[test]
+    fn send_to_unbound_address_is_silent() {
+        let net = net();
+        let s = net.bind("a");
+        assert!(s.send_to("nobody", Bytes::from_static(b"x")));
+        assert_eq!(net.dropped(), 1);
+        assert_eq!(net.delivered(), 0);
+    }
+
+    #[test]
+    fn down_plane_fails_fast_and_revives() {
+        let net = net();
+        let server = net.bind("svc");
+        let client = net.bind("c");
+        net.set_down(true);
+        assert!(!client.send_to("svc", Bytes::from_static(b"lost")));
+        assert!(server.try_recv().is_none());
+        net.set_down(false);
+        assert!(client.send_to("svc", Bytes::from_static(b"back")));
+        assert!(server.recv_timeout(Duration::from_secs(1)).is_some());
+    }
+
+    #[test]
+    fn injected_loss_drops_every_nth() {
+        let net = net();
+        let server = net.bind("svc");
+        let client = net.bind("c");
+        net.set_loss_one_in(2);
+        for _ in 0..10 {
+            assert!(client.send_to("svc", Bytes::from_static(b"d")));
+        }
+        let mut got = 0;
+        while server.try_recv().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 5, "every 2nd datagram dropped in flight");
+    }
+
+    #[test]
+    fn full_queue_drops_overflow() {
+        let net = net();
+        let server = net.bind("svc");
+        let client = net.bind("c");
+        for _ in 0..(UDP_QUEUE_CAP + 7) {
+            client.send_to("svc", Bytes::from_static(b"d"));
+        }
+        let mut got = 0;
+        while server.try_recv().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, UDP_QUEUE_CAP);
+        assert_eq!(net.dropped(), 7);
+    }
+
+    #[test]
+    fn rebind_replaces_and_drop_unbinds() {
+        let net = net();
+        let first = net.bind("svc");
+        let second = net.bind("svc");
+        let c = net.bind("c");
+        c.send_to("svc", Bytes::from_static(b"x"));
+        assert!(first.try_recv().is_none(), "old socket no longer receives");
+        assert!(second.recv_timeout(Duration::from_secs(1)).is_some());
+        // Dropping the *stale* socket must not unbind the live one.
+        drop(first);
+        c.send_to("svc", Bytes::from_static(b"y"));
+        assert!(second.recv_timeout(Duration::from_secs(1)).is_some());
+        drop(second);
+        c.send_to("svc", Bytes::from_static(b"z"));
+        assert_eq!(net.delivered(), 2, "unbound address drops");
+    }
+}

@@ -60,6 +60,24 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Non-blocking send failure; returns the message.
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded buffer is full.
+        Full(T),
+        /// The receiver dropped.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
     /// Channel with unlimited buffering.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
@@ -78,6 +96,18 @@ pub mod channel {
             match &self.0 {
                 Flavor::Unbounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
                 Flavor::Bounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Non-blocking send; fails with [`TrySendError::Full`] instead of
+        /// blocking on a full bounded channel.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Flavor::Unbounded(tx) => tx.send(msg).map_err(|e| TrySendError::Disconnected(e.0)),
+                Flavor::Bounded(tx) => tx.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                    mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+                }),
             }
         }
     }
