@@ -1,0 +1,294 @@
+//! Concurrent versioned mutation vs whole-blob republish.
+//!
+//! The PR 9 tentpole gives chunked data an MVCC version chain: a
+//! `commit_update` re-digests only the chunks it touches and publishes a
+//! copy-on-write `VersionedManifest` through the version-head CAS, so
+//! concurrent writers touching disjoint chunks commit independently
+//! (auto-rebase) instead of serializing. The pre-MVCC contract for
+//! mutating chunked data was *whole-blob republish*: patch the bytes,
+//! then `put_chunked` the entire blob again (range writes stale the
+//! per-chunk digests), one writer at a time.
+//!
+//! This harness measures what the version plane buys on the threaded
+//! backend, wall clock:
+//!
+//! 1. **N concurrent non-overlapping writers** — each writer owns a
+//!    disjoint chunk region of one shared datum and commits a stream of
+//!    small updates through `commit_update` (optimistic retry on
+//!    `VersionConflict`). The run **asserts** the acceptance criterion:
+//!    4 concurrent writers must sustain at least 2× the update throughput
+//!    of the serialized whole-blob republish baseline.
+//! 2. **Version churn + GC** — the writer storm leaves a chain of
+//!    pre-image chunks behind; with snapshots dropped, one
+//!    reference-counted sweep must reclaim every unreachable chunk and a
+//!    second sweep must find nothing (convergence is asserted).
+//!
+//! Results land in `BENCH_version_mutate.json` beside the human-readable
+//! tables. Run with: `cargo run --release -p bitdew-bench --bin
+//! version_mutate` (`-- --smoke` for the CI-sized run; both assert).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bitdew_bench::{print_table, section};
+use bitdew_core::{BitdewError, BitdewNode, Data, RuntimeConfig, ServiceContainer};
+
+struct Params {
+    /// Blob size in chunks (chunk size below).
+    chunks: u64,
+    /// Chunk size (bytes).
+    chunk: u64,
+    /// Concurrent writers (each owns `chunks / writers` chunks).
+    writers: usize,
+    /// Updates committed per writer.
+    rounds: usize,
+    /// Bytes patched per update.
+    patch: usize,
+}
+
+impl Params {
+    fn full() -> Params {
+        Params {
+            chunks: 32,
+            chunk: 256 * 1024,
+            writers: 4,
+            rounds: 24,
+            patch: 4 * 1024,
+        }
+    }
+
+    fn smoke() -> Params {
+        Params {
+            chunks: 16,
+            chunk: 64 * 1024,
+            writers: 4,
+            rounds: 8,
+            patch: 2 * 1024,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.chunks * self.chunk
+    }
+
+    fn updates(&self) -> usize {
+        self.writers * self.rounds
+    }
+}
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+/// Commit with the documented optimistic retry loop: re-read the head on
+/// `VersionConflict`, resubmit. Returns how many retries were needed.
+fn commit_retrying(node: &BitdewNode, data: &Data, writes: &[(u64, Vec<u8>)]) -> u64 {
+    let mut base = node.version_head(data.id).expect("head");
+    let mut retries = 0;
+    loop {
+        match node.commit_update(data, base, writes) {
+            Ok(_) => return retries,
+            Err(BitdewError::VersionConflict { head, .. }) => {
+                base = head;
+                retries += 1;
+            }
+            Err(e) => panic!("commit failed: {e}"),
+        }
+    }
+}
+
+struct VersionedRun {
+    updates_per_sec: f64,
+    retries: u64,
+    head: u64,
+    gc_chunks: u32,
+    gc_bytes: u64,
+}
+
+/// `p.writers` threads hammer one datum through the version plane, each
+/// confined to its own chunk region. Afterwards one GC sweep drains the
+/// churn's pre-images (asserted convergent).
+fn versioned_run(p: &Params) -> VersionedRun {
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let content = payload(p.total() as usize);
+    let data = client.create_slot("mvcc-bench", p.total()).expect("slot");
+    client
+        .put_chunked(&data, &content, p.chunk)
+        .expect("publish");
+
+    let span = p.chunks / p.writers as u64; // chunks per writer
+
+    // Writer nodes join the container before the clock starts — the
+    // republish baseline's client is likewise pre-built; the measured
+    // region is mutation throughput, not node bring-up.
+    let writers: Vec<_> = (0..p.writers)
+        .map(|_| BitdewNode::new_client(Arc::clone(&c)))
+        .collect();
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for (w, node) in writers.into_iter().enumerate() {
+        let data = data.clone();
+        let (rounds, patch, chunk) = (p.rounds, p.patch, p.chunk);
+        handles.push(std::thread::spawn(move || {
+            let base_off = w as u64 * span * chunk;
+            let mut retries = 0;
+            for r in 0..rounds {
+                // Rotate the patch through the writer's own chunks.
+                let off = base_off + (r as u64 % span) * chunk + (r as u64 * 13 % 97);
+                let fill = (w * 32 + r) as u8;
+                retries += commit_retrying(&node, &data, &[(off, vec![fill; patch])]);
+            }
+            retries
+        }));
+    }
+    let retries: u64 = handles.into_iter().map(|h| h.join().expect("writer")).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let head = client.version_head(data.id).expect("head");
+    assert_eq!(
+        head,
+        1 + p.updates() as u64,
+        "every concurrent commit landed exactly once (no lost update)"
+    );
+    let report = client.gc_versions(&data).expect("gc");
+    let again = client.gc_versions(&data).expect("gc again");
+    assert_eq!(again.chunks_reclaimed, 0, "GC sweep converged");
+    VersionedRun {
+        updates_per_sec: p.updates() as f64 / elapsed,
+        retries,
+        head,
+        gc_chunks: report.chunks_reclaimed,
+        gc_bytes: report.bytes_reclaimed,
+    }
+}
+
+/// The pre-MVCC baseline: the same number of updates, each one patching
+/// the blob and republishing the ENTIRE chunk manifest (`put_chunked`),
+/// serialized — whole-blob writers cannot overlap-commit.
+fn republish_run(p: &Params) -> f64 {
+    let c = ServiceContainer::start(RuntimeConfig::default());
+    let client = BitdewNode::new_client(Arc::clone(&c));
+    let mut content = payload(p.total() as usize);
+    let data = client.create_slot("legacy-bench", p.total()).expect("slot");
+    client
+        .put_chunked(&data, &content, p.chunk)
+        .expect("publish");
+
+    let span = p.chunks / p.writers as u64;
+    let start = Instant::now();
+    for w in 0..p.writers {
+        let base_off = w as u64 * span * p.chunk;
+        for r in 0..p.rounds {
+            let off = (base_off + (r as u64 % span) * p.chunk + (r as u64 * 13 % 97)) as usize;
+            let fill = (w * 32 + r) as u8;
+            content[off..off + p.patch].fill(fill);
+            client
+                .put_chunked(&data, &content, p.chunk)
+                .expect("republish");
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    p.updates() as f64 / elapsed
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let p = if smoke {
+        Params::smoke()
+    } else {
+        Params::full()
+    };
+    println!(
+        "# version_mutate — concurrent MVCC commits vs whole-blob republish{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    section("1. mutation throughput (threaded backend, wall clock)");
+    println!(
+        "{} MB blob, {} chunks x {} KB; {} writers x {} updates of {} KB each\n",
+        p.total() / 1_000_000,
+        p.chunks,
+        p.chunk / 1024,
+        p.writers,
+        p.rounds,
+        p.patch / 1024,
+    );
+    let republish = republish_run(&p);
+    let versioned = versioned_run(&p);
+    let speedup = versioned.updates_per_sec / republish;
+    print_table(
+        &["plane", "writers", "updates/s", "vs republish"],
+        &[
+            vec![
+                "whole-blob republish".into(),
+                "1 (serialized)".into(),
+                format!("{republish:.0}"),
+                "1.00x".into(),
+            ],
+            vec![
+                "versioned commit_update".into(),
+                p.writers.to_string(),
+                format!("{:.0}", versioned.updates_per_sec),
+                format!("{speedup:.2}x"),
+            ],
+        ],
+    );
+
+    section("2. version churn + GC");
+    print_table(
+        &["metric", "value"],
+        &[
+            vec!["head after storm".into(), versioned.head.to_string()],
+            vec!["CAS retries".into(), versioned.retries.to_string()],
+            vec![
+                "pre-image chunks reclaimed".into(),
+                versioned.gc_chunks.to_string(),
+            ],
+            vec![
+                "pre-image bytes reclaimed".into(),
+                versioned.gc_bytes.to_string(),
+            ],
+        ],
+    );
+
+    let json = format!(
+        "{{\"bench\":\"version_mutate\",\"smoke\":{},\
+         \"blob_bytes\":{},\"chunk_bytes\":{},\"writers\":{},\"rounds\":{},\
+         \"patch_bytes\":{},\
+         \"republish_updates_per_sec\":{:.2},\"versioned_updates_per_sec\":{:.2},\
+         \"speedup\":{:.2},\"cas_retries\":{},\"head\":{},\
+         \"gc_chunks_reclaimed\":{},\"gc_bytes_reclaimed\":{}}}",
+        smoke,
+        p.total(),
+        p.chunk,
+        p.writers,
+        p.rounds,
+        p.patch,
+        republish,
+        versioned.updates_per_sec,
+        speedup,
+        versioned.retries,
+        versioned.head,
+        versioned.gc_chunks,
+        versioned.gc_bytes,
+    );
+    std::fs::write("BENCH_version_mutate.json", format!("{json}\n")).expect("write bench json");
+    println!("\nwrote BENCH_version_mutate.json");
+
+    assert!(
+        speedup >= 2.0,
+        "{} concurrent disjoint writers must sustain >= 2x whole-blob republish throughput, \
+         got {speedup:.2}x ({:.0} vs {republish:.0} updates/s)",
+        p.writers,
+        versioned.updates_per_sec,
+    );
+    assert!(
+        versioned.gc_chunks > 0,
+        "the churn must leave pre-images for GC to reclaim"
+    );
+    println!(
+        "\n{}-writer versioned mutation >= 2x whole-blob republish verified ({speedup:.2}x)",
+        p.writers
+    );
+}

@@ -12,9 +12,18 @@
 //!   little-endian fields via the [`bitdew_storage`] codec). Five messages:
 //!   `Connect`/`ConnectReply` (the BEP-15 connection-id handshake, so
 //!   replies only ever go to verified source addresses), `Announce` (host
-//!   uid, data auid, chunk bitmap, TTL), and `Scrape`/`ScrapeReply` (peer
-//!   lists per datum). Decoding arbitrary bytes returns `Err` — never
-//!   panics, never over-reads, never allocates past the wire caps.
+//!   uid, data auid, datum version, chunk bitmap, TTL), and
+//!   `Scrape`/`ScrapeReply` (peer lists per datum). Decoding arbitrary
+//!   bytes returns `Err` — never panics, never over-reads, never
+//!   allocates past the wire caps.
+//!
+//! Since the version plane (see [`crate::versions`]), every announce also
+//! carries the datum version the claim is for: a holder announcing an
+//! older version than the current head is a *stale-version holder* — the
+//! server credits it only with the chunks unchanged since its version
+//! (via [`head_valid_subset`]), keeps it out of Ω, and drops it from
+//! scrape replies, so it reads as a repair target instead of a serving
+//! replica.
 //! * [`HostCache`] — the TTL-expiring aggregation of received announces.
 //!   Entries age out on a deadline index instead of waiting for catalog
 //!   sync; the sweep feeds evictions back into the scheduler's Ω /
@@ -52,6 +61,7 @@ use crate::api::{BitdewError, Result};
 use crate::data::DataId;
 use crate::services::scheduler::HostUid;
 use crate::shard::ShardedPlane;
+use crate::versions::head_valid_subset;
 
 /// The well-known datagram address every announce server listens on.
 pub const ANNOUNCE_ENDPOINT: &str = "announce.udp";
@@ -115,6 +125,10 @@ pub enum AnnounceMsg {
         /// The datum announced, or [`LIVENESS_PING`] for a bare liveness
         /// refresh.
         data: DataId,
+        /// The datum version the held chunks belong to (0 for unversioned
+        /// data and liveness pings). A holder announcing an old version is
+        /// a repair target, not a serving replica for the head.
+        version: u64,
         /// How long the claim stays fresh without a re-announce.
         ttl_nanos: u64,
         /// [`FLAG_SERVING`] | [`FLAG_COMPLETE`].
@@ -162,6 +176,7 @@ impl Encode for AnnounceMsg {
                 conn_id,
                 host,
                 data,
+                version,
                 ttl_nanos,
                 flags,
                 bitmap,
@@ -170,6 +185,7 @@ impl Encode for AnnounceMsg {
                 conn_id.encode(buf);
                 host.encode(buf);
                 data.encode(buf);
+                version.encode(buf);
                 ttl_nanos.encode(buf);
                 flags.encode(buf);
                 // The wire cap holds by construction for protocol-built
@@ -216,6 +232,7 @@ impl Decode for AnnounceMsg {
                 let conn_id = u64::decode(buf)?;
                 let host = Auid::decode(buf)?;
                 let data = Auid::decode(buf)?;
+                let version = u64::decode(buf)?;
                 let ttl_nanos = u64::decode(buf)?;
                 let flags = u8::decode(buf)?;
                 let bitmap = Vec::<u8>::decode(buf)?;
@@ -226,6 +243,7 @@ impl Decode for AnnounceMsg {
                     conn_id,
                     host,
                     data,
+                    version,
                     ttl_nanos,
                     flags,
                     bitmap,
@@ -298,6 +316,7 @@ fn conn_id_for(secret: u64, addr: &str) -> u64 {
 struct CacheEntry {
     expires: u64,
     flags: u8,
+    version: u64,
 }
 
 /// TTL-expiring aggregation of received announces: who claims to hold
@@ -318,11 +337,16 @@ impl HostCache {
     }
 
     /// Record (or refresh) `host`'s claim on `data` until `expires`.
-    pub fn insert(&mut self, host: HostUid, data: DataId, expires: u64, flags: u8) {
-        if let Some(old) = self
-            .entries
-            .insert((host, data), CacheEntry { expires, flags })
-        {
+    /// `version` is the datum version the claim is for (0 = unversioned).
+    pub fn insert(&mut self, host: HostUid, data: DataId, expires: u64, flags: u8, version: u64) {
+        if let Some(old) = self.entries.insert(
+            (host, data),
+            CacheEntry {
+                expires,
+                flags,
+                version,
+            },
+        ) {
             self.expiry.remove(&(old.expires, host, data));
         }
         self.expiry.insert((expires, host, data));
@@ -351,19 +375,30 @@ impl HostCache {
     }
 
     /// The hosts with a live claim on `data` at `now`, with their announce
-    /// flags (sorted by host for determinism).
-    pub fn holders(&self, data: DataId, now: u64) -> Vec<(HostUid, u8)> {
+    /// flags and announced version (sorted by host for determinism).
+    pub fn holders(&self, data: DataId, now: u64) -> Vec<(HostUid, u8, u64)> {
         self.by_data
             .get(&data)
             .map(|hs| {
                 hs.iter()
                     .filter_map(|&h| {
                         let e = self.entries.get(&(h, data))?;
-                        (e.expires >= now).then_some((h, e.flags))
+                        (e.expires >= now).then_some((h, e.flags, e.version))
                     })
                     .collect()
             })
             .unwrap_or_default()
+    }
+
+    /// The hosts whose live claim on `data` is current for version `head`:
+    /// claims announcing an older version than a mutated datum's head
+    /// (`head > 1`) are stale-version holders — repair targets, never
+    /// serving replicas — and are excluded.
+    pub fn head_holders(&self, data: DataId, now: u64, head: u64) -> Vec<(HostUid, u8)> {
+        self.holders(data, now)
+            .into_iter()
+            .filter_map(|(h, flags, version)| (head <= 1 || version >= head).then_some((h, flags)))
+            .collect()
     }
 
     /// Live claims currently cached.
@@ -505,6 +540,7 @@ impl AnnounceServer {
                 conn_id,
                 host,
                 data,
+                version,
                 ttl_nanos,
                 flags,
                 bitmap,
@@ -519,11 +555,40 @@ impl AnnounceServer {
                     return;
                 }
                 let expires = now.saturating_add(ttl_nanos);
-                cache.lock().insert(host, data, expires, flags);
-                if flags & FLAG_COMPLETE != 0 {
+                cache.lock().insert(host, data, expires, flags, version);
+                // Version-aware bookkeeping: a holder announcing an older
+                // version than the datum's current head holds stale bytes
+                // for every chunk rewritten since. It must never enter Ω
+                // as a complete replica of the head — it is a repair
+                // target. The chunks *unchanged* since its version are
+                // still good, so those (and only those) are credited as
+                // partial holdings.
+                let head = plane.version_head(data).unwrap_or(0);
+                let stale = head > 1 && version < head;
+                if flags & FLAG_COMPLETE != 0 && !stale {
                     scheduler.announce_owner(host, data);
-                } else if !bitmap.is_empty() {
-                    scheduler.report_chunk_set(host, data, &bitmap_indices(&bitmap));
+                    return;
+                }
+                let held = if flags & FLAG_COMPLETE != 0 {
+                    // Stale complete replica: it holds every chunk, at its
+                    // own version.
+                    match plane.resolve_version(data, head) {
+                        Ok(Some(rv)) => (0..rv.chunk_count()).collect(),
+                        _ => Vec::new(),
+                    }
+                } else {
+                    bitmap_indices(&bitmap)
+                };
+                let held = if stale {
+                    match plane.resolve_version(data, head) {
+                        Ok(Some(rv)) => head_valid_subset(&rv, &held, version),
+                        _ => held,
+                    }
+                } else {
+                    held
+                };
+                if !held.is_empty() {
+                    scheduler.report_chunk_set(host, data, &held);
                 }
             }
             AnnounceMsg::Scrape {
@@ -535,7 +600,11 @@ impl AnnounceServer {
                     return;
                 }
                 stats.scrapes_served.fetch_add(1, Ordering::Relaxed);
-                let mut hosts = cache.lock().holders(data, now);
+                // Scrapers want fetch sources for the head version: a
+                // stale-version holder would serve superseded bytes, so it
+                // never makes the reply.
+                let head = plane.version_head(data).unwrap_or(0);
+                let mut hosts = cache.lock().head_holders(data, now, head);
                 hosts.truncate(MAX_SCRAPE_HOSTS);
                 let reply = AnnounceMsg::ScrapeReply { txid, data, hosts };
                 socket.send_to(&dg.from, reply.to_bytes());
@@ -555,9 +624,10 @@ impl AnnounceServer {
         self.cache.lock().len()
     }
 
-    /// The hosts with a live claim on `data` at `now` (serving-side view
-    /// of what a scrape would return).
-    pub fn holders(&self, data: DataId, now: u64) -> Vec<(HostUid, u8)> {
+    /// The hosts with a live claim on `data` at `now`, with flags and
+    /// announced version (serving-side cache view; a scrape additionally
+    /// filters stale-version holders against the head).
+    pub fn holders(&self, data: DataId, now: u64) -> Vec<(HostUid, u8, u64)> {
         self.cache.lock().holders(data, now)
     }
 
@@ -614,13 +684,15 @@ impl AnnounceClient {
         }
     }
 
-    /// Fire one announce datagram. Returns `false` only when the datagram
-    /// plane is down (the fall-back-to-TCP signal); in-flight loss is
-    /// silent, like UDP.
+    /// Fire one announce datagram claiming (chunks of) `data` at
+    /// `version` (0 for unversioned data and liveness pings). Returns
+    /// `false` only when the datagram plane is down (the
+    /// fall-back-to-TCP signal); in-flight loss is silent, like UDP.
     pub fn announce(
         &self,
         host: HostUid,
         data: DataId,
+        version: u64,
         ttl_nanos: u64,
         flags: u8,
         bitmap: Vec<u8>,
@@ -629,6 +701,7 @@ impl AnnounceClient {
             conn_id: self.conn_id,
             host,
             data,
+            version,
             ttl_nanos,
             flags,
             bitmap,
@@ -687,6 +760,7 @@ mod tests {
             conn_id: 1,
             host: Auid(42),
             data: Auid(43),
+            version: 3,
             ttl_nanos: 1_000_000_000,
             flags: FLAG_SERVING | FLAG_COMPLETE,
             bitmap: vec![0b1010_0101, 0xff],
@@ -722,6 +796,7 @@ mod tests {
         Auid(1).encode(&mut buf);
         Auid(2).encode(&mut buf);
         1u64.encode(&mut buf);
+        1u64.encode(&mut buf);
         0u8.encode(&mut buf);
         vec![0u8; MAX_BITMAP_BYTES + 1].encode(&mut buf);
         assert!(AnnounceMsg::from_bytes(&buf).is_err(), "bitmap cap");
@@ -736,6 +811,7 @@ mod tests {
             conn_id: 1,
             host: Auid(1),
             data: Auid(2),
+            version: 0,
             ttl_nanos: 1,
             flags: 0,
             bitmap: vec![0xAA; MAX_BITMAP_BYTES + 100],
@@ -771,23 +847,41 @@ mod tests {
     fn host_cache_refresh_and_sweep() {
         let mut cache = HostCache::new();
         let (h1, h2, d) = (Auid(1), Auid(2), Auid(10));
-        cache.insert(h1, d, 100, FLAG_SERVING);
-        cache.insert(h2, d, 200, FLAG_COMPLETE);
+        cache.insert(h1, d, 100, FLAG_SERVING, 1);
+        cache.insert(h2, d, 200, FLAG_COMPLETE, 1);
         assert_eq!(cache.len(), 2);
         assert_eq!(
             cache.holders(d, 50),
-            vec![(h1, FLAG_SERVING), (h2, FLAG_COMPLETE)]
+            vec![(h1, FLAG_SERVING, 1), (h2, FLAG_COMPLETE, 1)]
         );
         // Refresh moves the deadline — no double expiry entry.
-        cache.insert(h1, d, 300, FLAG_SERVING | FLAG_COMPLETE);
+        cache.insert(h1, d, 300, FLAG_SERVING | FLAG_COMPLETE, 2);
         assert!(cache.sweep(150).is_empty(), "refreshed entry survives");
         assert_eq!(cache.sweep(250), vec![(h2, d)]);
         assert_eq!(
             cache.holders(d, 250),
-            vec![(h1, FLAG_SERVING | FLAG_COMPLETE)]
+            vec![(h1, FLAG_SERVING | FLAG_COMPLETE, 2)]
         );
         assert_eq!(cache.sweep(1000), vec![(h1, d)]);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn head_holders_excludes_stale_version_claims() {
+        let mut cache = HostCache::new();
+        let (fresh, stale, unversioned, d) = (Auid(1), Auid(2), Auid(3), Auid(10));
+        cache.insert(fresh, d, 100, FLAG_COMPLETE | FLAG_SERVING, 3);
+        cache.insert(stale, d, 100, FLAG_COMPLETE | FLAG_SERVING, 2);
+        cache.insert(unversioned, d, 100, FLAG_SERVING, 0);
+        // Mutated datum (head 3): only the head-version claim serves.
+        assert_eq!(
+            cache.head_holders(d, 50, 3),
+            vec![(fresh, FLAG_COMPLETE | FLAG_SERVING)]
+        );
+        // Unmutated datum (head ≤ 1): versions don't exist yet, nothing
+        // is demoted.
+        assert_eq!(cache.head_holders(d, 50, 1).len(), 3);
+        assert_eq!(cache.head_holders(d, 50, 0).len(), 3);
     }
 
     #[test]
@@ -804,6 +898,7 @@ mod tests {
             conn_id in any::<u64>(),
             host in any::<u128>(),
             data in any::<u128>(),
+            version in any::<u64>(),
             ttl in any::<u64>(),
             flags in any::<u8>(),
             bitmap in proptest::collection::vec(any::<u8>(), 0..MAX_BITMAP_BYTES),
@@ -812,6 +907,7 @@ mod tests {
                 conn_id,
                 host: Auid(host),
                 data: Auid(data),
+                version,
                 ttl_nanos: ttl,
                 flags,
                 bitmap,

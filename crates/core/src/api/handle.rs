@@ -16,9 +16,11 @@ use crate::api::{
     EventSub, HandlerId, OpFuture, Result, Session, TransferManager,
 };
 use crate::attr::DataAttributes;
+use crate::chunks::ChunkManifest;
 use crate::data::{Data, DataId};
 use crate::events::ActiveDataEventHandler;
 use crate::services::transfer::{TransferId, TransferState};
+use crate::versions::{GcReport, Snapshot};
 
 /// An owned, cloneable handle binding a datum to the session it lives on.
 /// Clones share the session's submission queue and the node's event bus.
@@ -141,6 +143,78 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> DataHandle<N> {
         Ok(())
     }
 
+    // --- Chunk and version introspection ----------------------------------
+
+    /// The datum's published chunk manifest (`None` for unchunked data) —
+    /// the handle-level view of the chunk plane, no node internals needed.
+    pub fn manifest(&self) -> Result<Option<ChunkManifest>> {
+        self.session.flush();
+        self.session.node().chunk_manifest(self.data.id)
+    }
+
+    /// Chunk-completion of the *local* holding: `(held, total)` verified
+    /// chunk counts, or `None` for unchunked data. `held == total` means
+    /// this node serves a complete replica.
+    pub fn chunk_completion(&self) -> Result<Option<(u32, u32)>> {
+        self.session.flush();
+        let node = self.session.node();
+        let Some(manifest) = node.chunk_manifest(self.data.id)? else {
+            return Ok(None);
+        };
+        let held = node.held_chunks(&self.data)?.len() as u32;
+        Ok(Some((held, manifest.chunk_count())))
+    }
+
+    /// The datum's current head version: `0` while unchunked, `1` once the
+    /// chunk manifest is published, incremented by every committed update.
+    pub fn version(&self) -> Result<u64> {
+        self.session.flush();
+        self.session.node().version_head(self.data.id)
+    }
+
+    /// Open a [`Snapshot`] pinned to the current head version. Reads
+    /// through [`DataHandle::read_at`] see that version's bytes no matter
+    /// which updates commit after the pin.
+    pub fn snapshot(&self) -> Result<Snapshot> {
+        self.session.flush();
+        self.session.node().open_snapshot(&self.data)
+    }
+
+    /// Read `[offset, offset+len)` *as of* `snap`'s pinned version.
+    pub fn read_at(&self, snap: &Snapshot, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.session
+            .node()
+            .get_range_at(&self.data, snap, offset, len)
+    }
+
+    /// Start a copy-on-write update against the current head version (read
+    /// at call time). Accumulate writes with [`VersionUpdate::write`] and
+    /// [`VersionUpdate::commit`] them as one new version.
+    pub fn update(&self) -> Result<VersionUpdate<N>> {
+        let base = self.version()?;
+        Ok(self.update_from(base))
+    }
+
+    /// Start an update against an explicit `base` version — the building
+    /// block for optimistic retry loops:
+    /// [`commit`](VersionUpdate::commit) returns
+    /// [`BitdewError::VersionConflict`] when a chunk-overlapping writer
+    /// got there first, and the caller re-reads and resubmits.
+    pub fn update_from(&self, base: u64) -> VersionUpdate<N> {
+        VersionUpdate {
+            handle: self.clone(),
+            base,
+            writes: Vec::new(),
+        }
+    }
+
+    /// Reference-counted GC sweep over this datum's preserved pre-image
+    /// chunks (see [`BitDewApi::gc_versions`]).
+    pub fn gc_versions(&self) -> Result<GcReport> {
+        self.session.flush();
+        self.session.node().gc_versions(&self.data)
+    }
+
     // --- Event subscription ----------------------------------------------
 
     /// Open a lossless subscription to every life-cycle event of this
@@ -196,5 +270,42 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> DataHandle<N> {
             EventFilter::data(self.data.id).and_kind(kind),
             Box::new(EventClosure(Box::new(f))),
         )
+    }
+}
+
+/// A pending copy-on-write update of one datum: a base version plus the
+/// `(offset, bytes)` writes to apply on top of it. Built by
+/// [`DataHandle::update`] / [`DataHandle::update_from`], committed as one
+/// new version by [`VersionUpdate::commit`].
+pub struct VersionUpdate<N> {
+    handle: DataHandle<N>,
+    base: u64,
+    writes: Vec<(u64, Vec<u8>)>,
+}
+
+impl<N: BitDewApi + ActiveData + TransferManager + 'static> VersionUpdate<N> {
+    /// The version this update applies against.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Add one in-place write of `bytes` at `offset`. Later writes of the
+    /// same update overwrite earlier ones where they overlap.
+    pub fn write(mut self, offset: u64, bytes: impl Into<Vec<u8>>) -> Self {
+        self.writes.push((offset, bytes.into()));
+        self
+    }
+
+    /// Commit the accumulated writes as one new version, re-digesting only
+    /// the chunks they touch. Returns the committed version id, or
+    /// [`BitdewError::VersionConflict`] when an overlapping writer
+    /// committed since [`VersionUpdate::base`] — re-read the head and
+    /// retry.
+    pub fn commit(self) -> Result<u64> {
+        self.handle.session().flush();
+        self.handle
+            .session()
+            .node()
+            .commit_update(self.handle.data(), self.base, &self.writes)
     }
 }

@@ -149,7 +149,7 @@ pub mod pipeline;
 pub mod pool;
 
 pub use bus::{Backpressure, EventBus, EventFilter, EventStream, EventSub, HandlerId, NextEvent};
-pub use handle::DataHandle;
+pub use handle::{DataHandle, VersionUpdate};
 pub use pipeline::{block_on, join_all, OpFuture, Session, DEFAULT_BATCH_LIMIT, ERROR_SINK_CAP};
 pub use pool::{ExecutorConfig, ExecutorPool, PoolHandle};
 
@@ -164,6 +164,7 @@ use crate::chunks::{ChunkHoldings, ChunkManifest};
 use crate::data::{Data, DataId};
 use crate::services::scheduler::HostUid;
 use crate::services::transfer::{TransferId, TransferState};
+use crate::versions::{GcReport, Snapshot, VersionedManifest};
 
 /// Unified error type for every BitDew API operation.
 #[derive(Debug)]
@@ -207,6 +208,16 @@ pub enum BitdewError {
         /// What failed to spawn, with the OS error.
         what: String,
     },
+    /// A version commit lost the per-datum head CAS to an overlapping
+    /// concurrent writer: a version committed after the writer's base
+    /// changed at least one of the same chunks. Retryable — re-read the
+    /// head and resubmit the update against it.
+    VersionConflict {
+        /// The head version the datum had when the commit was refused.
+        head: u64,
+        /// The stale base version the writer committed against.
+        attempted: u64,
+    },
 }
 
 impl std::fmt::Display for BitdewError {
@@ -225,6 +236,13 @@ impl std::fmt::Display for BitdewError {
                 write!(f, "chunk {index} of `{object}` failed digest verification")
             }
             BitdewError::Spawn { what } => write!(f, "failed to spawn {what}"),
+            BitdewError::VersionConflict { head, attempted } => {
+                write!(
+                    f,
+                    "version conflict: update against version {attempted} overlaps \
+                     a chunk changed since (head is now {head}); re-read and retry"
+                )
+            }
         }
     }
 }
@@ -236,8 +254,10 @@ impl BitdewError {
     /// locator may serve), timeouts (the wait can be re-issued), chunk
     /// digest mismatches (a re-fetch from another source heals them),
     /// catalog misses (content/locators often just haven't been `put`
-    /// yet — the reservoir loop itself retries these every sync) and
-    /// spawn failures (thread exhaustion is transient).
+    /// yet — the reservoir loop itself retries these every sync), spawn
+    /// failures (thread exhaustion is transient) and version conflicts
+    /// (re-reading the head and recomputing the update succeeds once the
+    /// competing writer's commit is visible).
     ///
     /// Not retryable: attribute parse errors and scheduler refusals
     /// (deterministic rejections of the same input) and storage/store
@@ -250,6 +270,7 @@ impl BitdewError {
                 | BitdewError::ChunkDigest { .. }
                 | BitdewError::CatalogMiss { .. }
                 | BitdewError::Spawn { .. }
+                | BitdewError::VersionConflict { .. }
         )
     }
 }
@@ -410,6 +431,51 @@ pub trait BitDewApi {
     /// [`get_range`](BitDewApi::get_range) which reads from the data
     /// space. This is the compute plane's data-local read path.
     fn get_range_local(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// The current head version of a datum's chunk tree: `0` for data
+    /// never [`put_chunked`](BitDewApi::put_chunked), `1` once the base
+    /// manifest is published, incremented by every committed update.
+    fn version_head(&self, id: DataId) -> Result<u64>;
+
+    /// One row of the version chain: the base manifest read as version 1,
+    /// or the `dc_version` delta row for versions ≥ 2. `Ok(None)` when the
+    /// version does not exist.
+    fn version_manifest(&self, id: DataId, version: u64) -> Result<Option<VersionedManifest>>;
+
+    /// Commit `writes` (`(offset, bytes)` pairs) against version `base` of
+    /// a chunked datum, re-digesting only the chunks touched. Succeeds
+    /// with the new version id via the per-datum head CAS: if `base` is no
+    /// longer the head the commit auto-rebases when its chunks are
+    /// untouched since `base`, and fails with a retryable
+    /// [`BitdewError::VersionConflict`] when they overlap a later
+    /// version's. [`put_range`](BitDewApi::put_range) on chunked data is
+    /// this with an internal read-head/retry loop.
+    fn commit_update(&self, data: &Data, base: u64, writes: &[(u64, Vec<u8>)]) -> Result<u64>;
+
+    /// Open a [`Snapshot`] pinned to the datum's current head version:
+    /// reads through [`get_range_at`](BitDewApi::get_range_at) resolve
+    /// every chunk through the version tree at that id, so versions
+    /// committed after the snapshot opened stay invisible, and the pin
+    /// shields the snapshot's pre-image chunks from
+    /// [`gc_versions`](BitDewApi::gc_versions) until it drops.
+    fn open_snapshot(&self, data: &Data) -> Result<Snapshot>;
+
+    /// Read bytes `[offset, offset+len)` of a datum *as of* `snap`'s
+    /// pinned version: chunks superseded since the snapshot come from
+    /// their preserved pre-images, unchanged chunks from the shared
+    /// canonical object.
+    fn get_range_at(
+        &self,
+        data: &Data,
+        snap: &Snapshot,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>>;
+
+    /// Reference-counted GC sweep over a datum's preserved pre-image
+    /// chunks: reclaim every chunk unreachable from the head and from all
+    /// open snapshots, and report what was freed.
+    fn gc_versions(&self, data: &Data) -> Result<GcReport>;
 }
 
 /// The *ActiveData* API (§3.3): attribute-driven scheduling and life-cycle
@@ -578,6 +644,39 @@ macro_rules! delegate_api {
             }
             fn get_range_local(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>> {
                 (**self).get_range_local(data, offset, len)
+            }
+            fn version_head(&self, id: DataId) -> Result<u64> {
+                (**self).version_head(id)
+            }
+            fn version_manifest(
+                &self,
+                id: DataId,
+                version: u64,
+            ) -> Result<Option<VersionedManifest>> {
+                (**self).version_manifest(id, version)
+            }
+            fn commit_update(
+                &self,
+                data: &Data,
+                base: u64,
+                writes: &[(u64, Vec<u8>)],
+            ) -> Result<u64> {
+                (**self).commit_update(data, base, writes)
+            }
+            fn open_snapshot(&self, data: &Data) -> Result<Snapshot> {
+                (**self).open_snapshot(data)
+            }
+            fn get_range_at(
+                &self,
+                data: &Data,
+                snap: &Snapshot,
+                offset: u64,
+                len: usize,
+            ) -> Result<Vec<u8>> {
+                (**self).get_range_at(data, snap, offset, len)
+            }
+            fn gc_versions(&self, data: &Data) -> Result<GcReport> {
+                (**self).gc_versions(data)
             }
         }
 

@@ -25,6 +25,10 @@
 //!    [`BitDewApi::fetch_chunks`] (a
 //!    [`MultiSourceFetcher`](crate::MultiSourceFetcher) restricted to the
 //!    missing subset) only for chunks it was dealt but does not hold.
+//!    Reads of versioned inputs are pinned to a
+//!    [`Snapshot`](crate::versions::Snapshot) of the head, so a
+//!    [`commit_update`](BitDewApi::commit_update) landing mid-op is
+//!    invisible to the running op.
 //! 3. The UDF's output is published as *new* catalog data named
 //!    `compute.out.<tag>.<rank>` and scheduled under the op's
 //!    `output_attrs` — so the shuffle is itself attribute-driven: give the
@@ -466,6 +470,11 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> ComputeRunner<N> {
         if !missing.is_empty() {
             stats.bytes_fetched = node.fetch_chunks(input, &missing)?;
         }
+        // Pin the reads to one version: a commit_update landing mid-op
+        // cannot tear this executor's parts across two versions — the
+        // snapshot resolves superseded chunks to their preserved
+        // pre-images. Unversioned inputs read the verified local store.
+        let snap = node.open_snapshot(input).ok();
         let mut parts = Vec::with_capacity(mine.len());
         for (first, last) in contiguous_runs(&mine) {
             let offset = manifest.offset_of(first);
@@ -475,7 +484,10 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> ComputeRunner<N> {
                 .sum();
             // One boundary-spanning read per contiguous run, sliced back
             // into per-chunk parts.
-            let bytes = node.get_range_local(input, offset, run_len)?;
+            let bytes = match &snap {
+                Some(s) => node.get_range_at(input, s, offset, run_len)?,
+                None => node.get_range_local(input, offset, run_len)?,
+            };
             let mut cursor = 0usize;
             for c in first..=last {
                 let len = manifest.descriptor(c).map(|d| d.len as usize).unwrap_or(0);
@@ -513,6 +525,9 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> ComputeRunner<N> {
                     }
                     stats.bytes_fetched += node.fetch_chunks(input, &missing)?;
                 }
+                // Same version pinning as the partitioned path: the whole
+                // input reads as of one snapshot.
+                let snap = node.open_snapshot(input).ok();
                 for (first, last) in
                     contiguous_runs(&(0..manifest.chunk_count()).collect::<Vec<_>>())
                 {
@@ -521,7 +536,10 @@ impl<N: BitDewApi + ActiveData + TransferManager + 'static> ComputeRunner<N> {
                         .filter_map(|c| manifest.descriptor(c))
                         .map(|d| d.len as usize)
                         .sum();
-                    let bytes = node.get_range_local(input, offset, run_len)?;
+                    let bytes = match &snap {
+                        Some(s) => node.get_range_at(input, s, offset, run_len)?,
+                        None => node.get_range_local(input, offset, run_len)?,
+                    };
                     let mut cursor = 0usize;
                     for c in first..=last {
                         let len = manifest.descriptor(c).map(|d| d.len as usize).unwrap_or(0);

@@ -59,6 +59,7 @@ use crate::services::repository::DataRepository;
 use crate::services::scheduler::{HostUid, SyncRole};
 use crate::services::transfer::{DataTransfer, TransferBuilder, TransferId, TransferState};
 use crate::shard::{ShardedPlane, SyncProfile};
+use crate::versions::{split_writes, versioned_object, GcReport, Snapshot, VersionedManifest};
 
 /// Discovery-plane (UDP announce) tuning — see [`crate::announce`].
 #[derive(Debug, Clone)]
@@ -254,7 +255,12 @@ impl ServiceContainer {
         self.announce
             .lock()
             .as_ref()
-            .map(|s| s.holders(id, now))
+            .map(|s| {
+                s.holders(id, now)
+                    .into_iter()
+                    .map(|(h, f, _)| (h, f))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -456,6 +462,11 @@ pub struct BitdewNode {
     /// When each held datum was last announced — holdings re-announce
     /// past the TTL half-life, not every round.
     announced_at: Mutex<HashMap<DataId, u64>>,
+    /// The version this node's locally held bytes of each datum correspond
+    /// to (recorded when the node publishes, commits, repairs or pins).
+    /// Announced alongside the chunk bitmap so the scheduler can demote a
+    /// holder whose replica predates the head.
+    held_versions: Mutex<HashMap<DataId, u64>>,
 }
 
 impl BitdewNode {
@@ -511,6 +522,7 @@ impl BitdewNode {
             recent_work: AtomicBool::new(false),
             fallback_syncs: AtomicU64::new(0),
             announced_at: Mutex::new(HashMap::new()),
+            held_versions: Mutex::new(HashMap::new()),
         })
     }
 
@@ -599,6 +611,16 @@ impl BitdewNode {
     /// Delete a datum everywhere: catalog, repository, scheduler. Reservoir
     /// caches purge it on their next synchronization.
     pub fn delete(&self, data: &Data) -> Result<()> {
+        // Sweep the version plane's pre-image objects before the state
+        // that knows about them is forgotten.
+        let state = self.container.plane.version_state();
+        let store = self.container.repository.store();
+        let object = data.object_name();
+        for (birth, index, _) in state.preserved_inventory(data.id) {
+            let _ = store.remove(&versioned_object(&object, birth, index));
+        }
+        self.manifests.lock().remove(&data.id);
+        self.held_versions.lock().remove(&data.id);
         self.container.plane.delete_catalog(data.id)?;
         let _ = self.container.repository.remove(data);
         self.container.plane.scheduler().delete_data(data.id);
@@ -653,12 +675,20 @@ impl BitdewNode {
         let manifest = ChunkManifest::describe(data.id, chunk_size, content);
         self.container.plane.put_manifest(&manifest)?;
         self.manifests.lock().insert(data.id, manifest.clone());
+        self.note_held_version(data.id);
         Ok(manifest)
     }
 
     /// The chunk manifest of a datum, if one was published (cached locally
-    /// after the first catalog hit).
+    /// after the first catalog hit). Once the datum has committed versions
+    /// the local cache is bypassed and the *head* resolution is
+    /// materialized instead, so repair, announce and compute always key on
+    /// the head's per-chunk digests — a holder whose bytes predate the
+    /// head fails digest verification and becomes a repair target.
     pub fn manifest_for(&self, id: DataId) -> Result<Option<ChunkManifest>> {
+        if self.container.plane.version_head(id)? > 1 {
+            return self.container.plane.materialized_manifest(id);
+        }
         if let Some(m) = self.manifests.lock().get(&id) {
             return Ok(Some(m.clone()));
         }
@@ -736,6 +766,9 @@ impl BitdewNode {
                 data.name
             ))));
         }
+        // The fetch verified against the head manifest's digests, so the
+        // local bytes now correspond to the head version.
+        self.note_held_version(data.id);
         Ok(moved)
     }
 
@@ -902,11 +935,264 @@ impl BitdewNode {
         }
     }
 
-    /// Write a byte range into a datum's data-space content (the
-    /// repository's slot). See [`DataRepository::put_range`] for the
-    /// integrity contract.
+    /// Write a byte range into a datum's data-space content. On a datum
+    /// without a published manifest this is the raw repository range write
+    /// (see [`DataRepository::put_range`] for the integrity contract). On
+    /// a *chunked* datum it is version-creating: the write commits through
+    /// [`BitdewNode::commit_update`] against the current head, retrying
+    /// internally on [`BitdewError::VersionConflict`] — concurrent
+    /// non-overlapping writers commit independently, overlapping writers
+    /// serialize last-writer-wins.
     pub fn put_range(&self, data: &Data, offset: u64, content: &[u8]) -> Result<()> {
-        self.container.repository.put_range(data, offset, content)
+        if self.container.plane.version_head(data.id)? == 0 {
+            return self.container.repository.put_range(data, offset, content);
+        }
+        loop {
+            let base = self.container.plane.version_head(data.id)?;
+            match self.commit_update(data, base, &[(offset, content.to_vec())]) {
+                Ok(_) => return Ok(()),
+                Err(BitdewError::VersionConflict { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // --- Version plane ----------------------------------------------------
+
+    /// The datum's current head version (0 = never chunked, 1 = base
+    /// manifest only). See [`crate::versions`].
+    pub fn version_head(&self, id: DataId) -> Result<u64> {
+        self.container.plane.version_head(id)
+    }
+
+    /// One row of the datum's version chain (1 = the base manifest).
+    pub fn version_manifest(&self, id: DataId, version: u64) -> Result<Option<VersionedManifest>> {
+        self.container.plane.version_manifest(id, version)
+    }
+
+    /// Record that this node's local bytes of `id` now correspond to the
+    /// current head version (after a publish, commit, pin or repair).
+    fn note_held_version(&self, id: DataId) {
+        if let Ok(head) = self.container.plane.version_head(id) {
+            if head > 0 {
+                self.held_versions.lock().insert(id, head);
+            }
+        }
+    }
+
+    /// Commit `writes` against version `base` of a chunked datum — the
+    /// version plane's write face (see [`crate::versions`] for the full
+    /// protocol). Only the chunks the writes touch are read back, patched
+    /// and re-digested; their pre-images are preserved under per-chunk
+    /// `object@v{birth}.c{index}` names before the head CAS publishes the
+    /// new [`VersionedManifest`] row and the canonical bytes move. Returns
+    /// the committed version id; a retryable
+    /// [`BitdewError::VersionConflict`] means a concurrent writer touched
+    /// one of the same chunks first.
+    pub fn commit_update(&self, data: &Data, base: u64, writes: &[(u64, Vec<u8>)]) -> Result<u64> {
+        let plane = &self.container.plane;
+        let head = plane.version_head(data.id)?;
+        if base == 0 || head == 0 || base > head {
+            return Err(BitdewError::CatalogMiss {
+                what: format!("version {base} of `{}` (head {head})", data.name),
+            });
+        }
+        let resolved =
+            plane
+                .resolve_version(data.id, base)?
+                .ok_or_else(|| BitdewError::CatalogMiss {
+                    what: format!("chunk manifest for `{}`", data.name),
+                })?;
+        let by_chunk = split_writes(resolved.chunk_size, resolved.total, writes)?;
+        let state = plane.version_state();
+        let store = self.container.repository.store();
+        let object = data.object_name();
+
+        // Take the per-chunk commit locks in ascending index order:
+        // disjoint writers proceed in parallel, same-chunk writers
+        // serialize here instead of racing the byte I/O.
+        let locks: Vec<_> = by_chunk
+            .keys()
+            .map(|&i| state.chunk_lock(data.id, i))
+            .collect();
+        let _guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
+
+        // Under the locks the canonical bytes of every touched chunk are
+        // settled; if any chunk's settled birth is newer than what `base`
+        // resolves, a later version already rewrote it — conflict now,
+        // before any byte moves.
+        for &index in by_chunk.keys() {
+            let birth = resolved
+                .birth_of(index)
+                .ok_or_else(|| BitdewError::CatalogMiss {
+                    what: format!("chunk {index} of `{}`", data.name),
+                })?;
+            if state.settled_birth(data.id, index) != birth {
+                return Err(BitdewError::VersionConflict {
+                    head,
+                    attempted: base,
+                });
+            }
+        }
+
+        let crc = bitdew_storage::crc32::crc32;
+        let mut changed = Vec::with_capacity(by_chunk.len());
+        let mut patched_chunks = Vec::with_capacity(by_chunk.len());
+        for (&index, segments) in &by_chunk {
+            let desc = *resolved.descriptor(index).expect("checked above");
+            let birth = resolved.birth_of(index).expect("checked above");
+            let chunk_off = index as u64 * resolved.chunk_size;
+            let current = store.read_at(&object, chunk_off, desc.len as usize)?;
+            // Preserve the pre-image before anything overwrites it. The
+            // claim is idempotent: if an earlier (conflicted or committed)
+            // writer already copied birth's bytes, that copy is still
+            // valid — canonical chunk bytes only move under this lock.
+            if state.claim_preserve(data.id, birth, index, desc.len) {
+                store.write_at(&versioned_object(&object, birth, index), 0, &current)?;
+                state.mark_preserved(data.id, birth, index);
+            }
+            let mut patched = current.to_vec();
+            for seg in segments {
+                let (_, bytes) = &writes[seg.write];
+                patched[seg.chunk_offset..seg.chunk_offset + (seg.end - seg.start)]
+                    .copy_from_slice(&bytes[seg.start..seg.end]);
+            }
+            changed.push(crate::chunks::ChunkDescriptor {
+                index,
+                len: desc.len,
+                crc32: crc(&patched),
+            });
+            patched_chunks.push((index, chunk_off, patched));
+        }
+
+        // Publish through the head CAS. With the chunk locks held this can
+        // only conflict against a writer that bypassed the node layer.
+        let committed = plane.publish_version(&VersionedManifest {
+            data: data.id,
+            version: base + 1,
+            parent: base,
+            chunk_size: resolved.chunk_size,
+            total: resolved.total,
+            changed,
+        })?;
+
+        // Only a committed writer moves the canonical bytes; settle each
+        // chunk at the new version before the locks release.
+        for (index, chunk_off, bytes) in patched_chunks {
+            store.write_at(&object, chunk_off, &bytes)?;
+            state.settle(data.id, index, committed.version);
+        }
+        self.manifests.lock().remove(&data.id);
+        self.held_versions.lock().insert(data.id, committed.version);
+        Ok(committed.version)
+    }
+
+    /// Open a [`Snapshot`] pinned to the datum's current head version:
+    /// [`BitdewNode::get_range_at`] reads through it see the datum as of
+    /// this call no matter how many versions commit afterwards, and the
+    /// pin keeps the snapshot's pre-image chunks from
+    /// [`BitdewNode::gc_versions`] until it drops.
+    pub fn open_snapshot(&self, data: &Data) -> Result<Snapshot> {
+        let plane = &self.container.plane;
+        let head = plane.version_head(data.id)?;
+        if head == 0 {
+            return Err(BitdewError::CatalogMiss {
+                what: format!("chunk manifest for `{}`", data.name),
+            });
+        }
+        let pin = plane.version_state().pin(data.id, head);
+        let resolved =
+            plane
+                .resolve_version(data.id, head)?
+                .ok_or_else(|| BitdewError::CatalogMiss {
+                    what: format!("chunk manifest for `{}`", data.name),
+                })?;
+        Ok(Snapshot::new(resolved, pin))
+    }
+
+    /// Read bytes `[offset, offset+len)` of `data` *as of* `snap`'s pinned
+    /// version (short only at EOF). Each overlapping chunk resolves
+    /// through the version tree: a chunk superseded since the snapshot
+    /// reads from its preserved per-chunk pre-image object, an unchanged
+    /// chunk from the shared canonical object — with a preserve re-check
+    /// after the canonical read, so a commit racing this read can never
+    /// leak post-snapshot bytes.
+    pub fn get_range_at(
+        &self,
+        data: &Data,
+        snap: &Snapshot,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        let rv = snap.resolved();
+        let len = len.min(rv.total.saturating_sub(offset) as usize);
+        let state = self.container.plane.version_state();
+        let store = self.container.repository.store();
+        let object = data.object_name();
+        let mut out = Vec::with_capacity(len);
+        let end = offset + len as u64;
+        for (index, birth) in rv.overlapping(offset, len) {
+            let desc = rv.descriptor(index).expect("overlapping is in range");
+            let chunk_start = index as u64 * rv.chunk_size;
+            let seg_start = offset.max(chunk_start);
+            let seg_end = end.min(chunk_start + desc.len as u64);
+            let seg_len = (seg_end - seg_start) as usize;
+            // Pre-image objects hold only their chunk's bytes, offset 0.
+            let within = seg_start - chunk_start;
+            let bytes = if state.is_preserved(data.id, birth, index) {
+                store.read_at(&versioned_object(&object, birth, index), within, seg_len)?
+            } else {
+                let canonical = store.read_at(&object, seg_start, seg_len)?;
+                if state.is_preserved(data.id, birth, index) {
+                    // A commit preserved (and possibly overwrote) the chunk
+                    // while we read it — the pre-image is authoritative.
+                    store.read_at(&versioned_object(&object, birth, index), within, seg_len)?
+                } else {
+                    canonical
+                }
+            };
+            out.extend_from_slice(&bytes);
+        }
+        Ok(out)
+    }
+
+    /// Reference-counted GC sweep over the datum's preserved pre-image
+    /// chunks: everything unreachable from the head and from every open
+    /// snapshot is reclaimed, and each reclaimed chunk's pre-image object
+    /// is removed from the repository store.
+    pub fn gc_versions(&self, data: &Data) -> Result<GcReport> {
+        let plane = &self.container.plane;
+        let state = plane.version_state();
+        // No commits move the head (or preserve new chunks) mid-sweep.
+        let _commit = state.commit_lock();
+        let head = plane.version_head(data.id)?;
+        let mut live_versions: Vec<u64> = state.pinned(data.id);
+        if head > 0 && !live_versions.contains(&head) {
+            live_versions.push(head);
+            live_versions.sort_unstable();
+        }
+        let mut live = Vec::with_capacity(live_versions.len());
+        for &v in &live_versions {
+            if let Some(rv) = plane.resolve_version(data.id, v)? {
+                live.push(rv);
+            }
+        }
+        let store = self.container.repository.store();
+        let object = data.object_name();
+        let mut report = GcReport {
+            live_versions,
+            ..GcReport::default()
+        };
+        for (birth, index, len) in
+            crate::versions::gc_plan(&live, &state.preserved_inventory(data.id))
+        {
+            report.chunks_reclaimed += 1;
+            report.bytes_reclaimed += len as u64;
+            state.reclaim(data.id, birth, index);
+            let _ = store.remove(&versioned_object(&object, birth, index));
+            report.objects_removed += 1;
+        }
+        Ok(report)
     }
 
     /// Manifest-aware partial pin: verify which of the claimed chunk
@@ -936,6 +1222,7 @@ impl BitdewNode {
             }
         }
         let verified = self.chunk_store.held_set(&object);
+        self.note_held_version(data.id);
         let scheduler = self.container.plane.scheduler();
         scheduler.set_chunk_total(data.id, manifest.chunk_count());
         if verified.len() as u32 >= manifest.chunk_count() {
@@ -1184,7 +1471,7 @@ impl BitdewNode {
             .map(|(&id, (d, _))| (id, d.object_name()))
             .collect();
         self.with_announce_client(|client| {
-            if !client.announce(self.uid, LIVENESS_PING, ttl, serving, Vec::new()) {
+            if !client.announce(self.uid, LIVENESS_PING, 0, ttl, serving, Vec::new()) {
                 return false;
             }
             let live: std::collections::HashSet<DataId> =
@@ -1198,6 +1485,14 @@ impl BitdewNode {
                 if !due {
                     continue;
                 }
+                // The version the local bytes correspond to: recorded at
+                // publish/commit/repair time, defaulting to the current
+                // head for data that predate version tracking. The
+                // announce server demotes claims behind the head.
+                let version = {
+                    let held = self.held_versions.lock().get(id).copied();
+                    held.unwrap_or_else(|| self.container.plane.version_head(*id).unwrap_or(0))
+                };
                 let (flags, bitmap) = match self.manifests.lock().get(id) {
                     Some(m) => {
                         let held = self.chunk_store.held_set(object);
@@ -1214,7 +1509,7 @@ impl BitdewNode {
                     }
                     None => (serving | FLAG_COMPLETE, Vec::new()),
                 };
-                if !client.announce(self.uid, *id, ttl, flags, bitmap) {
+                if !client.announce(self.uid, *id, version, ttl, flags, bitmap) {
                     return false;
                 }
                 announced.insert(*id, now);
@@ -1704,6 +1999,30 @@ impl BitDewApi for BitdewNode {
     }
     fn get_range_local(&self, data: &Data, offset: u64, len: usize) -> Result<Vec<u8>> {
         BitdewNode::get_range_local(self, data, offset, len)
+    }
+    fn version_head(&self, id: DataId) -> Result<u64> {
+        BitdewNode::version_head(self, id)
+    }
+    fn version_manifest(&self, id: DataId, version: u64) -> Result<Option<VersionedManifest>> {
+        BitdewNode::version_manifest(self, id, version)
+    }
+    fn commit_update(&self, data: &Data, base: u64, writes: &[(u64, Vec<u8>)]) -> Result<u64> {
+        BitdewNode::commit_update(self, data, base, writes)
+    }
+    fn open_snapshot(&self, data: &Data) -> Result<Snapshot> {
+        BitdewNode::open_snapshot(self, data)
+    }
+    fn get_range_at(
+        &self,
+        data: &Data,
+        snap: &Snapshot,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        BitdewNode::get_range_at(self, data, snap, offset, len)
+    }
+    fn gc_versions(&self, data: &Data) -> Result<GcReport> {
+        BitdewNode::gc_versions(self, data)
     }
 }
 

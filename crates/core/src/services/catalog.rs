@@ -19,11 +19,22 @@ use bitdew_storage::{ConnectionPool, DbDriver, DbOp, DbReply, DbResult};
 use crate::api::Result;
 use crate::chunks::ChunkManifest;
 use crate::data::{Data, DataId, Locator};
+use crate::versions::VersionedManifest;
 
 const T_DATA: &str = "dc_data";
 const T_LOCATOR: &str = "dc_locator";
 const T_NAME: &str = "dc_name";
 const T_MANIFEST: &str = "dc_manifest";
+const T_VERSION: &str = "dc_version";
+
+/// Key of a `dc_version` row: the datum id (little-endian, the scan
+/// prefix) followed by the version id big-endian so `ScanPrefix` returns
+/// the chain in ascending version order.
+fn version_key(id: DataId, version: u64) -> Vec<u8> {
+    let mut key = id.0.to_le_bytes().to_vec();
+    key.extend_from_slice(&version.to_be_bytes());
+    key
+}
 
 /// How the DC reaches its database (Table 2's pooling axis).
 pub enum DbAccess {
@@ -225,6 +236,52 @@ impl DataCatalog {
         }
     }
 
+    /// Persist one version row of a datum's chunk tree (versions ≥ 2; the
+    /// base version 1 *is* the `dc_manifest` row). Rows are immutable —
+    /// a version id is written once by the head CAS and never rewritten.
+    pub fn put_version(&self, row: &VersionedManifest) -> Result<()> {
+        self.db.exec(DbOp::Put {
+            table: T_VERSION.into(),
+            key: version_key(row.data, row.version),
+            value: row.to_bytes().to_vec(),
+        })?;
+        Ok(())
+    }
+
+    /// One version row of a datum, if persisted. Version 1 reads from the
+    /// base manifest (decoded through the legacy-compat path), later
+    /// versions from `dc_version`.
+    pub fn version(&self, id: DataId, version: u64) -> Result<Option<VersionedManifest>> {
+        if version == 1 {
+            return Ok(self.manifest(id)?.map(|m| VersionedManifest::from_base(&m)));
+        }
+        match self.db.exec(DbOp::Get {
+            table: T_VERSION.into(),
+            key: version_key(id, version),
+        })? {
+            DbReply::Value(Some(bytes)) => Ok(VersionedManifest::from_bytes(&bytes).ok()),
+            _ => Ok(None),
+        }
+    }
+
+    /// Every persisted delta row of a datum's chain (versions ≥ 2),
+    /// ascending by version.
+    pub fn versions(&self, id: DataId) -> Result<Vec<VersionedManifest>> {
+        let rows = match self.db.exec(DbOp::ScanPrefix {
+            table: T_VERSION.into(),
+            prefix: id.0.to_le_bytes().to_vec(),
+        })? {
+            DbReply::Rows(rows) => rows,
+            _ => Vec::new(),
+        };
+        let mut out: Vec<VersionedManifest> = rows
+            .into_iter()
+            .filter_map(|(_, v)| VersionedManifest::from_bytes(&v).ok())
+            .collect();
+        out.sort_by_key(|r| r.version);
+        Ok(out)
+    }
+
     /// Remove a datum and its locators ("data deletion implies both local
     /// and remote deletion", §3.3).
     pub fn delete(&self, id: DataId) -> Result<bool> {
@@ -256,6 +313,12 @@ impl DataCatalog {
             table: T_MANIFEST.into(),
             key: id.0.to_le_bytes().to_vec(),
         })?;
+        for row in self.versions(id)? {
+            self.db.exec(DbOp::Delete {
+                table: T_VERSION.into(),
+                key: version_key(id, row.version),
+            })?;
+        }
         Ok(true)
     }
 
@@ -344,6 +407,43 @@ mod tests {
         // Deleting the datum drops its manifest too.
         dc.delete(d.id).unwrap();
         assert_eq!(dc.manifest(d.id).unwrap(), None);
+    }
+
+    #[test]
+    fn version_chain_persists_in_order_and_dies_with_the_datum() {
+        let dc = dc_pooled();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let d = datum(&mut rng, "versioned");
+        dc.register(&d).unwrap();
+        let m = crate::chunks::ChunkManifest::describe(d.id, 64, &vec![3u8; 400]);
+        dc.put_manifest(&m).unwrap();
+        // Version 1 is the base manifest, read through the compat path.
+        let v1 = dc.version(d.id, 1).unwrap().expect("base as version 1");
+        assert_eq!(v1.version, 1);
+        assert_eq!(v1.changed, m.chunks);
+        assert!(dc.versions(d.id).unwrap().is_empty(), "no deltas yet");
+        // Persist deltas out of order; the scan returns them ascending.
+        for v in [3u64, 2, 4] {
+            dc.put_version(&VersionedManifest {
+                data: d.id,
+                version: v,
+                parent: v - 1,
+                chunk_size: m.chunk_size,
+                total: m.total,
+                changed: vec![m.chunks[(v % m.chunk_count() as u64) as usize]],
+            })
+            .unwrap();
+        }
+        let chain = dc.versions(d.id).unwrap();
+        assert_eq!(
+            chain.iter().map(|r| r.version).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(dc.version(d.id, 3).unwrap().unwrap().parent, 2);
+        assert_eq!(dc.version(d.id, 9).unwrap(), None);
+        dc.delete(d.id).unwrap();
+        assert!(dc.versions(d.id).unwrap().is_empty());
+        assert_eq!(dc.version(d.id, 1).unwrap(), None);
     }
 
     #[test]
