@@ -20,6 +20,11 @@
 //!
 //! Run with: `cargo run --release -p bitdew-bench --bin chunk_scale`
 //! (`-- --smoke` for the CI-sized run; the ≥ 2× assertion holds in both.)
+//!
+//! This harness runs on the flat GbE star. The `net_contention` bench
+//! re-runs the same criterion under link contention (two-tier datacenter
+//! fabric with oversubscribed aggregation) where cross-rack chunk
+//! stealing is capped by the shared links.
 
 use std::sync::Arc;
 use std::time::Instant;

@@ -1,0 +1,434 @@
+//! Link-contended network core: shared-bottleneck fairness, topology-honest
+//! chunk distribution, and congestion-honest churn at 100k hosts.
+//!
+//! The PR 10 tentpole rebuilds `bitdew_sim::net` around links and routes:
+//! every transfer now shares *every* link on its path (access links, an
+//! oversubscribed aggregation fabric, or a volunteer ISP pipe) under
+//! progressive-filling max-min fairness. This harness measures what that
+//! changes, in the same virtual-time methodology as the Fig. 3-6
+//! reproductions:
+//!
+//! 1. **Shared-bottleneck fairness** — 10 disjoint home-to-home flows that
+//!    all cross one volunteer ISP pipe must each get exactly capacity/10
+//!    (asserted ±5%), while the same flows on the legacy-shaped flat star
+//!    run at full access speed. The contention the old endpoint-only model
+//!    could not express is the whole difference between the columns.
+//! 2. **chunk_scale, topology-honest** — the PR 3 acceptance criterion
+//!    (chunked fetch from 4 replicas ≥ 2× single-source FTP) re-verified on
+//!    the flat star, then re-run on a two-tier datacenter with 16:1
+//!    oversubscribed aggregation: cross-rack chunk stealing is capped by
+//!    the fabric and aggregate throughput measurably degrades.
+//! 3. **Churn at 100k hosts with congestion on** — the announce-plane churn
+//!    scenario on the datacenter fabric with `set_contended_control`: sync
+//!    replies, announce reservations, and version publications all ride the
+//!    service host's real links. The run must finish with every datum still
+//!    owned and sustain an events/sec floor (the allocator recomputes only
+//!    on flow arrival/departure/churn, so congestion cannot make the event
+//!    loop quadratic).
+//!
+//! Results land in `BENCH_net_contention.json` beside the human-readable
+//! tables.
+//!
+//! Run with: `cargo run --release -p bitdew-bench --bin net_contention`
+//! (`-- --smoke` for the CI-sized run; both sizes assert all three
+//! criteria).
+
+use std::time::Instant;
+
+use bitdew_bench::{print_table, section};
+use bitdew_core::simdriver::SimBitdew;
+use bitdew_core::{Data, DataAttributes, REPLICA_ALL};
+use bitdew_sim::{
+    topology, FlowNet, HostId, Link, LinkTopology, Sim, SimDuration, SimTime, Trace, TraceEvent,
+};
+use bitdew_util::Auid;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const GBE: f64 = 125.0e6;
+/// Volunteer ISP pipe in section 1 (bytes/s).
+const PIPE: f64 = 50.0e6;
+/// Disjoint flows crossing the pipe in section 1.
+const BOTTLENECK_FLOWS: usize = 10;
+/// Aggregation oversubscription of the section 2/3 datacenter fabric.
+const OVERSUB: f64 = 16.0;
+
+struct Params {
+    /// Downloaders in the chunk_scale reproduction (section 2).
+    downloaders: usize,
+    /// Blob size (bytes) in section 2.
+    bytes: u64,
+    /// Chunk size for the manifest.
+    chunk: u64,
+    /// Hosts in the churn scenario (section 3).
+    churn_hosts: usize,
+    /// Managed data |Θ| in the churn scenario.
+    churn_data: usize,
+    /// Virtual horizon of section 3.
+    churn_horizon: u64,
+    /// Section 3 must sustain at least this many events/sec wall-clock.
+    events_floor: f64,
+}
+
+impl Params {
+    fn full() -> Params {
+        Params {
+            downloaders: 12,
+            bytes: 100_000_000,
+            chunk: 4_000_000,
+            churn_hosts: 100_000,
+            churn_data: 200,
+            churn_horizon: 100,
+            events_floor: 20_000.0,
+        }
+    }
+
+    fn smoke() -> Params {
+        Params {
+            downloaders: 8,
+            bytes: 40_000_000,
+            chunk: 2_000_000,
+            churn_hosts: 5_000,
+            churn_data: 200,
+            churn_horizon: 100,
+            events_floor: 20_000.0,
+        }
+    }
+}
+
+/// Section 1: `BOTTLENECK_FLOWS` disjoint home-to-home transfers. On the
+/// volunteer WAN they all cross the shared ISP pipe; on the flat star they
+/// only touch their own access links. Returns each flow's settled rate.
+fn bottleneck_rates(shared_pipe: bool) -> Vec<f64> {
+    let net = if shared_pipe {
+        FlowNet::with_topology(LinkTopology::volunteer_wan(
+            Link::new(PIPE),
+            Link::new(PIPE),
+        ))
+    } else {
+        FlowNet::new()
+    };
+    let mut sim = Sim::new(21);
+    for h in 0..2 * BOTTLENECK_FLOWS as u32 {
+        net.add_host(HostId(h), GBE, GBE);
+    }
+    let mut ids = Vec::new();
+    for f in 0..BOTTLENECK_FLOWS as u32 {
+        ids.push(net.start_flow(
+            &mut sim,
+            HostId(2 * f),
+            HostId(2 * f + 1),
+            1.0e12, // long-lived: still active when probed
+            SimDuration::ZERO,
+            Box::new(|_, _| {}),
+        ));
+    }
+    sim.run_until(SimTime::from_secs(1));
+    ids.iter()
+        .map(|&id| net.flow_rate(id).expect("flow still active"))
+        .collect()
+}
+
+/// Section 2: virtual-time makespan of distributing one blob to
+/// `p.downloaders` hosts — the chunk_scale harness, parameterised by
+/// topology. `seeds = None` is the single-source whole-blob FTP baseline;
+/// `Some(r)` seeds r pinned replicas and fetches chunked multi-source.
+fn sim_makespan(p: &Params, seeds: Option<usize>, datacenter: bool) -> f64 {
+    let r = seeds.unwrap_or(0);
+    let topo = if datacenter {
+        topology::gdx_datacenter(p.downloaders + r, 4, OVERSUB)
+    } else {
+        topology::gdx_cluster(p.downloaders + r)
+    };
+    let mut sim = Sim::new(99);
+    let trace = Trace::new();
+    let bd = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_secs(1),
+        trace.clone(),
+    );
+    let mut rng = SmallRng::seed_from_u64(1);
+    let data = Data::slot(Auid::generate(1, &mut rng), "blob", p.bytes);
+    if seeds.is_some() {
+        let manifest = bitdew_core::chunks::ChunkManifest::describe(
+            data.id,
+            p.chunk,
+            &vec![0u8; data.size as usize],
+        );
+        bd.put_manifest(&manifest);
+    }
+    bd.schedule_data(
+        data.clone(),
+        DataAttributes::default().with_replica(REPLICA_ALL),
+    );
+    for i in 0..r {
+        let s = bd.add_node(&mut sim, topo.workers[i], SimTime::ZERO);
+        bd.pin(data.id, s);
+    }
+    for i in r..r + p.downloaders {
+        bd.add_node(&mut sim, topo.workers[i], SimTime::ZERO);
+    }
+    sim.run_until(SimTime::from_secs(3_600));
+    let completions: Vec<f64> = trace
+        .records()
+        .iter()
+        .filter(|rec| matches!(rec.event, TraceEvent::TransferCompleted { .. }))
+        .map(|rec| rec.at.as_secs_f64())
+        .collect();
+    assert_eq!(
+        completions.len(),
+        p.downloaders,
+        "every downloader finished"
+    );
+    completions.into_iter().fold(0.0, f64::max)
+}
+
+struct ChurnOutcome {
+    events: u64,
+    wall_secs: f64,
+    min_owners: usize,
+    victims: usize,
+}
+
+/// Section 3: the announce-plane churn scenario on the oversubscribed
+/// datacenter fabric with contended control traffic. 1% of hosts die
+/// silently at t=40 (releasing their link shares mid-flow) and the
+/// datagram path is down t=50..55.
+fn churn_run(p: &Params) -> ChurnOutcome {
+    let topo = topology::gdx_datacenter(p.churn_hosts, 40, 4.0);
+    let mut sim = Sim::new(12);
+    let bd = SimBitdew::new(
+        topo.net.clone(),
+        topo.service,
+        SimDuration::from_secs(1),
+        Trace::new(),
+    );
+    bd.enable_announce(32, 128);
+    bd.set_contended_control(&mut sim, true);
+    let mut rng = SmallRng::seed_from_u64(6);
+    let data: Vec<Data> = (0..p.churn_data)
+        .map(|i| {
+            Data::slot(
+                Auid::generate(i as u64 + 1, &mut rng),
+                format!("c{i}"),
+                64_000,
+            )
+        })
+        .collect();
+    for d in &data {
+        bd.schedule_data(
+            d.clone(),
+            DataAttributes::default()
+                .with_replica(3)
+                .with_fault_tolerance(true),
+        );
+    }
+    for (i, &w) in topo.workers.iter().enumerate() {
+        bd.add_node(&mut sim, w, SimTime::from_secs((i % 8) as u64));
+    }
+    let victims: Vec<_> = topo.workers.iter().step_by(100).copied().collect();
+    let n_victims = victims.len();
+    let bd2 = bd.clone();
+    let net = topo.net.clone();
+    sim.schedule_at(SimTime::from_secs(40), move |sim| {
+        for &v in &victims {
+            bd2.kill_host(sim, v);
+            net.set_host_enabled(sim, v, false);
+        }
+    });
+    let bd3 = bd.clone();
+    sim.schedule_at(SimTime::from_secs(50), move |_| bd3.set_udp_up(false));
+    let bd4 = bd.clone();
+    sim.schedule_at(SimTime::from_secs(55), move |_| bd4.set_udp_up(true));
+    let start = Instant::now();
+    sim.run_until(SimTime::from_secs(p.churn_horizon));
+    let wall_secs = start.elapsed().as_secs_f64();
+    let min_owners = data
+        .iter()
+        .map(|d| bd.owners_of(d.id).len())
+        .min()
+        .unwrap_or(0);
+    ChurnOutcome {
+        events: sim.events_executed(),
+        wall_secs,
+        min_owners,
+        victims: n_victims,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let p = if smoke {
+        Params::smoke()
+    } else {
+        Params::full()
+    };
+    println!(
+        "# net_contention — link-contended network core{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    section("1. shared-bottleneck fairness (10 disjoint flows, one ISP pipe)");
+    println!(
+        "{BOTTLENECK_FLOWS} home-to-home flows, GbE access, {} MB/s shared pipe\n",
+        PIPE / 1.0e6
+    );
+    let wan_rates = bottleneck_rates(true);
+    let flat_rates = bottleneck_rates(false);
+    let fair_share = PIPE / BOTTLENECK_FLOWS as f64;
+    let worst_err = wan_rates
+        .iter()
+        .map(|r| (r - fair_share).abs() / fair_share)
+        .fold(0.0, f64::max);
+    let rows = vec![
+        vec![
+            "volunteer wan (shared pipe)".to_string(),
+            format!("{:.2}", wan_rates.iter().sum::<f64>() / 1.0e6),
+            format!("{:.2}", wan_rates[0] / 1.0e6),
+            format!("{:.2}", fair_share / 1.0e6),
+        ],
+        vec![
+            "flat star (legacy shape)".to_string(),
+            format!("{:.2}", flat_rates.iter().sum::<f64>() / 1.0e6),
+            format!("{:.2}", flat_rates[0] / 1.0e6),
+            format!("{:.2}", GBE / 1.0e6),
+        ],
+    ];
+    print_table(
+        &[
+            "topology",
+            "aggregate MB/s",
+            "per-flow MB/s",
+            "expected MB/s",
+        ],
+        &rows,
+    );
+    println!(
+        "\nworst fair-share error on the pipe: {:.2}%",
+        worst_err * 100.0
+    );
+
+    section("2. chunk_scale, topology-honest (4 seed replicas)");
+    println!(
+        "{} downloaders × {} MB, {} MB chunks; flat GbE star vs two-tier \
+         datacenter ({OVERSUB}:1 oversubscribed aggregation)\n",
+        p.downloaders,
+        p.bytes / 1_000_000,
+        p.chunk / 1_000_000
+    );
+    let total_mb = (p.downloaders as f64) * (p.bytes as f64) / 1.0e6;
+    let ftp_flat = total_mb / sim_makespan(&p, None, false);
+    let multi_flat = total_mb / sim_makespan(&p, Some(4), false);
+    let multi_dc = total_mb / sim_makespan(&p, Some(4), true);
+    let rows = vec![
+        vec![
+            "flat star".to_string(),
+            format!("{ftp_flat:.0}"),
+            format!("{multi_flat:.0}"),
+            format!("{:.2}x", multi_flat / ftp_flat),
+        ],
+        vec![
+            "oversubscribed dc".to_string(),
+            "-".to_string(),
+            format!("{multi_dc:.0}"),
+            format!("{:.2}x", multi_dc / ftp_flat),
+        ],
+    ];
+    print_table(
+        &["topology", "ftp MB/s", "multi-source MB/s", "vs flat ftp"],
+        &rows,
+    );
+    println!(
+        "\naggregation fabric costs {:.2}x of the flat-star multi-source rate",
+        multi_flat / multi_dc
+    );
+
+    section("3. churn at scale with congestion-honest control traffic");
+    println!(
+        "{} hosts on the datacenter fabric, |Θ| = {} × replica 3, contended \
+         control plane, 1% silent deaths at t=40, datagram outage t=50..55, \
+         horizon {} s\n",
+        p.churn_hosts, p.churn_data, p.churn_horizon
+    );
+    let churn = churn_run(&p);
+    let events_per_sec = churn.events as f64 / churn.wall_secs;
+    let rows = vec![
+        vec!["silent deaths".to_string(), churn.victims.to_string()],
+        vec!["events executed".to_string(), churn.events.to_string()],
+        vec![
+            "wall seconds".to_string(),
+            format!("{:.2}", churn.wall_secs),
+        ],
+        vec!["events/sec".to_string(), format!("{events_per_sec:.0}")],
+        vec![
+            "min owners over Θ".to_string(),
+            churn.min_owners.to_string(),
+        ],
+    ];
+    print_table(&["metric", "value"], &rows);
+
+    let json = format!(
+        "{{\"bench\":\"net_contention\",\"smoke\":{},\
+         \"bottleneck\":{{\"flows\":{BOTTLENECK_FLOWS},\"pipe_bytes_per_sec\":{PIPE},\
+         \"fair_share\":{fair_share},\"per_flow_wan\":{:.2},\"per_flow_flat\":{:.2},\
+         \"worst_err\":{:.4}}},\
+         \"chunk_repro\":{{\"downloaders\":{},\"bytes\":{},\"ftp_flat_mbs\":{:.2},\
+         \"multi4_flat_mbs\":{:.2},\"multi4_dc_mbs\":{:.2},\"flat_speedup\":{:.3},\
+         \"dc_degradation\":{:.3}}},\
+         \"churn\":{{\"hosts\":{},\"data\":{},\"victims\":{},\"events\":{},\
+         \"wall_secs\":{:.3},\"events_per_sec\":{:.0},\"min_owners\":{}}}}}",
+        smoke,
+        wan_rates[0],
+        flat_rates[0],
+        worst_err,
+        p.downloaders,
+        p.bytes,
+        ftp_flat,
+        multi_flat,
+        multi_dc,
+        multi_flat / ftp_flat,
+        multi_flat / multi_dc,
+        p.churn_hosts,
+        p.churn_data,
+        churn.victims,
+        churn.events,
+        churn.wall_secs,
+        events_per_sec,
+        churn.min_owners,
+    );
+    std::fs::write("BENCH_net_contention.json", format!("{json}\n")).expect("write bench json");
+    println!("\nwrote BENCH_net_contention.json");
+
+    for (i, &r) in wan_rates.iter().enumerate() {
+        assert!(
+            (r - fair_share).abs() <= 0.05 * fair_share,
+            "flow {i} must get the pipe's fair share +-5%: {r:.0} vs {fair_share:.0}"
+        );
+    }
+    for (i, &r) in flat_rates.iter().enumerate() {
+        assert!(
+            (r - GBE).abs() <= 0.05 * GBE,
+            "flat-star flow {i} must run at access speed: {r:.0} vs {GBE:.0}"
+        );
+    }
+    assert!(
+        multi_flat >= 2.0 * ftp_flat,
+        "flat star must reproduce the chunk_scale criterion: {multi_flat:.0} vs {ftp_flat:.0} MB/s"
+    );
+    assert!(
+        multi_dc <= 0.8 * multi_flat,
+        "the oversubscribed fabric must measurably degrade multi-source \
+         throughput: {multi_dc:.0} vs {multi_flat:.0} MB/s"
+    );
+    assert!(
+        churn.min_owners >= 1,
+        "every datum must stay owned through the churn"
+    );
+    assert!(
+        events_per_sec >= p.events_floor,
+        "the contended event loop must sustain >= {:.0} events/sec, got {events_per_sec:.0}",
+        p.events_floor
+    );
+    println!("\nfair sharing, chunk_scale repro + degradation, and churn floor verified");
+}

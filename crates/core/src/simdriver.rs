@@ -262,6 +262,14 @@ struct DriverState {
     /// TCP-only run measures; with announce enabled the counters live in
     /// [`AnnounceSimState::stats`]).
     tcp_stats: SimSyncStats,
+    /// Control traffic competes for real link capacity: sync replies move
+    /// as flows through the service host's links, announce datagrams hold
+    /// an aggregate downlink reservation, and version publications flow
+    /// upstream. Off (the default) reproduces the counter-only model.
+    control_contention: bool,
+    /// Live node count, maintained O(1) for the announce-plane downlink
+    /// reservation.
+    alive_nodes: usize,
 }
 
 impl DriverState {
@@ -351,6 +359,8 @@ impl SimBitdew {
                 peer_chunk_flows: 0,
                 announce: None,
                 tcp_stats: SimSyncStats::default(),
+                control_contention: false,
+                alive_nodes: 0,
             })),
             net,
             service_host,
@@ -389,6 +399,39 @@ impl SimBitdew {
             announced_at: HashMap::new(),
             stats: SimSyncStats::default(),
         });
+    }
+
+    /// Route the control plane through the service host's *actual links*
+    /// instead of only incrementing the [`SimSyncStats`] counters: full
+    /// TCP sync replies become real flows on the service uplink (a node
+    /// that dies mid-sync loses its transfer orders with the usual
+    /// flow-failure semantics), the announce datagram stream holds an
+    /// aggregate service-downlink reservation sized by the live node
+    /// count, and version publications flow node → service. The counters
+    /// keep counting either way; only *durations* change. Off by default —
+    /// enable after `enable_announce` when congestion-honest timing is
+    /// wanted.
+    pub fn set_contended_control(&self, sim: &mut Sim, on: bool) {
+        self.state.borrow_mut().control_contention = on;
+        self.refresh_control_reservation(sim);
+    }
+
+    /// Re-derive the announce-plane's aggregate service-downlink
+    /// reservation: every live node emits one liveness datagram per
+    /// heartbeat, and those bytes/second occupy the service's inbound pipe
+    /// before any payload flow gets a share.
+    fn refresh_control_reservation(&self, sim: &mut Sim) {
+        let (on, announce_on, alive) = {
+            let st = self.state.borrow();
+            (st.control_contention, st.announce.is_some(), st.alive_nodes)
+        };
+        let rate = if on && announce_on {
+            alive as f64 * (SIM_ANNOUNCE_WIRE + SIM_UDP_OVERHEAD) as f64
+                / self.heartbeat.as_secs_f64().max(1e-9)
+        } else {
+            0.0
+        };
+        self.net.reserve_down(sim, self.service_host, rate);
     }
 
     /// Kill or revive the datagram path. While down, every node's
@@ -715,7 +758,9 @@ impl SimBitdew {
                 },
             );
             st.by_host.insert(host, uid);
+            st.alive_nodes += 1;
         }
+        self.refresh_control_reservation(sim);
         self.trace
             .push(start_at.max(sim.now()), TraceEvent::HostUp { host });
         let driver = self.clone();
@@ -730,12 +775,20 @@ impl SimBitdew {
     pub fn kill_host(&self, sim: &mut Sim, host: HostId) {
         let mut st = self.state.borrow_mut();
         if let Some(uid) = st.by_host.get(&host).copied() {
+            let mut died = false;
             if let Some(n) = st.nodes.get_mut(&uid) {
-                n.alive = false;
+                if n.alive {
+                    n.alive = false;
+                    died = true;
+                }
                 n.pending.clear();
+            }
+            if died {
+                st.alive_nodes = st.alive_nodes.saturating_sub(1);
             }
         }
         drop(st);
+        self.refresh_control_reservation(sim);
         self.trace.push(sim.now(), TraceEvent::HostDown { host });
     }
 
@@ -852,7 +905,7 @@ impl SimBitdew {
     /// (stopping the recurring timer) when the node is dead.
     fn heartbeat_step(&self, sim: &mut Sim, uid: HostUid) -> bool {
         let now = sim.now().as_nanos();
-        let (host, downloads, repairs, served_at) = {
+        let (host, downloads, repairs, served_at, sync_bytes, contended) = {
             let mut st = self.state.borrow_mut();
             let Some(node) = st.nodes.get_mut(&uid) else {
                 return false;
@@ -957,31 +1010,70 @@ impl SimBitdew {
                     repairs.push(data);
                 }
             }
-            (host, downloads, repairs, served_at)
+            (
+                host,
+                downloads,
+                repairs,
+                served_at,
+                sync_bytes,
+                st.control_contention,
+            )
         };
-        if served_at <= sim.now() {
-            self.state.borrow_mut().syncs_served += 1;
-            self.start_assigned_flows(sim, uid, host, downloads);
-            self.start_repairs(sim, uid, host, repairs);
+        if contended {
+            // The reply is a real flow on the service host's links: its
+            // duration reflects whatever else is crowding them, and a node
+            // that dies mid-sync loses its transfer orders the way any
+            // failed flow loses its bytes.
+            let driver = self.clone();
+            let start_reply = move |sim: &mut Sim| {
+                let done = driver.clone();
+                driver.net.start_flow(
+                    sim,
+                    driver.service_host,
+                    host,
+                    sync_bytes as f64,
+                    SimDuration::ZERO,
+                    Box::new(move |sim, out| {
+                        if matches!(out, FlowOutcome::Completed { .. }) {
+                            done.deliver_sync_reply(sim, uid, host, downloads, repairs);
+                        }
+                    }),
+                );
+            };
+            if served_at <= sim.now() {
+                start_reply(sim);
+            } else {
+                sim.schedule_at(served_at, start_reply);
+            }
+        } else if served_at <= sim.now() {
+            self.deliver_sync_reply(sim, uid, host, downloads, repairs);
         } else {
             // The reply (and its transfer orders) arrives when the busiest
             // shard has drained this request from its queue.
             let driver = self.clone();
             sim.schedule_at(served_at, move |sim| {
-                driver.state.borrow_mut().syncs_served += 1;
-                let alive = driver
-                    .state
-                    .borrow()
-                    .nodes
-                    .get(&uid)
-                    .is_some_and(|n| n.alive);
-                if alive {
-                    driver.start_assigned_flows(sim, uid, host, downloads);
-                    driver.start_repairs(sim, uid, host, repairs);
-                }
+                driver.deliver_sync_reply(sim, uid, host, downloads, repairs);
             });
         }
         true
+    }
+
+    /// Account a served synchronization and start its transfer orders
+    /// (dropped when the node died while the reply was in flight).
+    fn deliver_sync_reply(
+        &self,
+        sim: &mut Sim,
+        uid: HostUid,
+        host: HostId,
+        downloads: Vec<(Data, DataAttributes)>,
+        repairs: Vec<Data>,
+    ) {
+        self.state.borrow_mut().syncs_served += 1;
+        let alive = self.state.borrow().nodes.get(&uid).is_some_and(|n| n.alive);
+        if alive {
+            self.start_assigned_flows(sim, uid, host, downloads);
+            self.start_repairs(sim, uid, host, repairs);
+        }
     }
 
     /// Start the flows for a served synchronization's transfer orders:
@@ -1965,6 +2057,22 @@ impl BitDewApi for SimNode {
         }
         st.version_rows.entry(data.id).or_default().push(row);
         st.held_versions.insert((self.uid, data.id), version);
+        let contended = st.control_contention;
+        drop(st);
+        if contended {
+            // Under contended control the publication's bytes travel the
+            // writer's uplink and the service downlink for real —
+            // fire-and-forget, but occupying link shares while in flight.
+            let mut sim = self.sim.borrow_mut();
+            self.driver.net.start_flow(
+                &mut sim,
+                self.host,
+                self.driver.service_host,
+                wire as f64,
+                SimDuration::ZERO,
+                Box::new(|_, _| {}),
+            );
+        }
         Ok(version)
     }
 
@@ -2370,6 +2478,97 @@ mod tests {
         bd.add_node(&mut sim, topo.workers[0], SimTime::ZERO);
         sim.run_until(SimTime::from_secs(10));
         assert_eq!(*copies.borrow(), 1);
+    }
+
+    #[test]
+    fn contended_sync_replies_ride_the_real_links() {
+        // With contended control the full-sync reply is a flow on the
+        // service's (here, deliberately slow) uplink: the transfer orders
+        // arrive only after ~1264 wire bytes crawl through 1 kB/s, so the
+        // datum lands measurably later than in the counter-only run —
+        // while the sync *counters* stay identical.
+        let run = |contended: bool| -> (f64, SimSyncStats) {
+            let net = FlowNet::new();
+            let service = HostId(0);
+            let worker = HostId(1);
+            net.add_host(service, 1_000.0, 1_000.0);
+            net.add_host(worker, 1.0e6, 1.0e6);
+            let mut sim = Sim::new(9);
+            let trace = Trace::new();
+            let bd = SimBitdew::new(net, service, SimDuration::from_secs(10), trace.clone());
+            if contended {
+                bd.set_contended_control(&mut sim, true);
+            }
+            bd.schedule_data(
+                datum("slow", 2_000),
+                DataAttributes::default().with_replica(1),
+            );
+            bd.add_node(&mut sim, worker, SimTime::ZERO);
+            sim.run_until(SimTime::from_secs(9)); // one heartbeat round only
+            let done = trace
+                .records()
+                .iter()
+                .filter(|r| matches!(r.event, TraceEvent::TransferCompleted { .. }))
+                .map(|r| r.at.as_secs_f64())
+                .next_back();
+            (done.expect("transfer completed"), bd.sync_stats())
+        };
+        let (plain_t, plain_stats) = run(false);
+        let (cont_t, cont_stats) = run(true);
+        assert!(
+            cont_t > plain_t + 1.0,
+            "contended orders delayed by the reply flow: {cont_t} vs {plain_t}"
+        );
+        assert_eq!(plain_stats, cont_stats, "counters unaffected by contention");
+    }
+
+    #[test]
+    fn announce_reservation_tracks_alive_nodes() {
+        let topo = topology::gdx_cluster(3);
+        let mut sim = Sim::new(10);
+        let bd = SimBitdew::new(
+            topo.net.clone(),
+            topo.service,
+            SimDuration::from_secs(1),
+            Trace::new(),
+        );
+        bd.enable_announce(8, 16);
+        bd.set_contended_control(&mut sim, true);
+        for &w in &topo.workers {
+            bd.add_node(&mut sim, w, SimTime::ZERO);
+        }
+        let (_, down) = topo.net.host_links(topo.service).expect("registered");
+        let per = (SIM_ANNOUNCE_WIRE + SIM_UDP_OVERHEAD) as f64;
+        assert!((topo.net.link_reserved(down) - 3.0 * per).abs() < 1e-6);
+        bd.kill_host(&mut sim, topo.workers[0]);
+        assert!((topo.net.link_reserved(down) - 2.0 * per).abs() < 1e-6);
+        bd.set_contended_control(&mut sim, false);
+        assert_eq!(topo.net.link_reserved(down), 0.0);
+    }
+
+    #[test]
+    fn contended_version_publish_is_a_real_flow() {
+        let topo = topology::gdx_cluster(1);
+        let sim = Rc::new(RefCell::new(Sim::new(31)));
+        let bd = SimBitdew::new(
+            topo.net.clone(),
+            topo.service,
+            SimDuration::from_secs(1),
+            Trace::new(),
+        );
+        bd.set_contended_control(&mut sim.borrow_mut(), true);
+        let node = SimNode::attach(&sim, &bd, topo.workers[0], SimTime::ZERO);
+        let content = vec![7u8; 4096];
+        let data = node.create_data("vflow", &content).unwrap();
+        node.put_chunked(&data, &content, 1024).unwrap();
+        assert_eq!(node.version_head(data.id).unwrap(), 1);
+        let flows_before = topo.net.active_flows();
+        node.commit_update(&data, 1, &[(0, vec![1u8; 64])]).unwrap();
+        assert_eq!(
+            topo.net.active_flows(),
+            flows_before + 1,
+            "publication rides the writer's uplink as a real flow"
+        );
     }
 
     #[test]

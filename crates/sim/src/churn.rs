@@ -8,9 +8,11 @@
 //! * random churn with exponential session/offline times, for stress tests.
 //!
 //! Churn is applied through a [`ChurnDriver`] that flips host state in the
-//! [`HostPool`], disables the host's endpoints in the [`FlowNet`] (failing
-//! in-flight transfers), and invokes a user listener so higher layers (the
-//! reservoir agents in `bitdew-core`) can react.
+//! [`HostPool`], disables the host's access links in the [`FlowNet`] (failing
+//! in-flight transfers and releasing every link share those flows held —
+//! including shares on shared backbone/aggregation links, which the next
+//! allocation redistributes to surviving flows), and invokes a user listener
+//! so higher layers (the reservoir agents in `bitdew-core`) can react.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -247,6 +249,46 @@ mod tests {
         driver.install(&mut sim, &plan);
         sim.run();
         assert!(*failed.borrow());
+    }
+
+    #[test]
+    fn churn_releases_shared_backbone_shares_mid_flow() {
+        // Two homes pull over a shared 100 B/s ISP pipe. At t=2 churn kills
+        // one home: its flow fails with partial bytes and the survivor's
+        // share of the *shared* link doubles mid-flow — it finishes 400 B at
+        // 50 B/s then 100 B/s, i.e. t = 2 + (400-100)/100 = 5.
+        let t = crate::topology::volunteer_wan(2, 100.0);
+        let mut sim = Sim::new(0);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for &w in &t.workers {
+            let d2 = Rc::clone(&done);
+            t.net.start_flow(
+                &mut sim,
+                t.service,
+                w,
+                400.0,
+                SimDuration::ZERO,
+                Box::new(move |sim, out| d2.borrow_mut().push((sim.now().as_secs_f64(), out))),
+            );
+        }
+        let mut plan = ChurnPlan::new();
+        plan.kill(SimTime::from_secs(2), t.workers[0]);
+        let driver = ChurnDriver::new(Rc::new(RefCell::new(t.pool)), t.net.clone());
+        driver.install(&mut sim, &plan);
+        sim.run();
+        let done = done.borrow();
+        assert_eq!(done.len(), 2);
+        match &done[0].1 {
+            crate::net::FlowOutcome::Failed { bytes_done, .. } => {
+                assert!((bytes_done - 100.0).abs() < 1e-6, "2 s at 50 B/s");
+            }
+            other => panic!("victim should fail, got {other:?}"),
+        }
+        assert!(
+            (done[1].0 - 5.0).abs() < 1e-9,
+            "survivor at t=5: {}",
+            done[1].0
+        );
     }
 
     #[test]

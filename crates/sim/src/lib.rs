@@ -13,14 +13,22 @@
 //! * [`engine::Sim`] — a single-threaded discrete-event kernel with a virtual
 //!   nanosecond clock, cancellable events, and a seeded RNG (deterministic
 //!   replays).
-//! * [`net::FlowNet`] — a flow-level network: concurrent transfers share host
-//!   access links under max-min fairness (progressive filling), the standard
+//! * [`net::FlowNet`] — a flow-level network over **links and routes**: every
+//!   host contributes two access links, a [`net::LinkTopology`] adds the
+//!   shared links in between (oversubscribed aggregation uplinks, a shared
+//!   ISP/backbone pipe), and concurrent transfers share *every* link on
+//!   their path under max-min fairness (progressive filling), the standard
 //!   fluid model for grid transfer studies. FTP's "N clients divide one
-//!   server uplink" and BitTorrent's server-offload behaviour both emerge
-//!   from this model.
+//!   server uplink", BitTorrent's server-offload behaviour, and
+//!   backbone-capped volunteer swarms all emerge from this model.
+//!   Allocations recompute only on flow arrival/departure/churn with
+//!   same-instant batching, so the event loop stays fast at 100k–1M hosts.
 //! * [`host`]/[`topology`] — host pools parameterised after Table 1
 //!   (gdx/grelon/grillon/sagittaire) and the Fig. 4 DSL-Lab bandwidth
-//!   profile.
+//!   profile, plus link-contended shapes the paper's testbeds could not
+//!   build: [`topology::gdx_datacenter`] (two-tier fabric, oversubscribed
+//!   aggregation) and [`topology::volunteer_wan`] (all homes behind one
+//!   ISP pipe).
 //! * [`churn`] — scripted and random volatility, the defining property of
 //!   Desktop Grids (§2.1).
 //! * [`trace`] — structured event records post-processed into the paper's
@@ -42,6 +50,6 @@ pub mod trace;
 
 pub use engine::{every, EventToken, Sim};
 pub use host::{Host, HostId, HostPool, HostRole, HostSpec, HostState};
-pub use net::{FlowFailure, FlowId, FlowNet, FlowOutcome};
+pub use net::{FlowFailure, FlowId, FlowNet, FlowOutcome, Link, LinkId, LinkTopology};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceRecord};

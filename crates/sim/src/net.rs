@@ -1,19 +1,49 @@
-//! Flow-level network model with max-min fair bandwidth sharing.
+//! Flow-level network model over shared **links and routes**, with max-min
+//! fair bandwidth sharing.
 //!
-//! Instead of simulating packets, a transfer is a *flow* with a byte count;
-//! concurrent flows share the endpoints' access links under max-min fairness,
-//! computed by progressive filling (the same fluid model SimGrid validated
-//! against real Grid'5000 transfers). This is the level of detail the paper's
-//! evaluation needs: Fig. 3a's FTP curves are exactly "N flows share one
-//! server uplink", and the server-side control traffic of Fig. 3b/3c is a
-//! capacity reservation on the same uplink.
+//! Instead of simulating packets, a transfer is a *flow* with a byte count
+//! routed over a **path of links**. Every registered host contributes two
+//! access links (its uplink and its downlink); a [`LinkTopology`] adds the
+//! shared links in between — aggregation uplinks, an ISP pipe, a backbone —
+//! and maps each `(source zone, destination zone)` pair to the shared links a
+//! flow between them crosses. Concurrent flows then share *every* link on
+//! their path under max-min fairness, computed by progressive filling (the
+//! same fluid model SimGrid validated against real Grid'5000 transfers and
+//! dslab's `SharedBandwidthNetwork` uses). Allocations are recomputed only on
+//! flow arrival, departure, reservation change, or churn, and the single pump
+//! event is re-emitted keyed by the next-completing flow, so the event loop
+//! stays fast at 100k–1M hosts.
 //!
-//! Each host contributes two resources: its uplink and its downlink. A flow
-//! from `a` to `b` consumes one share of `a.up` and one share of `b.down`.
-//! Loopback flows (`a == a`) consume both of `a`'s directions, modelling a
-//! local copy through the NIC-less path at `min(up, down)`.
+//! Three topology constructors cover the shapes the experiments need:
+//!
+//! * [`LinkTopology::flat_star`] — the historical model: a flow from `a` to
+//!   `b` contends on `a.up` and `b.down` and nothing in between (every pair
+//!   of hosts has a dedicated wire through a non-blocking core). Fig. 3a's
+//!   FTP curves are exactly "N flows share one server uplink" on this shape.
+//! * [`LinkTopology::datacenter`] — a two-tier fabric: hosts live in racks
+//!   (zones) and every inter-rack flow crosses the source rack's aggregation
+//!   uplink and the destination rack's aggregation downlink. Sizing the
+//!   aggregation links below `hosts_per_rack × access` gives the classic
+//!   oversubscribed datacenter.
+//! * [`LinkTopology::volunteer_wan`] — the Desktop-Grid shape: a
+//!   well-connected service zone and a *homes* zone whose hosts all share one
+//!   ISP/backbone pipe in each direction; even home-to-home traffic crosses
+//!   the pipe twice.
+//!
+//! Loopback flows (`a == a`) consume both of `a`'s access directions and no
+//! shared links, modelling a local copy through the NIC-less path at
+//! `min(up, down)`.
+//!
+//! Determinism: flows live in a `BTreeMap` and links in a `Vec`, and
+//! progressive filling iterates both in id order, so identical seeds give
+//! bit-identical virtual-time results on every run and platform (pinned by a
+//! digest regression test below). Same-instant arrivals and departures are
+//! batched: mutations mark the allocation dirty and a single settle event per
+//! virtual instant recomputes once, so a 10k-flow arrival wave costs one
+//! progressive filling, not 10k.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -24,6 +54,145 @@ use crate::time::{SimDuration, SimTime};
 /// Identifier of a flow within a [`FlowNet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowId(u64);
+
+/// Identifier of a link in a [`FlowNet`]'s resource table. Shared topology
+/// links come first (in [`LinkTopology`] declaration order); each
+/// [`FlowNet::add_host`] then appends the host's uplink and downlink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(u32);
+
+/// One transmission resource: a capacity in bytes/second and a propagation
+/// latency added to the start of every flow routed across it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Capacity in bytes/second.
+    pub capacity: f64,
+    /// Propagation latency; summed over a flow's path.
+    pub latency: SimDuration,
+}
+
+impl Link {
+    /// A link of `capacity` bytes/second with zero latency.
+    pub fn new(capacity: f64) -> Link {
+        Link {
+            capacity,
+            latency: SimDuration::ZERO,
+        }
+    }
+
+    /// Same link with the given propagation latency.
+    pub fn with_latency(mut self, latency: SimDuration) -> Link {
+        self.latency = latency;
+        self
+    }
+}
+
+/// The shared-link routing plan of a [`FlowNet`]: the shared [`Link`]s and,
+/// per ordered zone pair, the list of shared links a flow between those zones
+/// crosses. Hosts are assigned to zones at registration
+/// ([`FlowNet::add_host_in_zone`]); a flow's full path is always
+/// `[src.up, shared(zone(src), zone(dst))…, dst.down]`.
+#[derive(Debug, Clone)]
+pub struct LinkTopology {
+    shared: Vec<Link>,
+    zones: u32,
+    /// Row-major `(src_zone, dst_zone)` → shared-link indices.
+    paths: Vec<Vec<u32>>,
+    default_zone: u32,
+}
+
+impl LinkTopology {
+    /// The flat star: one zone, no shared links. A flow contends only on its
+    /// endpoints' access links — the historical access-link-only model.
+    pub fn flat_star() -> LinkTopology {
+        LinkTopology {
+            shared: Vec::new(),
+            zones: 1,
+            paths: vec![Vec::new()],
+            default_zone: 0,
+        }
+    }
+
+    /// A two-tier datacenter fabric: `racks` zones, each behind its own
+    /// aggregation uplink and downlink of spec `agg` (the core is assumed
+    /// non-blocking). Intra-rack flows cross no shared link; a flow from rack
+    /// `r1` to rack `r2 != r1` crosses `r1`'s aggregation uplink and `r2`'s
+    /// aggregation downlink. Oversubscription is simply
+    /// `agg.capacity < hosts_per_rack × access capacity`.
+    pub fn datacenter(racks: usize, agg: Link) -> LinkTopology {
+        let racks = racks.max(1);
+        let mut shared = Vec::with_capacity(racks * 2);
+        for _ in 0..racks {
+            shared.push(agg); // 2r: rack r → core
+            shared.push(agg); // 2r+1: core → rack r
+        }
+        Self::custom(racks, shared, |src, dst| {
+            if src == dst {
+                Vec::new()
+            } else {
+                vec![2 * src, 2 * dst + 1]
+            }
+        })
+    }
+
+    /// The volunteer-WAN shape: zone 0 is the well-connected service side,
+    /// zone 1 the *homes*, and all homes share one ISP/backbone pipe per
+    /// direction (`isp_up`: homes → core, `isp_down`: core → homes).
+    /// Home-to-home flows cross the pipe twice. Hosts registered with plain
+    /// [`FlowNet::add_host`] land in the homes zone; register the service
+    /// host explicitly in zone 0.
+    pub fn volunteer_wan(isp_up: Link, isp_down: Link) -> LinkTopology {
+        let mut t = Self::custom(2, vec![isp_up, isp_down], |src, dst| match (src, dst) {
+            (0, 0) => Vec::new(),
+            (0, 1) => vec![1],
+            (1, 0) => vec![0],
+            _ => vec![0, 1],
+        });
+        t.default_zone = 1;
+        t
+    }
+
+    /// A custom topology: `zones` zones, the `shared` link table, and a route
+    /// function mapping every ordered `(src_zone, dst_zone)` pair to the
+    /// shared-link indices crossed. Indices must be in range.
+    pub fn custom(
+        zones: usize,
+        shared: Vec<Link>,
+        route: impl Fn(u32, u32) -> Vec<u32>,
+    ) -> LinkTopology {
+        let zones = zones.max(1) as u32;
+        let mut paths = Vec::with_capacity((zones * zones) as usize);
+        for s in 0..zones {
+            for d in 0..zones {
+                let p = route(s, d);
+                for &l in &p {
+                    assert!(
+                        (l as usize) < shared.len(),
+                        "route ({s},{d}) names shared link {l} but only {} exist",
+                        shared.len()
+                    );
+                }
+                paths.push(p);
+            }
+        }
+        LinkTopology {
+            shared,
+            zones,
+            paths,
+            default_zone: 0,
+        }
+    }
+
+    /// Number of zones.
+    pub fn zones(&self) -> u32 {
+        self.zones
+    }
+
+    /// The zone plain [`FlowNet::add_host`] registrations land in.
+    pub fn default_zone(&self) -> u32 {
+        self.default_zone
+    }
+}
 
 /// Terminal outcome of a flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,17 +232,35 @@ pub enum FlowFailure {
 /// freely start new flows.
 pub type FlowCallback = Box<dyn FnOnce(&mut Sim, FlowOutcome)>;
 
-struct Endpoint {
-    up: f64,
-    down: f64,
-    reserved_up: f64,
-    reserved_down: f64,
+struct LinkState {
+    spec: Link,
+    reserved: f64,
     enabled: bool,
+}
+
+impl LinkState {
+    fn effective(&self) -> f64 {
+        if self.enabled {
+            (self.spec.capacity - self.reserved).max(0.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A host's two access-link ports and zone assignment.
+struct HostPorts {
+    up: u32,
+    down: u32,
+    zone: u32,
 }
 
 struct Flow {
     src: HostId,
     dst: HostId,
+    /// Link ids crossed: `[src.up, shared…, dst.down]`. Computed at insert;
+    /// the topology is static, so it never changes mid-flow.
+    path: Vec<u32>,
     bytes: f64,
     remaining: f64,
     rate: f64,
@@ -82,11 +269,25 @@ struct Flow {
 }
 
 struct Inner {
-    endpoints: HashMap<HostId, Endpoint>,
-    flows: HashMap<u64, Flow>,
+    /// All links: shared topology links first, then per-host access links.
+    links: Vec<LinkState>,
+    n_shared: u32,
+    /// Host ports indexed by `HostId::index()`.
+    hosts: Vec<Option<HostPorts>>,
+    zones: u32,
+    /// `(src_zone * zones + dst_zone)` → shared-link indices.
+    zone_paths: Vec<Vec<u32>>,
+    default_zone: u32,
+    /// Active flows in id order — ordered storage is what makes progressive
+    /// filling bit-deterministic across runs.
+    flows: BTreeMap<u64, Flow>,
     next_flow: u64,
     last_update: SimTime,
     pump_token: Option<EventToken>,
+    /// A settle event for the current instant is already queued.
+    settle_pending: bool,
+    /// Rates are stale; recompute before they are read or integrated.
+    dirty: bool,
     /// Completed-bytes accounting for utilization reports.
     bytes_delivered: f64,
 }
@@ -105,51 +306,117 @@ impl Default for FlowNet {
 }
 
 impl FlowNet {
-    /// Empty network.
+    /// Empty flat-star network (see [`LinkTopology::flat_star`]).
     pub fn new() -> FlowNet {
+        Self::with_topology(LinkTopology::flat_star())
+    }
+
+    /// Empty network routed over `topo`'s shared links.
+    pub fn with_topology(topo: LinkTopology) -> FlowNet {
+        let links = topo
+            .shared
+            .iter()
+            .map(|&spec| LinkState {
+                spec,
+                reserved: 0.0,
+                enabled: true,
+            })
+            .collect::<Vec<_>>();
         FlowNet {
             inner: Rc::new(RefCell::new(Inner {
-                endpoints: HashMap::new(),
-                flows: HashMap::new(),
+                n_shared: links.len() as u32,
+                links,
+                hosts: Vec::new(),
+                zones: topo.zones,
+                zone_paths: topo.paths,
+                default_zone: topo.default_zone,
+                flows: BTreeMap::new(),
                 next_flow: 0,
                 last_update: SimTime::ZERO,
                 pump_token: None,
+                settle_pending: false,
+                dirty: false,
                 bytes_delivered: 0.0,
             })),
         }
     }
 
-    /// Register a host with its access-link capacities (bytes/second).
+    /// Register a host with its access-link capacities (bytes/second) in the
+    /// topology's default zone. Re-registering updates the capacities in
+    /// place.
     pub fn add_host(&self, host: HostId, up: f64, down: f64) {
-        self.inner.borrow_mut().endpoints.insert(
-            host,
-            Endpoint {
-                up,
-                down,
-                reserved_up: 0.0,
-                reserved_down: 0.0,
-                enabled: true,
-            },
-        );
+        let zone = self.inner.borrow().default_zone;
+        self.add_host_in_zone(host, up, down, zone);
+    }
+
+    /// [`FlowNet::add_host`] with an explicit zone (rack, site, homes…).
+    pub fn add_host_in_zone(&self, host: HostId, up: f64, down: f64, zone: u32) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(zone < inner.zones, "zone {zone} out of range");
+        let idx = host.index();
+        if inner.hosts.len() <= idx {
+            inner.hosts.resize_with(idx + 1, || None);
+        }
+        if let Some(ports) = &inner.hosts[idx] {
+            let (u, d) = (ports.up as usize, ports.down as usize);
+            inner.links[u].spec.capacity = up;
+            inner.links[d].spec.capacity = down;
+            return;
+        }
+        let up_id = inner.links.len() as u32;
+        inner.links.push(LinkState {
+            spec: Link::new(up),
+            reserved: 0.0,
+            enabled: true,
+        });
+        let down_id = inner.links.len() as u32;
+        inner.links.push(LinkState {
+            spec: Link::new(down),
+            reserved: 0.0,
+            enabled: true,
+        });
+        inner.hosts[idx] = Some(HostPorts {
+            up: up_id,
+            down: down_id,
+            zone,
+        });
     }
 
     /// Reserve uplink bandwidth on a host (e.g. for protocol control
     /// traffic); pass 0 to clear. Reservation is clamped to the capacity.
     pub fn reserve_up(&self, sim: &mut Sim, host: HostId, bytes_per_sec: f64) {
-        {
-            let mut inner = self.inner.borrow_mut();
-            let now = sim.now();
-            inner.advance(now);
-            if let Some(ep) = inner.endpoints.get_mut(&host) {
-                ep.reserved_up = bytes_per_sec.clamp(0.0, ep.up);
-            }
-            inner.recompute();
+        let link = self.inner.borrow().port_of(host, true);
+        if let Some(l) = link {
+            self.reserve_link(sim, l, bytes_per_sec);
         }
-        self.reschedule(sim);
     }
 
-    /// Start a flow of `bytes` from `src` to `dst` after `latency`. The
-    /// callback fires exactly once with the flow's outcome.
+    /// Symmetric to [`FlowNet::reserve_up`]: reserve downlink bandwidth on a
+    /// host — server-side control traffic (monitor ACKs, sync requests,
+    /// announce datagrams) consumes the downlink too.
+    pub fn reserve_down(&self, sim: &mut Sim, host: HostId, bytes_per_sec: f64) {
+        let link = self.inner.borrow().port_of(host, false);
+        if let Some(l) = link {
+            self.reserve_link(sim, l, bytes_per_sec);
+        }
+    }
+
+    /// Reserve bandwidth on an arbitrary link (access or shared); pass 0 to
+    /// clear. Clamped to the link's capacity.
+    pub fn reserve_link(&self, sim: &mut Sim, link: LinkId, bytes_per_sec: f64) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.advance(sim.now());
+            let ls = &mut inner.links[link.0 as usize];
+            ls.reserved = bytes_per_sec.clamp(0.0, ls.spec.capacity);
+            inner.dirty = true;
+        }
+        self.touch(sim);
+    }
+
+    /// Start a flow of `bytes` from `src` to `dst` after `latency` plus the
+    /// path's propagation latency. The callback fires exactly once with the
+    /// flow's outcome.
     pub fn start_flow(
         &self,
         sim: &mut Sim,
@@ -159,23 +426,27 @@ impl FlowNet {
         latency: SimDuration,
         callback: FlowCallback,
     ) -> FlowId {
-        let id = {
+        let (id, path, total) = {
             let mut inner = self.inner.borrow_mut();
             let id = inner.next_flow;
             inner.next_flow += 1;
-            id
+            match inner.path_of(src, dst) {
+                Some((path, plat)) => (id, Some(path), latency + plat),
+                None => (id, None, latency),
+            }
         };
-        if latency > SimDuration::ZERO {
+        if total > SimDuration::ZERO {
             let net = self.clone();
-            sim.schedule_in(latency, move |sim| {
-                net.insert_flow(sim, id, src, dst, bytes, callback);
+            sim.schedule_in(total, move |sim| {
+                net.insert_flow(sim, id, src, dst, bytes, path, callback);
             });
         } else {
-            self.insert_flow(sim, id, src, dst, bytes, callback);
+            self.insert_flow(sim, id, src, dst, bytes, path, callback);
         }
         FlowId(id)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn insert_flow(
         &self,
         sim: &mut Sim,
@@ -183,6 +454,7 @@ impl FlowNet {
         src: HostId,
         dst: HostId,
         bytes: f64,
+        path: Option<Vec<u32>>,
         callback: FlowCallback,
     ) {
         let now = sim.now();
@@ -190,59 +462,59 @@ impl FlowNet {
         {
             let mut inner = self.inner.borrow_mut();
             inner.advance(now);
-            let src_up = inner
-                .endpoints
-                .get(&src)
-                .map(|e| e.enabled)
-                .unwrap_or(false);
-            let dst_up = inner
-                .endpoints
-                .get(&dst)
-                .map(|e| e.enabled)
-                .unwrap_or(false);
-            if !src_up || !dst_up {
-                let reason = if !src_up {
-                    FlowFailure::SourceDown
-                } else {
-                    FlowFailure::DestinationDown
-                };
-                immediate = Some((
-                    callback,
-                    FlowOutcome::Failed {
-                        reason,
-                        bytes_done: 0.0,
-                    },
-                ));
-            } else if bytes <= 0.0 {
-                immediate = Some((
-                    callback,
-                    FlowOutcome::Completed {
-                        finished_at: now,
-                        bytes: 0.0,
-                        duration: SimDuration::ZERO,
-                        avg_rate: 0.0,
-                    },
-                ));
-            } else {
-                inner.flows.insert(
-                    id,
-                    Flow {
-                        src,
-                        dst,
-                        bytes,
-                        remaining: bytes,
-                        rate: 0.0,
-                        started: now,
-                        callback: Some(callback),
-                    },
-                );
-                inner.recompute();
+            // A host registered between start and insert still routes.
+            let path = path.or_else(|| inner.path_of(src, dst).map(|(p, _)| p));
+            let src_up = inner.host_enabled(src);
+            let dst_up = inner.host_enabled(dst);
+            match path {
+                Some(path) if src_up && dst_up => {
+                    if bytes <= 0.0 {
+                        immediate = Some((
+                            callback,
+                            FlowOutcome::Completed {
+                                finished_at: now,
+                                bytes: 0.0,
+                                duration: SimDuration::ZERO,
+                                avg_rate: 0.0,
+                            },
+                        ));
+                    } else {
+                        inner.flows.insert(
+                            id,
+                            Flow {
+                                src,
+                                dst,
+                                path,
+                                bytes,
+                                remaining: bytes,
+                                rate: 0.0,
+                                started: now,
+                                callback: Some(callback),
+                            },
+                        );
+                        inner.dirty = true;
+                    }
+                }
+                _ => {
+                    let reason = if !src_up {
+                        FlowFailure::SourceDown
+                    } else {
+                        FlowFailure::DestinationDown
+                    };
+                    immediate = Some((
+                        callback,
+                        FlowOutcome::Failed {
+                            reason,
+                            bytes_done: 0.0,
+                        },
+                    ));
+                }
             }
         }
         if let Some((cb, outcome)) = immediate {
             cb(sim, outcome);
         } else {
-            self.reschedule(sim);
+            self.touch(sim);
         }
     }
 
@@ -250,11 +522,10 @@ impl FlowNet {
     pub fn cancel_flow(&self, sim: &mut Sim, flow: FlowId) {
         let cb = {
             let mut inner = self.inner.borrow_mut();
-            let now = sim.now();
-            inner.advance(now);
+            inner.advance(sim.now());
             let removed = inner.flows.remove(&flow.0);
             if removed.is_some() {
-                inner.recompute();
+                inner.dirty = true;
             }
             removed.map(|mut f| {
                 (
@@ -271,20 +542,22 @@ impl FlowNet {
                     bytes_done: done,
                 },
             );
-            self.reschedule(sim);
+            self.touch(sim);
         }
     }
 
     /// Bring a host up or down. Downing a host fails every flow that touches
-    /// it; the affected callbacks run with `SourceDown`/`DestinationDown`.
+    /// it — the affected callbacks run with `SourceDown`/`DestinationDown` —
+    /// and releases every link share those flows held, mid-flow: the next
+    /// allocation redistributes the freed capacity on all their path links.
     pub fn set_host_enabled(&self, sim: &mut Sim, host: HostId, enabled: bool) {
         let mut fired: Vec<(FlowCallback, FlowOutcome)> = Vec::new();
         {
             let mut inner = self.inner.borrow_mut();
-            let now = sim.now();
-            inner.advance(now);
-            if let Some(ep) = inner.endpoints.get_mut(&host) {
-                ep.enabled = enabled;
+            inner.advance(sim.now());
+            if let Some((u, d)) = inner.ports_pair(host) {
+                inner.links[u as usize].enabled = enabled;
+                inner.links[d as usize].enabled = enabled;
             }
             if !enabled {
                 let dead: Vec<u64> = inner
@@ -309,17 +582,28 @@ impl FlowNet {
                     ));
                 }
             }
-            inner.recompute();
+            inner.dirty = true;
         }
         for (cb, outcome) in fired {
             cb(sim, outcome);
         }
-        self.reschedule(sim);
+        self.touch(sim);
     }
 
     /// Current rate of a flow in bytes/second (None once finished).
     pub fn flow_rate(&self, flow: FlowId) -> Option<f64> {
-        self.inner.borrow().flows.get(&flow.0).map(|f| f.rate)
+        let mut inner = self.inner.borrow_mut();
+        inner.settle();
+        inner.flows.get(&flow.0).map(|f| f.rate)
+    }
+
+    /// The link ids a flow's bytes cross (None once finished).
+    pub fn flow_path(&self, flow: FlowId) -> Option<Vec<LinkId>> {
+        self.inner
+            .borrow()
+            .flows
+            .get(&flow.0)
+            .map(|f| f.path.iter().map(|&l| LinkId(l)).collect())
     }
 
     /// Number of in-flight flows.
@@ -332,10 +616,75 @@ impl FlowNet {
         self.inner.borrow().bytes_delivered
     }
 
-    /// Re-derive the next completion event. Called after any state change.
+    /// A host's `(uplink, downlink)` ids, if registered.
+    pub fn host_links(&self, host: HostId) -> Option<(LinkId, LinkId)> {
+        self.inner
+            .borrow()
+            .ports_pair(host)
+            .map(|(u, d)| (LinkId(u), LinkId(d)))
+    }
+
+    /// The topology's shared links, in declaration order.
+    pub fn shared_links(&self) -> Vec<LinkId> {
+        (0..self.inner.borrow().n_shared).map(LinkId).collect()
+    }
+
+    /// A link's declared spec.
+    pub fn link_spec(&self, link: LinkId) -> Link {
+        self.inner.borrow().links[link.0 as usize].spec
+    }
+
+    /// A link's currently reserved bandwidth.
+    pub fn link_reserved(&self, link: LinkId) -> f64 {
+        self.inner.borrow().links[link.0 as usize].reserved
+    }
+
+    /// A link's effective capacity: declared minus reserved, zero while its
+    /// owning host is down.
+    pub fn link_capacity(&self, link: LinkId) -> f64 {
+        self.inner.borrow().links[link.0 as usize].effective()
+    }
+
+    /// Aggregate allocated rate across the link right now (settles any
+    /// pending allocation first).
+    pub fn link_load(&self, link: LinkId) -> f64 {
+        let mut inner = self.inner.borrow_mut();
+        inner.settle();
+        inner
+            .flows
+            .values()
+            .filter(|f| f.path.contains(&link.0))
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    /// Queue one settle event for the current instant (idempotent): it
+    /// recomputes the allocation once for *all* of this instant's mutations
+    /// and re-emits the pump keyed by the next-completing flow.
+    fn touch(&self, sim: &mut Sim) {
+        let queue = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.settle_pending {
+                false
+            } else {
+                inner.settle_pending = true;
+                true
+            }
+        };
+        if queue {
+            let net = self.clone();
+            sim.schedule_at(sim.now(), move |sim| {
+                net.inner.borrow_mut().settle_pending = false;
+                net.reschedule(sim);
+            });
+        }
+    }
+
+    /// Settle the allocation and re-derive the next completion event.
     fn reschedule(&self, sim: &mut Sim) {
         let (token, next) = {
             let mut inner = self.inner.borrow_mut();
+            inner.settle();
             let token = inner.pump_token.take();
             (token, inner.next_completion())
         };
@@ -383,7 +732,7 @@ impl FlowNet {
                 ));
             }
             if !done.is_empty() {
-                inner.recompute();
+                inner.dirty = true;
             }
         }
         for (cb, outcome) in done {
@@ -394,6 +743,45 @@ impl FlowNet {
 }
 
 impl Inner {
+    /// One access-link id of `host` (`up = true` for the uplink).
+    fn port_of(&self, host: HostId, up: bool) -> Option<LinkId> {
+        self.hosts
+            .get(host.index())
+            .and_then(|p| p.as_ref().map(|p| LinkId(if up { p.up } else { p.down })))
+    }
+
+    fn ports_pair(&self, host: HostId) -> Option<(u32, u32)> {
+        self.hosts
+            .get(host.index())
+            .and_then(|p| p.as_ref().map(|p| (p.up, p.down)))
+    }
+
+    fn host_enabled(&self, host: HostId) -> bool {
+        self.ports_pair(host)
+            .map(|(u, _)| self.links[u as usize].enabled)
+            .unwrap_or(false)
+    }
+
+    /// Route `(src, dst)`: access links plus the zone pair's shared links,
+    /// and the summed propagation latency. Loopback skips the shared links
+    /// (a local copy does not cross the backbone).
+    fn path_of(&self, src: HostId, dst: HostId) -> Option<(Vec<u32>, SimDuration)> {
+        let s = self.hosts.get(src.index())?.as_ref()?;
+        let d = self.hosts.get(dst.index())?.as_ref()?;
+        let mut path = Vec::with_capacity(4);
+        path.push(s.up);
+        if src != dst {
+            let key = (s.zone as usize) * self.zones as usize + d.zone as usize;
+            path.extend_from_slice(&self.zone_paths[key]);
+        }
+        path.push(d.down);
+        let mut lat = 0u64;
+        for &l in &path {
+            lat = lat.saturating_add(self.links[l as usize].spec.latency.as_nanos());
+        }
+        Some((path, SimDuration(lat)))
+    }
+
     /// Accrue `rate × dt` progress on every flow.
     fn advance(&mut self, now: SimTime) {
         let dt = (now - self.last_update).as_secs_f64();
@@ -401,6 +789,7 @@ impl Inner {
         if dt <= 0.0 {
             return;
         }
+        debug_assert!(!self.dirty, "advanced virtual time over stale rates");
         for f in self.flows.values_mut() {
             let moved = (f.rate * dt).min(f.remaining);
             f.remaining -= moved;
@@ -414,70 +803,74 @@ impl Inner {
         }
     }
 
-    /// Max-min fair allocation via progressive filling.
+    /// Recompute rates if any mutation happened since the last filling.
+    fn settle(&mut self) {
+        if self.dirty {
+            self.recompute();
+        }
+    }
+
+    /// Max-min fair allocation via progressive filling over *links*: find
+    /// the link with the smallest fair share, freeze its flows at that
+    /// share, subtract their rates from every other link on their paths,
+    /// repeat. Links and flows are iterated in id order, so the allocation
+    /// (including f64 rounding) is identical on every run.
     fn recompute(&mut self) {
+        self.dirty = false;
         if self.flows.is_empty() {
             return;
         }
-        // Resource key: (host, is_uplink).
-        #[derive(PartialEq, Eq, Hash, Clone, Copy)]
-        struct Res(HostId, bool);
-
-        let mut capacity: HashMap<Res, f64> = HashMap::new();
-        let mut members: HashMap<Res, Vec<u64>> = HashMap::new();
-        let mut unfrozen: HashMap<Res, usize> = HashMap::new();
-
-        for (&id, flow) in &self.flows {
-            for res in [Res(flow.src, true), Res(flow.dst, false)] {
-                let ep = &self.endpoints[&res.0];
-                let cap = if !ep.enabled {
-                    0.0
-                } else if res.1 {
-                    (ep.up - ep.reserved_up).max(0.0)
-                } else {
-                    (ep.down - ep.reserved_down).max(0.0)
-                };
-                capacity.entry(res).or_insert(cap);
-                members.entry(res).or_default().push(id);
-                *unfrozen.entry(res).or_insert(0) += 1;
+        let nl = self.links.len();
+        let mut cap = vec![0.0f64; nl];
+        let mut active = vec![0u32; nl];
+        let mut members: Vec<Vec<u64>> = vec![Vec::new(); nl];
+        let mut touched: Vec<u32> = Vec::new();
+        for (&id, f) in &self.flows {
+            for &l in &f.path {
+                if active[l as usize] == 0 {
+                    touched.push(l);
+                    cap[l as usize] = self.links[l as usize].effective();
+                }
+                active[l as usize] += 1;
+                members[l as usize].push(id);
             }
         }
+        touched.sort_unstable();
 
         let mut frozen: HashMap<u64, f64> = HashMap::with_capacity(self.flows.len());
-        while frozen.len() < self.flows.len() {
-            // Bottleneck: resource with the smallest fair share.
-            let (&res, _) = match capacity
-                .iter()
-                .filter(|(r, _)| unfrozen.get(r).copied().unwrap_or(0) > 0)
-                .min_by(|(ra, ca), (rb, cb)| {
-                    let sa = **ca / unfrozen[ra] as f64;
-                    let sb = **cb / unfrozen[rb] as f64;
-                    sa.partial_cmp(&sb).expect("capacities are finite")
-                }) {
-                Some(kv) => kv,
-                None => break,
-            };
-            let share = capacity[&res] / unfrozen[&res] as f64;
-            let flow_ids: Vec<u64> = members[&res].clone();
-            for fid in flow_ids {
+        let mut remaining = self.flows.len();
+        while remaining > 0 {
+            // Bottleneck: the link with the smallest fair share; ties go to
+            // the lowest link id (strict `<` keeps the first seen).
+            let mut best: Option<(u32, f64)> = None;
+            for &l in &touched {
+                let a = active[l as usize];
+                if a == 0 {
+                    continue;
+                }
+                let share = cap[l as usize] / a as f64;
+                if best.is_none_or(|(_, s)| share < s) {
+                    best = Some((l, share));
+                }
+            }
+            let Some((bl, share)) = best else { break };
+            for fid in members[bl as usize].clone() {
                 if frozen.contains_key(&fid) {
                     continue;
                 }
                 frozen.insert(fid, share);
-                let f = &self.flows[&fid];
-                for other in [Res(f.src, true), Res(f.dst, false)] {
-                    if other != res {
-                        if let Some(c) = capacity.get_mut(&other) {
-                            *c = (*c - share).max(0.0);
-                        }
-                        if let Some(u) = unfrozen.get_mut(&other) {
-                            *u = u.saturating_sub(1);
-                        }
+                remaining -= 1;
+                let path = self.flows[&fid].path.clone();
+                for other in path {
+                    if other == bl {
+                        continue;
                     }
+                    cap[other as usize] = (cap[other as usize] - share).max(0.0);
+                    active[other as usize] = active[other as usize].saturating_sub(1);
                 }
             }
-            capacity.insert(res, 0.0);
-            unfrozen.insert(res, 0);
+            cap[bl as usize] = 0.0;
+            active[bl as usize] = 0;
         }
 
         for (id, f) in self.flows.iter_mut() {
@@ -718,6 +1111,24 @@ mod tests {
     }
 
     #[test]
+    fn down_reservation_shrinks_inbound_capacity() {
+        // The reserve_down satellite: server-side control traffic consumes
+        // the downlink, so an inbound flow sees the residual capacity.
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        let server = HostId(0);
+        let client = HostId(1);
+        net.add_host(server, 100.0, 100.0);
+        net.add_host(client, 1000.0, 1000.0);
+        net.reserve_down(&mut sim, server, 75.0);
+        let (log, mk) = collect();
+        net.start_flow(&mut sim, client, server, 100.0, SimDuration::ZERO, mk());
+        sim.run();
+        // 100 B at (100-75)=25 B/s → 4 s.
+        assert!((finish_time(&log.borrow()[0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn zero_byte_flow_completes_instantly() {
         let mut sim = Sim::new(0);
         let net = FlowNet::new();
@@ -795,4 +1206,275 @@ mod tests {
         let expected: f64 = (1..=n).map(|i| 1e4 * i as f64).sum();
         assert!((net.bytes_delivered() - expected).abs() / expected < 1e-9);
     }
+
+    // ---- link/route topology tests ------------------------------------
+
+    /// A volunteer-WAN net: server HostId(0) in zone 0, `homes` GbE-class
+    /// homes behind a shared `pipe` B/s ISP link per direction.
+    fn wan(pipe: f64, homes: u32) -> FlowNet {
+        let net = FlowNet::with_topology(LinkTopology::volunteer_wan(
+            Link::new(pipe),
+            Link::new(pipe),
+        ));
+        net.add_host_in_zone(HostId(0), 1000.0, 1000.0, 0);
+        for i in 1..=homes {
+            net.add_host(HostId(i), 1000.0, 1000.0); // default zone = homes
+        }
+        net
+    }
+
+    #[test]
+    fn shared_backbone_caps_aggregate_throughput() {
+        // 4 homes pull from the server; every flow crosses the 100 B/s ISP
+        // downlink pipe, so each gets 25 B/s even though all access links
+        // could carry 1000.
+        let mut sim = Sim::new(0);
+        let net = wan(100.0, 4);
+        let (log, mk) = collect();
+        for i in 1..=4 {
+            net.start_flow(
+                &mut sim,
+                HostId(0),
+                HostId(i),
+                100.0,
+                SimDuration::ZERO,
+                mk(),
+            );
+        }
+        sim.run();
+        assert_eq!(log.borrow().len(), 4);
+        for out in log.borrow().iter() {
+            assert!((finish_time(out) - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn home_to_home_crosses_pipe_twice() {
+        // One home-to-home flow contends with a server-to-home flow on the
+        // ISP downlink AND with a home-to-server flow on the ISP uplink.
+        let mut sim = Sim::new(0);
+        let net = wan(100.0, 3);
+        let (_log, mk) = collect();
+        let h2h = net.start_flow(&mut sim, HostId(1), HostId(2), 1e6, SimDuration::ZERO, mk());
+        let s2h = net.start_flow(&mut sim, HostId(0), HostId(3), 1e6, SimDuration::ZERO, mk());
+        // Fair split of the shared downlink pipe: 50/50.
+        assert!((net.flow_rate(h2h).unwrap() - 50.0).abs() < 1e-9);
+        assert!((net.flow_rate(s2h).unwrap() - 50.0).abs() < 1e-9);
+        let path = net.flow_path(h2h).unwrap();
+        assert_eq!(path.len(), 4, "up + isp_up + isp_down + down: {path:?}");
+        sim.run();
+    }
+
+    #[test]
+    fn intra_rack_flows_skip_the_aggregation_links() {
+        // Two racks of capacity-1000 hosts behind 100 B/s aggregation links:
+        // intra-rack flows run at access speed, inter-rack at the agg share.
+        let mut sim = Sim::new(0);
+        let net = FlowNet::with_topology(LinkTopology::datacenter(2, Link::new(100.0)));
+        for i in 0..2u32 {
+            net.add_host_in_zone(HostId(i), 1000.0, 1000.0, 0);
+        }
+        for i in 2..4u32 {
+            net.add_host_in_zone(HostId(i), 1000.0, 1000.0, 1);
+        }
+        let (_log, mk) = collect();
+        let intra = net.start_flow(&mut sim, HostId(0), HostId(1), 1e6, SimDuration::ZERO, mk());
+        let inter = net.start_flow(&mut sim, HostId(0), HostId(2), 1e6, SimDuration::ZERO, mk());
+        assert!((net.flow_rate(inter).unwrap() - 100.0).abs() < 1e-9);
+        // Intra-rack flow takes the rest of the 1000 B/s uplink.
+        assert!((net.flow_rate(intra).unwrap() - 900.0).abs() < 1e-9);
+        sim.run();
+    }
+
+    #[test]
+    fn oversubscribed_aggregation_is_work_conserving() {
+        // 10 inter-rack flows from distinct sources share one 100 B/s
+        // aggregation downlink: 10 B/s each, and the link is saturated.
+        let mut sim = Sim::new(0);
+        let net = FlowNet::with_topology(LinkTopology::datacenter(2, Link::new(100.0)));
+        for i in 0..10u32 {
+            net.add_host_in_zone(HostId(i), 1000.0, 1000.0, 0);
+        }
+        net.add_host_in_zone(HostId(10), 1000.0, 1000.0, 1);
+        let (_log, mk) = collect();
+        let mut ids = Vec::new();
+        for i in 0..10u32 {
+            ids.push(net.start_flow(
+                &mut sim,
+                HostId(i),
+                HostId(10),
+                1e6,
+                SimDuration::ZERO,
+                mk(),
+            ));
+        }
+        for f in &ids {
+            assert!((net.flow_rate(*f).unwrap() - 10.0).abs() < 1e-9);
+        }
+        // The destination rack's agg downlink is the third shared link
+        // (rack 1, direction down) and must be saturated.
+        let agg_down = net.shared_links()[3];
+        assert!((net.link_load(agg_down) - 100.0).abs() < 1e-9);
+        sim.run();
+    }
+
+    #[test]
+    fn link_latency_adds_to_flow_start() {
+        let mut sim = Sim::new(0);
+        let topo = LinkTopology::volunteer_wan(
+            Link::new(100.0).with_latency(SimDuration::from_secs(1)),
+            Link::new(100.0).with_latency(SimDuration::from_secs(2)),
+        );
+        let net = FlowNet::with_topology(topo);
+        net.add_host_in_zone(HostId(0), 100.0, 100.0, 0);
+        net.add_host(HostId(1), 100.0, 100.0);
+        let (log, mk) = collect();
+        // Server → home crosses isp_down (2 s latency); 100 B at 100 B/s.
+        net.start_flow(
+            &mut sim,
+            HostId(0),
+            HostId(1),
+            100.0,
+            SimDuration::ZERO,
+            mk(),
+        );
+        sim.run();
+        assert!((finish_time(&log.borrow()[0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_death_releases_shared_link_shares_mid_flow() {
+        // Two flows share the ISP pipe; at t=2 one endpoint dies. Its flow
+        // fails with partial bytes and the survivor immediately takes the
+        // whole pipe — the shared-link share is released mid-flow.
+        let mut sim = Sim::new(0);
+        let net = wan(100.0, 2);
+        let (log, mk) = collect();
+        net.start_flow(
+            &mut sim,
+            HostId(0),
+            HostId(1),
+            1000.0,
+            SimDuration::ZERO,
+            mk(),
+        );
+        net.start_flow(
+            &mut sim,
+            HostId(0),
+            HostId(2),
+            400.0,
+            SimDuration::ZERO,
+            mk(),
+        );
+        let net2 = net.clone();
+        sim.schedule_at(SimTime::from_secs(2), move |sim| {
+            net2.set_host_enabled(sim, HostId(1), false);
+        });
+        sim.run();
+        let outcomes = log.borrow().clone();
+        // Victim: 2 s at 50 B/s = 100 bytes done.
+        match &outcomes[0] {
+            FlowOutcome::Failed { reason, bytes_done } => {
+                assert_eq!(*reason, FlowFailure::DestinationDown);
+                assert!((bytes_done - 100.0).abs() < 1e-6);
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        // Survivor: 100 B at 50 B/s, then 300 B at the full 100 B/s → t=5.
+        assert!((finish_time(&outcomes[1]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_instant_arrival_wave_settles_once() {
+        // A 1000-flow same-instant wave must not recompute per arrival: all
+        // flows land, share fairly, and complete together.
+        let mut sim = Sim::new(0);
+        let net = FlowNet::new();
+        net.add_host(HostId(0), 1000.0, 1000.0);
+        let (log, mk) = collect();
+        for i in 1..=1000u32 {
+            net.add_host(HostId(i), 1e6, 1e6);
+            net.start_flow(
+                &mut sim,
+                HostId(0),
+                HostId(i),
+                10.0,
+                SimDuration::ZERO,
+                mk(),
+            );
+        }
+        sim.run();
+        assert_eq!(log.borrow().len(), 1000);
+        for out in log.borrow().iter() {
+            assert!((finish_time(out) - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn allocation_is_pinned_across_runs() {
+        // Determinism regression pin (the satellite fix): the flows/links
+        // tables are ordered storage, so progressive filling visits
+        // resources in id order and the full completion sequence — instants
+        // and exact f64 byte counts — is IDENTICAL on every run, build and
+        // platform. The sequence is folded into an FNV-1a digest and
+        // compared against a recorded constant, like `ChurnPlan::random`'s
+        // pin (if a change is intentional, re-pin and say so in the commit).
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+
+        let run = || -> u64 {
+            let mut sim = Sim::new(3);
+            let net = wan(10_000.0, 12);
+            let log: Rc<RefCell<Vec<(u64, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+            let mut rng = SmallRng::seed_from_u64(42);
+            for k in 0..60u64 {
+                let src = HostId(rng.gen_range(0..13));
+                let dst = HostId(rng.gen_range(0..13));
+                let bytes = rng.gen_range(1_000.0..200_000.0f64);
+                let at = SimTime::from_millis(rng.gen_range(0..30_000));
+                let net2 = net.clone();
+                let log2 = Rc::clone(&log);
+                sim.schedule_at(at, move |sim| {
+                    net2.start_flow(
+                        sim,
+                        src,
+                        dst,
+                        bytes,
+                        SimDuration::ZERO,
+                        Box::new(move |sim, out| {
+                            let bits = match out {
+                                FlowOutcome::Completed { bytes, .. } => bytes.to_bits(),
+                                FlowOutcome::Failed { bytes_done, .. } => bytes_done.to_bits(),
+                            };
+                            log2.borrow_mut().push((k, sim.now().as_nanos() ^ bits));
+                        }),
+                    );
+                });
+            }
+            // Churn two homes mid-run: their flows fail with partial bytes.
+            for (t, h) in [(8u64, 3u32), (15, 7)] {
+                let net2 = net.clone();
+                sim.schedule_at(SimTime::from_secs(t), move |sim| {
+                    net2.set_host_enabled(sim, HostId(h), false);
+                });
+            }
+            sim.run();
+            let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+            for &(k, v) in log.borrow().iter() {
+                digest ^= k;
+                digest = digest.wrapping_mul(0x1000_0000_01b3);
+                digest ^= v;
+                digest = digest.wrapping_mul(0x1000_0000_01b3);
+            }
+            digest
+        };
+        let d1 = run();
+        let d2 = run();
+        assert_eq!(d1, d2, "two in-process runs diverged");
+        assert_eq!(d1, PINNED_ALLOCATION_DIGEST, "completion sequence drifted");
+    }
+
+    /// Recorded by running `allocation_is_pinned_across_runs` once; see the
+    /// test for the re-pinning policy.
+    const PINNED_ALLOCATION_DIGEST: u64 = 2_102_658_964_153_548_870;
 }

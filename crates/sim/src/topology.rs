@@ -14,7 +14,7 @@
 //!   the downlink.
 
 use crate::host::{HostId, HostPool, HostRole, HostSpec};
-use crate::net::FlowNet;
+use crate::net::{FlowNet, Link, LinkTopology};
 
 /// Gigabit Ethernet payload rate, bytes/second.
 pub const GBE: f64 = 125.0e6;
@@ -175,6 +175,64 @@ pub fn grid5000(max_workers: usize) -> Topology {
     }
 }
 
+/// GdX-class hosts in a two-tier datacenter fabric: `workers` gigabit nodes
+/// packed `hosts_per_rack` per rack, each rack behind an aggregation
+/// uplink/downlink of `hosts_per_rack × GbE / oversub` — `oversub = 1.0` is a
+/// non-blocking fabric, `oversub = 4.0` the classic 4:1 oversubscription.
+/// The service host shares rack 0 with the first workers, so worker-to-
+/// service traffic from other racks contends on rack 0's aggregation
+/// downlink the way a real ingest bottleneck does.
+pub fn gdx_datacenter(workers: usize, hosts_per_rack: usize, oversub: f64) -> Topology {
+    let hosts_per_rack = hosts_per_rack.max(1);
+    let racks = (workers + 1).div_ceil(hosts_per_rack);
+    let agg = Link::new(hosts_per_rack as f64 * GBE / oversub.max(1e-9));
+    let net = FlowNet::with_topology(LinkTopology::datacenter(racks, agg));
+    let mut pool = HostPool::new();
+    let service = pool.add(HostSpec::gigabit("dc-service", "dc").with_role(HostRole::Service));
+    net.add_host_in_zone(service, GBE, GBE, 0);
+    let mut ids = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let id = pool.add(HostSpec::gigabit(format!("dc-{i}"), "dc"));
+        // Slot i+1 overall (service took slot 0 of rack 0).
+        let rack = ((i + 1) / hosts_per_rack) as u32;
+        net.add_host_in_zone(id, GBE, GBE, rack);
+        ids.push(id);
+    }
+    Topology {
+        pool,
+        net,
+        service,
+        workers: ids,
+    }
+}
+
+/// The volunteer-WAN shape: a well-connected service zone and `workers`
+/// GbE-LAN home nodes that all share one `backbone` bytes/second ISP pipe in
+/// each direction ([`LinkTopology::volunteer_wan`]). Individual access links
+/// are fast; the *aggregate* is capped — the Desktop-Grid reality the paper's
+/// testbeds could only approximate with DSL-Lab's 10 hosts.
+pub fn volunteer_wan(workers: usize, backbone: f64) -> Topology {
+    let net = FlowNet::with_topology(LinkTopology::volunteer_wan(
+        Link::new(backbone),
+        Link::new(backbone),
+    ));
+    let mut pool = HostPool::new();
+    let service = pool.add(HostSpec::gigabit("wan-service", "wan").with_role(HostRole::Service));
+    net.add_host_in_zone(service, GBE, GBE, 0);
+    let mut ids = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let id = pool.add(HostSpec::gigabit(format!("home-{i}"), "wan"));
+        net.add_host(id, GBE, GBE); // default zone = homes
+        ids.push(id);
+    }
+    Topology {
+        pool,
+        net,
+        service,
+        workers: ids,
+    }
+}
+
 /// Measured DSL-Lab download bandwidths from Fig. 4, bytes/second.
 /// Node order DSL01..DSL10.
 pub const DSL_DOWN_KBPS: [f64; 10] = [
@@ -266,6 +324,56 @@ mod tests {
             t.pool.get(t.workers[10]).spec.down_bw,
             t.pool.get(t.workers[0]).spec.down_bw
         );
+    }
+
+    #[test]
+    fn datacenter_oversubscription_caps_cross_rack_aggregate() {
+        use crate::engine::Sim;
+        use crate::time::SimDuration;
+
+        // 8 workers in racks of 4 behind 8:1-oversubscribed aggregation:
+        // agg = 4 × GBE / 8 = GBE/2. Four flows from rack-1 workers to
+        // distinct rack-0 hosts all cross rack 1's aggregation uplink —
+        // the sole bottleneck — so each gets agg/4 = GBE/8, far below the
+        // GbE its access links could carry.
+        let t = gdx_datacenter(8, 4, 8.0);
+        let mut sim = Sim::new(0);
+        let far: Vec<_> = t.workers[3..7].to_vec(); // slots 4..8 → rack 1
+        let near = [t.service, t.workers[0], t.workers[1], t.workers[2]];
+        let mut ids = Vec::new();
+        for (&w, &d) in far.iter().zip(near.iter()) {
+            ids.push(
+                t.net
+                    .start_flow(&mut sim, w, d, 1e9, SimDuration::ZERO, Box::new(|_, _| {})),
+            );
+        }
+        for f in &ids {
+            assert!((t.net.flow_rate(*f).unwrap() - GBE / 8.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn volunteer_wan_shares_the_backbone() {
+        use crate::engine::Sim;
+        use crate::time::SimDuration;
+
+        let t = volunteer_wan(10, 10e6);
+        let mut sim = Sim::new(0);
+        let mut ids = Vec::new();
+        for &w in &t.workers {
+            ids.push(t.net.start_flow(
+                &mut sim,
+                t.service,
+                w,
+                1e9,
+                SimDuration::ZERO,
+                Box::new(|_, _| {}),
+            ));
+        }
+        // 10 flows share the 10 MB/s ISP downlink pipe → 1 MB/s each.
+        for f in &ids {
+            assert!((t.net.flow_rate(*f).unwrap() - 1e6).abs() < 1.0);
+        }
     }
 
     #[test]

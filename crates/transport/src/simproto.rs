@@ -92,6 +92,10 @@ pub struct BitdewControlCost {
     /// Server-uplink bytes/second consumed per *active* transfer by the DT
     /// transfer monitor (500 ms period in §4.3) and DS synchronization (1 s).
     pub control_bytes_per_client: f64,
+    /// Server-*downlink* bytes/second per active transfer: the monitor ACKs
+    /// and sync requests flowing back from the clients. Smaller than the
+    /// outbound stream but consumes the same contended access link.
+    pub control_reply_bytes_per_client: f64,
 }
 
 impl Default for BitdewControlCost {
@@ -101,13 +105,16 @@ impl Default for BitdewControlCost {
             setup: SimDuration::from_millis(150),
             // 2 monitor round trips/s × ~6 KB + 1 scheduler sync/s × ~4 KB.
             control_bytes_per_client: 16_000.0,
+            // Client replies: 2 monitor ACKs/s × ~1.5 KB + 1 sync req × ~1 KB.
+            control_reply_bytes_per_client: 4_000.0,
         }
     }
 }
 
 /// FTP star *driven by BitDew*: adds the control-plane setup latency and
-/// keeps a server-uplink reservation proportional to the number of active
-/// transfers (recomputed as transfers finish).
+/// keeps server-uplink *and* server-downlink reservations proportional to
+/// the number of active transfers (recomputed as transfers finish) — the
+/// monitor stream goes out, its ACKs and sync requests come back in.
 pub fn run_bitdew_ftp_star(
     sim: &mut Sim,
     net: &FlowNet,
@@ -123,6 +130,11 @@ pub fn run_bitdew_ftp_star(
         sim,
         server,
         *active.borrow() as f64 * cost.control_bytes_per_client,
+    );
+    net.reserve_down(
+        sim,
+        server,
+        *active.borrow() as f64 * cost.control_reply_bytes_per_client,
     );
     for &client in clients {
         let out = Rc::clone(&outcome);
@@ -154,6 +166,11 @@ pub fn run_bitdew_ftp_star(
                     server,
                     remaining as f64 * cost.control_bytes_per_client,
                 );
+                net2.reserve_down(
+                    sim,
+                    server,
+                    remaining as f64 * cost.control_reply_bytes_per_client,
+                );
             }),
         );
     }
@@ -173,6 +190,11 @@ pub struct BtFluidParams {
     pub efficiency: f64,
     /// Integration step in seconds.
     pub dt: f64,
+    /// Shared ISP/backbone pipe in bytes/second, the volunteer-WAN shape:
+    /// *aggregate* swarm throughput (and the seed's novelty injection) are
+    /// capped by the pipe regardless of how fast individual access links
+    /// are. `None` models the flat-star LAN the paper measured on.
+    pub shared_backbone: Option<f64>,
 }
 
 impl Default for BtFluidParams {
@@ -182,6 +204,7 @@ impl Default for BtFluidParams {
             protocol_overhead: 0.05,
             efficiency: 0.55,
             dt: 0.25,
+            shared_backbone: None,
         }
     }
 }
@@ -216,6 +239,7 @@ pub fn bt_fluid_completion(
     let dt = params.dt.max(1e-3);
     let max_t = params.startup_secs + 1e7;
     let mut remaining = n;
+    let backbone = params.shared_backbone.unwrap_or(f64::INFINITY);
 
     while remaining > 0 && t < max_t {
         // Swarm upload capacity: the seed plus every peer that holds data
@@ -227,7 +251,9 @@ pub fn bt_fluid_completion(
             .zip(peers.iter())
             .map(|(eff, p)| eff * p.up)
             .sum();
-        let supply = seed_up + leech_up;
+        // On a volunteer WAN every piece crosses the shared pipe, so the
+        // aggregate swarm throughput can never exceed it.
+        let supply = (seed_up + leech_up).min(backbone);
 
         // Max-min allocation of `supply` across needy peers capped by their
         // downlinks: sort by cap, fill progressively.
@@ -249,9 +275,10 @@ pub fn bt_fluid_completion(
             unfilled -= 1;
         }
 
-        // The distinct-bytes frontier: the seed injects novelty at seed_up;
-        // nobody can hold more of the file than has left the seed.
-        distinct = (distinct + seed_up * dt).min(goal);
+        // The distinct-bytes frontier: the seed injects novelty at seed_up
+        // (squeezed through the shared pipe, if any); nobody can hold more
+        // of the file than has left the seed.
+        distinct = (distinct + seed_up.min(backbone) * dt).min(goal);
 
         for i in 0..n {
             if done[i].is_nan() {
@@ -377,6 +404,59 @@ mod tests {
             overheads[1] > overheads[0],
             "overhead grows with N: {overheads:?}"
         );
+    }
+
+    #[test]
+    fn bitdew_monitor_reserves_server_downlink_too() {
+        // The reserve_down satellite: while transfers are active the DT
+        // monitor ACK/sync-request stream holds a server-downlink
+        // reservation; when everything completes both reservations drop to
+        // zero.
+        let topo = topology::gdx_cluster(4);
+        let mut sim = Sim::new(1);
+        let cost = BitdewControlCost::default();
+        let out = run_bitdew_ftp_star(
+            &mut sim,
+            &topo.net,
+            topo.service,
+            &topo.workers,
+            10.0e6,
+            SimDuration::ZERO,
+            cost,
+        );
+        let (up, down) = topo.net.host_links(topo.service).expect("registered");
+        assert!((topo.net.link_reserved(up) - 4.0 * cost.control_bytes_per_client).abs() < 1e-6);
+        assert!(
+            (topo.net.link_reserved(down) - 4.0 * cost.control_reply_bytes_per_client).abs() < 1e-6
+        );
+        sim.run();
+        assert!(out.borrow().all_done(4));
+        assert_eq!(topo.net.link_reserved(up), 0.0);
+        assert_eq!(topo.net.link_reserved(down), 0.0);
+    }
+
+    #[test]
+    fn bt_backbone_caps_swarm_throughput() {
+        // Volunteer-WAN BT: 10 GbE homes behind a shared 10 MB/s pipe. The
+        // swarm must move 10 × 105 MB across the pipe → ~105 s, no matter
+        // how fast the access links are; the flat-star swarm is far faster.
+        let capped = BtFluidParams {
+            startup_secs: 0.0,
+            shared_backbone: Some(10.0e6),
+            ..Default::default()
+        };
+        let flat = BtFluidParams {
+            startup_secs: 0.0,
+            ..Default::default()
+        };
+        let t_capped = bt_fluid_makespan(100.0e6, GBE, &gbe_peers(10), &capped);
+        let t_flat = bt_fluid_makespan(100.0e6, GBE, &gbe_peers(10), &flat);
+        let lower = 10.0 * 100.0e6 * 1.05 / 10.0e6; // aggregate bytes / pipe
+        assert!(
+            t_capped >= lower - 1.0 && t_capped <= lower * 1.1,
+            "t_capped = {t_capped}, expected ~{lower}"
+        );
+        assert!(t_flat < t_capped / 10.0, "flat star {t_flat} vs {t_capped}");
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Max-min invariants of the link-contended flow network.
+//!
+//! Property tests over random flow arrival/departure/churn schedules on a
+//! volunteer-WAN topology (every home behind one shared ISP pipe per
+//! direction, heterogeneous access links). At random probe instants during
+//! the run, and at the end, the allocation must satisfy the three max-min
+//! fairness invariants the progressive-filling model promises:
+//!
+//! 1. **Capacity** — no link's aggregate allocated rate exceeds its
+//!    effective capacity.
+//! 2. **Work conservation** — every flow with a positive rate has at least
+//!    one *saturated* link on its path (nobody is throttled below a rate
+//!    the network could still carry).
+//! 3. **Byte conservation** — when the run drains, `bytes_delivered`
+//!    equals the sum of completed flows' sizes plus failed flows' partial
+//!    deliveries, within float tolerance.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use bitdew::sim::{
+    FlowId, FlowNet, FlowOutcome, HostId, Link, LinkId, LinkTopology, Sim, SimDuration, SimTime,
+};
+
+/// Homes available to the generated schedules (host 0 is the service).
+const HOSTS: u32 = 6;
+
+fn wan_net() -> FlowNet {
+    let net = FlowNet::with_topology(LinkTopology::volunteer_wan(
+        Link::new(40_000.0),
+        Link::new(60_000.0),
+    ));
+    net.add_host_in_zone(HostId(0), 1_000_000.0, 1_000_000.0, 0);
+    for i in 1..HOSTS {
+        // Heterogeneous consumer links, asymmetric like ADSL.
+        let down = 20_000.0 + 17_000.0 * i as f64;
+        net.add_host(HostId(i), down / 4.0, down);
+    }
+    net
+}
+
+/// Every link of the network: the two shared ISP pipes plus each host's
+/// access pair.
+fn all_links(net: &FlowNet) -> Vec<LinkId> {
+    let mut links = net.shared_links();
+    for h in 0..HOSTS {
+        let (up, down) = net.host_links(HostId(h)).expect("registered");
+        links.push(up);
+        links.push(down);
+    }
+    links
+}
+
+/// Check invariants 1 and 2 at the current instant; returns violations.
+fn allocation_violations(net: &FlowNet, flows: &[FlowId]) -> Vec<String> {
+    let mut problems = Vec::new();
+    for &l in &all_links(net) {
+        let cap = net.link_capacity(l);
+        let load = net.link_load(l);
+        if load > cap * (1.0 + 1e-6) + 1e-6 {
+            problems.push(format!("link {l:?} over capacity: {load} > {cap}"));
+        }
+    }
+    for &f in flows {
+        let Some(rate) = net.flow_rate(f) else {
+            continue; // finished
+        };
+        if rate <= 0.0 {
+            problems.push(format!("active flow {f:?} starved (rate {rate})"));
+            continue;
+        }
+        let path = net.flow_path(f).expect("active flow has a path");
+        let saturated = path.iter().any(|&l| {
+            let cap = net.link_capacity(l);
+            net.link_load(l) >= cap * (1.0 - 1e-6) - 1e-6
+        });
+        if !saturated {
+            problems.push(format!("flow {f:?} rate {rate} with no saturated link"));
+        }
+    }
+    problems
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn max_min_invariants_hold_under_random_schedules(
+        // (src, dst, bytes, start_ms) per flow — src/dst may collide
+        // (loopback) and may target churned hosts (immediate failure).
+        flows in proptest::collection::vec(
+            (0..HOSTS, 0..HOSTS, 1_000..400_000u64, 0..15_000u64),
+            1..24,
+        ),
+        // (home, kill_ms): churn a home mid-run.
+        kills in proptest::collection::vec((1..HOSTS, 2_000..12_000u64), 0..3),
+        // (flow index, cancel_ms): explicit departures.
+        cancels in proptest::collection::vec((0..24usize, 1_000..14_000u64), 0..4),
+    ) {
+        let net = wan_net();
+        let mut sim = Sim::new(77);
+        // Completed bytes / failed partials, per terminal callback.
+        let delivered: Rc<RefCell<f64>> = Rc::new(RefCell::new(0.0));
+        let started: Rc<RefCell<HashMap<usize, FlowId>>> =
+            Rc::new(RefCell::new(HashMap::new()));
+        let violations: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+
+        for (k, &(src, dst, bytes, at)) in flows.iter().enumerate() {
+            let net2 = net.clone();
+            let started2 = Rc::clone(&started);
+            let delivered2 = Rc::clone(&delivered);
+            sim.schedule_at(SimTime::from_millis(at), move |sim| {
+                let d3 = Rc::clone(&delivered2);
+                let id = net2.start_flow(
+                    sim,
+                    HostId(src),
+                    HostId(dst),
+                    bytes as f64,
+                    SimDuration::ZERO,
+                    Box::new(move |_, out| {
+                        *d3.borrow_mut() += match out {
+                            FlowOutcome::Completed { bytes, .. } => bytes,
+                            FlowOutcome::Failed { bytes_done, .. } => bytes_done,
+                        };
+                    }),
+                );
+                started2.borrow_mut().insert(k, id);
+            });
+        }
+        for &(home, at) in &kills {
+            let net2 = net.clone();
+            sim.schedule_at(SimTime::from_millis(at), move |sim| {
+                net2.set_host_enabled(sim, HostId(home), false);
+            });
+        }
+        for &(idx, at) in &cancels {
+            let net2 = net.clone();
+            let started2 = Rc::clone(&started);
+            sim.schedule_at(SimTime::from_millis(at), move |sim| {
+                let id = started2.borrow().get(&idx).copied();
+                if let Some(id) = id {
+                    net2.cancel_flow(sim, id);
+                }
+            });
+        }
+        // Probe the allocation at a spread of instants while flows overlap.
+        for ms in [500u64, 2_500, 5_000, 7_500, 10_000, 13_000, 16_000] {
+            let net2 = net.clone();
+            let started2 = Rc::clone(&started);
+            let violations2 = Rc::clone(&violations);
+            sim.schedule_at(SimTime::from_millis(ms), move |_| {
+                let ids: Vec<FlowId> = started2.borrow().values().copied().collect();
+                violations2
+                    .borrow_mut()
+                    .extend(allocation_violations(&net2, &ids));
+            });
+        }
+        sim.run();
+
+        prop_assert!(
+            violations.borrow().is_empty(),
+            "allocation invariants violated: {:?}",
+            violations.borrow()
+        );
+        prop_assert_eq!(net.active_flows(), 0, "every flow reached a terminal state");
+        let total = *delivered.borrow();
+        let conserved = (net.bytes_delivered() - total).abs() <= total.max(1.0) * 1e-9 + 1e-6;
+        prop_assert!(
+            conserved,
+            "bytes_delivered {} != callback total {}",
+            net.bytes_delivered(),
+            total
+        );
+    }
+}
